@@ -1,0 +1,75 @@
+// Ablation: value quantization (§3.1). The paper's abstract claims "value
+// compression lowers the space usage by 5x" while keeping quantization error
+// under 1%. This bench sweeps the significant-digit knob on NetMon and
+// reports space, accuracy, and throughput for each setting.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "bench_util/table.h"
+#include "common/strings.h"
+#include "core/qlove.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+int Run(const bench_util::BenchArgs& args) {
+  const int64_t n = args.events > 0 ? args.events : 2000000;
+  const WindowSpec spec(128 * kKi, 16 * kKi);
+  PrintHeader("Ablation: value quantization digits",
+              "Abstract claim: value compression lowers space ~5x at < 1% "
+              "error (NetMon, 16K period, 128K window)",
+              n, args.seed);
+
+  auto data = MakeData<workload::NetMonGenerator>(n, args.seed);
+
+  bench_util::TablePrinter table({"Digits", "VE%Q0.5", "VE%Q0.99",
+                                  "VE%Q0.999", "Observed vars",
+                                  "Space vs off", "M ev/s"});
+  int64_t baseline_space = 0;
+  for (int digits : {0, 4, 3, 2}) {
+    core::QloveOptions options;
+    options.quantizer_digits = digits;
+    options.enable_fewk = false;
+    core::QloveOperator op(options);
+    auto accuracy = bench_util::RunAccuracy(&op, data, spec,
+                                            {0.5, 0.99, 0.999}, false);
+    op.Reset();
+    const double mevps = bench_util::MeasureThroughputMevps(
+        &op, data, spec, {0.5, 0.99, 0.999});
+    if (digits == 0) baseline_space = accuracy.observed_space;
+    table.AddRow(
+        {digits == 0 ? "off" : std::to_string(digits),
+         FormatDouble(accuracy.avg_value_error_pct[0], 2),
+         FormatDouble(accuracy.avg_value_error_pct[1], 2),
+         FormatDouble(accuracy.avg_value_error_pct[2], 2),
+         FormatWithCommas(accuracy.observed_space),
+         digits == 0 ? "1.0x"
+                     : FormatDouble(static_cast<double>(baseline_space) /
+                                        static_cast<double>(
+                                            accuracy.observed_space),
+                                    1) + "x",
+         FormatDouble(mevps, 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nReproduction target: 3 significant digits shrink the observed state\n"
+      "by several-fold (the paper's 5x is on raw 1-us-granularity NetMon)\n"
+      "while all value errors stay below the ~1%% quantization budget.\n"
+      "NOTE: the synthetic NetMon already rounds to integer microseconds, so\n"
+      "the measured ratio is a lower bound on the paper's raw-trace ratio.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  return qlove::bench::Run(qlove::bench_util::BenchArgs::Parse(argc, argv));
+}

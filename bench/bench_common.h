@@ -1,0 +1,45 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Shared constants and helpers for the bench binaries. Window and period
+// sizes use binary K (1K = 1024) to match the paper's sizing (128K window =
+// 131,072 elements; "each sub-window needs 128K(1-0.999) = 132 entries").
+
+#ifndef QLOVE_BENCH_BENCH_COMMON_H_
+#define QLOVE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+
+inline constexpr int64_t kKi = 1024;
+
+/// The paper's standard quantile set (Qmonitor).
+inline const std::vector<double> kPaperPhis = {0.5, 0.9, 0.99, 0.999};
+
+/// Materializes an n-event dataset from a fresh generator of type G.
+template <typename G>
+std::vector<double> MakeData(int64_t n, uint64_t seed) {
+  G gen(seed);
+  return workload::Materialize(&gen, n);
+}
+
+/// Prints the standard bench preamble so outputs are self-describing.
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        int64_t events, uint64_t seed) {
+  std::printf("=== %s ===\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("events=%lld seed=%llu (paper scale: 10M events; pass "
+              "--events=10M --full for paper scale)\n\n",
+              static_cast<long long>(events),
+              static_cast<unsigned long long>(seed));
+}
+
+}  // namespace bench
+}  // namespace qlove
+
+#endif  // QLOVE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+// Figure 1: histogram of 100K latency values (us) in NetMon. The x-axis is
+// cut at 10,000 due to a very long tail. Reproduced from the synthetic
+// NetMon generator; prints bucket counts and an ASCII rendering plus the
+// calibration statistics the paper quotes in §1 and §5.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "common/strings.h"
+#include "stats/descriptive.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+int Run(const bench_util::BenchArgs& args) {
+  const int64_t n = args.events > 0 ? args.events : 100000;
+  PrintHeader("Figure 1: NetMon latency histogram",
+              "Fig. 1 (100K latency values, x cut at 10,000 us)", n,
+              args.seed);
+
+  auto data = MakeData<workload::NetMonGenerator>(n, args.seed);
+
+  constexpr double kBucketWidth = 200.0;
+  constexpr double kCut = 10000.0;
+  const int buckets = static_cast<int>(kCut / kBucketWidth);
+  std::vector<int64_t> counts(static_cast<size_t>(buckets), 0);
+  int64_t beyond_cut = 0;
+  double max_value = 0.0;
+  for (double v : data) {
+    max_value = std::max(max_value, v);
+    if (v >= kCut) {
+      ++beyond_cut;
+      continue;
+    }
+    ++counts[static_cast<size_t>(v / kBucketWidth)];
+  }
+
+  const int64_t peak = *std::max_element(counts.begin(), counts.end());
+  std::printf("bucket(us)      count  histogram\n");
+  std::printf("--------------------------------\n");
+  for (int b = 0; b < buckets; ++b) {
+    const int64_t c = counts[static_cast<size_t>(b)];
+    if (c == 0 && b * kBucketWidth > 4000) continue;  // compress the tail
+    const int bar = static_cast<int>(60.0 * static_cast<double>(c) /
+                                     static_cast<double>(peak));
+    std::printf("%5d-%5d %10lld  %s\n", static_cast<int>(b * kBucketWidth),
+                static_cast<int>((b + 1) * kBucketWidth),
+                static_cast<long long>(c), std::string(bar, '#').c_str());
+  }
+  std::printf(">%5d      %10lld  (long tail)\n\n", static_cast<int>(kCut),
+              static_cast<long long>(beyond_cut));
+
+  auto q = stats::ExactQuantiles(data, {0.5, 0.9, 0.99, 0.999}).ValueOrDie();
+  std::printf("Calibration vs. the paper's published NetMon statistics:\n");
+  std::printf("  %-28s paper    measured\n", "statistic");
+  std::printf("  %-28s 798      %.0f\n", "median (us)", q[0]);
+  std::printf("  %-28s 1,247    %.0f\n", "90% below (us)", q[1]);
+  std::printf("  %-28s 1,874    %.0f\n", "Q0.99 (us)", q[2]);
+  std::printf("  %-28s 74,265   %.0f\n", "max (us)", max_value);
+  std::printf("  %-28s ~0.08%%   %.3f%%\n", "unique fraction",
+              100.0 * stats::UniqueFraction(data));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  return qlove::bench::Run(qlove::bench_util::BenchArgs::Parse(argc, argv));
+}

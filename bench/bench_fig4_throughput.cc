@@ -1,0 +1,93 @@
+// Figure 4: single-thread throughput (M ev/s) of QLOVE vs CMQS at epsilon
+// 1x/5x/10x (0.02/0.1/0.2) vs Exact, on NetMon with a 1K period and 100K
+// window. Reproduction target: QLOVE fastest; CMQS(1x) slower than Exact;
+// throughput recovers as epsilon grows.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "core/qlove.h"
+#include "sketch/cmqs.h"
+#include "sketch/exact.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+const WindowSpec kSpec(100 * kKi, 1 * kKi);
+
+const std::vector<double>& Data() {
+  static const std::vector<double> data =
+      MakeData<workload::NetMonGenerator>(2000000, 42);
+  return data;
+}
+
+void RunPolicy(benchmark::State& state, QuantileOperator* op) {
+  const auto& data = Data();
+  for (auto _ : state) {
+    op->Reset();
+    WindowedQuantileQuery query(kSpec, kPaperPhis, op);
+    if (!query.Initialize().ok()) {
+      state.SkipWithError("initialize failed");
+      return;
+    }
+    double guard = 0.0;
+    for (double v : data) {
+      auto r = query.OnElement(v);
+      if (r.has_value()) guard += r->estimates[0];
+    }
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+
+void BM_QLOVE(benchmark::State& state) {
+  // Figure 4 sits in §5.2, where few-k merging is still disabled ("We
+  // disable few-k merging in QLOVE until Section 5.3"); the few-k cost is
+  // measured separately by bench_fewk_throughput.
+  core::QloveOptions options;
+  options.enable_fewk = false;
+  core::QloveOperator op(options);
+  RunPolicy(state, &op);
+}
+BENCHMARK(BM_QLOVE)->Unit(benchmark::kMillisecond);
+
+void BM_CMQS(benchmark::State& state) {
+  const double epsilon = 0.02 * static_cast<double>(state.range(0));
+  sketch::CmqsOperator op(sketch::CmqsOptions{.epsilon = epsilon});
+  RunPolicy(state, &op);
+}
+BENCHMARK(BM_CMQS)
+    ->Arg(1)   // eps = 0.02 (1x)
+    ->Arg(5)   // eps = 0.10 (5x)
+    ->Arg(10)  // eps = 0.20 (10x)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Exact(benchmark::State& state) {
+  sketch::ExactOperator op;
+  RunPolicy(state, &op);
+}
+BENCHMARK(BM_Exact)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 4: throughput comparison ===\n");
+  std::printf("Reproduces: Fig. 4 (NetMon, 1K period, 100K window; QLOVE vs "
+              "CMQS 1x/5x/10x vs Exact).\n");
+  std::printf("items_per_second is the paper's M ev/s metric (x1e6).\n");
+  std::printf("Paper shape: QLOVE > CMQS(10x) > CMQS(5x) ~ Exact > "
+              "CMQS(1x).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §5.4 "Data skewness": value error on the heavy-tailed Pareto dataset
+// (Q0.5 = 20, Q0.999 = 10,000), 16K period, 128K window, as in Table 1.
+// Reproduction target: QLOVE's Q0.999 value error stays in the low single
+// digits while rank-error baselines (AM, Random) land at ~29-35%.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "bench_util/table.h"
+#include "common/strings.h"
+#include "core/qlove.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+int Run(const bench_util::BenchArgs& args) {
+  const int64_t n = args.events > 0 ? args.events : (args.full ? 10000000
+                                                               : 2000000);
+  const WindowSpec spec(128 * kKi, 16 * kKi);
+  PrintHeader("Data skewness sensitivity (Pareto)",
+              "§5.4 Data skewness (Pareto xm=10 alpha=1, 16K period, 128K "
+              "window)",
+              n, args.seed);
+
+  auto data = MakeData<workload::ParetoGenerator>(n, args.seed);
+
+  core::QloveOptions qlove_options;
+  qlove_options.fewk.topk_fraction = 0.5;
+  qlove_options.fewk.samplek_fraction = 0.5;
+
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  policies.push_back(std::make_unique<core::QloveOperator>(qlove_options));
+  policies.push_back(std::make_unique<sketch::CmqsOperator>(
+      sketch::CmqsOptions{.epsilon = 0.02}));
+  policies.push_back(std::make_unique<sketch::AmOperator>(
+      sketch::AmOptions{.epsilon = 0.02}));
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>(
+      sketch::RandomSketchOptions{.epsilon = 0.02, .seed = args.seed}));
+  policies.push_back(std::make_unique<sketch::MomentOperator>(
+      sketch::MomentOptions{.k = 12}));
+
+  bench_util::TablePrinter table(
+      {"Policy", "VE%Q0.5", "VE%Q0.9", "VE%Q0.99", "VE%Q0.999"});
+  for (auto& policy : policies) {
+    auto result =
+        bench_util::RunAccuracy(policy.get(), data, spec, kPaperPhis, false);
+    std::vector<std::string> row = {result.policy};
+    for (double e : result.avg_value_error_pct) {
+      row.push_back(FormatDouble(e, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reports: at Q0.999 QLOVE 4.00%%, AM 29.22%%, Random 35.17%%.\n"
+      "Reproduction target: QLOVE several times lower than the rank-error\n"
+      "baselines at the highest quantile.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  return qlove::bench::Run(qlove::bench_util::BenchArgs::Parse(argc, argv));
+}

@@ -1,0 +1,92 @@
+// Table 1: accuracy (average rank error e' and relative value error %) and
+// space usage (analytical + observed variables) of the five approximation
+// algorithms on NetMon with a 16K period and 128K window, quantiles
+// {0.5, 0.9, 0.99, 0.999}. Few-k merging in QLOVE is disabled, as in the
+// paper's §5.2 ("We disable few-k merging in QLOVE until Section 5.3").
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "bench_util/table.h"
+#include "common/strings.h"
+#include "core/qlove.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+int Run(const bench_util::BenchArgs& args) {
+  const int64_t n = args.events > 0 ? args.events : (args.full ? 10000000
+                                                               : 2000000);
+  const WindowSpec spec(128 * kKi, 16 * kKi);
+  PrintHeader("Table 1: accuracy and space usage of five approximation "
+              "algorithms",
+              "Table 1 (NetMon, 16K period, 128K window, eps=0.02, K=12)", n,
+              args.seed);
+
+  auto data = MakeData<workload::NetMonGenerator>(n, args.seed);
+
+  core::QloveOptions qlove_options;
+  qlove_options.enable_fewk = false;  // enabled from Table 3 onward
+
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  policies.push_back(std::make_unique<core::QloveOperator>(qlove_options));
+  policies.push_back(std::make_unique<sketch::CmqsOperator>(
+      sketch::CmqsOptions{.epsilon = 0.02}));
+  policies.push_back(std::make_unique<sketch::AmOperator>(
+      sketch::AmOptions{.epsilon = 0.02}));
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>(
+      sketch::RandomSketchOptions{.epsilon = 0.02, .seed = args.seed}));
+  policies.push_back(std::make_unique<sketch::MomentOperator>(
+      sketch::MomentOptions{.k = 12}));
+
+  bench_util::TablePrinter table(
+      {"Policy", "e'Q0.5", "e'Q0.9", "e'Q0.99", "e'Q0.999", "VE%Q0.5",
+       "VE%Q0.9", "VE%Q0.99", "VE%Q0.999", "Analytical", "Observed"});
+  for (auto& policy : policies) {
+    auto result =
+        bench_util::RunAccuracy(policy.get(), data, spec, kPaperPhis, true);
+    std::vector<std::string> row = {result.policy};
+    for (double e : result.avg_rank_error) row.push_back(FormatDouble(e, 4));
+    for (double e : result.avg_value_error_pct) {
+      row.push_back(FormatDouble(e, 2));
+    }
+    row.push_back(result.policy == "Moment"
+                      ? "NA"
+                      : FormatWithCommas(result.analytical_space));
+    row.push_back(FormatWithCommas(result.observed_space));
+    table.AddRow(row);
+    std::printf("  [%s done: %lld evaluations, max rank error %.4f]\n",
+                result.policy.c_str(),
+                static_cast<long long>(result.evaluations),
+                result.max_rank_error);
+  }
+  std::printf("\n");
+  table.Print();
+
+  std::printf(
+      "\nPaper reports (same config): QLOVE VE%% {0.10, 0.06, 0.78, 4.40},\n"
+      "CMQS {0.31, 0.26, 1.78, 28.47}, AM {0.24, 0.20, 0.94, 13.25},\n"
+      "Random {0.20, 0.20, 1.00, 16.69}, Moment {0.98, 0.28, 0.76, 9.30};\n"
+      "QLOVE observed space 3,340 vs 31,194-68,001 for the rank-error "
+      "baselines.\n"
+      "Reproduction target: QLOVE lowest Q0.999 value error and smallest\n"
+      "observed space; rank errors comparable across policies.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  return qlove::bench::Run(qlove::bench_util::BenchArgs::Parse(argc, argv));
+}

@@ -1,0 +1,106 @@
+// Table 5: average relative errors (as fractions, scientific notation) of
+// QLOVE's Level-2 aggregated estimator on AR(1) data with correlation
+// psi in {0, 0.2, 0.8}, quantiles {0.5, 0.9, 0.99}, plus the empirical
+// probability that absolute errors stay within the Theorem-1 bound.
+// Reproduction target: errors in the 1e-5..1e-3 range rising mildly with
+// psi; bound coverage ~1.0 for all psi.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util/harness.h"
+#include "bench_util/metrics.h"
+#include "bench_util/table.h"
+#include "common/strings.h"
+#include "core/qlove.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace bench {
+namespace {
+
+int Run(const bench_util::BenchArgs& args) {
+  const int64_t n = args.events > 0 ? args.events : (args.full ? 10000000
+                                                               : 2000000);
+  PrintHeader("Table 5: non-i.i.d. robustness on AR(1) data",
+              "Table 5 (AR(1), N(1e6, 5e4) marginal, psi in {0, 0.2, 0.8}, "
+              "128K window, 16K period)",
+              n, args.seed);
+
+  const WindowSpec spec(128 * kKi, 16 * kKi);
+  const std::vector<double> phis = {0.5, 0.9, 0.99};
+  const std::vector<double> psis = {0.0, 0.2, 0.8};
+
+  bench_util::TablePrinter table(
+      {"psi", "Q0.5", "Q0.9", "Q0.99", "P(|err|<=eb)"});
+  for (double psi : psis) {
+    workload::Ar1Generator gen(args.seed, psi);
+    auto data = workload::Materialize(&gen, n);
+
+    core::QloveOptions options;
+    options.enable_fewk = false;
+    options.quantizer_digits = 0;  // isolate the aggregation error
+    options.enable_error_bounds = true;
+    core::QloveOperator op(options);
+
+    WindowedQuantileQuery query(spec, phis, &op);
+    if (!query.Initialize().ok()) return 1;
+    bench_util::SlidingWindowOracle oracle(spec, phis);
+
+    std::vector<double> error_sum(phis.size(), 0.0);
+    int64_t evaluations = 0;
+    int64_t bound_checks = 0;
+    int64_t bound_hits = 0;
+    for (double v : data) {
+      const bool due = oracle.OnElement(v);
+      auto r = query.OnElement(v);
+      if (!due || !r.has_value()) continue;
+      auto exact = oracle.ExactQuantiles();
+      auto bounds = op.ErrorBounds(0.05);
+      for (size_t q = 0; q < phis.size(); ++q) {
+        error_sum[q] += std::fabs(r->estimates[q] - exact[q]) /
+                        std::fabs(exact[q]);
+        if (std::isfinite(bounds[q])) {
+          ++bound_checks;
+          if (std::fabs(r->estimates[q] - exact[q]) <= bounds[q]) {
+            ++bound_hits;
+          }
+        }
+      }
+      ++evaluations;
+    }
+
+    std::vector<std::string> row = {FormatDouble(psi, 1)};
+    for (size_t q = 0; q < phis.size(); ++q) {
+      row.push_back(FormatScientific(
+          error_sum[q] / static_cast<double>(evaluations), 2));
+    }
+    row.push_back(bound_checks > 0
+                      ? FormatDouble(static_cast<double>(bound_hits) /
+                                         static_cast<double>(bound_checks),
+                                     3)
+                      : "NA");
+    table.AddRow(row);
+    std::printf("  [psi %.1f done: %lld evaluations]\n", psi,
+                static_cast<long long>(evaluations));
+  }
+  std::printf("\n");
+  table.Print();
+
+  std::printf(
+      "\nPaper reports: psi 0.0 -> {3.46e-05, 1.23e-04, 8.88e-04}, 0.2 ->\n"
+      "{3.47e-05, 1.39e-04, 9.84e-04}, 0.8 -> {5.66e-05, 3.35e-04,\n"
+      "1.56e-03}; empirical bound coverage always 1. Reproduction target:\n"
+      "same order of magnitude, mild growth with psi, coverage ~1.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qlove
+
+int main(int argc, char** argv) {
+  return qlove::bench::Run(qlove::bench_util::BenchArgs::Parse(argc, argv));
+}

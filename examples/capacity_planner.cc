@@ -1,0 +1,73 @@
+// Offline capacity planning: choosing a quantile policy for a monitoring
+// deployment. Runs every policy in the library over the same telemetry and
+// prints an engineering-tradeoff table (tail accuracy vs memory vs speed),
+// the decision the paper's evaluation is designed to inform.
+//
+//   $ ./capacity_planner            # NetMon-like telemetry
+//   $ ./capacity_planner pareto    # heavy-tailed telemetry
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "bench_util/table.h"
+#include "common/strings.h"
+#include "core/qlove.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/exact.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace qlove;
+
+  const bool pareto = argc > 1 && std::strcmp(argv[1], "pareto") == 0;
+  std::unique_ptr<workload::Generator> gen;
+  if (pareto) {
+    gen = std::make_unique<workload::ParetoGenerator>(5);
+  } else {
+    gen = std::make_unique<workload::NetMonGenerator>(5);
+  }
+  std::printf("Capacity planning on %s telemetry (1M events, window 64Ki, "
+              "period 8Ki)\n\n",
+              gen->Name().c_str());
+  auto data = workload::Materialize(gen.get(), 1000000);
+  const WindowSpec spec(65536, 8192);
+  const std::vector<double> phis = {0.5, 0.99, 0.999};
+
+  core::QloveOptions qlove_options;
+  qlove_options.fewk.topk_fraction = 0.5;
+
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  policies.push_back(std::make_unique<core::QloveOperator>(qlove_options));
+  policies.push_back(std::make_unique<sketch::ExactOperator>());
+  policies.push_back(std::make_unique<sketch::CmqsOperator>());
+  policies.push_back(std::make_unique<sketch::AmOperator>());
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>());
+  policies.push_back(std::make_unique<sketch::MomentOperator>());
+
+  bench_util::TablePrinter table({"Policy", "p50 err%", "p99 err%",
+                                  "p99.9 err%", "Peak vars", "M ev/s"});
+  for (auto& policy : policies) {
+    auto accuracy = bench_util::RunAccuracy(policy.get(), data, spec, phis,
+                                            /*with_rank_error=*/false);
+    policy->Reset();
+    const double mevps =
+        bench_util::MeasureThroughputMevps(policy.get(), data, spec, phis);
+    table.AddRow({accuracy.policy,
+                  FormatDouble(accuracy.avg_value_error_pct[0], 2),
+                  FormatDouble(accuracy.avg_value_error_pct[1], 2),
+                  FormatDouble(accuracy.avg_value_error_pct[2], 2),
+                  FormatWithCommas(accuracy.observed_space),
+                  FormatDouble(mevps, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: pick Exact only if memory is free; QLOVE when\n"
+      "tail accuracy AND footprint both matter (the paper's thesis).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Search-engine load balancing: the paper's second motivating scenario
+// ("quantiles are computed on query response times across clusters and are
+// employed by load balancers so as to meet strict SLAs" — §1, citing The
+// Tail at Scale).
+//
+// Two index-serving clusters each run a QLOVE operator over their response
+// times; a weighted router shifts traffic toward the cluster with the lower
+// p95 whenever the gap exceeds a hysteresis margin.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/qlove.h"
+#include "stream/quantile_operator.h"
+#include "workload/generators.h"
+
+namespace {
+
+class ClusterMonitor {
+ public:
+  ClusterMonitor(const char* name, uint64_t seed, double load_factor)
+      : name_(name), telemetry_(seed), load_factor_(load_factor) {
+    qlove::core::QloveOptions options;
+    options.high_quantile_threshold = 0.95;
+    op_ = std::make_unique<qlove::core::QloveOperator>(options);
+    query_ = std::make_unique<qlove::WindowedQuantileQuery>(
+        qlove::WindowSpec(8192, 1024), std::vector<double>{0.5, 0.95, 0.99},
+        op_.get());
+  }
+
+  qlove::Status Initialize() { return query_->Initialize(); }
+
+  /// Serves one query; slower when overloaded. Returns fresh p95 when an
+  /// evaluation completed.
+  std::optional<double> Serve(double share) {
+    // Response time scales with the traffic share routed to this cluster.
+    const double latency =
+        telemetry_.Next() * (0.5 + load_factor_ * share);
+    auto evaluation = query_->OnElement(latency);
+    if (!evaluation.has_value()) return std::nullopt;
+    last_p95_ = evaluation->estimates[1];
+    return last_p95_;
+  }
+
+  double last_p95() const { return last_p95_; }
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  qlove::workload::SearchGenerator telemetry_;
+  double load_factor_;
+  std::unique_ptr<qlove::core::QloveOperator> op_;
+  std::unique_ptr<qlove::WindowedQuantileQuery> query_;
+  double last_p95_ = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  // Cluster B is slightly weaker hardware (higher load sensitivity).
+  ClusterMonitor a("cluster-a", 21, 0.8);
+  ClusterMonitor b("cluster-b", 22, 1.3);
+  if (!a.Initialize().ok() || !b.Initialize().ok()) {
+    std::fprintf(stderr, "initialization failed\n");
+    return 1;
+  }
+
+  double share_a = 0.5;  // traffic fraction routed to cluster A
+  constexpr double kHysteresisMicros = 5000.0;
+  constexpr double kStep = 0.05;
+  int rebalances = 0;
+
+  qlove::Rng router(99);
+  for (int i = 0; i < 300000; ++i) {
+    const bool to_a = router.NextDouble() < share_a;
+    auto p95 = to_a ? a.Serve(share_a) : b.Serve(1.0 - share_a);
+    if (!p95.has_value()) continue;
+
+    // Rebalance when both clusters have fresh estimates and the gap is big.
+    if (a.last_p95() > 0.0 && b.last_p95() > 0.0) {
+      const double gap = a.last_p95() - b.last_p95();
+      if (gap > kHysteresisMicros && share_a > 0.1) {
+        share_a -= kStep;
+        ++rebalances;
+        std::printf("[rebalance] a.p95=%7.0fus b.p95=%7.0fus -> shift to B, "
+                    "share_a=%.2f\n",
+                    a.last_p95(), b.last_p95(), share_a);
+      } else if (gap < -kHysteresisMicros && share_a < 0.9) {
+        share_a += kStep;
+        ++rebalances;
+        std::printf("[rebalance] a.p95=%7.0fus b.p95=%7.0fus -> shift to A, "
+                    "share_a=%.2f\n",
+                    a.last_p95(), b.last_p95(), share_a);
+      }
+    }
+  }
+
+  std::printf("\nFinal routing: %.0f%% to %s, %.0f%% to %s after %d "
+              "rebalances.\n",
+              share_a * 100.0, a.name(), (1.0 - share_a) * 100.0, b.name(),
+              rebalances);
+  std::printf("Steady state p95: %s=%.0fus %s=%.0fus.\n", a.name(),
+              a.last_p95(), b.name(), b.last_p95());
+  return 0;
+}

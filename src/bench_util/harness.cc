@@ -1,0 +1,102 @@
+#include "bench_util/harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace qlove {
+namespace bench_util {
+
+AccuracyResult RunAccuracy(QuantileOperator* op,
+                           const std::vector<double>& data,
+                           const WindowSpec& spec,
+                           const std::vector<double>& phis,
+                           bool with_rank_error) {
+  AccuracyResult result;
+  result.policy = op->Name();
+
+  WindowedQuantileQuery query(spec, phis, op);
+  Status st = query.Initialize();
+  if (!st.ok()) {
+    std::fprintf(stderr, "RunAccuracy(%s): %s\n", op->Name().c_str(),
+                 st.ToString().c_str());
+    return result;
+  }
+
+  SlidingWindowOracle oracle(spec, phis);
+  ErrorAccumulator errors(phis.size());
+
+  for (double value : data) {
+    const bool due = oracle.OnElement(value);
+    auto evaluation = query.OnElement(value);
+    if (!due || !evaluation.has_value()) continue;
+
+    const std::vector<double> exact = oracle.ExactQuantiles();
+    std::vector<double> rank_errors;
+    if (with_rank_error) {
+      rank_errors.resize(phis.size());
+      for (size_t i = 0; i < phis.size(); ++i) {
+        const int64_t r = oracle.TargetRank(phis[i]);
+        const double r_prime =
+            oracle.NearestRank(evaluation->estimates[i], r);
+        rank_errors[i] = std::abs(static_cast<double>(r) - r_prime) /
+                         static_cast<double>(spec.size);
+      }
+    }
+    errors.Observe(evaluation->estimates, exact, rank_errors);
+  }
+
+  result.avg_value_error_pct = errors.AverageValueErrorPercent();
+  result.avg_rank_error = errors.AverageRankError();
+  result.max_rank_error = errors.MaxRankError();
+  result.observed_space = op->ObservedSpaceVariables();
+  result.analytical_space = op->AnalyticalSpaceVariables();
+  result.evaluations = errors.evaluations();
+  return result;
+}
+
+double MeasureThroughputMevps(QuantileOperator* op,
+                              const std::vector<double>& data,
+                              const WindowSpec& spec,
+                              const std::vector<double>& phis) {
+  WindowedQuantileQuery query(spec, phis, op);
+  Status st = query.Initialize();
+  if (!st.ok()) {
+    std::fprintf(stderr, "MeasureThroughput(%s): %s\n", op->Name().c_str(),
+                 st.ToString().c_str());
+    return 0.0;
+  }
+  // Keep the result observable so the optimizer cannot drop evaluations.
+  volatile double guard = 0.0;
+  Stopwatch watch;
+  watch.Start();
+  for (double value : data) {
+    auto evaluation = query.OnElement(value);
+    if (evaluation.has_value()) guard = evaluation->estimates[0];
+  }
+  const double seconds = watch.ElapsedSeconds();
+  (void)guard;
+  return MillionEventsPerSecond(static_cast<uint64_t>(data.size()), seconds);
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--events=", 9) == 0) {
+      int64_t parsed = 0;
+      if (ParseCount(arg + 9, &parsed)) args.events = parsed;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--full") == 0) {
+      args.full = true;
+    }
+  }
+  return args;
+}
+
+}  // namespace bench_util
+}  // namespace qlove

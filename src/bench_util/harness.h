@@ -1,0 +1,60 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Shared accuracy/throughput runners for the bench binaries: one function
+// per paper metric so every table regenerates through the same code path.
+
+#ifndef QLOVE_BENCH_UTIL_HARNESS_H_
+#define QLOVE_BENCH_UTIL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util/metrics.h"
+#include "stream/quantile_operator.h"
+#include "stream/window.h"
+
+namespace qlove {
+namespace bench_util {
+
+/// \brief Result of an accuracy run of one policy over one dataset.
+struct AccuracyResult {
+  std::string policy;
+  std::vector<double> avg_value_error_pct;  ///< Per phi.
+  std::vector<double> avg_rank_error;       ///< Per phi, fraction of N.
+  double max_rank_error = 0.0;
+  int64_t observed_space = 0;
+  int64_t analytical_space = 0;
+  int64_t evaluations = 0;
+};
+
+/// Runs \p op over \p data under \p spec, comparing every evaluation against
+/// the exact sliding-window oracle. \p with_rank_error additionally computes
+/// rank errors (costs two tree probes per quantile per evaluation).
+AccuracyResult RunAccuracy(QuantileOperator* op,
+                           const std::vector<double>& data,
+                           const WindowSpec& spec,
+                           const std::vector<double>& phis,
+                           bool with_rank_error = true);
+
+/// Measures single-thread throughput (million events per second) of \p op
+/// over \p data under \p spec, including window evaluations, excluding data
+/// generation. Runs the stream once.
+double MeasureThroughputMevps(QuantileOperator* op,
+                              const std::vector<double>& data,
+                              const WindowSpec& spec,
+                              const std::vector<double>& phis);
+
+/// \brief Minimal CLI flags shared by the bench binaries.
+struct BenchArgs {
+  int64_t events = 0;   ///< 0 = binary default.
+  uint64_t seed = 42;
+  bool full = false;    ///< Paper-scale run (slower).
+
+  /// Parses --events=N (accepts 1K/16K/1M shorthand), --seed=N, --full.
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+}  // namespace bench_util
+}  // namespace qlove
+
+#endif  // QLOVE_BENCH_UTIL_HARNESS_H_

@@ -1,0 +1,89 @@
+#include "bench_util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "container/tree_quantiles.h"
+
+namespace qlove {
+namespace bench_util {
+
+SlidingWindowOracle::SlidingWindowOracle(WindowSpec spec,
+                                         std::vector<double> phis)
+    : spec_(spec), phis_(std::move(phis)) {
+  ring_.assign(static_cast<size_t>(spec_.size), 0.0);
+}
+
+bool SlidingWindowOracle::OnElement(double value) {
+  if (seen_ >= spec_.size) {
+    tree_.Remove(ring_[static_cast<size_t>(next_)]);
+  }
+  ring_[static_cast<size_t>(next_)] = value;
+  next_ = (next_ + 1) % spec_.size;
+  tree_.Add(value);
+  ++seen_;
+  return seen_ >= spec_.size && seen_ % spec_.period == 0;
+}
+
+std::vector<double> SlidingWindowOracle::ExactQuantiles() const {
+  return MultiQuantileFromTree(tree_, phis_);
+}
+
+int64_t SlidingWindowOracle::TargetRank(double phi) const {
+  const int64_t total = tree_.TotalCount();
+  auto rank = static_cast<int64_t>(
+      std::ceil(phi * static_cast<double>(total)));
+  return std::clamp<int64_t>(rank, 1, total);
+}
+
+double SlidingWindowOracle::NearestRank(double value,
+                                        int64_t target_rank) const {
+  const int64_t below = tree_.CountLessThan(value);
+  const int64_t count = tree_.CountOf(value);
+  if (count == 0) {
+    // Absent value sits between ranks `below` and `below + 1`.
+    return static_cast<double>(below) + 0.5;
+  }
+  const int64_t lo = below + 1;
+  const int64_t hi = below + count;
+  return static_cast<double>(std::clamp(target_rank, lo, hi));
+}
+
+ErrorAccumulator::ErrorAccumulator(size_t num_quantiles)
+    : value_error_sum_(num_quantiles, 0.0),
+      rank_error_sum_(num_quantiles, 0.0) {}
+
+void ErrorAccumulator::Observe(const std::vector<double>& estimates,
+                               const std::vector<double>& exact,
+                               const std::vector<double>& rank_errors) {
+  for (size_t i = 0; i < value_error_sum_.size(); ++i) {
+    const double denom = exact[i] != 0.0 ? std::fabs(exact[i]) : 1.0;
+    value_error_sum_[i] += std::fabs(estimates[i] - exact[i]) / denom;
+    if (!rank_errors.empty()) {
+      rank_error_sum_[i] += rank_errors[i];
+      max_rank_error_ = std::max(max_rank_error_, rank_errors[i]);
+    }
+  }
+  ++evaluations_;
+}
+
+std::vector<double> ErrorAccumulator::AverageValueErrorPercent() const {
+  std::vector<double> out(value_error_sum_.size(), 0.0);
+  if (evaluations_ == 0) return out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = value_error_sum_[i] / static_cast<double>(evaluations_) * 100.0;
+  }
+  return out;
+}
+
+std::vector<double> ErrorAccumulator::AverageRankError() const {
+  std::vector<double> out(rank_error_sum_.size(), 0.0);
+  if (evaluations_ == 0) return out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = rank_error_sum_[i] / static_cast<double>(evaluations_);
+  }
+  return out;
+}
+
+}  // namespace bench_util
+}  // namespace qlove

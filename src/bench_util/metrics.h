@@ -1,0 +1,84 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Metrics of §5.1: average relative value error (%), average rank error
+// e' = (1/n) sum |r - r'_i| / N, space in variables, and throughput in
+// million events per second. The SlidingWindowOracle supplies exact
+// per-evaluation ground truth efficiently via a frequency tree.
+
+#ifndef QLOVE_BENCH_UTIL_METRICS_H_
+#define QLOVE_BENCH_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "container/frequency_tree.h"
+#include "stream/window.h"
+
+namespace qlove {
+namespace bench_util {
+
+/// \brief Exact sliding-window state used as ground truth by the harness.
+class SlidingWindowOracle {
+ public:
+  SlidingWindowOracle(WindowSpec spec, std::vector<double> phis);
+
+  /// Feeds one element; returns true when an evaluation is due (window full
+  /// and period boundary reached).
+  bool OnElement(double value);
+
+  /// Exact quantiles of the current window (paper rank definition).
+  std::vector<double> ExactQuantiles() const;
+
+  /// Exact rank interval of \p value in the current window, folded to the
+  /// single rank nearest to \p target_rank. Absent values map to the
+  /// midpoint between their neighbours' ranks.
+  double NearestRank(double value, int64_t target_rank) const;
+
+  /// The exact rank r = ceil(phi * N) for the current window.
+  int64_t TargetRank(double phi) const;
+
+  int64_t window_count() const { return tree_.TotalCount(); }
+
+ private:
+  WindowSpec spec_;
+  std::vector<double> phis_;
+  FrequencyTree tree_;
+  std::vector<double> ring_;  // raw window contents for eviction
+  int64_t next_ = 0;
+  int64_t seen_ = 0;
+};
+
+/// \brief Accumulates per-quantile average relative value error (%) and
+/// average rank error (fraction of window size).
+class ErrorAccumulator {
+ public:
+  explicit ErrorAccumulator(size_t num_quantiles);
+
+  /// Records one evaluation: estimates vs. exact values plus rank errors
+  /// (pass empty rank_errors to skip rank accounting).
+  void Observe(const std::vector<double>& estimates,
+               const std::vector<double>& exact,
+               const std::vector<double>& rank_errors = {});
+
+  /// Average relative value error per quantile, in percent.
+  std::vector<double> AverageValueErrorPercent() const;
+
+  /// Average rank error per quantile (|r - r'| / N averaged).
+  std::vector<double> AverageRankError() const;
+
+  /// Largest single-evaluation rank error seen (paper: "the largest error
+  /// observed in individual query evaluations ... below 0.0105").
+  double MaxRankError() const { return max_rank_error_; }
+
+  int64_t evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<double> value_error_sum_;
+  std::vector<double> rank_error_sum_;
+  double max_rank_error_ = 0.0;
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace bench_util
+}  // namespace qlove
+
+#endif  // QLOVE_BENCH_UTIL_METRICS_H_

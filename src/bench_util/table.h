@@ -1,0 +1,37 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Console table printer producing the paper-style aligned tables the bench
+// binaries emit (and EXPERIMENTS.md records).
+
+#ifndef QLOVE_BENCH_UTIL_TABLE_H_
+#define QLOVE_BENCH_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qlove {
+namespace bench_util {
+
+/// \brief Column-aligned plain-text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline, two-space column gaps.
+  void Print(std::ostream& os) const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bench_util
+}  // namespace qlove
+
+#endif  // QLOVE_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+namespace qlove {
+
+double Rng::Gamma(double shape, double scale) {
+  if (shape < 1.0) {
+    // Boost a Gamma(shape + 1) draw down: X = Y * U^(1/shape).
+    const double boosted = Gamma(shape + 1.0, 1.0);
+    double u = NextDouble();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return scale * boosted * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000) squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+}  // namespace qlove

@@ -1,0 +1,147 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Exception-free error handling in the style of RocksDB/Arrow: every fallible
+// public API returns a Status (or Result<T>), never throws.
+
+#ifndef QLOVE_COMMON_STATUS_H_
+#define QLOVE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qlove {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy and compare.
+class Status {
+ public:
+  /// Error categories. Kept deliberately small; the message carries detail.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kFailedPrecondition = 2,
+    kOutOfRange = 3,
+    kNotFound = 4,
+    kInternal = 5,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// \name Factory functions for each error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// Returns the error category.
+  Code code() const { return code_; }
+
+  /// Returns the error message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kNotFound: return "NotFound";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Minimal analogue of arrow::Result / absl::StatusOr. Access the value only
+/// after checking ok(); ValueOrDie() asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK \p status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// Returns true iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Returns the value; requires ok().
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out; requires ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value if present, otherwise \p fallback.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define QLOVE_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::qlove::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace qlove
+
+#endif  // QLOVE_COMMON_STATUS_H_

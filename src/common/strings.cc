@@ -1,0 +1,95 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qlove {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatScientific(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string FormatWithCommas(int64_t value) {
+  const bool negative = value < 0;
+  uint64_t magnitude =
+      negative ? 0ULL - static_cast<uint64_t>(value) : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatCount(int64_t value) {
+  const char* suffix = "";
+  double scaled = static_cast<double>(value);
+  if (value != 0 && value % 1000000000 == 0) {
+    scaled = static_cast<double>(value) / 1e9;
+    suffix = "B";
+  } else if (value != 0 && value % 1000000 == 0) {
+    scaled = static_cast<double>(value) / 1e6;
+    suffix = "M";
+  } else if (value != 0 && value % 1000 == 0) {
+    scaled = static_cast<double>(value) / 1e3;
+    suffix = "K";
+  } else if (std::llabs(value) >= 1000000) {
+    scaled = static_cast<double>(value) / 1e6;
+    suffix = "M";
+  } else if (std::llabs(value) >= 1000) {
+    scaled = static_cast<double>(value) / 1e3;
+    suffix = "K";
+  }
+  if (suffix[0] == '\0') return std::to_string(value);
+  if (scaled == std::floor(scaled)) {
+    return std::to_string(static_cast<int64_t>(scaled)) + suffix;
+  }
+  return FormatDouble(scaled, 1) + suffix;
+}
+
+bool ParseCount(const std::string& text, int64_t* out) {
+  if (text.empty() || out == nullptr) return false;
+  char* end = nullptr;
+  const double base = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return false;
+  double multiplier = 1.0;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': multiplier = 1e3; break;
+      case 'M': multiplier = 1e6; break;
+      case 'B':
+      case 'G': multiplier = 1e9; break;
+      default: return false;
+    }
+    if (*(end + 1) != '\0') return false;
+  }
+  *out = static_cast<int64_t>(base * multiplier);
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace qlove

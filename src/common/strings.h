@@ -1,0 +1,38 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Small formatting helpers shared by the bench harness table printer and the
+// example applications.
+
+#ifndef QLOVE_COMMON_STRINGS_H_
+#define QLOVE_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlove {
+
+/// Formats a double with \p precision digits after the decimal point.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Formats a double in scientific notation with \p precision significant
+/// decimals (e.g. 3.46e-05), matching the paper's Table 5 style.
+std::string FormatScientific(double value, int precision = 2);
+
+/// Formats an integer with thousands separators: 16416 -> "16,416".
+std::string FormatWithCommas(int64_t value);
+
+/// Formats an element count the way the paper labels window sizes:
+/// 1000 -> "1K", 128000 -> "128K", 1000000 -> "1M", 2500 -> "2.5K".
+std::string FormatCount(int64_t value);
+
+/// Parses counts in the same shorthand: "128K" -> 128000, "1M" -> 1000000.
+/// Returns false on malformed input.
+bool ParseCount(const std::string& text, int64_t* out);
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace qlove
+
+#endif  // QLOVE_COMMON_STRINGS_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Monotonic stopwatch used by the throughput harness (§5 metrics: million
+// elements per second for a single thread).
+
+#ifndef QLOVE_COMMON_TIMER_H_
+#define QLOVE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qlove {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) timing.
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since the last Start().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since the last Start().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+/// \brief Converts an element count and elapsed time into the paper's
+/// throughput metric (million events per second, "M ev/s").
+inline double MillionEventsPerSecond(uint64_t events, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(events) / seconds / 1e6;
+}
+
+}  // namespace qlove
+
+#endif  // QLOVE_COMMON_TIMER_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Algorithm 1 (ComputeResult): answers l quantiles over a FrequencyTree in a
+// single in-order pass, visiting the smallest requested quantile first.
+// Shared by QLOVE Level 1 and the Exact baseline.
+
+#ifndef QLOVE_CONTAINER_TREE_QUANTILES_H_
+#define QLOVE_CONTAINER_TREE_QUANTILES_H_
+
+#include <vector>
+
+#include "container/frequency_tree.h"
+
+namespace qlove {
+
+/// \brief Computes the phi-quantiles of \p tree under the paper's rank
+/// definition r = ceil(phi * count), in one ascending traversal.
+///
+/// \p phis may be unordered; results align with the input order. Returns an
+/// empty vector when the tree is empty. Invalid phis (outside (0, 1]) yield
+/// the clamped boundary element rather than failing, because Algorithm 1 is
+/// on the hot path and initialization-time validation already rejects them.
+std::vector<double> MultiQuantileFromTree(const FrequencyTree& tree,
+                                          const std::vector<double>& phis);
+
+}  // namespace qlove
+
+#endif  // QLOVE_CONTAINER_TREE_QUANTILES_H_

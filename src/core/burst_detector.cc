@@ -1,0 +1,23 @@
+#include "core/burst_detector.h"
+
+#include "stats/mann_whitney.h"
+
+namespace qlove {
+namespace core {
+
+bool BurstDetector::IsBursty(const std::vector<double>& current,
+                             const std::vector<double>& previous) const {
+  if (current.size() < min_samples_ || previous.size() < min_samples_) {
+    return false;
+  }
+  auto result = stats::MannWhitneyU(current, previous);
+  if (!result.ok()) return false;  // degenerate (e.g. all values tied)
+  const stats::MannWhitneyResult& mw = result.ValueOrDie();
+  const double superiority =
+      mw.u_x / (static_cast<double>(current.size()) *
+                static_cast<double>(previous.size()));
+  return mw.p_x_greater < significance_ && superiority >= min_superiority_;
+}
+
+}  // namespace core
+}  // namespace qlove

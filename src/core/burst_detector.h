@@ -1,0 +1,50 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Burst detection (§4.3): "we identify if the sampled largest values in the
+// current sub-window are distributionally different and stochastically
+// larger than those in the adjacent former sub-window. We use an existing
+// methodology for it [22]" — the Mann-Whitney U test.
+
+#ifndef QLOVE_CORE_BURST_DETECTOR_H_
+#define QLOVE_CORE_BURST_DETECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qlove {
+namespace core {
+
+/// \brief Decides whether traffic turned bursty between two sub-windows.
+class BurstDetector {
+ public:
+  /// \p significance is the one-sided Mann-Whitney level (default 0.05).
+  /// \p min_samples guards against meaningless tests on tiny tails.
+  /// \p min_superiority is an effect-size guard: the estimated
+  /// P(current > previous) = U / (n*m) must reach this level. Statistical
+  /// significance alone is not enough — with hundreds of tail samples per
+  /// sub-window, negligible self-similar fluctuations become "significant"
+  /// and would keep the sample-k pipeline engaged on healthy traffic.
+  explicit BurstDetector(double significance = 0.05, size_t min_samples = 4,
+                         double min_superiority = 0.7)
+      : significance_(significance),
+        min_samples_(min_samples),
+        min_superiority_(min_superiority) {}
+
+  /// True when \p current is stochastically larger than \p previous at the
+  /// configured significance and effect size. Returns false when either
+  /// sample is too small or the test is degenerate (all ties).
+  bool IsBursty(const std::vector<double>& current,
+                const std::vector<double>& previous) const;
+
+  double significance() const { return significance_; }
+  double min_superiority() const { return min_superiority_; }
+
+ private:
+  double significance_;
+  size_t min_samples_;
+  double min_superiority_;
+};
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_BURST_DETECTOR_H_

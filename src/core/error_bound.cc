@@ -1,0 +1,58 @@
+#include "core/error_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/kde.h"
+#include "stats/normal.h"
+
+namespace qlove {
+namespace core {
+
+double TheoremOneBound(double phi, int64_t n, int64_t m, double density,
+                       double alpha) {
+  if (density <= 0.0 || n <= 0 || m <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double z = stats::NormalUpperCritical(alpha / 2.0);
+  return 2.0 * z * std::sqrt(phi * (1.0 - phi)) /
+         (std::sqrt(static_cast<double>(n) * static_cast<double>(m)) *
+          density);
+}
+
+DensityEstimator::DensityEstimator(int64_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(static_cast<size_t>(capacity_));
+}
+
+void DensityEstimator::Observe(double value) {
+  if (full_) {
+    ring_[static_cast<size_t>(next_)] = value;
+  } else {
+    ring_.push_back(value);
+  }
+  next_ = (next_ + 1) % capacity_;
+  if (!full_ && static_cast<int64_t>(ring_.size()) == capacity_) full_ = true;
+}
+
+Result<double> DensityEstimator::DensityAt(double x) const {
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("no values observed yet");
+  }
+  auto kde = stats::KernelDensity::Fit(ring_);
+  QLOVE_RETURN_NOT_OK(kde.status());
+  return kde.ValueOrDie().Density(x);
+}
+
+int64_t DensityEstimator::size() const {
+  return static_cast<int64_t>(ring_.size());
+}
+
+void DensityEstimator::Reset() {
+  ring_.clear();
+  next_ = 0;
+  full_ = false;
+}
+
+}  // namespace core
+}  // namespace qlove

@@ -1,0 +1,56 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Theorem 1 (Appendix A): with probability at least 1 - alpha, asymptotically
+//
+//   |ya - ye| <= 2 * z_{alpha/2} * sqrt(phi (1 - phi)) / (sqrt(n m) f(p_phi))
+//
+// where n = sub-windows per window, m = sub-window size, and f is the data
+// density at the phi-quantile. The density is unknown at runtime; QLOVE
+// estimates it with a KDE over a ring of recent raw values.
+
+#ifndef QLOVE_CORE_ERROR_BOUND_H_
+#define QLOVE_CORE_ERROR_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace core {
+
+/// \brief The Theorem-1 bound given a density value.
+///
+/// \p alpha is the failure probability (0.05 gives the paper's 2*1.96 form).
+/// Returns infinity when the density is non-positive (uninformative bound).
+double TheoremOneBound(double phi, int64_t n, int64_t m, double density,
+                       double alpha = 0.05);
+
+/// \brief Ring buffer of recent raw values with on-demand KDE density.
+class DensityEstimator {
+ public:
+  explicit DensityEstimator(int64_t capacity = 4096);
+
+  /// Records one raw value (O(1)).
+  void Observe(double value);
+
+  /// KDE density estimate at \p x from the retained values. Returns
+  /// FailedPrecondition before any value is observed.
+  Result<double> DensityAt(double x) const;
+
+  /// Number of retained values.
+  int64_t size() const;
+
+  /// Drops all retained values.
+  void Reset();
+
+ private:
+  std::vector<double> ring_;
+  int64_t capacity_;
+  int64_t next_ = 0;
+  bool full_ = false;
+};
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_ERROR_BOUND_H_

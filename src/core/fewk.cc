@@ -1,0 +1,137 @@
+#include "core/fewk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace qlove {
+namespace core {
+
+namespace {
+
+// ceil() guarded against binary round-off: 1 - 0.99 slightly exceeds 0.01 in
+// doubles, and a naive ceil would inflate N(1-phi) by one.
+int64_t CeilCount(double value) {
+  return static_cast<int64_t>(std::ceil(value - 1e-9));
+}
+
+}  // namespace
+
+FewKPlan PlanFewK(double phi, int64_t n, int64_t p, const FewKSizing& sizing) {
+  FewKPlan plan;
+  plan.phi = phi;
+  const double tail = static_cast<double>(n) * (1.0 - phi);
+  plan.tail_size = std::max<int64_t>(1, CeilCount(tail));
+  const int64_t quantile_rank =
+      std::clamp<int64_t>(CeilCount(phi * static_cast<double>(n)), 1, n);
+  plan.exact_tail_rank = n - quantile_rank + 1;
+
+  const double per_sub_tail = static_cast<double>(p) * (1.0 - phi);
+  plan.topk_enabled = per_sub_tail < static_cast<double>(sizing.ts);
+
+  if (sizing.topk_fraction > 0.0) {
+    // Fractional budgets round to nearest (the paper's fraction 0.1 of a
+    // 132-entry tail is "top-13", not 14).
+    plan.kt = std::max<int64_t>(
+        1, std::llround(sizing.topk_fraction *
+                        static_cast<double>(plan.tail_size)));
+  } else {
+    // §4.2 "Deciding kt": the per-sub-window share of the exact-answer
+    // requirement under evenly spread tails, i.e. P(1-phi).
+    plan.kt = std::max<int64_t>(1, CeilCount(per_sub_tail));
+  }
+  // A cache deeper than the exact tail rank can never improve the answer.
+  plan.kt = std::min(plan.kt, plan.exact_tail_rank);
+
+  if (sizing.samplek_fraction > 0.0) {
+    plan.alpha = std::min(1.0, sizing.samplek_fraction);
+    plan.ks = std::max<int64_t>(
+        1, std::llround(plan.alpha * static_cast<double>(plan.tail_size)));
+    plan.ks = std::min(plan.ks, plan.tail_size);
+  } else {
+    plan.alpha = 0.0;
+    plan.ks = 0;
+  }
+  return plan;
+}
+
+namespace {
+
+/// Cursor into one sub-window's descending tail list for heap merging.
+struct TailCursor {
+  double value = 0.0;
+  size_t list = 0;
+  size_t index = 0;
+  bool operator<(const TailCursor& other) const {
+    return value < other.value;  // max-heap on value
+  }
+};
+
+}  // namespace
+
+Result<double> MergeTopK(const std::vector<const TailCapture*>& tails,
+                         int64_t global_rank) {
+  // Per-sub-window top-k lists are descending; a k-way max-heap merge walks
+  // only to global_rank instead of sorting every cached pair — few-k runs
+  // on every window evaluation, so this is throughput-relevant (§5.3).
+  std::priority_queue<TailCursor> heap;
+  for (size_t l = 0; l < tails.size(); ++l) {
+    if (!tails[l]->topk.empty()) {
+      heap.push(TailCursor{tails[l]->topk[0].first, l, 0});
+    }
+  }
+  if (heap.empty()) {
+    return Status::FailedPrecondition("no top-k values cached");
+  }
+  int64_t running = 0;
+  double deepest = heap.top().value;
+  while (!heap.empty()) {
+    const TailCursor cursor = heap.top();
+    heap.pop();
+    deepest = cursor.value;
+    running += tails[cursor.list]->topk[cursor.index].second;
+    if (running >= global_rank) return cursor.value;
+    if (cursor.index + 1 < tails[cursor.list]->topk.size()) {
+      heap.push(TailCursor{tails[cursor.list]->topk[cursor.index + 1].first,
+                           cursor.list, cursor.index + 1});
+    }
+  }
+  return deepest;  // under-budget: deepest cached value
+}
+
+Result<double> MergeSampleK(const std::vector<const TailCapture*>& tails,
+                            double alpha, int64_t global_rank) {
+  if (alpha <= 0.0) {
+    return Status::InvalidArgument("sample-k disabled (alpha = 0)");
+  }
+  std::priority_queue<TailCursor> heap;
+  int64_t available = 0;
+  for (size_t l = 0; l < tails.size(); ++l) {
+    available += static_cast<int64_t>(tails[l]->samples.size());
+    if (!tails[l]->samples.empty()) {
+      heap.push(TailCursor{tails[l]->samples[0], l, 0});
+    }
+  }
+  if (heap.empty()) {
+    return Status::FailedPrecondition("no samples cached");
+  }
+  auto rank = static_cast<int64_t>(
+      std::ceil(alpha * static_cast<double>(global_rank)));
+  rank = std::clamp<int64_t>(rank, 1, available);
+  int64_t popped = 0;
+  double deepest = heap.top().value;
+  while (!heap.empty()) {
+    const TailCursor cursor = heap.top();
+    heap.pop();
+    deepest = cursor.value;
+    if (++popped >= rank) return cursor.value;
+    if (cursor.index + 1 < tails[cursor.list]->samples.size()) {
+      heap.push(TailCursor{tails[cursor.list]->samples[cursor.index + 1],
+                           cursor.list, cursor.index + 1});
+    }
+  }
+  return deepest;
+}
+
+}  // namespace core
+}  // namespace qlove

@@ -1,0 +1,69 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Few-k merging (§4): per-quantile tail handling. Top-k merging answers high
+// quantiles that are statistically inefficient at sub-window granularity
+// (P(1-phi) < Ts); sample-k merging answers them under bursty traffic.
+// Both work on the per-sub-window TailCaptures collected by Level 1.
+
+#ifndef QLOVE_CORE_FEWK_H_
+#define QLOVE_CORE_FEWK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/subwindow.h"
+
+namespace qlove {
+namespace core {
+
+/// \brief Per-quantile few-k sizing decided at operator initialization.
+struct FewKPlan {
+  double phi = 0.0;
+  int64_t tail_size = 0;  ///< N(1-phi): tail entries deciding the quantile.
+  /// The exact quantile's rank counted from the top: N - ceil(phi*N) + 1.
+  /// One deeper than tail_size whenever N(1-phi) is integral. Top-k merging
+  /// targets this rank; sample-k keeps the paper's N(1-phi) scaling, which
+  /// is robust when a burst inflates exactly the top N(1-phi) values.
+  int64_t exact_tail_rank = 0;
+  int64_t kt = 0;         ///< Per-sub-window top-k cache size.
+  int64_t ks = 0;         ///< Per-sub-window sample count.
+  bool topk_enabled = false;  ///< P(1-phi) < Ts (statistical inefficiency).
+  double alpha = 0.0;         ///< Sampling rate ks / tail_size.
+};
+
+/// \brief Few-k sizing knobs (see QloveOptions for defaults and semantics).
+struct FewKSizing {
+  /// kt = ceil(topk_fraction * N(1-phi)); <= 0 selects the paper's automatic
+  /// rule kt = max(1, ceil(P(1-phi))) (§4.2 "Deciding kt").
+  double topk_fraction = 0.0;
+  /// alpha: ks = ceil(samplek_fraction * N(1-phi)); 0 disables sample-k.
+  double samplek_fraction = 0.5;
+  /// Statistical-inefficiency threshold Ts (§4.3; the paper uses 10).
+  int64_t ts = 10;
+};
+
+/// Computes the few-k plan for one quantile under window size \p n and
+/// period \p p.
+FewKPlan PlanFewK(double phi, int64_t n, int64_t p, const FewKSizing& sizing);
+
+/// \brief Top-k merging (§4.2): merges every sub-window's top-kt list and
+/// returns the \p global_rank-th largest value (global_rank = N(1-phi)).
+/// When fewer than global_rank values were cached, the smallest cached value
+/// is returned (best effort under-budget behaviour). Returns
+/// FailedPrecondition when no values were cached at all.
+Result<double> MergeTopK(
+    const std::vector<const TailCapture*>& tails, int64_t global_rank);
+
+/// \brief Sample-k merging (§4.2): merges every sub-window's interval sample
+/// and returns the ceil(alpha * global_rank)-th largest sampled value,
+/// rescaling the rank to account for the sampling rate. Falls back to the
+/// smallest sample when the merged sample is too small; FailedPrecondition
+/// when empty.
+Result<double> MergeSampleK(
+    const std::vector<const TailCapture*>& tails, double alpha,
+    int64_t global_rank);
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_FEWK_H_

@@ -1,0 +1,76 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Level 2 of QLOVE (§3.1): the sliding window over sub-window summaries.
+// Per requested quantile it keeps an incremental {sum, count} — "the logic
+// for aggregating all sub-window summaries is almost identical to the
+// incremental evaluation for the average" — so Accumulate and Deaccumulate
+// are O(l) and ComputeResult is l divisions, independent of window size.
+
+#ifndef QLOVE_CORE_LEVEL2_H_
+#define QLOVE_CORE_LEVEL2_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qlove {
+namespace core {
+
+/// \brief Mean aggregation of sub-window quantiles (CLT estimator ya).
+class Level2Aggregator {
+ public:
+  explicit Level2Aggregator(size_t num_quantiles = 0) { Reset(num_quantiles); }
+
+  /// Clears state for \p num_quantiles quantiles.
+  void Reset(size_t num_quantiles) {
+    sums_.assign(num_quantiles, 0.0);
+    count_ = 0;
+  }
+
+  /// Adds one sub-window's quantile vector (aligned with the phi order).
+  void Accumulate(const std::vector<double>& subwindow_quantiles) {
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      sums_[i] += subwindow_quantiles[i];
+    }
+    ++count_;
+  }
+
+  /// Removes an expired sub-window's quantile vector.
+  void Deaccumulate(const std::vector<double>& subwindow_quantiles) {
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      sums_[i] -= subwindow_quantiles[i];
+    }
+    --count_;
+  }
+
+  /// The aggregated estimate ya = (1/n) * sum of sub-window quantiles.
+  std::vector<double> ComputeResult() const {
+    std::vector<double> means(sums_.size(), 0.0);
+    if (count_ <= 0) return means;
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      means[i] = sums_[i] / static_cast<double>(count_);
+    }
+    return means;
+  }
+
+  /// Mean for a single quantile index.
+  double MeanAt(size_t index) const {
+    return count_ > 0 ? sums_[index] / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Number of live sub-window summaries (n in Theorem 1).
+  int64_t count() const { return count_; }
+
+  /// Scalars held: one sum per quantile plus the shared count.
+  int64_t SpaceVariables() const {
+    return static_cast<int64_t>(sums_.size()) + 1;
+  }
+
+ private:
+  std::vector<double> sums_;
+  int64_t count_ = 0;
+};
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_LEVEL2_H_

@@ -1,0 +1,149 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// QLOVE: approximate Quantiles with LOw Value Error (the paper's core
+// contribution). Two-level hierarchical processing — Level 1 computes exact
+// quantiles per sub-window over a frequency-compressed tree (Algorithm 1);
+// Level 2 averages sub-window quantiles across the sliding window (CLT,
+// Theorem 1). High quantiles are corrected by few-k merging (§4): top-k
+// merging under statistical inefficiency and sample-k merging under bursty
+// traffic, selected at runtime by a Mann-Whitney burst detector (§4.3).
+
+#ifndef QLOVE_CORE_QLOVE_H_
+#define QLOVE_CORE_QLOVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "container/frequency_tree.h"
+#include "core/burst_detector.h"
+#include "core/error_bound.h"
+#include "core/fewk.h"
+#include "core/level2.h"
+#include "core/quantizer.h"
+#include "core/subwindow.h"
+#include "stream/quantile_operator.h"
+
+namespace qlove {
+namespace core {
+
+/// \brief Which pipeline produced a quantile estimate (§4.3 "Selecting
+/// outcomes").
+enum class OutcomeSource {
+  kLevel2 = 0,   ///< Sub-window mean (non-high quantiles, §3).
+  kTopK = 1,     ///< Top-k merging (statistical inefficiency, §4.2).
+  kSampleK = 2,  ///< Sample-k merging (bursty traffic, §4.2).
+};
+
+/// Human-readable source name.
+const char* OutcomeSourceName(OutcomeSource source);
+
+/// \brief QLOVE configuration.
+struct QloveOptions {
+  /// Significant decimal digits kept by value quantization (§3.1);
+  /// <= 0 disables quantization. The paper's default is 3 (< 1% error).
+  int quantizer_digits = 3;
+
+  /// Master switch for few-k merging (§4). Table 2 reports QLOVE with this
+  /// disabled.
+  bool enable_fewk = true;
+
+  /// Quantiles phi >= this threshold get tail machinery (top-k / sample-k).
+  /// The paper treats Q0.99 and Q0.999 as "high".
+  double high_quantile_threshold = 0.99;
+
+  /// Few-k sizing (kt / ks / Ts); see FewKSizing.
+  FewKSizing fewk;
+
+  /// One-sided Mann-Whitney significance for burst detection (§4.3).
+  double burst_significance = 0.05;
+
+  /// Effect-size floor for burst detection: estimated P(current > previous)
+  /// must reach this level (see BurstDetector).
+  double burst_min_superiority = 0.7;
+
+  /// Enables the Theorem-1 error-bound estimator (keeps a ring of recent raw
+  /// values for KDE density estimation; costs one store per element).
+  bool enable_error_bounds = false;
+
+  /// Ring capacity for the density estimator.
+  int64_t density_reservoir_capacity = 4096;
+};
+
+/// \brief The QLOVE quantile operator.
+class QloveOperator final : public QuantileOperator {
+ public:
+  explicit QloveOperator(QloveOptions options = {});
+
+  Status Initialize(const WindowSpec& spec,
+                    const std::vector<double>& phis) override;
+  void Add(double value) override;
+  void OnSubWindowBoundary() override;
+  std::vector<double> ComputeQuantiles() override;
+  int64_t ObservedSpaceVariables() const override { return peak_space_; }
+  int64_t AnalyticalSpaceVariables() const override;
+  std::string Name() const override { return "QLOVE"; }
+  void Reset() override;
+
+  /// \name QLOVE-specific diagnostics
+  /// @{
+
+  /// Theorem-1 error bounds for the latest estimates, one per phi.
+  /// Requires options.enable_error_bounds; returns +infinity entries
+  /// otherwise (the bound is uninformative without a density estimate).
+  std::vector<double> ErrorBounds(double alpha = 0.05) const;
+
+  /// Which pipeline produced each estimate of the last ComputeQuantiles.
+  const std::vector<OutcomeSource>& LastOutcomeSources() const {
+    return last_sources_;
+  }
+
+  /// The last estimates returned by ComputeQuantiles.
+  const std::vector<double>& LastEstimates() const { return last_estimates_; }
+
+  /// True when any sub-window in the current window was flagged bursty.
+  bool BurstActiveInWindow() const;
+
+  /// Few-k plan for the phi at \p index; nullptr for non-high quantiles.
+  const FewKPlan* PlanForQuantile(size_t index) const;
+
+  /// The configured options (tests).
+  const QloveOptions& options() const { return options_; }
+
+  /// @}
+
+ private:
+  int64_t CurrentSpace() const;
+
+  QloveOptions options_;
+  WindowSpec spec_;
+  std::vector<double> phis_;
+  Quantizer quantizer_;
+
+  // Level 1: in-flight sub-window.
+  FrequencyTree inflight_;
+  int64_t inflight_count_ = 0;
+
+  // Level 2: summaries of completed sub-windows within the window.
+  std::deque<SubWindowSummary> summaries_;
+  Level2Aggregator level2_;
+  int64_t summaries_space_ = 0;
+
+  // Few-k: per-high-quantile plans; high_index_[i] maps phi index -> plan
+  // index (-1 for non-high quantiles).
+  std::vector<int> high_index_;
+  std::vector<FewKPlan> plans_;
+  int detection_plan_ = -1;  // plan whose samples feed burst detection
+  BurstDetector burst_detector_;
+  std::vector<double> prev_burst_sample_;
+
+  DensityEstimator density_;
+  std::vector<double> last_estimates_;
+  std::vector<OutcomeSource> last_sources_;
+  int64_t peak_space_ = 0;
+};
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_QLOVE_H_

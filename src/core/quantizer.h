@@ -1,0 +1,64 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Value quantization (§3.1): "to increase data duplicates, some
+// insignificant low-order digits of streamed values may be zeroed out.
+// Often, we consider only the three most significant digits of the original
+// value, which ensures the quantized value within less than 1% relative
+// error."
+
+#ifndef QLOVE_CORE_QUANTIZER_H_
+#define QLOVE_CORE_QUANTIZER_H_
+
+#include <cmath>
+
+namespace qlove {
+
+/// \brief Rounds values to a fixed number of significant decimal digits.
+class Quantizer {
+ public:
+  /// \p significant_digits <= 0 disables quantization (identity).
+  explicit Quantizer(int significant_digits = 3)
+      : digits_(significant_digits) {}
+
+  /// Quantizes \p value, preserving sign. Relative error is at most
+  /// 0.5 * 10^(1 - digits) (0.5% for the default 3 digits).
+  ///
+  /// Hot path: telemetry magnitudes (|v| in [1, 1e12)) find their decade by
+  /// comparison against a precomputed table instead of log10/pow, keeping
+  /// the per-element cost a few nanoseconds (§3.1 runs this on every event).
+  double Quantize(double value) const {
+    if (digits_ <= 0 || value == 0.0 || !std::isfinite(value)) return value;
+    const double magnitude = std::fabs(value);
+    if (magnitude >= 1.0 && magnitude < 1e12 && digits_ <= 12) {
+      int decade = 0;
+      while (magnitude >= PowerOfTen(decade + 1)) ++decade;
+      const double scale = PowerOfTen(decade - digits_ + 1);
+      return std::round(value / scale) * scale;
+    }
+    const double exponent = std::floor(std::log10(magnitude));
+    const double scale = std::pow(10.0, exponent - digits_ + 1);
+    return std::round(value / scale) * scale;
+  }
+
+  double operator()(double value) const { return Quantize(value); }
+
+  /// True when quantization is a no-op.
+  bool disabled() const { return digits_ <= 0; }
+
+  int significant_digits() const { return digits_; }
+
+ private:
+  /// 10^i for i in [-12, 13] without calling pow().
+  static double PowerOfTen(int i) {
+    static constexpr double kPowers[] = {
+        1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4,
+        1e-3,  1e-2,  1e-1,  1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+        1e6,   1e7,   1e8,   1e9,  1e10, 1e11, 1e12, 1e13};
+    return kPowers[i + 12];
+  }
+
+  int digits_;
+};
+
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_QUANTIZER_H_

@@ -1,0 +1,43 @@
+#include "core/subwindow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlove {
+namespace core {
+
+std::vector<std::pair<double, int64_t>> ExtractTopK(const FrequencyTree& tree,
+                                                    int64_t kt) {
+  return tree.LargestK(kt);
+}
+
+std::vector<double> IntervalSampleTop(const FrequencyTree& tree,
+                                      int64_t tail_size, int64_t ks) {
+  std::vector<double> samples;
+  if (tail_size <= 0 || ks <= 0) return samples;
+  ks = std::min(ks, tail_size);
+  samples.reserve(static_cast<size_t>(ks));
+
+  // Target ranks j * (tail_size / ks) for j = 1..ks, walked in one
+  // descending traversal (rank 1 = largest value).
+  const double interval =
+      static_cast<double>(tail_size) / static_cast<double>(ks);
+  int64_t next_sample = 1;
+  auto target_rank = [&](int64_t j) {
+    return static_cast<int64_t>(
+        std::llround(static_cast<double>(j) * interval));
+  };
+  int64_t running = 0;
+  tree.InOrderDescending([&](double value, int64_t count) {
+    running += count;
+    while (next_sample <= ks && running >= target_rank(next_sample)) {
+      samples.push_back(value);
+      ++next_sample;
+    }
+    return next_sample <= ks && running < tail_size;
+  });
+  return samples;
+}
+
+}  // namespace core
+}  // namespace qlove

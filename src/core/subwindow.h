@@ -1,0 +1,66 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Level 1 of QLOVE (§3.1): the in-flight sub-window keeps a frequency-
+// compressed sorted state (Algorithm 1) and, at the period boundary, is
+// distilled into a small summary: the exact sub-window quantiles plus the
+// few-k tail material (top-k lists and interval samples, §4).
+
+#ifndef QLOVE_CORE_SUBWINDOW_H_
+#define QLOVE_CORE_SUBWINDOW_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "container/frequency_tree.h"
+
+namespace qlove {
+namespace core {
+
+/// \brief Per-quantile tail material captured from one sub-window.
+struct TailCapture {
+  /// The sub-window's kt largest values as {value, count}, descending.
+  std::vector<std::pair<double, int64_t>> topk;
+  /// Interval sample of the sub-window's N(1-phi) largest values (ks values,
+  /// descending rank order).
+  std::vector<double> samples;
+};
+
+/// \brief The finalized summary of one sub-window.
+struct SubWindowSummary {
+  /// Exact sub-window quantiles, aligned with the operator's phi order.
+  std::vector<double> quantiles;
+  /// Tail material, aligned with the operator's *high* quantile list
+  /// (empty when few-k is disabled).
+  std::vector<TailCapture> tails;
+  /// True when the burst detector flagged this sub-window (§4.3).
+  bool bursty = false;
+  /// Number of elements in the sub-window (m in Theorem 1).
+  int64_t count = 0;
+
+  /// Scalars stored by this summary (space accounting).
+  int64_t SpaceVariables() const {
+    int64_t space = static_cast<int64_t>(quantiles.size()) + 1;
+    for (const TailCapture& tail : tails) {
+      space += static_cast<int64_t>(tail.topk.size()) * 2 +
+               static_cast<int64_t>(tail.samples.size());
+    }
+    return space;
+  }
+};
+
+/// \brief Extracts the kt largest values of \p tree as {value, count} pairs
+/// in descending order (counting multiplicity, last pair clipped).
+std::vector<std::pair<double, int64_t>> ExtractTopK(const FrequencyTree& tree,
+                                                    int64_t kt);
+
+/// \brief Interval-samples the top \p tail_size elements of \p tree down to
+/// \p ks values (§4.2 sample-k: "picks every i-th element on the ranked
+/// values"). Returned values are in descending rank order; the sampling
+/// interval is tail_size / ks.
+std::vector<double> IntervalSampleTop(const FrequencyTree& tree,
+                                      int64_t tail_size, int64_t ks);
+
+}  // namespace core
+}  // namespace qlove
+
+#endif  // QLOVE_CORE_SUBWINDOW_H_

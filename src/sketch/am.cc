@@ -1,0 +1,263 @@
+#include "sketch/am.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlove {
+namespace sketch {
+
+AmOperator::AmOperator(AmOptions options) : options_(options) {}
+
+Status AmOperator::Initialize(const WindowSpec& spec,
+                              const std::vector<double>& phis) {
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+  if (phis.empty()) {
+    return Status::InvalidArgument("at least one quantile is required");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must lie in (0, 1)");
+  }
+  spec_ = spec;
+  phis_ = phis;
+
+  // Base block size: the largest divisor of the period not exceeding
+  // epsilon*N/2, so blocks align with window edges (window boundaries always
+  // fall on period multiples) and misalignment slack is zero.
+  const auto target = static_cast<int64_t>(
+      std::floor(options_.epsilon * static_cast<double>(spec.size) / 2.0));
+  base_block_ = 1;
+  for (int64_t d = std::min(spec.period, std::max<int64_t>(1, target));
+       d >= 1; --d) {
+    if (spec.period % d == 0) {
+      base_block_ = d;
+      break;
+    }
+  }
+
+  // Per-block summary capacity: a block of b elements compressed to c
+  // entries has rank slack b/(2c) <= b * epsilon / 4 with c = 2/epsilon, so
+  // a disjoint tiling of the window accumulates at most N * epsilon / 4
+  // (recompression across levels consumes the remaining budget).
+  capacity_ = std::max<int64_t>(
+      2, static_cast<int64_t>(std::ceil(2.0 / options_.epsilon)));
+
+  int n_levels = 1;
+  while (base_block_ * (int64_t{1} << n_levels) <= spec.size) ++n_levels;
+
+  levels_.assign(static_cast<size_t>(n_levels), {});
+  raw_.clear();
+  raw_.reserve(static_cast<size_t>(base_block_));
+  raw_start_ = 0;
+  seen_ = 0;
+  total_entries_ = 0;
+  peak_space_ = 0;
+  return Status::OK();
+}
+
+void AmOperator::Add(double value) {
+  raw_.push_back(value);
+  ++seen_;
+  if (static_cast<int64_t>(raw_.size()) == base_block_) SealBaseBlock();
+  const int64_t space = CurrentSpace();
+  if (space > peak_space_) peak_space_ = space;
+}
+
+std::vector<WeightedValue> AmOperator::Recompress(
+    const std::vector<WeightedValue>& sorted_entries) const {
+  int64_t total = 0;
+  for (const auto& [value, weight] : sorted_entries) total += weight;
+  std::vector<WeightedValue> out;
+  if (total == 0) return out;
+
+  // Target ranks: equi-spaced over the body plus a geometric ladder that
+  // keeps the largest values at near-exact resolution. Without the ladder a
+  // block's whole tail collapses into one entry and high quantiles on
+  // skewed data inherit block-sized rank noise (§1's rank-vs-value-error
+  // effect, which would exaggerate AM's tail error far beyond the paper's).
+  std::vector<int64_t> ranks;
+  const int64_t c = std::min<int64_t>(
+      capacity_, static_cast<int64_t>(sorted_entries.size()));
+  ranks.reserve(static_cast<size_t>(c) + 48);
+  for (int64_t i = 1; i <= c; ++i) {
+    ranks.push_back(static_cast<int64_t>(
+        std::ceil(static_cast<double>(i) * static_cast<double>(total) /
+                  static_cast<double>(c))));
+  }
+  int64_t offset = 0;  // offset from the top: rank = total - offset
+  while (offset < total) {
+    ranks.push_back(total - offset);
+    offset = offset < 4 ? offset + 1 : offset * 2 + 1;
+  }
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+
+  // The rank list defines cell EDGES; each emitted entry carries the value
+  // at its cell's midpoint rank. Midpoint-valued cells keep cross-block
+  // merges unbiased: a value sitting at a cell END rank would make every
+  // other block undercount its partial cell, compounding into a systematic
+  // rank overshoot proportional to the block count.
+  out.reserve(ranks.size());
+  int64_t covered = 0;
+  size_t cursor = 0;
+  int64_t running = 0;  // cumulative weight before sorted_entries[cursor]
+  auto value_at_rank = [&](int64_t rank) {
+    while (cursor < sorted_entries.size() &&
+           running + sorted_entries[cursor].second < rank) {
+      running += sorted_entries[cursor].second;
+      ++cursor;
+    }
+    return cursor < sorted_entries.size() ? sorted_entries[cursor].first
+                                          : sorted_entries.back().first;
+  };
+  for (int64_t edge : ranks) {
+    const int64_t midpoint = (covered + 1 + edge) / 2;
+    out.emplace_back(value_at_rank(midpoint), edge - covered);
+    covered = edge;
+  }
+  return out;
+}
+
+void AmOperator::SealBaseBlock() {
+  std::sort(raw_.begin(), raw_.end());
+  std::vector<WeightedValue> entries;
+  entries.reserve(raw_.size());
+  for (double v : raw_) entries.emplace_back(v, 1);
+  Block block;
+  block.start = raw_start_;
+  block.entries = Recompress(entries);
+  total_entries_ += static_cast<int64_t>(block.entries.size());
+  levels_[0].push_back(std::move(block));
+  raw_start_ += base_block_;
+  raw_.clear();
+  CascadeMerge(0);
+}
+
+void AmOperator::CascadeMerge(int level) {
+  if (level + 1 >= static_cast<int>(levels_.size())) return;
+  const int64_t block_size = base_block_ << level;
+  auto& deque = levels_[static_cast<size_t>(level)];
+  if (deque.size() < 2) return;
+  const Block& second = deque.back();
+  // A parent is created exactly when the odd-indexed child completes.
+  if ((second.start / block_size) % 2 != 1) return;
+  const Block* first = FindBlock(level, second.start - block_size);
+  if (first == nullptr) return;
+
+  std::vector<WeightedValue> merged;
+  merged.reserve(first->entries.size() + second.entries.size());
+  std::merge(first->entries.begin(), first->entries.end(),
+             second.entries.begin(), second.entries.end(),
+             std::back_inserter(merged));
+  Block parent;
+  parent.start = first->start;
+  parent.entries = Recompress(merged);
+  total_entries_ += static_cast<int64_t>(parent.entries.size());
+  levels_[static_cast<size_t>(level + 1)].push_back(std::move(parent));
+  CascadeMerge(level + 1);
+}
+
+void AmOperator::ExpireBlocks() {
+  const int64_t window_start = seen_ - spec_.size;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const int64_t block_size = base_block_ << l;
+    auto& deque = levels_[l];
+    while (!deque.empty() &&
+           deque.front().start + block_size <= window_start) {
+      total_entries_ -= static_cast<int64_t>(deque.front().entries.size());
+      deque.pop_front();
+    }
+  }
+}
+
+void AmOperator::OnSubWindowBoundary() { ExpireBlocks(); }
+
+const AmOperator::Block* AmOperator::FindBlock(int level,
+                                               int64_t start) const {
+  const auto& deque = levels_[static_cast<size_t>(level)];
+  auto it = std::lower_bound(
+      deque.begin(), deque.end(), start,
+      [](const Block& b, int64_t s) { return b.start < s; });
+  if (it == deque.end() || it->start != start) return nullptr;
+  return &*it;
+}
+
+std::vector<double> AmOperator::ComputeQuantiles() {
+  // Tile [seen - N, raw_start_) greedily with the largest aligned completed
+  // blocks (capped at 4 * b0, trading a slightly larger merge for block
+  // granularity that recompression has not yet coarsened), then append the
+  // in-flight raw elements.
+  int tile_cap = 0;
+  while (tile_cap + 1 < static_cast<int>(levels_.size()) &&
+         (base_block_ << (tile_cap + 1)) <= base_block_ * 4) {
+    ++tile_cap;
+  }
+  std::vector<WeightedValue> merged;
+  int64_t pos = std::max<int64_t>(0, seen_ - spec_.size);
+  while (pos < raw_start_) {
+    const Block* chosen = nullptr;
+    int64_t chosen_size = 0;
+    for (int l = tile_cap; l >= 0; --l) {
+      const int64_t block_size = base_block_ << l;
+      if (pos % block_size != 0 || pos + block_size > raw_start_) continue;
+      const Block* block = FindBlock(l, pos);
+      if (block != nullptr) {
+        chosen = block;
+        chosen_size = block_size;
+        break;
+      }
+    }
+    if (chosen == nullptr) break;  // cannot happen after warmup
+    merged.insert(merged.end(), chosen->entries.begin(),
+                  chosen->entries.end());
+    pos += chosen_size;
+  }
+  for (double v : raw_) merged.emplace_back(v, 1);
+
+  std::vector<double> results;
+  results.reserve(phis_.size());
+  for (double phi : phis_) {
+    // kExact: entries are midpoint-valued cells, so returning the cell that
+    // contains the rank gives a centered (at most half-cell) error.
+    auto r = WeightedQuantileQuery(&merged, phi, RankSemantics::kExact);
+    results.push_back(r.ok() ? r.ValueOrDie() : 0.0);
+  }
+  return results;
+}
+
+int64_t AmOperator::CurrentSpace() const {
+  // Completed entries carry 2 scalars; in-flight raw values carry 1.
+  return total_entries_ * 2 + static_cast<int64_t>(raw_.size());
+}
+
+int64_t AmOperator::AnalyticalSpaceVariables() const {
+  double entries = 0.0;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const double blocks_in_window =
+        static_cast<double>(spec_.size) /
+            static_cast<double>(base_block_ << l) +
+        1.0;
+    // capacity_ equi-spaced entries plus the ~log-sized tail ladder.
+    const double ladder =
+        4.0 + std::log2(static_cast<double>(base_block_ << l));
+    entries += blocks_in_window * (static_cast<double>(capacity_) + ladder);
+  }
+  return static_cast<int64_t>(entries * 2.0 +
+                              static_cast<double>(base_block_));
+}
+
+void AmOperator::Reset() {
+  for (auto& deque : levels_) deque.clear();
+  raw_.clear();
+  raw_start_ = 0;
+  seen_ = 0;
+  total_entries_ = 0;
+  peak_space_ = 0;
+}
+
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,82 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// AM baseline: Arasu & Manku, "Approximate Counts and Quantiles over Sliding
+// Windows" (PODS 2004). Deterministic epsilon*N rank error via a dyadic
+// hierarchy of block summaries: level-l blocks cover 2^l base blocks; a
+// window query is tiled with the largest completed blocks that fit, so only
+// O(log(N/b0)) summaries are merged per evaluation while expiry discards
+// whole blocks (no per-element deaccumulation).
+
+#ifndef QLOVE_SKETCH_AM_H_
+#define QLOVE_SKETCH_AM_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sketch/weighted_merge.h"
+#include "stream/quantile_operator.h"
+
+namespace qlove {
+namespace sketch {
+
+/// \brief AM configuration.
+struct AmOptions {
+  /// Rank error bound: answers are within epsilon * N ranks.
+  double epsilon = 0.02;
+};
+
+/// \brief Dyadic-level sliding-window quantile summary.
+class AmOperator final : public QuantileOperator {
+ public:
+  explicit AmOperator(AmOptions options = {});
+
+  Status Initialize(const WindowSpec& spec,
+                    const std::vector<double>& phis) override;
+  void Add(double value) override;
+  void OnSubWindowBoundary() override;
+  std::vector<double> ComputeQuantiles() override;
+  int64_t ObservedSpaceVariables() const override { return peak_space_; }
+  int64_t AnalyticalSpaceVariables() const override;
+  std::string Name() const override { return "AM"; }
+  void Reset() override;
+
+  /// Base block size chosen at Initialize (divides the period; tests).
+  int64_t base_block_size() const { return base_block_; }
+  /// Number of dyadic levels.
+  int levels() const { return static_cast<int>(levels_.size()); }
+
+ private:
+  struct Block {
+    int64_t start = 0;  // global index of the first covered element
+    std::vector<WeightedValue> entries;  // ascending by value
+  };
+
+  /// Equi-rank recompression of a sorted weighted multiset to `capacity_`.
+  std::vector<WeightedValue> Recompress(
+      const std::vector<WeightedValue>& sorted_entries) const;
+
+  /// Finalizes the in-flight raw buffer into a level-0 block and cascades
+  /// parent merges.
+  void SealBaseBlock();
+  void CascadeMerge(int level);
+  void ExpireBlocks();
+  int64_t CurrentSpace() const;
+  const Block* FindBlock(int level, int64_t start) const;
+
+  AmOptions options_;
+  WindowSpec spec_;
+  std::vector<double> phis_;
+  int64_t base_block_ = 0;   // b0, divides the period
+  int64_t capacity_ = 0;     // entries per block summary
+  std::vector<std::deque<Block>> levels_;
+  std::vector<double> raw_;  // in-flight base block
+  int64_t raw_start_ = 0;    // global index of raw_[0]
+  int64_t seen_ = 0;
+  int64_t total_entries_ = 0;
+  int64_t peak_space_ = 0;
+};
+
+}  // namespace sketch
+}  // namespace qlove
+
+#endif  // QLOVE_SKETCH_AM_H_

@@ -1,0 +1,32 @@
+#include "sketch/exact.h"
+
+#include "container/tree_quantiles.h"
+
+namespace qlove {
+namespace sketch {
+
+Status ExactOperator::Initialize(const WindowSpec& spec,
+                                 const std::vector<double>& phis) {
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+  if (phis.empty()) {
+    return Status::InvalidArgument("at least one quantile is required");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  spec_ = spec;
+  phis_ = phis;
+  tree_.Clear();
+  return Status::OK();
+}
+
+std::vector<double> ExactOperator::ComputeQuantiles() {
+  auto results = MultiQuantileFromTree(tree_, phis_);
+  if (results.empty()) results.assign(phis_.size(), 0.0);
+  return results;
+}
+
+}  // namespace sketch
+}  // namespace qlove

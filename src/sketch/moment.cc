@@ -1,0 +1,634 @@
+#include "sketch/moment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlove {
+namespace sketch {
+
+Status SymmetricTridiagonalEigen(std::vector<double> diag,
+                                 std::vector<double> offdiag,
+                                 std::vector<double>* eigenvalues,
+                                 std::vector<double>* first_components) {
+  const int n = static_cast<int>(diag.size());
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  if (static_cast<int>(offdiag.size()) != n - 1 && n > 1) {
+    return Status::InvalidArgument("offdiag must have size n-1");
+  }
+  // z holds the first row of the accumulating orthogonal transform — all we
+  // need for quadrature weights (Golub-Welsch).
+  std::vector<double> z(static_cast<size_t>(n), 0.0);
+  z[0] = 1.0;
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n - 1; ++i) e[static_cast<size_t>(i)] = offdiag[static_cast<size_t>(i)];
+
+  for (int l = 0; l < n; ++l) {
+    int iterations = 0;
+    for (;;) {
+      int m = l;
+      while (m < n - 1) {
+        const double dd = std::fabs(diag[static_cast<size_t>(m)]) +
+                          std::fabs(diag[static_cast<size_t>(m + 1)]);
+        if (std::fabs(e[static_cast<size_t>(m)]) <=
+            1e-15 * dd + 1e-300) {
+          break;
+        }
+        ++m;
+      }
+      if (m == l) break;
+      if (++iterations > 60) {
+        return Status::Internal("tridiagonal QL failed to converge");
+      }
+      double g = (diag[static_cast<size_t>(l + 1)] -
+                  diag[static_cast<size_t>(l)]) /
+                 (2.0 * e[static_cast<size_t>(l)]);
+      double r = std::hypot(g, 1.0);
+      g = diag[static_cast<size_t>(m)] - diag[static_cast<size_t>(l)] +
+          e[static_cast<size_t>(l)] /
+              (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (int i = m - 1; i >= l; --i) {
+        double f = s * e[static_cast<size_t>(i)];
+        const double b = c * e[static_cast<size_t>(i)];
+        r = std::hypot(f, g);
+        e[static_cast<size_t>(i + 1)] = r;
+        if (r == 0.0) {
+          diag[static_cast<size_t>(i + 1)] -= p;
+          e[static_cast<size_t>(m)] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = diag[static_cast<size_t>(i + 1)] - p;
+        r = (diag[static_cast<size_t>(i)] - g) * s + 2.0 * c * b;
+        p = s * r;
+        diag[static_cast<size_t>(i + 1)] = g + p;
+        g = c * r - b;
+        // Rotate the tracked first row.
+        f = z[static_cast<size_t>(i + 1)];
+        z[static_cast<size_t>(i + 1)] = s * z[static_cast<size_t>(i)] + c * f;
+        z[static_cast<size_t>(i)] = c * z[static_cast<size_t>(i)] - s * f;
+      }
+      if (r == 0.0 && m - 1 >= l) continue;
+      diag[static_cast<size_t>(l)] -= p;
+      e[static_cast<size_t>(l)] = g;
+      e[static_cast<size_t>(m)] = 0.0;
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting the first-row components.
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return diag[static_cast<size_t>(a)] < diag[static_cast<size_t>(b)];
+  });
+  eigenvalues->resize(static_cast<size_t>(n));
+  first_components->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    (*eigenvalues)[static_cast<size_t>(i)] =
+        diag[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    (*first_components)[static_cast<size_t>(i)] =
+        z[static_cast<size_t>(order[static_cast<size_t>(i)])];
+  }
+  return Status::OK();
+}
+
+Status GaussQuadratureFromMoments(const std::vector<double>& moments, int n,
+                                  std::vector<double>* nodes,
+                                  std::vector<double>* weights) {
+  if (n < 1) return Status::InvalidArgument("need at least one node");
+  if (static_cast<int>(moments.size()) < 2 * n + 1) {
+    return Status::InvalidArgument("need moments m[0..2n]");
+  }
+  // Cholesky of the (n+1) x (n+1) Hankel moment matrix M[i][j] = m[i+j].
+  // Only rows 0..n-1 of the factor are needed by the recurrence below (the
+  // last pivot is unused), which keeps exactly-n-atom distributions — whose
+  // full Hankel matrix is singular — invertible.
+  const int dim = n + 1;
+  std::vector<std::vector<double>> r(
+      static_cast<size_t>(dim), std::vector<double>(static_cast<size_t>(dim), 0.0));
+  for (int i = 0; i < dim - 1; ++i) {
+    for (int j = i; j < dim; ++j) {
+      double sum = moments[static_cast<size_t>(i + j)];
+      for (int t = 0; t < i; ++t) {
+        sum -= r[static_cast<size_t>(t)][static_cast<size_t>(i)] *
+               r[static_cast<size_t>(t)][static_cast<size_t>(j)];
+      }
+      if (i == j) {
+        if (sum <= 1e-14) {
+          return Status::Internal(
+              "moment matrix not numerically positive definite");
+        }
+        r[static_cast<size_t>(i)][static_cast<size_t>(j)] = std::sqrt(sum);
+      } else {
+        r[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            sum / r[static_cast<size_t>(i)][static_cast<size_t>(i)];
+      }
+    }
+  }
+  // Golub-Welsch recurrence coefficients from the Cholesky factor.
+  std::vector<double> alpha(static_cast<size_t>(n), 0.0);
+  std::vector<double> beta;
+  for (int j = 0; j < n; ++j) {
+    double a = r[static_cast<size_t>(j)][static_cast<size_t>(j + 1)] /
+               r[static_cast<size_t>(j)][static_cast<size_t>(j)];
+    if (j > 0) {
+      a -= r[static_cast<size_t>(j - 1)][static_cast<size_t>(j)] /
+           r[static_cast<size_t>(j - 1)][static_cast<size_t>(j - 1)];
+    }
+    alpha[static_cast<size_t>(j)] = a;
+    if (j > 0) {
+      beta.push_back(r[static_cast<size_t>(j)][static_cast<size_t>(j)] /
+                     r[static_cast<size_t>(j - 1)][static_cast<size_t>(j - 1)]);
+    }
+  }
+  std::vector<double> first_row;
+  QLOVE_RETURN_NOT_OK(
+      SymmetricTridiagonalEigen(alpha, beta, nodes, &first_row));
+  weights->resize(nodes->size());
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    (*weights)[i] = first_row[i] * first_row[i] * moments[0];
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Solves the dense symmetric system H x = b in place via Gaussian
+/// elimination with partial pivoting. Returns false on a (near-)singular
+/// pivot.
+bool SolveLinearSystem(std::vector<std::vector<double>> h,
+                       std::vector<double> b, std::vector<double>* x) {
+  const int n = static_cast<int>(b.size());
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::fabs(h[static_cast<size_t>(row)][static_cast<size_t>(col)]) >
+          std::fabs(h[static_cast<size_t>(pivot)][static_cast<size_t>(col)])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(h[static_cast<size_t>(pivot)][static_cast<size_t>(col)]) <
+        1e-300) {
+      return false;
+    }
+    std::swap(h[static_cast<size_t>(col)], h[static_cast<size_t>(pivot)]);
+    std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    for (int row = col + 1; row < n; ++row) {
+      const double factor =
+          h[static_cast<size_t>(row)][static_cast<size_t>(col)] /
+          h[static_cast<size_t>(col)][static_cast<size_t>(col)];
+      if (factor == 0.0) continue;
+      for (int c2 = col; c2 < n; ++c2) {
+        h[static_cast<size_t>(row)][static_cast<size_t>(c2)] -=
+            factor * h[static_cast<size_t>(col)][static_cast<size_t>(c2)];
+      }
+      b[static_cast<size_t>(row)] -= factor * b[static_cast<size_t>(col)];
+    }
+  }
+  x->assign(static_cast<size_t>(n), 0.0);
+  for (int row = n - 1; row >= 0; --row) {
+    double sum = b[static_cast<size_t>(row)];
+    for (int c2 = row + 1; c2 < n; ++c2) {
+      sum -= h[static_cast<size_t>(row)][static_cast<size_t>(c2)] *
+             (*x)[static_cast<size_t>(c2)];
+    }
+    (*x)[static_cast<size_t>(row)] =
+        sum / h[static_cast<size_t>(row)][static_cast<size_t>(row)];
+  }
+  return true;
+}
+
+}  // namespace
+
+Status MaxEntropyCdf(const std::vector<double>& power_moments, int grid_size,
+                     std::vector<double>* grid_z, std::vector<double>* cdf) {
+  const int k = static_cast<int>(power_moments.size()) - 1;
+  if (k < 1) return Status::InvalidArgument("need at least one moment");
+  if (grid_size < 16) grid_size = 16;
+
+  // Chebyshev coefficients: T_j(z) = sum_p cheb[j][p] z^p.
+  std::vector<std::vector<double>> cheb(
+      static_cast<size_t>(k) + 1,
+      std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
+  cheb[0][0] = 1.0;
+  if (k >= 1) cheb[1][1] = 1.0;
+  for (int j = 2; j <= k; ++j) {
+    for (int p = 0; p < j; ++p) {
+      cheb[static_cast<size_t>(j)][static_cast<size_t>(p + 1)] +=
+          2.0 * cheb[static_cast<size_t>(j - 1)][static_cast<size_t>(p)];
+    }
+    for (int p = 0; p <= j - 2; ++p) {
+      cheb[static_cast<size_t>(j)][static_cast<size_t>(p)] -=
+          cheb[static_cast<size_t>(j - 2)][static_cast<size_t>(p)];
+    }
+  }
+  // Target Chebyshev moments from the power moments.
+  std::vector<double> target(static_cast<size_t>(k) + 1, 0.0);
+  for (int j = 0; j <= k; ++j) {
+    for (int p = 0; p <= j; ++p) {
+      target[static_cast<size_t>(j)] +=
+          cheb[static_cast<size_t>(j)][static_cast<size_t>(p)] *
+          power_moments[static_cast<size_t>(p)];
+    }
+  }
+
+  // Midpoint grid over [-1, 1] and the Chebyshev design matrix on it
+  // (via the cosine recurrence, cheaper and stabler than powers).
+  const int g_count = grid_size;
+  const double dz = 2.0 / static_cast<double>(g_count);
+  std::vector<double> z(static_cast<size_t>(g_count));
+  for (int g = 0; g < g_count; ++g) {
+    z[static_cast<size_t>(g)] = -1.0 + (static_cast<double>(g) + 0.5) * dz;
+  }
+  std::vector<std::vector<double>> design(
+      static_cast<size_t>(k) + 1, std::vector<double>(static_cast<size_t>(g_count)));
+  for (int g = 0; g < g_count; ++g) {
+    design[0][static_cast<size_t>(g)] = 1.0;
+    if (k >= 1) design[1][static_cast<size_t>(g)] = z[static_cast<size_t>(g)];
+  }
+  for (int j = 2; j <= k; ++j) {
+    for (int g = 0; g < g_count; ++g) {
+      design[static_cast<size_t>(j)][static_cast<size_t>(g)] =
+          2.0 * z[static_cast<size_t>(g)] *
+              design[static_cast<size_t>(j - 1)][static_cast<size_t>(g)] -
+          design[static_cast<size_t>(j - 2)][static_cast<size_t>(g)];
+    }
+  }
+
+  // Damped Newton on the convex dual: Phi(lambda) = sum w - sum lambda*target.
+  std::vector<double> lambda(static_cast<size_t>(k) + 1, 0.0);
+  lambda[0] = std::log(0.5);  // start from the uniform density on [-1, 1]
+  std::vector<double> weights(static_cast<size_t>(g_count), 0.0);
+  auto evaluate = [&](const std::vector<double>& lam, double* phi) -> bool {
+    double total = 0.0;
+    for (int g = 0; g < g_count; ++g) {
+      double exponent = 0.0;
+      for (int j = 0; j <= k; ++j) {
+        exponent += lam[static_cast<size_t>(j)] *
+                    design[static_cast<size_t>(j)][static_cast<size_t>(g)];
+      }
+      if (exponent > 300.0) return false;  // diverging
+      weights[static_cast<size_t>(g)] = std::exp(exponent) * dz;
+      total += weights[static_cast<size_t>(g)];
+    }
+    double dual = total;
+    for (int j = 0; j <= k; ++j) {
+      dual -= lam[static_cast<size_t>(j)] * target[static_cast<size_t>(j)];
+    }
+    *phi = dual;
+    return std::isfinite(total);
+  };
+
+  double phi_current = 0.0;
+  if (!evaluate(lambda, &phi_current)) {
+    return Status::Internal("max-entropy objective diverged at start");
+  }
+  bool converged = false;
+  for (int iter = 0; iter < 100; ++iter) {
+    // Gradient and Hessian at the current lambda.
+    std::vector<double> grad(static_cast<size_t>(k) + 1, 0.0);
+    std::vector<std::vector<double>> hess(
+        static_cast<size_t>(k) + 1,
+        std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
+    for (int g = 0; g < g_count; ++g) {
+      const double w = weights[static_cast<size_t>(g)];
+      for (int j = 0; j <= k; ++j) {
+        const double tj = design[static_cast<size_t>(j)][static_cast<size_t>(g)];
+        grad[static_cast<size_t>(j)] += tj * w;
+        for (int l = j; l <= k; ++l) {
+          hess[static_cast<size_t>(j)][static_cast<size_t>(l)] +=
+              tj * design[static_cast<size_t>(l)][static_cast<size_t>(g)] * w;
+        }
+      }
+    }
+    double grad_norm = 0.0;
+    for (int j = 0; j <= k; ++j) {
+      grad[static_cast<size_t>(j)] -= target[static_cast<size_t>(j)];
+      grad_norm = std::max(grad_norm, std::fabs(grad[static_cast<size_t>(j)]));
+      for (int l = 0; l < j; ++l) {
+        hess[static_cast<size_t>(j)][static_cast<size_t>(l)] =
+            hess[static_cast<size_t>(l)][static_cast<size_t>(j)];
+      }
+    }
+    if (grad_norm < 1e-9) {
+      converged = true;
+      break;
+    }
+    std::vector<double> step;
+    if (!SolveLinearSystem(hess, grad, &step)) {
+      return Status::Internal("max-entropy Hessian is singular");
+    }
+    // Backtracking line search on the dual.
+    double scale = 1.0;
+    bool improved = false;
+    for (int half = 0; half < 12; ++half) {
+      std::vector<double> candidate = lambda;
+      for (int j = 0; j <= k; ++j) {
+        candidate[static_cast<size_t>(j)] -=
+            scale * step[static_cast<size_t>(j)];
+      }
+      double phi_candidate = 0.0;
+      if (evaluate(candidate, &phi_candidate) &&
+          phi_candidate < phi_current + 1e-15) {
+        lambda = std::move(candidate);
+        phi_current = phi_candidate;
+        improved = true;
+        break;
+      }
+      scale /= 2.0;
+    }
+    if (!improved) {
+      return Status::Internal("max-entropy line search stalled");
+    }
+  }
+  if (!converged) {
+    return Status::Internal("max-entropy Newton did not converge");
+  }
+
+  // Normalized CDF at the cell midpoints.
+  grid_z->assign(z.begin(), z.end());
+  cdf->resize(static_cast<size_t>(g_count));
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return Status::Internal("max-entropy density vanished");
+  double running = 0.0;
+  for (int g = 0; g < g_count; ++g) {
+    running += weights[static_cast<size_t>(g)];
+    (*cdf)[static_cast<size_t>(g)] = running / total;
+  }
+  return Status::OK();
+}
+
+MomentOperator::MomentOperator(MomentOptions options) : options_(options) {
+  if (options_.k < 2) options_.k = 2;
+  if (options_.k % 2 != 0) ++options_.k;  // need an even number of moments
+}
+
+MomentOperator::SubMoments MomentOperator::FreshSub() const {
+  SubMoments sub;
+  sub.linear.power_sums.assign(static_cast<size_t>(options_.k) + 1, 0.0);
+  if (options_.use_log_moments) {
+    sub.log.power_sums.assign(static_cast<size_t>(options_.k) + 1, 0.0);
+  } else {
+    sub.log_valid = false;
+  }
+  return sub;
+}
+
+namespace {
+
+void AccumulatePowers(std::vector<double>* sums, double y) {
+  double pow_y = 1.0;
+  for (auto& sum : *sums) {
+    sum += pow_y;
+    pow_y *= y;
+  }
+}
+
+}  // namespace
+
+Status MomentOperator::Initialize(const WindowSpec& spec,
+                                  const std::vector<double>& phis) {
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+  if (phis.empty()) {
+    return Status::InvalidArgument("at least one quantile is required");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  spec_ = spec;
+  phis_ = phis;
+  Reset();
+  return Status::OK();
+}
+
+void MomentOperator::Add(double value) {
+  if (inflight_.n == 0) {
+    // Per-sub-window affine bases keep the power sums well-conditioned.
+    inflight_.linear.c = value;
+    inflight_.linear.s = std::max(1.0, std::fabs(value));
+    inflight_.min = value;
+    inflight_.max = value;
+    if (options_.use_log_moments && value > 0.0) {
+      const double u = std::log(value);
+      inflight_.log.c = u;
+      inflight_.log.s = std::max(1.0, std::fabs(u));
+    }
+  }
+  inflight_.min = std::min(inflight_.min, value);
+  inflight_.max = std::max(inflight_.max, value);
+  inflight_.raw_sum += value;
+  ++inflight_.n;
+  AccumulatePowers(&inflight_.linear.power_sums,
+                   (value - inflight_.linear.c) / inflight_.linear.s);
+  if (inflight_.log_valid) {
+    if (value > 0.0) {
+      AccumulatePowers(&inflight_.log.power_sums,
+                       (std::log(value) - inflight_.log.c) / inflight_.log.s);
+    } else {
+      inflight_.log_valid = false;  // log domain unavailable for this window
+    }
+  }
+  const int64_t space = CurrentSpace();
+  if (space > peak_space_) peak_space_ = space;
+}
+
+void MomentOperator::OnSubWindowBoundary() {
+  completed_.push_back(std::move(inflight_));
+  inflight_ = FreshSub();
+  while (static_cast<int64_t>(completed_.size()) > spec_.NumSubWindows()) {
+    completed_.pop_front();
+  }
+}
+
+std::vector<double> MomentOperator::MergeTrack(
+    const std::vector<const SubMoments*>& subs, bool use_log, double c_star,
+    double s_star, int64_t total_n) const {
+  const int k = options_.k;
+  std::vector<std::vector<double>> binom(
+      static_cast<size_t>(k) + 1,
+      std::vector<double>(static_cast<size_t>(k) + 1, 0.0));
+  for (int i = 0; i <= k; ++i) {
+    binom[static_cast<size_t>(i)][0] = 1.0;
+    for (int j = 1; j <= i; ++j) {
+      binom[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          binom[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)] +
+          binom[static_cast<size_t>(i - 1)][static_cast<size_t>(j)];
+    }
+  }
+  // Re-base every summary to z = (t - c*)/s*: z = a*y + b exactly via the
+  // binomial expansion of (a*y + b)^m.
+  std::vector<double> merged(static_cast<size_t>(k) + 1, 0.0);
+  for (const auto* sub : subs) {
+    const MomentTrack& track = use_log ? sub->log : sub->linear;
+    const double a = track.s / s_star;
+    const double b = (track.c - c_star) / s_star;
+    for (int m = 0; m <= k; ++m) {
+      double sum = 0.0;
+      double a_pow = 1.0;
+      for (int j = 0; j <= m; ++j) {
+        sum += binom[static_cast<size_t>(m)][static_cast<size_t>(j)] * a_pow *
+               std::pow(b, m - j) * track.power_sums[static_cast<size_t>(j)];
+        a_pow *= a;
+      }
+      merged[static_cast<size_t>(m)] += sum;
+    }
+  }
+  for (auto& m : merged) m /= static_cast<double>(total_n);
+  merged[0] = 1.0;
+  return merged;
+}
+
+std::vector<double> MomentOperator::ComputeQuantiles() {
+  std::vector<double> results(phis_.size(), 0.0);
+
+  // Gather live summaries.
+  std::vector<const SubMoments*> subs;
+  for (const auto& sub : completed_) {
+    if (sub.n > 0) subs.push_back(&sub);
+  }
+  if (inflight_.n > 0) subs.push_back(&inflight_);
+  if (subs.empty()) return results;
+
+  int64_t total_n = 0;
+  double global_min = subs.front()->min;
+  double global_max = subs.front()->max;
+  double raw_sum = 0.0;
+  bool log_ok = options_.use_log_moments;
+  for (const auto* sub : subs) {
+    total_n += sub->n;
+    global_min = std::min(global_min, sub->min);
+    global_max = std::max(global_max, sub->max);
+    raw_sum += sub->raw_sum;
+    log_ok = log_ok && sub->log_valid;
+  }
+  // Log-domain inversion pays off only on right-skewed data: if the mass
+  // above the mean spans far more range than the mass below it, min-max
+  // scaling would collapse the body into one atom. Symmetric or left-heavy
+  // data inverts better in the raw domain.
+  const double mean = raw_sum / static_cast<double>(total_n);
+  log_ok = log_ok && global_min > 0.0 &&
+           (global_max - mean) > 5.0 * (mean - global_min);
+  last_used_log_ = log_ok;
+
+  // Work in log space for positive data (heavy-tail treatment), raw space
+  // otherwise. The domain endpoints map accordingly.
+  const double lo = log_ok ? std::log(global_min) : global_min;
+  const double hi = log_ok ? std::log(global_max) : global_max;
+  const double c_star = (lo + hi) / 2.0;
+  const double s_star = std::max((hi - lo) / 2.0, 1e-12);
+
+  std::vector<double> moments =
+      MergeTrack(subs, log_ok, c_star, s_star, total_n);
+
+  auto to_value_from = [&](double t) {
+    const double clamped = std::clamp(t, lo, hi);
+    return log_ok ? std::exp(clamped) : clamped;
+  };
+
+  // Preferred inversion: smooth maximum-entropy density.
+  if (options_.use_max_entropy) {
+    std::vector<double> grid_z;
+    std::vector<double> grid_cdf;
+    Status st = MaxEntropyCdf(moments, options_.maxent_grid, &grid_z,
+                              &grid_cdf);
+    if (st.ok()) {
+      last_inversion_ = MomentInversion::kMaxEntropy;
+      for (size_t q = 0; q < phis_.size(); ++q) {
+        const double phi = phis_[q];
+        size_t cell = 0;
+        while (cell + 1 < grid_cdf.size() && grid_cdf[cell] < phi) ++cell;
+        const double c0 = cell > 0 ? grid_cdf[cell - 1] : 0.0;
+        const double c1 = grid_cdf[cell];
+        const double z0 = cell > 0 ? grid_z[cell - 1] : -1.0;
+        const double z1 = grid_z[cell];
+        const double frac = c1 > c0 ? (phi - c0) / (c1 - c0) : 1.0;
+        const double t = c_star + s_star * (z0 + frac * (z1 - z0));
+        results[q] = to_value_from(t);
+      }
+      return results;
+    }
+  }
+
+  // Fallback: discrete quadrature atoms at the largest node count the
+  // numerics support.
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  last_nodes_used_ = 0;
+  for (int n_nodes = options_.k / 2; n_nodes >= 1; --n_nodes) {
+    Status st = GaussQuadratureFromMoments(moments, n_nodes, &nodes, &weights);
+    if (st.ok()) {
+      last_nodes_used_ = n_nodes;
+      break;
+    }
+  }
+  auto to_value = to_value_from;
+  if (last_nodes_used_ == 0) {
+    // Degenerate fallback: everything at the (domain) mean.
+    last_inversion_ = MomentInversion::kDegenerate;
+    const double domain_mean = c_star + s_star * moments[1];
+    std::fill(results.begin(), results.end(), to_value(domain_mean));
+    return results;
+  }
+  last_inversion_ = MomentInversion::kQuadrature;
+
+  // Piecewise-linear CDF through the atoms in the working domain, anchored
+  // at the true endpoints.
+  std::vector<double> ts = {lo};
+  std::vector<double> cdf = {0.0};
+  double cumulative = 0.0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const double t = std::clamp(c_star + s_star * nodes[i], lo, hi);
+    const double midpoint = cumulative + weights[i] / 2.0;
+    cumulative += weights[i];
+    if (t > ts.back()) {
+      ts.push_back(t);
+      cdf.push_back(std::min(1.0, midpoint));
+    }
+  }
+  if (hi > ts.back()) {
+    ts.push_back(hi);
+    cdf.push_back(1.0);
+  } else {
+    cdf.back() = 1.0;
+  }
+
+  for (size_t q = 0; q < phis_.size(); ++q) {
+    const double phi = phis_[q];
+    size_t seg = 1;
+    while (seg < cdf.size() && cdf[seg] < phi) ++seg;
+    if (seg >= cdf.size()) {
+      results[q] = to_value(ts.back());
+      continue;
+    }
+    const double c0 = cdf[seg - 1];
+    const double c1 = cdf[seg];
+    const double frac = c1 > c0 ? (phi - c0) / (c1 - c0) : 1.0;
+    results[q] = to_value(ts[seg - 1] + frac * (ts[seg] - ts[seg - 1]));
+  }
+  return results;
+}
+
+int64_t MomentOperator::CurrentSpace() const {
+  const int64_t tracks = options_.use_log_moments ? 2 : 1;
+  // Per summary: (k+1) sums and an affine basis per track, plus n/min/max.
+  const int64_t per_sub = tracks * (options_.k + 3) + 3;
+  return per_sub * (static_cast<int64_t>(completed_.size()) + 1);
+}
+
+void MomentOperator::Reset() {
+  inflight_ = FreshSub();
+  completed_.clear();
+  peak_space_ = 0;
+  last_nodes_used_ = 0;
+  last_used_log_ = false;
+  last_inversion_ = MomentInversion::kNone;
+}
+
+}  // namespace sketch
+}  // namespace qlove

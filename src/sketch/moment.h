@@ -1,0 +1,152 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Moment baseline: mergeable moment-based quantile sketch (Gan et al.,
+// VLDB 2018, as cited by the paper's §5.1). Each sub-window stores count,
+// min, max and the first K power sums of affinely scaled values; summaries
+// merge by exact affine re-basing plus addition, and the window's quantiles
+// are recovered by inverting the moment sequence into a discrete Gaussian
+// quadrature distribution (Hankel Cholesky -> Jacobi matrix -> symmetric
+// tridiagonal eigensolve, i.e. Golub-Welsch).
+
+#ifndef QLOVE_SKETCH_MOMENT_H_
+#define QLOVE_SKETCH_MOMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/quantile_operator.h"
+
+namespace qlove {
+namespace sketch {
+
+/// \brief Eigen-decomposes a symmetric tridiagonal matrix.
+///
+/// \p diag (size n) and \p offdiag (size n-1) define the matrix. On success
+/// fills \p eigenvalues (ascending) and \p first_components, the first row
+/// of the orthonormal eigenvector matrix (needed for quadrature weights).
+/// Implements the implicit-QL iteration (EISPACK tql2). Returns Internal if
+/// the iteration fails to converge.
+Status SymmetricTridiagonalEigen(std::vector<double> diag,
+                                 std::vector<double> offdiag,
+                                 std::vector<double>* eigenvalues,
+                                 std::vector<double>* first_components);
+
+/// \brief Computes an n-point Gaussian quadrature rule from normalized
+/// moments m[0..2n] (m[0] == 1): nodes and positive weights summing to 1
+/// whose first 2n moments match. Returns Internal when the moment matrix is
+/// not numerically positive definite (caller should retry with smaller n).
+Status GaussQuadratureFromMoments(const std::vector<double>& moments, int n,
+                                  std::vector<double>* nodes,
+                                  std::vector<double>* weights);
+
+/// \brief Fits the maximum-entropy density f(z) = exp(sum_j lambda_j T_j(z))
+/// on [-1, 1] whose first k power moments match \p power_moments
+/// (m[0..k], m[0] == 1), using damped Newton iteration in the Chebyshev
+/// basis — the Moment sketch's estimation procedure (Gan et al., VLDB 2018).
+///
+/// On success fills \p grid_z with \p grid_size cell midpoints spanning
+/// [-1, 1] and \p cdf with the (normalized, non-decreasing) cumulative
+/// distribution at each midpoint. Returns Internal when Newton fails to
+/// converge (caller should fall back to Gaussian quadrature).
+Status MaxEntropyCdf(const std::vector<double>& power_moments, int grid_size,
+                     std::vector<double>* grid_z, std::vector<double>* cdf);
+
+/// \brief Moment-sketch configuration.
+struct MomentOptions {
+  /// Highest power sum kept (the paper's K parameter; Table 1 uses 12).
+  int k = 12;
+  /// Also keep power sums of ln(x) and invert in log space when every
+  /// window value is positive — the Moment sketch's standard treatment of
+  /// heavy-tailed data, without which min-max scaling collapses a
+  /// concentrated body into one quadrature atom.
+  bool use_log_moments = true;
+  /// Invert via maximum entropy (smooth density, accurate body quantiles);
+  /// falls back to Gaussian quadrature atoms when Newton fails.
+  bool use_max_entropy = true;
+  /// Integration grid size for the max-entropy solver.
+  int maxent_grid = 512;
+};
+
+/// Which inversion produced the last ComputeQuantiles answer.
+enum class MomentInversion {
+  kNone = 0,        ///< No evaluation yet / empty window.
+  kMaxEntropy = 1,  ///< Smooth max-entropy CDF.
+  kQuadrature = 2,  ///< Discrete Gauss-quadrature atoms.
+  kDegenerate = 3,  ///< Mean-only fallback.
+};
+
+/// \brief Sliding-window quantiles from mergeable moment summaries.
+class MomentOperator final : public QuantileOperator {
+ public:
+  explicit MomentOperator(MomentOptions options = {});
+
+  Status Initialize(const WindowSpec& spec,
+                    const std::vector<double>& phis) override;
+  void Add(double value) override;
+  void OnSubWindowBoundary() override;
+  std::vector<double> ComputeQuantiles() override;
+  int64_t ObservedSpaceVariables() const override { return peak_space_; }
+  int64_t AnalyticalSpaceVariables() const override {
+    // Each summary stores k+1 power sums per track plus min, max and the
+    // two affine bases.
+    const int64_t tracks = options_.use_log_moments ? 2 : 1;
+    return (spec_.NumSubWindows() + 1) *
+           (tracks * (options_.k + 3) + 3);
+  }
+  std::string Name() const override { return "Moment"; }
+  void Reset() override;
+
+  /// Number of quadrature nodes used by the last ComputeQuantiles call
+  /// (tests / diagnostics; 0 before the first call).
+  int last_nodes_used() const { return last_nodes_used_; }
+
+  /// True when the last ComputeQuantiles inverted in log space.
+  bool last_used_log() const { return last_used_log_; }
+
+  /// Which inversion path answered the last ComputeQuantiles.
+  MomentInversion last_inversion() const { return last_inversion_; }
+
+ private:
+  /// One affinely-rebased power-sum track: sums of ((t - c)/s)^j.
+  struct MomentTrack {
+    double c = 0.0;  // per-sub-window affine center
+    double s = 1.0;  // per-sub-window affine scale
+    std::vector<double> power_sums;  // index j: sum of y^j, j = 0..k
+  };
+
+  /// Power sums over one sub-window, in raw and (optionally) log domain.
+  struct SubMoments {
+    int64_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double raw_sum = 0.0;  // for the window-level skew heuristic
+    MomentTrack linear;
+    MomentTrack log;       // of ln(x); valid only while log_valid
+    bool log_valid = true;  // all values so far were positive
+  };
+
+  SubMoments FreshSub() const;
+  int64_t CurrentSpace() const;
+  /// Merges one track of every summary into normalized moments on the
+  /// common basis (c_star, s_star). Returns m[0..k] with m[0] = 1.
+  std::vector<double> MergeTrack(const std::vector<const SubMoments*>& subs,
+                                 bool use_log, double c_star,
+                                 double s_star, int64_t total_n) const;
+
+  MomentOptions options_;
+  WindowSpec spec_;
+  std::vector<double> phis_;
+  SubMoments inflight_;
+  std::deque<SubMoments> completed_;
+  int64_t peak_space_ = 0;
+  int last_nodes_used_ = 0;
+  bool last_used_log_ = false;
+  MomentInversion last_inversion_ = MomentInversion::kNone;
+};
+
+}  // namespace sketch
+}  // namespace qlove
+
+#endif  // QLOVE_SKETCH_MOMENT_H_

@@ -1,0 +1,181 @@
+#include "sketch/random_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlove {
+namespace sketch {
+
+RandomSketchOperator::RandomSketchOperator(RandomSketchOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Status RandomSketchOperator::Initialize(const WindowSpec& spec,
+                                        const std::vector<double>& phis) {
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+  if (phis.empty()) {
+    return Status::InvalidArgument("at least one quantile is required");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must lie in (0, 1)");
+  }
+  spec_ = spec;
+  phis_ = phis;
+  Reset();
+  return Status::OK();
+}
+
+void RandomSketchOperator::Reset() {
+  rng_.Seed(options_.seed);
+  int64_t slots = options_.slots_override > 0
+                      ? options_.slots_override
+                      : static_cast<int64_t>(
+                            std::ceil(2.0 / (options_.epsilon *
+                                             options_.epsilon)));
+  slots = std::max<int64_t>(1, std::min<int64_t>(slots, spec_.size));
+  chains_.assign(static_cast<size_t>(slots), {});
+  generations_.assign(static_cast<size_t>(slots), 0);
+  replacements_ = {};
+  successors_ = {};
+  seen_ = 0;
+  chain_links_ = 0;
+  peak_space_ = 0;
+  // Element 0 is selected with probability 1: every slot starts there.
+  for (int64_t s = 0; s < slots; ++s) {
+    replacements_.push(PendingEvent{0, s, 0});
+  }
+}
+
+int64_t RandomSketchOperator::NextReplacementIndex(int64_t after) {
+  // Selection probability of element with 0-based index k is
+  // p_k = 1 / min(k + 1, N). During warmup the survival probability from
+  // `after` to j is (after + 1) / (j + 1), inverted in closed form; past
+  // warmup the gap is geometric with p = 1/N.
+  const int64_t n = spec_.size;
+  int64_t current = after;
+  if (current + 1 < n) {
+    double u = rng_.NextDouble();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    const auto j = static_cast<int64_t>(
+        std::ceil(static_cast<double>(current + 1) / u)) - 1;
+    if (j + 1 <= n) return std::max(current + 1, j);
+    current = n - 1;  // survived warmup; fall through to the geometric leg
+  }
+  double u = rng_.NextDouble();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  const double gap =
+      std::ceil(std::log(u) / std::log1p(-1.0 / static_cast<double>(n)));
+  return current + std::max<int64_t>(1, static_cast<int64_t>(gap));
+}
+
+void RandomSketchOperator::ScheduleSuccessor(int64_t slot, int64_t index) {
+  // Successor chosen uniformly in (index, index + N].
+  const int64_t successor =
+      index + 1 + static_cast<int64_t>(rng_.UniformInt(
+                      static_cast<uint64_t>(spec_.size)));
+  successors_.push(
+      PendingEvent{successor, slot, generations_[static_cast<size_t>(slot)]});
+}
+
+void RandomSketchOperator::Add(double value) {
+  const int64_t idx = seen_;
+  ++seen_;
+
+  while (!successors_.empty() && successors_.top().index == idx) {
+    const PendingEvent ev = successors_.top();
+    successors_.pop();
+    if (ev.generation != generations_[static_cast<size_t>(ev.slot)]) {
+      continue;  // chain was replaced since this successor was scheduled
+    }
+    chains_[static_cast<size_t>(ev.slot)].push_back(ChainLink{idx, value});
+    ++chain_links_;
+    ScheduleSuccessor(ev.slot, idx);
+  }
+
+  while (!replacements_.empty() && replacements_.top().index == idx) {
+    const PendingEvent ev = replacements_.top();
+    replacements_.pop();
+    auto& chain = chains_[static_cast<size_t>(ev.slot)];
+    chain_links_ -= static_cast<int64_t>(chain.size());
+    chain.clear();
+    chain.push_back(ChainLink{idx, value});
+    ++chain_links_;
+    ++generations_[static_cast<size_t>(ev.slot)];
+    ScheduleSuccessor(ev.slot, idx);
+    replacements_.push(
+        PendingEvent{NextReplacementIndex(idx), ev.slot, 0});
+  }
+
+  // Warmup replaces slots frequently, orphaning pending successor events.
+  // Compact the heap when stale entries dominate (amortized O(1)).
+  if (static_cast<int64_t>(successors_.size()) > slots() * 3) {
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                        std::greater<PendingEvent>>
+        alive;
+    while (!successors_.empty()) {
+      const PendingEvent ev = successors_.top();
+      successors_.pop();
+      if (ev.generation == generations_[static_cast<size_t>(ev.slot)]) {
+        alive.push(ev);
+      }
+    }
+    successors_ = std::move(alive);
+  }
+
+  const int64_t space = CurrentSpace();
+  if (space > peak_space_) peak_space_ = space;
+}
+
+void RandomSketchOperator::PruneExpired(int64_t slot) {
+  auto& chain = chains_[static_cast<size_t>(slot)];
+  const int64_t window_start = seen_ - spec_.size;
+  while (chain.size() > 1 && chain.front().index < window_start) {
+    chain.pop_front();
+    --chain_links_;
+  }
+}
+
+void RandomSketchOperator::OnSubWindowBoundary() {
+  for (int64_t s = 0; s < slots(); ++s) PruneExpired(s);
+}
+
+std::vector<double> RandomSketchOperator::ComputeQuantiles() {
+  std::vector<double> sample;
+  sample.reserve(chains_.size());
+  const int64_t window_start = seen_ - spec_.size;
+  for (int64_t s = 0; s < slots(); ++s) {
+    PruneExpired(s);
+    const auto& chain = chains_[static_cast<size_t>(s)];
+    if (!chain.empty() && chain.front().index >= window_start) {
+      sample.push_back(chain.front().value);
+    }
+  }
+  std::vector<double> results(phis_.size(), 0.0);
+  if (sample.empty()) return results;
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < phis_.size(); ++i) {
+    auto rank = static_cast<int64_t>(
+        std::ceil(phis_[i] * static_cast<double>(sample.size())));
+    rank = std::clamp<int64_t>(rank, 1, static_cast<int64_t>(sample.size()));
+    results[i] = sample[static_cast<size_t>(rank - 1)];
+  }
+  return results;
+}
+
+int64_t RandomSketchOperator::CurrentSpace() const {
+  // Chain links carry (index, value); pending events carry (index, slot).
+  return chain_links_ * 2 +
+         static_cast<int64_t>(replacements_.size() + successors_.size()) * 2;
+}
+
+int64_t RandomSketchOperator::AnalyticalSpaceVariables() const {
+  // ~e chain links per slot in expectation plus one pending event each.
+  return slots() * 2 * 3 + slots() * 2;
+}
+
+}  // namespace sketch
+}  // namespace qlove

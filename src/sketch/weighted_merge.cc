@@ -1,0 +1,67 @@
+#include "sketch/weighted_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qlove {
+namespace sketch {
+
+Result<double> WeightedRankQuery(std::vector<WeightedValue>* entries,
+                                 int64_t rank, RankSemantics semantics) {
+  if (entries == nullptr || entries->empty()) {
+    return Status::FailedPrecondition("no entries to query");
+  }
+  std::sort(entries->begin(), entries->end());
+  int64_t total = 0;
+  for (const auto& [value, weight] : *entries) total += weight;
+  if (total <= 0) return Status::FailedPrecondition("zero total weight");
+  rank = std::clamp<int64_t>(rank, 1, total);
+
+  if (semantics == RankSemantics::kExact) {
+    int64_t running = 0;
+    for (const auto& [value, weight] : *entries) {
+      running += weight;
+      if (running >= rank) return value;
+    }
+    return entries->back().first;
+  }
+
+  // Interpolated: each entry's value sits at its cumulative rank; answer
+  // with the entry whose cumulative rank is nearest to the target.
+  int64_t running = 0;
+  double previous_value = entries->front().first;
+  bool has_previous = false;
+  for (const auto& [value, weight] : *entries) {
+    running += weight;
+    if (running >= rank) {
+      const int64_t distance_here = running - rank;
+      const int64_t distance_prev = rank - (running - weight);
+      if (has_previous && distance_prev < distance_here) {
+        return previous_value;
+      }
+      return value;
+    }
+    previous_value = value;
+    has_previous = true;
+  }
+  return entries->back().first;
+}
+
+Result<double> WeightedQuantileQuery(std::vector<WeightedValue>* entries,
+                                     double phi, RankSemantics semantics) {
+  if (entries == nullptr || entries->empty()) {
+    return Status::FailedPrecondition("no entries to query");
+  }
+  if (phi <= 0.0 || phi > 1.0) {
+    return Status::InvalidArgument("phi must lie in (0, 1]");
+  }
+  int64_t total = 0;
+  for (const auto& [value, weight] : *entries) total += weight;
+  const auto rank = static_cast<int64_t>(
+      std::ceil(phi * static_cast<double>(total)));
+  return WeightedRankQuery(entries, rank, semantics);
+}
+
+}  // namespace sketch
+}  // namespace qlove

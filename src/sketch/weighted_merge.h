@@ -1,0 +1,53 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Shared helper for sketch baselines that answer window queries by merging
+// per-sub-window compressed summaries: (value, weight) entries where weight
+// is the number of original elements an entry represents.
+
+#ifndef QLOVE_SKETCH_WEIGHTED_MERGE_H_
+#define QLOVE_SKETCH_WEIGHTED_MERGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace sketch {
+
+/// A compressed (value, weight) entry.
+using WeightedValue = std::pair<double, int64_t>;
+
+/// How to interpret an entry's weight when answering rank queries.
+enum class RankSemantics {
+  /// The entry is w exact copies of the value (frequency data): the answer
+  /// for any rank inside the entry's span is the value itself.
+  kExact,
+  /// The entry summarizes a span of distinct original elements whose
+  /// deepest member is the stored value: the value's own (point) rank is
+  /// the entry's cumulative weight, and the answer for a target rank is the
+  /// entry whose cumulative weight is nearest. This is unbiased for
+  /// summaries whose entry ranks are exact (equi-rank bucket compression,
+  /// midpoint-corrected GK exports), unlike treating the weight as exact
+  /// multiplicity, which would bias answers one whole entry upward.
+  kInterpolated,
+};
+
+/// \brief Sorts \p entries by value (in place) and answers the value at
+/// global \p rank (1-based) of the weighted multiset. Weights may be
+/// fractional element counts scaled by the caller; rank is clamped into
+/// [1, total weight]. Returns FailedPrecondition when entries are empty.
+Result<double> WeightedRankQuery(
+    std::vector<WeightedValue>* entries, int64_t rank,
+    RankSemantics semantics = RankSemantics::kExact);
+
+/// \brief Convenience: quantile phi over the weighted multiset, using the
+/// paper's rank definition r = ceil(phi * total_weight).
+Result<double> WeightedQuantileQuery(
+    std::vector<WeightedValue>* entries, double phi,
+    RankSemantics semantics = RankSemantics::kExact);
+
+}  // namespace sketch
+}  // namespace qlove
+
+#endif  // QLOVE_SKETCH_WEIGHTED_MERGE_H_

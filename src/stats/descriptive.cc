@@ -1,0 +1,109 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace qlove {
+namespace stats {
+
+int64_t QuantileRank(double phi, int64_t n) {
+  int64_t rank = static_cast<int64_t>(std::ceil(phi * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return rank;
+}
+
+Result<double> ExactQuantileSorted(const std::vector<double>& sorted,
+                                   double phi) {
+  if (sorted.empty()) {
+    return Status::InvalidArgument("quantile of empty data");
+  }
+  if (phi <= 0.0 || phi > 1.0) {
+    return Status::InvalidArgument("phi must lie in (0, 1]");
+  }
+  const int64_t rank = QuantileRank(phi, static_cast<int64_t>(sorted.size()));
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+Result<double> ExactQuantile(const std::vector<double>& data, double phi) {
+  if (data.empty()) {
+    return Status::InvalidArgument("quantile of empty data");
+  }
+  if (phi <= 0.0 || phi > 1.0) {
+    return Status::InvalidArgument("phi must lie in (0, 1]");
+  }
+  std::vector<double> copy = data;
+  const int64_t rank = QuantileRank(phi, static_cast<int64_t>(copy.size()));
+  auto nth = copy.begin() + (rank - 1);
+  std::nth_element(copy.begin(), nth, copy.end());
+  return *nth;
+}
+
+Result<std::vector<double>> ExactQuantiles(const std::vector<double>& data,
+                                           const std::vector<double>& phis) {
+  if (data.empty()) {
+    return Status::InvalidArgument("quantiles of empty data");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(phis.size());
+  for (double phi : phis) {
+    out.push_back(ExactQuantileSorted(sorted, phi).ValueOrDie());
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& data) {
+  if (data.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : data) sum += v;
+  return sum / static_cast<double>(data.size());
+}
+
+double Variance(const std::vector<double>& data) {
+  const size_t n = data.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(data);
+  double ss = 0.0;
+  for (double v : data) {
+    const double d = v - mean;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& data) {
+  return std::sqrt(Variance(data));
+}
+
+double Lag1Autocorrelation(const std::vector<double>& data) {
+  const size_t n = data.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(data);
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = data[i] - mean;
+    den += d * d;
+    if (i + 1 < n) num += d * (data[i + 1] - mean);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+double UniqueFraction(const std::vector<double>& data) {
+  if (data.empty()) return 0.0;
+  std::unordered_set<double> uniques(data.begin(), data.end());
+  return static_cast<double>(uniques.size()) /
+         static_cast<double>(data.size());
+}
+
+}  // namespace stats
+}  // namespace qlove

@@ -1,0 +1,52 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Offline descriptive statistics used as ground truth by tests and the bench
+// harness: exact quantiles under the paper's rank definition, moments, and
+// lag-1 autocorrelation (AR(1) sanity checks).
+
+#ifndef QLOVE_STATS_DESCRIPTIVE_H_
+#define QLOVE_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace stats {
+
+/// The paper's rank for the phi-quantile of N elements: r = ceil(phi * N),
+/// clamped to [1, N]. phi must lie in (0, 1].
+int64_t QuantileRank(double phi, int64_t n);
+
+/// Exact phi-quantile of \p sorted (ascending). Returns InvalidArgument for
+/// empty input or phi outside (0, 1].
+Result<double> ExactQuantileSorted(const std::vector<double>& sorted,
+                                   double phi);
+
+/// Exact phi-quantile of unsorted \p data (copies and selects, O(n)).
+Result<double> ExactQuantile(const std::vector<double>& data, double phi);
+
+/// Exact quantiles for several phis over unsorted \p data with one sort.
+Result<std::vector<double>> ExactQuantiles(const std::vector<double>& data,
+                                           const std::vector<double>& phis);
+
+/// Arithmetic mean. Returns 0 for empty input.
+double Mean(const std::vector<double>& data);
+
+/// Unbiased sample variance (n-1 denominator). Returns 0 when n < 2.
+double Variance(const std::vector<double>& data);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& data);
+
+/// Lag-1 sample autocorrelation. Returns 0 when n < 2 or variance is 0.
+double Lag1Autocorrelation(const std::vector<double>& data);
+
+/// Fraction of unique values in \p data (the paper's redundancy measure;
+/// NetMon reports ~0.08% unique over an hour window).
+double UniqueFraction(const std::vector<double>& data);
+
+}  // namespace stats
+}  // namespace qlove
+
+#endif  // QLOVE_STATS_DESCRIPTIVE_H_

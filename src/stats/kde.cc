@@ -1,0 +1,57 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace qlove {
+namespace stats {
+
+double SilvermanBandwidth(const std::vector<double>& sample) {
+  const size_t n = sample.size();
+  if (n < 2) return 1.0;
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  const double sigma = StdDev(sorted);
+  const double q25 = sorted[static_cast<size_t>(0.25 * (n - 1))];
+  const double q75 = sorted[static_cast<size_t>(0.75 * (n - 1))];
+  const double iqr = q75 - q25;
+  double spread = sigma;
+  if (iqr > 0.0) spread = std::min(sigma, iqr / 1.34);
+  if (spread <= 0.0) {
+    // Constant (or near-constant) sample: pick a scale-relative floor so the
+    // density stays finite instead of collapsing to a delta.
+    const double scale = std::max(1.0, std::fabs(sorted.back()));
+    spread = 1e-6 * scale;
+  }
+  return 0.9 * spread * std::pow(static_cast<double>(n), -0.2);
+}
+
+Result<KernelDensity> KernelDensity::Fit(std::vector<double> sample,
+                                         double bandwidth) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("KDE requires a non-empty sample");
+  }
+  if (bandwidth <= 0.0) bandwidth = SilvermanBandwidth(sample);
+  if (bandwidth <= 0.0) bandwidth = 1.0;
+  std::sort(sample.begin(), sample.end());
+  return KernelDensity(std::move(sample), bandwidth);
+}
+
+double KernelDensity::Density(double x) const {
+  // Kernels further than 6 bandwidths contribute < 1e-8 relative mass.
+  const double lo = x - 6.0 * bandwidth_;
+  const double hi = x + 6.0 * bandwidth_;
+  auto first = std::lower_bound(sample_.begin(), sample_.end(), lo);
+  auto last = std::upper_bound(first, sample_.end(), hi);
+  double sum = 0.0;
+  for (auto it = first; it != last; ++it) {
+    sum += NormalPdf((x - *it) / bandwidth_);
+  }
+  return sum / (static_cast<double>(sample_.size()) * bandwidth_);
+}
+
+}  // namespace stats
+}  // namespace qlove

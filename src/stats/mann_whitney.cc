@@ -1,0 +1,75 @@
+#include "stats/mann_whitney.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace qlove {
+namespace stats {
+
+Result<MannWhitneyResult> MannWhitneyU(const std::vector<double>& x,
+                                       const std::vector<double>& y) {
+  const size_t nx = x.size();
+  const size_t ny = y.size();
+  if (nx == 0 || ny == 0) {
+    return Status::InvalidArgument("Mann-Whitney requires non-empty samples");
+  }
+
+  // Pool, sort, and assign midranks.
+  struct Tagged {
+    double value;
+    bool from_x;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(nx + ny);
+  for (double v : x) pooled.push_back({v, true});
+  for (double v : y) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& a, const Tagged& b) { return a.value < b.value; });
+
+  const size_t n = pooled.size();
+  double rank_sum_x = 0.0;
+  double tie_correction = 0.0;  // sum of (t^3 - t) over tie groups
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && pooled[j + 1].value == pooled[i].value) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1)) /
+                           2.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (pooled[k].from_x) rank_sum_x += midrank;
+    }
+    if (t > 1.0) tie_correction += t * t * t - t;
+    i = j + 1;
+  }
+
+  MannWhitneyResult result;
+  const double dnx = static_cast<double>(nx);
+  const double dny = static_cast<double>(ny);
+  result.u_x = rank_sum_x - dnx * (dnx + 1.0) / 2.0;
+  result.u_y = dnx * dny - result.u_x;
+
+  const double mean_u = dnx * dny / 2.0;
+  const double dn = dnx + dny;
+  const double variance =
+      dnx * dny / 12.0 * ((dn + 1.0) - tie_correction / (dn * (dn - 1.0)));
+  if (variance <= 0.0) {
+    return Status::InvalidArgument(
+        "Mann-Whitney variance is zero (all values tied)");
+  }
+
+  // Continuity-corrected z for the one-sided "X greater" alternative.
+  const double diff = result.u_x - mean_u;
+  const double correction = diff > 0 ? -0.5 : (diff < 0 ? 0.5 : 0.0);
+  result.z = (diff + correction) / std::sqrt(variance);
+  result.p_x_greater = 1.0 - NormalCdf(result.z);
+  result.p_two_sided = 2.0 * (1.0 - NormalCdf(std::fabs(result.z)));
+  result.p_two_sided = std::min(1.0, result.p_two_sided);
+  return result;
+}
+
+}  // namespace stats
+}  // namespace qlove

@@ -1,0 +1,39 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Mann-Whitney U test (a.k.a. Wilcoxon rank-sum). The paper (§4.3, ref [22])
+// uses it to detect bursty traffic: are the sampled largest values of the
+// current sub-window stochastically larger than those of the previous one?
+
+#ifndef QLOVE_STATS_MANN_WHITNEY_H_
+#define QLOVE_STATS_MANN_WHITNEY_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace stats {
+
+/// \brief Outcome of a Mann-Whitney U test between samples X and Y.
+struct MannWhitneyResult {
+  double u_x = 0.0;  ///< U statistic counting pairs where X wins.
+  double u_y = 0.0;  ///< U statistic counting pairs where Y wins.
+  double z = 0.0;    ///< Normal-approximation z score (tie-corrected).
+  /// One-sided p-value for H1: X stochastically larger than Y.
+  double p_x_greater = 1.0;
+  /// Two-sided p-value for H1: X and Y differ in location.
+  double p_two_sided = 1.0;
+};
+
+/// \brief Runs the Mann-Whitney U test on samples \p x and \p y.
+///
+/// Uses the normal approximation with tie correction and a continuity
+/// correction of 0.5, which is accurate for the sample sizes QLOVE feeds it
+/// (tens of tail values per sub-window). Returns InvalidArgument when either
+/// sample is empty or all values are tied (zero variance).
+Result<MannWhitneyResult> MannWhitneyU(const std::vector<double>& x,
+                                       const std::vector<double>& y);
+
+}  // namespace stats
+}  // namespace qlove
+
+#endif  // QLOVE_STATS_MANN_WHITNEY_H_

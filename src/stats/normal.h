@@ -1,0 +1,31 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Standard-normal distribution functions needed by the Theorem-1 error bound
+// (inverse CDF for z_{alpha/2}) and the Mann-Whitney normal approximation.
+
+#ifndef QLOVE_STATS_NORMAL_H_
+#define QLOVE_STATS_NORMAL_H_
+
+namespace qlove {
+namespace stats {
+
+/// Standard normal probability density at \p x.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution function at \p x.
+/// Implemented via erfc; absolute error < 1e-15.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (quantile function). \p p must lie in (0, 1).
+/// Peter Acklam's rational approximation refined with one Halley step;
+/// relative error < 1e-9 across the domain. Returns +/-infinity at p = 1/0.
+double NormalQuantile(double p);
+
+/// Upper-tail critical value z such that P(Z > z) = alpha, i.e.
+/// NormalQuantile(1 - alpha). The paper's Theorem 1 uses Phi^{-1}(alpha/2)
+/// in this upper-tail sense (1.96 for alpha = 0.05).
+double NormalUpperCritical(double alpha);
+
+}  // namespace stats
+}  // namespace qlove
+
+#endif  // QLOVE_STATS_NORMAL_H_

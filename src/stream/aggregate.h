@@ -1,0 +1,112 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The incremental evaluation contract of §2: an operator is defined by four
+// functions — InitialState, Accumulate, Deaccumulate, ComputeResult — and a
+// generic driver evaluates it over tumbling or sliding windows. This is the
+// Trill-style substrate QLOVE plugs into.
+
+#ifndef QLOVE_STREAM_AGGREGATE_H_
+#define QLOVE_STREAM_AGGREGATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/window.h"
+
+namespace qlove {
+
+/// \brief The four-function incremental operator interface of §2.
+///
+/// \tparam State the operator state S.
+/// \tparam Element the stream element type E.
+/// \tparam ResultT the evaluation result R.
+template <typename State, typename Element, typename ResultT>
+class IncrementalAggregate {
+ public:
+  virtual ~IncrementalAggregate() = default;
+
+  /// Returns an initial state S.
+  virtual State InitialState() const = 0;
+
+  /// Updates state with a newly arrived element.
+  virtual void Accumulate(State* state, const Element& element) const = 0;
+
+  /// Updates state upon the expiration of an element.
+  virtual void Deaccumulate(State* state, const Element& element) const = 0;
+
+  /// Computes the result R from the current state S.
+  virtual ResultT ComputeResult(const State& state) const = 0;
+};
+
+/// \brief The paper's worked example (§2): incremental average.
+class MeanAggregate final
+    : public IncrementalAggregate<std::pair<int64_t, double>, double, double> {
+ public:
+  using State = std::pair<int64_t, double>;  // {Count, Sum}
+
+  State InitialState() const override { return {0, 0.0}; }
+  void Accumulate(State* state, const double& element) const override {
+    state->first += 1;
+    state->second += element;
+  }
+  void Deaccumulate(State* state, const double& element) const override {
+    state->first -= 1;
+    state->second -= element;
+  }
+  double ComputeResult(const State& state) const override {
+    return state.first == 0 ? 0.0 : state.second / static_cast<double>(state.first);
+  }
+};
+
+/// \brief Generic window driver for any IncrementalAggregate.
+///
+/// Tumbling windows accumulate into a fresh state per period and never call
+/// Deaccumulate (§2: "the tumbling-window query is implemented with a smaller
+/// set of functions without Deaccumulate"); sliding windows retain the raw
+/// elements of the window and deaccumulate each expiring element.
+template <typename State, typename Element, typename ResultT>
+class WindowedAggregateQuery {
+ public:
+  /// \p aggregate must outlive the query.
+  WindowedAggregateQuery(
+      WindowSpec spec,
+      const IncrementalAggregate<State, Element, ResultT>* aggregate)
+      : spec_(spec), aggregate_(aggregate), state_(aggregate->InitialState()) {}
+
+  /// Validates the window spec; call before feeding elements.
+  Status Initialize() { return spec_.Validate(); }
+
+  /// Feeds one element; returns the evaluation result when this element
+  /// completes a period and the window is full.
+  std::optional<ResultT> OnElement(const Element& element) {
+    if (spec_.IsSliding()) {
+      retained_.push_back(element);
+      if (static_cast<int64_t>(retained_.size()) > spec_.size) {
+        aggregate_->Deaccumulate(&state_, retained_.front());
+        retained_.pop_front();
+      }
+    }
+    aggregate_->Accumulate(&state_, element);
+    ++seen_;
+    if (seen_ % spec_.period != 0 || seen_ < spec_.size) return std::nullopt;
+    ResultT result = aggregate_->ComputeResult(state_);
+    if (spec_.IsTumbling()) state_ = aggregate_->InitialState();
+    return result;
+  }
+
+  /// Number of elements fed so far.
+  int64_t seen() const { return seen_; }
+
+ private:
+  WindowSpec spec_;
+  const IncrementalAggregate<State, Element, ResultT>* aggregate_;
+  State state_;
+  std::deque<Element> retained_;  // sliding only
+  int64_t seen_ = 0;
+};
+
+}  // namespace qlove
+
+#endif  // QLOVE_STREAM_AGGREGATE_H_

@@ -1,0 +1,25 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The stream element model of §2: each element carries a value and a
+// timestamp capturing arrival order. The error_code field mirrors the
+// telemetry payload filtered by the paper's Qmonitor query
+// (`.Where(e => e.errorCode != 0)`).
+
+#ifndef QLOVE_STREAM_EVENT_H_
+#define QLOVE_STREAM_EVENT_H_
+
+#include <cstdint>
+
+namespace qlove {
+
+/// \brief One telemetry event.
+struct Event {
+  int64_t timestamp = 0;   ///< Arrival order (monotonic per stream).
+  double value = 0.0;      ///< Measured quantity (e.g. RTT in microseconds).
+  int32_t error_code = 0;  ///< Application payload; Qmonitor keeps != 0.
+
+  bool operator==(const Event&) const = default;
+};
+
+}  // namespace qlove
+
+#endif  // QLOVE_STREAM_EVENT_H_

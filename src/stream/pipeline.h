@@ -1,0 +1,155 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// A small LINQ-ish composition layer mirroring the paper's Qmonitor query:
+//
+//   Qmonitor = Stream
+//     .Window(windowSize, period)
+//     .Where(e => e.errorCode != 0)
+//     .Aggregate(c => c.Quantile(0.5, 0.9, 0.99, 0.999))
+//
+// C++ rendering:
+//
+//   auto results = FromVector(events)
+//       .Where([](const Event& e) { return e.error_code != 0; })
+//       .Select([](const Event& e) { return e.value; })
+//       .Window(spec)
+//       .Aggregate(&op);
+//
+// Streams are push-based and lazy: nothing runs until a terminal
+// (Aggregate / ToVector / ForEach) is invoked.
+
+#ifndef QLOVE_STREAM_PIPELINE_H_
+#define QLOVE_STREAM_PIPELINE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+#include "stream/quantile_operator.h"
+#include "stream/window.h"
+
+namespace qlove {
+
+template <typename T, typename Producer>
+class Stream;
+
+/// \brief Intermediate handle produced by Stream::Window; Aggregate(...)
+/// terminates the pipeline by driving a QuantileOperator.
+template <typename Producer>
+class WindowedStream {
+ public:
+  WindowedStream(Producer producer, WindowSpec spec)
+      : producer_(std::move(producer)), spec_(spec) {}
+
+  /// Runs the pipeline through \p op, returning every window evaluation.
+  /// Returns the first initialization error if the spec/operator are invalid.
+  Result<std::vector<WindowResult>> Aggregate(
+      QuantileOperator* op, const std::vector<double>& phis) && {
+    WindowedQuantileQuery query(spec_, phis, op);
+    QLOVE_RETURN_NOT_OK(query.Initialize());
+    std::vector<WindowResult> results;
+    producer_([&](const double& value) {
+      auto r = query.OnElement(value);
+      if (r.has_value()) results.push_back(std::move(*r));
+      return true;
+    });
+    return results;
+  }
+
+ private:
+  Producer producer_;
+  WindowSpec spec_;
+};
+
+/// \brief Lazy push-based stream of T.
+///
+/// \tparam Producer callable with signature
+///   void(const std::function<bool(const T&)>& sink); it must stop producing
+///   when the sink returns false.
+template <typename T, typename Producer>
+class Stream {
+ public:
+  explicit Stream(Producer producer) : producer_(std::move(producer)) {}
+
+  /// Keeps only elements satisfying \p pred.
+  template <typename Pred>
+  auto Where(Pred pred) && {
+    auto parent = std::move(producer_);
+    auto produce = [parent = std::move(parent), pred = std::move(pred)](
+                       const std::function<bool(const T&)>& sink) {
+      parent([&](const T& item) { return pred(item) ? sink(item) : true; });
+    };
+    return Stream<T, decltype(produce)>(std::move(produce));
+  }
+
+  /// Maps each element through \p fn.
+  template <typename Fn>
+  auto Select(Fn fn) && {
+    using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    auto parent = std::move(producer_);
+    auto produce = [parent = std::move(parent), fn = std::move(fn)](
+                       const std::function<bool(const U&)>& sink) {
+      parent([&](const T& item) { return sink(fn(item)); });
+    };
+    return Stream<U, decltype(produce)>(std::move(produce));
+  }
+
+  /// Windows the stream for quantile aggregation. Only value streams
+  /// (T = double) can be windowed; Select the value first.
+  auto Window(WindowSpec spec) &&
+    requires std::same_as<T, double>
+  {
+    return WindowedStream<Producer>(std::move(producer_), spec);
+  }
+
+  /// Terminal: invokes \p fn for every element.
+  template <typename Fn>
+  void ForEach(Fn fn) && {
+    producer_([&](const T& item) {
+      fn(item);
+      return true;
+    });
+  }
+
+  /// Terminal: materializes the stream.
+  std::vector<T> ToVector() && {
+    std::vector<T> out;
+    producer_([&](const T& item) {
+      out.push_back(item);
+      return true;
+    });
+    return out;
+  }
+
+ private:
+  Producer producer_;
+};
+
+/// Builds a stream over a borrowed vector (must outlive the pipeline run).
+template <typename T>
+auto FromVector(const std::vector<T>& items) {
+  auto produce = [&items](const std::function<bool(const T&)>& sink) {
+    for (const T& item : items) {
+      if (!sink(item)) return;
+    }
+  };
+  return Stream<T, decltype(produce)>(std::move(produce));
+}
+
+/// Builds a stream of \p n elements pulled from \p fn(i).
+template <typename Fn>
+auto FromFunction(int64_t n, Fn fn) {
+  using T = std::decay_t<decltype(fn(int64_t{0}))>;
+  auto produce = [n, fn = std::move(fn)](
+                     const std::function<bool(const T&)>& sink) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!sink(fn(i))) return;
+    }
+  };
+  return Stream<T, decltype(produce)>(std::move(produce));
+}
+
+}  // namespace qlove
+
+#endif  // QLOVE_STREAM_PIPELINE_H_

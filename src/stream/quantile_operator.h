@@ -1,0 +1,141 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The common interface implemented by every quantile policy evaluated in the
+// paper (QLOVE, Exact, CMQS, AM, Random, Moment), plus the sliding-window
+// driver that feeds them. The driver retains raw elements only for policies
+// that genuinely need per-element deaccumulation (Exact); sub-window-
+// summarizing policies expire whole sub-windows internally, which is the
+// source of QLOVE's scalability (§5.2).
+
+#ifndef QLOVE_STREAM_QUANTILE_OPERATOR_H_
+#define QLOVE_STREAM_QUANTILE_OPERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/window.h"
+
+namespace qlove {
+
+/// \brief Abstract sliding/tumbling-window quantile policy.
+///
+/// Lifecycle: Initialize(spec, phis) once, then per element Add(value); the
+/// driver invokes OnSubWindowBoundary() after every `period` elements and
+/// ComputeQuantiles() when an evaluation is due. Policies with
+/// NeedsPerElementEviction() == true additionally receive Evict(value) for
+/// each expiring element (called before the corresponding Add).
+class QuantileOperator {
+ public:
+  virtual ~QuantileOperator() = default;
+
+  /// Binds the operator to a window and a fixed, non-empty quantile set
+  /// (monitoring queries fix their quantiles for the whole query lifetime).
+  /// phis must each lie in (0, 1]. Implementations sort them ascending.
+  virtual Status Initialize(const WindowSpec& spec,
+                            const std::vector<double>& phis) = 0;
+
+  /// Accumulates one element.
+  virtual void Add(double value) = 0;
+
+  /// Deaccumulates one expired element (only called when
+  /// NeedsPerElementEviction() returns true).
+  virtual void Evict(double value) { (void)value; }
+
+  /// True when the driver must retain raw window contents and call Evict.
+  virtual bool NeedsPerElementEviction() const { return false; }
+
+  /// Signals that `period` elements have been fed since the last boundary.
+  /// Sub-window-summarizing policies finalize their in-flight sub-window.
+  virtual void OnSubWindowBoundary() {}
+
+  /// Returns one estimate per requested quantile, in the order the phis were
+  /// passed to Initialize. Called only when the window is full.
+  virtual std::vector<double> ComputeQuantiles() = 0;
+
+  /// Observed space usage right now, in variables (the paper's §5.1 memory
+  /// metric: every stored scalar counts as one variable).
+  virtual int64_t ObservedSpaceVariables() const = 0;
+
+  /// Analytical (worst-case) space in variables for the configured window.
+  virtual int64_t AnalyticalSpaceVariables() const = 0;
+
+  /// Policy name as it appears in the paper's tables.
+  virtual std::string Name() const = 0;
+
+  /// Returns to the freshly-initialized state (same spec and phis).
+  virtual void Reset() = 0;
+};
+
+/// \brief One evaluation of the windowed query.
+struct WindowResult {
+  int64_t end_index = 0;            ///< 1-based index of the last element.
+  std::vector<double> estimates;    ///< One per requested quantile.
+  int64_t observed_space = 0;       ///< Operator space at evaluation time.
+};
+
+/// \brief Drives a QuantileOperator over a stream under §2 semantics.
+class WindowedQuantileQuery {
+ public:
+  /// \p op must outlive the query.
+  WindowedQuantileQuery(WindowSpec spec, std::vector<double> phis,
+                        QuantileOperator* op)
+      : spec_(spec), phis_(std::move(phis)), op_(op) {}
+
+  /// Validates the spec and initializes the operator.
+  Status Initialize() {
+    QLOVE_RETURN_NOT_OK(spec_.Validate());
+    if (op_ == nullptr) return Status::InvalidArgument("null operator");
+    return op_->Initialize(spec_, phis_);
+  }
+
+  /// Feeds one element; returns an evaluation when this element completes a
+  /// period and at least one full window has been observed.
+  std::optional<WindowResult> OnElement(double value) {
+    if (op_->NeedsPerElementEviction()) {
+      retained_.push_back(value);
+      if (static_cast<int64_t>(retained_.size()) > spec_.size) {
+        op_->Evict(retained_.front());
+        retained_.pop_front();
+      }
+    }
+    op_->Add(value);
+    ++seen_;
+    if (seen_ % spec_.period != 0) return std::nullopt;
+    op_->OnSubWindowBoundary();
+    if (seen_ < spec_.size) return std::nullopt;
+    WindowResult result;
+    result.end_index = seen_;
+    result.estimates = op_->ComputeQuantiles();
+    result.observed_space = op_->ObservedSpaceVariables();
+    return result;
+  }
+
+  /// Feeds a batch, collecting every evaluation. Convenience for tests and
+  /// the bench harness.
+  std::vector<WindowResult> Run(const std::vector<double>& values) {
+    std::vector<WindowResult> results;
+    for (double v : values) {
+      auto r = OnElement(v);
+      if (r.has_value()) results.push_back(std::move(*r));
+    }
+    return results;
+  }
+
+  int64_t seen() const { return seen_; }
+  const WindowSpec& spec() const { return spec_; }
+
+ private:
+  WindowSpec spec_;
+  std::vector<double> phis_;
+  QuantileOperator* op_;
+  std::deque<double> retained_;  // only when op needs per-element eviction
+  int64_t seen_ = 0;
+};
+
+}  // namespace qlove
+
+#endif  // QLOVE_STREAM_QUANTILE_OPERATOR_H_

@@ -1,0 +1,8 @@
+// Anchor translation unit: compiles every engine header standalone so header
+// hygiene (self-containedness, -Wall cleanliness) is enforced by the build.
+
+#include "stream/aggregate.h"
+#include "stream/event.h"
+#include "stream/pipeline.h"
+#include "stream/quantile_operator.h"
+#include "stream/window.h"

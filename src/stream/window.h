@@ -1,0 +1,63 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Count-based windowing semantics of §2: a window of the latest `size`
+// elements, re-evaluated every `period` insertions. Tumbling iff
+// size == period; sliding iff size > period. QLOVE's sub-windows are always
+// aligned with the period ("the size of each sub-window is aligned with
+// window period", §3.1).
+
+#ifndef QLOVE_STREAM_WINDOW_H_
+#define QLOVE_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qlove {
+
+/// \brief Count-based window specification.
+struct WindowSpec {
+  int64_t size = 0;    ///< Number of latest elements covered by a query.
+  int64_t period = 0;  ///< Insertions between successive evaluations.
+
+  WindowSpec() = default;
+  WindowSpec(int64_t size_in, int64_t period_in)
+      : size(size_in), period(period_in) {}
+
+  /// Tumbling window: no overlap between successive evaluations.
+  bool IsTumbling() const { return size == period; }
+
+  /// Sliding window: successive evaluations overlap.
+  bool IsSliding() const { return size > period; }
+
+  /// Number of sub-windows (n in the paper): window size / period.
+  int64_t NumSubWindows() const { return period > 0 ? size / period : 0; }
+
+  /// Validates the invariants the paper assumes: positive sizes,
+  /// period <= size, and size divisible by period (sub-window alignment).
+  Status Validate() const {
+    if (size <= 0 || period <= 0) {
+      return Status::InvalidArgument("window size and period must be > 0");
+    }
+    if (period > size) {
+      return Status::InvalidArgument("period must not exceed window size");
+    }
+    if (size % period != 0) {
+      return Status::InvalidArgument(
+          "window size must be a multiple of the period (sub-window "
+          "alignment)");
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const {
+    return "window=" + std::to_string(size) +
+           " period=" + std::to_string(period);
+  }
+
+  bool operator==(const WindowSpec&) const = default;
+};
+
+}  // namespace qlove
+
+#endif  // QLOVE_STREAM_WINDOW_H_

@@ -1,0 +1,163 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlove {
+namespace workload {
+
+namespace {
+
+/// Inverse CDF of a Pareto(xm, alpha) truncated to [xm, cap].
+double TruncatedPareto(Rng* rng, double xm, double alpha, double cap) {
+  const double u = rng->NextDouble();
+  const double tail_mass_at_cap = 1.0 - std::pow(xm / cap, alpha);
+  const double x = xm / std::pow(1.0 - u * tail_mass_at_cap, 1.0 / alpha);
+  return std::min(x, cap);
+}
+
+}  // namespace
+
+NetMonGenerator::NetMonGenerator(uint64_t seed) : rng_(seed) {}
+
+double NetMonGenerator::Next() {
+  double value;
+  if (rng_.NextDouble() < kTailProbability) {
+    value = TruncatedPareto(&rng_, kTailMin, kTailAlpha, kTailMax);
+  } else {
+    value = rng_.LogNormal(kBodyLogMu, kBodyLogSigma);
+  }
+  // RTTs are recorded in integer microseconds; rounding is also what gives
+  // the workload its heavy value redundancy.
+  return std::max(1.0, std::round(value));
+}
+
+SearchGenerator::SearchGenerator(uint64_t seed) : rng_(seed) {}
+
+double SearchGenerator::Next() {
+  double value = rng_.Gamma(kGammaShape, kGammaScale);
+  value = std::min(value, kSlaCapMicros);
+  return std::max(1.0, std::round(value));
+}
+
+NormalGenerator::NormalGenerator(uint64_t seed, double mean, double stddev)
+    : rng_(seed), mean_(mean), stddev_(stddev) {}
+
+double NormalGenerator::Next() {
+  // The paper's parameters (mean 1e6, sd 5e4) keep mass 20 sigma from zero;
+  // the clamp only guards degenerate custom parameterizations.
+  return std::max(0.0, rng_.Normal(mean_, stddev_));
+}
+
+UniformGenerator::UniformGenerator(uint64_t seed, double lo, double hi)
+    : rng_(seed), lo_(lo), hi_(hi) {}
+
+double UniformGenerator::Next() { return rng_.Uniform(lo_, hi_); }
+
+ParetoGenerator::ParetoGenerator(uint64_t seed, double xm, double alpha)
+    : rng_(seed), xm_(xm), alpha_(alpha) {}
+
+double ParetoGenerator::Next() {
+  return std::round(rng_.Pareto(xm_, alpha_));
+}
+
+Ar1Generator::Ar1Generator(uint64_t seed, double psi, double mean,
+                           double stddev)
+    : rng_(seed),
+      psi_(psi),
+      mean_(mean),
+      stddev_(stddev),
+      innovation_stddev_(stddev * std::sqrt(1.0 - psi * psi)) {}
+
+double Ar1Generator::Next() {
+  if (!has_previous_) {
+    // Start from the stationary marginal so the whole series is N(mu, sigma).
+    previous_ = rng_.Normal(mean_, stddev_);
+    has_previous_ = true;
+    return previous_;
+  }
+  previous_ =
+      mean_ + psi_ * (previous_ - mean_) + rng_.Normal(0.0, innovation_stddev_);
+  return previous_;
+}
+
+void Ar1Generator::Reset(uint64_t seed) {
+  rng_.Seed(seed);
+  has_previous_ = false;
+}
+
+BurstInjector::BurstInjector(Generator* inner, int64_t window_size,
+                             int64_t period, double phi, double factor,
+                             uint64_t seed)
+    : inner_(inner),
+      window_size_(window_size),
+      period_(period),
+      phi_(phi),
+      factor_(factor),
+      burst_every_(std::max<int64_t>(1, window_size / period)) {
+  (void)seed;
+  buffer_.reserve(static_cast<size_t>(period_));
+}
+
+void BurstInjector::FillBuffer() {
+  buffer_.clear();
+  for (int64_t i = 0; i < period_; ++i) buffer_.push_back(inner_->Next());
+  ++subwindow_index_;
+  if (subwindow_index_ % burst_every_ == 0) {
+    // Scale this sub-window's top N(1-phi) values by `factor` (§5.3: "we
+    // increase the values of the top N(1-phi) elements in every (N/P)th
+    // sub-window of size P by 10x").
+    int64_t k = static_cast<int64_t>(
+        std::llround(static_cast<double>(window_size_) * (1.0 - phi_)));
+    k = std::clamp<int64_t>(k, 1, period_);
+    std::vector<size_t> order(buffer_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](size_t a, size_t b) {
+                       return buffer_[a] > buffer_[b];
+                     });
+    for (int64_t i = 0; i < k; ++i) {
+      buffer_[order[static_cast<size_t>(i)]] *= factor_;
+    }
+  }
+  buffer_pos_ = 0;
+}
+
+double BurstInjector::Next() {
+  if (buffer_pos_ >= buffer_.size()) FillBuffer();
+  return buffer_[buffer_pos_++];
+}
+
+void BurstInjector::Reset(uint64_t seed) {
+  inner_->Reset(seed);
+  buffer_.clear();
+  buffer_pos_ = 0;
+  subwindow_index_ = 0;
+}
+
+double ReducePrecision(double value, int drop_digits) {
+  if (drop_digits <= 0) return value;
+  const double scale = std::pow(10.0, drop_digits);
+  return std::round(value / scale) * scale;
+}
+
+std::vector<double> Materialize(Generator* gen, int64_t n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(gen->Next());
+  return out;
+}
+
+std::vector<Event> MakeEvents(const std::vector<double>& values,
+                              int32_t error_code) {
+  std::vector<Event> events;
+  events.reserve(values.size());
+  int64_t ts = 0;
+  for (double v : values) {
+    events.push_back(Event{ts++, v, error_code});
+  }
+  return events;
+}
+
+}  // namespace workload
+}  // namespace qlove

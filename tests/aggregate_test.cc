@@ -1,0 +1,102 @@
+#include "stream/aggregate.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace {
+
+TEST(MeanAggregateTest, FourFunctionContract) {
+  MeanAggregate mean;
+  auto state = mean.InitialState();
+  EXPECT_EQ(state.first, 0);
+  mean.Accumulate(&state, 10.0);
+  mean.Accumulate(&state, 20.0);
+  EXPECT_DOUBLE_EQ(mean.ComputeResult(state), 15.0);
+  mean.Deaccumulate(&state, 10.0);
+  EXPECT_DOUBLE_EQ(mean.ComputeResult(state), 20.0);
+  mean.Deaccumulate(&state, 20.0);
+  EXPECT_DOUBLE_EQ(mean.ComputeResult(state), 0.0);  // empty state guard
+}
+
+TEST(WindowedAggregateTest, TumblingMeanEvaluatesPerPeriod) {
+  MeanAggregate mean;
+  WindowedAggregateQuery<MeanAggregate::State, double, double> query(
+      WindowSpec(3, 3), &mean);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> results;
+  for (double v : {1.0, 2.0, 3.0, 10.0, 20.0, 30.0}) {
+    auto r = query.OnElement(v);
+    if (r.has_value()) results.push_back(*r);
+  }
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0], 2.0);
+  EXPECT_DOUBLE_EQ(results[1], 20.0);  // state reset between windows
+}
+
+TEST(WindowedAggregateTest, SlidingMeanDeaccumulatesExpired) {
+  MeanAggregate mean;
+  WindowedAggregateQuery<MeanAggregate::State, double, double> query(
+      WindowSpec(4, 2), &mean);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> results;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) {
+    auto r = query.OnElement(v);
+    if (r.has_value()) results.push_back(*r);
+  }
+  // Windows: {1,2,3,4}, {3,4,5,6}, {5,6,7,8}.
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0], 2.5);
+  EXPECT_DOUBLE_EQ(results[1], 4.5);
+  EXPECT_DOUBLE_EQ(results[2], 6.5);
+}
+
+TEST(WindowedAggregateTest, NoEvaluationBeforeWindowFull) {
+  MeanAggregate mean;
+  WindowedAggregateQuery<MeanAggregate::State, double, double> query(
+      WindowSpec(10, 2), &mean);
+  ASSERT_TRUE(query.Initialize().ok());
+  int evaluations = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (query.OnElement(1.0).has_value()) ++evaluations;
+  }
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(query.OnElement(1.0).has_value());
+}
+
+TEST(WindowedAggregateTest, InvalidSpecFailsInitialize) {
+  MeanAggregate mean;
+  WindowedAggregateQuery<MeanAggregate::State, double, double> query(
+      WindowSpec(10, 3), &mean);
+  EXPECT_FALSE(query.Initialize().ok());
+}
+
+TEST(WindowedAggregateTest, SlidingMatchesBruteForceMean) {
+  MeanAggregate mean;
+  const WindowSpec spec(6, 3);
+  WindowedAggregateQuery<MeanAggregate::State, double, double> query(spec,
+                                                                     &mean);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> data;
+  for (int i = 1; i <= 30; ++i) data.push_back(i * 1.5);
+  std::vector<double> results;
+  for (double v : data) {
+    auto r = query.OnElement(v);
+    if (r.has_value()) results.push_back(*r);
+  }
+  size_t idx = 0;
+  for (size_t end = spec.size; end <= data.size(); end += spec.period) {
+    const double expected =
+        std::accumulate(data.begin() + (end - spec.size), data.begin() + end,
+                        0.0) /
+        static_cast<double>(spec.size);
+    ASSERT_LT(idx, results.size());
+    EXPECT_NEAR(results[idx++], expected, 1e-9);
+  }
+  EXPECT_EQ(idx, results.size());
+}
+
+}  // namespace
+}  // namespace qlove

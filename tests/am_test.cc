@@ -1,0 +1,130 @@
+#include "sketch/am.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(AmTest, InitializeValidation) {
+  AmOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {2.0}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  EXPECT_EQ(op.Name(), "AM");
+
+  AmOperator bad(AmOptions{.epsilon = 1.5});
+  EXPECT_FALSE(bad.Initialize(WindowSpec(10, 5), {0.5}).ok());
+}
+
+TEST(AmTest, BaseBlockDividesPeriod) {
+  AmOperator op(AmOptions{.epsilon = 0.02});
+  ASSERT_TRUE(op.Initialize(WindowSpec(128000, 16000), {0.5}).ok());
+  EXPECT_GT(op.base_block_size(), 0);
+  EXPECT_EQ(16000 % op.base_block_size(), 0);
+  EXPECT_LE(op.base_block_size(), 0.02 * 128000 / 2.0);
+  EXPECT_GT(op.levels(), 1);
+}
+
+TEST(AmTest, TinyWindowStillAnswers) {
+  AmOperator op(AmOptions{.epsilon = 0.1});
+  WindowedQuantileQuery query(WindowSpec(20, 10), {0.5, 1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> data;
+  for (int i = 1; i <= 60; ++i) data.push_back(i);
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_GE(r.estimates[0], r.end_index - 20 + 1);
+    EXPECT_LE(r.estimates[0], r.end_index);
+  }
+}
+
+struct AmCase {
+  double epsilon;
+  uint64_t seed;
+  int distribution;  // 0 netmon, 1 uniform
+};
+
+class AmPropertyTest : public ::testing::TestWithParam<AmCase> {};
+
+TEST_P(AmPropertyTest, RankErrorBounded) {
+  const AmCase param = GetParam();
+  AmOperator op(AmOptions{.epsilon = param.epsilon});
+  std::vector<double> data;
+  if (param.distribution == 0) {
+    workload::NetMonGenerator gen(param.seed);
+    data = workload::Materialize(&gen, 40000);
+  } else {
+    workload::UniformGenerator gen(param.seed, 0.0, 1e6);
+    data = workload::Materialize(&gen, 40000);
+  }
+  const WindowSpec spec(8000, 1000);
+  const std::vector<double> phis = {0.5, 0.9, 0.99};
+  auto result = bench_util::RunAccuracy(&op, data, spec, phis, true);
+  ASSERT_GT(result.evaluations, 0);
+  EXPECT_LE(result.max_rank_error, param.epsilon + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Epsilons, AmPropertyTest,
+    ::testing::Values(AmCase{0.02, 1, 0}, AmCase{0.05, 2, 0},
+                      AmCase{0.1, 3, 0}, AmCase{0.02, 4, 1},
+                      AmCase{0.05, 5, 1}));
+
+TEST(AmTest, ExpiryKeepsSpaceBounded) {
+  AmOperator op(AmOptions{.epsilon = 0.05});
+  const WindowSpec spec(4000, 1000);
+  WindowedQuantileQuery query(spec, {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(5);
+  // Stream far more data than one window; peak space must stay well below
+  // raw retention of the stream.
+  for (int i = 0; i < 100000; ++i) {
+    query.OnElement(rng.NextDouble());
+  }
+  EXPECT_LT(op.ObservedSpaceVariables(), 40000);
+  EXPECT_GT(op.ObservedSpaceVariables(), 0);
+}
+
+TEST(AmTest, TailLadderKeepsMaximumNearExact) {
+  // The geometric tail ladder stores the block maximum in a width-1 cell,
+  // so Q1.0 answers with the exact window maximum.
+  AmOperator op(AmOptions{.epsilon = 0.02});
+  const WindowSpec spec(4000, 1000);
+  WindowedQuantileQuery query(spec, {1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(7);
+  std::deque<double> window;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Pareto(1.0, 1.0);
+    window.push_back(v);
+    if (window.size() > 4000) window.pop_front();
+    auto r = query.OnElement(v);
+    if (r.has_value()) {
+      const double true_max = *std::max_element(window.begin(), window.end());
+      EXPECT_EQ(r->estimates[0], true_max) << "at " << r->end_index;
+    }
+  }
+}
+
+TEST(AmTest, ResetClearsState) {
+  AmOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(100, 10), {0.5}).ok());
+  for (int i = 0; i < 100; ++i) op.Add(i);
+  op.Reset();
+  EXPECT_EQ(op.ObservedSpaceVariables(), 0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,92 @@
+#include "core/burst_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace core {
+namespace {
+
+TEST(BurstDetectorTest, TooFewSamplesNeverFires) {
+  BurstDetector detector;
+  EXPECT_FALSE(detector.IsBursty({1000.0, 2000.0}, {1.0, 2.0}));
+  EXPECT_FALSE(detector.IsBursty({}, {}));
+  EXPECT_FALSE(detector.IsBursty({1, 2, 3, 4, 5}, {1, 2}));
+}
+
+TEST(BurstDetectorTest, AllTiedIsNotBursty) {
+  BurstDetector detector;
+  const std::vector<double> same(10, 5.0);
+  EXPECT_FALSE(detector.IsBursty(same, same));
+}
+
+TEST(BurstDetectorTest, TenXScaleFires) {
+  // The Table-4 injection scales tail values by 10x; the detector must fire.
+  Rng rng(1);
+  std::vector<double> previous;
+  std::vector<double> current;
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.Uniform(1500.0, 2500.0);
+    previous.push_back(base);
+    current.push_back(base * 10.0);
+  }
+  BurstDetector detector;
+  EXPECT_TRUE(detector.IsBursty(current, previous));
+  // The reverse direction (traffic calming down) is not a burst.
+  EXPECT_FALSE(detector.IsBursty(previous, current));
+}
+
+TEST(BurstDetectorTest, SelfSimilarTrafficDoesNotFire) {
+  Rng rng(2);
+  int fires = 0;
+  const int trials = 200;
+  BurstDetector detector;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> previous;
+    std::vector<double> current;
+    for (int i = 0; i < 16; ++i) {
+      previous.push_back(rng.LogNormal(7.0, 0.3));
+      current.push_back(rng.LogNormal(7.0, 0.3));
+    }
+    if (detector.IsBursty(current, previous)) ++fires;
+  }
+  // One-sided alpha = 0.05: false positive rate should hover near 5%.
+  EXPECT_LT(fires, trials / 8);
+}
+
+TEST(BurstDetectorTest, SignificanceIsConfigurable) {
+  Rng rng(3);
+  std::vector<double> previous;
+  std::vector<double> current;
+  for (int i = 0; i < 12; ++i) {
+    previous.push_back(rng.Uniform(100.0, 200.0));
+    current.push_back(rng.Uniform(140.0, 240.0));  // mild shift
+  }
+  BurstDetector strict(1e-6);
+  BurstDetector loose(0.4, 4, 0.5);
+  EXPECT_FALSE(strict.IsBursty(current, previous));
+  EXPECT_TRUE(loose.IsBursty(current, previous));
+}
+
+TEST(BurstDetectorTest, EffectSizeGuardBlocksTinyShifts) {
+  // With hundreds of samples a 3% shift is statistically significant but
+  // operationally irrelevant; the superiority floor must block it.
+  Rng rng(4);
+  std::vector<double> previous;
+  std::vector<double> current;
+  for (int i = 0; i < 500; ++i) {
+    previous.push_back(rng.Uniform(1000.0, 2000.0));
+    current.push_back(rng.Uniform(1030.0, 2030.0));
+  }
+  BurstDetector guarded(0.05, 4, 0.7);
+  BurstDetector unguarded(0.05, 4, 0.0);
+  EXPECT_FALSE(guarded.IsBursty(current, previous));
+  EXPECT_TRUE(unguarded.IsBursty(current, previous));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qlove

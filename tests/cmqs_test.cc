@@ -1,0 +1,141 @@
+#include "sketch/cmqs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(CmqsTest, InitializeValidation) {
+  CmqsOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {-0.5}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  EXPECT_FALSE(op.NeedsPerElementEviction());
+  EXPECT_EQ(op.Name(), "CMQS");
+
+  CmqsOperator bad_eps(CmqsOptions{.epsilon = 0.0});
+  EXPECT_FALSE(bad_eps.Initialize(WindowSpec(10, 5), {0.5}).ok());
+}
+
+TEST(CmqsTest, BucketSizingFollowsEpsilon) {
+  // Buckets span ~eps*N/2 elements rounded down to whole periods; sketch
+  // capacity follows the GK size O((1/eps) log(eps B)).
+  CmqsOperator op(CmqsOptions{.epsilon = 0.02});
+  ASSERT_TRUE(op.Initialize(WindowSpec(131072, 16384), {0.5}).ok());
+  EXPECT_EQ(op.bucket_size(), 16384);  // eps*N/2 = 1310 < period -> 1 period
+  EXPECT_EQ(op.bucket_capacity(), 209);  // ceil(25 * log2(0.02 * 16384))
+
+  CmqsOperator wide(CmqsOptions{.epsilon = 0.2});
+  ASSERT_TRUE(wide.Initialize(WindowSpec(102400, 1024), {0.5}).ok());
+  EXPECT_EQ(wide.bucket_size(), 10240);  // floor(10240 / 1024) periods
+  EXPECT_EQ(wide.bucket_capacity(), 28);  // ceil(2.5 * log2(2048))
+
+  CmqsOperator tiny(CmqsOptions{.epsilon = 0.02});
+  ASSERT_TRUE(tiny.Initialize(WindowSpec(100, 50), {0.5}).ok());
+  EXPECT_EQ(tiny.bucket_size(), 50);
+  EXPECT_EQ(tiny.bucket_capacity(), 25);  // ceil(25 * log2(2)) = 25
+}
+
+TEST(CmqsTest, AnswersStayWithinWindowRange) {
+  CmqsOperator op(CmqsOptions{.epsilon = 0.1});
+  WindowedQuantileQuery query(WindowSpec(20, 10), {0.5, 1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> data;
+  for (int i = 1; i <= 60; ++i) data.push_back(i);
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_GE(r.estimates[0], r.end_index - 20 + 1);
+    EXPECT_LE(r.estimates[0], r.end_index);
+    EXPECT_GE(r.estimates[1], r.estimates[0]);
+    // Q1.0 answers from the last midpoint-valued cell: within half a cell
+    // (cell width = P / capacity = 5) of the true maximum.
+    EXPECT_GE(r.estimates[1], r.end_index - 5);
+    EXPECT_LE(r.estimates[1], r.end_index);
+  }
+}
+
+struct CmqsCase {
+  double epsilon;
+  uint64_t seed;
+};
+
+class CmqsPropertyTest : public ::testing::TestWithParam<CmqsCase> {};
+
+TEST_P(CmqsPropertyTest, RankErrorBoundedOnNetMon) {
+  const CmqsCase param = GetParam();
+  CmqsOperator op(CmqsOptions{.epsilon = param.epsilon});
+  workload::NetMonGenerator gen(param.seed);
+  auto data = workload::Materialize(&gen, 40000);
+  const WindowSpec spec(8000, 1000);
+  const std::vector<double> phis = {0.5, 0.9, 0.99};
+  auto result = bench_util::RunAccuracy(&op, data, spec, phis, true);
+  ASSERT_GT(result.evaluations, 0);
+  // Bucket entries carry exact ranks spaced P/c apart, so each bucket
+  // contributes at most P/(2c) ranks of interpolation slack; across n
+  // buckets the worst case is 1/(2c) of the window, on top of epsilon.
+  ASSERT_TRUE(op.Initialize(spec, phis).ok());
+  const double bound =
+      param.epsilon + 1.0 / (2.0 * static_cast<double>(op.bucket_capacity()));
+  EXPECT_LE(result.max_rank_error, bound + 1e-9);
+  for (double avg : result.avg_rank_error) {
+    EXPECT_LE(avg, bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Epsilons, CmqsPropertyTest,
+    ::testing::Values(CmqsCase{0.02, 1}, CmqsCase{0.05, 2},
+                      CmqsCase{0.1, 3}, CmqsCase{0.04, 4},
+                      CmqsCase{0.2, 5}));
+
+TEST(CmqsTest, InflightSummaryGrowsAsEpsilonShrinks) {
+  // The streaming-maintenance cost CMQS pays per element is the in-flight
+  // GK summary, which grows as epsilon shrinks (the Figure-4 trade-off).
+  // The completed-bucket sketches move the other way (capacity eps*P/2),
+  // so total space is not monotone; the per-element cost is.
+  workload::NetMonGenerator gen(9);
+  int64_t prev_tuples = 0;
+  for (double eps : {0.2, 0.05, 0.01}) {
+    GkSummary gk(eps / 2.0);
+    gen.Reset(9);
+    for (int i = 0; i < 10000; ++i) gk.Insert(gen.Next());
+    EXPECT_GT(gk.TupleCount(), prev_tuples) << "eps=" << eps;
+    prev_tuples = gk.TupleCount();
+  }
+}
+
+TEST(CmqsTest, RawBucketDominatesObservedSpace) {
+  CmqsOperator op(CmqsOptions{.epsilon = 0.02});
+  const WindowSpec spec(8000, 1000);
+  WindowedQuantileQuery query(spec, {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(3);
+  for (int i = 0; i < 16000; ++i) query.OnElement(rng.NextDouble());
+  // Peak includes one full raw bucket (P scalars) plus sketches.
+  EXPECT_GE(op.ObservedSpaceVariables(), spec.period);
+  EXPECT_LT(op.ObservedSpaceVariables(), spec.size);
+}
+
+TEST(CmqsTest, ResetClearsState) {
+  CmqsOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  for (int i = 0; i < 10; ++i) op.Add(i);
+  op.OnSubWindowBoundary();
+  op.Reset();
+  EXPECT_EQ(op.ObservedSpaceVariables(), 0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

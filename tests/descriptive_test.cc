@@ -1,0 +1,89 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace stats {
+namespace {
+
+TEST(DescriptiveTest, QuantileRankPaperDefinition) {
+  EXPECT_EQ(QuantileRank(0.5, 100000), 50000);
+  EXPECT_EQ(QuantileRank(0.99, 100000), 99000);
+  EXPECT_EQ(QuantileRank(0.999, 1000), 999);
+  EXPECT_EQ(QuantileRank(1.0, 10), 10);
+  EXPECT_EQ(QuantileRank(0.0001, 10), 1);   // clamped low
+  EXPECT_EQ(QuantileRank(0.5, 1), 1);
+}
+
+TEST(DescriptiveTest, ExactQuantileSortedBasics) {
+  const std::vector<double> sorted = {10, 20, 30, 40, 50};
+  EXPECT_EQ(ExactQuantileSorted(sorted, 0.5).ValueOrDie(), 30.0);
+  EXPECT_EQ(ExactQuantileSorted(sorted, 0.2).ValueOrDie(), 10.0);
+  EXPECT_EQ(ExactQuantileSorted(sorted, 0.21).ValueOrDie(), 20.0);
+  EXPECT_EQ(ExactQuantileSorted(sorted, 1.0).ValueOrDie(), 50.0);
+}
+
+TEST(DescriptiveTest, ExactQuantileRejectsBadInput) {
+  EXPECT_FALSE(ExactQuantileSorted({}, 0.5).ok());
+  EXPECT_FALSE(ExactQuantileSorted({1.0}, 0.0).ok());
+  EXPECT_FALSE(ExactQuantileSorted({1.0}, 1.5).ok());
+  EXPECT_FALSE(ExactQuantile({}, 0.5).ok());
+  EXPECT_FALSE(ExactQuantiles({1.0}, {0.5, -0.1}).ok());
+  EXPECT_FALSE(ExactQuantiles({}, {0.5}).ok());
+}
+
+TEST(DescriptiveTest, ExactQuantileUnsortedMatchesSorted) {
+  const std::vector<double> data = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(ExactQuantile(data, phi).ValueOrDie(),
+              ExactQuantileSorted(sorted, phi).ValueOrDie());
+  }
+}
+
+TEST(DescriptiveTest, ExactQuantilesBatch) {
+  const std::vector<double> data = {5, 3, 1, 4, 2};
+  auto q = ExactQuantiles(data, {0.2, 0.4, 0.6, 0.8, 1.0}).ValueOrDie();
+  EXPECT_EQ(q, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const std::vector<double> data = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(data), 5.0);
+  EXPECT_NEAR(Variance(data), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(data), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, Lag1AutocorrelationOfAlternatingSeries) {
+  // Perfect alternation has lag-1 autocorrelation near -1.
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(Lag1Autocorrelation(data), -1.0, 0.01);
+  EXPECT_EQ(Lag1Autocorrelation({1.0}), 0.0);
+  EXPECT_EQ(Lag1Autocorrelation({3.0, 3.0, 3.0}), 0.0);  // zero variance
+}
+
+TEST(DescriptiveTest, Lag1AutocorrelationOfIidIsNearZero) {
+  Rng rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.Gaussian());
+  EXPECT_NEAR(Lag1Autocorrelation(data), 0.0, 0.03);
+}
+
+TEST(DescriptiveTest, UniqueFraction) {
+  EXPECT_EQ(UniqueFraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(UniqueFraction({1, 1, 1, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(UniqueFraction({1, 2, 3, 4}), 1.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace qlove

@@ -1,0 +1,77 @@
+#include "core/error_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace qlove {
+namespace core {
+namespace {
+
+TEST(TheoremOneBoundTest, MatchesClosedForm) {
+  // eb = 2 * 1.96 * sqrt(phi(1-phi)) / (sqrt(n m) f).
+  const double phi = 0.5;
+  const double density = 0.01;
+  const double bound = TheoremOneBound(phi, 8, 16384, density, 0.05);
+  const double expected = 2.0 * stats::NormalUpperCritical(0.025) * 0.5 /
+                          (std::sqrt(8.0 * 16384.0) * 0.01);
+  EXPECT_NEAR(bound, expected, 1e-9);
+}
+
+TEST(TheoremOneBoundTest, DegenerateInputsGiveInfinity) {
+  EXPECT_TRUE(std::isinf(TheoremOneBound(0.5, 8, 100, 0.0)));
+  EXPECT_TRUE(std::isinf(TheoremOneBound(0.5, 0, 100, 0.1)));
+  EXPECT_TRUE(std::isinf(TheoremOneBound(0.5, 8, 0, 0.1)));
+}
+
+TEST(TheoremOneBoundTest, TightensWithMoreData) {
+  const double b_small = TheoremOneBound(0.5, 4, 1000, 0.01);
+  const double b_more_subwindows = TheoremOneBound(0.5, 16, 1000, 0.01);
+  const double b_bigger_subwindows = TheoremOneBound(0.5, 4, 16000, 0.01);
+  EXPECT_LT(b_more_subwindows, b_small);
+  EXPECT_LT(b_bigger_subwindows, b_small);
+}
+
+TEST(TheoremOneBoundTest, LooserInSparseTails) {
+  // Lower density at the quantile -> wider bound (the paper's argument for
+  // why high quantiles have looser bounds).
+  EXPECT_GT(TheoremOneBound(0.999, 8, 1000, 0.0001),
+            TheoremOneBound(0.5, 8, 1000, 0.01));
+}
+
+TEST(DensityEstimatorTest, EmptyIsFailedPrecondition) {
+  DensityEstimator est(16);
+  EXPECT_FALSE(est.DensityAt(1.0).ok());
+  EXPECT_EQ(est.size(), 0);
+}
+
+TEST(DensityEstimatorTest, RingOverwritesOldest) {
+  DensityEstimator est(4);
+  for (int i = 0; i < 10; ++i) est.Observe(static_cast<double>(i));
+  EXPECT_EQ(est.size(), 4);  // capacity bound holds
+}
+
+TEST(DensityEstimatorTest, RecoversGaussianDensity) {
+  DensityEstimator est(4096);
+  Rng rng(7);
+  for (int i = 0; i < 4096; ++i) est.Observe(rng.Normal(1000.0, 100.0));
+  const double at_mean = est.DensityAt(1000.0).ValueOrDie();
+  const double truth = stats::NormalPdf(0.0) / 100.0;  // scale by sigma
+  EXPECT_NEAR(at_mean / truth, 1.0, 0.15);
+}
+
+TEST(DensityEstimatorTest, ResetEmpties) {
+  DensityEstimator est(8);
+  est.Observe(1.0);
+  est.Reset();
+  EXPECT_EQ(est.size(), 0);
+  EXPECT_FALSE(est.DensityAt(1.0).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qlove

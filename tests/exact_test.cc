@@ -1,0 +1,92 @@
+#include "sketch/exact.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+#include "stream/quantile_operator.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(ExactOperatorTest, InitializeValidation) {
+  ExactOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {1.5}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5, 0.9}).ok());
+  EXPECT_TRUE(op.NeedsPerElementEviction());
+  EXPECT_EQ(op.Name(), "Exact");
+}
+
+TEST(ExactOperatorTest, MatchesOfflineSortOnSlidingWindows) {
+  ExactOperator op;
+  const WindowSpec spec(100, 20);
+  const std::vector<double> phis = {0.1, 0.5, 0.9, 0.99, 1.0};
+  WindowedQuantileQuery query(spec, phis, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(std::floor(rng.Normal(500, 100)));
+  }
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& result : results) {
+    const auto first = static_cast<size_t>(result.end_index - spec.size);
+    std::vector<double> window(data.begin() + first,
+                               data.begin() + result.end_index);
+    std::sort(window.begin(), window.end());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      EXPECT_EQ(result.estimates[i],
+                stats::ExactQuantileSorted(window, phis[i]).ValueOrDie())
+          << "end=" << result.end_index << " phi=" << phis[i];
+    }
+  }
+}
+
+TEST(ExactOperatorTest, DuplicateHeavyStreamUsesFewNodes) {
+  ExactOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(1000, 1000), {0.5}).ok());
+  for (int i = 0; i < 1000; ++i) op.Add(static_cast<double>(i % 10));
+  EXPECT_EQ(op.TotalCount(), 1000);
+  EXPECT_LE(op.ObservedSpaceVariables(), 10 * 2);
+  EXPECT_EQ(op.AnalyticalSpaceVariables(), 2000);
+}
+
+TEST(ExactOperatorTest, PeakSpaceSurvivesEviction) {
+  ExactOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(100, 10), {0.5}).ok());
+  for (int i = 0; i < 100; ++i) op.Add(i);
+  const int64_t peak = op.ObservedSpaceVariables();
+  for (int i = 0; i < 100; ++i) op.Evict(i);
+  EXPECT_EQ(op.TotalCount(), 0);
+  EXPECT_EQ(op.ObservedSpaceVariables(), peak);  // peak is sticky
+}
+
+TEST(ExactOperatorTest, ResetClearsStateAndPeak) {
+  ExactOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(10, 10), {0.5}).ok());
+  for (int i = 0; i < 10; ++i) op.Add(i);
+  op.Reset();
+  EXPECT_EQ(op.TotalCount(), 0);
+  EXPECT_EQ(op.ObservedSpaceVariables(), 0);
+}
+
+TEST(ExactOperatorTest, EmptyComputeReturnsZeros) {
+  ExactOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(10, 10), {0.5, 0.9}).ok());
+  auto q = op.ComputeQuantiles();
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], 0.0);
+  EXPECT_EQ(q[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

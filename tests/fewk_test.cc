@@ -1,0 +1,128 @@
+#include "core/fewk.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace core {
+namespace {
+
+TEST(PlanFewKTest, PaperSizingForTable3) {
+  // N = 131072 (128K binary), phi = 0.999 -> tail = ceil(131.07) = 132.
+  FewKSizing sizing;
+  sizing.topk_fraction = 0.1;
+  sizing.samplek_fraction = 0.0;
+  auto plan = PlanFewK(0.999, 131072, 8192, sizing);
+  EXPECT_EQ(plan.tail_size, 132);
+  EXPECT_EQ(plan.exact_tail_rank, 132);
+  EXPECT_EQ(plan.kt, 13);  // round(13.2): the paper's "top-13"
+  EXPECT_EQ(plan.ks, 0);
+  EXPECT_TRUE(plan.topk_enabled);  // P(1-phi) = 8.19 < Ts = 10
+}
+
+TEST(PlanFewKTest, TopKDisabledForLargePeriods) {
+  FewKSizing sizing;
+  auto plan = PlanFewK(0.999, 131072, 16384, sizing);
+  EXPECT_FALSE(plan.topk_enabled);  // P(1-phi) = 16.4 >= 10
+  auto plan2 = PlanFewK(0.99, 131072, 16384, sizing);
+  EXPECT_FALSE(plan2.topk_enabled);  // 163.8 >= 10
+}
+
+TEST(PlanFewKTest, AutoKtUsesPerSubWindowShare) {
+  FewKSizing sizing;  // topk_fraction <= 0 -> auto
+  auto plan = PlanFewK(0.999, 131072, 8192, sizing);
+  EXPECT_EQ(plan.kt, 9);  // ceil(8192 * 0.001) = 9
+  auto tiny = PlanFewK(0.999, 131072, 1024, sizing);
+  EXPECT_EQ(tiny.kt, 2);  // ceil(1.024) = 2, clamped >= 1
+}
+
+TEST(PlanFewKTest, SampleSizingForTable4) {
+  // Table 4: 16K period, fraction 0.5 at Q0.999 -> ~66 samples/sub-window,
+  // 8 sub-windows -> observed space ~524.
+  FewKSizing sizing;
+  sizing.samplek_fraction = 0.5;
+  auto plan = PlanFewK(0.999, 131072, 16384, sizing);
+  EXPECT_EQ(plan.tail_size, 132);
+  EXPECT_EQ(plan.ks, 66);
+  EXPECT_DOUBLE_EQ(plan.alpha, 0.5);
+}
+
+TEST(PlanFewKTest, BudgetsClampToTail) {
+  FewKSizing sizing;
+  sizing.topk_fraction = 5.0;   // over-budget
+  sizing.samplek_fraction = 3.0;
+  auto plan = PlanFewK(0.99, 1000, 100, sizing);
+  EXPECT_EQ(plan.tail_size, 10);
+  EXPECT_EQ(plan.exact_tail_rank, 11);  // 1000 - ceil(990) + 1
+  EXPECT_EQ(plan.kt, 11);               // clamped to the exact tail rank
+  EXPECT_EQ(plan.ks, 10);               // clamped to tail_size
+  EXPECT_DOUBLE_EQ(plan.alpha, 1.0);
+}
+
+std::vector<const TailCapture*> Pointers(
+    const std::vector<TailCapture>& tails) {
+  std::vector<const TailCapture*> out;
+  for (const auto& t : tails) out.push_back(&t);
+  return out;
+}
+
+TEST(MergeTopKTest, EmptyIsFailedPrecondition) {
+  std::vector<TailCapture> tails(3);
+  EXPECT_FALSE(MergeTopK(Pointers(tails), 5).ok());
+}
+
+TEST(MergeTopKTest, GlobalRankAcrossSubWindows) {
+  // E4-style spread: each sub-window holds distinct top values.
+  std::vector<TailCapture> tails(3);
+  tails[0].topk = {{100.0, 1}, {90.0, 1}};
+  tails[1].topk = {{95.0, 1}, {85.0, 1}};
+  tails[2].topk = {{98.0, 1}, {80.0, 1}};
+  // Merged descending: 100, 98, 95, 90, 85, 80.
+  EXPECT_EQ(MergeTopK(Pointers(tails), 1).ValueOrDie(), 100.0);
+  EXPECT_EQ(MergeTopK(Pointers(tails), 3).ValueOrDie(), 95.0);
+  EXPECT_EQ(MergeTopK(Pointers(tails), 6).ValueOrDie(), 80.0);
+}
+
+TEST(MergeTopKTest, MultiplicityCounts) {
+  std::vector<TailCapture> tails(1);
+  tails[0].topk = {{50.0, 3}, {40.0, 2}};
+  EXPECT_EQ(MergeTopK(Pointers(tails), 3).ValueOrDie(), 50.0);
+  EXPECT_EQ(MergeTopK(Pointers(tails), 4).ValueOrDie(), 40.0);
+}
+
+TEST(MergeTopKTest, UnderBudgetReturnsDeepestCached) {
+  std::vector<TailCapture> tails(1);
+  tails[0].topk = {{50.0, 1}, {40.0, 1}};
+  EXPECT_EQ(MergeTopK(Pointers(tails), 10).ValueOrDie(), 40.0);
+}
+
+TEST(MergeSampleKTest, AlphaRescalesRank) {
+  // Samples at rate alpha = 0.5 of a tail of 8: the 4 samples stand in for
+  // ranks 2, 4, 6, 8. Global rank 8 -> sampled rank ceil(0.5*8) = 4.
+  std::vector<TailCapture> tails(1);
+  tails[0].samples = {90.0, 70.0, 50.0, 30.0};
+  EXPECT_EQ(MergeSampleK(Pointers(tails), 0.5, 8).ValueOrDie(), 30.0);
+  EXPECT_EQ(MergeSampleK(Pointers(tails), 0.5, 4).ValueOrDie(), 70.0);
+  EXPECT_EQ(MergeSampleK(Pointers(tails), 0.5, 1).ValueOrDie(), 90.0);
+}
+
+TEST(MergeSampleKTest, MergesAcrossSubWindows) {
+  std::vector<TailCapture> tails(2);
+  tails[0].samples = {100.0, 60.0};
+  tails[1].samples = {80.0, 40.0};
+  // Merged descending: 100, 80, 60, 40. alpha=0.5, rank 6 -> ceil(3)=3 -> 60.
+  EXPECT_EQ(MergeSampleK(Pointers(tails), 0.5, 6).ValueOrDie(), 60.0);
+}
+
+TEST(MergeSampleKTest, DisabledAndEmptyCases) {
+  std::vector<TailCapture> tails(1);
+  EXPECT_FALSE(MergeSampleK(Pointers(tails), 0.0, 5).ok());
+  EXPECT_FALSE(MergeSampleK(Pointers(tails), 0.5, 5).ok());
+  tails[0].samples = {10.0};
+  EXPECT_EQ(MergeSampleK(Pointers(tails), 0.5, 100).ValueOrDie(), 10.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qlove

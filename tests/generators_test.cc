@@ -1,0 +1,180 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace qlove {
+namespace workload {
+namespace {
+
+TEST(NetMonTest, MatchesPublishedStatistics) {
+  NetMonGenerator gen(1);
+  auto data = Materialize(&gen, 200000);
+  auto q = stats::ExactQuantiles(data, {0.5, 0.9, 0.99}).ValueOrDie();
+  // Paper: median ~798us, 90% below ~1,247us, Q0.99 ~1,874us.
+  EXPECT_NEAR(q[0], 798.0, 40.0);
+  EXPECT_NEAR(q[1], 1247.0, 80.0);
+  EXPECT_NEAR(q[2], 1874.0, 200.0);
+  const double max = *std::max_element(data.begin(), data.end());
+  EXPECT_LE(max, NetMonGenerator::kTailMax);
+  EXPECT_GT(max, 20000.0);  // the heavy tail is really there
+}
+
+TEST(NetMonTest, HeavyValueRedundancy) {
+  NetMonGenerator gen(2);
+  auto data = Materialize(&gen, 1000000);
+  // Paper: ~0.08% unique in an hour-long window; integer rounding gives the
+  // same order of magnitude here.
+  EXPECT_LT(stats::UniqueFraction(data), 0.02);
+}
+
+TEST(NetMonTest, ValuesAreIntegerMicroseconds) {
+  NetMonGenerator gen(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = gen.Next();
+    EXPECT_EQ(v, std::round(v));
+    EXPECT_GE(v, 1.0);
+  }
+}
+
+TEST(NetMonTest, DeterministicUnderSeed) {
+  NetMonGenerator a(7);
+  NetMonGenerator b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  a.Reset(7);
+  NetMonGenerator c(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), c.Next());
+}
+
+TEST(SearchTest, SlaCapConcentratesTail) {
+  SearchGenerator gen(1);
+  auto data = Materialize(&gen, 100000);
+  int64_t at_cap = 0;
+  for (double v : data) {
+    EXPECT_LE(v, SearchGenerator::kSlaCapMicros);
+    EXPECT_GE(v, 1.0);
+    if (v == SearchGenerator::kSlaCapMicros) ++at_cap;
+  }
+  const double cap_fraction = static_cast<double>(at_cap) / data.size();
+  // Footnote 1: terminated queries concentrate at Q0.9 and above.
+  EXPECT_GT(cap_fraction, 0.05);
+  EXPECT_LT(cap_fraction, 0.25);
+}
+
+TEST(NormalGeneratorTest, MatchesPaperParameters) {
+  NormalGenerator gen(1);
+  auto data = Materialize(&gen, 200000);
+  EXPECT_NEAR(stats::Mean(data), 1e6, 500.0);
+  EXPECT_NEAR(stats::StdDev(data), 5e4, 500.0);
+}
+
+TEST(UniformGeneratorTest, MatchesPaperRange) {
+  UniformGenerator gen(1);
+  auto data = Materialize(&gen, 100000);
+  for (double v : data) {
+    EXPECT_GE(v, 90.0);
+    EXPECT_LT(v, 110.0);
+  }
+  EXPECT_NEAR(stats::Mean(data), 100.0, 0.2);
+}
+
+TEST(ParetoGeneratorTest, MatchesPaperQuantiles) {
+  // Paper §5.4: Q0.5 = 20, Q0.999 = 10,000.
+  ParetoGenerator gen(1);
+  auto data = Materialize(&gen, 2000000);
+  auto q = stats::ExactQuantiles(data, {0.5, 0.999}).ValueOrDie();
+  EXPECT_NEAR(q[0], 20.0, 1.0);
+  EXPECT_NEAR(q[1] / 10000.0, 1.0, 0.15);
+}
+
+TEST(Ar1GeneratorTest, MarginalStaysNormal) {
+  for (double psi : {0.0, 0.2, 0.8}) {
+    Ar1Generator gen(5, psi);
+    auto data = Materialize(&gen, 200000);
+    EXPECT_NEAR(stats::Mean(data), 1e6, 2000.0) << "psi=" << psi;
+    EXPECT_NEAR(stats::StdDev(data), 5e4, 2000.0) << "psi=" << psi;
+  }
+}
+
+TEST(Ar1GeneratorTest, AutocorrelationMatchesPsi) {
+  for (double psi : {0.0, 0.2, 0.5, 0.8}) {
+    Ar1Generator gen(6, psi);
+    auto data = Materialize(&gen, 100000);
+    EXPECT_NEAR(stats::Lag1Autocorrelation(data), psi, 0.02)
+        << "psi=" << psi;
+  }
+}
+
+TEST(Ar1GeneratorTest, ResetRestartsSeries) {
+  Ar1Generator gen(9, 0.5);
+  auto first = Materialize(&gen, 50);
+  gen.Reset(9);
+  auto second = Materialize(&gen, 50);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BurstInjectorTest, ScalesTopValuesOfDesignatedSubWindows) {
+  // Window 40, period 10 -> burst in every 4th sub-window; top N(1-phi) = 4
+  // values of that sub-window are scaled by 10.
+  UniformGenerator inner(3, 100.0, 200.0);
+  BurstInjector burst(&inner, 40, 10, 0.9, 10.0);
+  auto data = Materialize(&burst, 80);
+  // Sub-windows 4 and 8 (1-based) carry bursts: indices [30,40) and [70,80).
+  for (int sw = 0; sw < 8; ++sw) {
+    std::vector<double> chunk(data.begin() + sw * 10,
+                              data.begin() + (sw + 1) * 10);
+    std::sort(chunk.begin(), chunk.end(), std::greater<>());
+    const bool is_burst = (sw + 1) % 4 == 0;
+    if (is_burst) {
+      for (int i = 0; i < 4; ++i) EXPECT_GT(chunk[i], 1000.0) << "sw=" << sw;
+      for (size_t i = 4; i < chunk.size(); ++i) EXPECT_LT(chunk[i], 200.0);
+    } else {
+      for (double v : chunk) EXPECT_LT(v, 200.0) << "sw=" << sw;
+    }
+  }
+}
+
+TEST(BurstInjectorTest, ResetRestoresSchedule) {
+  UniformGenerator inner(3, 100.0, 200.0);
+  BurstInjector burst(&inner, 40, 10, 0.9, 10.0);
+  auto first = Materialize(&burst, 80);
+  burst.Reset(3);
+  auto second = Materialize(&burst, 80);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ReducePrecisionTest, DropsLowOrderDigits) {
+  EXPECT_EQ(ReducePrecision(1247.0, 2), 1200.0);
+  EXPECT_EQ(ReducePrecision(1250.0, 2), 1300.0);  // round half up
+  EXPECT_EQ(ReducePrecision(798.0, 2), 800.0);
+  EXPECT_EQ(ReducePrecision(798.0, 0), 798.0);
+  EXPECT_EQ(ReducePrecision(74265.0, 2), 74300.0);
+}
+
+TEST(ReducePrecisionTest, IncreasesRedundancy) {
+  NetMonGenerator gen(4);
+  auto data = Materialize(&gen, 200000);
+  std::vector<double> reduced;
+  reduced.reserve(data.size());
+  for (double v : data) reduced.push_back(ReducePrecision(v, 2));
+  EXPECT_LT(stats::UniqueFraction(reduced),
+            stats::UniqueFraction(data) / 2.0);
+}
+
+TEST(MakeEventsTest, SequentialTimestampsAndErrorCode) {
+  auto events = MakeEvents({5.0, 6.0, 7.0}, 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].timestamp, 0);
+  EXPECT_EQ(events[2].timestamp, 2);
+  EXPECT_EQ(events[1].value, 6.0);
+  EXPECT_EQ(events[1].error_code, 3);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace qlove

@@ -1,0 +1,202 @@
+#include "sketch/gk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(GkTest, EmptySummary) {
+  GkSummary gk(0.01);
+  EXPECT_EQ(gk.count(), 0);
+  EXPECT_FALSE(gk.QueryRank(1).ok());
+  EXPECT_FALSE(gk.QueryQuantile(0.5).ok());
+}
+
+TEST(GkTest, SingleElement) {
+  GkSummary gk(0.01);
+  gk.Insert(42.0);
+  EXPECT_EQ(gk.count(), 1);
+  EXPECT_EQ(gk.QueryRank(1).ValueOrDie(), 42.0);
+  EXPECT_EQ(gk.QueryQuantile(1.0).ValueOrDie(), 42.0);
+}
+
+TEST(GkTest, RejectsBadQueries) {
+  GkSummary gk(0.01);
+  gk.Insert(1.0);
+  EXPECT_FALSE(gk.QueryRank(0).ok());
+  EXPECT_FALSE(gk.QueryRank(2).ok());
+  EXPECT_FALSE(gk.QueryQuantile(0.0).ok());
+  EXPECT_FALSE(gk.QueryQuantile(1.5).ok());
+}
+
+TEST(GkTest, SummaryIsMuchSmallerThanInput) {
+  GkSummary gk(0.01);
+  Rng rng(1);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) gk.Insert(rng.NextDouble());
+  EXPECT_LT(gk.TupleCount(), n / 20);
+  EXPECT_EQ(gk.SpaceVariables(), gk.TupleCount() * 3);
+}
+
+TEST(GkTest, ResetClears) {
+  GkSummary gk(0.05);
+  for (int i = 0; i < 100; ++i) gk.Insert(i);
+  gk.Reset();
+  EXPECT_EQ(gk.count(), 0);
+  EXPECT_EQ(gk.TupleCount(), 0);
+  gk.Insert(3.0);
+  EXPECT_EQ(gk.QueryRank(1).ValueOrDie(), 3.0);
+}
+
+struct GkCase {
+  double epsilon;
+  uint64_t seed;
+  int n;
+  int distribution;  // 0 uniform, 1 normal, 2 pareto, 3 sorted, 4 duplicates
+};
+
+class GkPropertyTest : public ::testing::TestWithParam<GkCase> {};
+
+TEST_P(GkPropertyTest, RankErrorWithinEpsilon) {
+  const GkCase param = GetParam();
+  GkSummary gk(param.epsilon);
+  Rng rng(param.seed);
+  std::vector<double> data;
+  data.reserve(param.n);
+  for (int i = 0; i < param.n; ++i) {
+    double v = 0.0;
+    switch (param.distribution) {
+      case 0: v = rng.NextDouble(); break;
+      case 1: v = rng.Normal(1000, 100); break;
+      case 2: v = rng.Pareto(1.0, 1.2); break;
+      case 3: v = static_cast<double>(i); break;
+      case 4: v = static_cast<double>(rng.UniformInt(50)); break;
+    }
+    data.push_back(v);
+    gk.Insert(v);
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const auto slack = static_cast<int64_t>(
+      std::ceil(param.epsilon * static_cast<double>(param.n)));
+  for (double phi : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(phi * param.n)));
+    const double answer = gk.QueryRank(rank).ValueOrDie();
+    // The answer's true rank interval must overlap [rank - eN, rank + eN].
+    const auto lo = static_cast<int64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), answer) -
+        sorted.begin()) + 1;
+    const auto hi = static_cast<int64_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), answer) -
+        sorted.begin());
+    EXPECT_LE(lo - slack, rank) << "phi=" << phi;
+    EXPECT_GE(hi + slack, rank) << "phi=" << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, GkPropertyTest,
+    ::testing::Values(GkCase{0.01, 1, 50000, 0}, GkCase{0.01, 2, 50000, 1},
+                      GkCase{0.01, 3, 50000, 2}, GkCase{0.01, 4, 50000, 3},
+                      GkCase{0.01, 5, 50000, 4}, GkCase{0.05, 6, 20000, 0},
+                      GkCase{0.05, 7, 20000, 2}, GkCase{0.002, 8, 30000, 1},
+                      GkCase{0.1, 9, 5000, 0}, GkCase{0.02, 10, 1000, 2}));
+
+TEST(GkTest, CompressToCapacityWeightsSumToCount) {
+  GkSummary gk(0.01);
+  Rng rng(2);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) gk.Insert(rng.NextDouble());
+  for (int64_t capacity : {2, 10, 100, 1000}) {
+    auto compressed = gk.CompressToCapacity(capacity);
+    EXPECT_LE(static_cast<int64_t>(compressed.size()), capacity);
+    int64_t total = 0;
+    double prev = -1.0;
+    for (const auto& [value, weight] : compressed) {
+      EXPECT_GE(value, prev);
+      prev = value;
+      EXPECT_GT(weight, 0);
+      total += weight;
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(GkTest, ExportPointWeightsSumsToCountAndAscends) {
+  GkSummary gk(0.02);
+  Rng rng(3);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) gk.Insert(rng.Normal(1000, 100));
+  auto points = gk.ExportPointWeights();
+  ASSERT_FALSE(points.empty());
+  int64_t total = 0;
+  double prev = -1e300;
+  for (const auto& [value, weight] : points) {
+    EXPECT_GT(weight, 0);
+    EXPECT_GE(value, prev);
+    prev = value;
+    total += weight;
+  }
+  EXPECT_EQ(total, n);
+  // The deepest exported point is the exact maximum at exact rank n.
+  EXPECT_EQ(points.back().first, gk.QueryRank(n).ValueOrDie());
+}
+
+TEST(GkTest, ExportPointWeightsCentersRanks) {
+  // Exported cumulative ranks must track true ranks with error well below
+  // the raw tuple spans (the midpoint correction at work).
+  GkSummary gk(0.02);
+  Rng rng(4);
+  std::vector<double> data;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng.NextDouble());
+    gk.Insert(data.back());
+  }
+  std::sort(data.begin(), data.end());
+  auto points = gk.ExportPointWeights();
+  int64_t cum = 0;
+  double total_offset = 0.0;
+  for (const auto& [value, weight] : points) {
+    cum += weight;
+    const auto true_rank = static_cast<int64_t>(
+        std::lower_bound(data.begin(), data.end(), value) - data.begin()) + 1;
+    total_offset += static_cast<double>(true_rank - cum);
+  }
+  // Average signed rank offset stays within a small fraction of eps * n.
+  EXPECT_LT(std::fabs(total_offset / static_cast<double>(points.size())),
+            0.25 * 0.02 * n);
+}
+
+TEST(GkTest, ExportPointWeightsEmptyAndSingle) {
+  GkSummary gk(0.1);
+  EXPECT_TRUE(gk.ExportPointWeights().empty());
+  gk.Insert(5.0);
+  auto one = gk.ExportPointWeights();
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, 5.0);
+  EXPECT_EQ(one[0].second, 1);
+}
+
+TEST(GkTest, CompressToCapacityEdgeCases) {
+  GkSummary gk(0.1);
+  EXPECT_TRUE(gk.CompressToCapacity(10).empty());
+  gk.Insert(5.0);
+  auto one = gk.CompressToCapacity(10);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, 5.0);
+  EXPECT_EQ(one[0].second, 1);
+  EXPECT_TRUE(gk.CompressToCapacity(0).empty());
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,183 @@
+// End-to-end integration tests: the full Qmonitor pipeline, cross-policy
+// agreement, and the paper's headline qualitative claims at reduced scale.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "core/qlove.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/exact.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "stream/pipeline.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace {
+
+TEST(IntegrationTest, QmonitorPipelineEndToEnd) {
+  // The paper's monitoring query on synthetic NetMon telemetry where some
+  // events carry error_code 0 and are filtered out.
+  workload::NetMonGenerator gen(1);
+  std::vector<Event> events;
+  Rng rng(2);
+  for (int i = 0; i < 30000; ++i) {
+    events.push_back(Event{i, gen.Next(),
+                           rng.NextDouble() < 0.25 ? 0 : 1});
+  }
+  core::QloveOperator op;
+  auto results =
+      FromVector(events)
+          .Where([](const Event& e) { return e.error_code != 0; })
+          .Select([](const Event& e) { return e.value; })
+          .Window(WindowSpec(8000, 1000))
+          .Aggregate(&op, {0.5, 0.9, 0.99, 0.999});
+  ASSERT_TRUE(results.ok());
+  ASSERT_GT(results.ValueOrDie().size(), 5u);
+  for (const auto& r : results.ValueOrDie()) {
+    // Monotone across quantiles and plausible NetMon magnitudes.
+    EXPECT_LE(r.estimates[0], r.estimates[1]);
+    EXPECT_LE(r.estimates[1], r.estimates[2] * 1.001);
+    EXPECT_GT(r.estimates[0], 400.0);
+    EXPECT_LT(r.estimates[0], 1200.0);
+    EXPECT_LE(r.estimates[3], workload::NetMonGenerator::kTailMax);
+  }
+}
+
+TEST(IntegrationTest, AllPoliciesAgreeOnMedianOfConcentratedData) {
+  workload::NetMonGenerator gen(3);
+  auto data = workload::Materialize(&gen, 40000);
+  const WindowSpec spec(8000, 1000);
+  const std::vector<double> phis = {0.5};
+
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  policies.push_back(std::make_unique<core::QloveOperator>());
+  policies.push_back(std::make_unique<sketch::ExactOperator>());
+  policies.push_back(std::make_unique<sketch::CmqsOperator>());
+  policies.push_back(std::make_unique<sketch::AmOperator>());
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>());
+  policies.push_back(std::make_unique<sketch::MomentOperator>());
+
+  for (auto& policy : policies) {
+    auto result = bench_util::RunAccuracy(policy.get(), data, spec, phis,
+                                          /*with_rank_error=*/false);
+    ASSERT_GT(result.evaluations, 0) << policy->Name();
+    EXPECT_LT(result.avg_value_error_pct[0], 6.0) << policy->Name();
+  }
+}
+
+TEST(IntegrationTest, ValueErrorGapAtHighQuantilesOnSkewedData) {
+  // The paper's headline: rank-bounded baselines suffer large VALUE error at
+  // Q0.999 on skewed data while QLOVE (with few-k) stays low.
+  workload::ParetoGenerator gen(4);
+  auto data = workload::Materialize(&gen, 60000);
+  const WindowSpec spec(16000, 2000);
+  const std::vector<double> phis = {0.999};
+
+  core::QloveOptions options;
+  options.fewk.topk_fraction = 0.5;
+  core::QloveOperator qlove_op(options);
+  auto qlove_result =
+      bench_util::RunAccuracy(&qlove_op, data, spec, phis, false);
+
+  sketch::RandomSketchOperator random_op;
+  auto random_result =
+      bench_util::RunAccuracy(&random_op, data, spec, phis, false);
+
+  ASSERT_GT(qlove_result.evaluations, 0);
+  // Few-k answers the N(1-phi)-th largest, one rank above the exact rank
+  // ceil(phi*N); on an alpha=1 Pareto tail that single rank costs ~6%, so
+  // the tolerance here is looser than NetMon's.
+  EXPECT_LT(qlove_result.avg_value_error_pct[0], 12.0);
+  EXPECT_GT(random_result.avg_value_error_pct[0],
+            qlove_result.avg_value_error_pct[0] * 2.0);
+}
+
+TEST(IntegrationTest, QloveSpaceSmallestOnRedundantTelemetry) {
+  workload::NetMonGenerator gen(5);
+  auto data = workload::Materialize(&gen, 40000);
+  const WindowSpec spec(16000, 2000);
+  const std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
+
+  core::QloveOperator qlove_op;
+  sketch::ExactOperator exact_op;
+  sketch::AmOperator am_op;
+  auto qlove_result =
+      bench_util::RunAccuracy(&qlove_op, data, spec, phis, false);
+  auto exact_result =
+      bench_util::RunAccuracy(&exact_op, data, spec, phis, false);
+  auto am_result = bench_util::RunAccuracy(&am_op, data, spec, phis, false);
+
+  EXPECT_LT(qlove_result.observed_space, exact_result.observed_space);
+  EXPECT_LT(qlove_result.observed_space, am_result.observed_space);
+}
+
+TEST(IntegrationTest, RedundancyBoostsAreMeasurable) {
+  // §5.4: reduced-precision (more redundant) data shrinks the tree state.
+  workload::NetMonGenerator gen(6);
+  auto data = workload::Materialize(&gen, 30000);
+  std::vector<double> reduced;
+  reduced.reserve(data.size());
+  for (double v : data) reduced.push_back(workload::ReducePrecision(v, 2));
+
+  const WindowSpec spec(4000, 1000);
+  core::QloveOperator original_op;
+  core::QloveOperator reduced_op;
+  auto original =
+      bench_util::RunAccuracy(&original_op, data, spec, {0.5}, false);
+  auto low_precision =
+      bench_util::RunAccuracy(&reduced_op, reduced, spec, {0.5}, false);
+  EXPECT_LT(low_precision.observed_space, original.observed_space);
+}
+
+TEST(IntegrationTest, NonIidAr1AccuracyStaysCompetitive) {
+  // Table 5's qualitative claim: Level-2 aggregation survives dependence.
+  for (double psi : {0.0, 0.8}) {
+    workload::Ar1Generator gen(7, psi);
+    auto data = workload::Materialize(&gen, 60000);
+    core::QloveOptions options;
+    options.enable_fewk = false;
+    options.quantizer_digits = 0;
+    core::QloveOperator op(options);
+    auto result = bench_util::RunAccuracy(&op, data, WindowSpec(16000, 2000),
+                                          {0.5, 0.9}, false);
+    ASSERT_GT(result.evaluations, 0);
+    EXPECT_LT(result.avg_value_error_pct[0], 0.1) << "psi=" << psi;
+    EXPECT_LT(result.avg_value_error_pct[1], 0.1) << "psi=" << psi;
+  }
+}
+
+TEST(IntegrationTest, OperatorsSurviveReinitialization) {
+  // Re-Initialize with a different spec must fully rebind internal sizing.
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  policies.push_back(std::make_unique<core::QloveOperator>());
+  policies.push_back(std::make_unique<sketch::CmqsOperator>());
+  policies.push_back(std::make_unique<sketch::AmOperator>());
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>());
+  policies.push_back(std::make_unique<sketch::MomentOperator>());
+  policies.push_back(std::make_unique<sketch::ExactOperator>());
+
+  Rng rng(8);
+  for (auto& policy : policies) {
+    for (const WindowSpec spec : {WindowSpec(100, 50), WindowSpec(400, 100)}) {
+      WindowedQuantileQuery query(spec, {0.5, 0.99}, policy.get());
+      ASSERT_TRUE(query.Initialize().ok()) << policy->Name();
+      int evaluations = 0;
+      for (int i = 0; i < 2000; ++i) {
+        if (query.OnElement(std::floor(rng.Uniform(0, 1000))).has_value()) {
+          ++evaluations;
+        }
+      }
+      EXPECT_GT(evaluations, 0) << policy->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qlove

@@ -1,0 +1,81 @@
+#include "stats/kde.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/normal.h"
+
+namespace qlove {
+namespace stats {
+namespace {
+
+TEST(KdeTest, EmptySampleIsInvalid) {
+  EXPECT_FALSE(KernelDensity::Fit({}).ok());
+}
+
+TEST(KdeTest, SilvermanBandwidthPositive) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.Gaussian());
+  const double h = SilvermanBandwidth(sample);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);  // ~0.9 * 1 * 1000^-0.2 ~= 0.23
+}
+
+TEST(KdeTest, ConstantSampleStaysFinite) {
+  std::vector<double> sample(100, 5.0);
+  auto kde = KernelDensity::Fit(sample);
+  ASSERT_TRUE(kde.ok());
+  const double density = kde.ValueOrDie().Density(5.0);
+  EXPECT_TRUE(std::isfinite(density));
+  EXPECT_GT(density, 0.0);
+}
+
+TEST(KdeTest, RecoversStandardNormalDensity) {
+  Rng rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Gaussian());
+  auto kde = KernelDensity::Fit(std::move(sample)).ValueOrDie();
+  for (double x : {0.0, 0.5, 1.0, -1.0, 2.0}) {
+    const double estimated = kde.Density(x);
+    const double truth = NormalPdf(x);
+    // Silverman KDE is biased upward in the tails; 15% covers x = 2.
+    EXPECT_NEAR(estimated / truth, 1.0, 0.15) << "x=" << x;
+  }
+}
+
+TEST(KdeTest, RecoversUniformDensityInInterior) {
+  Rng rng(18);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Uniform(0.0, 10.0));
+  auto kde = KernelDensity::Fit(std::move(sample)).ValueOrDie();
+  for (double x : {2.0, 5.0, 8.0}) {
+    EXPECT_NEAR(kde.Density(x), 0.1, 0.01) << "x=" << x;
+  }
+  // Far outside the support the density vanishes.
+  EXPECT_LT(kde.Density(30.0), 1e-6);
+}
+
+TEST(KdeTest, ExplicitBandwidthIsUsed) {
+  auto kde = KernelDensity::Fit({0.0, 1.0, 2.0}, 0.75).ValueOrDie();
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.75);
+  EXPECT_EQ(kde.sample_size(), 3u);
+}
+
+TEST(KdeTest, DensityIntegratesToRoughlyOne) {
+  Rng rng(19);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.Gaussian());
+  auto kde = KernelDensity::Fit(std::move(sample)).ValueOrDie();
+  double integral = 0.0;
+  const double dx = 0.05;
+  for (double x = -6.0; x <= 6.0; x += dx) integral += kde.Density(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace qlove

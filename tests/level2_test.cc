@@ -1,0 +1,76 @@
+#include "core/level2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace core {
+namespace {
+
+TEST(Level2Test, EmptyAggregatorReturnsZeros) {
+  Level2Aggregator agg(3);
+  auto means = agg.ComputeResult();
+  ASSERT_EQ(means.size(), 3u);
+  for (double m : means) EXPECT_EQ(m, 0.0);
+  EXPECT_EQ(agg.count(), 0);
+}
+
+TEST(Level2Test, MeanOfSubWindowQuantiles) {
+  Level2Aggregator agg(2);
+  agg.Accumulate({10.0, 100.0});
+  agg.Accumulate({20.0, 200.0});
+  agg.Accumulate({30.0, 300.0});
+  auto means = agg.ComputeResult();
+  EXPECT_DOUBLE_EQ(means[0], 20.0);
+  EXPECT_DOUBLE_EQ(means[1], 200.0);
+  EXPECT_DOUBLE_EQ(agg.MeanAt(0), 20.0);
+  EXPECT_EQ(agg.count(), 3);
+}
+
+TEST(Level2Test, DeaccumulateSlidesTheMean) {
+  Level2Aggregator agg(1);
+  agg.Accumulate({10.0});
+  agg.Accumulate({20.0});
+  agg.Deaccumulate({10.0});
+  agg.Accumulate({30.0});
+  EXPECT_DOUBLE_EQ(agg.ComputeResult()[0], 25.0);
+  EXPECT_EQ(agg.count(), 2);
+}
+
+TEST(Level2Test, ResetClears) {
+  Level2Aggregator agg(2);
+  agg.Accumulate({1.0, 2.0});
+  agg.Reset(4);
+  EXPECT_EQ(agg.count(), 0);
+  EXPECT_EQ(agg.ComputeResult().size(), 4u);
+  EXPECT_EQ(agg.SpaceVariables(), 5);  // 4 sums + count
+}
+
+TEST(Level2Test, LongSlidingSequenceMatchesDirectMean) {
+  // Accumulate/deaccumulate thousands of times; floating error must stay
+  // negligible relative to the values (paper: Level 2 runs "extremely fast
+  // with a static cost" — and must stay numerically stable).
+  Level2Aggregator agg(1);
+  Rng rng(5);
+  std::vector<double> live;
+  std::vector<double> window;
+  for (int i = 0; i < 50000; ++i) {
+    const double q = rng.Uniform(500.0, 1500.0);
+    window.push_back(q);
+    agg.Accumulate({q});
+    if (window.size() > 8) {
+      agg.Deaccumulate({window.front()});
+      window.erase(window.begin());
+    }
+    if (i % 1000 == 0) {
+      double sum = 0.0;
+      for (double v : window) sum += v;
+      EXPECT_NEAR(agg.ComputeResult()[0], sum / window.size(), 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qlove

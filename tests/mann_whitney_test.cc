@@ -1,0 +1,125 @@
+#include "stats/mann_whitney.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace stats {
+namespace {
+
+TEST(MannWhitneyTest, EmptySampleIsInvalid) {
+  EXPECT_FALSE(MannWhitneyU({}, {1.0}).ok());
+  EXPECT_FALSE(MannWhitneyU({1.0}, {}).ok());
+}
+
+TEST(MannWhitneyTest, AllTiedIsDegenerate) {
+  const std::vector<double> x = {5, 5, 5};
+  const std::vector<double> y = {5, 5, 5, 5};
+  EXPECT_FALSE(MannWhitneyU(x, y).ok());
+}
+
+TEST(MannWhitneyTest, UStatisticsSumToProduct) {
+  const std::vector<double> x = {1, 3, 5, 9};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  auto r = MannWhitneyU(x, y).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.u_x + r.u_y,
+                   static_cast<double>(x.size() * y.size()));
+}
+
+TEST(MannWhitneyTest, KnownSmallExample) {
+  // x = {1,2}, y = {3,4}: every y beats every x -> U_x = 0, U_y = 4.
+  auto r = MannWhitneyU({1, 2}, {3, 4}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.u_x, 0.0);
+  EXPECT_DOUBLE_EQ(r.u_y, 4.0);
+  EXPECT_LT(r.z, 0.0);
+  EXPECT_GT(r.p_x_greater, 0.5);
+}
+
+TEST(MannWhitneyTest, ClearlyLargerSampleDetected) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(100.0 + i);  // much larger
+    y.push_back(1.0 + i);
+  }
+  auto r = MannWhitneyU(x, y).ValueOrDie();
+  EXPECT_LT(r.p_x_greater, 0.001);
+  EXPECT_LT(r.p_two_sided, 0.002);
+  EXPECT_GT(r.z, 3.0);
+}
+
+TEST(MannWhitneyTest, IdenticalDistributionsNotSignificant) {
+  Rng rng(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(rng.Normal(0, 1));
+    y.push_back(rng.Normal(0, 1));
+  }
+  auto r = MannWhitneyU(x, y).ValueOrDie();
+  EXPECT_GT(r.p_two_sided, 0.01);
+}
+
+TEST(MannWhitneyTest, SymmetryOfOneSidedPValues) {
+  const std::vector<double> x = {10, 20, 30, 40, 50};
+  const std::vector<double> y = {1, 2, 3, 4, 5};
+  auto forward = MannWhitneyU(x, y).ValueOrDie();
+  auto backward = MannWhitneyU(y, x).ValueOrDie();
+  EXPECT_NEAR(forward.u_x, backward.u_y, 1e-12);
+  EXPECT_LT(forward.p_x_greater, 0.05);
+  EXPECT_GT(backward.p_x_greater, 0.95);
+}
+
+TEST(MannWhitneyTest, TiesHandledWithMidranks) {
+  // Heavy ties but not degenerate.
+  const std::vector<double> x = {1, 2, 2, 2, 3};
+  const std::vector<double> y = {2, 2, 4, 4, 4};
+  auto r = MannWhitneyU(x, y).ValueOrDie();
+  EXPECT_GT(r.p_x_greater, 0.5);  // y tends larger
+  EXPECT_LE(r.p_two_sided, 1.0);
+  EXPECT_GE(r.p_two_sided, 0.0);
+}
+
+TEST(MannWhitneyTest, FalsePositiveRateNearAlpha) {
+  // Under H0 the one-sided p-value should be < 0.05 about 5% of the time.
+  Rng rng(99);
+  int fires = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 20; ++i) {
+      x.push_back(rng.Normal(0, 1));
+      y.push_back(rng.Normal(0, 1));
+    }
+    auto r = MannWhitneyU(x, y);
+    if (r.ok() && r.ValueOrDie().p_x_greater < 0.05) ++fires;
+  }
+  const double rate = static_cast<double>(fires) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(MannWhitneyTest, PowerAgainstShiftedDistribution) {
+  // A 2-sigma shift with n=30 should be detected nearly always.
+  Rng rng(100);
+  int fires = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+      x.push_back(rng.Normal(2.0, 1.0));
+      y.push_back(rng.Normal(0.0, 1.0));
+    }
+    if (MannWhitneyU(x, y).ValueOrDie().p_x_greater < 0.05) ++fires;
+  }
+  EXPECT_GT(fires, 95);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace qlove

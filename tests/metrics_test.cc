@@ -1,0 +1,154 @@
+#include "bench_util/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "bench_util/table.h"
+#include "common/rng.h"
+#include "sketch/exact.h"
+#include "stats/descriptive.h"
+
+#include <sstream>
+
+namespace qlove {
+namespace bench_util {
+namespace {
+
+TEST(OracleTest, EvaluationScheduleMatchesSemantics) {
+  SlidingWindowOracle oracle(WindowSpec(10, 5), {0.5});
+  int due = 0;
+  for (int i = 1; i <= 25; ++i) {
+    if (oracle.OnElement(i)) ++due;
+  }
+  EXPECT_EQ(due, 4);  // at 10, 15, 20, 25
+  EXPECT_EQ(oracle.window_count(), 10);
+}
+
+TEST(OracleTest, ExactQuantilesMatchOfflineSort) {
+  const WindowSpec spec(20, 10);
+  SlidingWindowOracle oracle(spec, {0.25, 0.5, 1.0});
+  Rng rng(1);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(std::floor(rng.Uniform(0, 50)));
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!oracle.OnElement(data[i])) continue;
+    std::vector<double> window(data.begin() + (i + 1 - spec.size),
+                               data.begin() + i + 1);
+    auto exact = oracle.ExactQuantiles();
+    for (size_t q = 0; q < 3; ++q) {
+      const double phi = std::vector<double>{0.25, 0.5, 1.0}[q];
+      EXPECT_EQ(exact[q], stats::ExactQuantile(window, phi).ValueOrDie());
+    }
+  }
+}
+
+TEST(OracleTest, NearestRankForPresentAndAbsentValues) {
+  SlidingWindowOracle oracle(WindowSpec(4, 4), {0.5});
+  oracle.OnElement(10.0);
+  oracle.OnElement(20.0);
+  oracle.OnElement(20.0);
+  oracle.OnElement(30.0);
+  // Ranks: 10 -> [1,1], 20 -> [2,3], 30 -> [4,4].
+  EXPECT_EQ(oracle.NearestRank(20.0, 2), 2.0);
+  EXPECT_EQ(oracle.NearestRank(20.0, 3), 3.0);
+  EXPECT_EQ(oracle.NearestRank(20.0, 4), 3.0);  // clamped into interval
+  EXPECT_EQ(oracle.NearestRank(25.0, 2), 3.5);  // absent: midpoint
+  EXPECT_EQ(oracle.NearestRank(5.0, 1), 0.5);
+}
+
+TEST(ErrorAccumulatorTest, AveragesAcrossEvaluations) {
+  ErrorAccumulator acc(2);
+  acc.Observe({110.0, 95.0}, {100.0, 100.0}, {0.01, 0.02});
+  acc.Observe({100.0, 105.0}, {100.0, 100.0}, {0.03, 0.0});
+  auto value_err = acc.AverageValueErrorPercent();
+  EXPECT_NEAR(value_err[0], 5.0, 1e-9);   // (10% + 0%) / 2
+  EXPECT_NEAR(value_err[1], 5.0, 1e-9);   // (5% + 5%) / 2
+  auto rank_err = acc.AverageRankError();
+  EXPECT_NEAR(rank_err[0], 0.02, 1e-12);
+  EXPECT_NEAR(rank_err[1], 0.01, 1e-12);
+  EXPECT_NEAR(acc.MaxRankError(), 0.03, 1e-12);
+  EXPECT_EQ(acc.evaluations(), 2);
+}
+
+TEST(ErrorAccumulatorTest, ZeroExactGuardsDivision) {
+  ErrorAccumulator acc(1);
+  acc.Observe({5.0}, {0.0});
+  EXPECT_NEAR(acc.AverageValueErrorPercent()[0], 500.0, 1e-9);
+}
+
+TEST(RunAccuracyTest, ExactPolicyHasZeroError) {
+  sketch::ExactOperator op;
+  Rng rng(2);
+  std::vector<double> data;
+  for (int i = 0; i < 3000; ++i) data.push_back(std::floor(rng.Uniform(0, 500)));
+  auto result =
+      RunAccuracy(&op, data, WindowSpec(500, 100), {0.5, 0.99}, true);
+  ASSERT_GT(result.evaluations, 0);
+  EXPECT_EQ(result.policy, "Exact");
+  for (double err : result.avg_value_error_pct) EXPECT_EQ(err, 0.0);
+  for (double err : result.avg_rank_error) EXPECT_EQ(err, 0.0);
+  EXPECT_EQ(result.max_rank_error, 0.0);
+}
+
+TEST(RunAccuracyTest, InvalidSpecYieldsNoEvaluations) {
+  sketch::ExactOperator op;
+  auto result = RunAccuracy(&op, {1.0, 2.0}, WindowSpec(10, 3), {0.5});
+  EXPECT_EQ(result.evaluations, 0);
+}
+
+TEST(ThroughputTest, ProducesPositiveRate) {
+  sketch::ExactOperator op;
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.NextDouble());
+  const double mevps =
+      MeasureThroughputMevps(&op, data, WindowSpec(1000, 500), {0.5});
+  EXPECT_GT(mevps, 0.0);
+}
+
+TEST(BenchArgsTest, ParsesFlags) {
+  const char* argv[] = {"bin", "--events=2M", "--seed=9", "--full"};
+  auto args = BenchArgs::Parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.events, 2000000);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_TRUE(args.full);
+  auto defaults = BenchArgs::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(defaults.events, 0);
+  EXPECT_FALSE(defaults.full);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Policy", "Q0.5"});
+  table.AddRow({"QLOVE", "0.10"});
+  table.AddRow({"CMQS", "0.31"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Policy"), std::string::npos);
+  EXPECT_NE(out.find("QLOVE"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Column alignment: the second column starts at the same offset in the
+  // header line and in every row line ("Policy" is the widest cell).
+  std::istringstream lines(out);
+  std::string header_line, underline, row1, row2;
+  std::getline(lines, header_line);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header_line.find("Q0.5"), row1.find("0.10"));
+  EXPECT_EQ(header_line.find("Q0.5"), row2.find("0.31"));
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bench_util
+}  // namespace qlove

@@ -1,0 +1,189 @@
+#include "sketch/moment.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(TridiagonalEigenTest, DiagonalMatrix) {
+  std::vector<double> eigenvalues;
+  std::vector<double> first;
+  ASSERT_TRUE(SymmetricTridiagonalEigen({3.0, 1.0, 2.0}, {0.0, 0.0},
+                                        &eigenvalues, &first)
+                  .ok());
+  ASSERT_EQ(eigenvalues.size(), 3u);
+  EXPECT_NEAR(eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigenTest, TwoByTwoKnownEigenvalues) {
+  // [[2, 1], [1, 2]] -> eigenvalues 1 and 3; first components 1/sqrt(2).
+  std::vector<double> eigenvalues;
+  std::vector<double> first;
+  ASSERT_TRUE(
+      SymmetricTridiagonalEigen({2.0, 2.0}, {1.0}, &eigenvalues, &first)
+          .ok());
+  EXPECT_NEAR(eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(first[0] * first[0], 0.5, 1e-12);
+  EXPECT_NEAR(first[1] * first[1], 0.5, 1e-12);
+}
+
+TEST(TridiagonalEigenTest, RejectsEmpty) {
+  std::vector<double> eigenvalues;
+  std::vector<double> first;
+  EXPECT_FALSE(
+      SymmetricTridiagonalEigen({}, {}, &eigenvalues, &first).ok());
+}
+
+TEST(GaussQuadratureTest, TwoPointRuleForUniformMoments) {
+  // Uniform on [-1, 1]: m = {1, 0, 1/3, 0, 1/5}; the 2-point Gauss-Legendre
+  // rule has nodes +/- 1/sqrt(3) and weights 1/2.
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  ASSERT_TRUE(GaussQuadratureFromMoments({1.0, 0.0, 1.0 / 3.0, 0.0, 0.2}, 2,
+                                         &nodes, &weights)
+                  .ok());
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_NEAR(nodes[0], -1.0 / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(nodes[1], 1.0 / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(weights[0], 0.5, 1e-9);
+  EXPECT_NEAR(weights[1], 0.5, 1e-9);
+}
+
+TEST(GaussQuadratureTest, ReproducesInputMoments) {
+  // Arbitrary discrete distribution: atoms {-0.5, 0.1, 0.7} with weights
+  // {0.2, 0.5, 0.3}. A 3-point rule must reproduce it.
+  const std::vector<double> atoms = {-0.5, 0.1, 0.7};
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  std::vector<double> moments(7, 0.0);
+  for (int k = 0; k <= 6; ++k) {
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      moments[static_cast<size_t>(k)] += w[i] * std::pow(atoms[i], k);
+    }
+  }
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  ASSERT_TRUE(GaussQuadratureFromMoments(moments, 3, &nodes, &weights).ok());
+  ASSERT_EQ(nodes.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(nodes[i], atoms[i], 1e-7);
+    EXPECT_NEAR(weights[i], w[i], 1e-7);
+  }
+}
+
+TEST(GaussQuadratureTest, DegenerateMomentsFail) {
+  // A point mass has a rank-deficient Hankel matrix for n >= 2.
+  std::vector<double> moments = {1.0, 0.5, 0.25, 0.125, 0.0625};
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  EXPECT_FALSE(GaussQuadratureFromMoments(moments, 2, &nodes, &weights).ok());
+  // n = 1 still works and returns the mean.
+  ASSERT_TRUE(GaussQuadratureFromMoments(moments, 1, &nodes, &weights).ok());
+  EXPECT_NEAR(nodes[0], 0.5, 1e-12);
+  EXPECT_NEAR(weights[0], 1.0, 1e-12);
+}
+
+TEST(MomentOperatorTest, InitializeValidation) {
+  MomentOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  EXPECT_EQ(op.Name(), "Moment");
+}
+
+TEST(MomentOperatorTest, OddKIsRoundedUp) {
+  MomentOperator op(MomentOptions{.k = 7});
+  ASSERT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  // k = 8 internally: two tracks of (k+3) scalars plus n/min/max.
+  EXPECT_EQ(op.AnalyticalSpaceVariables(), (2 + 1) * (2 * (8 + 3) + 3));
+}
+
+TEST(MomentOperatorTest, UniformWindowQuantilesClose) {
+  MomentOperator op(MomentOptions{.k = 12});
+  const WindowSpec spec(4000, 1000);
+  WindowedQuantileQuery query(spec, {0.25, 0.5, 0.75}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(4);
+  std::vector<double> last;
+  for (int i = 0; i < 20000; ++i) {
+    auto r = query.OnElement(rng.Uniform(0.0, 100.0));
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_NEAR(last[0], 25.0, 4.0);
+  EXPECT_NEAR(last[1], 50.0, 4.0);
+  EXPECT_NEAR(last[2], 75.0, 4.0);
+  EXPECT_NE(op.last_inversion(), MomentInversion::kNone);
+  EXPECT_NE(op.last_inversion(), MomentInversion::kDegenerate);
+}
+
+TEST(MomentOperatorTest, GaussianMedianClose) {
+  MomentOperator op(MomentOptions{.k = 12});
+  const WindowSpec spec(8000, 2000);
+  WindowedQuantileQuery query(spec, {0.5, 0.9}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(5);
+  std::vector<double> last;
+  for (int i = 0; i < 40000; ++i) {
+    auto r = query.OnElement(rng.Normal(1000.0, 100.0));
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_NEAR(last[0], 1000.0, 40.0);
+  EXPECT_NEAR(last[1], 1128.0, 80.0);  // Phi^-1(0.9) ~ 1.2816
+}
+
+TEST(MomentOperatorTest, ConstantStreamDoesNotCrash) {
+  MomentOperator op;
+  const WindowSpec spec(100, 50);
+  WindowedQuantileQuery query(spec, {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> last;
+  for (int i = 0; i < 500; ++i) {
+    auto r = query.OnElement(7.0);
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_NEAR(last[0], 7.0, 1e-6);
+}
+
+TEST(MomentOperatorTest, SpaceIsTinyAndIndependentOfData) {
+  MomentOperator op(MomentOptions{.k = 12});
+  workload::NetMonGenerator gen(6);
+  auto data = workload::Materialize(&gen, 30000);
+  const WindowSpec spec(10000, 1000);
+  auto result = bench_util::RunAccuracy(&op, data, spec, {0.5}, false);
+  EXPECT_LE(result.observed_space, op.AnalyticalSpaceVariables());
+  EXPECT_LT(result.observed_space, 400);
+}
+
+TEST(MomentOperatorTest, EstimatesStayWithinWindowRange) {
+  MomentOperator op;
+  workload::NetMonGenerator gen(7);
+  auto data = workload::Materialize(&gen, 20000);
+  const WindowSpec spec(4000, 1000);
+  WindowedQuantileQuery query(spec, {0.5, 0.999}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  for (double v : data) {
+    auto r = query.OnElement(v);
+    if (r.has_value()) {
+      EXPECT_GE(r->estimates[0], 1.0);
+      EXPECT_LE(r->estimates[1], workload::NetMonGenerator::kTailMax);
+      EXPECT_LE(r->estimates[0], r->estimates[1] + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,68 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace stats {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(NormalPdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+  EXPECT_NEAR(NormalPdf(3.0), 0.0044318484, 1e-9);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447461, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1586552539, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021049, 1e-9);
+  EXPECT_NEAR(NormalCdf(-3.0), 0.0013498980, 1e-9);
+}
+
+TEST(NormalTest, CdfIsMonotone) {
+  double prev = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.01) {
+    const double c = NormalCdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.8413447461), 1.0, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.9986501020), 3.0, 1e-6);
+}
+
+TEST(NormalTest, QuantileBoundaries) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 0.999; p += 0.0173) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+  // Deep tails.
+  for (double p : {1e-6, 1e-9, 1.0 - 1e-6}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)) / p, 1.0, 1e-4) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, UpperCriticalMatchesPaperConstant) {
+  // Theorem 1 takes alpha = 5% and uses 1.96.
+  EXPECT_NEAR(NormalUpperCritical(0.05 / 2.0), 1.96, 1e-2);
+  EXPECT_NEAR(NormalUpperCritical(0.025), 1.959963985, 1e-7);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace qlove

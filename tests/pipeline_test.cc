@@ -1,0 +1,114 @@
+#include "stream/pipeline.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+
+namespace qlove {
+namespace {
+
+TEST(PipelineTest, ToVectorMaterializesSource) {
+  const std::vector<int> items = {1, 2, 3};
+  auto out = FromVector(items).ToVector();
+  EXPECT_EQ(out, items);
+}
+
+TEST(PipelineTest, WhereFilters) {
+  const std::vector<int> items = {1, 2, 3, 4, 5, 6};
+  auto out = FromVector(items).Where([](int x) { return x % 2 == 0; })
+                 .ToVector();
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
+}
+
+TEST(PipelineTest, SelectMaps) {
+  const std::vector<int> items = {1, 2, 3};
+  auto out = FromVector(items)
+                 .Select([](int x) { return static_cast<double>(x) * 2.0; })
+                 .ToVector();
+  EXPECT_EQ(out, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(PipelineTest, ComposedStagesPreserveOrder) {
+  const std::vector<int> items = {5, 1, 8, 2, 9, 3};
+  auto out = FromVector(items)
+                 .Where([](int x) { return x > 2; })
+                 .Select([](int x) { return x * 10; })
+                 .ToVector();
+  EXPECT_EQ(out, (std::vector<int>{50, 80, 90, 30}));
+}
+
+TEST(PipelineTest, ForEachVisitsAll) {
+  const std::vector<int> items = {1, 2, 3, 4};
+  int sum = 0;
+  FromVector(items).ForEach([&](int x) { sum += x; });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(PipelineTest, FromFunctionGenerates) {
+  auto out = FromFunction(5, [](int64_t i) { return static_cast<double>(i * i); })
+                 .ToVector();
+  EXPECT_EQ(out, (std::vector<double>{0, 1, 4, 9, 16}));
+}
+
+TEST(PipelineTest, QmonitorShapedQuery) {
+  // The paper's Qmonitor: filter by error code, aggregate quantiles.
+  std::vector<Event> events;
+  for (int i = 0; i < 40; ++i) {
+    // Even-indexed events carry error_code 0 and must be dropped.
+    events.push_back(Event{i, static_cast<double>(i + 1), i % 2});
+  }
+  sketch::ExactOperator exact;
+  auto results = FromVector(events)
+                     .Where([](const Event& e) { return e.error_code != 0; })
+                     .Select([](const Event& e) { return e.value; })
+                     .Window(WindowSpec(10, 5))
+                     .Aggregate(&exact, {0.5, 1.0});
+  ASSERT_TRUE(results.ok());
+  // 20 events survive the filter -> evaluations at 10, 15, 20 survivors.
+  ASSERT_EQ(results.ValueOrDie().size(), 3u);
+  // Surviving values are 2, 4, 6, ..., 40; first window holds 2..20.
+  EXPECT_DOUBLE_EQ(results.ValueOrDie()[0].estimates[0], 10.0);
+  EXPECT_DOUBLE_EQ(results.ValueOrDie()[0].estimates[1], 20.0);
+  // Last window holds 22..40.
+  EXPECT_DOUBLE_EQ(results.ValueOrDie()[2].estimates[1], 40.0);
+}
+
+TEST(PipelineTest, AggregateReportsInvalidSpec) {
+  sketch::ExactOperator exact;
+  const std::vector<double> values = {1.0, 2.0};
+  auto results = FromVector(values)
+                     .Window(WindowSpec(10, 3))
+                     .Aggregate(&exact, {0.5});
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(PipelineTest, FilterDroppingEverythingYieldsNoEvaluations) {
+  std::vector<Event> events;
+  for (int i = 0; i < 100; ++i) events.push_back(Event{i, 1.0, 0});
+  sketch::ExactOperator exact;
+  auto results = FromVector(events)
+                     .Where([](const Event& e) { return e.error_code != 0; })
+                     .Select([](const Event& e) { return e.value; })
+                     .Window(WindowSpec(10, 5))
+                     .Aggregate(&exact, {0.5});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.ValueOrDie().empty());
+}
+
+TEST(PipelineTest, LazyStreamsRunOnTerminalOnly) {
+  int produced = 0;
+  auto stream = FromFunction(10, [&](int64_t i) {
+    ++produced;
+    return static_cast<double>(i);
+  });
+  EXPECT_EQ(produced, 0);  // nothing ran yet
+  auto out = std::move(stream).ToVector();
+  EXPECT_EQ(produced, 10);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+}  // namespace
+}  // namespace qlove

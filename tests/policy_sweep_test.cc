@@ -1,0 +1,115 @@
+// Cross-policy regression sweep: every quantile policy is run over every
+// workload family under several window specs, asserting the accuracy
+// envelope each policy is supposed to guarantee. This is the broad net that
+// catches subtle merge/expiry regressions the targeted unit tests miss.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "core/qlove.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/exact.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace {
+
+struct SweepCase {
+  const char* workload;  // "netmon", "search", "normal", "pareto"
+  int64_t window;
+  int64_t period;
+  // Accuracy envelopes (average relative value error, %).
+  double body_budget;  // Q0.5 and Q0.9
+  double tail_budget;  // Q0.99
+};
+
+std::vector<double> MakeWorkload(const std::string& name, int64_t n,
+                                 uint64_t seed) {
+  std::unique_ptr<workload::Generator> gen;
+  if (name == "netmon") {
+    gen = std::make_unique<workload::NetMonGenerator>(seed);
+  } else if (name == "search") {
+    gen = std::make_unique<workload::SearchGenerator>(seed);
+  } else if (name == "normal") {
+    gen = std::make_unique<workload::NormalGenerator>(seed);
+  } else {
+    gen = std::make_unique<workload::ParetoGenerator>(seed);
+  }
+  return workload::Materialize(gen.get(), n);
+}
+
+class PolicySweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicySweepTest, AllPoliciesWithinEnvelope) {
+  const SweepCase param = GetParam();
+  const auto data = MakeWorkload(param.workload, param.window * 5, 99);
+  const WindowSpec spec(param.window, param.period);
+  const std::vector<double> phis = {0.5, 0.9, 0.99};
+
+  std::vector<std::unique_ptr<QuantileOperator>> policies;
+  core::QloveOptions qlove_options;
+  qlove_options.fewk.topk_fraction = 0.5;
+  policies.push_back(std::make_unique<core::QloveOperator>(qlove_options));
+  policies.push_back(std::make_unique<sketch::ExactOperator>());
+  policies.push_back(std::make_unique<sketch::CmqsOperator>());
+  policies.push_back(std::make_unique<sketch::AmOperator>());
+  policies.push_back(std::make_unique<sketch::RandomSketchOperator>());
+  policies.push_back(std::make_unique<sketch::MomentOperator>());
+
+  for (auto& policy : policies) {
+    auto result = bench_util::RunAccuracy(policy.get(), data, spec, phis,
+                                          /*with_rank_error=*/true);
+    ASSERT_GT(result.evaluations, 0)
+        << policy->Name() << " on " << param.workload;
+    const std::string label =
+        policy->Name() + std::string(" on ") + param.workload;
+    // Exact is exact; approximations stay within the sweep envelope.
+    const bool is_exact = policy->Name() == "Exact";
+    EXPECT_LE(result.avg_value_error_pct[0],
+              is_exact ? 0.0 : param.body_budget)
+        << label << " Q0.5";
+    EXPECT_LE(result.avg_value_error_pct[1],
+              is_exact ? 0.0 : param.body_budget)
+        << label << " Q0.9";
+    EXPECT_LE(result.avg_value_error_pct[2],
+              is_exact ? 0.0 : param.tail_budget)
+        << label << " Q0.99";
+    // No policy may exceed a 5% average rank error under these specs.
+    // Search is excluded: ~12% of its mass is a single atom at the SLA cap,
+    // so an interpolated answer a hair below the cap carries a large rank
+    // error at a negligible value error (the paper's rank-vs-value
+    // asymmetry, mirrored).
+    if (std::string(param.workload) != "search") {
+      for (double e : result.avg_rank_error) {
+        EXPECT_LE(e, 0.05) << label;
+      }
+    }
+    EXPECT_GT(result.observed_space, 0) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PolicySweepTest,
+    ::testing::Values(
+        SweepCase{"netmon", 8192, 1024, 2.0, 16.0},
+        SweepCase{"netmon", 16384, 4096, 2.0, 10.0},
+        SweepCase{"search", 8192, 1024, 3.0, 10.0},
+        SweepCase{"search", 16384, 4096, 3.0, 10.0},
+        SweepCase{"normal", 8192, 1024, 2.0, 3.0},
+        SweepCase{"normal", 8192, 8192, 2.0, 3.0},  // tumbling
+        SweepCase{"pareto", 16384, 4096, 8.0, 30.0}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.workload) + "_w" +
+             std::to_string(info.param.window) + "_p" +
+             std::to_string(info.param.period);
+    });
+
+}  // namespace
+}  // namespace qlove

@@ -1,0 +1,327 @@
+#include "core/qlove.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "stats/descriptive.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace core {
+namespace {
+
+TEST(QloveTest, InitializeValidation) {
+  QloveOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {0.5, 1.2}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+  EXPECT_FALSE(op.NeedsPerElementEviction());
+  EXPECT_EQ(op.Name(), "QLOVE");
+
+  QloveOptions bad;
+  bad.high_quantile_threshold = 0.0;
+  QloveOperator bad_op(bad);
+  EXPECT_FALSE(bad_op.Initialize(WindowSpec(10, 5), {0.5}).ok());
+}
+
+TEST(QloveTest, TumblingWindowIsExactUpToQuantization) {
+  // One sub-window per window: Level 2's mean of one value is the exact
+  // sub-window quantile; only quantization perturbs it (< 1%).
+  QloveOptions options;
+  options.enable_fewk = false;
+  QloveOperator op(options);
+  const WindowSpec spec(1000, 1000);
+  const std::vector<double> phis = {0.5, 0.9, 0.99};
+  WindowedQuantileQuery query(spec, phis, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  workload::NetMonGenerator gen(1);
+  auto data = workload::Materialize(&gen, 5000);
+  auto results = query.Run(data);
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& result : results) {
+    const auto first = static_cast<size_t>(result.end_index - spec.size);
+    std::vector<double> window(data.begin() + first,
+                               data.begin() + result.end_index);
+    for (size_t i = 0; i < phis.size(); ++i) {
+      const double exact = stats::ExactQuantile(window, phis[i]).ValueOrDie();
+      EXPECT_NEAR(result.estimates[i] / exact, 1.0, 0.01)
+          << "phi=" << phis[i];
+    }
+  }
+}
+
+TEST(QloveTest, QuantizationDisabledTumblingMatchesExact) {
+  QloveOptions options;
+  options.enable_fewk = false;
+  options.quantizer_digits = 0;
+  QloveOperator op(options);
+  const WindowSpec spec(500, 500);
+  WindowedQuantileQuery query(spec, {0.5, 1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(2);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.Normal(1e6, 5e4));
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& result : results) {
+    const auto first = static_cast<size_t>(result.end_index - spec.size);
+    std::vector<double> window(data.begin() + first,
+                               data.begin() + result.end_index);
+    // Level 2's incremental sum introduces only float round-off (the mean
+    // of a single sub-window quantile is otherwise exact).
+    EXPECT_NEAR(result.estimates[0],
+                stats::ExactQuantile(window, 0.5).ValueOrDie(),
+                1e-6 * result.estimates[0]);
+    EXPECT_NEAR(result.estimates[1],
+                stats::ExactQuantile(window, 1.0).ValueOrDie(),
+                1e-6 * result.estimates[1]);
+  }
+}
+
+TEST(QloveTest, SlidingMedianWithinTheoremBoundOnIidData) {
+  QloveOptions options;
+  options.enable_fewk = false;
+  options.quantizer_digits = 0;
+  options.enable_error_bounds = true;
+  QloveOperator op(options);
+  const WindowSpec spec(8000, 1000);
+  WindowedQuantileQuery query(spec, {0.5, 0.9}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(3);
+  int checked = 0;
+  for (int i = 0; i < 40000; ++i) {
+    auto r = query.OnElement(rng.Normal(1e6, 5e4));
+    if (!r.has_value()) continue;
+    auto bounds = op.ErrorBounds(0.05);
+    ASSERT_EQ(bounds.size(), 2u);
+    EXPECT_TRUE(std::isfinite(bounds[0]));
+    // ya within eb of the true quantile with very high margin on average;
+    // use the population quantile as the reference.
+    EXPECT_NEAR(r->estimates[0], 1e6, 3.0 * bounds[0]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(QloveTest, ErrorBoundsDisabledAreInfinite) {
+  QloveOperator op;  // enable_error_bounds defaults to false
+  WindowedQuantileQuery query(WindowSpec(100, 50), {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  for (int i = 0; i < 100; ++i) query.OnElement(i);
+  auto bounds = op.ErrorBounds();
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_TRUE(std::isinf(bounds[0]));
+}
+
+TEST(QloveTest, HighQuantilePlansCreatedOnlyAboveThreshold) {
+  QloveOperator op;
+  ASSERT_TRUE(
+      op.Initialize(WindowSpec(8000, 1000), {0.5, 0.9, 0.99, 0.999}).ok());
+  EXPECT_EQ(op.PlanForQuantile(0), nullptr);
+  EXPECT_EQ(op.PlanForQuantile(1), nullptr);
+  ASSERT_NE(op.PlanForQuantile(2), nullptr);
+  ASSERT_NE(op.PlanForQuantile(3), nullptr);
+  EXPECT_EQ(op.PlanForQuantile(2)->tail_size, 80);
+  EXPECT_EQ(op.PlanForQuantile(3)->tail_size, 8);
+  EXPECT_FALSE(op.PlanForQuantile(2)->topk_enabled);  // P(1-phi) = 10 >= 10
+  EXPECT_TRUE(op.PlanForQuantile(3)->topk_enabled);   // P(1-phi) = 1 < 10
+}
+
+TEST(QloveTest, FewkDisabledHasNoPlans) {
+  QloveOptions options;
+  options.enable_fewk = false;
+  QloveOperator op(options);
+  ASSERT_TRUE(op.Initialize(WindowSpec(8000, 1000), {0.999}).ok());
+  EXPECT_EQ(op.PlanForQuantile(0), nullptr);
+}
+
+TEST(QloveTest, TopKFixesStatisticalInefficiency) {
+  // Small period: Q0.999 per sub-window is decided by 1-2 points and the
+  // Level-2 mean is biased; top-k merging must beat it decisively.
+  workload::NetMonGenerator gen(4);
+  auto data = workload::Materialize(&gen, 60000);
+  const WindowSpec spec(16000, 1000);
+  const std::vector<double> phis = {0.999};
+
+  QloveOptions no_fewk;
+  no_fewk.enable_fewk = false;
+  QloveOperator plain(no_fewk);
+  auto plain_result = bench_util::RunAccuracy(&plain, data, spec, phis, false);
+
+  QloveOptions with_topk;
+  with_topk.fewk.topk_fraction = 0.5;
+  with_topk.fewk.samplek_fraction = 0.0;
+  QloveOperator corrected(with_topk);
+  auto topk_result =
+      bench_util::RunAccuracy(&corrected, data, spec, phis, false);
+
+  ASSERT_GT(plain_result.evaluations, 0);
+  EXPECT_LT(topk_result.avg_value_error_pct[0],
+            plain_result.avg_value_error_pct[0] * 0.5);
+  EXPECT_LT(topk_result.avg_value_error_pct[0], 5.0);
+}
+
+TEST(QloveTest, TopKOutcomeSourceReported) {
+  QloveOptions options;
+  options.fewk.topk_fraction = 0.5;
+  options.fewk.samplek_fraction = 0.0;
+  QloveOperator op(options);
+  WindowedQuantileQuery query(WindowSpec(4000, 500), {0.5, 0.999}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  workload::NetMonGenerator gen(5);
+  bool saw_eval = false;
+  for (int i = 0; i < 10000; ++i) {
+    if (query.OnElement(gen.Next()).has_value()) saw_eval = true;
+  }
+  ASSERT_TRUE(saw_eval);
+  EXPECT_EQ(op.LastOutcomeSources()[0], OutcomeSource::kLevel2);
+  EXPECT_EQ(op.LastOutcomeSources()[1], OutcomeSource::kTopK);
+}
+
+TEST(QloveTest, BurstTriggersSampleKPipeline) {
+  const WindowSpec spec(16000, 2000);
+  workload::NetMonGenerator inner(6);
+  workload::BurstInjector burst(&inner, spec.size, spec.period, 0.999, 10.0);
+  auto data = workload::Materialize(&burst, 60000);
+
+  QloveOptions options;
+  options.fewk.samplek_fraction = 0.5;
+  QloveOperator op(options);
+  WindowedQuantileQuery query(spec, {0.999}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  int samplek_outcomes = 0;
+  int evaluations = 0;
+  for (double v : data) {
+    if (query.OnElement(v).has_value()) {
+      ++evaluations;
+      if (op.LastOutcomeSources()[0] == OutcomeSource::kSampleK) {
+        ++samplek_outcomes;
+      }
+    }
+  }
+  ASSERT_GT(evaluations, 0);
+  // Bursts recur every (N/P) sub-windows, so most windows contain one and
+  // the sample-k pipeline must dominate outcome selection.
+  EXPECT_GT(samplek_outcomes, evaluations / 2);
+  EXPECT_TRUE(op.BurstActiveInWindow());
+}
+
+TEST(QloveTest, SampleKFixesBurstError) {
+  const WindowSpec spec(16000, 2000);
+  const std::vector<double> phis = {0.999};
+  workload::NetMonGenerator inner(7);
+  workload::BurstInjector burst(&inner, spec.size, spec.period, 0.999, 10.0);
+  auto data = workload::Materialize(&burst, 80000);
+
+  QloveOptions no_samples;
+  no_samples.fewk.samplek_fraction = 0.0;
+  no_samples.fewk.topk_fraction = 0.0;
+  no_samples.enable_fewk = false;
+  QloveOperator plain(no_samples);
+  auto plain_result = bench_util::RunAccuracy(&plain, data, spec, phis, false);
+
+  QloveOptions with_samples;
+  with_samples.fewk.samplek_fraction = 0.5;
+  QloveOperator corrected(with_samples);
+  auto fixed_result =
+      bench_util::RunAccuracy(&corrected, data, spec, phis, false);
+
+  ASSERT_GT(plain_result.evaluations, 0);
+  EXPECT_GT(plain_result.avg_value_error_pct[0], 15.0);  // burst damage
+  EXPECT_LT(fixed_result.avg_value_error_pct[0],
+            plain_result.avg_value_error_pct[0] / 3.0);
+  EXPECT_LT(fixed_result.avg_value_error_pct[0], 6.0);
+}
+
+TEST(QloveTest, SpaceStaysFarBelowExactOnRedundantData) {
+  workload::NetMonGenerator gen(8);
+  auto data = workload::Materialize(&gen, 40000);
+  const WindowSpec spec(16000, 2000);
+  QloveOperator op;
+  auto result = bench_util::RunAccuracy(&op, data, spec, {0.5, 0.999}, false);
+  EXPECT_GT(result.observed_space, 0);
+  EXPECT_LT(result.observed_space, result.analytical_space);
+  EXPECT_LT(result.observed_space, spec.size);  // far below raw retention
+}
+
+TEST(QloveTest, ResetRestoresFreshState) {
+  QloveOperator op;
+  ASSERT_TRUE(op.Initialize(WindowSpec(100, 50), {0.5}).ok());
+  for (int i = 0; i < 100; ++i) op.Add(i);
+  op.OnSubWindowBoundary();
+  op.Reset();
+  EXPECT_EQ(op.ObservedSpaceVariables(), 0);
+  EXPECT_FALSE(op.BurstActiveInWindow());
+  auto q = op.ComputeQuantiles();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0], 0.0);
+}
+
+TEST(QloveTest, NonFiniteValuesAreIgnored) {
+  QloveOperator op;
+  WindowedQuantileQuery query(WindowSpec(100, 50), {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> last;
+  for (int i = 0; i < 200; ++i) {
+    query.OnElement(100.0);
+    // Injected corruption must not poison the tree or the estimates.
+    op.Add(std::numeric_limits<double>::quiet_NaN());
+    op.Add(std::numeric_limits<double>::infinity());
+    auto r = query.OnElement(100.0);
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last[0], 100.0);
+}
+
+TEST(QloveTest, EstimatesMonotoneAcrossQuantiles) {
+  // Mixed pipelines (Level-2 mean for Q0.9, top-k for Q0.999) must still
+  // produce non-decreasing estimates in phi.
+  QloveOptions options;
+  options.fewk.topk_fraction = 0.5;
+  QloveOperator op(options);
+  const std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
+  WindowedQuantileQuery query(WindowSpec(8000, 1000), phis, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  workload::NetMonGenerator gen(13);
+  for (int i = 0; i < 40000; ++i) {
+    auto r = query.OnElement(gen.Next());
+    if (!r.has_value()) continue;
+    for (size_t q = 1; q < phis.size(); ++q) {
+      EXPECT_LE(r->estimates[q - 1], r->estimates[q])
+          << "at evaluation " << r->end_index;
+    }
+  }
+}
+
+TEST(QloveTest, AllDuplicateStreamCollapsesState) {
+  QloveOperator op;
+  WindowedQuantileQuery query(WindowSpec(1000, 100), {0.5, 0.999}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> last;
+  for (int i = 0; i < 5000; ++i) {
+    auto r = query.OnElement(42.0);
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last[0], 42.0);
+  EXPECT_EQ(last[1], 42.0);
+  // One unique value: the whole state is a handful of variables.
+  EXPECT_LT(op.ObservedSpaceVariables(), 200);
+}
+
+TEST(QloveTest, OutcomeSourceNames) {
+  EXPECT_STREQ(OutcomeSourceName(OutcomeSource::kLevel2), "Level2");
+  EXPECT_STREQ(OutcomeSourceName(OutcomeSource::kTopK), "TopK");
+  EXPECT_STREQ(OutcomeSourceName(OutcomeSource::kSampleK), "SampleK");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qlove

@@ -1,0 +1,91 @@
+#include "stream/quantile_operator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+#include "stats/descriptive.h"
+
+namespace qlove {
+namespace {
+
+std::vector<double> Iota(int n) {
+  std::vector<double> v;
+  for (int i = 1; i <= n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(WindowedQuantileQueryTest, RejectsNullOperator) {
+  WindowedQuantileQuery query(WindowSpec(4, 2), {0.5}, nullptr);
+  EXPECT_FALSE(query.Initialize().ok());
+}
+
+TEST(WindowedQuantileQueryTest, RejectsInvalidSpec) {
+  sketch::ExactOperator op;
+  WindowedQuantileQuery query(WindowSpec(4, 3), {0.5}, &op);
+  EXPECT_FALSE(query.Initialize().ok());
+}
+
+TEST(WindowedQuantileQueryTest, RejectsInvalidPhis) {
+  sketch::ExactOperator op;
+  WindowedQuantileQuery bad_phi(WindowSpec(4, 2), {0.5, 1.2}, &op);
+  EXPECT_FALSE(bad_phi.Initialize().ok());
+  WindowedQuantileQuery no_phi(WindowSpec(4, 2), {}, &op);
+  EXPECT_FALSE(no_phi.Initialize().ok());
+}
+
+TEST(WindowedQuantileQueryTest, EvaluationCountMatchesSemantics) {
+  sketch::ExactOperator op;
+  WindowedQuantileQuery query(WindowSpec(10, 5), {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  auto results = query.Run(Iota(40));
+  // Evaluations at elements 10, 15, 20, ..., 40 -> 7.
+  EXPECT_EQ(results.size(), 7u);
+  EXPECT_EQ(results.front().end_index, 10);
+  EXPECT_EQ(results.back().end_index, 40);
+}
+
+TEST(WindowedQuantileQueryTest, TumblingWindowEvaluations) {
+  sketch::ExactOperator op;
+  WindowedQuantileQuery query(WindowSpec(8, 8), {1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  auto results = query.Run(Iota(24));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].estimates[0], 8.0);
+  EXPECT_DOUBLE_EQ(results[1].estimates[0], 16.0);
+  EXPECT_DOUBLE_EQ(results[2].estimates[0], 24.0);
+}
+
+TEST(WindowedQuantileQueryTest, SlidingEvictionKeepsWindowExact) {
+  sketch::ExactOperator op;
+  const WindowSpec spec(6, 2);
+  WindowedQuantileQuery query(spec, {0.5, 1.0}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  const auto data = Iota(20);
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& result : results) {
+    const auto first = static_cast<size_t>(result.end_index - spec.size);
+    std::vector<double> window(data.begin() + first,
+                               data.begin() + result.end_index);
+    EXPECT_DOUBLE_EQ(result.estimates[0],
+                     stats::ExactQuantile(window, 0.5).ValueOrDie());
+    EXPECT_DOUBLE_EQ(result.estimates[1],
+                     stats::ExactQuantile(window, 1.0).ValueOrDie());
+  }
+  // The operator holds exactly one window of elements at the end.
+  EXPECT_EQ(op.TotalCount(), spec.size);
+}
+
+TEST(WindowedQuantileQueryTest, ObservedSpacePopulated) {
+  sketch::ExactOperator op;
+  WindowedQuantileQuery query(WindowSpec(4, 2), {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  auto results = query.Run(Iota(8));
+  ASSERT_FALSE(results.empty());
+  EXPECT_GT(results.back().observed_space, 0);
+}
+
+}  // namespace
+}  // namespace qlove

@@ -1,0 +1,85 @@
+#include "core/quantizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace {
+
+TEST(QuantizerTest, ThreeSignificantDigits) {
+  Quantizer q(3);
+  EXPECT_EQ(q.Quantize(74265.0), 74300.0);
+  EXPECT_EQ(q.Quantize(1247.0), 1250.0);
+  EXPECT_EQ(q.Quantize(798.0), 798.0);
+  EXPECT_EQ(q.Quantize(1874.0), 1870.0);
+  EXPECT_EQ(q.Quantize(999.0), 999.0);
+  EXPECT_EQ(q.Quantize(1000.0), 1000.0);
+  EXPECT_EQ(q.Quantize(1005.0), 1010.0);  // round half away from zero
+}
+
+TEST(QuantizerTest, SmallValuesPreserved) {
+  Quantizer q(3);
+  EXPECT_EQ(q.Quantize(1.0), 1.0);
+  EXPECT_EQ(q.Quantize(12.0), 12.0);
+  EXPECT_EQ(q.Quantize(0.0), 0.0);
+  EXPECT_NEAR(q.Quantize(0.12345), 0.123, 1e-12);
+}
+
+TEST(QuantizerTest, NegativeValuesMirrorPositive) {
+  Quantizer q(3);
+  EXPECT_EQ(q.Quantize(-74265.0), -74300.0);
+  EXPECT_EQ(q.Quantize(-798.0), -798.0);
+}
+
+TEST(QuantizerTest, DisabledIsIdentity) {
+  Quantizer q(0);
+  EXPECT_TRUE(q.disabled());
+  EXPECT_EQ(q.Quantize(74265.0), 74265.0);
+  EXPECT_EQ(q.Quantize(0.123456789), 0.123456789);
+}
+
+TEST(QuantizerTest, NonFiniteValuesPassThrough) {
+  Quantizer q(3);
+  EXPECT_TRUE(std::isnan(q.Quantize(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isinf(q.Quantize(std::numeric_limits<double>::infinity())));
+}
+
+TEST(QuantizerTest, MonotoneOnPositives) {
+  Quantizer q(3);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.Uniform(1.0, 1e6);
+    const double b = rng.Uniform(1.0, 1e6);
+    if (a <= b) {
+      EXPECT_LE(q.Quantize(a), q.Quantize(b)) << a << " vs " << b;
+    } else {
+      EXPECT_GE(q.Quantize(a), q.Quantize(b)) << a << " vs " << b;
+    }
+  }
+}
+
+class QuantizerErrorBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerErrorBoundTest, RelativeErrorWithinHalfUlpOfDigits) {
+  // Paper: 3 significant digits => < 1% relative error. Generally the bound
+  // is 0.5 * 10^(1 - digits).
+  const int digits = GetParam();
+  Quantizer q(digits);
+  const double bound = 0.5 * std::pow(10.0, 1 - digits) + 1e-12;
+  Rng rng(static_cast<uint64_t>(digits));
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Uniform(1e-3, 1e8);
+    const double quantized = q.Quantize(v);
+    EXPECT_LE(std::fabs(quantized - v) / v, bound) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Digits, QuantizerErrorBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace qlove

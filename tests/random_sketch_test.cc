@@ -1,0 +1,132 @@
+#include "sketch/random_sketch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(RandomSketchTest, InitializeValidation) {
+  RandomSketchOperator op;
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 3), {0.5}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {}).ok());
+  EXPECT_FALSE(op.Initialize(WindowSpec(10, 5), {0.0}).ok());
+  EXPECT_TRUE(op.Initialize(WindowSpec(100, 50), {0.5}).ok());
+  EXPECT_EQ(op.Name(), "Random");
+}
+
+TEST(RandomSketchTest, SlotCountFollowsEpsilon) {
+  RandomSketchOperator op(RandomSketchOptions{.epsilon = 0.1});
+  ASSERT_TRUE(op.Initialize(WindowSpec(10000, 1000), {0.5}).ok());
+  EXPECT_EQ(op.slots(), 200);  // ceil(2 / 0.01)
+
+  RandomSketchOperator capped(RandomSketchOptions{.epsilon = 0.001});
+  ASSERT_TRUE(capped.Initialize(WindowSpec(100, 50), {0.5}).ok());
+  EXPECT_EQ(capped.slots(), 100);  // never more slots than window elements
+
+  RandomSketchOperator forced(RandomSketchOptions{.slots_override = 7});
+  ASSERT_TRUE(forced.Initialize(WindowSpec(100, 50), {0.5}).ok());
+  EXPECT_EQ(forced.slots(), 7);
+}
+
+TEST(RandomSketchTest, ConstantStreamIsExact) {
+  RandomSketchOperator op(RandomSketchOptions{.slots_override = 32});
+  WindowedQuantileQuery query(WindowSpec(100, 50), {0.5, 0.99}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> data(500, 42.0);
+  auto results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.estimates[0], 42.0);
+    EXPECT_EQ(r.estimates[1], 42.0);
+  }
+}
+
+TEST(RandomSketchTest, SamplesTrackTheCurrentWindow) {
+  // Stream a step function: first half small values, second half large.
+  // After the window fully covers the large phase, the median must be large.
+  RandomSketchOperator op(RandomSketchOptions{.slots_override = 64, .seed = 3});
+  const WindowSpec spec(1000, 500);
+  WindowedQuantileQuery query(spec, {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  std::vector<double> last;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = i < 10000 ? 1.0 : 1000.0;
+    auto r = query.OnElement(v);
+    if (r.has_value()) last = r->estimates;
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last[0], 1000.0);  // window contains only the large phase
+}
+
+struct RandomCase {
+  uint64_t seed;
+  int64_t slots;
+  double tolerated_rank_error;
+};
+
+class RandomSketchPropertyTest
+    : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomSketchPropertyTest, AverageRankErrorScalesWithSlots) {
+  const RandomCase param = GetParam();
+  RandomSketchOperator op(RandomSketchOptions{
+      .slots_override = param.slots, .seed = param.seed});
+  workload::UniformGenerator gen(param.seed, 0.0, 1e6);
+  auto data = workload::Materialize(&gen, 60000);
+  const WindowSpec spec(10000, 2000);
+  auto result =
+      bench_util::RunAccuracy(&op, data, spec, {0.25, 0.5, 0.75}, true);
+  ASSERT_GT(result.evaluations, 0);
+  for (double avg : result.avg_rank_error) {
+    EXPECT_LE(avg, param.tolerated_rank_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Slots, RandomSketchPropertyTest,
+    ::testing::Values(RandomCase{1, 256, 0.08}, RandomCase{2, 1024, 0.04},
+                      RandomCase{3, 4096, 0.02}, RandomCase{4, 256, 0.08},
+                      RandomCase{5, 1024, 0.04}));
+
+TEST(RandomSketchTest, SpaceStaysNearSlotBudget) {
+  RandomSketchOperator op(RandomSketchOptions{.slots_override = 100});
+  const WindowSpec spec(2000, 1000);
+  WindowedQuantileQuery query(spec, {0.5}, &op);
+  ASSERT_TRUE(query.Initialize().ok());
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) query.OnElement(rng.NextDouble());
+  // Chains average O(1) links; allow a generous constant.
+  EXPECT_LT(op.ObservedSpaceVariables(), 100 * 20);
+  EXPECT_GT(op.ObservedSpaceVariables(), 100 * 2);
+}
+
+TEST(RandomSketchTest, DeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    RandomSketchOperator op(
+        RandomSketchOptions{.slots_override = 64, .seed = seed});
+    WindowedQuantileQuery query(WindowSpec(500, 250), {0.5, 0.9}, &op);
+    EXPECT_TRUE(query.Initialize().ok());
+    Rng rng(42);
+    std::vector<double> out;
+    for (int i = 0; i < 5000; ++i) {
+      auto r = query.OnElement(rng.NextDouble());
+      if (r.has_value()) {
+        out.insert(out.end(), r->estimates.begin(), r->estimates.end());
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Internal("int").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCategory) {
+  EXPECT_EQ(Status::InvalidArgument("phi").ToString(), "InvalidArgument: phi");
+  EXPECT_EQ(Status::OutOfRange("rank").ToString(), "OutOfRange: rank");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_NE(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_NE(Status::Internal("a"), Status::InvalidArgument("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string taken = r.TakeValue();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    QLOVE_RETURN_NOT_OK(Status::Internal("inner"));
+    return Status::OK();
+  };
+  auto succeeds = []() -> Status {
+    QLOVE_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), Status::Code::kInternal);
+  EXPECT_TRUE(succeeds().ok());
+}
+
+}  // namespace
+}  // namespace qlove

@@ -1,0 +1,70 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace {
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+  EXPECT_EQ(FormatDouble(0.005, 2), "0.01");
+}
+
+TEST(StringsTest, FormatScientific) {
+  EXPECT_EQ(FormatScientific(3.46e-5, 2), "3.46e-05");
+  EXPECT_EQ(FormatScientific(1.56e-3, 2), "1.56e-03");
+}
+
+TEST(StringsTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(16416), "16,416");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-45309), "-45,309");
+}
+
+TEST(StringsTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1K");
+  EXPECT_EQ(FormatCount(128000), "128K");
+  EXPECT_EQ(FormatCount(1000000), "1M");
+  EXPECT_EQ(FormatCount(100000000), "100M");
+  EXPECT_EQ(FormatCount(1000000000), "1B");
+  EXPECT_EQ(FormatCount(2500), "2.5K");
+}
+
+TEST(StringsTest, ParseCountRoundTrips) {
+  int64_t out = 0;
+  ASSERT_TRUE(ParseCount("128K", &out));
+  EXPECT_EQ(out, 128000);
+  ASSERT_TRUE(ParseCount("1M", &out));
+  EXPECT_EQ(out, 1000000);
+  ASSERT_TRUE(ParseCount("1B", &out));
+  EXPECT_EQ(out, 1000000000);
+  ASSERT_TRUE(ParseCount("42", &out));
+  EXPECT_EQ(out, 42);
+  ASSERT_TRUE(ParseCount("1.5k", &out));
+  EXPECT_EQ(out, 1500);
+}
+
+TEST(StringsTest, ParseCountRejectsMalformed) {
+  int64_t out = 0;
+  EXPECT_FALSE(ParseCount("", &out));
+  EXPECT_FALSE(ParseCount("abc", &out));
+  EXPECT_FALSE(ParseCount("1X", &out));
+  EXPECT_FALSE(ParseCount("1KK", &out));
+  EXPECT_FALSE(ParseCount("1K", nullptr));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace qlove

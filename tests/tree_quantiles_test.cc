@@ -1,0 +1,118 @@
+#include "container/tree_quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace qlove {
+namespace {
+
+TEST(TreeQuantilesTest, EmptyTreeReturnsEmpty) {
+  FrequencyTree tree;
+  EXPECT_TRUE(MultiQuantileFromTree(tree, {0.5}).empty());
+}
+
+TEST(TreeQuantilesTest, NoPhisReturnsEmpty) {
+  FrequencyTree tree;
+  tree.Add(1.0);
+  EXPECT_TRUE(MultiQuantileFromTree(tree, {}).empty());
+}
+
+TEST(TreeQuantilesTest, SingleElementAllQuantiles) {
+  FrequencyTree tree;
+  tree.Add(42.0);
+  auto q = MultiQuantileFromTree(tree, {0.001, 0.5, 0.999, 1.0});
+  ASSERT_EQ(q.size(), 4u);
+  for (double v : q) EXPECT_EQ(v, 42.0);
+}
+
+TEST(TreeQuantilesTest, PaperRankDefinition) {
+  // 10 elements 1..10: phi-quantile = element at rank ceil(phi * 10).
+  FrequencyTree tree;
+  for (int i = 1; i <= 10; ++i) tree.Add(i);
+  auto q = MultiQuantileFromTree(tree, {0.1, 0.25, 0.5, 0.95, 1.0});
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_EQ(q[0], 1.0);   // ceil(1.0) = 1
+  EXPECT_EQ(q[1], 3.0);   // ceil(2.5) = 3
+  EXPECT_EQ(q[2], 5.0);   // ceil(5.0) = 5
+  EXPECT_EQ(q[3], 10.0);  // ceil(9.5) = 10
+  EXPECT_EQ(q[4], 10.0);
+}
+
+TEST(TreeQuantilesTest, UnorderedPhisAlignWithInput) {
+  FrequencyTree tree;
+  for (int i = 1; i <= 100; ++i) tree.Add(i);
+  auto q = MultiQuantileFromTree(tree, {0.99, 0.5, 0.9});
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 99.0);
+  EXPECT_EQ(q[1], 50.0);
+  EXPECT_EQ(q[2], 90.0);
+}
+
+TEST(TreeQuantilesTest, DuplicateHeavyDistribution) {
+  FrequencyTree tree;
+  tree.Add(1.0, 90);
+  tree.Add(100.0, 9);
+  tree.Add(10000.0, 1);
+  auto q = MultiQuantileFromTree(tree, {0.5, 0.9, 0.99, 1.0});
+  EXPECT_EQ(q[0], 1.0);
+  EXPECT_EQ(q[1], 1.0);     // rank 90 still in the first node
+  EXPECT_EQ(q[2], 100.0);   // rank 99
+  EXPECT_EQ(q[3], 10000.0); // rank 100
+}
+
+TEST(TreeQuantilesTest, RepeatedPhisGetSameAnswer) {
+  FrequencyTree tree;
+  for (int i = 1; i <= 50; ++i) tree.Add(i);
+  auto q = MultiQuantileFromTree(tree, {0.5, 0.5, 0.5});
+  EXPECT_EQ(q[0], 25.0);
+  EXPECT_EQ(q[1], 25.0);
+  EXPECT_EQ(q[2], 25.0);
+}
+
+struct QuantileSweep {
+  uint64_t seed;
+  int n;
+  int key_range;
+};
+
+class TreeQuantilesPropertyTest
+    : public ::testing::TestWithParam<QuantileSweep> {};
+
+TEST_P(TreeQuantilesPropertyTest, AgreesWithSortedReference) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  FrequencyTree tree;
+  std::vector<double> data;
+  for (int i = 0; i < param.n; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(param.key_range));
+    tree.Add(v);
+    data.push_back(v);
+  }
+  std::sort(data.begin(), data.end());
+  const std::vector<double> phis = {0.01, 0.1, 0.25, 0.5,
+                                    0.75, 0.9, 0.99, 0.999, 1.0};
+  auto got = MultiQuantileFromTree(tree, phis);
+  ASSERT_EQ(got.size(), phis.size());
+  for (size_t i = 0; i < phis.size(); ++i) {
+    const double expected =
+        stats::ExactQuantileSorted(data, phis[i]).ValueOrDie();
+    EXPECT_EQ(got[i], expected) << "phi=" << phis[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeQuantilesPropertyTest,
+    ::testing::Values(QuantileSweep{11, 1000, 8},
+                      QuantileSweep{12, 1000, 100000},
+                      QuantileSweep{13, 5000, 256},
+                      QuantileSweep{14, 777, 3},
+                      QuantileSweep{15, 10000, 1024}));
+
+}  // namespace
+}  // namespace qlove

@@ -1,0 +1,108 @@
+#include "sketch/weighted_merge.h"
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace sketch {
+namespace {
+
+TEST(WeightedMergeTest, EmptyIsFailedPrecondition) {
+  std::vector<WeightedValue> entries;
+  EXPECT_FALSE(WeightedRankQuery(&entries, 1).ok());
+  EXPECT_FALSE(WeightedQuantileQuery(&entries, 0.5).ok());
+  EXPECT_FALSE(WeightedRankQuery(nullptr, 1).ok());
+}
+
+TEST(WeightedMergeTest, SingleEntry) {
+  std::vector<WeightedValue> entries = {{7.0, 3}};
+  EXPECT_EQ(WeightedRankQuery(&entries, 1).ValueOrDie(), 7.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 3).ValueOrDie(), 7.0);
+}
+
+TEST(WeightedMergeTest, SortsUnsortedInput) {
+  std::vector<WeightedValue> entries = {{30.0, 1}, {10.0, 1}, {20.0, 1}};
+  EXPECT_EQ(WeightedRankQuery(&entries, 1).ValueOrDie(), 10.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 2).ValueOrDie(), 20.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 3).ValueOrDie(), 30.0);
+}
+
+TEST(WeightedMergeTest, WeightsActAsMultiplicity) {
+  std::vector<WeightedValue> entries = {{1.0, 5}, {2.0, 3}, {3.0, 2}};
+  EXPECT_EQ(WeightedRankQuery(&entries, 5).ValueOrDie(), 1.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 6).ValueOrDie(), 2.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 8).ValueOrDie(), 2.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 9).ValueOrDie(), 3.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 10).ValueOrDie(), 3.0);
+}
+
+TEST(WeightedMergeTest, RankClampedToValidRange) {
+  std::vector<WeightedValue> entries = {{1.0, 2}, {2.0, 2}};
+  EXPECT_EQ(WeightedRankQuery(&entries, -5).ValueOrDie(), 1.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 100).ValueOrDie(), 2.0);
+}
+
+TEST(WeightedMergeTest, ZeroTotalWeightFails) {
+  std::vector<WeightedValue> entries = {{1.0, 0}, {2.0, 0}};
+  EXPECT_FALSE(WeightedRankQuery(&entries, 1).ok());
+}
+
+TEST(WeightedMergeTest, QuantileUsesPaperRank) {
+  // Total weight 10; phi 0.5 -> rank 5, phi 0.51 -> rank 6.
+  std::vector<WeightedValue> entries = {{1.0, 5}, {2.0, 5}};
+  EXPECT_EQ(WeightedQuantileQuery(&entries, 0.5).ValueOrDie(), 1.0);
+  EXPECT_EQ(WeightedQuantileQuery(&entries, 0.51).ValueOrDie(), 2.0);
+  EXPECT_EQ(WeightedQuantileQuery(&entries, 1.0).ValueOrDie(), 2.0);
+}
+
+TEST(WeightedMergeTest, QuantileRejectsBadPhi) {
+  std::vector<WeightedValue> entries = {{1.0, 1}};
+  EXPECT_FALSE(WeightedQuantileQuery(&entries, 0.0).ok());
+  EXPECT_FALSE(WeightedQuantileQuery(&entries, 1.0001).ok());
+}
+
+TEST(WeightedMergeTest, InterpolatedPicksNearestCumulativeRank) {
+  // Entries at (exact) cumulative ranks 10, 20, 30.
+  std::vector<WeightedValue> entries = {{100.0, 10}, {200.0, 10}, {300.0, 10}};
+  EXPECT_EQ(WeightedRankQuery(&entries, 10, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            100.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 14, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            100.0);  // closer to rank 10 than to 20
+  EXPECT_EQ(WeightedRankQuery(&entries, 16, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            200.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 25, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            300.0);  // ties round deeper
+  EXPECT_EQ(WeightedRankQuery(&entries, 30, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            300.0);
+}
+
+TEST(WeightedMergeTest, InterpolatedOnUnitWeightsMatchesExact) {
+  std::vector<WeightedValue> entries;
+  for (int i = 1; i <= 50; ++i) entries.emplace_back(i * 10.0, 1);
+  for (int64_t rank : {1, 7, 25, 50}) {
+    EXPECT_EQ(
+        WeightedRankQuery(&entries, rank, RankSemantics::kExact).ValueOrDie(),
+        WeightedRankQuery(&entries, rank, RankSemantics::kInterpolated)
+            .ValueOrDie())
+        << "rank " << rank;
+  }
+}
+
+TEST(WeightedMergeTest, InterpolatedFirstEntryHandlesLowRanks) {
+  std::vector<WeightedValue> entries = {{5.0, 100}, {9.0, 1}};
+  // Rank 1 has no previous entry; the first entry answers.
+  EXPECT_EQ(WeightedRankQuery(&entries, 1, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            5.0);
+  EXPECT_EQ(WeightedRankQuery(&entries, 101, RankSemantics::kInterpolated)
+                .ValueOrDie(),
+            9.0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace qlove

@@ -1,0 +1,46 @@
+#include "stream/window.h"
+
+#include <gtest/gtest.h>
+
+namespace qlove {
+namespace {
+
+TEST(WindowSpecTest, TumblingVsSliding) {
+  WindowSpec tumbling(1000, 1000);
+  EXPECT_TRUE(tumbling.IsTumbling());
+  EXPECT_FALSE(tumbling.IsSliding());
+  EXPECT_EQ(tumbling.NumSubWindows(), 1);
+
+  WindowSpec sliding(128000, 16000);
+  EXPECT_FALSE(sliding.IsTumbling());
+  EXPECT_TRUE(sliding.IsSliding());
+  EXPECT_EQ(sliding.NumSubWindows(), 8);
+}
+
+TEST(WindowSpecTest, ValidationAcceptsAlignedSpecs) {
+  EXPECT_TRUE(WindowSpec(100, 100).Validate().ok());
+  EXPECT_TRUE(WindowSpec(100, 10).Validate().ok());
+  EXPECT_TRUE(WindowSpec(131072, 16384).Validate().ok());
+}
+
+TEST(WindowSpecTest, ValidationRejectsBadSpecs) {
+  EXPECT_FALSE(WindowSpec(0, 10).Validate().ok());
+  EXPECT_FALSE(WindowSpec(10, 0).Validate().ok());
+  EXPECT_FALSE(WindowSpec(-5, 5).Validate().ok());
+  EXPECT_FALSE(WindowSpec(10, 20).Validate().ok());   // period > size
+  EXPECT_FALSE(WindowSpec(100, 30).Validate().ok());  // misaligned
+}
+
+TEST(WindowSpecTest, ToStringMentionsBothParameters) {
+  const std::string s = WindowSpec(128, 16).ToString();
+  EXPECT_NE(s.find("128"), std::string::npos);
+  EXPECT_NE(s.find("16"), std::string::npos);
+}
+
+TEST(WindowSpecTest, Equality) {
+  EXPECT_EQ(WindowSpec(10, 5), WindowSpec(10, 5));
+  EXPECT_NE(WindowSpec(10, 5), WindowSpec(10, 2));
+}
+
+}  // namespace
+}  // namespace qlove
