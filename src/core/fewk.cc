@@ -7,24 +7,27 @@
 namespace qlove {
 namespace core {
 
-namespace {
-
-// ceil() guarded against binary round-off: 1 - 0.99 slightly exceeds 0.01 in
-// doubles, and a naive ceil would inflate N(1-phi) by one.
-int64_t CeilCount(double value) {
+int64_t TailCeilCount(double value) {
   return static_cast<int64_t>(std::ceil(value - 1e-9));
 }
 
-}  // namespace
+TailRanks ComputeTailRanks(double phi, int64_t n) {
+  TailRanks ranks;
+  if (n <= 0) return ranks;  // std::clamp below requires lo <= hi
+  ranks.quantile_rank =
+      std::clamp<int64_t>(TailCeilCount(phi * static_cast<double>(n)), 1, n);
+  ranks.exact_tail_rank = n - ranks.quantile_rank + 1;
+  ranks.tail_size = std::max<int64_t>(
+      1, TailCeilCount(static_cast<double>(n) * (1.0 - phi)));
+  return ranks;
+}
 
 FewKPlan PlanFewK(double phi, int64_t n, int64_t p, const FewKSizing& sizing) {
   FewKPlan plan;
   plan.phi = phi;
-  const double tail = static_cast<double>(n) * (1.0 - phi);
-  plan.tail_size = std::max<int64_t>(1, CeilCount(tail));
-  const int64_t quantile_rank =
-      std::clamp<int64_t>(CeilCount(phi * static_cast<double>(n)), 1, n);
-  plan.exact_tail_rank = n - quantile_rank + 1;
+  const TailRanks ranks = ComputeTailRanks(phi, n);
+  plan.tail_size = ranks.tail_size;
+  plan.exact_tail_rank = ranks.exact_tail_rank;
 
   const double per_sub_tail = static_cast<double>(p) * (1.0 - phi);
   plan.topk_enabled = per_sub_tail < static_cast<double>(sizing.ts);
@@ -38,7 +41,7 @@ FewKPlan PlanFewK(double phi, int64_t n, int64_t p, const FewKSizing& sizing) {
   } else {
     // §4.2 "Deciding kt": the per-sub-window share of the exact-answer
     // requirement under evenly spread tails, i.e. P(1-phi).
-    plan.kt = std::max<int64_t>(1, CeilCount(per_sub_tail));
+    plan.kt = std::max<int64_t>(1, TailCeilCount(per_sub_tail));
   }
   // A cache deeper than the exact tail rank can never improve the answer.
   plan.kt = std::min(plan.kt, plan.exact_tail_rank);

@@ -46,6 +46,23 @@ struct FewKSizing {
 /// period \p p.
 FewKPlan PlanFewK(double phi, int64_t n, int64_t p, const FewKSizing& sizing);
 
+/// ceil() guarded against binary round-off for tail/rank sizing: 1 - 0.99
+/// slightly exceeds 0.01 in doubles, and a naive ceil would inflate
+/// N(1-phi) by one. Shared by plan sizing and cross-shard rank
+/// recomputation (engine/snapshot).
+int64_t TailCeilCount(double value);
+
+/// \brief Rank geometry of one quantile over a population of \p n elements
+/// (the paper's rank definition r = ceil(phi n)). Single source of truth
+/// for PlanFewK and for cross-shard merging, which recomputes the same
+/// ranks from the merged population.
+struct TailRanks {
+  int64_t quantile_rank = 0;    ///< ceil(phi n), clamped into [1, n].
+  int64_t exact_tail_rank = 0;  ///< n - quantile_rank + 1 (from the top).
+  int64_t tail_size = 0;        ///< max(1, ceil(n (1 - phi))).
+};
+TailRanks ComputeTailRanks(double phi, int64_t n);
+
 /// \brief Top-k merging (§4.2): merges every sub-window's top-kt list and
 /// returns the \p global_rank-th largest value (global_rank = N(1-phi)).
 /// When fewer than global_rank values were cached, the smallest cached value

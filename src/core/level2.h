@@ -24,6 +24,7 @@ class Level2Aggregator {
   void Reset(size_t num_quantiles) {
     sums_.assign(num_quantiles, 0.0);
     count_ = 0;
+    weight_ = 0.0;
   }
 
   /// Adds one sub-window's quantile vector (aligned with the phi order).
@@ -60,14 +61,49 @@ class Level2Aggregator {
   /// Number of live sub-window summaries (n in Theorem 1).
   int64_t count() const { return count_; }
 
-  /// Scalars held: one sum per quantile plus the shared count.
+  /// \name Cross-shard merge hooks (engine/)
+  ///
+  /// When summaries from several shards are merged, their sub-window
+  /// populations differ (round-robin spreading is only even in expectation),
+  /// so each summary contributes proportionally to its element count rather
+  /// than uniformly. An aggregator instance uses either the uniform API
+  /// above or the weighted API below, never both.
+  /// @{
+
+  /// Adds one summary's quantile vector with \p weight (its element count).
+  void AccumulateWeighted(const std::vector<double>& subwindow_quantiles,
+                          double weight) {
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      sums_[i] += subwindow_quantiles[i] * weight;
+    }
+    weight_ += weight;
+    ++count_;
+  }
+
+  /// The count-weighted mean per quantile.
+  std::vector<double> ComputeWeightedResult() const {
+    std::vector<double> means(sums_.size(), 0.0);
+    if (weight_ <= 0.0) return means;
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      means[i] = sums_[i] / weight_;
+    }
+    return means;
+  }
+
+  /// Total accumulated weight (merged element count).
+  double total_weight() const { return weight_; }
+
+  /// @}
+
+  /// Scalars held: one sum per quantile plus the shared count and weight.
   int64_t SpaceVariables() const {
-    return static_cast<int64_t>(sums_.size()) + 1;
+    return static_cast<int64_t>(sums_.size()) + 2;
   }
 
  private:
   std::vector<double> sums_;
   int64_t count_ = 0;
+  double weight_ = 0.0;  // weighted mode only
 };
 
 }  // namespace core

@@ -18,6 +18,58 @@ const char* OutcomeSourceName(OutcomeSource source) {
   return "Unknown";
 }
 
+bool SelectFewKOutcome(const FewKPlan& plan,
+                       const std::vector<const TailCapture*>& tails,
+                       int64_t tail_size, int64_t exact_tail_rank,
+                       bool burst_active, double* estimate,
+                       OutcomeSource* source) {
+  if (burst_active && plan.ks > 0) {
+    auto result = MergeSampleK(tails, plan.alpha, tail_size);
+    if (result.ok()) {
+      *estimate = result.ValueOrDie();
+      *source = OutcomeSource::kSampleK;
+      return true;
+    }
+  }
+  if (plan.topk_enabled && plan.kt > 0) {
+    auto result = MergeTopK(tails, exact_tail_rank);
+    if (result.ok()) {
+      *estimate = result.ValueOrDie();
+      *source = OutcomeSource::kTopK;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RestoreQuantileMonotonicity(const std::vector<double>& phis,
+                                 std::vector<double>* estimates) {
+  std::vector<size_t> order(phis.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return phis[a] < phis[b]; });
+  double floor_value = -std::numeric_limits<double>::infinity();
+  for (size_t idx : order) {
+    if ((*estimates)[idx] < floor_value) (*estimates)[idx] = floor_value;
+    floor_value = (*estimates)[idx];
+  }
+}
+
+std::vector<int> QloveOperator::BuildFewKLayout(
+    const QloveOptions& options, const std::vector<double>& phis,
+    const WindowSpec& spec, std::vector<FewKPlan>* plans) {
+  std::vector<int> high_index(phis.size(), -1);
+  if (!options.enable_fewk) return high_index;
+  for (size_t i = 0; i < phis.size(); ++i) {
+    if (phis[i] < options.high_quantile_threshold || phis[i] >= 1.0) {
+      continue;
+    }
+    high_index[i] = static_cast<int>(plans->size());
+    plans->push_back(PlanFewK(phis[i], spec.size, spec.period, options.fewk));
+  }
+  return high_index;
+}
+
 QloveOperator::QloveOperator(QloveOptions options)
     : options_(options),
       quantizer_(options.quantizer_digits),
@@ -44,22 +96,16 @@ Status QloveOperator::Initialize(const WindowSpec& spec,
   spec_ = spec;
   phis_ = phis;
 
-  high_index_.assign(phis_.size(), -1);
   plans_.clear();
+  high_index_ = BuildFewKLayout(options_, phis_, spec_, &plans_);
   detection_plan_ = -1;
-  if (options_.enable_fewk) {
-    double best_phi = -1.0;
-    for (size_t i = 0; i < phis_.size(); ++i) {
-      if (phis_[i] < options_.high_quantile_threshold || phis_[i] >= 1.0) {
-        continue;
-      }
-      high_index_[i] = static_cast<int>(plans_.size());
-      plans_.push_back(
-          PlanFewK(phis_[i], spec_.size, spec_.period, options_.fewk));
-      if (plans_.back().ks > 0 && phis_[i] > best_phi) {
-        best_phi = phis_[i];
-        detection_plan_ = high_index_[i];
-      }
+  double best_phi = -1.0;
+  for (size_t i = 0; i < phis_.size(); ++i) {
+    if (high_index_[i] < 0) continue;
+    const FewKPlan& plan = plans_[static_cast<size_t>(high_index_[i])];
+    if (plan.ks > 0 && phis_[i] > best_phi) {
+      best_phi = phis_[i];
+      detection_plan_ = high_index_[i];
     }
   }
   Reset();
@@ -69,6 +115,7 @@ Status QloveOperator::Initialize(const WindowSpec& spec,
 void QloveOperator::Reset() {
   inflight_.Clear();
   inflight_count_ = 0;
+  boundary_epoch_ = 0;
   summaries_.clear();
   level2_.Reset(phis_.size());
   summaries_space_ = 0;
@@ -80,7 +127,7 @@ void QloveOperator::Reset() {
 }
 
 void QloveOperator::Add(double value) {
-  if (!std::isfinite(value)) return;  // corrupt telemetry never enters state
+  if (!Accepts(value)) return;  // corrupt telemetry never enters state
   const double quantized = quantizer_.Quantize(value);
   inflight_.Add(quantized);
   ++inflight_count_;
@@ -90,10 +137,19 @@ void QloveOperator::Add(double value) {
 }
 
 void QloveOperator::OnSubWindowBoundary() {
-  if (inflight_count_ == 0) return;  // nothing new (e.g. fully filtered)
+  ++boundary_epoch_;  // the window slides even across an empty sub-window
+  if (inflight_count_ == 0) {
+    // The gap breaks sub-window continuity: the next non-empty sub-window
+    // must not be burst-compared against a sample from before the gap
+    // (which may even have expired from the window).
+    prev_burst_sample_.clear();
+    EvictExpiredSummaries();
+    return;
+  }
 
   SubWindowSummary summary;
   summary.count = inflight_count_;
+  summary.epoch = boundary_epoch_;
   summary.quantiles = MultiQuantileFromTree(inflight_, phis_);
 
   if (!plans_.empty()) {
@@ -119,17 +175,27 @@ void QloveOperator::OnSubWindowBoundary() {
   level2_.Accumulate(summary.quantiles);
   summaries_space_ += summary.SpaceVariables();
   summaries_.push_back(std::move(summary));
-
-  while (static_cast<int64_t>(summaries_.size()) > spec_.NumSubWindows()) {
-    level2_.Deaccumulate(summaries_.front().quantiles);
-    summaries_space_ -= summaries_.front().SpaceVariables();
-    summaries_.pop_front();
-  }
+  EvictExpiredSummaries();
 
   inflight_.Clear();
   inflight_count_ = 0;
   const int64_t space = CurrentSpace();
   if (space > peak_space_) peak_space_ = space;
+}
+
+void QloveOperator::EvictExpiredSummaries() {
+  // A summary expires when the window holds more than n sub-windows (the
+  // count-driven case; epochs are then consecutive, so both conditions
+  // coincide) or when its boundary epoch has aged out (time-driven callers
+  // with empty sub-windows in between).
+  const int64_t n = spec_.NumSubWindows();
+  while (!summaries_.empty() &&
+         (static_cast<int64_t>(summaries_.size()) > n ||
+          summaries_.front().epoch <= boundary_epoch_ - n)) {
+    level2_.Deaccumulate(summaries_.front().quantiles);
+    summaries_space_ -= summaries_.front().SpaceVariables();
+    summaries_.pop_front();
+  }
 }
 
 bool QloveOperator::BurstActiveInWindow() const {
@@ -155,38 +221,12 @@ std::vector<double> QloveOperator::ComputeQuantiles() {
       for (const SubWindowSummary& summary : summaries_) {
         tails.push_back(&summary.tails[static_cast<size_t>(plan_index)]);
       }
-      if (burst_active && plan.ks > 0) {
-        auto result = MergeSampleK(tails, plan.alpha, plan.tail_size);
-        if (result.ok()) {
-          estimates[i] = result.ValueOrDie();
-          sources[i] = OutcomeSource::kSampleK;
-          continue;
-        }
-      }
-      if (plan.topk_enabled && plan.kt > 0) {
-        auto result = MergeTopK(tails, plan.exact_tail_rank);
-        if (result.ok()) {
-          estimates[i] = result.ValueOrDie();
-          sources[i] = OutcomeSource::kTopK;
-        }
-      }
+      SelectFewKOutcome(plan, tails, plan.tail_size, plan.exact_tail_rank,
+                        burst_active, &estimates[i], &sources[i]);
     }
   }
 
-  // The three pipelines estimate each quantile independently, so a Level-2
-  // mean can nominally exceed a neighbouring few-k answer; quantiles are
-  // monotone by definition, so restore monotonicity in phi order.
-  {
-    std::vector<size_t> order(phis_.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](size_t a, size_t b) { return phis_[a] < phis_[b]; });
-    double floor_value = -std::numeric_limits<double>::infinity();
-    for (size_t idx : order) {
-      if (estimates[idx] < floor_value) estimates[idx] = floor_value;
-      floor_value = estimates[idx];
-    }
-  }
+  RestoreQuantileMonotonicity(phis_, &estimates);
 
   last_estimates_ = estimates;
   last_sources_ = std::move(sources);

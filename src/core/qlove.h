@@ -10,6 +10,7 @@
 #ifndef QLOVE_CORE_QLOVE_H_
 #define QLOVE_CORE_QLOVE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -37,6 +38,26 @@ enum class OutcomeSource {
 
 /// Human-readable source name.
 const char* OutcomeSourceName(OutcomeSource source);
+
+/// \brief The §4.3 outcome-selection policy for one high quantile: prefer
+/// sample-k when a burst is active (and the plan samples), else top-k when
+/// statistically inefficient. On success writes the estimate and its
+/// source and returns true; false keeps the caller's Level-2 estimate.
+/// Single source of truth for the operator and cross-shard merging, which
+/// passes ranks recomputed from the merged population.
+bool SelectFewKOutcome(const FewKPlan& plan,
+                       const std::vector<const TailCapture*>& tails,
+                       int64_t tail_size, int64_t exact_tail_rank,
+                       bool burst_active, double* estimate,
+                       OutcomeSource* source);
+
+/// \brief Clamps \p estimates (aligned with \p phis) to be monotone
+/// non-decreasing in phi order. The Level-2 / top-k / sample-k pipelines
+/// estimate each quantile independently, so a Level-2 mean can nominally
+/// exceed a neighbouring few-k answer; quantiles are monotone by
+/// definition. Shared by the operator and cross-shard snapshot merging.
+void RestoreQuantileMonotonicity(const std::vector<double>& phis,
+                                 std::vector<double>* estimates);
 
 /// \brief QLOVE configuration.
 struct QloveOptions {
@@ -78,6 +99,11 @@ class QloveOperator final : public QuantileOperator {
   Status Initialize(const WindowSpec& spec,
                     const std::vector<double>& phis) override;
   void Add(double value) override;
+
+  /// Whether Add(\p value) enters operator state (corrupt telemetry —
+  /// NaN/Inf — is dropped). Single source of the acceptance predicate for
+  /// callers that reconcile their own ingest counters (engine/ shards).
+  static bool Accepts(double value) { return std::isfinite(value); }
   void OnSubWindowBoundary() override;
   std::vector<double> ComputeQuantiles() override;
   int64_t ObservedSpaceVariables() const override { return peak_space_; }
@@ -112,8 +138,43 @@ class QloveOperator final : public QuantileOperator {
 
   /// @}
 
+  /// \name Cross-shard merge surface (engine/)
+  /// @{
+
+  /// Completed sub-window summaries currently inside the window, oldest
+  /// first. A sharded engine merges these across shards (weighted Level-2
+  /// mean plus few-k tail merging) instead of averaging per-shard estimates,
+  /// which would lose the tail correction.
+  ///
+  /// Emptiness probe: boundaries slide the window even when no data arrived
+  /// in a sub-window (all elements filtered or corrupt), so after
+  /// NumSubWindows such boundaries the deque drains and ComputeQuantiles
+  /// reports 0.0 for every phi. Callers that must distinguish "no data in
+  /// window" from a genuine zero should check empty() here (the engine
+  /// exposes it as MetricSnapshot::num_summaries).
+  const std::deque<SubWindowSummary>& SubWindowSummaries() const {
+    return summaries_;
+  }
+
+  /// Elements accumulated into the in-flight (not yet finalized) sub-window.
+  int64_t InflightCount() const { return inflight_count_; }
+
+  /// The few-k plan layout this operator builds at Initialize: one plan per
+  /// high phi (phi in [high_quantile_threshold, 1)), in phi input order.
+  /// Returns the phi index -> plan index map (-1 for non-high phis) and
+  /// appends the plans to \p plans. Exposed so cross-shard merging indexes
+  /// each summary's `tails` with the exact layout the shards built —
+  /// SubWindowSummary::tails is aligned with this plan order.
+  static std::vector<int> BuildFewKLayout(const QloveOptions& options,
+                                          const std::vector<double>& phis,
+                                          const WindowSpec& spec,
+                                          std::vector<FewKPlan>* plans);
+
+  /// @}
+
  private:
   int64_t CurrentSpace() const;
+  void EvictExpiredSummaries();
 
   QloveOptions options_;
   WindowSpec spec_;
@@ -123,6 +184,7 @@ class QloveOperator final : public QuantileOperator {
   // Level 1: in-flight sub-window.
   FrequencyTree inflight_;
   int64_t inflight_count_ = 0;
+  int64_t boundary_epoch_ = 0;  // boundaries seen, including empty ones
 
   // Level 2: summaries of completed sub-windows within the window.
   std::deque<SubWindowSummary> summaries_;

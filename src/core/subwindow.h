@@ -36,10 +36,15 @@ struct SubWindowSummary {
   bool bursty = false;
   /// Number of elements in the sub-window (m in Theorem 1).
   int64_t count = 0;
+  /// Which boundary produced this summary (1-based). Time-driven callers
+  /// (engine/) may fire boundaries with no new data; eviction is by epoch
+  /// age, so a starved shard's old sub-windows still expire on schedule.
+  int64_t epoch = 0;
 
-  /// Scalars stored by this summary (space accounting).
+  /// Scalars stored by this summary (space accounting): quantiles, count,
+  /// epoch, and the tail material.
   int64_t SpaceVariables() const {
-    int64_t space = static_cast<int64_t>(quantiles.size()) + 1;
+    int64_t space = static_cast<int64_t>(quantiles.size()) + 2;
     for (const TailCapture& tail : tails) {
       space += static_cast<int64_t>(tail.topk.size()) * 2 +
                static_cast<int64_t>(tail.samples.size());

@@ -1,0 +1,227 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace qlove {
+namespace engine {
+
+/// One (thread, metric) ingest buffer. The MetricState is cached weakly:
+/// flushes lock it (falling back to the registry), so a TLS entry that
+/// outlives its engine never pins the metric's window state, which dies
+/// with the engine's registry. The entry itself (key copy + values vector,
+/// including any values never flushed before the engine died) is retained
+/// until the owning thread next touches a new engine — or for the thread's
+/// lifetime if it never does; threads that stop recording should Flush().
+struct ThreadBuffer {
+  std::weak_ptr<MetricState> metric;
+  std::vector<double> values;
+};
+
+namespace {
+
+/// engine_id -> (MetricKey -> buffer). Keyed by engine id so two engines in
+/// one process never share buffers; the inner map is keyed by MetricKey and
+/// caches the MetricState weakly, so steady-state Record is one hash lookup
+/// with no registry lock. Shells left behind by destroyed engines are
+/// dropped by the engine's destructor (calling thread) and pruned by other
+/// threads the next time they touch a new engine (EnsureEngineBuffers).
+using EngineBuffers =
+    std::unordered_map<MetricKey, ThreadBuffer, MetricKeyHash>;
+thread_local std::unordered_map<uint64_t, EngineBuffers> tls_buffers;
+
+std::atomic<uint64_t> next_engine_id{1};
+
+/// Live engine ids, so threads can prune TLS entries of destroyed engines.
+std::mutex live_engines_mu;
+std::unordered_set<uint64_t>& LiveEngines() {
+  static auto* live = new std::unordered_set<uint64_t>();
+  return *live;
+}
+
+/// Returns this thread's buffer map for \p engine_id, creating it on first
+/// touch. Creation is rare (once per thread per engine), so it also sweeps
+/// out entries whose engine has been destroyed.
+EngineBuffers& EnsureEngineBuffers(uint64_t engine_id) {
+  auto it = tls_buffers.find(engine_id);
+  if (it != tls_buffers.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(live_engines_mu);
+    const std::unordered_set<uint64_t>& live = LiveEngines();
+    for (auto stale = tls_buffers.begin(); stale != tls_buffers.end();) {
+      stale = live.count(stale->first) ? std::next(stale)
+                                       : tls_buffers.erase(stale);
+    }
+  }
+  return tls_buffers[engine_id];
+}
+
+}  // namespace
+
+Status EngineOptions::Validate() const {
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be > 0");
+  }
+  QLOVE_RETURN_NOT_OK(shard_window.Validate());
+  if (phis.empty()) {
+    return Status::InvalidArgument("at least one quantile is required");
+  }
+  for (double phi : phis) {
+    if (phi <= 0.0 || phi > 1.0) {
+      return Status::InvalidArgument("phi must lie in (0, 1]");
+    }
+  }
+  if (thread_buffer_capacity == 0) {
+    return Status::InvalidArgument("thread_buffer_capacity must be > 0");
+  }
+  return Status::OK();
+}
+
+TelemetryEngine::TelemetryEngine(EngineOptions options)
+    : options_(std::move(options)),
+      options_status_(options_.Validate()),  // once, not per Record
+      engine_id_(next_engine_id.fetch_add(1, std::memory_order_relaxed)) {
+  metric_options_.shard_window = options_.shard_window;
+  metric_options_.phis = options_.phis;
+  metric_options_.operator_options = options_.operator_options;
+  std::lock_guard<std::mutex> lock(live_engines_mu);
+  LiveEngines().insert(engine_id_);
+}
+
+TelemetryEngine::~TelemetryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(live_engines_mu);
+    LiveEngines().erase(engine_id_);
+  }
+  tls_buffers.erase(engine_id_);
+}
+
+Result<std::shared_ptr<MetricState>> TelemetryEngine::GetOrRegister(
+    const MetricKey& key) {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  return registry_.GetOrCreate(key, options_.num_shards, metric_options_);
+}
+
+Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
+  return GetOrRegister(key).status();
+}
+
+Status TelemetryEngine::Record(const MetricKey& key, double value) {
+  EngineBuffers& buffers = EnsureEngineBuffers(engine_id_);
+  ThreadBuffer& buffer = buffers[key];
+  if (buffer.values.empty() && buffer.metric.expired()) {
+    // First touch of this metric by this thread: resolve (and if needed
+    // register) through the shared registry, then cache the state so the
+    // steady-state path never takes the registry lock again.
+    auto state = GetOrRegister(key);
+    if (!state.ok()) {
+      buffers.erase(key);
+      return state.status();
+    }
+    buffer.metric = state.ValueOrDie();
+    buffer.values.reserve(options_.thread_buffer_capacity);
+  }
+  buffer.values.push_back(value);
+  if (buffer.values.size() >= options_.thread_buffer_capacity) {
+    QLOVE_RETURN_NOT_OK(FlushBuffer(key, &buffer));
+  }
+  return Status::OK();
+}
+
+Status TelemetryEngine::RecordBatch(const MetricKey& key, const double* values,
+                                    size_t count) {
+  if (count == 0) return Status::OK();
+  if (values == nullptr) {
+    return Status::InvalidArgument("null batch with nonzero count");
+  }
+  auto state = GetOrRegister(key);
+  if (!state.ok()) return state.status();
+  FlushToShards(state.ValueOrDie().get(), values, count);
+  return Status::OK();
+}
+
+Status TelemetryEngine::RecordBatch(const MetricKey& key,
+                                    const std::vector<double>& values) {
+  return RecordBatch(key, values.data(), values.size());
+}
+
+void TelemetryEngine::FlushToShards(MetricState* state, const double* values,
+                                    size_t count) {
+  // Deal the batch round-robin starting at the metric's rotating cursor:
+  // value i -> shard (cursor + i) % S. Every shard receives an interleaved
+  // 1/S stripe (an i.i.d.-like sample of the batch), which is what makes
+  // the per-shard Level-2 estimates merge cleanly; and concurrent flushes
+  // start at different cursors, spreading lock contention. Stripes are read
+  // straight from the caller's buffer — no intermediate copy.
+  const size_t num_shards = state->num_shards();
+  const uint64_t cursor = state->NextShardCursor();
+  for (size_t offset = 0; offset < num_shards; ++offset) {
+    const size_t shard_index = (cursor + offset) % num_shards;
+    state->shard(shard_index)
+        .AddBatchStrided(values, count, offset, num_shards);
+  }
+}
+
+Status TelemetryEngine::FlushBuffer(const MetricKey& key,
+                                    ThreadBuffer* buffer) {
+  if (buffer->values.empty()) return Status::OK();
+  std::shared_ptr<MetricState> state = buffer->metric.lock();
+  if (state == nullptr) {
+    // The cached state expired (metric dropped and re-registered); the
+    // engine itself is alive — we are inside one of its methods — so the
+    // registry can always resolve the key again.
+    auto resolved = GetOrRegister(key);
+    if (!resolved.ok()) return resolved.status();
+    state = resolved.TakeValue();
+    buffer->metric = state;
+  }
+  FlushToShards(state.get(), buffer->values.data(), buffer->values.size());
+  buffer->values.clear();
+  return Status::OK();
+}
+
+void TelemetryEngine::Flush() {
+  auto it = tls_buffers.find(engine_id_);
+  if (it == tls_buffers.end()) return;
+  for (auto& [key, buffer] : it->second) {
+    (void)FlushBuffer(key, &buffer);
+  }
+}
+
+void TelemetryEngine::Tick() {
+  Flush();
+  for (const auto& state : registry_.List()) {
+    state->CloseSubWindows();
+  }
+}
+
+Result<MetricSnapshot> TelemetryEngine::Snapshot(
+    const MetricKey& key, const SnapshotOptions& snapshot_options) const {
+  std::shared_ptr<MetricState> state = registry_.Find(key);
+  if (state == nullptr) {
+    return Status::NotFound("metric not registered: " + key.ToString());
+  }
+  return MergeShardViews(key, state->SnapshotShards(), state->options(),
+                         snapshot_options);
+}
+
+std::vector<MetricSnapshot> TelemetryEngine::SnapshotAll(
+    const SnapshotOptions& snapshot_options) const {
+  std::vector<MetricSnapshot> snapshots;
+  for (const auto& state : registry_.List()) {
+    snapshots.push_back(MergeShardViews(state->key(), state->SnapshotShards(),
+                                        state->options(), snapshot_options));
+  }
+  return snapshots;
+}
+
+int64_t TelemetryEngine::TotalRecorded(const MetricKey& key) const {
+  std::shared_ptr<MetricState> state = registry_.Find(key);
+  return state == nullptr ? 0 : state->TotalAdded();
+}
+
+}  // namespace engine
+}  // namespace qlove

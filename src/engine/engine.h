@@ -1,0 +1,136 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The sharded multi-metric telemetry engine: the serving seam between raw
+// per-host record streams and windowed quantile queries. Each registered
+// metric (name + tags) owns N lock-striped shards, each running a private
+// QloveOperator over the core/ + stream/ layers; records reach shards
+// through per-thread buffers that flush as round-robin interleaves, so the
+// ingest hot path is one thread-local append and writers only contend on a
+// shard mutex once per buffer.
+//
+// Lifecycle:
+//   TelemetryEngine engine(options);
+//   engine.Record(key, value);       // any thread, buffered
+//   engine.Flush();                  // per thread, before a barrier
+//   engine.Tick();                   // sub-window boundary (e.g. every 1s)
+//   auto snap = engine.Snapshot(key);  // merged window quantiles
+//
+// Tick() defines sub-window boundaries in time rather than element count
+// (real telemetry windows are temporal); QLOVE's Level-2 machinery already
+// tolerates sub-windows of varying population.
+
+#ifndef QLOVE_ENGINE_ENGINE_H_
+#define QLOVE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qlove.h"
+#include "engine/metric_key.h"
+#include "engine/registry.h"
+#include "engine/snapshot.h"
+#include "stream/window.h"
+
+namespace qlove {
+namespace engine {
+
+struct ThreadBuffer;  // internal per-(thread, metric) ingest buffer
+
+/// \brief Engine-wide configuration, applied to every metric it registers.
+struct EngineOptions {
+  /// Lock stripes per metric. More shards admit more concurrent writers and
+  /// shrink per-shard sub-windows (each shard sees ~1/num_shards of the
+  /// metric's records).
+  int num_shards = 4;
+
+  /// Per-shard window spec in elements. The metric-level window covers
+  /// num_shards * shard_window.size elements across the registry; few-k
+  /// plans are sized from this spec, so set shard_window.period to the
+  /// expected per-shard records per Tick.
+  WindowSpec shard_window{8192, 1024};
+
+  /// Quantiles served by every Snapshot; fixed at registration (monitoring
+  /// queries fix their quantiles for the query lifetime, §2).
+  std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
+
+  /// Operator configuration applied to every shard.
+  core::QloveOptions operator_options;
+
+  /// Records buffered per (thread, metric) before an automatic flush.
+  /// Larger buffers amortize shard locking; smaller ones bound staleness.
+  size_t thread_buffer_capacity = 256;
+
+  Status Validate() const;
+};
+
+/// \brief Sharded, thread-safe, multi-metric quantile engine.
+///
+/// Thread-safety: every public method is safe to call concurrently.
+/// Record() buffers in thread-local storage; values become visible to
+/// Tick()/Snapshot() after the owning thread flushes (explicitly via
+/// Flush(), or automatically when its buffer fills). A thread that stops
+/// recording without Flush() leaves its tail of buffered values invisible —
+/// writer threads should Flush() before joining.
+class TelemetryEngine {
+ public:
+  explicit TelemetryEngine(EngineOptions options = {});
+  ~TelemetryEngine();
+
+  TelemetryEngine(const TelemetryEngine&) = delete;
+  TelemetryEngine& operator=(const TelemetryEngine&) = delete;
+
+  /// Registers \p key eagerly (Record also registers on first use).
+  Status RegisterMetric(const MetricKey& key);
+
+  /// Buffers one record for \p key in the calling thread's buffer,
+  /// auto-flushing at capacity. Registers the metric on first use.
+  /// Cost: one MetricKey hash + thread-local append per call (no locks);
+  /// call sites that already batch should prefer RecordBatch, which hashes
+  /// the key once per batch.
+  Status Record(const MetricKey& key, double value);
+
+  /// Routes a whole batch to \p key's shards immediately (no thread
+  /// buffer): value i goes to shard (cursor + i) % num_shards, so every
+  /// shard receives an interleaved, near-equal share.
+  Status RecordBatch(const MetricKey& key, const double* values, size_t count);
+  Status RecordBatch(const MetricKey& key, const std::vector<double>& values);
+
+  /// Flushes the calling thread's buffers for every metric of this engine.
+  void Flush();
+
+  /// Sub-window boundary: flushes the calling thread's buffers, then
+  /// finalizes the in-flight sub-window on every shard of every metric.
+  void Tick();
+
+  /// Merged window quantiles for \p key. Reflects data flushed and Ticked
+  /// so far; NotFound for unregistered keys.
+  Result<MetricSnapshot> Snapshot(
+      const MetricKey& key, const SnapshotOptions& snapshot_options = {}) const;
+
+  /// Snapshots every registered metric.
+  std::vector<MetricSnapshot> SnapshotAll(
+      const SnapshotOptions& snapshot_options = {}) const;
+
+  /// Elements accepted (flushed to shards) for \p key; 0 when unregistered.
+  int64_t TotalRecorded(const MetricKey& key) const;
+
+  size_t metric_count() const { return registry_.size(); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Result<std::shared_ptr<MetricState>> GetOrRegister(const MetricKey& key);
+  Status FlushBuffer(const MetricKey& key, ThreadBuffer* buffer);
+  void FlushToShards(MetricState* state, const double* values, size_t count);
+
+  EngineOptions options_;
+  Status options_status_;         // Validate() result, computed once
+  MetricOptions metric_options_;  // derived from options_
+  MetricRegistry registry_;
+  const uint64_t engine_id_;  // keys this engine's thread-local buffers
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_ENGINE_H_

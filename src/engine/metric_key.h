@@ -1,0 +1,82 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Identity of one monitored metric: a name plus a canonical (sorted) tag
+// set, e.g. rtt_us{dc=eu-1,service=search}. Datacenter telemetry keys every
+// stream by such a pair; the engine's registry hashes MetricKeys to route
+// records to the owning metric state.
+
+#ifndef QLOVE_ENGINE_METRIC_KEY_H_
+#define QLOVE_ENGINE_METRIC_KEY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qlove {
+namespace engine {
+
+/// \brief One metric tag (dimension), e.g. {"service", "search"}.
+using MetricTag = std::pair<std::string, std::string>;
+
+/// \brief Immutable-by-convention metric identity: name + canonical tags.
+///
+/// Construct via the factory (which canonicalizes) or call Canonicalize()
+/// after mutating tags directly; equality and hashing assume sorted tags.
+struct MetricKey {
+  std::string name;
+  std::vector<MetricTag> tags;  ///< Sorted by tag name, then value.
+
+  MetricKey() = default;
+  explicit MetricKey(std::string name_in, std::vector<MetricTag> tags_in = {})
+      : name(std::move(name_in)), tags(std::move(tags_in)) {
+    Canonicalize();
+  }
+
+  /// Sorts tags so that logically-equal keys compare and hash equal
+  /// regardless of the order the caller listed their tags in.
+  void Canonicalize() { std::sort(tags.begin(), tags.end()); }
+
+  /// Renders "name{k1=v1,k2=v2}" (just "name" when untagged).
+  std::string ToString() const {
+    if (tags.empty()) return name;
+    std::string out = name;
+    out += '{';
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (i > 0) out += ',';
+      out += tags[i].first;
+      out += '=';
+      out += tags[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+  bool operator==(const MetricKey&) const = default;
+};
+
+/// \brief FNV-1a hash over the canonical rendering, for unordered_map.
+struct MetricKeyHash {
+  size_t operator()(const MetricKey& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](const std::string& s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+      }
+      h ^= 0x1f;  // field separator so {"ab",""} != {"a","b"}
+      h *= 1099511628211ULL;
+    };
+    mix(key.name);
+    for (const MetricTag& tag : key.tags) {
+      mix(tag.first);
+      mix(tag.second);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_METRIC_KEY_H_

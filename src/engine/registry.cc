@@ -1,0 +1,91 @@
+#include "engine/registry.h"
+
+#include <mutex>
+#include <utility>
+
+namespace qlove {
+namespace engine {
+
+Status MetricState::Initialize(MetricKey key, int num_shards,
+                               const MetricOptions& options) {
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be > 0");
+  }
+  key_ = std::move(key);
+  options_ = options;
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    QLOVE_RETURN_NOT_OK(shard->Initialize(
+        options_.operator_options, options_.shard_window, options_.phis));
+    shards_.push_back(std::move(shard));
+  }
+  return Status::OK();
+}
+
+int64_t MetricState::TotalAdded() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->TotalAdded();
+  }
+  return total;
+}
+
+void MetricState::CloseSubWindows() {
+  // Serialized against SnapshotShards so a concurrent query never observes
+  // a torn epoch (some shards ticked, some not).
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (auto& shard : shards_) {
+    shard->CloseSubWindow();
+  }
+}
+
+std::vector<ShardView> MetricState::SnapshotShards() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  std::vector<ShardView> views;
+  views.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    views.push_back(shard->Snapshot());
+  }
+  return views;
+}
+
+Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
+    const MetricKey& key, int num_shards, const MetricOptions& options) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = metrics_.find(key);
+    if (it != metrics_.end()) return it->second;
+  }
+  // Build outside the exclusive section; shard initialization allocates.
+  auto state = std::make_shared<MetricState>();
+  QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = metrics_.emplace(key, std::move(state));
+  return it->second;  // race loser adopts the winner's state
+}
+
+std::shared_ptr<MetricState> MetricRegistry::Find(const MetricKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = metrics_.find(key);
+  return it == metrics_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<MetricState>> MetricRegistry::List() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::shared_ptr<MetricState>> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, state] : metrics_) {
+    out.push_back(state);
+  }
+  return out;
+}
+
+size_t MetricRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return metrics_.size();
+}
+
+}  // namespace engine
+}  // namespace qlove

@@ -1,0 +1,101 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The metric registry: maps MetricKeys to their sharded per-metric state.
+// Lookups take a shared lock (the ingest hot path only ever reads the map);
+// first-Record registration takes the exclusive lock once per metric.
+
+#ifndef QLOVE_ENGINE_REGISTRY_H_
+#define QLOVE_ENGINE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qlove.h"
+#include "engine/metric_key.h"
+#include "engine/shard.h"
+#include "stream/window.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief Per-metric configuration shared by every shard of the metric.
+struct MetricOptions {
+  /// Per-shard window spec: size/period in elements *per shard*. The
+  /// metric-level window covers num_shards times as many elements.
+  WindowSpec shard_window;
+  /// Quantiles served by Snapshot, fixed for the metric's lifetime.
+  std::vector<double> phis;
+  /// Operator configuration applied to every shard.
+  core::QloveOptions operator_options;
+};
+
+/// \brief One metric's sharded state: S lock-striped QloveOperators.
+class MetricState {
+ public:
+  /// Builds and initializes \p num_shards shards.
+  Status Initialize(MetricKey key, int num_shards,
+                    const MetricOptions& options);
+
+  const MetricKey& key() const { return key_; }
+  const MetricOptions& options() const { return options_; }
+  size_t num_shards() const { return shards_.size(); }
+  Shard& shard(size_t index) { return *shards_[index]; }
+  const Shard& shard(size_t index) const { return *shards_[index]; }
+
+  /// Advances the round-robin cursor; flushes start their shard rotation
+  /// here so concurrent writers interleave across different shards.
+  uint64_t NextShardCursor() {
+    return next_shard_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Elements accepted across all shards since initialization.
+  int64_t TotalAdded() const;
+
+  /// Finalizes the in-flight sub-window on every shard. Serialized against
+  /// SnapshotShards (epoch lock), so queries never see half a Tick.
+  void CloseSubWindows();
+
+  /// Collects every shard's mergeable view; all views come from the same
+  /// tick epoch (ingest proceeds concurrently, boundaries do not).
+  std::vector<ShardView> SnapshotShards() const;
+
+ private:
+  MetricKey key_;
+  MetricOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Shard holds a mutex
+  std::atomic<uint64_t> next_shard_{0};
+  mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
+};
+
+/// \brief Thread-safe MetricKey -> MetricState map.
+class MetricRegistry {
+ public:
+  /// Returns the existing state for \p key, or creates-and-initializes one
+  /// with \p num_shards and \p options. Losing a registration race returns
+  /// the winner's state.
+  Result<std::shared_ptr<MetricState>> GetOrCreate(
+      const MetricKey& key, int num_shards, const MetricOptions& options);
+
+  /// Returns the state for \p key, or nullptr when unregistered.
+  std::shared_ptr<MetricState> Find(const MetricKey& key) const;
+
+  /// All registered metrics, in unspecified order.
+  std::vector<std::shared_ptr<MetricState>> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<MetricKey, std::shared_ptr<MetricState>, MetricKeyHash>
+      metrics_;
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_REGISTRY_H_

@@ -1,0 +1,54 @@
+#include "engine/shard.h"
+
+namespace qlove {
+namespace engine {
+
+Status Shard::Initialize(const core::QloveOptions& options,
+                         const WindowSpec& spec,
+                         const std::vector<double>& phis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_ = core::QloveOperator(options);
+  total_added_ = 0;
+  return op_.Initialize(spec, phis);
+}
+
+void Shard::AddBatchStrided(const double* values, size_t count, size_t offset,
+                            size_t stride) {
+  if (offset >= count) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = offset; i < count; i += stride) {
+    op_.Add(values[i]);
+    // Count what the operator accepts (it drops corrupt telemetry):
+    // TotalAdded must reconcile with snapshot window/inflight counts.
+    if (core::QloveOperator::Accepts(values[i])) ++total_added_;
+  }
+}
+
+void Shard::CloseSubWindow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_.OnSubWindowBoundary();
+}
+
+ShardView Shard::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardView view;
+  const std::deque<core::SubWindowSummary>& summaries =
+      op_.SubWindowSummaries();
+  view.summaries.assign(summaries.begin(), summaries.end());
+  view.burst_active = op_.BurstActiveInWindow();
+  view.inflight = op_.InflightCount();
+  return view;
+}
+
+int64_t Shard::TotalAdded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_added_;
+}
+
+int64_t Shard::ObservedSpaceVariables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_.ObservedSpaceVariables();
+}
+
+}  // namespace engine
+}  // namespace qlove

@@ -1,0 +1,113 @@
+#include "engine/snapshot.h"
+
+#include <algorithm>
+
+#include "core/fewk.h"
+#include "core/level2.h"
+#include "sketch/weighted_merge.h"
+
+namespace qlove {
+namespace engine {
+
+MetricSnapshot MergeShardViews(const MetricKey& key,
+                               const std::vector<ShardView>& views,
+                               const MetricOptions& options,
+                               const SnapshotOptions& snapshot_options) {
+  MetricSnapshot snapshot;
+  snapshot.key = key;
+  snapshot.phis = options.phis;
+  snapshot.num_shards = static_cast<int>(views.size());
+
+  const size_t num_phis = options.phis.size();
+  snapshot.estimates.assign(num_phis, 0.0);
+  snapshot.sources.assign(num_phis, core::OutcomeSource::kLevel2);
+
+  // The exact plan layout the shards' operators built at Initialize, so
+  // summary.tails[plan_index] below indexes the matching TailCapture.
+  std::vector<core::FewKPlan> plans;
+  const std::vector<int> high_index = core::QloveOperator::BuildFewKLayout(
+      options.operator_options, options.phis, options.shard_window, &plans);
+
+  // A summary participates in the merge only when its shape matches the
+  // configured layout (defense against views from a foreign config). The
+  // same predicate gates both the population count and the tail entries, so
+  // ranks computed from `total` always cover exactly the merged tails.
+  auto mergeable = [&](const core::SubWindowSummary& summary) {
+    return summary.quantiles.size() == num_phis &&
+           summary.tails.size() == plans.size();
+  };
+
+  // Pass 1: pool every shard's summaries into the Level-2 weighted mean (or
+  // the weighted-median entry lists) and count the merged window population.
+  core::Level2Aggregator level2(num_phis);
+  std::vector<std::vector<sketch::WeightedValue>> median_entries;
+  const bool use_median =
+      snapshot_options.strategy == MergeStrategy::kWeightedMedian;
+  if (use_median) median_entries.resize(num_phis);
+
+  // Mergeable summaries collected once; pass 2 indexes this instead of
+  // re-walking the views per quantile (pointers stay valid — `views` is
+  // owned by the caller and unmodified here).
+  std::vector<const core::SubWindowSummary*> merged;
+  for (const ShardView& view : views) {
+    snapshot.burst_active = snapshot.burst_active || view.burst_active;
+    snapshot.inflight_count += view.inflight;
+    for (const core::SubWindowSummary& summary : view.summaries) {
+      if (!mergeable(summary)) continue;
+      merged.push_back(&summary);
+      snapshot.window_count += summary.count;
+      ++snapshot.num_summaries;
+      if (use_median) {
+        for (size_t i = 0; i < num_phis; ++i) {
+          median_entries[i].emplace_back(summary.quantiles[i], summary.count);
+        }
+      } else {
+        level2.AccumulateWeighted(summary.quantiles,
+                                  static_cast<double>(summary.count));
+      }
+    }
+  }
+  if (snapshot.num_summaries == 0) return snapshot;
+
+  if (use_median) {
+    for (size_t i = 0; i < num_phis; ++i) {
+      auto median = sketch::WeightedQuantileQuery(
+          &median_entries[i], 0.5, sketch::RankSemantics::kInterpolated);
+      snapshot.estimates[i] = median.ok() ? median.ValueOrDie() : 0.0;
+    }
+  } else {
+    snapshot.estimates = level2.ComputeWeightedResult();
+  }
+
+  // Pass 2: few-k tail correction over the union of every shard's tail
+  // captures, with ranks recomputed from the *merged* population T: the
+  // per-shard plans target each shard's share N_shard(1-phi); the merged
+  // answer must target T(1-phi). Mirrors QloveOperator::ComputeQuantiles.
+  if (!plans.empty()) {
+    const int64_t total = snapshot.window_count;
+    for (size_t i = 0; i < num_phis; ++i) {
+      const int plan_index = high_index[i];
+      if (plan_index < 0) continue;
+      const core::FewKPlan& plan = plans[static_cast<size_t>(plan_index)];
+      std::vector<const core::TailCapture*> tails;
+      tails.reserve(merged.size());
+      for (const core::SubWindowSummary* summary : merged) {
+        tails.push_back(&summary->tails[static_cast<size_t>(plan_index)]);
+      }
+      if (tails.empty()) continue;
+
+      const core::TailRanks ranks =
+          core::ComputeTailRanks(options.phis[i], total);
+      core::SelectFewKOutcome(plan, tails, ranks.tail_size,
+                              ranks.exact_tail_rank, snapshot.burst_active,
+                              &snapshot.estimates[i], &snapshot.sources[i]);
+    }
+  }
+
+  core::RestoreQuantileMonotonicity(options.phis, &snapshot.estimates);
+
+  return snapshot;
+}
+
+}  // namespace engine
+}  // namespace qlove

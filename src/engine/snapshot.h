@@ -1,0 +1,70 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Cross-shard window snapshots. A metric's window state lives as sub-window
+// summaries spread across N shards; merging them back into one quantile
+// vector reuses the paper's two estimator families:
+//
+//  - non-high quantiles: count-weighted Level-2 mean of every sub-window
+//    quantile (CLT estimator, Theorem 1) — or, optionally, the count-
+//    weighted median via sketch/weighted_merge, which is robust to straggler
+//    shards whose sub-windows saw skewed slices of the stream;
+//  - high quantiles: few-k tail merging (§4) over the union of every
+//    shard's TailCaptures, with global ranks recomputed from the merged
+//    element count, so the tail correction survives sharding.
+
+#ifndef QLOVE_ENGINE_SNAPSHOT_H_
+#define QLOVE_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qlove.h"
+#include "engine/metric_key.h"
+#include "engine/registry.h"
+#include "engine/shard.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief How non-high quantiles are merged across sub-window summaries.
+enum class MergeStrategy {
+  /// Count-weighted mean of sub-window quantiles (the paper's Level-2
+  /// estimator generalized to uneven sub-window populations). Default.
+  kWeightedMean = 0,
+  /// Count-weighted median of sub-window quantiles (sketch/weighted_merge):
+  /// trades a little CLT efficiency for robustness when a shard's slice is
+  /// contaminated (e.g. one host-group misroutes its records).
+  kWeightedMedian = 1,
+};
+
+/// \brief Snapshot request knobs.
+struct SnapshotOptions {
+  MergeStrategy strategy = MergeStrategy::kWeightedMean;
+};
+
+/// \brief One merged window evaluation of one metric.
+struct MetricSnapshot {
+  MetricKey key;
+  std::vector<double> phis;       ///< As configured at registration.
+  std::vector<double> estimates;  ///< One per phi, monotone in phi.
+  /// Which pipeline produced each estimate (Level2 / TopK / SampleK).
+  std::vector<core::OutcomeSource> sources;
+  int64_t window_count = 0;    ///< Elements covered by merged summaries.
+  int64_t num_summaries = 0;   ///< Merged sub-window summaries.
+  int64_t inflight_count = 0;  ///< Recorded but awaiting the next Tick.
+  int num_shards = 0;
+  bool burst_active = false;  ///< Any shard flagged a live sub-window.
+};
+
+/// \brief Merges per-shard views into one window-level snapshot.
+///
+/// \p views must come from shards configured with \p options (same phis and
+/// operator options), as produced by MetricState::SnapshotShards().
+MetricSnapshot MergeShardViews(const MetricKey& key,
+                               const std::vector<ShardView>& views,
+                               const MetricOptions& options,
+                               const SnapshotOptions& snapshot_options = {});
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_SNAPSHOT_H_

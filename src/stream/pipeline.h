@@ -126,10 +126,39 @@ class Stream {
   Producer producer_;
 };
 
-/// Builds a stream over a borrowed vector (must outlive the pipeline run).
+/// Builds a stream over a *borrowed* vector.
+///
+/// Borrow contract: the stream (and everything composed from it) holds a
+/// reference to \p items, so the vector must outlive the terminal call.
+/// A temporary dies at the end of the full expression, so a *stored*
+/// stream built from one would read freed memory when it finally runs;
+/// the rvalue overloads below are deleted as a conservative guard. Use
+/// FromOwnedVector for temporaries or when the pipeline outlives the
+/// current scope.
 template <typename T>
 auto FromVector(const std::vector<T>& items) {
   auto produce = [&items](const std::function<bool(const T&)>& sink) {
+    for (const T& item : items) {
+      if (!sink(item)) return;
+    }
+  };
+  return Stream<T, decltype(produce)>(std::move(produce));
+}
+
+/// Deleted rvalue overloads (const and non-const, so const temporaries
+/// cannot fall back to the borrowing overload): a temporary would dangle
+/// (see the borrow contract above); move it into FromOwnedVector instead.
+template <typename T>
+auto FromVector(std::vector<T>&& items) = delete;
+template <typename T>
+auto FromVector(const std::vector<T>&& items) = delete;
+
+/// Builds a stream that *owns* its data: safe with temporaries and with
+/// pipelines stored beyond the current scope.
+template <typename T>
+auto FromOwnedVector(std::vector<T> items) {
+  auto produce = [items = std::move(items)](
+                     const std::function<bool(const T&)>& sink) {
     for (const T& item : items) {
       if (!sink(item)) return;
     }

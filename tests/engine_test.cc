@@ -1,0 +1,389 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fewk.h"
+#include "core/qlove.h"
+#include "engine/metric_key.h"
+#include "engine/registry.h"
+#include "engine/snapshot.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace engine {
+namespace {
+
+// Rank error |r - r'| / N of `estimate` against the exact window contents
+// (§5.1 metric). `sorted` must be ascending. Values absent from the window
+// (quantization) land between neighbours, costing at most one rank.
+double RankError(const std::vector<double>& sorted, double estimate,
+                 double phi) {
+  const auto n = static_cast<int64_t>(sorted.size());
+  const int64_t target = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(phi * static_cast<double>(n))), 1, n);
+  const int64_t lo = std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();  // values strictly below
+  const int64_t hi = std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();  // values at or below
+  // The estimate's rank interval is [lo+1, hi] when present, else it sits
+  // between ranks lo and lo+1; fold to the rank nearest the target.
+  const int64_t nearest =
+      hi > lo ? std::clamp(target, lo + 1, hi) : std::min(lo + 1, n);
+  return std::abs(static_cast<double>(target - nearest)) /
+         static_cast<double>(n);
+}
+
+TEST(MetricKeyTest, CanonicalizationAndEquality) {
+  const MetricKey a("rtt_us", {{"service", "search"}, {"dc", "eu-1"}});
+  const MetricKey b("rtt_us", {{"dc", "eu-1"}, {"service", "search"}});
+  EXPECT_EQ(a, b);  // tag order must not matter
+  EXPECT_EQ(MetricKeyHash()(a), MetricKeyHash()(b));
+  EXPECT_EQ(a.ToString(), "rtt_us{dc=eu-1,service=search}");
+  EXPECT_EQ(MetricKey("rtt_us").ToString(), "rtt_us");
+
+  const MetricKey c("rtt_us", {{"dc", "eu-2"}, {"service", "search"}});
+  EXPECT_FALSE(a == c);
+  const MetricKey d("err_rate", {{"dc", "eu-1"}, {"service", "search"}});
+  EXPECT_FALSE(a == d);
+}
+
+TEST(EngineOptionsTest, Validation) {
+  EngineOptions good;
+  EXPECT_TRUE(good.Validate().ok());
+
+  EngineOptions bad = good;
+  bad.num_shards = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = good;
+  bad.shard_window = WindowSpec(100, 33);  // not aligned
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = good;
+  bad.phis = {};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = good;
+  bad.phis = {0.5, 1.5};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = good;
+  bad.thread_buffer_capacity = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(EngineTest, SnapshotOfUnknownMetricIsNotFound) {
+  TelemetryEngine engine;
+  auto snap = engine.Snapshot(MetricKey("nope"));
+  EXPECT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(engine.TotalRecorded(MetricKey("nope")), 0);
+}
+
+TEST(EngineTest, RegistrationIsIdempotentAndRecordAutoRegisters) {
+  TelemetryEngine engine;
+  const MetricKey key("latency_us", {{"service", "search"}});
+  ASSERT_TRUE(engine.RegisterMetric(key).ok());
+  ASSERT_TRUE(engine.RegisterMetric(key).ok());
+  EXPECT_EQ(engine.metric_count(), 1u);
+
+  ASSERT_TRUE(engine.Record(MetricKey("other"), 1.0).ok());
+  EXPECT_EQ(engine.metric_count(), 2u);
+}
+
+TEST(EngineTest, BatchIngestCountsAndWindowEviction) {
+  EngineOptions options;
+  options.num_shards = 4;
+  options.shard_window = WindowSpec(1024, 256);  // 4 sub-windows per shard
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+
+  workload::NetMonGenerator gen(3);
+  const int64_t per_tick = 4 * 256;  // fills one sub-window on every shard
+  // 10 ticks > 4 sub-windows: the oldest 6 must have been evicted.
+  for (int tick = 0; tick < 10; ++tick) {
+    const std::vector<double> batch = workload::Materialize(&gen, per_tick);
+    ASSERT_TRUE(engine.RecordBatch(key, batch).ok());
+    engine.Tick();
+  }
+
+  EXPECT_EQ(engine.TotalRecorded(key), 10 * per_tick);
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  const MetricSnapshot& s = snap.ValueOrDie();
+  EXPECT_EQ(s.window_count, 4 * per_tick);  // exactly the live window
+  EXPECT_EQ(s.num_summaries, 4 * 4);        // 4 shards x 4 sub-windows
+  EXPECT_EQ(s.num_shards, 4);
+  EXPECT_EQ(s.inflight_count, 0);
+}
+
+TEST(EngineTest, BufferedRecordsInvisibleUntilFlush) {
+  EngineOptions options;
+  options.thread_buffer_capacity = 1024;  // never auto-flushes in this test
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Record(key, 1.0 + i).ok());
+  }
+  EXPECT_EQ(engine.TotalRecorded(key), 0);  // still in the thread buffer
+  engine.Flush();
+  EXPECT_EQ(engine.TotalRecorded(key), 100);
+  engine.Tick();
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 100);
+}
+
+// The acceptance-criteria test: concurrent ingest from 4 writer threads
+// across 2 metric keys; merged Snapshot quantiles must match a
+// single-threaded QloveOperator oracle within the operator's rank-error
+// tolerance, and no update may be lost.
+TEST(EngineTest, ConcurrentIngestMatchesSingleOperatorOracle) {
+  constexpr int kThreads = 4;
+  constexpr int kShards = 4;
+  constexpr int64_t kPerThreadPerPhase = 2048;
+  constexpr int64_t kPhaseSize = kThreads * kPerThreadPerPhase;  // 8192
+  constexpr int kPhases = 8;  // exactly one full window
+  constexpr int64_t kWindow = kPhaseSize * kPhases;              // 65536
+
+  EngineOptions options;
+  options.num_shards = kShards;
+  options.shard_window =
+      WindowSpec(kWindow / kShards, kPhaseSize / kShards);  // 16384 / 2048
+  TelemetryEngine engine(options);
+
+  const std::vector<MetricKey> keys = {
+      MetricKey("rtt_us", {{"service", "netmon"}}),
+      MetricKey("rtt_us", {{"service", "search"}}),
+  };
+
+  // Pre-materialize per-(metric, thread) slices so the oracle sees the same
+  // multiset the engine ingests.
+  std::vector<std::vector<std::vector<double>>> slices(keys.size());
+  for (size_t m = 0; m < keys.size(); ++m) {
+    slices[m].resize(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workload::NetMonGenerator gen(100 + 10 * m + t);
+      slices[m][t] =
+          workload::Materialize(&gen, kPerThreadPerPhase * kPhases);
+    }
+  }
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t, phase] {
+        for (size_t m = 0; m < keys.size(); ++m) {
+          const double* begin =
+              slices[m][t].data() + phase * kPerThreadPerPhase;
+          for (int64_t i = 0; i < kPerThreadPerPhase; ++i) {
+            EXPECT_TRUE(engine.Record(keys[m], begin[i]).ok());
+          }
+        }
+        engine.Flush();  // writers flush before the phase barrier
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    engine.Tick();
+  }
+
+  for (size_t m = 0; m < keys.size(); ++m) {
+    SCOPED_TRACE(keys[m].ToString());
+    // No lost updates.
+    EXPECT_EQ(engine.TotalRecorded(keys[m]), kWindow);
+    auto snap = engine.Snapshot(keys[m]);
+    ASSERT_TRUE(snap.ok());
+    const MetricSnapshot& merged = snap.ValueOrDie();
+    EXPECT_EQ(merged.window_count, kWindow);
+
+    // Single-threaded oracle over the identical multiset, same boundaries.
+    core::QloveOperator oracle;
+    ASSERT_TRUE(
+        oracle.Initialize(WindowSpec(kWindow, kPhaseSize), options.phis).ok());
+    for (int phase = 0; phase < kPhases; ++phase) {
+      for (int t = 0; t < kThreads; ++t) {
+        const double* begin = slices[m][t].data() + phase * kPerThreadPerPhase;
+        for (int64_t i = 0; i < kPerThreadPerPhase; ++i) {
+          oracle.Add(begin[i]);
+        }
+      }
+      oracle.OnSubWindowBoundary();
+    }
+    const std::vector<double> oracle_estimates = oracle.ComputeQuantiles();
+
+    std::vector<double> sorted;
+    sorted.reserve(kWindow);
+    for (int t = 0; t < kThreads; ++t) {
+      sorted.insert(sorted.end(), slices[m][t].begin(), slices[m][t].end());
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    for (size_t i = 0; i < options.phis.size(); ++i) {
+      const double phi = options.phis[i];
+      const double merged_err = RankError(sorted, merged.estimates[i], phi);
+      const double oracle_err =
+          RankError(sorted, oracle_estimates[i], phi);
+      SCOPED_TRACE("phi=" + std::to_string(phi) +
+                   " merged_err=" + std::to_string(merged_err) +
+                   " oracle_err=" + std::to_string(oracle_err));
+      // Within the operator's own tolerance: no worse than the oracle plus
+      // the cross-shard merging slack.
+      EXPECT_LE(merged_err, oracle_err + 0.02);
+      EXPECT_LE(merged_err, phi >= 0.99 ? 0.01 : 0.03);
+    }
+    // High quantiles whose per-shard plan enables top-k merging must keep
+    // their few-k correction across shards. (Quantiles whose plan relies
+    // on sample-k alone — here p99, whose per-sub-window tail is above the
+    // Ts inefficiency threshold — only leave Level-2 when burst detection
+    // fires, which is scheduling-dependent under concurrent striping, so
+    // no deterministic source assertion is possible for them.)
+    for (size_t i = 0; i < options.phis.size(); ++i) {
+      const double phi = options.phis[i];
+      if (phi < 0.99 || phi >= 1.0) continue;
+      const core::FewKPlan plan =
+          core::PlanFewK(phi, options.shard_window.size,
+                         options.shard_window.period, core::QloveOptions().fewk);
+      if (plan.topk_enabled) {
+        EXPECT_NE(merged.sources[i], core::OutcomeSource::kLevel2)
+            << "phi=" << phi;
+      }
+    }
+  }
+}
+
+// Shard-merge accuracy against the exact quantiles (sketch/exact semantics:
+// paper rank r = ceil(phi N) over the raw window), single-threaded so the
+// only error sources are quantization, Level-2 averaging, and sharding.
+TEST(EngineTest, ShardMergeAccuracyAgainstExact) {
+  constexpr int kShards = 4;
+  constexpr int64_t kPeriod = 4096;
+  constexpr int kSubWindows = 8;
+  constexpr int64_t kWindow = kPeriod * kSubWindows;  // 32768
+
+  EngineOptions options;
+  options.num_shards = kShards;
+  options.shard_window = WindowSpec(kWindow / kShards, kPeriod / kShards);
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+
+  workload::NetMonGenerator gen(42);
+  const std::vector<double> data = workload::Materialize(&gen, kWindow);
+  for (int sub = 0; sub < kSubWindows; ++sub) {
+    ASSERT_TRUE(engine
+                    .RecordBatch(key, data.data() + sub * kPeriod,
+                                 static_cast<size_t>(kPeriod))
+                    .ok());
+    engine.Tick();
+  }
+
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (MergeStrategy strategy :
+       {MergeStrategy::kWeightedMean, MergeStrategy::kWeightedMedian}) {
+    SCOPED_TRACE(strategy == MergeStrategy::kWeightedMean ? "mean" : "median");
+    SnapshotOptions snapshot_options;
+    snapshot_options.strategy = strategy;
+    auto snap = engine.Snapshot(key, snapshot_options);
+    ASSERT_TRUE(snap.ok());
+    const MetricSnapshot& merged = snap.ValueOrDie();
+    ASSERT_EQ(merged.estimates.size(), options.phis.size());
+    EXPECT_EQ(merged.window_count, kWindow);
+
+    double previous = -1.0;
+    for (size_t i = 0; i < options.phis.size(); ++i) {
+      const double phi = options.phis[i];
+      const double err = RankError(sorted, merged.estimates[i], phi);
+      SCOPED_TRACE("phi=" + std::to_string(phi) +
+                   " estimate=" + std::to_string(merged.estimates[i]) +
+                   " err=" + std::to_string(err));
+      EXPECT_LE(err, phi >= 0.99 ? 0.005 : 0.02);
+      EXPECT_GE(merged.estimates[i], previous);  // monotone in phi
+      previous = merged.estimates[i];
+    }
+  }
+}
+
+TEST(EngineTest, ConcurrentRegistrationOfOneKeyCreatesOneMetric) {
+  TelemetryEngine engine;
+  const MetricKey key("races");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(engine.Record(key, static_cast<double>(i)).ok());
+      }
+      engine.Flush();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(engine.metric_count(), 1u);
+  EXPECT_EQ(engine.TotalRecorded(key), 800);
+}
+
+TEST(EngineTest, EmptyTicksStillExpireOldSubWindows) {
+  // Time-driven windows slide even when no data arrives: after n empty
+  // Ticks the window must be empty, and a starved shard must not serve
+  // sub-windows from older epochs than its busy peers.
+  EngineOptions options;
+  options.num_shards = 4;
+  options.shard_window = WindowSpec(1024, 256);  // n = 4 sub-windows
+  TelemetryEngine engine(options);
+  const MetricKey key("sparse");
+
+  workload::NetMonGenerator gen(9);
+  ASSERT_TRUE(
+      engine.RecordBatch(key, workload::Materialize(&gen, 1024)).ok());
+  engine.Tick();
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 1024);
+
+  for (int i = 0; i < 3; ++i) engine.Tick();  // still within the window
+  snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 1024);
+
+  engine.Tick();  // 4 empty boundaries since the data: epoch aged out
+  snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 0);
+  EXPECT_EQ(snap.ValueOrDie().num_summaries, 0);
+}
+
+TEST(EngineTest, NonFiniteTelemetryIsDroppedConsistently) {
+  // The operator drops NaN/Inf; TotalRecorded must agree so ingested and
+  // covered counts reconcile on dirty telemetry.
+  TelemetryEngine engine;
+  const MetricKey key("dirty");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(engine.RecordBatch(key, {1.0, nan, 2.0, inf, 3.0}).ok());
+  engine.Tick();
+  EXPECT_EQ(engine.TotalRecorded(key), 3);
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 3);
+}
+
+TEST(EngineTest, SnapshotAllCoversEveryMetric) {
+  TelemetryEngine engine;
+  ASSERT_TRUE(engine.RecordBatch(MetricKey("a"), {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(engine.RecordBatch(MetricKey("b"), {4.0, 5.0}).ok());
+  engine.Tick();
+  auto snaps = engine.SnapshotAll();
+  ASSERT_EQ(snaps.size(), 2u);
+  int64_t total = 0;
+  for (const MetricSnapshot& s : snaps) total += s.window_count;
+  EXPECT_EQ(total, 5);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace qlove

@@ -44,7 +44,7 @@ TEST(Level2Test, ResetClears) {
   agg.Reset(4);
   EXPECT_EQ(agg.count(), 0);
   EXPECT_EQ(agg.ComputeResult().size(), 4u);
-  EXPECT_EQ(agg.SpaceVariables(), 5);  // 4 sums + count
+  EXPECT_EQ(agg.SpaceVariables(), 6);  // 4 sums + count + weight
 }
 
 TEST(Level2Test, LongSlidingSequenceMatchesDirectMean) {
@@ -69,6 +69,40 @@ TEST(Level2Test, LongSlidingSequenceMatchesDirectMean) {
       EXPECT_NEAR(agg.ComputeResult()[0], sum / window.size(), 1e-7);
     }
   }
+}
+
+TEST(Level2Test, WeightedAccumulationIsCountProportional) {
+  // Cross-shard merge hook: a summary of 300 elements must pull the mean
+  // three times as hard as one of 100 elements.
+  Level2Aggregator agg(2);
+  agg.AccumulateWeighted({10.0, 100.0}, 300.0);
+  agg.AccumulateWeighted({20.0, 200.0}, 100.0);
+  const auto means = agg.ComputeWeightedResult();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means[0], (10.0 * 300 + 20.0 * 100) / 400.0, 1e-12);
+  EXPECT_NEAR(means[1], (100.0 * 300 + 200.0 * 100) / 400.0, 1e-12);
+  EXPECT_EQ(agg.count(), 2);
+  EXPECT_NEAR(agg.total_weight(), 400.0, 1e-12);
+}
+
+TEST(Level2Test, WeightedMatchesUniformWhenWeightsEqual) {
+  Level2Aggregator uniform(1);
+  Level2Aggregator weighted(1);
+  for (double q : {3.0, 5.0, 7.0, 11.0}) {
+    uniform.Accumulate({q});
+    weighted.AccumulateWeighted({q}, 512.0);
+  }
+  EXPECT_NEAR(uniform.ComputeResult()[0], weighted.ComputeWeightedResult()[0],
+              1e-12);
+}
+
+TEST(Level2Test, WeightedEmptyReturnsZeros) {
+  Level2Aggregator agg(2);
+  const auto means = agg.ComputeWeightedResult();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_EQ(means[0], 0.0);
+  EXPECT_EQ(means[1], 0.0);
+  EXPECT_EQ(agg.total_weight(), 0.0);
 }
 
 }  // namespace

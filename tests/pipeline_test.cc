@@ -98,6 +98,25 @@ TEST(PipelineTest, FilterDroppingEverythingYieldsNoEvaluations) {
   EXPECT_TRUE(results.ValueOrDie().empty());
 }
 
+TEST(PipelineTest, FromOwnedVectorAcceptsTemporaries) {
+  // FromVector borrows and would dangle on a temporary (its rvalue overload
+  // is deleted); FromOwnedVector moves the data into the stream.
+  auto stream = FromOwnedVector(std::vector<int>{1, 2, 3, 4});
+  auto out = std::move(stream).Where([](int x) { return x > 1; }).ToVector();
+  EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(PipelineTest, FromOwnedVectorOutlivesSourceScope) {
+  // The stream must stay runnable after the vector that seeded it is gone.
+  auto make = [] {
+    std::vector<double> values = {5.0, 6.0, 7.0};
+    return FromOwnedVector(std::move(values));
+  };
+  auto stream = make();
+  EXPECT_EQ(std::move(stream).ToVector(),
+            (std::vector<double>{5.0, 6.0, 7.0}));
+}
+
 TEST(PipelineTest, LazyStreamsRunOnTerminalOnly) {
   int produced = 0;
   auto stream = FromFunction(10, [&](int64_t i) {

@@ -69,8 +69,8 @@ TEST(SubWindowSummaryTest, SpaceAccounting) {
   tail.topk = {{5.0, 1}, {4.0, 2}};
   tail.samples = {5.0, 4.0, 3.0};
   summary.tails.push_back(tail);
-  // 3 quantiles + 1 count + 2 topk pairs * 2 + 3 samples = 11.
-  EXPECT_EQ(summary.SpaceVariables(), 11);
+  // 3 quantiles + count + epoch + 2 topk pairs * 2 + 3 samples = 12.
+  EXPECT_EQ(summary.SpaceVariables(), 12);
 }
 
 }  // namespace
