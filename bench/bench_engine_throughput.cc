@@ -1,22 +1,39 @@
-// Multi-threaded ingest throughput of the sharded TelemetryEngine: total
-// ops/sec sustained by concurrent writer threads at 1/2/4/8 shards, for both
-// the buffered Record path (per-thread buffers, auto-flush) and the direct
-// RecordBatch path. Lock striping should scale ingest until either the
-// writer count or the core count runs out; the 1-shard row is the serialized
-// baseline every extra shard is measured against.
+// Multi-threaded ingest throughput of the sharded TelemetryEngine, swept
+// over sketch backends (qlove / gk / cmqs / exact) at 1/2/4/8 shards, for
+// both the buffered Record path (per-thread buffers, auto-flush) and the
+// direct RecordBatch path. Lock striping should scale ingest until either
+// the writer count or the core count runs out; the 1-shard row is the
+// serialized baseline every extra shard is measured against, and the
+// backend axis shows what each sketch family's ingest path costs.
 //
-//   $ ./bench_engine_throughput [--events=N] [--seed=S]
+// Besides the human-readable table, the sweep is emitted as machine-
+// readable JSON (BENCH_engine.json in the working directory) so the perf
+// trajectory can accumulate across commits.
+//
+// Reading the exact rows: the Exact backend's Add is a raw buffer append —
+// its tree maintenance happens at Tick, so the batch path (which only
+// Ticks after the clock stops) reports the append rate, not the full
+// sketch cost. The buffered rows, whose ticker thread fires mid-run, carry
+// the tree cost.
+//
+//   $ ./bench_engine_throughput [--events=N] [--seed=S] [--backend=K]
+//
+// --backend restricts the sweep to one kind (qlove / gk / cmqs / exact);
+// the default sweeps all four.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "bench_util/harness.h"
 #include "common/timer.h"
+#include "engine/backend.h"
 #include "engine/engine.h"
 #include "workload/generators.h"
 
@@ -28,23 +45,45 @@ constexpr int kWriterThreads = 4;
 constexpr size_t kBatchSize = 512;
 
 struct RunResult {
+  engine::BackendKind backend = engine::BackendKind::kQlove;
+  int num_shards = 0;
   double buffered_mops = 0.0;
   double batch_mops = 0.0;
 };
 
-RunResult RunOnce(int num_shards,
+engine::BackendOptions MakeBackend(engine::BackendKind kind) {
+  engine::BackendOptions backend;
+  backend.kind = kind;
+  backend.epsilon = 0.001;  // gk / cmqs: fine enough for p99.9
+  return backend;
+}
+
+RunResult RunOnce(engine::BackendKind kind, int num_shards,
                   const std::vector<std::vector<double>>& data) {
   engine::EngineOptions options;
   options.num_shards = num_shards;
   options.shard_window = WindowSpec(8192, 1024);
   const engine::MetricKey key("rtt_us", {{"bench", "throughput"}});
+  const engine::BackendOptions backend = MakeBackend(kind);
 
   const int64_t per_thread = static_cast<int64_t>(data[0].size());
   const int64_t total = per_thread * kWriterThreads;
   RunResult result;
+  result.backend = kind;
+  result.num_shards = num_shards;
+
+  // A registration failure must poison the run loudly, not emit 0.00 rows
+  // into the JSON the perf trajectory accumulates.
+  auto require_registered = [&](const Status& status) {
+    if (status.ok()) return;
+    std::fprintf(stderr, "FATAL: RegisterMetric(%s) failed: %s\n",
+                 engine::BackendKindName(kind), status.ToString().c_str());
+    std::exit(1);
+  };
 
   {  // Buffered Record path.
     engine::TelemetryEngine engine(options);
+    require_registered(engine.RegisterMetric(key, backend));
     Stopwatch watch;
     watch.Start();
     std::vector<std::thread> writers;
@@ -80,6 +119,7 @@ RunResult RunOnce(int num_shards,
 
   {  // Direct RecordBatch path.
     engine::TelemetryEngine engine(options);
+    require_registered(engine.RegisterMetric(key, backend));
     Stopwatch watch;
     watch.Start();
     std::vector<std::thread> writers;
@@ -101,12 +141,59 @@ RunResult RunOnce(int num_shards,
   return result;
 }
 
+void WriteJson(const std::vector<RunResult>& results, int64_t total_events,
+               uint64_t seed) {
+  const char* path = "BENCH_engine.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"engine_throughput\",\n"
+               "  \"writer_threads\": %d,\n  \"events\": %lld,\n"
+               "  \"seed\": %llu,\n  \"hardware_threads\": %u,\n"
+               "  \"results\": [\n",
+               kWriterThreads, static_cast<long long>(total_events),
+               static_cast<unsigned long long>(seed),
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"shards\": %d, "
+                 "\"record_mops\": %.3f, \"batch_mops\": %.3f}%s\n",
+                 engine::BackendKindName(r.backend), r.num_shards,
+                 r.buffered_mops, r.batch_mops,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+}
+
 int Main(int argc, char** argv) {
   bench_util::BenchArgs args = bench_util::BenchArgs::Parse(argc, argv);
-  const int64_t per_thread = (args.events > 0 ? args.events : 2000000) /
-                             kWriterThreads;
+
+  // Sweep every backend unless --backend=K narrows it.
+  std::vector<engine::BackendKind> kinds = {
+      engine::BackendKind::kQlove, engine::BackendKind::kGk,
+      engine::BackendKind::kCmqs, engine::BackendKind::kExact};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--backend=";
+    if (arg.rfind(prefix, 0) != 0) continue;
+    auto kind = engine::ParseBackendKind(arg.substr(prefix.size()));
+    if (!kind.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", kind.status().ToString().c_str());
+      return 1;
+    }
+    kinds = {kind.ValueOrDie()};
+  }
+
+  const int64_t per_thread =
+      (args.events > 0 ? args.events : 1000000) / kWriterThreads;
   PrintHeader("Engine ingest throughput",
-              "new subsystem (not in paper): sharded multi-metric engine",
+              "new subsystem (not in paper): sharded multi-backend engine",
               per_thread * kWriterThreads, args.seed);
 
   std::vector<std::vector<double>> data;
@@ -115,19 +202,27 @@ int Main(int argc, char** argv) {
     data.push_back(workload::Materialize(&gen, per_thread));
   }
 
-  std::printf("writer threads: %d, hardware threads: %u\n\n", kWriterThreads,
+  std::printf("writer threads: %d, hardware threads: %u\n", kWriterThreads,
               std::thread::hardware_concurrency());
-  std::printf("%-8s %18s %18s %10s\n", "shards", "Record (M op/s)",
-              "Batch (M op/s)", "speedup");
-  double baseline = 0.0;
-  for (int shards : {1, 2, 4, 8}) {
-    const RunResult r = RunOnce(shards, data);
-    if (shards == 1) baseline = r.batch_mops;
-    std::printf("%-8d %18.2f %18.2f %9.2fx\n", shards, r.buffered_mops,
-                r.batch_mops, baseline > 0.0 ? r.batch_mops / baseline : 0.0);
+
+  std::vector<RunResult> results;
+  for (engine::BackendKind kind : kinds) {
+    std::printf("\nbackend: %s\n", engine::BackendKindName(kind));
+    std::printf("%-8s %18s %18s %10s\n", "shards", "Record (M op/s)",
+                "Batch (M op/s)", "speedup");
+    double baseline = 0.0;
+    for (int shards : {1, 2, 4, 8}) {
+      const RunResult r = RunOnce(kind, shards, data);
+      if (shards == 1) baseline = r.batch_mops;
+      std::printf("%-8d %18.2f %18.2f %9.2fx\n", shards, r.buffered_mops,
+                  r.batch_mops,
+                  baseline > 0.0 ? r.batch_mops / baseline : 0.0);
+      results.push_back(r);
+    }
   }
   std::printf("\nNote: speedup is bounded by hardware threads; on a "
               "single-core host the win is contention relief only.\n");
+  WriteJson(results, per_thread * kWriterThreads, args.seed);
   return 0;
 }
 

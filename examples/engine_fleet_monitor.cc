@@ -4,8 +4,16 @@
 // per-service window quantiles — the datacenter-monitoring shape the paper
 // targets (many machines, many metrics, one Qmonitor-style query each).
 //
+// Each service picks its own sketch backend, all served by the same engine:
+// netmon keeps the paper's QLOVE operator (low value error, few-k tails),
+// search runs GK summaries (deterministic rank error), and ads runs the
+// Exact oracle (its Pareto tail is too precious to approximate). Every
+// quantile is annotated with the pipeline that produced it — Level-2 /
+// top-k / sample-k for QLOVE, the weighted sketch merge otherwise.
+//
 //   $ ./engine_fleet_monitor
 
+#include <cctype>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -18,10 +26,19 @@ namespace {
 
 struct Service {
   qlove::engine::MetricKey key;
+  qlove::engine::BackendOptions backend;
   std::unique_ptr<qlove::workload::Generator> generator;
   int hosts;             // reporting hosts
   int samples_per_host;  // samples per host per second
 };
+
+// "TopK" -> "topk": compact per-quantile source tag for the dashboard line.
+std::string SourceTag(qlove::core::OutcomeSource source) {
+  std::string name = qlove::core::OutcomeSourceName(source);
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "sketchmerge") return "merge";
+  return name;
+}
 
 }  // namespace
 
@@ -34,21 +51,41 @@ int main() {
   options.phis = {0.5, 0.9, 0.99, 0.999};
   qlove::engine::TelemetryEngine engine(options);
 
-  // 2. The fleet: three services with different host counts and latency
-  //    profiles, all reporting into service-tagged metrics.
+  // 2. The fleet: three services with different host counts, latency
+  //    profiles, and sketch backends, all reporting into service-tagged
+  //    metrics of the same engine.
+  qlove::engine::BackendOptions qlove_backend;  // default: QLOVE
+  qlove::engine::BackendOptions gk_backend;
+  gk_backend.kind = qlove::engine::BackendKind::kGk;
+  gk_backend.epsilon = 0.001;  // fine enough to resolve p99.9
+  qlove::engine::BackendOptions exact_backend;
+  exact_backend.kind = qlove::engine::BackendKind::kExact;
+
   std::vector<Service> services;
   services.push_back({qlove::engine::MetricKey(
                           "rtt_us", {{"service", "netmon"}, {"dc", "eu-1"}}),
+                      qlove_backend,
                       std::make_unique<qlove::workload::NetMonGenerator>(7),
                       /*hosts=*/64, /*samples_per_host=*/32});
   services.push_back({qlove::engine::MetricKey(
                           "latency_us", {{"service", "search"}, {"dc", "eu-1"}}),
+                      gk_backend,
                       std::make_unique<qlove::workload::SearchGenerator>(11),
                       /*hosts=*/32, /*samples_per_host=*/64});
   services.push_back({qlove::engine::MetricKey(
                           "latency_us", {{"service", "ads"}, {"dc", "eu-1"}}),
+                      exact_backend,
                       std::make_unique<qlove::workload::ParetoGenerator>(13),
                       /*hosts=*/16, /*samples_per_host=*/128});
+  for (const Service& service : services) {
+    const qlove::Status status =
+        engine.RegisterMetric(service.key, service.backend);
+    if (!status.ok()) {
+      std::fprintf(stderr, "RegisterMetric(%s) failed: %s\n",
+                   service.key.ToString().c_str(), status.ToString().c_str());
+      return 1;
+    }
+  }
 
   // 3. Simulate 24 seconds of fleet traffic: every host reports a batch,
   //    every second the engine Ticks, every 4th second we query.
@@ -60,7 +97,13 @@ int main() {
         for (int s = 0; s < service.samples_per_host; ++s) {
           batch.push_back(service.generator->Next());
         }
-        if (!engine.RecordBatch(service.key, batch).ok()) return 1;
+        const qlove::Status recorded = engine.RecordBatch(service.key, batch);
+        if (!recorded.ok()) {
+          std::fprintf(stderr, "RecordBatch(%s) failed: %s\n",
+                       service.key.ToString().c_str(),
+                       recorded.ToString().c_str());
+          return 1;
+        }
       }
     }
     engine.Tick();
@@ -69,12 +112,16 @@ int main() {
     std::printf("t=%2ds ----------------------------------------------\n",
                 second);
     for (const auto& snapshot : engine.SnapshotAll()) {
-      std::printf(
-          "  %-42s p50=%8.0f p90=%8.0f p99=%8.0f p99.9=%8.0f  (%lld ev%s)\n",
-          snapshot.key.ToString().c_str(), snapshot.estimates[0],
-          snapshot.estimates[1], snapshot.estimates[2], snapshot.estimates[3],
-          static_cast<long long>(snapshot.window_count),
-          snapshot.burst_active ? ", burst" : "");
+      std::printf("  %-42s [%s]", snapshot.key.ToString().c_str(),
+                  qlove::engine::BackendKindName(snapshot.backend));
+      for (size_t i = 0; i < snapshot.estimates.size(); ++i) {
+        std::printf(" p%g=%.0f(%s)", snapshot.phis[i] * 100.0,
+                    snapshot.estimates[i],
+                    SourceTag(snapshot.sources[i]).c_str());
+      }
+      std::printf("  (%lld ev%s)\n",
+                  static_cast<long long>(snapshot.window_count),
+                  snapshot.burst_active ? ", burst" : "");
     }
   }
   return 0;

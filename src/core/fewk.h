@@ -40,6 +40,8 @@ struct FewKSizing {
   double samplek_fraction = 0.5;
   /// Statistical-inefficiency threshold Ts (§4.3; the paper uses 10).
   int64_t ts = 10;
+
+  bool operator==(const FewKSizing&) const = default;
 };
 
 /// Computes the few-k plan for one quantile under window size \p n and

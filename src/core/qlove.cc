@@ -14,6 +14,7 @@ const char* OutcomeSourceName(OutcomeSource source) {
     case OutcomeSource::kLevel2: return "Level2";
     case OutcomeSource::kTopK: return "TopK";
     case OutcomeSource::kSampleK: return "SampleK";
+    case OutcomeSource::kSketchMerge: return "SketchMerge";
   }
   return "Unknown";
 }

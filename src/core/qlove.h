@@ -34,6 +34,10 @@ enum class OutcomeSource {
   kLevel2 = 0,   ///< Sub-window mean (non-high quantiles, §3).
   kTopK = 1,     ///< Top-k merging (statistical inefficiency, §4.2).
   kSampleK = 2,  ///< Sample-k merging (bursty traffic, §4.2).
+  /// Weighted sketch merge (engine backends that answer from pooled
+  /// (value, weight) entries — GK / CMQS / Exact — rather than a QLOVE
+  /// pipeline).
+  kSketchMerge = 3,
 };
 
 /// Human-readable source name.
@@ -89,6 +93,8 @@ struct QloveOptions {
 
   /// Ring capacity for the density estimator.
   int64_t density_reservoir_capacity = 4096;
+
+  bool operator==(const QloveOptions&) const = default;
 };
 
 /// \brief The QLOVE quantile operator.

@@ -1,0 +1,149 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The pluggable per-metric sketch seam: a shard drives a ShardBackend
+// instead of a concrete QloveOperator, so one engine can serve different
+// sketch families side by side — QLOVE for low value error, GK/CMQS for
+// deterministic rank error in bounded space, Exact for oracle-mode metrics.
+//
+// Every backend exports a mergeable BackendSummary; cross-shard merging
+// (engine/snapshot.cc) dispatches on its kind:
+//
+//  - kQlove carries the operator's sub-window summaries: the merge reuses
+//    the paper's estimators (count-weighted Level-2 mean + few-k tail
+//    merging with globally recomputed ranks).
+//  - kGk / kCmqs / kExact carry (value, weight) entries in the
+//    sketch/weighted_merge vocabulary: the merge pools all shards' entries
+//    and answers rank queries over the weighted multiset. Mergeability is
+//    the property that makes a summary shardable at all (the classic
+//    mergeable-summaries requirement; see PAPERS.md).
+//
+// Backends are single-threaded; Shard provides the locking.
+
+#ifndef QLOVE_ENGINE_BACKEND_H_
+#define QLOVE_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qlove.h"
+#include "sketch/weighted_merge.h"
+#include "stream/window.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief The sketch family a metric's shards run.
+enum class BackendKind {
+  kQlove = 0,  ///< Paper operator: Level-1/Level-2 + few-k tails. Default.
+  kGk = 1,     ///< Per-sub-window Greenwald-Khanna summaries.
+  kCmqs = 2,   ///< CMQS bucketed GK (count-based sliding window).
+  kExact = 3,  ///< Frequency tree over the raw window (oracle mode).
+};
+
+/// Lower-case kind name as used by CLI flags (bench_engine_throughput
+/// --backend=...) and bench output.
+const char* BackendKindName(BackendKind kind);
+
+/// Parses a BackendKindName back; InvalidArgument on unknown names.
+Result<BackendKind> ParseBackendKind(const std::string& name);
+
+/// \brief Per-metric backend selection plus its kind-specific knobs.
+///
+/// Selected per metric at registration (TelemetryEngine::RegisterMetric);
+/// EngineOptions carries the default applied to auto-registered metrics.
+struct BackendOptions {
+  BackendKind kind = BackendKind::kQlove;
+
+  /// kQlove: the full paper-operator configuration.
+  core::QloveOptions qlove;
+
+  /// kGk / kCmqs: rank-error budget as a fraction of the window population
+  /// (answers stay within ~epsilon * N ranks).
+  double epsilon = 0.02;
+
+  /// Rejects combinations that cannot serve \p phis over \p shard_window —
+  /// at engine construction / registration, not at first Snapshot.
+  Status Validate(const WindowSpec& shard_window,
+                  const std::vector<double>& phis) const;
+};
+
+/// True when \p a and \p b configure the same serving backend: same kind
+/// and same kind-relevant knobs (the qlove options for kQlove, epsilon for
+/// the GK family; kExact has none). Knobs the kind ignores are not
+/// compared, so a qlove registration never conflicts over a stale epsilon.
+bool SameBackendConfiguration(const BackendOptions& a, const BackendOptions& b);
+
+/// \brief The mergeable state one shard exports for cross-shard merging.
+///
+/// Exactly one payload is populated, selected by `kind`. `inflight` counts
+/// accepted values not yet visible to queries (they surface at the next
+/// Tick); CMQS reports 0 because its in-flight GK summary already serves
+/// mid-bucket queries and is exported in `entries`.
+struct BackendSummary {
+  BackendKind kind = BackendKind::kQlove;
+
+  /// kQlove: copies of the live sub-window summaries, oldest first.
+  std::vector<core::SubWindowSummary> subwindows;
+
+  /// kGk / kCmqs / kExact: weighted entries covering the live window.
+  std::vector<sketch::WeightedValue> entries;
+  /// How `entries` weights answer rank queries (exact multiplicities for
+  /// kExact, interpolated rank cells for the compressed sketches).
+  sketch::RankSemantics semantics = sketch::RankSemantics::kExact;
+
+  /// Window population covered by `entries` (weighted payloads only; for
+  /// kQlove the merge derives the population from `subwindows` while
+  /// applying its mergeability filter, so the backend does not precompute
+  /// it).
+  int64_t count = 0;
+  int64_t inflight = 0;      ///< Accepted, awaiting the next Tick.
+  bool burst_active = false; ///< kQlove: burst detector fired in-window.
+};
+
+/// \brief One shard's sketch: ingest, tick sub-windows, export a summary.
+///
+/// Not thread-safe; the owning Shard serializes all calls.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Binds the backend to its per-shard window spec and quantile set.
+  virtual Status Initialize(const WindowSpec& spec,
+                            const std::vector<double>& phis) = 0;
+
+  /// Accumulates values[offset], values[offset + stride], ... from the
+  /// caller's buffer (the engine deals one batch across its shards as S
+  /// interleaved stripes; a single value is the stride-1 case). Returns
+  /// how many values entered backend state — corrupt telemetry (NaN/Inf)
+  /// is dropped. One virtual dispatch per stripe keeps each backend's
+  /// per-value accumulate inlined on the ingest hot path.
+  virtual int64_t AddStrided(const double* values, size_t count,
+                             size_t offset, size_t stride) = 0;
+
+  /// Sub-window boundary (the engine's Tick): finalizes in-flight state and
+  /// expires content older than the window.
+  virtual void Tick() = 0;
+
+  /// Exports the backend's mergeable window state.
+  virtual BackendSummary Summary() const = 0;
+
+  /// Peak stored scalars (the paper's §5.1 space metric).
+  virtual int64_t ObservedSpaceVariables() const = 0;
+
+  /// Backend name as printed by diagnostics.
+  virtual const char* Name() const = 0;
+};
+
+/// \brief Builds and initializes the backend \p options selects.
+/// \p options must already have passed Validate(spec, phis); the engine
+/// validates once per registration instead of once per shard.
+Result<std::unique_ptr<ShardBackend>> CreateShardBackend(
+    const BackendOptions& options, const WindowSpec& spec,
+    const std::vector<double>& phis);
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_BACKEND_H_

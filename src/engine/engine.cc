@@ -77,6 +77,9 @@ Status EngineOptions::Validate() const {
   if (thread_buffer_capacity == 0) {
     return Status::InvalidArgument("thread_buffer_capacity must be > 0");
   }
+  // Backend/option combinations that cannot work fail here, at engine
+  // construction, not at first Snapshot.
+  QLOVE_RETURN_NOT_OK(default_backend.Validate(shard_window, phis));
   return Status::OK();
 }
 
@@ -86,7 +89,7 @@ TelemetryEngine::TelemetryEngine(EngineOptions options)
       engine_id_(next_engine_id.fetch_add(1, std::memory_order_relaxed)) {
   metric_options_.shard_window = options_.shard_window;
   metric_options_.phis = options_.phis;
-  metric_options_.operator_options = options_.operator_options;
+  metric_options_.backend = options_.default_backend;
   std::lock_guard<std::mutex> lock(live_engines_mu);
   LiveEngines().insert(engine_id_);
 }
@@ -106,7 +109,34 @@ Result<std::shared_ptr<MetricState>> TelemetryEngine::GetOrRegister(
 }
 
 Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
-  return GetOrRegister(key).status();
+  // Explicit registration asks for a specific configuration — here the
+  // engine default — so it flows through the same conflict check as the
+  // two-arg form; ensure-exists semantics without a configuration claim
+  // are Record's job.
+  return RegisterMetric(key, options_.default_backend);
+}
+
+Status TelemetryEngine::RegisterMetric(const MetricKey& key,
+                                       const BackendOptions& backend) {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  QLOVE_RETURN_NOT_OK(backend.Validate(options_.shard_window, options_.phis));
+  MetricOptions metric_options = metric_options_;
+  metric_options.backend = backend;
+  auto state =
+      registry_.GetOrCreate(key, options_.num_shards, metric_options);
+  if (!state.ok()) return state.status();
+  // GetOrCreate returns the racing winner's state: losing a registration
+  // race must not silently serve this caller a different sketch — neither
+  // another kind nor the same kind under different knobs (e.g. a coarser
+  // epsilon than the rank budget just requested).
+  const BackendOptions& registered = state.ValueOrDie()->options().backend;
+  if (!SameBackendConfiguration(registered, backend)) {
+    return Status::FailedPrecondition(
+        key.ToString() + " already registered with a different " +
+        std::string(BackendKindName(registered.kind)) +
+        " backend configuration");
+  }
+  return Status::OK();
 }
 
 Status TelemetryEngine::Record(const MetricKey& key, double value) {

@@ -2,13 +2,15 @@
 // The sharded multi-metric telemetry engine: the serving seam between raw
 // per-host record streams and windowed quantile queries. Each registered
 // metric (name + tags) owns N lock-striped shards, each running a private
-// QloveOperator over the core/ + stream/ layers; records reach shards
-// through per-thread buffers that flush as round-robin interleaves, so the
-// ingest hot path is one thread-local append and writers only contend on a
-// shard mutex once per buffer.
+// ShardBackend (QLOVE by default; GK / CMQS / Exact selectable per metric)
+// over the core/ + sketch/ + stream/ layers; records reach shards through
+// per-thread buffers that flush as round-robin interleaves, so the ingest
+// hot path is one thread-local append and writers only contend on a shard
+// mutex once per buffer.
 //
 // Lifecycle:
 //   TelemetryEngine engine(options);
+//   engine.RegisterMetric(key, backend);  // optional per-metric backend
 //   engine.Record(key, value);       // any thread, buffered
 //   engine.Flush();                  // per thread, before a barrier
 //   engine.Tick();                   // sub-window boundary (e.g. every 1s)
@@ -26,7 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/qlove.h"
+#include "engine/backend.h"
 #include "engine/metric_key.h"
 #include "engine/registry.h"
 #include "engine/snapshot.h"
@@ -54,13 +56,18 @@ struct EngineOptions {
   /// queries fix their quantiles for the query lifetime, §2).
   std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
 
-  /// Operator configuration applied to every shard.
-  core::QloveOptions operator_options;
+  /// Default sketch backend for metrics registered without an explicit
+  /// backend (RegisterMetric(key) and first-Record auto-registration).
+  BackendOptions default_backend;
 
   /// Records buffered per (thread, metric) before an automatic flush.
   /// Larger buffers amortize shard locking; smaller ones bound staleness.
   size_t thread_buffer_capacity = 256;
 
+  /// Rejects configurations that cannot serve: bad windows/phis, and
+  /// backend/option combinations that could only fail later (at first
+  /// Snapshot) — e.g. few-k plans that capture no tail material, or a
+  /// GK-family epsilon too coarse to resolve a requested quantile.
   Status Validate() const;
 };
 
@@ -80,8 +87,20 @@ class TelemetryEngine {
   TelemetryEngine(const TelemetryEngine&) = delete;
   TelemetryEngine& operator=(const TelemetryEngine&) = delete;
 
-  /// Registers \p key eagerly (Record also registers on first use).
+  /// Registers \p key eagerly on the engine's default backend (Record also
+  /// registers on first use). Equivalent to RegisterMetric(key,
+  /// default_backend), including its conflict check: FailedPrecondition
+  /// when the key already serves a different backend configuration.
   Status RegisterMetric(const MetricKey& key);
+
+  /// Registers \p key on an explicit \p backend, letting one engine serve
+  /// different sketch families side by side (e.g. QLOVE for latency
+  /// metrics, Exact for low-rate oracle metrics). Re-registering with the
+  /// same kind and configuration is a no-op returning OK;
+  /// FailedPrecondition when the key is already registered with a
+  /// different kind or different kind-relevant knobs (the metric keeps
+  /// serving its original sketch either way).
+  Status RegisterMetric(const MetricKey& key, const BackendOptions& backend);
 
   /// Buffers one record for \p key in the calling thread's buffer,
   /// auto-flushing at capacity. Registers the metric on first use.

@@ -17,8 +17,9 @@ Status MetricState::Initialize(MetricKey key, int num_shards,
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    QLOVE_RETURN_NOT_OK(shard->Initialize(
-        options_.operator_options, options_.shard_window, options_.phis));
+    QLOVE_RETURN_NOT_OK(shard->Initialize(options_.backend,
+                                          options_.shard_window,
+                                          options_.phis));
     shards_.push_back(std::move(shard));
   }
   return Status::OK();
@@ -41,9 +42,9 @@ void MetricState::CloseSubWindows() {
   }
 }
 
-std::vector<ShardView> MetricState::SnapshotShards() const {
+std::vector<BackendSummary> MetricState::SnapshotShards() const {
   std::lock_guard<std::mutex> lock(epoch_mu_);
-  std::vector<ShardView> views;
+  std::vector<BackendSummary> views;
   views.reserve(shards_.size());
   for (const auto& shard : shards_) {
     views.push_back(shard->Snapshot());

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/qlove.h"
+#include "engine/backend.h"
 #include "engine/metric_key.h"
 #include "engine/shard.h"
 #include "stream/window.h"
@@ -30,11 +30,12 @@ struct MetricOptions {
   WindowSpec shard_window;
   /// Quantiles served by Snapshot, fixed for the metric's lifetime.
   std::vector<double> phis;
-  /// Operator configuration applied to every shard.
-  core::QloveOptions operator_options;
+  /// The sketch backend every shard of the metric runs. Different metrics
+  /// in one engine may use different backends.
+  BackendOptions backend;
 };
 
-/// \brief One metric's sharded state: S lock-striped QloveOperators.
+/// \brief One metric's sharded state: S lock-striped ShardBackends.
 class MetricState {
  public:
   /// Builds and initializes \p num_shards shards.
@@ -60,9 +61,9 @@ class MetricState {
   /// SnapshotShards (epoch lock), so queries never see half a Tick.
   void CloseSubWindows();
 
-  /// Collects every shard's mergeable view; all views come from the same
-  /// tick epoch (ingest proceeds concurrently, boundaries do not).
-  std::vector<ShardView> SnapshotShards() const;
+  /// Collects every shard's mergeable summary; all summaries come from the
+  /// same tick epoch (ingest proceeds concurrently, boundaries do not).
+  std::vector<BackendSummary> SnapshotShards() const;
 
  private:
   MetricKey key_;

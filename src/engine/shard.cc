@@ -1,43 +1,37 @@
 #include "engine/shard.h"
 
+#include <utility>
+
 namespace qlove {
 namespace engine {
 
-Status Shard::Initialize(const core::QloveOptions& options,
-                         const WindowSpec& spec,
+Status Shard::Initialize(const BackendOptions& backend, const WindowSpec& spec,
                          const std::vector<double>& phis) {
   std::lock_guard<std::mutex> lock(mu_);
-  op_ = core::QloveOperator(options);
+  auto built = CreateShardBackend(backend, spec, phis);
+  if (!built.ok()) return built.status();
+  backend_ = built.TakeValue();
   total_added_ = 0;
-  return op_.Initialize(spec, phis);
+  return Status::OK();
 }
 
 void Shard::AddBatchStrided(const double* values, size_t count, size_t offset,
                             size_t stride) {
   if (offset >= count) return;
   std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = offset; i < count; i += stride) {
-    op_.Add(values[i]);
-    // Count what the operator accepts (it drops corrupt telemetry):
-    // TotalAdded must reconcile with snapshot window/inflight counts.
-    if (core::QloveOperator::Accepts(values[i])) ++total_added_;
-  }
+  // The backend reports what it accepts (it drops corrupt telemetry):
+  // TotalAdded must reconcile with snapshot window/inflight counts.
+  total_added_ += backend_->AddStrided(values, count, offset, stride);
 }
 
 void Shard::CloseSubWindow() {
   std::lock_guard<std::mutex> lock(mu_);
-  op_.OnSubWindowBoundary();
+  backend_->Tick();
 }
 
-ShardView Shard::Snapshot() const {
+BackendSummary Shard::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  ShardView view;
-  const std::deque<core::SubWindowSummary>& summaries =
-      op_.SubWindowSummaries();
-  view.summaries.assign(summaries.begin(), summaries.end());
-  view.burst_active = op_.BurstActiveInWindow();
-  view.inflight = op_.InflightCount();
-  return view;
+  return backend_->Summary();
 }
 
 int64_t Shard::TotalAdded() const {
@@ -47,7 +41,7 @@ int64_t Shard::TotalAdded() const {
 
 int64_t Shard::ObservedSpaceVariables() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return op_.ObservedSpaceVariables();
+  return backend_->ObservedSpaceVariables();
 }
 
 }  // namespace engine

@@ -1,44 +1,35 @@
 // Copyright 2026 The QLOVE Reproduction Authors
 // One lock-striped slice of a metric's stream. Each shard owns a private
-// QloveOperator fed a round-robin interleave of the metric's records, so N
-// shards admit N concurrent writers while each operator stays single-
-// threaded internally. Snapshot() copies the completed sub-window summaries
-// out under the lock; cross-shard merging happens outside it (snapshot.h).
+// ShardBackend (the metric's configured sketch — QLOVE by default) fed a
+// round-robin interleave of the metric's records, so N shards admit N
+// concurrent writers while each backend stays single-threaded internally.
+// Snapshot() exports the backend's mergeable summary under the lock;
+// cross-shard merging happens outside it (snapshot.h).
 
 #ifndef QLOVE_ENGINE_SHARD_H_
 #define QLOVE_ENGINE_SHARD_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/status.h"
-#include "core/qlove.h"
+#include "engine/backend.h"
 #include "stream/window.h"
 
 namespace qlove {
 namespace engine {
 
-/// \brief State a shard exports for cross-shard snapshot merging.
-struct ShardView {
-  /// Copies of the shard's live sub-window summaries, oldest first.
-  std::vector<core::SubWindowSummary> summaries;
-  /// True when the shard's burst detector flagged any live sub-window.
-  bool burst_active = false;
-  /// Elements in the shard's not-yet-finalized sub-window (not covered by
-  /// `summaries`; becomes visible at the next Tick).
-  int64_t inflight = 0;
-};
-
-/// \brief A mutex-guarded QloveOperator over one stripe of a metric.
+/// \brief A mutex-guarded ShardBackend over one stripe of a metric.
 class Shard {
  public:
   Shard() = default;
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
 
-  /// Binds the shard's operator to its per-shard window spec.
-  Status Initialize(const core::QloveOptions& options, const WindowSpec& spec,
+  /// Builds the configured backend and binds it to its per-shard window.
+  Status Initialize(const BackendOptions& backend, const WindowSpec& spec,
                     const std::vector<double>& phis);
 
   /// Accumulates a batch of values. Thread-safe.
@@ -55,18 +46,18 @@ class Shard {
   /// Finalizes the in-flight sub-window (the engine's Tick). Thread-safe.
   void CloseSubWindow();
 
-  /// Copies the shard's mergeable state. Thread-safe.
-  ShardView Snapshot() const;
+  /// Exports the backend's mergeable summary. Thread-safe.
+  BackendSummary Snapshot() const;
 
   /// Elements accepted since initialization. Thread-safe.
   int64_t TotalAdded() const;
 
-  /// Operator space right now, in variables (§5.1 metric). Thread-safe.
+  /// Backend space right now, in variables (§5.1 metric). Thread-safe.
   int64_t ObservedSpaceVariables() const;
 
  private:
   mutable std::mutex mu_;
-  core::QloveOperator op_;
+  std::unique_ptr<ShardBackend> backend_;
   int64_t total_added_ = 0;
 };
 

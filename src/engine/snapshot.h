@@ -1,15 +1,18 @@
 // Copyright 2026 The QLOVE Reproduction Authors
-// Cross-shard window snapshots. A metric's window state lives as sub-window
-// summaries spread across N shards; merging them back into one quantile
-// vector reuses the paper's two estimator families:
+// Cross-shard window snapshots. A metric's window state lives as mergeable
+// backend summaries spread across N shards; the merge dispatches on the
+// metric's backend kind:
 //
-//  - non-high quantiles: count-weighted Level-2 mean of every sub-window
-//    quantile (CLT estimator, Theorem 1) — or, optionally, the count-
-//    weighted median via sketch/weighted_merge, which is robust to straggler
-//    shards whose sub-windows saw skewed slices of the stream;
-//  - high quantiles: few-k tail merging (§4) over the union of every
-//    shard's TailCaptures, with global ranks recomputed from the merged
-//    element count, so the tail correction survives sharding.
+//  - kQlove summaries carry sub-window summaries and reuse the paper's two
+//    estimator families: count-weighted Level-2 mean (CLT, Theorem 1) — or
+//    the count-weighted median via sketch/weighted_merge, robust to
+//    straggler shards — for non-high quantiles, and few-k tail merging (§4)
+//    over the union of every shard's TailCaptures with globally recomputed
+//    ranks for high quantiles;
+//  - kGk / kCmqs / kExact summaries carry (value, weight) entries; the
+//    merge pools all shards' entries and answers each quantile as a rank
+//    query over the weighted multiset (exact for kExact, within the
+//    sketch's epsilon budget otherwise).
 
 #ifndef QLOVE_ENGINE_SNAPSHOT_H_
 #define QLOVE_ENGINE_SNAPSHOT_H_
@@ -18,14 +21,15 @@
 #include <vector>
 
 #include "core/qlove.h"
+#include "engine/backend.h"
 #include "engine/metric_key.h"
 #include "engine/registry.h"
-#include "engine/shard.h"
 
 namespace qlove {
 namespace engine {
 
-/// \brief How non-high quantiles are merged across sub-window summaries.
+/// \brief How non-high quantiles are merged across sub-window summaries
+/// (kQlove backends only; weighted backends pool entries either way).
 enum class MergeStrategy {
   /// Count-weighted mean of sub-window quantiles (the paper's Level-2
   /// estimator generalized to uneven sub-window populations). Default.
@@ -44,23 +48,27 @@ struct SnapshotOptions {
 /// \brief One merged window evaluation of one metric.
 struct MetricSnapshot {
   MetricKey key;
+  /// The backend that produced the estimates.
+  BackendKind backend = BackendKind::kQlove;
   std::vector<double> phis;       ///< As configured at registration.
   std::vector<double> estimates;  ///< One per phi, monotone in phi.
-  /// Which pipeline produced each estimate (Level2 / TopK / SampleK).
+  /// Which pipeline produced each estimate: Level2 / TopK / SampleK for
+  /// kQlove backends, SketchMerge for the weighted-entry backends.
   std::vector<core::OutcomeSource> sources;
   int64_t window_count = 0;    ///< Elements covered by merged summaries.
-  int64_t num_summaries = 0;   ///< Merged sub-window summaries.
+  int64_t num_summaries = 0;   ///< Merged sub-window summaries (kQlove) or
+                               ///< contributing shard summaries (others).
   int64_t inflight_count = 0;  ///< Recorded but awaiting the next Tick.
   int num_shards = 0;
   bool burst_active = false;  ///< Any shard flagged a live sub-window.
 };
 
-/// \brief Merges per-shard views into one window-level snapshot.
+/// \brief Merges per-shard summaries into one window-level snapshot.
 ///
 /// \p views must come from shards configured with \p options (same phis and
-/// operator options), as produced by MetricState::SnapshotShards().
+/// backend options), as produced by MetricState::SnapshotShards().
 MetricSnapshot MergeShardViews(const MetricKey& key,
-                               const std::vector<ShardView>& views,
+                               const std::vector<BackendSummary>& views,
                                const MetricOptions& options,
                                const SnapshotOptions& snapshot_options = {});
 

@@ -92,14 +92,51 @@ void CmqsOperator::SealBucket() {
 
 void CmqsOperator::OnSubWindowBoundary() {
   // Buckets seal on their own size schedule (Add); here we only expire
-  // buckets that no longer overlap the window.
-  const int64_t window_start = seen_ - spec_.size;
+  // content that no longer overlaps the count-based window. The in-flight
+  // bucket always lies inside it (it spans < bucket_size <= window size
+  // elements), so ExpireBefore's prefix branch is a no-op here.
+  ExpireBefore(seen_ - spec_.size);
+}
+
+void CmqsOperator::ExpireBefore(int64_t global_index) {
+  // Completed buckets always span exactly bucket_size_ elements (they seal
+  // when full), so a bucket is stale iff its last element predates the
+  // cutoff.
   while (!completed_.empty() &&
-         completed_.front().start + bucket_size_ <= window_start) {
+         completed_.front().start + bucket_size_ <= global_index) {
     completed_entries_ -=
         static_cast<int64_t>(completed_.front().entries.size());
     completed_.pop_front();
   }
+  // The in-flight bucket is append-ordered, so its stale elements are
+  // exactly its prefix. GK cannot deaccumulate; rebuild the summary from
+  // the surviving suffix (bounded by the bucket span, and only paid when
+  // content actually goes stale).
+  if (global_index > raw_start_) {
+    const int64_t k = std::min<int64_t>(global_index - raw_start_,
+                                        static_cast<int64_t>(raw_.size()));
+    raw_.erase(raw_.begin(), raw_.begin() + k);
+    raw_start_ += k;
+    inflight_.Reset();
+    for (double value : raw_) inflight_.Insert(value);
+  }
+}
+
+std::vector<WeightedValue> CmqsOperator::ExportWindowEntries() const {
+  std::vector<WeightedValue> entries;
+  entries.reserve(static_cast<size_t>(completed_entries_) +
+                  static_cast<size_t>(inflight_.TupleCount()));
+  for (const Bucket& bucket : completed_) {
+    entries.insert(entries.end(), bucket.entries.begin(),
+                   bucket.entries.end());
+  }
+  if (inflight_.count() > 0) {
+    const std::vector<WeightedValue> inflight_points =
+        inflight_.ExportPointWeights();
+    entries.insert(entries.end(), inflight_points.begin(),
+                   inflight_points.end());
+  }
+  return entries;
 }
 
 std::vector<double> CmqsOperator::ComputeQuantiles() {

@@ -50,6 +50,23 @@ class CmqsOperator final : public QuantileOperator {
   void Reset() override;
 
   double epsilon() const { return options_.epsilon; }
+
+  /// Exports the live window content as mergeable (value, weight) entries
+  /// (sketch/weighted_merge, interpolated semantics): every completed
+  /// bucket's equi-rank cells plus the in-flight bucket's midpoint-corrected
+  /// GK export. Weights sum to the population currently covered. This is the
+  /// summary-export path a sharded engine merges across shards.
+  std::vector<WeightedValue> ExportWindowEntries() const;
+
+  /// Expires everything ingested before global element index
+  /// \p global_index (0-based; elements are indexed in arrival order):
+  /// completed buckets wholly before the cutoff expire wholesale, and the
+  /// in-flight bucket drops its stale prefix, rebuilding its GK summary
+  /// from the survivors. Lets a time-driven caller (engine/) retire
+  /// content the count-based window would keep alive under a trickle of
+  /// ingest. No-op when the cutoff predates all live content.
+  void ExpireBefore(int64_t global_index);
+
   /// Bucket span in elements: the period times max(1, floor(eps*N/2 / P)).
   int64_t bucket_size() const { return bucket_size_; }
   /// Per-bucket sketch capacity: ~(1/(2 eps)) * log2(2 eps B) entries.

@@ -13,26 +13,38 @@ Result<double> WeightedRankQuery(std::vector<WeightedValue>* entries,
     return Status::FailedPrecondition("no entries to query");
   }
   std::sort(entries->begin(), entries->end());
-  int64_t total = 0;
-  for (const auto& [value, weight] : *entries) total += weight;
+  return WeightedRankQuerySorted(*entries, rank, semantics);
+}
+
+Result<double> WeightedRankQuerySorted(
+    const std::vector<WeightedValue>& entries, int64_t rank,
+    RankSemantics semantics, int64_t precomputed_total) {
+  if (entries.empty()) {
+    return Status::FailedPrecondition("no entries to query");
+  }
+  int64_t total = precomputed_total;
+  if (total < 0) {
+    total = 0;
+    for (const auto& [value, weight] : entries) total += weight;
+  }
   if (total <= 0) return Status::FailedPrecondition("zero total weight");
   rank = std::clamp<int64_t>(rank, 1, total);
 
   if (semantics == RankSemantics::kExact) {
     int64_t running = 0;
-    for (const auto& [value, weight] : *entries) {
+    for (const auto& [value, weight] : entries) {
       running += weight;
       if (running >= rank) return value;
     }
-    return entries->back().first;
+    return entries.back().first;
   }
 
   // Interpolated: each entry's value sits at its cumulative rank; answer
   // with the entry whose cumulative rank is nearest to the target.
   int64_t running = 0;
-  double previous_value = entries->front().first;
+  double previous_value = entries.front().first;
   bool has_previous = false;
-  for (const auto& [value, weight] : *entries) {
+  for (const auto& [value, weight] : entries) {
     running += weight;
     if (running >= rank) {
       const int64_t distance_here = running - rank;
@@ -45,7 +57,7 @@ Result<double> WeightedRankQuery(std::vector<WeightedValue>* entries,
     previous_value = value;
     has_previous = true;
   }
-  return entries->back().first;
+  return entries.back().first;
 }
 
 Result<double> WeightedQuantileQuery(std::vector<WeightedValue>* entries,

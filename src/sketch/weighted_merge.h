@@ -41,6 +41,16 @@ Result<double> WeightedRankQuery(
     std::vector<WeightedValue>* entries, int64_t rank,
     RankSemantics semantics = RankSemantics::kExact);
 
+/// \brief The rank-walk core of WeightedRankQuery for callers that already
+/// hold \p entries sorted ascending by value (e.g. one sort amortized over
+/// several per-phi queries). Same clamping and semantics. Callers that
+/// also hold the summed weight may pass it as \p precomputed_total to skip
+/// the summation pass; negative means "compute it here".
+Result<double> WeightedRankQuerySorted(
+    const std::vector<WeightedValue>& entries, int64_t rank,
+    RankSemantics semantics = RankSemantics::kExact,
+    int64_t precomputed_total = -1);
+
 /// \brief Convenience: quantile phi over the weighted multiset, using the
 /// paper's rank definition r = ceil(phi * total_weight).
 Result<double> WeightedQuantileQuery(

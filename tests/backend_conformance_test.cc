@@ -1,0 +1,334 @@
+// Backend conformance suite: one parameterized fixture run over every
+// engine ShardBackend (qlove / gk / cmqs / exact) and one over every
+// QuantileOperator policy, asserting the three properties a mergeable
+// window summary must provide:
+//   1. rank-error tolerance — merged estimates stay within the backend's
+//      advertised rank budget against the exact window contents;
+//   2. window expiry — data older than the window never leaks into
+//      estimates (distribution-shift probe);
+//   3. merge-vs-single-stream agreement — a sharded engine's merged answer
+//      matches the same backend run unsharded on the same multiset.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/qlove.h"
+#include "engine/backend.h"
+#include "engine/engine.h"
+#include "rank_error.h"
+#include "sketch/am.h"
+#include "sketch/cmqs.h"
+#include "sketch/exact.h"
+#include "sketch/moment.h"
+#include "sketch/random_sketch.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace {
+
+constexpr int64_t kWindow = 8192;
+constexpr int64_t kPeriod = 1024;
+const std::vector<double> kPhis = {0.5, 0.9, 0.99};
+
+using test_util::RankError;
+
+// ---------------------------------------------------------------------------
+// Engine backends
+// ---------------------------------------------------------------------------
+
+struct BackendCase {
+  engine::BackendKind kind;
+  double body_tol;  ///< Rank-error budget for phi < 0.99.
+  double tail_tol;  ///< Rank-error budget for phi >= 0.99.
+};
+
+engine::BackendOptions MakeBackendOptions(engine::BackendKind kind) {
+  engine::BackendOptions backend;
+  backend.kind = kind;
+  backend.epsilon = 0.005;  // gk / cmqs rank budget; resolves p99
+  return backend;
+}
+
+engine::TelemetryEngine MakeEngine(int num_shards) {
+  engine::EngineOptions options;
+  options.num_shards = num_shards;
+  options.shard_window = WindowSpec(kWindow / num_shards, kPeriod / num_shards);
+  options.phis = kPhis;
+  return engine::TelemetryEngine(options);
+}
+
+// Feeds `data` in one-period batches, ticking after each.
+void FeedByPeriods(engine::TelemetryEngine* engine,
+                   const engine::MetricKey& key,
+                   const std::vector<double>& data) {
+  for (size_t offset = 0; offset < data.size();
+       offset += static_cast<size_t>(kPeriod)) {
+    const size_t n =
+        std::min(static_cast<size_t>(kPeriod), data.size() - offset);
+    ASSERT_TRUE(engine->RecordBatch(key, data.data() + offset, n).ok());
+    engine->Tick();
+  }
+}
+
+class BackendConformanceTest : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(BackendConformanceTest, RankErrorWithinTolerance) {
+  const BackendCase param = GetParam();
+  engine::TelemetryEngine engine = MakeEngine(4);
+  const engine::MetricKey key("conformance");
+  ASSERT_TRUE(engine.RegisterMetric(key, MakeBackendOptions(param.kind)).ok());
+
+  workload::NetMonGenerator gen(17);
+  const std::vector<double> data = workload::Materialize(&gen, kWindow);
+  FeedByPeriods(&engine, key, data);
+
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  const engine::MetricSnapshot& s = snap.ValueOrDie();
+  EXPECT_EQ(s.backend, param.kind);
+  EXPECT_EQ(s.window_count, kWindow);
+  EXPECT_EQ(s.inflight_count, 0);
+  ASSERT_EQ(s.estimates.size(), kPhis.size());
+
+  double previous = -1.0;
+  for (size_t i = 0; i < kPhis.size(); ++i) {
+    const double tol = kPhis[i] >= 0.99 ? param.tail_tol : param.body_tol;
+    const double err = RankError(sorted, s.estimates[i], kPhis[i]);
+    EXPECT_LE(err, tol) << "phi=" << kPhis[i]
+                        << " estimate=" << s.estimates[i];
+    EXPECT_GE(s.estimates[i], previous);  // monotone in phi
+    previous = s.estimates[i];
+    if (param.kind != engine::BackendKind::kQlove) {
+      EXPECT_EQ(s.sources[i], core::OutcomeSource::kSketchMerge);
+    }
+  }
+}
+
+TEST_P(BackendConformanceTest, WindowExpiryUnderDistributionShift) {
+  const BackendCase param = GetParam();
+  engine::TelemetryEngine engine = MakeEngine(4);
+  const engine::MetricKey key("shift");
+  ASSERT_TRUE(engine.RegisterMetric(key, MakeBackendOptions(param.kind)).ok());
+
+  // One full window around 100, then one full window around 1000: after the
+  // second window every estimate must reflect the new regime only.
+  Rng rng(23);
+  std::vector<double> old_regime(kWindow), new_regime(kWindow);
+  for (auto& v : old_regime) v = 50.0 + 100.0 * rng.NextDouble();
+  for (auto& v : new_regime) v = 1000.0 + 100.0 * rng.NextDouble();
+  FeedByPeriods(&engine, key, old_regime);
+  FeedByPeriods(&engine, key, new_regime);
+
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  const engine::MetricSnapshot& s = snap.ValueOrDie();
+  EXPECT_EQ(s.window_count, kWindow) << "expired data still counted";
+  for (size_t i = 0; i < kPhis.size(); ++i) {
+    // Any leakage of the old regime would drag the estimate toward 150 or
+    // below; the smallest new-regime value is 1000.
+    EXPECT_GE(s.estimates[i], 900.0) << "phi=" << kPhis[i];
+  }
+}
+
+TEST_P(BackendConformanceTest, EmptyTicksExpireStarvedWindow) {
+  const BackendCase param = GetParam();
+  engine::TelemetryEngine engine = MakeEngine(4);
+  const engine::MetricKey key("starved");
+  ASSERT_TRUE(engine.RegisterMetric(key, MakeBackendOptions(param.kind)).ok());
+
+  workload::NetMonGenerator gen(61);
+  FeedByPeriods(&engine, key, workload::Materialize(&gen, kWindow));
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, kWindow);
+
+  // Time-driven windows slide even with no ingest: after a window's worth
+  // of empty Ticks every backend must report an empty window instead of
+  // serving stale quantiles as current.
+  for (int64_t i = 0; i < kWindow / kPeriod; ++i) engine.Tick();
+  snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 0);
+  EXPECT_EQ(snap.ValueOrDie().num_summaries, 0);
+}
+
+TEST_P(BackendConformanceTest, TrickleIngestStillExpiresStaleData) {
+  const BackendCase param = GetParam();
+  engine::TelemetryEngine engine = MakeEngine(4);
+  const engine::MetricKey key("trickle");
+  ASSERT_TRUE(engine.RegisterMetric(key, MakeBackendOptions(param.kind)).ok());
+
+  // A full window of old-regime data, then a trickle: 4 new-regime samples
+  // (one per shard) per Tick for a whole window of Ticks. The trickle must
+  // not keep the old regime alive — time slides the window regardless of
+  // how few elements arrive (the count-based view alone would retain the
+  // old data for thousands of further ticks).
+  Rng rng(67);
+  std::vector<double> old_regime(kWindow);
+  for (auto& v : old_regime) v = 50.0 + 100.0 * rng.NextDouble();
+  FeedByPeriods(&engine, key, old_regime);
+
+  const int64_t ticks = kWindow / kPeriod;
+  for (int64_t t = 0; t < ticks; ++t) {
+    std::vector<double> drip(4);
+    for (auto& v : drip) v = 1000.0 + 100.0 * rng.NextDouble();
+    ASSERT_TRUE(engine.RecordBatch(key, drip).ok());
+    engine.Tick();
+  }
+
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  const engine::MetricSnapshot& s = snap.ValueOrDie();
+  EXPECT_EQ(s.window_count, 4 * ticks) << "stale data still counted";
+  for (size_t i = 0; i < kPhis.size(); ++i) {
+    EXPECT_GE(s.estimates[i], 900.0) << "phi=" << kPhis[i];
+  }
+}
+
+TEST(BackendKindTest, NameParseRoundTrip) {
+  for (engine::BackendKind kind :
+       {engine::BackendKind::kQlove, engine::BackendKind::kGk,
+        engine::BackendKind::kCmqs, engine::BackendKind::kExact}) {
+    auto parsed = engine::ParseBackendKind(engine::BackendKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << engine::BackendKindName(kind);
+    EXPECT_EQ(parsed.ValueOrDie(), kind);
+  }
+  EXPECT_FALSE(engine::ParseBackendKind("bogus").ok());
+  EXPECT_FALSE(engine::ParseBackendKind("").ok());
+}
+
+TEST_P(BackendConformanceTest, MergeMatchesSingleStream) {
+  const BackendCase param = GetParam();
+  const engine::MetricKey key("agreement");
+
+  workload::NetMonGenerator gen(31);
+  const std::vector<double> data = workload::Materialize(&gen, kWindow);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<std::vector<double>> estimates;  // [sharded?][phi]
+  for (int num_shards : {1, 4}) {
+    engine::TelemetryEngine engine = MakeEngine(num_shards);
+    ASSERT_TRUE(
+        engine.RegisterMetric(key, MakeBackendOptions(param.kind)).ok());
+    FeedByPeriods(&engine, key, data);
+    auto snap = engine.Snapshot(key);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(snap.ValueOrDie().window_count, kWindow);
+    estimates.push_back(snap.ValueOrDie().estimates);
+  }
+
+  for (size_t i = 0; i < kPhis.size(); ++i) {
+    const double tol = kPhis[i] >= 0.99 ? param.tail_tol : param.body_tol;
+    const double single_err = RankError(sorted, estimates[0][i], kPhis[i]);
+    const double merged_err = RankError(sorted, estimates[1][i], kPhis[i]);
+    // The sharded merge must hold the same budget the single stream does —
+    // sharding may cost slack within the budget but must not escape it.
+    EXPECT_LE(single_err, tol) << "phi=" << kPhis[i];
+    EXPECT_LE(merged_err, tol) << "phi=" << kPhis[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformanceTest,
+    ::testing::Values(
+        // QLOVE: Level-2 body within CLT slack, few-k-corrected tail.
+        BackendCase{engine::BackendKind::kQlove, 0.03, 0.01},
+        // GK / CMQS: deterministic epsilon budget (0.005) plus merge slack.
+        BackendCase{engine::BackendKind::kGk, 0.02, 0.01},
+        BackendCase{engine::BackendKind::kCmqs, 0.02, 0.01},
+        // Exact: paper-rank answers, zero tolerance.
+        BackendCase{engine::BackendKind::kExact, 0.0, 0.0}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return std::string(engine::BackendKindName(info.param.kind));
+    });
+
+// ---------------------------------------------------------------------------
+// QuantileOperator policies (the stream/ seam the backends wrap)
+// ---------------------------------------------------------------------------
+
+struct OperatorCase {
+  const char* name;
+  double avg_rank_tol;  ///< Average rank-error budget on netmon.
+};
+
+std::unique_ptr<QuantileOperator> MakeOperator(const std::string& name) {
+  if (name == "qlove") return std::make_unique<core::QloveOperator>();
+  if (name == "exact") return std::make_unique<sketch::ExactOperator>();
+  if (name == "cmqs") return std::make_unique<sketch::CmqsOperator>();
+  if (name == "am") return std::make_unique<sketch::AmOperator>();
+  if (name == "random") return std::make_unique<sketch::RandomSketchOperator>();
+  if (name == "moment") return std::make_unique<sketch::MomentOperator>();
+  return nullptr;
+}
+
+class OperatorConformanceTest : public ::testing::TestWithParam<OperatorCase> {
+};
+
+TEST_P(OperatorConformanceTest, RankErrorWithinTolerance) {
+  const OperatorCase param = GetParam();
+  std::unique_ptr<QuantileOperator> op = MakeOperator(param.name);
+  ASSERT_NE(op, nullptr);
+
+  workload::NetMonGenerator gen(47);
+  const std::vector<double> data = workload::Materialize(&gen, kWindow * 3);
+  const auto result = bench_util::RunAccuracy(
+      op.get(), data, WindowSpec(kWindow, kPeriod), kPhis,
+      /*with_rank_error=*/true);
+  ASSERT_GT(result.evaluations, 0);
+  for (double err : result.avg_rank_error) {
+    EXPECT_LE(err, param.avg_rank_tol) << op->Name();
+  }
+  EXPECT_GT(result.observed_space, 0);
+}
+
+TEST_P(OperatorConformanceTest, WindowExpiryUnderDistributionShift) {
+  const OperatorCase param = GetParam();
+  std::unique_ptr<QuantileOperator> op = MakeOperator(param.name);
+  ASSERT_NE(op, nullptr);
+
+  Rng rng(53);
+  std::vector<double> data;
+  data.reserve(static_cast<size_t>(kWindow) * 2);
+  for (int64_t i = 0; i < kWindow; ++i) {
+    data.push_back(50.0 + 100.0 * rng.NextDouble());
+  }
+  for (int64_t i = 0; i < kWindow; ++i) {
+    data.push_back(1000.0 + 100.0 * rng.NextDouble());
+  }
+
+  WindowedQuantileQuery query(WindowSpec(kWindow, kPeriod), kPhis, op.get());
+  ASSERT_TRUE(query.Initialize().ok());
+  const std::vector<WindowResult> results = query.Run(data);
+  ASSERT_FALSE(results.empty());
+  const WindowResult& last = results.back();
+  for (size_t i = 0; i < kPhis.size(); ++i) {
+    // The final window holds only new-regime values (>= 1000); estimates
+    // pulled toward the old regime would betray a leaky expiry path.
+    EXPECT_GE(last.estimates[i], 900.0)
+        << op->Name() << " phi=" << kPhis[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, OperatorConformanceTest,
+    ::testing::Values(OperatorCase{"qlove", 0.03}, OperatorCase{"exact", 1e-9},
+                      OperatorCase{"cmqs", 0.03}, OperatorCase{"am", 0.05},
+                      OperatorCase{"random", 0.05},
+                      OperatorCase{"moment", 0.05}),
+    [](const ::testing::TestParamInfo<OperatorCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace qlove

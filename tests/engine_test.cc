@@ -13,31 +13,14 @@
 #include "engine/metric_key.h"
 #include "engine/registry.h"
 #include "engine/snapshot.h"
+#include "rank_error.h"
 #include "workload/generators.h"
 
 namespace qlove {
 namespace engine {
 namespace {
 
-// Rank error |r - r'| / N of `estimate` against the exact window contents
-// (§5.1 metric). `sorted` must be ascending. Values absent from the window
-// (quantization) land between neighbours, costing at most one rank.
-double RankError(const std::vector<double>& sorted, double estimate,
-                 double phi) {
-  const auto n = static_cast<int64_t>(sorted.size());
-  const int64_t target = std::clamp<int64_t>(
-      static_cast<int64_t>(std::ceil(phi * static_cast<double>(n))), 1, n);
-  const int64_t lo = std::lower_bound(sorted.begin(), sorted.end(), estimate) -
-                     sorted.begin();  // values strictly below
-  const int64_t hi = std::upper_bound(sorted.begin(), sorted.end(), estimate) -
-                     sorted.begin();  // values at or below
-  // The estimate's rank interval is [lo+1, hi] when present, else it sits
-  // between ranks lo and lo+1; fold to the rank nearest the target.
-  const int64_t nearest =
-      hi > lo ? std::clamp(target, lo + 1, hi) : std::min(lo + 1, n);
-  return std::abs(static_cast<double>(target - nearest)) /
-         static_cast<double>(n);
-}
+using test_util::RankError;
 
 TEST(MetricKeyTest, CanonicalizationAndEquality) {
   const MetricKey a("rtt_us", {{"service", "search"}, {"dc", "eu-1"}});
@@ -76,6 +59,70 @@ TEST(EngineOptionsTest, Validation) {
   bad = good;
   bad.thread_buffer_capacity = 0;
   EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(EngineOptionsTest, ValidationRejectsImpossibleBackendCombos) {
+  // A GK-family epsilon too coarse to resolve a requested quantile must
+  // fail at Validate, not at first Snapshot.
+  EngineOptions options;
+  options.default_backend.kind = BackendKind::kGk;
+  options.default_backend.epsilon = 0.02;
+  options.phis = {0.5, 0.999};  // 1 - 0.999 < epsilon
+  EXPECT_FALSE(options.Validate().ok());
+  options.default_backend.epsilon = 0.0005;
+  EXPECT_TRUE(options.Validate().ok());
+  options.phis = {0.5, 1.0};  // exact max: unresolvable by any rank sketch
+  EXPECT_FALSE(options.Validate().ok());
+
+  // A few-k plan that captures no tail material (top-k statistically
+  // efficient under a raised inefficiency threshold AND sampling disabled)
+  // could never leave Level-2: reject the combination up front.
+  options = EngineOptions();
+  options.default_backend.qlove.fewk.ts = 1;
+  options.default_backend.qlove.fewk.samplek_fraction = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.default_backend.qlove.enable_fewk = false;
+  EXPECT_TRUE(options.Validate().ok());
+
+  // Kind-specific knobs out of range.
+  options = EngineOptions();
+  options.default_backend.qlove.burst_significance = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = EngineOptions();
+  options.default_backend.kind = BackendKind::kCmqs;
+  options.default_backend.epsilon = 1.5;
+  options.phis = {0.5};
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EngineTest, RegisterMetricRejectsBackendKindConflict) {
+  TelemetryEngine engine;
+  const MetricKey key("conflicted");
+  BackendOptions gk;
+  gk.kind = BackendKind::kGk;
+  gk.epsilon = 0.0005;
+  ASSERT_TRUE(engine.RegisterMetric(key, gk).ok());
+  ASSERT_TRUE(engine.RegisterMetric(key, gk).ok());  // same kind: no-op
+
+  BackendOptions exact;
+  exact.kind = BackendKind::kExact;
+  const Status conflict = engine.RegisterMetric(key, exact);
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.code(), Status::Code::kFailedPrecondition);
+
+  // Same kind under different knobs is a conflict too: the metric would
+  // silently keep serving with the old rank budget.
+  BackendOptions gk_fine = gk;
+  gk_fine.epsilon = 0.0001;
+  const Status knob_conflict = engine.RegisterMetric(key, gk_fine);
+  EXPECT_FALSE(knob_conflict.ok());
+  EXPECT_EQ(knob_conflict.code(), Status::Code::kFailedPrecondition);
+
+  // The one-arg form claims the engine's default backend and must conflict
+  // the same way (ensure-exists without a configuration claim is Record).
+  EXPECT_FALSE(engine.RegisterMetric(key).ok());
+  EXPECT_TRUE(engine.Record(key, 1.0).ok());  // auto-registration: no claim
+  EXPECT_EQ(engine.metric_count(), 1u);
 }
 
 TEST(EngineTest, SnapshotOfUnknownMetricIsNotFound) {
@@ -382,6 +429,117 @@ TEST(EngineTest, SnapshotAllCoversEveryMetric) {
   int64_t total = 0;
   for (const MetricSnapshot& s : snaps) total += s.window_count;
   EXPECT_EQ(total, 5);
+}
+
+// The acceptance-criteria test for the backend seam: one engine serves
+// three metrics on three different backends (qlove / gk / exact)
+// concurrently, with multi-threaded ingest; each metric's merged Snapshot
+// must match its single-operator oracle — the exact paper-rank quantile of
+// the ingested multiset — within that backend's rank-error tolerance.
+TEST(EngineTest, MixedBackendsServeConcurrently) {
+  constexpr int kThreads = 4;
+  constexpr int kShards = 4;
+  constexpr int64_t kPerThreadPerPhase = 1024;
+  constexpr int64_t kPhaseSize = kThreads * kPerThreadPerPhase;  // 4096
+  constexpr int kPhases = 4;  // exactly one full window
+  constexpr int64_t kWindow = kPhaseSize * kPhases;              // 16384
+
+  EngineOptions options;
+  options.num_shards = kShards;
+  options.shard_window =
+      WindowSpec(kWindow / kShards, kPhaseSize / kShards);  // 4096 / 1024
+  options.phis = {0.5, 0.9, 0.99};
+  TelemetryEngine engine(options);
+
+  struct MetricUnderTest {
+    MetricKey key;
+    BackendOptions backend;
+    double body_tol;  // rank-error budget, phi < 0.99
+    double tail_tol;  // rank-error budget, phi >= 0.99
+  };
+  std::vector<MetricUnderTest> metrics;
+  metrics.push_back({MetricKey("rtt_us", {{"backend", "qlove"}}),
+                     BackendOptions{},  // default: kQlove
+                     0.03, 0.01});
+  BackendOptions gk;
+  gk.kind = BackendKind::kGk;
+  gk.epsilon = 0.005;
+  metrics.push_back(
+      {MetricKey("rtt_us", {{"backend", "gk"}}), gk, 0.02, 0.01});
+  BackendOptions exact;
+  exact.kind = BackendKind::kExact;
+  metrics.push_back(
+      {MetricKey("rtt_us", {{"backend", "exact"}}), exact, 1e-12, 1e-12});
+  for (const MetricUnderTest& metric : metrics) {
+    ASSERT_TRUE(engine.RegisterMetric(metric.key, metric.backend).ok());
+  }
+
+  // Pre-materialize per-(metric, thread) slices so every backend's oracle
+  // sees the same multiset the engine ingests.
+  std::vector<std::vector<std::vector<double>>> slices(metrics.size());
+  for (size_t m = 0; m < metrics.size(); ++m) {
+    slices[m].resize(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workload::NetMonGenerator gen(700 + 10 * m + t);
+      slices[m][t] = workload::Materialize(&gen, kPerThreadPerPhase * kPhases);
+    }
+  }
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t, phase] {
+        for (size_t m = 0; m < metrics.size(); ++m) {
+          const double* begin =
+              slices[m][t].data() + phase * kPerThreadPerPhase;
+          for (int64_t i = 0; i < kPerThreadPerPhase; ++i) {
+            EXPECT_TRUE(engine.Record(metrics[m].key, begin[i]).ok());
+          }
+        }
+        engine.Flush();  // writers flush before the phase barrier
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    engine.Tick();
+  }
+
+  EXPECT_EQ(engine.metric_count(), metrics.size());
+  for (size_t m = 0; m < metrics.size(); ++m) {
+    SCOPED_TRACE(metrics[m].key.ToString());
+    EXPECT_EQ(engine.TotalRecorded(metrics[m].key), kWindow);
+    auto snap = engine.Snapshot(metrics[m].key);
+    ASSERT_TRUE(snap.ok());
+    const MetricSnapshot& merged = snap.ValueOrDie();
+    EXPECT_EQ(merged.backend, metrics[m].backend.kind);
+    EXPECT_EQ(merged.window_count, kWindow);
+    EXPECT_EQ(merged.num_shards, kShards);
+
+    std::vector<double> sorted;
+    sorted.reserve(kWindow);
+    for (int t = 0; t < kThreads; ++t) {
+      sorted.insert(sorted.end(), slices[m][t].begin(), slices[m][t].end());
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    double previous = -1.0;
+    for (size_t i = 0; i < options.phis.size(); ++i) {
+      const double phi = options.phis[i];
+      const double tol =
+          phi >= 0.99 ? metrics[m].tail_tol : metrics[m].body_tol;
+      const double err = RankError(sorted, merged.estimates[i], phi);
+      SCOPED_TRACE("phi=" + std::to_string(phi) +
+                   " estimate=" + std::to_string(merged.estimates[i]) +
+                   " err=" + std::to_string(err));
+      EXPECT_LE(err, tol);
+      EXPECT_GE(merged.estimates[i], previous);
+      previous = merged.estimates[i];
+      // Non-qlove backends answer through the weighted sketch merge and
+      // must say so per quantile.
+      if (metrics[m].backend.kind != BackendKind::kQlove) {
+        EXPECT_EQ(merged.sources[i], core::OutcomeSource::kSketchMerge);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Shared test helper: the paper's §5.1 rank-error metric, used by every
+// suite that checks estimates against exact window contents.
+
+#ifndef QLOVE_TESTS_RANK_ERROR_H_
+#define QLOVE_TESTS_RANK_ERROR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace qlove {
+namespace test_util {
+
+/// Rank error |r - r'| / N of `estimate` against the exact window contents.
+/// `sorted` must be ascending. Values absent from the window (quantization)
+/// land between neighbours, costing at most one rank.
+inline double RankError(const std::vector<double>& sorted, double estimate,
+                        double phi) {
+  const auto n = static_cast<int64_t>(sorted.size());
+  const int64_t target = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(phi * static_cast<double>(n))), 1, n);
+  const int64_t lo = std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();  // values strictly below
+  const int64_t hi = std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();  // values at or below
+  // The estimate's rank interval is [lo+1, hi] when present, else it sits
+  // between ranks lo and lo+1; fold to the rank nearest the target.
+  const int64_t nearest =
+      hi > lo ? std::clamp(target, lo + 1, hi) : std::min(lo + 1, n);
+  return std::abs(static_cast<double>(target - nearest)) /
+         static_cast<double>(n);
+}
+
+}  // namespace test_util
+}  // namespace qlove
+
+#endif  // QLOVE_TESTS_RANK_ERROR_H_
