@@ -49,6 +49,9 @@ struct RunResult {
   int num_shards = 0;
   double buffered_mops = 0.0;
   double batch_mops = 0.0;
+  /// Read-path rate: ad-hoc Query calls (off-grid quantile + rank/CDF per
+  /// call) against the full ingested window, in thousands per second.
+  double query_kqps = 0.0;
 };
 
 engine::BackendOptions MakeBackend(engine::BackendKind kind) {
@@ -137,6 +140,30 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
     engine.Tick();
     result.batch_mops =
         MillionEventsPerSecond(static_cast<uint64_t>(total), elapsed);
+
+    // Read path over the ingested window: each Query carries an off-grid
+    // quantile (p97: grid interpolation / entry rank walk) and a rank/CDF
+    // request, the ad-hoc shapes the query layer adds over Snapshot.
+    constexpr int kQueries = 500;
+    const double threshold = data[0][data[0].size() / 2];
+    const engine::QuerySpec spec =
+        engine::QuerySpec::ForKey(key)
+            .With(engine::QueryRequest::Quantile(0.97))
+            .With(engine::QueryRequest::Rank(threshold));
+    Stopwatch query_watch;
+    query_watch.Start();
+    for (int q = 0; q < kQueries; ++q) {
+      auto answer = engine.Query(spec);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "FATAL: Query(%s) failed: %s\n",
+                     engine::BackendKindName(kind),
+                     answer.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const double query_elapsed = query_watch.ElapsedSeconds();
+    result.query_kqps =
+        query_elapsed > 0.0 ? kQueries / query_elapsed / 1e3 : 0.0;
   }
   return result;
 }
@@ -161,9 +188,10 @@ void WriteJson(const std::vector<RunResult>& results, int64_t total_events,
     const RunResult& r = results[i];
     std::fprintf(out,
                  "    {\"backend\": \"%s\", \"shards\": %d, "
-                 "\"record_mops\": %.3f, \"batch_mops\": %.3f}%s\n",
+                 "\"record_mops\": %.3f, \"batch_mops\": %.3f, "
+                 "\"query_kqps\": %.3f}%s\n",
                  engine::BackendKindName(r.backend), r.num_shards,
-                 r.buffered_mops, r.batch_mops,
+                 r.buffered_mops, r.batch_mops, r.query_kqps,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -208,15 +236,16 @@ int Main(int argc, char** argv) {
   std::vector<RunResult> results;
   for (engine::BackendKind kind : kinds) {
     std::printf("\nbackend: %s\n", engine::BackendKindName(kind));
-    std::printf("%-8s %18s %18s %10s\n", "shards", "Record (M op/s)",
-                "Batch (M op/s)", "speedup");
+    std::printf("%-8s %18s %18s %10s %14s\n", "shards", "Record (M op/s)",
+                "Batch (M op/s)", "speedup", "Query (K q/s)");
     double baseline = 0.0;
     for (int shards : {1, 2, 4, 8}) {
       const RunResult r = RunOnce(kind, shards, data);
       if (shards == 1) baseline = r.batch_mops;
-      std::printf("%-8d %18.2f %18.2f %9.2fx\n", shards, r.buffered_mops,
-                  r.batch_mops,
-                  baseline > 0.0 ? r.batch_mops / baseline : 0.0);
+      std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f\n", shards,
+                  r.buffered_mops, r.batch_mops,
+                  baseline > 0.0 ? r.batch_mops / baseline : 0.0,
+                  r.query_kqps);
       results.push_back(r);
     }
   }

@@ -5,11 +5,18 @@
 // targets (many machines, many metrics, one Qmonitor-style query each).
 //
 // Each service picks its own sketch backend, all served by the same engine:
-// netmon keeps the paper's QLOVE operator (low value error, few-k tails),
-// search runs GK summaries (deterministic rank error), and ads runs the
-// Exact oracle (its Pareto tail is too precious to approximate). Every
-// quantile is annotated with the pipeline that produced it — Level-2 /
-// top-k / sample-k for QLOVE, the weighted sketch merge otherwise.
+// netmon keeps the paper's QLOVE operator (low value error, few-k tails)
+// with one metric per *host*, search runs GK summaries (deterministic rank
+// error), and ads runs the Exact oracle (its Pareto tail is too precious
+// to approximate). Every quantile is annotated with the pipeline that
+// produced it — Level-2 / top-k / sample-k for QLOVE, the weighted sketch
+// merge otherwise.
+//
+// On top of the fixed-phi dashboard, the monitor exercises the query
+// layer: a tag-selector rollup merges every netmon per-host metric into
+// one fleet-wide answer, asks an ad-hoc p95 (not in the registered grid)
+// and p99, and inverts the CDF — "what fraction of fleet RTTs exceeded
+// 900us?" — all in one engine.Query call.
 //
 //   $ ./engine_fleet_monitor
 
@@ -28,7 +35,7 @@ struct Service {
   qlove::engine::MetricKey key;
   qlove::engine::BackendOptions backend;
   std::unique_ptr<qlove::workload::Generator> generator;
-  int hosts;             // reporting hosts
+  int hosts;             // reporting hosts (netmon: one metric per host)
   int samples_per_host;  // samples per host per second
 };
 
@@ -53,7 +60,9 @@ int main() {
 
   // 2. The fleet: three services with different host counts, latency
   //    profiles, and sketch backends, all reporting into service-tagged
-  //    metrics of the same engine.
+  //    metrics of the same engine. The netmon service registers one metric
+  //    per host (the WithTag builder derives the per-host keys) so the
+  //    query layer can roll the fleet up by selector.
   qlove::engine::BackendOptions qlove_backend;  // default: QLOVE
   qlove::engine::BackendOptions gk_backend;
   gk_backend.kind = qlove::engine::BackendKind::kGk;
@@ -61,12 +70,14 @@ int main() {
   qlove::engine::BackendOptions exact_backend;
   exact_backend.kind = qlove::engine::BackendKind::kExact;
 
+  const qlove::engine::MetricKey netmon_base(
+      "rtt_us", {{"service", "netmon"}, {"dc", "eu-1"}});
+  constexpr int kNetmonHosts = 8;
+
   std::vector<Service> services;
-  services.push_back({qlove::engine::MetricKey(
-                          "rtt_us", {{"service", "netmon"}, {"dc", "eu-1"}}),
-                      qlove_backend,
+  services.push_back({netmon_base, qlove_backend,
                       std::make_unique<qlove::workload::NetMonGenerator>(7),
-                      /*hosts=*/64, /*samples_per_host=*/32});
+                      /*hosts=*/kNetmonHosts, /*samples_per_host=*/256});
   services.push_back({qlove::engine::MetricKey(
                           "latency_us", {{"service", "search"}, {"dc", "eu-1"}}),
                       gk_backend,
@@ -78,30 +89,51 @@ int main() {
                       std::make_unique<qlove::workload::ParetoGenerator>(13),
                       /*hosts=*/16, /*samples_per_host=*/128});
   for (const Service& service : services) {
-    const qlove::Status status =
-        engine.RegisterMetric(service.key, service.backend);
-    if (!status.ok()) {
-      std::fprintf(stderr, "RegisterMetric(%s) failed: %s\n",
-                   service.key.ToString().c_str(), status.ToString().c_str());
-      return 1;
+    // netmon registers its per-host keys; the others one service metric.
+    const int metrics = service.backend.kind ==
+                                qlove::engine::BackendKind::kQlove
+                            ? service.hosts
+                            : 1;
+    for (int m = 0; m < metrics; ++m) {
+      const qlove::engine::MetricKey key =
+          metrics > 1 ? service.key.WithTag("host", "h" + std::to_string(m))
+                      : service.key;
+      const qlove::Status status =
+          engine.RegisterMetric(key, service.backend);
+      if (!status.ok()) {
+        std::fprintf(stderr, "RegisterMetric(%s) failed: %s\n",
+                     key.ToString().c_str(), status.ToString().c_str());
+        return 1;
+      }
     }
   }
+
+  // The fleet rollup: every netmon per-host metric, one QuerySpec. p95 is
+  // deliberately off the registered grid; the Rank request inverts the
+  // CDF at 900us.
+  const qlove::engine::TagSelector netmon_fleet{
+      "rtt_us", {{"service", "netmon"}, {"dc", "eu-1"}}};
+  constexpr double kSloUs = 900.0;
 
   // 3. Simulate 24 seconds of fleet traffic: every host reports a batch,
   //    every second the engine Ticks, every 4th second we query.
   std::vector<double> batch;
   for (int second = 1; second <= 24; ++second) {
     for (Service& service : services) {
+      const bool per_host =
+          service.backend.kind == qlove::engine::BackendKind::kQlove;
       for (int host = 0; host < service.hosts; ++host) {
+        const qlove::engine::MetricKey key =
+            per_host ? service.key.WithTag("host", "h" + std::to_string(host))
+                     : service.key;
         batch.clear();
         for (int s = 0; s < service.samples_per_host; ++s) {
           batch.push_back(service.generator->Next());
         }
-        const qlove::Status recorded = engine.RecordBatch(service.key, batch);
+        const qlove::Status recorded = engine.RecordBatch(key, batch);
         if (!recorded.ok()) {
           std::fprintf(stderr, "RecordBatch(%s) failed: %s\n",
-                       service.key.ToString().c_str(),
-                       recorded.ToString().c_str());
+                       key.ToString().c_str(), recorded.ToString().c_str());
           return 1;
         }
       }
@@ -111,7 +143,13 @@ int main() {
     if (second % 4 != 0) continue;
     std::printf("t=%2ds ----------------------------------------------\n",
                 second);
+
+    // Per-metric dashboard (fixed grid): SnapshotAll is canonical-key
+    // sorted, so this block diffs stably second over second. Print the
+    // service-level metrics and elide the netmon per-host family (the
+    // rollup below covers it).
     for (const auto& snapshot : engine.SnapshotAll()) {
+      if (snapshot.key.name() == "rtt_us") continue;  // per-host family
       std::printf("  %-42s [%s]", snapshot.key.ToString().c_str(),
                   qlove::engine::BackendKindName(snapshot.backend));
       for (size_t i = 0; i < snapshot.estimates.size(); ++i) {
@@ -123,6 +161,33 @@ int main() {
                   static_cast<long long>(snapshot.window_count),
                   snapshot.burst_active ? ", burst" : "");
     }
+
+    // Fleet-wide netmon rollup through the query layer: ad-hoc p95,
+    // grid p99, and the inverse-CDF SLO probe, across all per-host
+    // metrics in one shot.
+    auto rolled = engine.Query(
+        qlove::engine::QuerySpec::ForSelector(netmon_fleet)
+            .With(qlove::engine::QueryRequest::Quantile(0.95))
+            .With(qlove::engine::QueryRequest::Quantile(0.99))
+            .With(qlove::engine::QueryRequest::Rank(kSloUs)));
+    if (!rolled.ok()) {
+      std::fprintf(stderr, "Query failed: %s\n",
+                   rolled.status().ToString().c_str());
+      return 1;
+    }
+    const qlove::engine::QueryResult& fleet = rolled.ValueOrDie();
+    const qlove::engine::QueryOutcome& p95 = fleet.outcomes[0];
+    const qlove::engine::QueryOutcome& p99 = fleet.outcomes[1];
+    const qlove::engine::QueryOutcome& slo = fleet.outcomes[2];
+    std::printf("  %-42s [rollup of %zu hosts]"
+                " p95=%.0f(%s,±%.3f) p99=%.0f(%s)"
+                "  >%.0fus: %.2f%%  (%lld ev)\n",
+                netmon_fleet.ToString().c_str(), fleet.matched.size(),
+                p95.value, SourceTag(p95.source).c_str(),
+                p95.rank_error_bound, p99.value,
+                SourceTag(p99.source).c_str(), kSloUs,
+                (1.0 - slo.value) * 100.0,
+                static_cast<long long>(fleet.window_count));
   }
   return 0;
 }

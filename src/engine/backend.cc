@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "container/frequency_tree.h"
+#include "engine/query.h"
 #include "sketch/cmqs.h"
 #include "sketch/gk.h"
 
@@ -160,6 +161,10 @@ class QloveBackend final : public ShardBackend {
 
   Status Initialize(const WindowSpec& spec,
                     const std::vector<double>& phis) override {
+    // Phi-ascending view of the configured grid, for QueryRank's
+    // per-sub-window CDF walks (phis arrive in caller order; summaries
+    // align their quantiles with that order).
+    phi_order_ = SortedPhiOrder(phis, &sorted_phis_);
     return op_.Initialize(spec, phis);
   }
 
@@ -186,6 +191,23 @@ class QloveBackend final : public ShardBackend {
     return summary;
   }
 
+  int64_t QueryRank(double value) const override {
+    // Ranks are additive across sub-windows; each completed summary's
+    // exact quantile grid serves as its CDF (the same GridCdfAtValue the
+    // engine-level rank evaluation uses, so the two surfaces agree).
+    int64_t rank = 0;
+    std::vector<double> values(phi_order_.size());
+    for (const core::SubWindowSummary& summary : op_.SubWindowSummaries()) {
+      if (summary.quantiles.size() != phi_order_.size()) continue;
+      for (size_t j = 0; j < phi_order_.size(); ++j) {
+        values[j] = summary.quantiles[phi_order_[j]];
+      }
+      rank += std::llround(GridCdfAtValue(sorted_phis_, values, value) *
+                           static_cast<double>(summary.count));
+    }
+    return rank;
+  }
+
   int64_t ObservedSpaceVariables() const override {
     return op_.ObservedSpaceVariables();
   }
@@ -194,6 +216,8 @@ class QloveBackend final : public ShardBackend {
 
  private:
   core::QloveOperator op_;
+  std::vector<size_t> phi_order_;    // sorted position -> input phi index
+  std::vector<double> sorted_phis_;  // ascending
 };
 
 /// Sub-window GK: one GkSummary per in-flight sub-window, sealed at each
@@ -256,6 +280,7 @@ class GkBackend final : public ShardBackend {
     BackendSummary summary;
     summary.kind = BackendKind::kGk;
     summary.semantics = sketch::RankSemantics::kInterpolated;
+    summary.rank_error = epsilon_;
     for (const Epoch& sealed : completed_) {
       summary.entries.insert(summary.entries.end(), sealed.entries.begin(),
                              sealed.entries.end());
@@ -263,6 +288,16 @@ class GkBackend final : public ShardBackend {
     }
     summary.inflight = inflight_.count();
     return summary;
+  }
+
+  int64_t QueryRank(double value) const override {
+    // Each sealed epoch's point-weight export is epsilon-accurate over its
+    // own count, so the summed rank stays within epsilon of the window.
+    int64_t rank = 0;
+    for (const Epoch& sealed : completed_) {
+      rank += sketch::WeightedRankAtValue(sealed.entries, value);
+    }
+    return rank;
   }
 
   int64_t ObservedSpaceVariables() const override { return peak_space_; }
@@ -302,7 +337,8 @@ class GkBackend final : public ShardBackend {
 /// backends uphold.
 class CmqsBackend final : public ShardBackend {
  public:
-  explicit CmqsBackend(double epsilon) : op_(sketch::CmqsOptions{epsilon}) {}
+  explicit CmqsBackend(double epsilon)
+      : epsilon_(epsilon), op_(sketch::CmqsOptions{epsilon}) {}
 
   Status Initialize(const WindowSpec& spec,
                     const std::vector<double>& phis) override {
@@ -348,11 +384,16 @@ class CmqsBackend final : public ShardBackend {
     BackendSummary summary;
     summary.kind = BackendKind::kCmqs;
     summary.semantics = sketch::RankSemantics::kInterpolated;
+    summary.rank_error = epsilon_;
     summary.entries = op_.ExportWindowEntries();
     for (const auto& [value, weight] : summary.entries) {
       summary.count += weight;
     }
     return summary;
+  }
+
+  int64_t QueryRank(double value) const override {
+    return op_.WindowRankAtValue(value);  // in place; no export copy
   }
 
   int64_t ObservedSpaceVariables() const override {
@@ -362,6 +403,7 @@ class CmqsBackend final : public ShardBackend {
   const char* Name() const override { return "CMQS"; }
 
  private:
+  double epsilon_;
   sketch::CmqsOperator op_;
   WindowSpec spec_;
   int64_t epoch_ = 0;
@@ -436,6 +478,10 @@ class ExactBackend final : public ShardBackend {
     summary.count = tree_.TotalCount();
     summary.inflight = static_cast<int64_t>(inflight_.size());
     return summary;
+  }
+
+  int64_t QueryRank(double value) const override {
+    return tree_.CountLessThan(value) + tree_.CountOf(value);
   }
 
   int64_t ObservedSpaceVariables() const override { return peak_space_; }

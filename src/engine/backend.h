@@ -100,6 +100,15 @@ struct BackendSummary {
   int64_t count = 0;
   int64_t inflight = 0;      ///< Accepted, awaiting the next Tick.
   bool burst_active = false; ///< kQlove: burst detector fired in-window.
+
+  /// Documented rank-error half-width of `entries` as a fraction of this
+  /// summary's own count: 0 for exact multiplicities, epsilon for the GK
+  /// family, the grid resolution for QLOVE summaries lowered to entries.
+  /// Summaries are self-describing so heterogeneous (cross-metric) pooling
+  /// can annotate its answers without reaching back into per-metric
+  /// options: the pooled bound is the count-weighted mean of these
+  /// (rank errors add across disjoint sub-populations).
+  double rank_error = 0.0;
 };
 
 /// \brief One shard's sketch: ingest, tick sub-windows, export a summary.
@@ -128,6 +137,16 @@ class ShardBackend {
 
   /// Exports the backend's mergeable window state.
   virtual BackendSummary Summary() const = 0;
+
+  /// Rank of \p value in the live window: how many window elements are at
+  /// or below it, under the backend's semantics — exact for kExact, within
+  /// epsilon * N for the GK family, sub-window quantile-grid resolution
+  /// for kQlove. Excludes in-flight values, consistent with Summary().
+  /// This is the per-stripe serving hook behind the engine's Rank/CDF
+  /// requests ("what fraction of requests exceeded 500ms?"); ranks are
+  /// additive across disjoint stripes, so shard and metric rollups are
+  /// plain sums of this hook.
+  virtual int64_t QueryRank(double value) const = 0;
 
   /// Peak stored scalars (the paper's §5.1 space metric).
   virtual int64_t ObservedSpaceVariables() const = 0;

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <unordered_map>
@@ -228,20 +229,144 @@ void TelemetryEngine::Tick() {
   }
 }
 
+Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+
+  // Resolve the target to metric states.
+  std::vector<std::shared_ptr<MetricState>> states;
+  switch (spec.target) {
+    case QuerySpec::TargetKind::kKey: {
+      auto state = registry_.Find(spec.key);
+      if (state == nullptr) {
+        return Status::NotFound("metric not registered: " +
+                                spec.key.ToString());
+      }
+      states.push_back(std::move(state));
+      break;
+    }
+    case QuerySpec::TargetKind::kKeyList: {
+      for (const MetricKey& key : spec.keys) {
+        auto state = registry_.Find(key);
+        if (state == nullptr) {
+          return Status::NotFound("metric not registered: " + key.ToString());
+        }
+        states.push_back(std::move(state));
+      }
+      break;
+    }
+    case QuerySpec::TargetKind::kSelector: {
+      states = registry_.MatchSelector(spec.selector);
+      if (states.empty()) {
+        return Status::NotFound("selector matched no metrics: " +
+                                spec.selector.ToString());
+      }
+      break;
+    }
+  }
+
+  // Canonical-key order (stable rollups, stable `matched` reporting), then
+  // dedup — a key list may repeat a key; it must not double-count.
+  std::sort(states.begin(), states.end(),
+            [](const std::shared_ptr<MetricState>& a,
+               const std::shared_ptr<MetricState>& b) {
+              return a->key() < b->key();
+            });
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+
+  // One backend configuration across the whole target keeps its native
+  // serving path (for kQlove, merging N metrics is the same computation as
+  // N-times-more shards of one metric); any mismatch — different kinds or
+  // same-kind different knobs — drops to pooled weighted entries with
+  // qlove summaries lowered.
+  const MetricOptions& options = states.front()->options();
+  bool homogeneous = true;
+  for (const auto& state : states) {
+    if (!SameBackendConfiguration(state->options().backend, options.backend)) {
+      homogeneous = false;
+      break;
+    }
+  }
+
+  QueryResult result;
+  result.backend = options.backend.kind;
+  result.mixed_backends = !homogeneous;
+  std::vector<BackendSummary> views;
+  views.reserve(states.size() * static_cast<size_t>(options_.num_shards));
+  for (const auto& state : states) {
+    result.matched.push_back(state->key());
+    result.num_shards += static_cast<int>(state->num_shards());
+    std::vector<BackendSummary> shard_views = state->SnapshotShards();
+    for (BackendSummary& view : shard_views) {
+      views.push_back(std::move(view));
+    }
+  }
+
+  const WindowView view(views, options, spec.strategy,
+                        /*lower_to_entries=*/!homogeneous);
+  result.outcomes.reserve(spec.requests.size());
+  for (const QueryRequest& request : spec.requests) {
+    result.outcomes.push_back(view.Evaluate(request));
+  }
+  result.window_count = view.window_count();
+  result.num_summaries = view.num_summaries();
+  result.inflight_count = view.inflight_count();
+  result.burst_active = view.burst_active();
+  return result;
+}
+
 Result<MetricSnapshot> TelemetryEngine::Snapshot(
     const MetricKey& key, const SnapshotOptions& snapshot_options) const {
-  std::shared_ptr<MetricState> state = registry_.Find(key);
-  if (state == nullptr) {
-    return Status::NotFound("metric not registered: " + key.ToString());
+  // Compatibility shim: the fixed-phi snapshot is a Query for every grid
+  // phi. Outcome statuses are deliberately dropped — the legacy contract
+  // reports empty windows as 0.0 estimates, not errors.
+  QuerySpec spec = QuerySpec::ForKey(key);
+  spec.strategy = snapshot_options.strategy;
+  for (double phi : options_.phis) {
+    spec.requests.push_back(QueryRequest::Quantile(phi));
   }
-  return MergeShardViews(key, state->SnapshotShards(), state->options(),
-                         snapshot_options);
+  auto queried = Query(spec);
+  if (!queried.ok()) return queried.status();
+  const QueryResult& result = queried.ValueOrDie();
+
+  MetricSnapshot snapshot;
+  snapshot.key = key;
+  snapshot.backend = result.backend;
+  snapshot.phis = options_.phis;
+  snapshot.estimates.reserve(result.outcomes.size());
+  snapshot.sources.reserve(result.outcomes.size());
+  for (const QueryOutcome& outcome : result.outcomes) {
+    snapshot.estimates.push_back(outcome.value);
+    snapshot.sources.push_back(outcome.source);
+  }
+  snapshot.window_count = result.window_count;
+  snapshot.num_summaries = result.num_summaries;
+  snapshot.inflight_count = result.inflight_count;
+  snapshot.num_shards = result.num_shards;
+  snapshot.burst_active = result.burst_active;
+  return snapshot;
 }
 
 std::vector<MetricSnapshot> TelemetryEngine::SnapshotAll(
     const SnapshotOptions& snapshot_options) const {
+  std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+  // Canonical-key order: SnapshotAll output must diff stably run to run
+  // (the registry map iterates in hash order).
+  std::sort(states.begin(), states.end(),
+            [](const std::shared_ptr<MetricState>& a,
+               const std::shared_ptr<MetricState>& b) {
+              return a->key() < b->key();
+            });
   std::vector<MetricSnapshot> snapshots;
-  for (const auto& state : registry_.List()) {
+  snapshots.reserve(states.size());
+  for (const auto& state : states) {
+    // A metric registered after the engine's last Tick has no window state
+    // yet; skip it rather than report a phantom empty window (explicit
+    // Snapshot(key) still serves it).
+    if (state->TickEpochs() == 0) continue;
+    // The state is already resolved — evaluate it directly through
+    // MergeShardViews (the same WindowView evaluation Snapshot reaches via
+    // Query) instead of re-looking every key up in the registry.
     snapshots.push_back(MergeShardViews(state->key(), state->SnapshotShards(),
                                         state->options(), snapshot_options));
   }

@@ -15,6 +15,10 @@
 //   engine.Flush();                  // per thread, before a barrier
 //   engine.Tick();                   // sub-window boundary (e.g. every 1s)
 //   auto snap = engine.Snapshot(key);  // merged window quantiles
+//   auto ans = engine.Query(          // ad-hoc phi / CDF / fleet rollup
+//       QuerySpec::ForSelector({"rtt_us", {{"service", "search"}}})
+//           .With(QueryRequest::Quantile(0.97))
+//           .With(QueryRequest::Rank(500.0)));
 //
 // Tick() defines sub-window boundaries in time rather than element count
 // (real telemetry windows are temporal); QLOVE's Level-2 machinery already
@@ -30,6 +34,7 @@
 #include "common/status.h"
 #include "engine/backend.h"
 #include "engine/metric_key.h"
+#include "engine/query.h"
 #include "engine/registry.h"
 #include "engine/snapshot.h"
 #include "stream/window.h"
@@ -52,8 +57,13 @@ struct EngineOptions {
   /// expected per-shard records per Tick.
   WindowSpec shard_window{8192, 1024};
 
-  /// Quantiles served by every Snapshot; fixed at registration (monitoring
-  /// queries fix their quantiles for the query lifetime, §2).
+  /// The quantile *grid*: the phis every Snapshot serves and the anchors
+  /// the query layer plans few-k layouts for. Query answers any phi —
+  /// on-grid phis exactly as Snapshot does, off-grid phis by grid
+  /// interpolation (with the tail machinery re-targeted at the query rank
+  /// for high phis) under explicitly widened error bounds — so the grid
+  /// sets where answers are sharpest, not what may be asked (§2 fixes phis
+  /// at registration; the query layer deliberately inverts that).
   std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
 
   /// Default sketch backend for metrics registered without an explicit
@@ -122,12 +132,29 @@ class TelemetryEngine {
   /// finalizes the in-flight sub-window on every shard of every metric.
   void Tick();
 
-  /// Merged window quantiles for \p key. Reflects data flushed and Ticked
-  /// so far; NotFound for unregistered keys.
+  /// Evaluates \p spec against the live window: any quantile (not just the
+  /// registered grid), rank/CDF, count, and sum/mean where the serving
+  /// backend supports them — over one key, an explicit key list, or every
+  /// metric a tag selector matches (fleet rollup). Multi-metric targets
+  /// pool all shards' summaries: homogeneous-qlove targets merge through
+  /// the paper's estimator chain (identical to adding shards), anything
+  /// heterogeneous through the weighted-entry path with qlove summaries
+  /// lowered to entries. NotFound when the target resolves to no
+  /// registered metric; per-request problems (empty window, unsupported
+  /// aggregate) surface as per-outcome statuses, not query failure.
+  Result<QueryResult> Query(const QuerySpec& spec) const;
+
+  /// Merged window quantiles for \p key at the registered grid phis — a
+  /// compatibility shim over Query(ForKey(key), Quantile(phi)...).
+  /// Reflects data flushed and Ticked so far; NotFound for unregistered
+  /// keys.
   Result<MetricSnapshot> Snapshot(
       const MetricKey& key, const SnapshotOptions& snapshot_options = {}) const;
 
-  /// Snapshots every registered metric.
+  /// Snapshots every registered metric that has seen at least one Tick
+  /// (metrics registered after the last Tick have no window state yet and
+  /// are skipped, not crashed on), in canonical-key order so successive
+  /// outputs diff stably.
   std::vector<MetricSnapshot> SnapshotAll(
       const SnapshotOptions& snapshot_options = {}) const;
 

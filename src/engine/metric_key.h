@@ -2,7 +2,9 @@
 // Identity of one monitored metric: a name plus a canonical (sorted) tag
 // set, e.g. rtt_us{dc=eu-1,service=search}. Datacenter telemetry keys every
 // stream by such a pair; the engine's registry hashes MetricKeys to route
-// records to the owning metric state.
+// records to the owning metric state. TagSelector is the query-side
+// counterpart: a name plus a tag predicate matching a whole family of keys
+// (every per-host metric of one service, say) for fleet rollups.
 
 #ifndef QLOVE_ENGINE_METRIC_KEY_H_
 #define QLOVE_ENGINE_METRIC_KEY_H_
@@ -19,40 +21,56 @@ namespace engine {
 /// \brief One metric tag (dimension), e.g. {"service", "search"}.
 using MetricTag = std::pair<std::string, std::string>;
 
-/// \brief Immutable-by-convention metric identity: name + canonical tags.
+/// \brief Immutable metric identity: name + canonical tags.
 ///
-/// Construct via the factory (which canonicalizes) or call Canonicalize()
-/// after mutating tags directly; equality and hashing assume sorted tags.
-struct MetricKey {
-  std::string name;
-  std::vector<MetricTag> tags;  ///< Sorted by tag name, then value.
-
+/// Tags are canonicalized (sorted) on every construction path — the
+/// constructor and WithTag — and the fields are private, so a key's hash
+/// can never go stale behind its registry bucket. Equality and hashing see
+/// only canonical state.
+class MetricKey {
+ public:
   MetricKey() = default;
-  explicit MetricKey(std::string name_in, std::vector<MetricTag> tags_in = {})
-      : name(std::move(name_in)), tags(std::move(tags_in)) {
-    Canonicalize();
+  explicit MetricKey(std::string name, std::vector<MetricTag> tags = {})
+      : name_(std::move(name)), tags_(std::move(tags)) {
+    std::sort(tags_.begin(), tags_.end());
   }
 
-  /// Sorts tags so that logically-equal keys compare and hash equal
-  /// regardless of the order the caller listed their tags in.
-  void Canonicalize() { std::sort(tags.begin(), tags.end()); }
+  const std::string& name() const { return name_; }
+  const std::vector<MetricTag>& tags() const { return tags_; }  ///< Sorted.
+
+  /// Builder: a copy of this key with one more tag, re-canonicalized — the
+  /// supported way to derive per-host keys from a base key:
+  ///   MetricKey("rtt_us").WithTag("service", "search").WithTag("host", h)
+  MetricKey WithTag(std::string tag_name, std::string tag_value) const {
+    std::vector<MetricTag> tags = tags_;
+    tags.emplace_back(std::move(tag_name), std::move(tag_value));
+    return MetricKey(name_, std::move(tags));
+  }
 
   /// Renders "name{k1=v1,k2=v2}" (just "name" when untagged).
   std::string ToString() const {
-    if (tags.empty()) return name;
-    std::string out = name;
+    if (tags_.empty()) return name_;
+    std::string out = name_;
     out += '{';
-    for (size_t i = 0; i < tags.size(); ++i) {
+    for (size_t i = 0; i < tags_.size(); ++i) {
       if (i > 0) out += ',';
-      out += tags[i].first;
+      out += tags_[i].first;
       out += '=';
-      out += tags[i].second;
+      out += tags_[i].second;
     }
     out += '}';
     return out;
   }
 
   bool operator==(const MetricKey&) const = default;
+  /// Canonical ordering — by name, then by the sorted tag list. This is
+  /// the deterministic order Query's `matched` and SnapshotAll report in,
+  /// without materializing ToString per comparison.
+  auto operator<=>(const MetricKey&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<MetricTag> tags_;  // sorted by tag name, then value
 };
 
 /// \brief FNV-1a hash over the canonical rendering, for unordered_map.
@@ -67,12 +85,51 @@ struct MetricKeyHash {
       h ^= 0x1f;  // field separator so {"ab",""} != {"a","b"}
       h *= 1099511628211ULL;
     };
-    mix(key.name);
-    for (const MetricTag& tag : key.tags) {
+    mix(key.name());
+    for (const MetricTag& tag : key.tags()) {
       mix(tag.first);
       mix(tag.second);
     }
     return static_cast<size_t>(h);
+  }
+};
+
+/// \brief A predicate over MetricKeys: matches every registered metric
+/// sharing \p name whose tag set contains every selector tag.
+///
+/// An empty name is a wildcard (any metric name); empty tags match any tag
+/// set — so a default-constructed selector matches every registered metric.
+/// Selector tags are exact (name, value) pairs, each of which must be
+/// present in the key; a selector listing the same tag name twice with
+/// different values therefore only matches keys carrying both pairs.
+struct TagSelector {
+  std::string name;              ///< Metric name; empty matches any.
+  std::vector<MetricTag> tags;   ///< Required (name, value) pairs.
+
+  bool Matches(const MetricKey& key) const {
+    if (!name.empty() && name != key.name()) return false;
+    for (const MetricTag& required : tags) {
+      if (std::find(key.tags().begin(), key.tags().end(), required) ==
+          key.tags().end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Renders "name{k=v,...}" with "*" for a wildcard name.
+  std::string ToString() const {
+    std::string out = name.empty() ? "*" : name;
+    if (tags.empty()) return out;
+    out += '{';
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (i > 0) out += ',';
+      out += tags[i].first;
+      out += '=';
+      out += tags[i].second;
+    }
+    out += '}';
+    return out;
   }
 };
 

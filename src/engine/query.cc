@@ -1,0 +1,616 @@
+#include "engine/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error_bound.h"
+#include "core/fewk.h"
+#include "core/level2.h"
+
+namespace qlove {
+namespace engine {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Tolerance for "this query phi IS a grid phi": callers re-pass the same
+/// literals they registered, so anything beyond round-off means off-grid.
+constexpr double kGridPhiTolerance = 1e-12;
+
+QueryOutcome EmptyWindowOutcome(core::OutcomeSource source) {
+  QueryOutcome outcome;
+  outcome.status = Status::FailedPrecondition("window is empty");
+  outcome.source = source;
+  return outcome;
+}
+
+/// Worst-case |true CDF - GridCdfAtValue| for one grid: the width of the
+/// grid bracket the value falls in — [0, phi_first] below the grid floor,
+/// [phi_last, 1] above the ceiling, the enclosing grid cell inside.
+double GridCdfBound(const std::vector<double>& phis,
+                    const std::vector<double>& values, double value) {
+  if (phis.empty()) return kInf;
+  if (value < values.front()) return phis.front();
+  if (value >= values.back()) return 1.0 - phis.back();
+  const size_t hi =
+      static_cast<size_t>(std::upper_bound(values.begin(), values.end(),
+                                           value) -
+                          values.begin());
+  return phis[hi] - phis[hi - 1];
+}
+
+/// Lowers one qlove sub-window summary to weighted entries under
+/// kInterpolated semantics: each grid value carries the rank mass between
+/// its phi and the previous one (cumulative weight at the value == its
+/// grid rank, which Level 1 computed exactly); the mass above the top grid
+/// phi comes from the deepest tail capture's exact top-k multiplicities
+/// when few-k captured any, else it piles on the top grid value. Body
+/// resolution is therefore the grid gap — mixed-kind rollups are
+/// deliberately coarse between grid phis and honest about it (the caller
+/// stamps the lowered view's rank_error with the worst gap). Returns the
+/// population lowered — exactly the weight appended to \p out — so the
+/// caller's window count cannot drift from the pooled weights when a
+/// foreign-shaped summary is skipped.
+int64_t LowerQloveSummary(const core::SubWindowSummary& summary,
+                          const std::vector<double>& sorted_phis,
+                          const std::vector<size_t>& phi_order,
+                          std::vector<sketch::WeightedValue>* out) {
+  const int64_t count = summary.count;
+  if (count <= 0 || summary.quantiles.size() != phi_order.size()) return 0;
+
+  int64_t prev_rank = 0;
+  for (size_t j = 0; j < sorted_phis.size(); ++j) {
+    const int64_t rank = std::clamp<int64_t>(
+        core::TailCeilCount(sorted_phis[j] * static_cast<double>(count)), 1,
+        count);
+    if (rank > prev_rank) {
+      out->emplace_back(summary.quantiles[phi_order[j]], rank - prev_rank);
+      prev_rank = rank;
+    }
+  }
+  int64_t remaining = count - prev_rank;
+  if (remaining <= 0) return count;
+
+  const double top_grid_value = summary.quantiles[phi_order.back()];
+  // Deepest capture = the one holding the most top-k mass (plans for lower
+  // phis cache deeper tails).
+  const core::TailCapture* deepest = nullptr;
+  int64_t deepest_mass = 0;
+  for (const core::TailCapture& tail : summary.tails) {
+    int64_t mass = 0;
+    for (const auto& [value, n] : tail.topk) mass += n;
+    if (mass > deepest_mass) {
+      deepest_mass = mass;
+      deepest = &tail;
+    }
+  }
+  if (deepest != nullptr) {
+    // The largest min(remaining, captured) elements get their exact
+    // values; any gap between the grid top and the capture floor is
+    // conservatively placed at the top grid value.
+    int64_t take = std::min(remaining, deepest_mass);
+    remaining -= take;
+    if (remaining > 0) out->emplace_back(top_grid_value, remaining);
+    for (const auto& [value, n] : deepest->topk) {
+      if (take <= 0) break;
+      const int64_t here = std::min(n, take);
+      out->emplace_back(value, here);
+      take -= here;
+    }
+  } else {
+    out->emplace_back(top_grid_value, remaining);
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* QueryRequestKindName(QueryRequestKind kind) {
+  switch (kind) {
+    case QueryRequestKind::kQuantile: return "quantile";
+    case QueryRequestKind::kRank: return "rank";
+    case QueryRequestKind::kCount: return "count";
+    case QueryRequestKind::kSum: return "sum";
+    case QueryRequestKind::kMean: return "mean";
+  }
+  return "unknown";
+}
+
+Status QuerySpec::Validate() const {
+  if (requests.empty()) {
+    return Status::InvalidArgument("query has no requests");
+  }
+  for (const QueryRequest& request : requests) {
+    switch (request.kind) {
+      case QueryRequestKind::kQuantile:
+        if (!(request.argument > 0.0) || request.argument > 1.0) {
+          return Status::InvalidArgument("quantile phi must lie in (0, 1]");
+        }
+        break;
+      case QueryRequestKind::kRank:
+        if (!std::isfinite(request.argument)) {
+          return Status::InvalidArgument("rank threshold must be finite");
+        }
+        break;
+      case QueryRequestKind::kCount:
+      case QueryRequestKind::kSum:
+      case QueryRequestKind::kMean:
+        break;
+    }
+  }
+  if (target == TargetKind::kKeyList && keys.empty()) {
+    return Status::InvalidArgument("key-list target has no keys");
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> SortedPhiOrder(const std::vector<double>& phis,
+                                   std::vector<double>* sorted_phis) {
+  std::vector<size_t> order(phis.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return phis[a] < phis[b]; });
+  sorted_phis->clear();
+  sorted_phis->reserve(phis.size());
+  for (size_t j : order) sorted_phis->push_back(phis[j]);
+  return order;
+}
+
+double GridValueAtPhi(const std::vector<double>& phis,
+                      const std::vector<double>& values, double phi) {
+  if (phis.empty()) return 0.0;
+  if (phi <= phis.front()) return values.front();
+  if (phi >= phis.back()) return values.back();
+  const size_t hi = static_cast<size_t>(
+      std::lower_bound(phis.begin(), phis.end(), phi) - phis.begin());
+  const double dphi = phis[hi] - phis[hi - 1];
+  if (dphi <= 0.0) return values[hi];
+  const double t = (phi - phis[hi - 1]) / dphi;
+  return values[hi - 1] + t * (values[hi] - values[hi - 1]);
+}
+
+double GridCdfAtValue(const std::vector<double>& phis,
+                      const std::vector<double>& values, double value) {
+  if (phis.empty()) return 0.0;
+  // Outside the grid the CDF is only known to lie in the unobserved
+  // bracket ([0, phi_first] below the floor, [phi_last, 1] above the
+  // ceiling); extrapolate with the nearest cell's slope, clamped to the
+  // bracket — near-grid values (the common case: a probe just under a
+  // sub-window's p50) stay accurate, far ones saturate at the bracket
+  // edge. GridCdfBound reports the full bracket as the worst case.
+  if (value < values.front()) {
+    if (phis.size() < 2 || values[1] <= values[0]) return phis.front() / 2.0;
+    const double slope = (phis[1] - phis[0]) / (values[1] - values[0]);
+    return std::clamp(phis.front() - (values.front() - value) * slope, 0.0,
+                      phis.front());
+  }
+  if (value >= values.back()) {
+    const size_t l = values.size() - 1;
+    if (phis.size() < 2 || values[l] <= values[l - 1]) {
+      return (phis.back() + 1.0) / 2.0;
+    }
+    const double slope =
+        (phis[l] - phis[l - 1]) / (values[l] - values[l - 1]);
+    return std::clamp(phis.back() + (value - values.back()) * slope,
+                      phis.back(), 1.0);
+  }
+  const size_t hi =
+      static_cast<size_t>(std::upper_bound(values.begin(), values.end(),
+                                           value) -
+                          values.begin());
+  const double dv = values[hi] - values[hi - 1];
+  if (dv <= 0.0) return phis[hi];
+  const double t = (value - values[hi - 1]) / dv;
+  return phis[hi - 1] + t * (phis[hi] - phis[hi - 1]);
+}
+
+WindowView::WindowView(const std::vector<BackendSummary>& views,
+                       const MetricOptions& options, MergeStrategy strategy,
+                       bool lower_to_entries)
+    : options_(options), strategy_(strategy) {
+  entry_backed_ =
+      lower_to_entries || options_.backend.kind != BackendKind::kQlove;
+
+  for (const BackendSummary& view : views) {
+    inflight_count_ += view.inflight;
+    burst_active_ = burst_active_ || view.burst_active;
+  }
+
+  // The phi grid sorted ascending, shared by both modes (grid evaluation
+  // on the qlove path, summary lowering on the entry path).
+  phi_order_ = SortedPhiOrder(options_.phis, &grid_phis_);
+
+  if (entry_backed_) {
+    BuildEntries(views, /*lower_qlove=*/lower_to_entries);
+  } else {
+    BuildQlove(views);
+  }
+}
+
+void WindowView::BuildQlove(const std::vector<BackendSummary>& views) {
+  const size_t num_phis = options_.phis.size();
+  std::vector<double> estimates(num_phis, 0.0);
+  std::vector<core::OutcomeSource> sources(num_phis,
+                                           core::OutcomeSource::kLevel2);
+
+  // The exact plan layout the shards' operators built at Initialize, so
+  // summary.tails[plan_index] below indexes the matching TailCapture.
+  const std::vector<int> high_index = core::QloveOperator::BuildFewKLayout(
+      options_.backend.qlove, options_.phis, options_.shard_window, &plans_);
+
+  // A summary participates only when its shape matches the configured
+  // layout (defense against views from a foreign config); the same
+  // predicate gates the population count and the tail entries, so ranks
+  // computed from the merged total always cover exactly the merged tails.
+  auto mergeable = [&](const core::SubWindowSummary& summary) {
+    return summary.quantiles.size() == num_phis &&
+           summary.tails.size() == plans_.size();
+  };
+
+  // Pass 1: pool every shard's summaries into the Level-2 weighted mean
+  // (or the weighted-median entry lists) and count the merged population.
+  core::Level2Aggregator level2(num_phis);
+  std::vector<std::vector<sketch::WeightedValue>> median_entries;
+  const bool use_median = strategy_ == MergeStrategy::kWeightedMedian;
+  if (use_median) median_entries.resize(num_phis);
+
+  for (const BackendSummary& view : views) {
+    for (const core::SubWindowSummary& summary : view.subwindows) {
+      if (!mergeable(summary)) continue;
+      merged_.push_back(&summary);
+      window_count_ += summary.count;
+      ++num_summaries_;
+      if (use_median) {
+        for (size_t i = 0; i < num_phis; ++i) {
+          median_entries[i].emplace_back(summary.quantiles[i], summary.count);
+        }
+      } else {
+        level2.AccumulateWeighted(summary.quantiles,
+                                  static_cast<double>(summary.count));
+      }
+    }
+  }
+
+  if (num_summaries_ > 0) {
+    if (use_median) {
+      for (size_t i = 0; i < num_phis; ++i) {
+        auto median = sketch::WeightedQuantileQuery(
+            &median_entries[i], 0.5, sketch::RankSemantics::kInterpolated);
+        estimates[i] = median.ok() ? median.ValueOrDie() : 0.0;
+      }
+    } else {
+      estimates = level2.ComputeWeightedResult();
+    }
+
+    // Pass 2: few-k tail correction over the union of every shard's tail
+    // captures, with ranks recomputed from the *merged* population T: the
+    // per-shard plans target each shard's share; the merged answer must
+    // target T(1-phi). Mirrors QloveOperator::ComputeQuantiles.
+    for (size_t i = 0; i < num_phis; ++i) {
+      const int plan_index = high_index[i];
+      if (plan_index < 0) continue;
+      const core::FewKPlan& plan = plans_[static_cast<size_t>(plan_index)];
+      std::vector<const core::TailCapture*> tails;
+      tails.reserve(merged_.size());
+      for (const core::SubWindowSummary* summary : merged_) {
+        tails.push_back(&summary->tails[static_cast<size_t>(plan_index)]);
+      }
+      const core::TailRanks ranks =
+          core::ComputeTailRanks(options_.phis[i], window_count_);
+      core::SelectFewKOutcome(plan, tails, ranks.tail_size,
+                              ranks.exact_tail_rank, burst_active_,
+                              &estimates[i], &sources[i]);
+    }
+
+    core::RestoreQuantileMonotonicity(options_.phis, &estimates);
+  }
+
+  grid_values_.reserve(num_phis);
+  grid_sources_.reserve(num_phis);
+  for (size_t j : phi_order_) {
+    grid_values_.push_back(estimates[j]);
+    grid_sources_.push_back(sources[j]);
+  }
+}
+
+void WindowView::BuildEntries(const std::vector<BackendSummary>& views,
+                              bool lower_qlove) {
+  // Worst grid gap over the cut points {0, phis...}: the body resolution
+  // of a lowered qlove summary (its tail above the top grid phi carries
+  // exact top-k multiplicities, or is covered conservatively by the same
+  // stamp when no tail was captured).
+  double grid_gap = 0.0;
+  double prev_phi = 0.0;
+  for (double phi : grid_phis_) {
+    grid_gap = std::max(grid_gap, phi - prev_phi);
+    prev_phi = phi;
+  }
+
+  double weighted_error = 0.0;
+  size_t total_entries = 0;
+  for (const BackendSummary& view : views) total_entries += view.entries.size();
+  pooled_.reserve(total_entries);
+
+  for (const BackendSummary& view : views) {
+    if (view.kind == BackendKind::kQlove) {
+      if (!lower_qlove) continue;  // foreign view in a non-lowering pool
+      const size_t before = pooled_.size();
+      int64_t lowered_count = 0;
+      for (const core::SubWindowSummary& summary : view.subwindows) {
+        lowered_count +=
+            LowerQloveSummary(summary, grid_phis_, phi_order_, &pooled_);
+      }
+      if (pooled_.size() == before) continue;
+      ++num_summaries_;
+      window_count_ += lowered_count;
+      weighted_error += grid_gap * static_cast<double>(lowered_count);
+      semantics_ = sketch::RankSemantics::kInterpolated;
+      pool_has_lowered_qlove_ = true;
+      continue;
+    }
+    if (view.entries.empty()) continue;
+    ++num_summaries_;
+    window_count_ += view.count;
+    weighted_error += view.rank_error * static_cast<double>(view.count);
+    if (view.semantics == sketch::RankSemantics::kInterpolated) {
+      semantics_ = sketch::RankSemantics::kInterpolated;
+    }
+    pooled_.insert(pooled_.end(), view.entries.begin(), view.entries.end());
+  }
+
+  // One sort amortized over every request; the rank walks are the shared
+  // weighted_merge cores, so pooled answers cannot drift from the
+  // single-operator weighted-merge semantics.
+  std::sort(pooled_.begin(), pooled_.end());
+  if (window_count_ > 0) {
+    pooled_rank_error_ = weighted_error / static_cast<double>(window_count_);
+  }
+}
+
+QueryOutcome WindowView::Evaluate(const QueryRequest& request) const {
+  switch (request.kind) {
+    case QueryRequestKind::kQuantile: return EvaluateQuantile(request.argument);
+    case QueryRequestKind::kRank: return EvaluateRank(request.argument);
+    case QueryRequestKind::kCount: return EvaluateCount();
+    case QueryRequestKind::kSum: return EvaluateSum();
+    case QueryRequestKind::kMean: return EvaluateMean();
+  }
+  QueryOutcome outcome;
+  outcome.status = Status::InvalidArgument("unknown request kind");
+  return outcome;
+}
+
+QueryOutcome WindowView::EvaluateQuantile(double phi) const {
+  return entry_backed_ ? EntryQuantile(phi) : QloveQuantile(phi);
+}
+
+double WindowView::QloveValueErrorBound(double phi) const {
+  // Theorem 1 needs the density at the estimate; off-line (no reservoir in
+  // the merge path) the merged grid itself supplies a finite-difference
+  // estimate: f ~= dphi / dvalue across the bracketing grid cell.
+  if (grid_phis_.size() < 2 || num_summaries_ <= 0 || window_count_ <= 0) {
+    return kInf;
+  }
+  size_t hi = static_cast<size_t>(
+      std::lower_bound(grid_phis_.begin(), grid_phis_.end(), phi) -
+      grid_phis_.begin());
+  hi = std::clamp<size_t>(hi, 1, grid_phis_.size() - 1);
+  const double dphi = grid_phis_[hi] - grid_phis_[hi - 1];
+  const double dv = grid_values_[hi] - grid_values_[hi - 1];
+  if (dphi <= 0.0) return kInf;
+  if (dv <= 0.0) return 0.0;  // point mass: the cell holds one value
+  const double density = dphi / dv;
+  const int64_t mean_subwindow =
+      std::max<int64_t>(1, window_count_ / num_summaries_);
+  return core::TheoremOneBound(phi, num_summaries_, mean_subwindow, density);
+}
+
+QueryOutcome WindowView::QloveQuantile(double phi) const {
+  if (num_summaries_ == 0) {
+    return EmptyWindowOutcome(core::OutcomeSource::kLevel2);
+  }
+  QueryOutcome outcome;
+
+  // On-grid: exactly the estimate the fixed-phi Snapshot path serves.
+  const auto grid_it =
+      std::lower_bound(grid_phis_.begin(), grid_phis_.end(),
+                       phi - kGridPhiTolerance);
+  if (grid_it != grid_phis_.end() && std::abs(*grid_it - phi) <=
+                                         kGridPhiTolerance) {
+    const size_t j = static_cast<size_t>(grid_it - grid_phis_.begin());
+    outcome.value = grid_values_[j];
+    outcome.source = grid_sources_[j];
+    outcome.rank_error_bound = 0.0;  // grid term; see QueryOutcome docs
+    outcome.value_error_bound = QloveValueErrorBound(phi);
+    return outcome;
+  }
+
+  // Off-grid: interpolate between the bracketing grid estimates, widening
+  // the rank annotation to the distance the interpolation can wander —
+  // the answer is pinned inside [value(g_lo), value(g_hi)], whose ranks
+  // are g_lo and g_hi up to the grid points' own statistical error.
+  double slack;
+  if (phi < grid_phis_.front()) {
+    slack = grid_phis_.front() - phi;
+  } else if (phi > grid_phis_.back()) {
+    slack = phi - grid_phis_.back();
+  } else {
+    const size_t hi = static_cast<size_t>(
+        std::lower_bound(grid_phis_.begin(), grid_phis_.end(), phi) -
+        grid_phis_.begin());
+    slack = std::max(phi - grid_phis_[hi - 1], grid_phis_[hi] - phi);
+  }
+  outcome.value = GridValueAtPhi(grid_phis_, grid_values_, phi);
+  outcome.source = core::OutcomeSource::kLevel2;
+
+  // High off-grid phis: re-target the grid's few-k machinery at the query
+  // phi. Any plan with plan.phi <= phi captured a tail at least as deep
+  // as the query's (tail size shrinks with phi), so its pooled top-k /
+  // sample material covers the recomputed rank; pick the tightest such
+  // plan. The answer stays clamped to the grid bracket — few-k estimates
+  // each phi independently and quantiles are monotone by definition.
+  if (phi >= options_.backend.qlove.high_quantile_threshold &&
+      window_count_ > 0) {
+    int best = -1;
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      if (plans_[p].phi > phi) continue;
+      if (best < 0 || plans_[p].phi > plans_[static_cast<size_t>(best)].phi) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (best >= 0) {
+      const core::FewKPlan& plan = plans_[static_cast<size_t>(best)];
+      std::vector<const core::TailCapture*> tails;
+      tails.reserve(merged_.size());
+      for (const core::SubWindowSummary* summary : merged_) {
+        tails.push_back(&summary->tails[static_cast<size_t>(best)]);
+      }
+      const core::TailRanks ranks =
+          core::ComputeTailRanks(phi, window_count_);
+      double estimate = outcome.value;
+      core::OutcomeSource source = outcome.source;
+      if (core::SelectFewKOutcome(plan, tails, ranks.tail_size,
+                                  ranks.exact_tail_rank, burst_active_,
+                                  &estimate, &source)) {
+        double lo = -kInf, hi = kInf;
+        if (phi <= grid_phis_.front()) {
+          hi = grid_values_.front();
+        } else if (phi >= grid_phis_.back()) {
+          lo = grid_values_.back();
+        } else {
+          const size_t b = static_cast<size_t>(
+              std::lower_bound(grid_phis_.begin(), grid_phis_.end(), phi) -
+              grid_phis_.begin());
+          lo = grid_values_[b - 1];
+          hi = grid_values_[b];
+        }
+        outcome.value = std::clamp(estimate, lo, hi);
+        outcome.source = source;
+      }
+    }
+  }
+
+  outcome.rank_error_bound = slack;
+  outcome.value_error_bound = QloveValueErrorBound(phi);
+  return outcome;
+}
+
+QueryOutcome WindowView::EntryQuantile(double phi) const {
+  if (pooled_.empty() || window_count_ <= 0) {
+    return EmptyWindowOutcome(core::OutcomeSource::kSketchMerge);
+  }
+  QueryOutcome outcome;
+  outcome.source = core::OutcomeSource::kSketchMerge;
+  const auto rank = static_cast<int64_t>(
+      std::ceil(phi * static_cast<double>(window_count_)));
+  auto answer =
+      sketch::WeightedRankQuerySorted(pooled_, rank, semantics_,
+                                      window_count_);
+  if (!answer.ok()) {
+    outcome.status = answer.status();
+    return outcome;
+  }
+  outcome.value = answer.ValueOrDie();
+  outcome.rank_error_bound =
+      pooled_rank_error_ + 1.0 / static_cast<double>(window_count_);
+  return outcome;
+}
+
+QueryOutcome WindowView::EvaluateRank(double value) const {
+  if (entry_backed_) {
+    if (pooled_.empty() || window_count_ <= 0) {
+      return EmptyWindowOutcome(core::OutcomeSource::kSketchMerge);
+    }
+    QueryOutcome outcome;
+    outcome.source = core::OutcomeSource::kSketchMerge;
+    const int64_t rank = sketch::WeightedRankAtValue(pooled_, value);
+    outcome.value = static_cast<double>(rank) /
+                    static_cast<double>(window_count_);
+    outcome.rank_error_bound =
+        pooled_rank_error_ + 1.0 / static_cast<double>(window_count_);
+    return outcome;
+  }
+
+  if (num_summaries_ == 0 || window_count_ <= 0) {
+    return EmptyWindowOutcome(core::OutcomeSource::kLevel2);
+  }
+  // Ranks are additive across disjoint sub-windows: each summary's exact
+  // per-sub-window quantile grid acts as its CDF (the same primitive
+  // behind ShardBackend::QueryRank), and the window CDF is the
+  // count-weighted mean. The annotation pools each summary's bracket
+  // width the same way.
+  QueryOutcome outcome;
+  outcome.source = core::OutcomeSource::kLevel2;
+  double mass = 0.0;
+  double bound = 0.0;
+  std::vector<double> values(phi_order_.size());
+  for (const core::SubWindowSummary* summary : merged_) {
+    for (size_t j = 0; j < phi_order_.size(); ++j) {
+      values[j] = summary->quantiles[phi_order_[j]];
+    }
+    const double count = static_cast<double>(summary->count);
+    mass += GridCdfAtValue(grid_phis_, values, value) * count;
+    bound += GridCdfBound(grid_phis_, values, value) * count;
+  }
+  const double total = static_cast<double>(window_count_);
+  outcome.value = std::clamp(mass / total, 0.0, 1.0);
+  outcome.rank_error_bound = bound / total + 1.0 / total;
+  return outcome;
+}
+
+QueryOutcome WindowView::EvaluateCount() const {
+  QueryOutcome outcome;
+  outcome.value = static_cast<double>(window_count_);
+  outcome.source = entry_backed_ ? core::OutcomeSource::kSketchMerge
+                                 : core::OutcomeSource::kLevel2;
+  outcome.rank_error_bound = 0.0;
+  outcome.value_error_bound = 0.0;
+  return outcome;
+}
+
+QueryOutcome WindowView::EvaluateSum() const {
+  // Qlove sub-window summaries carry quantiles and counts, not sums —
+  // whether they serve natively or lowered into a mixed pool, a sum over
+  // them would silently inherit the grid's value placement. Quantile and
+  // rank requests stay available (and annotated) either way.
+  if (!entry_backed_ || pool_has_lowered_qlove_) {
+    QueryOutcome outcome;
+    outcome.status = Status::FailedPrecondition(
+        entry_backed_
+            ? "sum is unsupported over a mixed pool containing lowered "
+              "qlove summaries (quantiles and counts only); query the "
+              "entry-backed metrics separately for Sum/Mean"
+            : "sum is unsupported on the qlove serving path: sub-window "
+              "summaries carry quantiles and counts, not sums; use an "
+              "entry-backed backend (gk / cmqs / exact) for Sum/Mean");
+    return outcome;
+  }
+  if (pooled_.empty() || window_count_ <= 0) {
+    return EmptyWindowOutcome(core::OutcomeSource::kSketchMerge);
+  }
+  QueryOutcome outcome;
+  outcome.source = core::OutcomeSource::kSketchMerge;
+  double sum = 0.0;
+  for (const auto& [value, weight] : pooled_) {
+    sum += value * static_cast<double>(weight);
+  }
+  outcome.value = sum;
+  // Exact multiplicities sum exactly; interpolated entries are
+  // representative points, so the sum is an estimate without a
+  // deterministic bound.
+  if (semantics_ == sketch::RankSemantics::kExact) {
+    outcome.value_error_bound = 0.0;
+  }
+  return outcome;
+}
+
+QueryOutcome WindowView::EvaluateMean() const {
+  QueryOutcome outcome = EvaluateSum();
+  if (!outcome.status.ok()) return outcome;
+  outcome.value /= static_cast<double>(window_count_);
+  return outcome;
+}
+
+}  // namespace engine
+}  // namespace qlove

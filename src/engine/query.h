@@ -1,0 +1,313 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The first-class read path. The paper's serving model (§2) fixes the
+// quantile set at registration; real monitoring is query-driven — operators
+// ask ad-hoc phis ("p97 right now"), inverse-CDF ("what fraction of
+// requests exceeded 500ms?"), and fleet rollups across tag dimensions.
+// This layer inverts the phi-at-registration assumption:
+//
+//   QuerySpec  = target (one key | key list | tag selector)
+//              x requests (Quantile(phi) | Rank(value) | Count | Sum | Mean)
+//   TelemetryEngine::Query(spec) -> Result<QueryResult>
+//
+// Evaluation pools the per-shard (and, for multi-metric targets,
+// per-metric) BackendSummary views into one WindowView:
+//
+//  - Homogeneous kQlove targets keep the paper's estimator chain. The
+//    registered phis act as a *grid*: few-k layouts are planned for the
+//    grid at registration, on-grid phis are answered exactly as Snapshot
+//    always did, and off-grid phis interpolate between bracketing grid
+//    estimates — with the few-k tail machinery re-targeted at the query
+//    phi's recomputed rank whenever a grid plan's captured tail covers it
+//    (any plan with plan.phi <= query phi holds at least the query's tail
+//    depth). Off-grid answers carry explicitly widened error bounds (see
+//    QueryOutcome).
+//  - Everything else — single weighted-entry metrics, same-kind rollups,
+//    and mixed-kind selector targets — pools (value, weight) entries, with
+//    kQlove summaries lowered to weighted entries (grid masses plus exact
+//    top-k tail multiplicities) so heterogeneous fleets still roll up.
+//
+// Snapshot/SnapshotAll remain as compatibility shims over this path;
+// MergeShardViews (engine/snapshot.h) is now one consumer of WindowView,
+// so the fixed-phi and ad-hoc surfaces cannot drift apart.
+
+#ifndef QLOVE_ENGINE_QUERY_H_
+#define QLOVE_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qlove.h"
+#include "engine/backend.h"
+#include "engine/metric_key.h"
+#include "engine/registry.h"
+#include "engine/snapshot.h"
+#include "sketch/weighted_merge.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief What one QueryRequest asks of the window.
+enum class QueryRequestKind {
+  kQuantile = 0,  ///< Value at quantile phi — any phi, decided at query time.
+  kRank = 1,      ///< CDF: fraction of the window at or below a value.
+  kCount = 2,     ///< Window population.
+  kSum = 3,       ///< Sum of window values (entry-backed backends only).
+  kMean = 4,      ///< Mean of window values (entry-backed backends only).
+};
+
+/// Human-readable request kind name.
+const char* QueryRequestKindName(QueryRequestKind kind);
+
+/// \brief One read request. Construct via the factories.
+struct QueryRequest {
+  QueryRequestKind kind = QueryRequestKind::kQuantile;
+  /// phi for kQuantile (any value in (0, 1], on or off the registered
+  /// grid); the threshold value for kRank; unused otherwise.
+  double argument = 0.0;
+
+  static QueryRequest Quantile(double phi) {
+    return {QueryRequestKind::kQuantile, phi};
+  }
+  static QueryRequest Rank(double value) {
+    return {QueryRequestKind::kRank, value};
+  }
+  static QueryRequest Count() { return {QueryRequestKind::kCount, 0.0}; }
+  static QueryRequest Sum() { return {QueryRequestKind::kSum, 0.0}; }
+  static QueryRequest Mean() { return {QueryRequestKind::kMean, 0.0}; }
+};
+
+/// \brief A composable read query: one target, any number of requests.
+struct QuerySpec {
+  enum class TargetKind {
+    kKey = 0,       ///< Exactly `key`.
+    kKeyList = 1,   ///< Every key in `keys` (all must be registered).
+    kSelector = 2,  ///< Every registered metric `selector` matches.
+  };
+
+  TargetKind target = TargetKind::kKey;
+  MetricKey key;                 ///< kKey target.
+  std::vector<MetricKey> keys;   ///< kKeyList target.
+  TagSelector selector;          ///< kSelector target.
+
+  std::vector<QueryRequest> requests;  ///< At least one.
+
+  /// kQlove body merging strategy (same knob Snapshot takes).
+  MergeStrategy strategy = MergeStrategy::kWeightedMean;
+
+  static QuerySpec ForKey(MetricKey key) {
+    QuerySpec spec;
+    spec.target = TargetKind::kKey;
+    spec.key = std::move(key);
+    return spec;
+  }
+  static QuerySpec ForKeys(std::vector<MetricKey> keys) {
+    QuerySpec spec;
+    spec.target = TargetKind::kKeyList;
+    spec.keys = std::move(keys);
+    return spec;
+  }
+  static QuerySpec ForSelector(TagSelector selector) {
+    QuerySpec spec;
+    spec.target = TargetKind::kSelector;
+    spec.selector = std::move(selector);
+    return spec;
+  }
+
+  /// Appends one request (chainable):
+  ///   QuerySpec::ForKey(k).With(QueryRequest::Quantile(0.97))
+  ///                       .With(QueryRequest::Rank(500.0))
+  QuerySpec& With(QueryRequest request) & {
+    requests.push_back(request);
+    return *this;
+  }
+  QuerySpec&& With(QueryRequest request) && {
+    requests.push_back(request);
+    return std::move(*this);
+  }
+
+  /// Rejects malformed specs before any metric is touched: no requests, a
+  /// quantile phi outside (0, 1], a non-finite rank threshold, an empty
+  /// key list.
+  Status Validate() const;
+};
+
+/// \brief One evaluated request.
+struct QueryOutcome {
+  /// OK, or why this request could not be served from this window:
+  /// FailedPrecondition for an empty window and for aggregates the
+  /// serving data cannot answer — Sum/Mean on kQlove, whose sub-window
+  /// summaries carry quantiles and counts but no sums, including mixed
+  /// pools that lowered such summaries into entries. `value` is 0 and
+  /// the bounds are infinite whenever !status.ok().
+  Status status;
+
+  /// The estimate: a window value (kQuantile), a fraction in [0, 1]
+  /// (kRank: the CDF at the threshold; the fraction exceeding it is
+  /// 1 - value), or the count/sum/mean.
+  double value = 0.0;
+
+  /// Which pipeline produced the estimate: Level-2 / top-k / sample-k on
+  /// the homogeneous-qlove path, the weighted sketch merge otherwise.
+  core::OutcomeSource source = core::OutcomeSource::kLevel2;
+
+  /// Documented rank-error half-width as a fraction of the window
+  /// population (kQuantile / kRank only). Deterministic for entry-backed
+  /// serving: the pooled count-weighted mean of each summary's own budget
+  /// (epsilon for gk/cmqs, ~0 for exact, grid resolution for lowered
+  /// qlove) plus the 1/N discretization floor. For homogeneous-qlove
+  /// serving it is the *grid* term only — the off-grid widening
+  /// max(phi - g_lo, g_hi - phi) to the bracketing grid phis (0 on-grid);
+  /// the statistical estimation error of the grid points themselves is a
+  /// value-space guarantee (Theorem 1), annotated below, not a
+  /// deterministic rank bound.
+  double rank_error_bound = std::numeric_limits<double>::infinity();
+
+  /// Theorem-1 value-error half-width (core/error_bound) at alpha = 0.05,
+  /// with the density at the estimate taken from finite differences of
+  /// the merged quantile grid (kQuantile on the homogeneous-qlove path
+  /// only; infinity when uninformative — degenerate grid, too few
+  /// summaries, or entry-backed serving, whose rank bound above is already
+  /// deterministic).
+  double value_error_bound = std::numeric_limits<double>::infinity();
+};
+
+/// \brief The evaluated answer to one QuerySpec.
+struct QueryResult {
+  /// Metrics that served the query, canonical-key-sorted (deterministic
+  /// across runs, so monitoring diffs are stable).
+  std::vector<MetricKey> matched;
+
+  /// The serving backend kind. With `mixed_backends`, the kind of the
+  /// first matched metric; evaluation then runs on pooled weighted
+  /// entries regardless.
+  BackendKind backend = BackendKind::kQlove;
+  /// True when a multi-metric target pooled more than one backend kind
+  /// (or differently-configured kQlove metrics): qlove summaries were
+  /// lowered to weighted entries and answers are grid-coarse (see
+  /// QueryOutcome::rank_error_bound).
+  bool mixed_backends = false;
+
+  /// One outcome per QuerySpec request, same order.
+  std::vector<QueryOutcome> outcomes;
+
+  int64_t window_count = 0;    ///< Pooled elements covered by the window.
+  int64_t num_summaries = 0;   ///< Merged sub-window summaries (qlove path)
+                               ///< or contributing shard summaries.
+  int64_t inflight_count = 0;  ///< Recorded but awaiting the next Tick.
+  int num_shards = 0;          ///< Total shards pooled across all metrics.
+  bool burst_active = false;   ///< Any qlove shard flagged a live burst.
+};
+
+/// \name Quantile-grid helpers
+///
+/// A metric's configured phis with their estimates form a monotone
+/// phi -> value grid: a coarse piecewise-linear CDF. These are the shared
+/// primitives behind every grid evaluation — WindowView's off-grid
+/// interpolation and rank requests, and QloveBackend::QueryRank — so the
+/// engine-level and shard-level answers cannot drift. Both take the grid
+/// sorted ascending by phi with `values` aligned (and monotone, which
+/// sub-window quantiles and monotonicity-restored merges guarantee).
+/// @{
+
+/// Argsort of \p phis ascending — out[j] is the input index of the j-th
+/// smallest phi — filling \p sorted_phis with the sorted grid. The one
+/// ordering both grid consumers (WindowView and QloveBackend::QueryRank)
+/// build from, so their CDF answers cannot diverge on ordering.
+std::vector<size_t> SortedPhiOrder(const std::vector<double>& phis,
+                                   std::vector<double>* sorted_phis);
+
+/// Linear interpolation of the value at \p phi, clamped to the grid ends.
+double GridValueAtPhi(const std::vector<double>& phis,
+                      const std::vector<double>& values, double phi);
+
+/// The CDF fraction at \p value: linear inverse interpolation inside the
+/// grid; outside it, nearest-cell slope extrapolation clamped to the
+/// unobserved bracket ([0, phi_first] below the grid floor, [phi_last, 1]
+/// above the ceiling) — the interval the true CDF is known to lie in.
+double GridCdfAtValue(const std::vector<double>& phis,
+                      const std::vector<double>& values, double value);
+
+/// @}
+
+/// \brief One pooled, queryable window: the shared evaluator under both
+/// TelemetryEngine::Query and the Snapshot surface (via MergeShardViews).
+///
+/// Holds pointers into \p views AND a reference to \p options — build,
+/// evaluate, discard while both outlive it (in particular, do not pass a
+/// temporary MetricOptions). Not thread-safe; callers hold consistent
+/// views (MetricState::SnapshotShards is epoch-consistent per metric; a
+/// multi-metric pool is consistent per metric, not across metrics).
+class WindowView {
+ public:
+  /// Pools \p views. With \p lower_to_entries false (single-metric and
+  /// homogeneous-qlove rollups) kQlove views keep the paper's estimator
+  /// chain; true forces every view down to weighted entries (mixed-kind
+  /// or mixed-configuration targets). \p options supplies the grid phis,
+  /// the qlove plan layout, and — for single-kind entry backends — the
+  /// epsilon stamped on summaries' rank_error.
+  WindowView(const std::vector<BackendSummary>& views,
+             const MetricOptions& options,
+             MergeStrategy strategy = MergeStrategy::kWeightedMean,
+             bool lower_to_entries = false);
+
+  /// Evaluates one request against the pooled window.
+  QueryOutcome Evaluate(const QueryRequest& request) const;
+
+  QueryOutcome EvaluateQuantile(double phi) const;
+  QueryOutcome EvaluateRank(double value) const;
+  QueryOutcome EvaluateCount() const;
+  QueryOutcome EvaluateSum() const;
+  QueryOutcome EvaluateMean() const;
+
+  int64_t window_count() const { return window_count_; }
+  int64_t num_summaries() const { return num_summaries_; }
+  int64_t inflight_count() const { return inflight_count_; }
+  bool burst_active() const { return burst_active_; }
+  /// True when evaluation runs on pooled weighted entries (any non-qlove
+  /// or lowered pool), false on the homogeneous-qlove estimator chain.
+  bool entry_backed() const { return entry_backed_; }
+
+ private:
+  void BuildQlove(const std::vector<BackendSummary>& views);
+  void BuildEntries(const std::vector<BackendSummary>& views,
+                    bool lower_qlove);
+  QueryOutcome QloveQuantile(double phi) const;
+  QueryOutcome EntryQuantile(double phi) const;
+  double QloveValueErrorBound(double phi) const;
+
+  const MetricOptions& options_;
+  MergeStrategy strategy_;
+  bool entry_backed_ = false;
+
+  int64_t window_count_ = 0;
+  int64_t num_summaries_ = 0;
+  int64_t inflight_count_ = 0;
+  bool burst_active_ = false;
+
+  // Homogeneous-qlove state: the merged grid (phi-ascending) with few-k
+  // machinery for re-targeting arbitrary high phis.
+  std::vector<size_t> phi_order_;       // sorted position -> input phi index
+  std::vector<double> grid_phis_;       // ascending
+  std::vector<double> grid_values_;     // aligned, monotone
+  std::vector<core::OutcomeSource> grid_sources_;  // aligned
+  std::vector<const core::SubWindowSummary*> merged_;  // into caller views
+  std::vector<core::FewKPlan> plans_;
+
+  // Entry-backed state: one pooled, sorted weighted multiset.
+  std::vector<sketch::WeightedValue> pooled_;
+  sketch::RankSemantics semantics_ = sketch::RankSemantics::kExact;
+  double pooled_rank_error_ = 0.0;  // count-weighted mean of view budgets
+  /// True when the pool carries lowered qlove mass: rank queries stay
+  /// sound (grid-coarse, annotated), but Sum/Mean would silently absorb
+  /// the lowering's value placement, so they refuse instead.
+  bool pool_has_lowered_qlove_ = false;
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_QUERY_H_

@@ -40,6 +40,7 @@ void MetricState::CloseSubWindows() {
   for (auto& shard : shards_) {
     shard->CloseSubWindow();
   }
+  tick_epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<BackendSummary> MetricState::SnapshotShards() const {
@@ -64,6 +65,7 @@ Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
   QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options));
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = metrics_.emplace(key, std::move(state));
+  if (inserted) by_name_[key.name()].push_back(it->second);
   return it->second;  // race loser adopts the winner's state
 }
 
@@ -79,6 +81,25 @@ std::vector<std::shared_ptr<MetricState>> MetricRegistry::List() const {
   out.reserve(metrics_.size());
   for (const auto& [key, state] : metrics_) {
     out.push_back(state);
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<MetricState>> MetricRegistry::MatchSelector(
+    const TagSelector& selector) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::shared_ptr<MetricState>> out;
+  if (selector.name.empty()) {
+    // Wildcard name: the tag predicate must scan the whole registry.
+    for (const auto& [key, state] : metrics_) {
+      if (selector.Matches(key)) out.push_back(state);
+    }
+    return out;
+  }
+  auto it = by_name_.find(selector.name);
+  if (it == by_name_.end()) return out;
+  for (const auto& state : it->second) {
+    if (selector.Matches(state->key())) out.push_back(state);
   }
   return out;
 }

@@ -65,11 +65,20 @@ class MetricState {
   /// same tick epoch (ingest proceeds concurrently, boundaries do not).
   std::vector<BackendSummary> SnapshotShards() const;
 
+  /// Sub-window boundaries this metric has seen. 0 means the metric was
+  /// registered after the engine's last Tick and no window state exists
+  /// yet — SnapshotAll skips such metrics instead of reporting phantom
+  /// empty windows.
+  int64_t TickEpochs() const {
+    return tick_epochs_.load(std::memory_order_relaxed);
+  }
+
  private:
   MetricKey key_;
   MetricOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Shard holds a mutex
   std::atomic<uint64_t> next_shard_{0};
+  std::atomic<int64_t> tick_epochs_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
 };
 
@@ -88,12 +97,22 @@ class MetricRegistry {
   /// All registered metrics, in unspecified order.
   std::vector<std::shared_ptr<MetricState>> List() const;
 
+  /// Every registered metric \p selector matches, in unspecified order.
+  /// Named selectors resolve through a name -> states secondary index
+  /// (O(keys sharing the name), not O(registry)); a wildcard name scans.
+  std::vector<std::shared_ptr<MetricState>> MatchSelector(
+      const TagSelector& selector) const;
+
   size_t size() const;
 
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<MetricKey, std::shared_ptr<MetricState>, MetricKeyHash>
       metrics_;
+  /// Secondary index for selector queries: metric name -> every state
+  /// registered under that name. Maintained by GetOrCreate's insert path.
+  std::unordered_map<std::string, std::vector<std::shared_ptr<MetricState>>>
+      by_name_;
 };
 
 }  // namespace engine

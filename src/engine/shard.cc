@@ -34,6 +34,11 @@ BackendSummary Shard::Snapshot() const {
   return backend_->Summary();
 }
 
+int64_t Shard::QueryRank(double value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->QueryRank(value);
+}
+
 int64_t Shard::TotalAdded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_added_;

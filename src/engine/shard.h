@@ -49,6 +49,13 @@ class Shard {
   /// Exports the backend's mergeable summary. Thread-safe.
   BackendSummary Snapshot() const;
 
+  /// Window rank of \p value in this stripe (ShardBackend::QueryRank under
+  /// the shard lock). Ranks are additive across stripes, so a metric- or
+  /// fleet-level rank is the plain sum of this over every shard — the
+  /// cheap CDF side-channel for callers that hold shards directly (e.g. an
+  /// RPC facade probing one stripe) without exporting a full summary.
+  int64_t QueryRank(double value) const;
+
   /// Elements accepted since initialization. Thread-safe.
   int64_t TotalAdded() const;
 

@@ -1,150 +1,18 @@
 #include "engine/snapshot.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/fewk.h"
-#include "core/level2.h"
-#include "sketch/weighted_merge.h"
+#include "engine/query.h"
 
 namespace qlove {
 namespace engine {
 
-namespace {
-
-/// The QLOVE merge path: pool every shard's sub-window summaries into the
-/// Level-2 weighted mean (or weighted median), then re-run few-k tail
-/// merging over the union of every shard's tail captures with ranks
-/// recomputed from the merged population. Stays in lockstep with
-/// QloveOperator::ComputeQuantiles via the shared core/ helpers.
-void MergeQloveViews(const std::vector<BackendSummary>& views,
-                     const MetricOptions& options,
-                     const SnapshotOptions& snapshot_options,
-                     MetricSnapshot* snapshot) {
-  const size_t num_phis = options.phis.size();
-
-  // The exact plan layout the shards' operators built at Initialize, so
-  // summary.tails[plan_index] below indexes the matching TailCapture.
-  std::vector<core::FewKPlan> plans;
-  const std::vector<int> high_index = core::QloveOperator::BuildFewKLayout(
-      options.backend.qlove, options.phis, options.shard_window, &plans);
-
-  // A summary participates in the merge only when its shape matches the
-  // configured layout (defense against views from a foreign config). The
-  // same predicate gates both the population count and the tail entries, so
-  // ranks computed from `total` always cover exactly the merged tails.
-  auto mergeable = [&](const core::SubWindowSummary& summary) {
-    return summary.quantiles.size() == num_phis &&
-           summary.tails.size() == plans.size();
-  };
-
-  // Pass 1: pool every shard's summaries into the Level-2 weighted mean (or
-  // the weighted-median entry lists) and count the merged window population.
-  core::Level2Aggregator level2(num_phis);
-  std::vector<std::vector<sketch::WeightedValue>> median_entries;
-  const bool use_median =
-      snapshot_options.strategy == MergeStrategy::kWeightedMedian;
-  if (use_median) median_entries.resize(num_phis);
-
-  // Mergeable summaries collected once; pass 2 indexes this instead of
-  // re-walking the views per quantile (pointers stay valid — `views` is
-  // owned by the caller and unmodified here).
-  std::vector<const core::SubWindowSummary*> merged;
-  for (const BackendSummary& view : views) {
-    for (const core::SubWindowSummary& summary : view.subwindows) {
-      if (!mergeable(summary)) continue;
-      merged.push_back(&summary);
-      snapshot->window_count += summary.count;
-      ++snapshot->num_summaries;
-      if (use_median) {
-        for (size_t i = 0; i < num_phis; ++i) {
-          median_entries[i].emplace_back(summary.quantiles[i], summary.count);
-        }
-      } else {
-        level2.AccumulateWeighted(summary.quantiles,
-                                  static_cast<double>(summary.count));
-      }
-    }
-  }
-  if (snapshot->num_summaries == 0) return;
-
-  if (use_median) {
-    for (size_t i = 0; i < num_phis; ++i) {
-      auto median = sketch::WeightedQuantileQuery(
-          &median_entries[i], 0.5, sketch::RankSemantics::kInterpolated);
-      snapshot->estimates[i] = median.ok() ? median.ValueOrDie() : 0.0;
-    }
-  } else {
-    snapshot->estimates = level2.ComputeWeightedResult();
-  }
-
-  // Pass 2: few-k tail correction over the union of every shard's tail
-  // captures, with ranks recomputed from the *merged* population T: the
-  // per-shard plans target each shard's share N_shard(1-phi); the merged
-  // answer must target T(1-phi). Mirrors QloveOperator::ComputeQuantiles.
-  if (!plans.empty()) {
-    const int64_t total = snapshot->window_count;
-    for (size_t i = 0; i < num_phis; ++i) {
-      const int plan_index = high_index[i];
-      if (plan_index < 0) continue;
-      const core::FewKPlan& plan = plans[static_cast<size_t>(plan_index)];
-      std::vector<const core::TailCapture*> tails;
-      tails.reserve(merged.size());
-      for (const core::SubWindowSummary* summary : merged) {
-        tails.push_back(&summary->tails[static_cast<size_t>(plan_index)]);
-      }
-      if (tails.empty()) continue;
-
-      const core::TailRanks ranks =
-          core::ComputeTailRanks(options.phis[i], total);
-      core::SelectFewKOutcome(plan, tails, ranks.tail_size,
-                              ranks.exact_tail_rank, snapshot->burst_active,
-                              &snapshot->estimates[i], &snapshot->sources[i]);
-    }
-  }
-}
-
-/// The weighted merge path (kGk / kCmqs / kExact): pool every shard's
-/// (value, weight) entries into one weighted multiset and answer each phi
-/// as a rank query under the backend's semantics. Mergeability is free
-/// here — a union of summaries is a summary of the union.
-void MergeWeightedViews(const std::vector<BackendSummary>& views,
-                        const MetricOptions& options,
-                        MetricSnapshot* snapshot) {
-  std::vector<sketch::WeightedValue> pooled;
-  sketch::RankSemantics semantics = sketch::RankSemantics::kExact;
-  size_t total_entries = 0;
-  for (const BackendSummary& view : views) total_entries += view.entries.size();
-  pooled.reserve(total_entries);
-  for (const BackendSummary& view : views) {
-    if (view.entries.empty()) continue;
-    semantics = view.semantics;
-    ++snapshot->num_summaries;
-    snapshot->window_count += view.count;
-    pooled.insert(pooled.end(), view.entries.begin(), view.entries.end());
-  }
-  if (pooled.empty()) return;
-
-  // One sort amortized over every phi; the rank walk itself is the shared
-  // WeightedRankQuery core, so sharded-merge answers cannot drift from the
-  // single-operator weighted-merge semantics.
-  std::sort(pooled.begin(), pooled.end());
-  int64_t total = 0;
-  for (const auto& [value, weight] : pooled) total += weight;
-  if (total <= 0) return;
-
-  for (size_t i = 0; i < options.phis.size(); ++i) {
-    const auto rank = static_cast<int64_t>(
-        std::ceil(options.phis[i] * static_cast<double>(total)));
-    auto answer =
-        sketch::WeightedRankQuerySorted(pooled, rank, semantics, total);
-    snapshot->estimates[i] = answer.ok() ? answer.ValueOrDie() : 0.0;
-    snapshot->sources[i] = core::OutcomeSource::kSketchMerge;
-  }
-}
-
-}  // namespace
-
+// Since the query-layer redesign this is a thin consumer of the shared
+// WindowView evaluator (engine/query.h): the fixed-phi snapshot is just a
+// Quantile(phi) evaluation per registered grid phi, so the fixed-phi and
+// ad-hoc Query surfaces cannot drift apart. SnapshotAll evaluates its
+// already-resolved states through here; Snapshot(key) reaches the same
+// WindowView evaluation via Query. The per-kind merge logic that used to
+// live here (weighted Level-2 + few-k rank recomputation for kQlove,
+// entry pooling for the weighted kinds) moved into WindowView verbatim.
 MetricSnapshot MergeShardViews(const MetricKey& key,
                                const std::vector<BackendSummary>& views,
                                const MetricOptions& options,
@@ -155,26 +23,20 @@ MetricSnapshot MergeShardViews(const MetricKey& key,
   snapshot.phis = options.phis;
   snapshot.num_shards = static_cast<int>(views.size());
 
-  const size_t num_phis = options.phis.size();
-  snapshot.estimates.assign(num_phis, 0.0);
-  snapshot.sources.assign(num_phis,
-                          options.backend.kind == BackendKind::kQlove
-                              ? core::OutcomeSource::kLevel2
-                              : core::OutcomeSource::kSketchMerge);
-
-  for (const BackendSummary& view : views) {
-    snapshot.burst_active = snapshot.burst_active || view.burst_active;
-    snapshot.inflight_count += view.inflight;
+  const WindowView view(views, options, snapshot_options.strategy);
+  snapshot.estimates.reserve(options.phis.size());
+  snapshot.sources.reserve(options.phis.size());
+  for (double phi : options.phis) {
+    // Empty windows keep the legacy contract: 0.0 estimates with the
+    // path's default source (the outcome's non-OK status says "empty").
+    const QueryOutcome outcome = view.EvaluateQuantile(phi);
+    snapshot.estimates.push_back(outcome.value);
+    snapshot.sources.push_back(outcome.source);
   }
-
-  if (options.backend.kind == BackendKind::kQlove) {
-    MergeQloveViews(views, options, snapshot_options, &snapshot);
-  } else {
-    MergeWeightedViews(views, options, &snapshot);
-  }
-
-  core::RestoreQuantileMonotonicity(options.phis, &snapshot.estimates);
-
+  snapshot.window_count = view.window_count();
+  snapshot.num_summaries = view.num_summaries();
+  snapshot.inflight_count = view.inflight_count();
+  snapshot.burst_active = view.burst_active();
   return snapshot;
 }
 

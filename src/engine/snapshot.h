@@ -1,7 +1,9 @@
 // Copyright 2026 The QLOVE Reproduction Authors
 // Cross-shard window snapshots. A metric's window state lives as mergeable
-// backend summaries spread across N shards; the merge dispatches on the
-// metric's backend kind:
+// backend summaries spread across N shards; MergeShardViews evaluates them
+// through the shared WindowView evaluator (engine/query.h) — it is the
+// fixed-phi compatibility surface over the first-class query layer. The
+// merge dispatches on the metric's backend kind:
 //
 //  - kQlove summaries carry sub-window summaries and reuse the paper's two
 //    estimator families: count-weighted Level-2 mean (CLT, Theorem 1) — or

@@ -60,6 +60,15 @@ Result<double> WeightedRankQuerySorted(
   return entries.back().first;
 }
 
+int64_t WeightedRankAtValue(const std::vector<WeightedValue>& entries,
+                            double value) {
+  int64_t rank = 0;
+  for (const auto& [entry_value, weight] : entries) {
+    if (entry_value <= value) rank += weight;
+  }
+  return rank;
+}
+
 Result<double> WeightedQuantileQuery(std::vector<WeightedValue>* entries,
                                      double phi, RankSemantics semantics) {
   if (entries == nullptr || entries->empty()) {

@@ -57,6 +57,16 @@ Result<double> WeightedQuantileQuery(
     std::vector<WeightedValue>* entries, double phi,
     RankSemantics semantics = RankSemantics::kExact);
 
+/// \brief The inverse direction: total weight of entries whose value is
+/// <= \p value — the weighted multiset's rank of \p value, the primitive
+/// behind CDF ("what fraction of the window exceeded X?") queries. Under
+/// kExact semantics this is the exact count at-or-below; under
+/// kInterpolated the same sum is the value's interpolated rank, since an
+/// entry's cumulative weight IS its stored value's rank. One linear pass;
+/// entries need not be sorted.
+int64_t WeightedRankAtValue(const std::vector<WeightedValue>& entries,
+                            double value);
+
 }  // namespace sketch
 }  // namespace qlove
 

@@ -195,6 +195,64 @@ TEST_P(BackendConformanceTest, TrickleIngestStillExpiresStaleData) {
   }
 }
 
+TEST_P(BackendConformanceTest, QueryRankAgreesWithExactWindowRank) {
+  // The QueryRank hook (the CDF primitive behind the engine's Rank
+  // requests) must agree with the exact at-or-below count of the window
+  // contents within the backend's budget: exactly for Exact, within the
+  // epsilon rank budget for the GK family, and within the quantile-grid
+  // resolution for QLOVE.
+  const BackendCase param = GetParam();
+  auto built = engine::CreateShardBackend(
+      MakeBackendOptions(param.kind), WindowSpec(kWindow, kPeriod), kPhis);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  std::unique_ptr<engine::ShardBackend> backend = built.TakeValue();
+
+  workload::NetMonGenerator gen(73);
+  const std::vector<double> data = workload::Materialize(&gen, kWindow);
+  for (size_t offset = 0; offset < data.size();
+       offset += static_cast<size_t>(kPeriod)) {
+    backend->AddStrided(data.data() + offset,
+                        static_cast<size_t>(kPeriod), 0, 1);
+    backend->Tick();
+  }
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  double tol;
+  switch (param.kind) {
+    case engine::BackendKind::kExact: tol = 0.0; break;
+    case engine::BackendKind::kGk:
+    case engine::BackendKind::kCmqs: tol = 0.015; break;  // eps + pooling
+    default: tol = 0.05; break;  // qlove: grid interpolation resolution
+  }
+  for (double phi : kPhis) {
+    const auto target = static_cast<size_t>(
+        std::ceil(phi * static_cast<double>(kWindow)));
+    const double probe = sorted[target - 1];
+    const auto exact_rank = static_cast<int64_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), probe) -
+        sorted.begin());
+    const int64_t rank = backend->QueryRank(probe);
+    const double err = std::abs(static_cast<double>(rank - exact_rank)) /
+                       static_cast<double>(kWindow);
+    EXPECT_LE(err, tol) << backend->Name() << " phi=" << phi
+                        << " rank=" << rank << " exact=" << exact_rank;
+  }
+  // Probes outside the observed range saturate — exactly for the
+  // entry-backed kinds (their entries span the window), within the grid
+  // bound for QLOVE (its summaries do not record the window min/max, so a
+  // probe just outside the range is indistinguishable from one just
+  // inside the outermost grid cell).
+  if (param.kind == engine::BackendKind::kQlove) {
+    const auto slack = static_cast<int64_t>(tol * kWindow);
+    EXPECT_GE(backend->QueryRank(sorted.back() + 1.0), kWindow - slack);
+    EXPECT_LE(backend->QueryRank(sorted.front() - 1.0), slack);
+  } else {
+    EXPECT_EQ(backend->QueryRank(sorted.back() + 1.0), kWindow);
+    EXPECT_EQ(backend->QueryRank(sorted.front() - 1.0), 0);
+  }
+}
+
 TEST(BackendKindTest, NameParseRoundTrip) {
   for (engine::BackendKind kind :
        {engine::BackendKind::kQlove, engine::BackendKind::kGk,

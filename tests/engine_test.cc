@@ -36,6 +36,31 @@ TEST(MetricKeyTest, CanonicalizationAndEquality) {
   EXPECT_FALSE(a == d);
 }
 
+TEST(MetricKeyTest, WithTagBuilderCanonicalizes) {
+  // Tag order through the builder must not matter: WithTag re-canonicalizes
+  // on every step, so derived keys hash and compare like constructed ones.
+  const MetricKey built =
+      MetricKey("rtt_us").WithTag("service", "search").WithTag("dc", "eu-1");
+  const MetricKey constructed("rtt_us",
+                              {{"dc", "eu-1"}, {"service", "search"}});
+  EXPECT_EQ(built, constructed);
+  EXPECT_EQ(MetricKeyHash()(built), MetricKeyHash()(constructed));
+  EXPECT_EQ(built.ToString(), "rtt_us{dc=eu-1,service=search}");
+
+  // The source key is untouched (WithTag builds a copy).
+  const MetricKey base("rtt_us", {{"service", "search"}});
+  const MetricKey derived = base.WithTag("host", "h1");
+  EXPECT_EQ(base.ToString(), "rtt_us{service=search}");
+  EXPECT_EQ(derived.ToString(), "rtt_us{host=h1,service=search}");
+
+  // Fields are read-only through accessors — tags cannot be mutated after
+  // construction, so the hash can never go stale (the old public-field
+  // footgun).
+  EXPECT_EQ(derived.name(), "rtt_us");
+  ASSERT_EQ(derived.tags().size(), 2u);
+  EXPECT_EQ(derived.tags()[0], (MetricTag{"host", "h1"}));
+}
+
 TEST(EngineOptionsTest, Validation) {
   EngineOptions good;
   EXPECT_TRUE(good.Validate().ok());
@@ -429,6 +454,35 @@ TEST(EngineTest, SnapshotAllCoversEveryMetric) {
   int64_t total = 0;
   for (const MetricSnapshot& s : snaps) total += s.window_count;
   EXPECT_EQ(total, 5);
+}
+
+TEST(EngineTest, SnapshotAllIsSortedAndSkipsPreFirstTickMetrics) {
+  TelemetryEngine engine;
+  // Registered in non-canonical order; output must come back sorted by
+  // canonical key regardless of registry hash order.
+  ASSERT_TRUE(engine.RecordBatch(MetricKey("zz"), {1.0}).ok());
+  ASSERT_TRUE(
+      engine.RecordBatch(MetricKey("aa", {{"host", "b"}}), {2.0}).ok());
+  ASSERT_TRUE(
+      engine.RecordBatch(MetricKey("aa", {{"host", "a"}}), {3.0}).ok());
+  engine.Tick();
+
+  // Registered after the last Tick: no window state yet. SnapshotAll must
+  // skip it (not crash on it, not report a phantom window); an explicit
+  // Snapshot still serves it.
+  const MetricKey late("late");
+  ASSERT_TRUE(engine.RegisterMetric(late).ok());
+
+  auto snaps = engine.SnapshotAll();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].key.ToString(), "aa{host=a}");
+  EXPECT_EQ(snaps[1].key.ToString(), "aa{host=b}");
+  EXPECT_EQ(snaps[2].key.ToString(), "zz");
+  EXPECT_TRUE(engine.Snapshot(late).ok());
+
+  // After the next Tick the late metric joins the sweep.
+  engine.Tick();
+  EXPECT_EQ(engine.SnapshotAll().size(), 4u);
 }
 
 // The acceptance-criteria test for the backend seam: one engine serves
