@@ -33,8 +33,10 @@
 #include "bench_common.h"
 #include "bench_util/harness.h"
 #include "common/timer.h"
+#include "engine/aggregator.h"
 #include "engine/backend.h"
 #include "engine/engine.h"
+#include "engine/wire.h"
 #include "workload/generators.h"
 
 namespace qlove {
@@ -52,6 +54,13 @@ struct RunResult {
   /// Read-path rate: ad-hoc Query calls (off-grid quantile + rank/CDF per
   /// call) against the full ingested window, in thousands per second.
   double query_kqps = 0.0;
+  /// Encoded wire size of this configuration's full window state, per
+  /// metric (engine/wire.h): what one agent ships per export.
+  size_t wire_bytes_per_metric = 0;
+  /// Distributed-tier rate: decode + AggregatorEngine::Ingest of a
+  /// 4-agent fleet's frames plus one fleet Query per round, in thousands
+  /// of agent snapshots merged per second.
+  double merge_kqps = 0.0;
 };
 
 engine::BackendOptions MakeBackend(engine::BackendKind kind) {
@@ -164,6 +173,49 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
     const double query_elapsed = query_watch.ElapsedSeconds();
     result.query_kqps =
         query_elapsed > 0.0 ? kQueries / query_elapsed / 1e3 : 0.0;
+
+    // Wire + fleet-merge phase: the distributed tier's cost. One export is
+    // encoded per simulated agent (same window state, distinct source
+    // names); each round decodes and ingests the 4-agent fleet and runs
+    // one fleet query — the aggregator's steady-state loop.
+    constexpr int kAgents = 4;
+    constexpr int kMergeRounds = 100;
+    engine::WireSnapshot exported = engine.ExportSnapshot("agent-0");
+    if (!exported.metrics.empty()) {
+      result.wire_bytes_per_metric =
+          engine::EncodeSnapshot(exported).size() / exported.metrics.size();
+    }
+    std::vector<std::vector<uint8_t>> frames;
+    for (int a = 0; a < kAgents; ++a) {
+      exported.source = "agent-" + std::to_string(a);
+      frames.push_back(engine::EncodeSnapshot(exported));
+    }
+    engine::AggregatorEngine aggregator;
+    Stopwatch merge_watch;
+    merge_watch.Start();
+    for (int round = 0; round < kMergeRounds; ++round) {
+      for (const std::vector<uint8_t>& frame : frames) {
+        const Status ingested = aggregator.IngestEncoded(frame);
+        if (!ingested.ok()) {
+          std::fprintf(stderr, "FATAL: fleet ingest(%s) failed: %s\n",
+                       engine::BackendKindName(kind),
+                       ingested.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      auto fleet = aggregator.Query(spec);
+      if (!fleet.ok()) {
+        std::fprintf(stderr, "FATAL: fleet query(%s) failed: %s\n",
+                     engine::BackendKindName(kind),
+                     fleet.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const double merge_elapsed = merge_watch.ElapsedSeconds();
+    result.merge_kqps =
+        merge_elapsed > 0.0
+            ? kMergeRounds * kAgents / merge_elapsed / 1e3
+            : 0.0;
   }
   return result;
 }
@@ -189,9 +241,11 @@ void WriteJson(const std::vector<RunResult>& results, int64_t total_events,
     std::fprintf(out,
                  "    {\"backend\": \"%s\", \"shards\": %d, "
                  "\"record_mops\": %.3f, \"batch_mops\": %.3f, "
-                 "\"query_kqps\": %.3f}%s\n",
+                 "\"query_kqps\": %.3f, \"wire_bytes_per_metric\": %zu, "
+                 "\"merge_kqps\": %.3f}%s\n",
                  engine::BackendKindName(r.backend), r.num_shards,
                  r.buffered_mops, r.batch_mops, r.query_kqps,
+                 r.wire_bytes_per_metric, r.merge_kqps,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -236,16 +290,17 @@ int Main(int argc, char** argv) {
   std::vector<RunResult> results;
   for (engine::BackendKind kind : kinds) {
     std::printf("\nbackend: %s\n", engine::BackendKindName(kind));
-    std::printf("%-8s %18s %18s %10s %14s\n", "shards", "Record (M op/s)",
-                "Batch (M op/s)", "speedup", "Query (K q/s)");
+    std::printf("%-8s %18s %18s %10s %14s %14s %14s\n", "shards",
+                "Record (M op/s)", "Batch (M op/s)", "speedup",
+                "Query (K q/s)", "Wire (B/met)", "Merge (K s/s)");
     double baseline = 0.0;
     for (int shards : {1, 2, 4, 8}) {
       const RunResult r = RunOnce(kind, shards, data);
       if (shards == 1) baseline = r.batch_mops;
-      std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f\n", shards,
+      std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %14zu %14.1f\n", shards,
                   r.buffered_mops, r.batch_mops,
                   baseline > 0.0 ? r.batch_mops / baseline : 0.0,
-                  r.query_kqps);
+                  r.query_kqps, r.wire_bytes_per_metric, r.merge_kqps);
       results.push_back(r);
     }
   }

@@ -1,0 +1,294 @@
+// The distributed deployment, end to end in one process: K "agents" (one
+// thread + one TelemetryEngine each, standing in for per-host monitoring
+// daemons) sketch their local traffic, and every simulated second export
+// their mergeable window state as a wire-format frame over a socketpair —
+// the transport seam (engine/wire.h WriteFrame/ReadFrame) a production
+// deployment would replace with its RPC stack. One AggregatorEngine on the
+// main thread ingests the frames and serves fleet-wide queries:
+//
+//   agent 0 (qlove)  --frames-->  \
+//   agent 1 (qlove)  --frames-->   aggregator -- Query(p99 rollup, CDF)
+//   ...              --frames-->  /
+//
+// Two metric shapes demonstrate both pooling modes:
+//  - rtt_us{host=hK}: one QLOVE metric per host, rolled up by tag
+//    selector (the paper's estimator chain runs across process
+//    boundaries exactly as it runs across shards);
+//  - rpc_us{service=checkout}: the SAME MetricKey reported by every
+//    agent on a GK backend — the aggregator pools identical keys across
+//    sources into one answer with a deterministic epsilon rank bound.
+//
+// The run self-verifies (and exits nonzero on violation): the fleet p99
+// served by the aggregator is compared against a union-stream oracle
+// built from the very values the agents ingested — within the documented
+// deterministic rank bound for GK, plus the Theorem-1 statistical term
+// (1.5x the 95% CI half-width + a 4/m finite-m allowance, the same budget
+// tests/merge_property_test.cc pins) for QLOVE.
+//
+//   $ ./fleet_agent_aggregator [--agents=4] [--seconds=16]
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/aggregator.h"
+#include "engine/engine.h"
+#include "engine/wire.h"
+#include "workload/generators.h"
+
+namespace {
+
+constexpr int kWindowSeconds = 8;     // sub-windows per agent window
+constexpr int kSamplesPerSecond = 512;  // per agent per metric
+constexpr int kShards = 2;
+
+using qlove::engine::AggregatorEngine;
+using qlove::engine::BackendKind;
+using qlove::engine::BackendOptions;
+using qlove::engine::EngineOptions;
+using qlove::engine::MetricKey;
+using qlove::engine::QueryRequest;
+using qlove::engine::QueryResult;
+using qlove::engine::QuerySpec;
+using qlove::engine::TagSelector;
+using qlove::engine::TelemetryEngine;
+
+/// One agent's pre-generated traffic (generated up front so the main
+/// thread can build the union-stream oracle from the exact same values).
+struct AgentTraffic {
+  std::vector<std::vector<double>> rtt;  // [second] -> samples
+  std::vector<std::vector<double>> rpc;  // [second] -> samples
+};
+
+/// The per-host agent: ingest one second of traffic, Tick, export, ship.
+void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
+  EngineOptions options;
+  options.num_shards = kShards;
+  options.shard_window =
+      qlove::WindowSpec(kSamplesPerSecond / kShards * kWindowSeconds,
+                        kSamplesPerSecond / kShards);
+  TelemetryEngine engine(options);
+
+  const MetricKey rtt_key =
+      MetricKey("rtt_us", {{"service", "netmon"}})
+          .WithTag("host", "h" + std::to_string(id));
+  const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
+  BackendOptions gk;
+  gk.kind = BackendKind::kGk;
+  gk.epsilon = 0.001;
+  if (!engine.RegisterMetric(rtt_key).ok() ||
+      !engine.RegisterMetric(rpc_key, gk).ok()) {
+    std::fprintf(stderr, "agent %d: registration failed\n", id);
+    std::exit(1);
+  }
+
+  const std::string source = "host-" + std::to_string(id);
+  for (int second = 0; second < seconds; ++second) {
+    if (!engine.RecordBatch(rtt_key, traffic->rtt[second]).ok() ||
+        !engine.RecordBatch(rpc_key, traffic->rpc[second]).ok()) {
+      std::fprintf(stderr, "agent %d: ingest failed\n", id);
+      std::exit(1);
+    }
+    engine.Tick();
+    const std::vector<uint8_t> frame =
+        qlove::engine::EncodeSnapshot(engine.ExportSnapshot(source));
+    const qlove::Status shipped = qlove::engine::WriteFrame(fd, frame);
+    if (!shipped.ok()) {
+      std::fprintf(stderr, "agent %d: %s\n", id, shipped.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ::close(fd);
+}
+
+double RankErrorVsOracle(const std::vector<double>& sorted, double estimate,
+                         double phi) {
+  const auto n = static_cast<int64_t>(sorted.size());
+  const int64_t target = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(phi * static_cast<double>(n))), 1, n);
+  const int64_t lo = std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();
+  const int64_t hi = std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+                     sorted.begin();
+  const int64_t nearest =
+      hi > lo ? std::clamp(target, lo + 1, hi) : std::min(lo + 1, n);
+  return std::abs(static_cast<double>(target - nearest)) /
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int agents = 4;
+  int seconds = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--agents=", 9) == 0) {
+      agents = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atoi(argv[i] + 10);
+    }
+  }
+  if (agents < 1 || seconds < kWindowSeconds) {
+    std::fprintf(stderr,
+                 "need --agents >= 1 and --seconds >= %d (the window)\n",
+                 kWindowSeconds);
+    return 1;
+  }
+
+  // 1. Pre-generate every agent's traffic: per-host NetMon RTTs (similar
+  //    traffic, distinct sample paths — the fleet setting) and the shared
+  //    checkout RPC stream.
+  std::vector<AgentTraffic> traffic(static_cast<size_t>(agents));
+  for (int a = 0; a < agents; ++a) {
+    qlove::workload::NetMonGenerator rtt_gen(100 + static_cast<uint64_t>(a));
+    qlove::workload::SearchGenerator rpc_gen(200 + static_cast<uint64_t>(a));
+    for (int s = 0; s < seconds; ++s) {
+      traffic[a].rtt.push_back(
+          qlove::workload::Materialize(&rtt_gen, kSamplesPerSecond));
+      traffic[a].rpc.push_back(
+          qlove::workload::Materialize(&rpc_gen, kSamplesPerSecond));
+    }
+  }
+
+  // 2. One socketpair per agent: the agent thread writes frames, the
+  //    aggregator (this thread) reads them.
+  std::vector<int> read_fds;
+  std::vector<std::thread> threads;
+  for (int a = 0; a < agents; ++a) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      std::perror("socketpair");
+      return 1;
+    }
+    read_fds.push_back(fds[0]);
+    threads.emplace_back(RunAgent, a, seconds, &traffic[a], fds[1]);
+  }
+
+  // 3. The aggregator tier: one frame per agent per second, fleet queries
+  //    every 4th second.
+  AggregatorEngine aggregator;
+  const TagSelector fleet{"rtt_us", {{"service", "netmon"}}};
+  const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
+  size_t frame_bytes = 0;
+  for (int second = 1; second <= seconds; ++second) {
+    for (int a = 0; a < agents; ++a) {
+      auto frame = qlove::engine::ReadFrame(read_fds[a]);
+      if (!frame.ok()) {
+        std::fprintf(stderr, "read from agent %d: %s\n", a,
+                     frame.status().ToString().c_str());
+        return 1;
+      }
+      frame_bytes = frame.ValueOrDie().size();
+      const qlove::Status ingested =
+          aggregator.IngestEncoded(frame.ValueOrDie());
+      if (!ingested.ok()) {
+        std::fprintf(stderr, "ingest from agent %d: %s\n", a,
+                     ingested.ToString().c_str());
+        return 1;
+      }
+    }
+    if (second % 4 != 0) continue;
+
+    auto rolled = aggregator.Query(QuerySpec::ForSelector(fleet)
+                                       .With(QueryRequest::Quantile(0.99))
+                                       .With(QueryRequest::Rank(900.0))
+                                       .With(QueryRequest::Count()));
+    auto shared = aggregator.Query(QuerySpec::ForKey(rpc_key)
+                                       .With(QueryRequest::Quantile(0.99)));
+    if (!rolled.ok() || !shared.ok()) {
+      std::fprintf(stderr, "fleet query failed\n");
+      return 1;
+    }
+    const QueryResult& fleet_result = rolled.ValueOrDie();
+    const QueryResult& rpc_result = shared.ValueOrDie();
+    std::printf(
+        "t=%2ds  epoch=%lld  rtt fleet [%zu hosts, %lld ev]  p99=%.0fus"
+        "  >900us: %.2f%%   |  rpc_us (pooled %lld sources) p99=%.0fus"
+        " (±%.4f rank)\n",
+        second, static_cast<long long>(aggregator.FleetEpoch()),
+        fleet_result.matched.size(),
+        static_cast<long long>(fleet_result.window_count),
+        fleet_result.outcomes[0].value,
+        (1.0 - fleet_result.outcomes[1].value) * 100.0,
+        static_cast<long long>(rpc_result.sources_fresh),
+        rpc_result.outcomes[0].value,
+        rpc_result.outcomes[0].rank_error_bound);
+  }
+  for (std::thread& t : threads) t.join();
+  for (int fd : read_fds) ::close(fd);
+  std::printf("frame size at t=%ds: %zu bytes (%d metrics)\n", seconds,
+              frame_bytes, 2);
+
+  // 4. Self-verification against union-stream oracles over exactly the
+  //    last kWindowSeconds of traffic (what every agent's window holds).
+  std::vector<double> rtt_union;
+  std::vector<double> rpc_union;
+  for (int a = 0; a < agents; ++a) {
+    for (int s = seconds - kWindowSeconds; s < seconds; ++s) {
+      rtt_union.insert(rtt_union.end(), traffic[a].rtt[s].begin(),
+                       traffic[a].rtt[s].end());
+      rpc_union.insert(rpc_union.end(), traffic[a].rpc[s].begin(),
+                       traffic[a].rpc[s].end());
+    }
+  }
+  std::sort(rtt_union.begin(), rtt_union.end());
+  std::sort(rpc_union.begin(), rpc_union.end());
+
+  bool ok = true;
+  auto check = [&ok](const char* what, double err, double budget) {
+    const bool pass = err <= budget;
+    std::printf("  %-28s rank error %.5f vs documented budget %.5f  [%s]\n",
+                what, err, budget, pass ? "OK" : "VIOLATION");
+    ok = ok && pass;
+  };
+
+  auto final_fleet = aggregator.Query(
+      QuerySpec::ForSelector(fleet).With(QueryRequest::Quantile(0.99)));
+  auto final_rpc = aggregator.Query(
+      QuerySpec::ForKey(rpc_key).With(QueryRequest::Quantile(0.99)));
+  if (!final_fleet.ok() || !final_rpc.ok()) {
+    std::fprintf(stderr, "final fleet query failed\n");
+    return 1;
+  }
+  std::printf("\nverification vs union-stream oracle (%zu values, %d "
+              "agents):\n", rtt_union.size(), agents);
+
+  // QLOVE fleet rollup: documented grid bound + the Theorem-1 statistical
+  // term in rank space (1.5x CI + 4/m finite-m allowance; see
+  // tests/merge_property_test.cc for the derivation).
+  {
+    const qlove::engine::QueryOutcome& p99 =
+        final_fleet.ValueOrDie().outcomes[0];
+    const double n = static_cast<double>(rtt_union.size());
+    const double m = static_cast<double>(kSamplesPerSecond / kShards);
+    const double budget = p99.rank_error_bound +
+                          1.5 * 2.0 * 1.96 * std::sqrt(0.99 * 0.01 / n) +
+                          4.0 / m;
+    check("qlove fleet p99 (rollup)",
+          RankErrorVsOracle(rtt_union, p99.value, 0.99), budget);
+  }
+  // GK shared key: the deterministic epsilon bound, no statistical slack.
+  {
+    const qlove::engine::QueryOutcome& p99 =
+        final_rpc.ValueOrDie().outcomes[0];
+    const double budget = p99.rank_error_bound +
+                          1.0 / static_cast<double>(rpc_union.size());
+    check("gk shared-key p99 (pooled)",
+          RankErrorVsOracle(rpc_union, p99.value, 0.99), budget);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "\nFAILED: fleet answers left the documented "
+                         "bounds\n");
+    return 1;
+  }
+  std::printf("\nall fleet answers within documented bounds\n");
+  return 0;
+}

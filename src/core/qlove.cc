@@ -15,6 +15,7 @@ const char* OutcomeSourceName(OutcomeSource source) {
     case OutcomeSource::kTopK: return "TopK";
     case OutcomeSource::kSampleK: return "SampleK";
     case OutcomeSource::kSketchMerge: return "SketchMerge";
+    case OutcomeSource::kPartialFleet: return "PartialFleet";
   }
   return "Unknown";
 }

@@ -38,6 +38,11 @@ enum class OutcomeSource {
   /// (value, weight) entries — GK / CMQS / Exact — rather than a QLOVE
   /// pipeline).
   kSketchMerge = 3,
+  /// Fleet aggregation served while at least one matching agent's snapshot
+  /// was stale-excluded: the estimate covers only the fresh sub-fleet, and
+  /// the outcome's rank_error_bound is widened by the excluded population
+  /// share (engine/aggregator.h).
+  kPartialFleet = 4,
 };
 
 /// Human-readable source name.

@@ -23,6 +23,8 @@ struct TailCapture {
   /// Interval sample of the sub-window's N(1-phi) largest values (ks values,
   /// descending rank order).
   std::vector<double> samples;
+
+  bool operator==(const TailCapture&) const = default;
 };
 
 /// \brief The finalized summary of one sub-window.
@@ -40,6 +42,8 @@ struct SubWindowSummary {
   /// (engine/) may fire boundaries with no new data; eviction is by epoch
   /// age, so a starved shard's old sub-windows still expire on schedule.
   int64_t epoch = 0;
+
+  bool operator==(const SubWindowSummary&) const = default;
 
   /// Scalars stored by this summary (space accounting): quantiles, count,
   /// epoch, and the tail material.

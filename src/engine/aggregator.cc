@@ -1,0 +1,283 @@
+#include "engine/aggregator.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace qlove {
+namespace engine {
+
+namespace {
+
+/// Window population of one shipped summary. Weighted summaries carry it
+/// precomputed; qlove summaries carry it as per-sub-window counts (the
+/// local merge derives it the same way).
+int64_t SummaryPopulation(const BackendSummary& summary) {
+  if (summary.kind != BackendKind::kQlove) return summary.count;
+  int64_t population = 0;
+  for (const core::SubWindowSummary& sub : summary.subwindows) {
+    population += sub.count;
+  }
+  return population;
+}
+
+int64_t MetricPopulation(const WireMetricSummary& metric) {
+  int64_t population = 0;
+  for (const BackendSummary& shard : metric.shards) {
+    population += SummaryPopulation(shard);
+  }
+  return population;
+}
+
+}  // namespace
+
+AggregatorEngine::AggregatorEngine(AggregatorOptions options)
+    : options_(options) {}
+
+Status AggregatorEngine::Ingest(WireSnapshot snapshot) {
+  // Wire data is untrusted until its self-described configuration passes
+  // the same validation a local registration would: a summary whose
+  // options cannot serve would poison every fleet query it pools into.
+  // The canonical-key-order contract (engine/wire.h) is enforced too: it
+  // implies key uniqueness, and a frame repeating a key would otherwise
+  // silently double-count its population in every query it matches.
+  for (size_t i = 1; i < snapshot.metrics.size(); ++i) {
+    if (!(snapshot.metrics[i - 1].key < snapshot.metrics[i].key)) {
+      return Status::InvalidArgument(
+          "snapshot from '" + snapshot.source +
+          "': metrics are not in strictly ascending canonical key order (" +
+          snapshot.metrics[i].key.ToString() + " repeats or regresses)");
+    }
+  }
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    QLOVE_RETURN_NOT_OK(metric.options.shard_window.Validate());
+    QLOVE_RETURN_NOT_OK(metric.options.backend.Validate(
+        metric.options.shard_window, metric.options.phis));
+    for (const BackendSummary& shard : metric.shards) {
+      if (shard.kind != metric.options.backend.kind) {
+        return Status::InvalidArgument(
+            "snapshot from '" + snapshot.source + "': metric " +
+            metric.key.ToString() +
+            " ships a summary kind disagreeing with its declared backend");
+      }
+    }
+  }
+  const std::string source = snapshot.source;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  if (it != sources_.end()) {
+    // An epoch regression within the reorder budget is a delayed frame
+    // and must not roll the source's state backwards; beyond it the
+    // agent's engine restarted (Tick counters begin at 1 again) and the
+    // fresh state replaces the old. Staleness below is measured against
+    // ingest recency, so a restarted source serves immediately.
+    const int64_t regression = it->second.snapshot.epoch - snapshot.epoch;
+    if (regression > 0 && regression <= options_.staleness_epochs) {
+      return Status::FailedPrecondition(
+          "snapshot from '" + source + "' at epoch " +
+          std::to_string(snapshot.epoch) + " is older than the held epoch " +
+          std::to_string(it->second.snapshot.epoch) +
+          " (reordered frame, not a restart)");
+    }
+  }
+  fleet_epoch_ = std::max(fleet_epoch_, snapshot.epoch);
+  SourceState state;
+  state.snapshot = std::move(snapshot);
+  state.fleet_epoch_at_ingest = fleet_epoch_;
+  sources_.insert_or_assign(source, std::move(state));
+  return Status::OK();
+}
+
+Status AggregatorEngine::IngestEncoded(const uint8_t* data, size_t size) {
+  auto decoded = DecodeSnapshot(data, size);
+  if (!decoded.ok()) return decoded.status();
+  return Ingest(decoded.TakeValue());
+}
+
+Status AggregatorEngine::IngestEncoded(const std::vector<uint8_t>& buffer) {
+  return IngestEncoded(buffer.data(), buffer.size());
+}
+
+Result<QueryResult> AggregatorEngine::Query(const QuerySpec& spec) const {
+  QLOVE_RETURN_NOT_OK(spec.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto matches = [&spec](const MetricKey& key) {
+    switch (spec.target) {
+      case QuerySpec::TargetKind::kKey:
+        return key == spec.key;
+      case QuerySpec::TargetKind::kKeyList:
+        return std::find(spec.keys.begin(), spec.keys.end(), key) !=
+               spec.keys.end();
+      case QuerySpec::TargetKind::kSelector:
+        return spec.selector.Matches(key);
+    }
+    return false;
+  };
+
+  // Resolve the target across every source, splitting fresh from stale.
+  std::vector<const WireMetricSummary*> fresh;
+  std::vector<const WireMetricSummary*> stale;
+  std::set<std::string> fresh_sources;
+  std::set<std::string> stale_sources;
+  for (const auto& [name, state] : sources_) {
+    const bool is_stale = IsStale(state, fleet_epoch_);
+    for (const WireMetricSummary& metric : state.snapshot.metrics) {
+      if (!matches(metric.key)) continue;
+      (is_stale ? stale : fresh).push_back(&metric);
+      (is_stale ? stale_sources : fresh_sources).insert(name);
+    }
+  }
+  if (fresh.empty()) {
+    if (!stale.empty()) {
+      return Status::FailedPrecondition(
+          "all " + std::to_string(stale_sources.size()) +
+          " sources matching the target are stale (fleet epoch " +
+          std::to_string(fleet_epoch_) + ")");
+    }
+    switch (spec.target) {
+      case QuerySpec::TargetKind::kKey:
+        return Status::NotFound("metric not reported by any source: " +
+                                spec.key.ToString());
+      case QuerySpec::TargetKind::kKeyList:
+        return Status::NotFound("no listed metric reported by any source");
+      case QuerySpec::TargetKind::kSelector:
+        return Status::NotFound("selector matched no reported metrics: " +
+                                spec.selector.ToString());
+    }
+    return Status::NotFound("query target matched no reported metrics");
+  }
+  if (spec.target == QuerySpec::TargetKind::kKeyList) {
+    // Engine parity: every listed key must resolve, not just one.
+    for (const MetricKey& key : spec.keys) {
+      const bool found =
+          std::any_of(fresh.begin(), fresh.end(),
+                      [&key](const WireMetricSummary* metric) {
+                        return metric->key == key;
+                      });
+      if (!found) {
+        return Status::NotFound("metric not reported by any fresh source: " +
+                                key.ToString());
+      }
+    }
+  }
+
+  // One configuration across the pooled fleet keeps the native serving
+  // path; any mismatch — kind, knobs, phi grid, or window geometry —
+  // drops to pooled weighted entries. Unlike the local engine, agents may
+  // legitimately disagree on grid/window, so those are part of the check.
+  bool homogeneous = true;
+  const WireMetricSummary* first_qlove = nullptr;
+  for (const WireMetricSummary* metric : fresh) {
+    const MetricOptions& front = fresh.front()->options;
+    if (!SameBackendConfiguration(metric->options.backend, front.backend) ||
+        metric->options.phis != front.phis ||
+        metric->options.shard_window != front.shard_window) {
+      homogeneous = false;
+    }
+    // Lowering a qlove summary re-reads its quantiles through the pool's
+    // phi grid, so the pool must lower through the qlove participants'
+    // own grid (chosen below) — and two qlove participants on different
+    // grids cannot share a pool at all: one of them would be silently
+    // mis-lowered, so refuse loudly instead.
+    if (metric->options.backend.kind == BackendKind::kQlove) {
+      if (first_qlove == nullptr) {
+        first_qlove = metric;
+      } else if (metric->options.phis != first_qlove->options.phis) {
+        return Status::FailedPrecondition(
+            "cannot pool qlove metrics " + first_qlove->key.ToString() +
+            " and " + metric->key.ToString() +
+            " across disagreeing phi grids; align the agents' "
+            "EngineOptions::phis");
+      }
+    }
+  }
+  // The options driving WindowView: in a mixed pool containing qlove
+  // participants, their grid (so lowering reads the right phis — entry
+  // kinds are grid-independent); otherwise the first metric's. Which
+  // entry-kind metric leads a mixed pool must never decide whether the
+  // query serves.
+  const MetricOptions& options = (!homogeneous && first_qlove != nullptr)
+                                     ? first_qlove->options
+                                     : fresh.front()->options;
+
+  QueryResult result;
+  result.backend = fresh.front()->options.backend.kind;
+  result.mixed_backends = !homogeneous;
+  result.sources_fresh = static_cast<int64_t>(fresh_sources.size());
+  result.sources_stale = static_cast<int64_t>(stale_sources.size());
+
+  std::set<MetricKey> matched;
+  std::vector<const BackendSummary*> views;
+  for (const WireMetricSummary* metric : fresh) {
+    matched.insert(metric->key);
+    result.num_shards += static_cast<int>(metric->shards.size());
+    for (const BackendSummary& shard : metric->shards) {
+      views.push_back(&shard);
+    }
+  }
+  result.matched.assign(matched.begin(), matched.end());  // canonical order
+
+  const WindowView view(views, options, spec.strategy,
+                        /*lower_to_entries=*/!homogeneous);
+  result.outcomes.reserve(spec.requests.size());
+  for (const QueryRequest& request : spec.requests) {
+    result.outcomes.push_back(view.Evaluate(request));
+  }
+  result.window_count = view.window_count();
+  result.num_summaries = view.num_summaries();
+  result.inflight_count = view.inflight_count();
+  result.burst_active = view.burst_active();
+
+  // Partial-fleet accounting: the answer covers only the fresh sub-fleet.
+  // A population missing fraction s shifts any rank by at most s, so
+  // quantile/rank bounds widen by the stale sources' last-known share.
+  int64_t stale_weight = 0;
+  for (const WireMetricSummary* metric : stale) {
+    stale_weight += MetricPopulation(*metric);
+  }
+  if (stale_weight > 0 && result.window_count > 0) {
+    const double stale_fraction =
+        static_cast<double>(stale_weight) /
+        static_cast<double>(stale_weight + result.window_count);
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+      QueryOutcome& outcome = result.outcomes[i];
+      if (!outcome.status.ok()) continue;
+      outcome.source = core::OutcomeSource::kPartialFleet;
+      const QueryRequestKind kind = spec.requests[i].kind;
+      if (kind == QueryRequestKind::kQuantile ||
+          kind == QueryRequestKind::kRank) {
+        outcome.rank_error_bound += stale_fraction;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<AggregatorEngine::SourceStatus> AggregatorEngine::Sources() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SourceStatus> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, state] : sources_) {
+    SourceStatus status;
+    status.source = name;
+    status.epoch = state.snapshot.epoch;
+    status.stale = IsStale(state, fleet_epoch_);
+    status.metric_count = state.snapshot.metrics.size();
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+int64_t AggregatorEngine::FleetEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fleet_epoch_;
+}
+
+size_t AggregatorEngine::source_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sources_.size();
+}
+
+}  // namespace engine
+}  // namespace qlove

@@ -1,0 +1,144 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The central tier of the distributed deployment: per-host agents run a
+// TelemetryEngine each, export WireSnapshots every Tick (engine/wire.h),
+// and an AggregatorEngine pools the decoded summaries to serve fleet-wide
+// queries — the merge-centrally topology the paper's mergeable summaries
+// were built for. The aggregator holds exactly one snapshot per source
+// (a re-ingest replaces the source's previous state wholesale, so its
+// memory is bounded by fleet size x per-agent summary size, not by time)
+// and serves the full PR-3 query surface (arbitrary-phi quantiles,
+// rank/CDF, counts, tag-selector rollups) through the same WindowView
+// evaluator the local engine uses, so fleet answers cannot drift from
+// single-process answers.
+//
+// Epoch alignment and staleness: agents tick on a common cadence and stamp
+// exports with their Tick epoch. The fleet epoch is the maximum epoch seen
+// across sources and advances as they report; each ingest also records the
+// fleet epoch it observed, and a source is stale when the fleet has moved
+// more than AggregatorOptions::staleness_epochs past its *last ingest* —
+// freshness is about whether a host keeps reporting, not about its
+// absolute Tick count, so a host that restarts (epoch counter back to 1)
+// or joins the fleet late serves normally as long as its frames keep
+// arriving. Stale sources are excluded from serving (their window no
+// longer overlaps the fleet's) but still *accounted*: queries that lost
+// matching sources report sources_stale, stamp quantile/rank outcomes with
+// OutcomeSource::kPartialFleet, and widen rank_error_bound by the excluded
+// sources' last-known population share — serving a sub-fleet missing
+// fraction s of the population can shift any rank by at most s.
+
+#ifndef QLOVE_ENGINE_AGGREGATOR_H_
+#define QLOVE_ENGINE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query.h"
+#include "engine/wire.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief Aggregator-tier configuration.
+struct AggregatorOptions {
+  /// How many fleet epochs may pass after a source's last ingest before
+  /// its snapshot stops serving queries. With agents ticking every second
+  /// and exporting every Tick, 2 tolerates one delayed/reordered export
+  /// before a host is treated as partitioned. The same budget bounds the
+  /// reorder window on ingest: an epoch regression within it is a
+  /// reordered frame (rejected), beyond it an agent restart (accepted).
+  ///
+  /// Trust model: the fleet epoch is the max over sources, so agents are
+  /// trusted about their own clocks — decode rejects negative epochs (the
+  /// arithmetic here stays overflow-free), and staleness is measured
+  /// against each source's ingest time rather than its absolute epoch, so
+  /// a restarted or late-joining host that keeps reporting serves
+  /// normally. An agent reporting an absurdly large epoch still ratchets
+  /// the fleet epoch, which marks sources stale until they next report
+  /// (one ingest each heals them). Agents and aggregators deploy in
+  /// lockstep (see engine/wire.h versioning); a byzantine agent is out of
+  /// scope at this layer.
+  int64_t staleness_epochs = 2;
+};
+
+/// \brief Pools remote agents' summaries and serves fleet-wide queries.
+///
+/// Thread-safe: Ingest and Query may be called concurrently (one mutex —
+/// the aggregator is read-mostly between Ticks and ingest is a pointer
+/// swap per source, so a finer scheme has nothing to win yet).
+class AggregatorEngine {
+ public:
+  explicit AggregatorEngine(AggregatorOptions options = {});
+
+  /// Replaces \p snapshot.source's state with \p snapshot. Rejects
+  /// InvalidArgument when a metric's self-described options cannot serve
+  /// (defense against corrupt or hostile wire data: the summaries would
+  /// poison every fleet query they pool into) or when metrics violate the
+  /// wire contract's strictly-ascending canonical key order (a repeated
+  /// key would double-count), and FailedPrecondition when the snapshot's
+  /// epoch regresses by no more than staleness_epochs (a reordered export
+  /// must not roll a source's state backwards; re-ingesting the same
+  /// epoch is idempotent and allowed). A larger regression is an agent
+  /// restart — the engine's Tick counter began again at 1 — and replaces
+  /// the source's state normally.
+  Status Ingest(WireSnapshot snapshot);
+
+  /// DecodeSnapshot + Ingest in one step (the receive-loop shape).
+  Status IngestEncoded(const uint8_t* data, size_t size);
+  Status IngestEncoded(const std::vector<uint8_t>& buffer);
+
+  /// Evaluates \p spec against the pooled fleet state: the same target
+  /// resolution and request surface as TelemetryEngine::Query, with keys
+  /// matched across every fresh source (two agents reporting the same
+  /// MetricKey pool into one answer; per-host keys roll up via selectors).
+  /// NotFound when no fresh source carries a matching metric. See
+  /// QueryResult::sources_fresh / sources_stale for partial-fleet
+  /// accounting.
+  Result<QueryResult> Query(const QuerySpec& spec) const;
+
+  /// \brief One source's liveness as of the last Ingest.
+  struct SourceStatus {
+    std::string source;
+    int64_t epoch = 0;        ///< Epoch of the last ingested snapshot.
+    bool stale = false;       ///< Trails the fleet epoch beyond the budget.
+    size_t metric_count = 0;  ///< Metrics in the last snapshot.
+  };
+
+  /// Every known source, ordered by name (stable diagnostics output).
+  std::vector<SourceStatus> Sources() const;
+
+  /// The maximum Tick epoch ingested across all sources (0 before any
+  /// ingest); the reference point for staleness.
+  int64_t FleetEpoch() const;
+
+  size_t source_count() const;
+  const AggregatorOptions& options() const { return options_; }
+
+ private:
+  /// One source's held state: its latest snapshot plus the fleet epoch
+  /// observed when it arrived (the reference point for staleness, which
+  /// is therefore about reporting recency, not absolute Tick counts).
+  struct SourceState {
+    WireSnapshot snapshot;
+    int64_t fleet_epoch_at_ingest = 0;
+  };
+
+  bool IsStale(const SourceState& state, int64_t fleet_epoch) const {
+    return fleet_epoch - state.fleet_epoch_at_ingest >
+           options_.staleness_epochs;
+  }
+
+  AggregatorOptions options_;
+  mutable std::mutex mu_;
+  /// Latest state per source. std::map: Sources() iterates name-sorted.
+  std::map<std::string, SourceState> sources_;
+  int64_t fleet_epoch_ = 0;
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_AGGREGATOR_H_

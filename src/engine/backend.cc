@@ -191,6 +191,8 @@ class QloveBackend final : public ShardBackend {
     return summary;
   }
 
+  int64_t InflightCount() const override { return op_.InflightCount(); }
+
   int64_t QueryRank(double value) const override {
     // Ranks are additive across sub-windows; each completed summary's
     // exact quantile grid serves as its CDF (the same GridCdfAtValue the
@@ -289,6 +291,8 @@ class GkBackend final : public ShardBackend {
     summary.inflight = inflight_.count();
     return summary;
   }
+
+  int64_t InflightCount() const override { return inflight_.count(); }
 
   int64_t QueryRank(double value) const override {
     // Each sealed epoch's point-weight export is epsilon-accurate over its
@@ -392,6 +396,10 @@ class CmqsBackend final : public ShardBackend {
     return summary;
   }
 
+  /// 0 by contract: the in-flight GK summary already serves mid-bucket
+  /// queries and exports inside `entries` (see BackendSummary docs).
+  int64_t InflightCount() const override { return 0; }
+
   int64_t QueryRank(double value) const override {
     return op_.WindowRankAtValue(value);  // in place; no export copy
   }
@@ -478,6 +486,10 @@ class ExactBackend final : public ShardBackend {
     summary.count = tree_.TotalCount();
     summary.inflight = static_cast<int64_t>(inflight_.size());
     return summary;
+  }
+
+  int64_t InflightCount() const override {
+    return static_cast<int64_t>(inflight_.size());
   }
 
   int64_t QueryRank(double value) const override {

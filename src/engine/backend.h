@@ -109,6 +109,11 @@ struct BackendSummary {
   /// options: the pooled bound is the count-weighted mean of these
   /// (rank errors add across disjoint sub-populations).
   double rank_error = 0.0;
+
+  /// Structural equality (every payload field). The wire layer's
+  /// round-trip tests assert this alongside byte-identity so a mismatch
+  /// names the diverging field instead of a byte offset.
+  bool operator==(const BackendSummary&) const = default;
 };
 
 /// \brief One shard's sketch: ingest, tick sub-windows, export a summary.
@@ -137,6 +142,14 @@ class ShardBackend {
 
   /// Exports the backend's mergeable window state.
   virtual BackendSummary Summary() const = 0;
+
+  /// Values accepted but not yet visible to queries (they surface at the
+  /// next Tick); matches Summary().inflight without paying for a summary
+  /// export. Unlike window state — which only changes at a Tick and is
+  /// therefore cacheable between boundaries (engine/query.h
+  /// ResolvedWindow) — this is a *live* counter the engine re-reads per
+  /// query so staleness dashboards see buffered backlog immediately.
+  virtual int64_t InflightCount() const = 0;
 
   /// Rank of \p value in the live window: how many window elements are at
   /// or below it, under the backend's semantics — exact for kExact, within

@@ -227,6 +227,30 @@ void TelemetryEngine::Tick() {
   for (const auto& state : registry_.List()) {
     state->CloseSubWindows();
   }
+  tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+WireSnapshot TelemetryEngine::ExportSnapshot(std::string source) const {
+  WireSnapshot snapshot;
+  snapshot.source = std::move(source);
+  snapshot.epoch = TickEpochs();
+  std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+  // Canonical key order, like SnapshotAll: successive exports diff stably.
+  std::sort(states.begin(), states.end(),
+            [](const std::shared_ptr<MetricState>& a,
+               const std::shared_ptr<MetricState>& b) {
+              return a->key() < b->key();
+            });
+  snapshot.metrics.reserve(states.size());
+  for (const auto& state : states) {
+    if (state->TickEpochs() == 0) continue;  // no window state yet
+    WireMetricSummary metric;
+    metric.key = state->key();
+    metric.options = state->options();
+    metric.shards = state->SnapshotShards();
+    snapshot.metrics.push_back(std::move(metric));
+  }
+  return snapshot;
 }
 
 Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
@@ -291,27 +315,55 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
   QueryResult result;
   result.backend = options.backend.kind;
   result.mixed_backends = !homogeneous;
-  std::vector<BackendSummary> views;
-  views.reserve(states.size() * static_cast<size_t>(options_.num_shards));
+
+  // Each metric's resolved window is cached between Ticks (the per-shard
+  // summary copies used to dominate Query at high shard counts); holding
+  // the shared_ptrs pins this epoch's state even if a concurrent Tick
+  // invalidates the cache mid-evaluation.
+  std::vector<std::shared_ptr<const ResolvedWindow>> resolved;
+  resolved.reserve(states.size());
   for (const auto& state : states) {
     result.matched.push_back(state->key());
     result.num_shards += static_cast<int>(state->num_shards());
-    std::vector<BackendSummary> shard_views = state->SnapshotShards();
-    for (BackendSummary& view : shard_views) {
-      views.push_back(std::move(view));
-    }
+    resolved.push_back(state->Resolved());
   }
 
-  const WindowView view(views, options, spec.strategy,
-                        /*lower_to_entries=*/!homogeneous);
+  // Single-metric targets also reuse the cached evaluator itself — the
+  // Level-2 / entry-pooling merge runs once per Tick, not once per query.
+  // Rollups pool pointers into the cached summaries and merge per query
+  // (the pool composition depends on the target), still copying nothing.
+  std::unique_ptr<WindowView> pooled_view;
+  const WindowView* view;
+  if (resolved.size() == 1 && homogeneous) {
+    view = &resolved.front()->View(spec.strategy);
+  } else {
+    std::vector<const BackendSummary*> pointers;
+    size_t total_views = 0;
+    for (const auto& window : resolved) total_views += window->views().size();
+    pointers.reserve(total_views);
+    for (const auto& window : resolved) {
+      for (const BackendSummary& summary : window->views()) {
+        pointers.push_back(&summary);
+      }
+    }
+    pooled_view = std::make_unique<WindowView>(
+        pointers, options, spec.strategy, /*lower_to_entries=*/!homogeneous);
+    view = pooled_view.get();
+  }
+
   result.outcomes.reserve(spec.requests.size());
   for (const QueryRequest& request : spec.requests) {
-    result.outcomes.push_back(view.Evaluate(request));
+    result.outcomes.push_back(view->Evaluate(request));
   }
-  result.window_count = view.window_count();
-  result.num_summaries = view.num_summaries();
-  result.inflight_count = view.inflight_count();
-  result.burst_active = view.burst_active();
+  result.window_count = view->window_count();
+  result.num_summaries = view->num_summaries();
+  result.burst_active = view->burst_active();
+  // In-flight backlog is a live counter, not window state: the cached
+  // summaries would freeze it at the first post-Tick query, so it is
+  // re-read from the shards every time.
+  for (const auto& state : states) {
+    result.inflight_count += state->LiveInflightCount();
+  }
   return result;
 }
 
@@ -364,11 +416,15 @@ std::vector<MetricSnapshot> TelemetryEngine::SnapshotAll(
     // yet; skip it rather than report a phantom empty window (explicit
     // Snapshot(key) still serves it).
     if (state->TickEpochs() == 0) continue;
-    // The state is already resolved — evaluate it directly through
-    // MergeShardViews (the same WindowView evaluation Snapshot reaches via
-    // Query) instead of re-looking every key up in the registry.
-    snapshots.push_back(MergeShardViews(state->key(), state->SnapshotShards(),
-                                        state->options(), snapshot_options));
+    // Evaluate through the metric's cached ResolvedWindow (the same
+    // WindowView evaluation Snapshot reaches via Query): repeated
+    // SnapshotAll calls between Ticks share one merge per metric.
+    const std::shared_ptr<const ResolvedWindow> resolved = state->Resolved();
+    snapshots.push_back(SnapshotFromView(
+        state->key(), resolved->View(snapshot_options.strategy),
+        state->options(), static_cast<int>(state->num_shards())));
+    // Live, like Query: the cached view's inflight is as-of-cache-build.
+    snapshots.back().inflight_count = state->LiveInflightCount();
   }
   return snapshots;
 }

@@ -27,8 +27,10 @@
 #ifndef QLOVE_ENGINE_ENGINE_H_
 #define QLOVE_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +39,7 @@
 #include "engine/query.h"
 #include "engine/registry.h"
 #include "engine/snapshot.h"
+#include "engine/wire.h"
 #include "stream/window.h"
 
 namespace qlove {
@@ -158,6 +161,23 @@ class TelemetryEngine {
   std::vector<MetricSnapshot> SnapshotAll(
       const SnapshotOptions& snapshot_options = {}) const;
 
+  /// Exports the engine's complete mergeable state as one WireSnapshot —
+  /// the agent half of the distributed deployment: encode with
+  /// EncodeSnapshot (engine/wire.h) and ship to an AggregatorEngine.
+  /// Covers every registered metric that has seen at least one Tick
+  /// (pre-first-Tick metrics have no window state, matching SnapshotAll),
+  /// in canonical key order; each metric carries its full MetricOptions so
+  /// the receiver can rebuild the exact merge. \p source names this agent
+  /// in the aggregator's per-source state.
+  WireSnapshot ExportSnapshot(std::string source) const;
+
+  /// Sub-window boundaries this engine has driven (Tick() calls). Stamped
+  /// on exported snapshots; the aggregator's staleness accounting compares
+  /// these across agents ticking at a common cadence.
+  int64_t TickEpochs() const {
+    return tick_epochs_.load(std::memory_order_relaxed);
+  }
+
   /// Elements accepted (flushed to shards) for \p key; 0 when unregistered.
   int64_t TotalRecorded(const MetricKey& key) const;
 
@@ -174,6 +194,7 @@ class TelemetryEngine {
   MetricOptions metric_options_;  // derived from options_
   MetricRegistry registry_;
   const uint64_t engine_id_;  // keys this engine's thread-local buffers
+  std::atomic<int64_t> tick_epochs_{0};  // Tick() calls driven so far
 };
 
 }  // namespace engine

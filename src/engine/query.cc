@@ -205,16 +205,33 @@ double GridCdfAtValue(const std::vector<double>& phis,
   return phis[hi - 1] + t * (phis[hi] - phis[hi - 1]);
 }
 
+namespace {
+
+std::vector<const BackendSummary*> ViewPointers(
+    const std::vector<BackendSummary>& views) {
+  std::vector<const BackendSummary*> pointers;
+  pointers.reserve(views.size());
+  for (const BackendSummary& view : views) pointers.push_back(&view);
+  return pointers;
+}
+
+}  // namespace
+
 WindowView::WindowView(const std::vector<BackendSummary>& views,
+                       const MetricOptions& options, MergeStrategy strategy,
+                       bool lower_to_entries)
+    : WindowView(ViewPointers(views), options, strategy, lower_to_entries) {}
+
+WindowView::WindowView(const std::vector<const BackendSummary*>& views,
                        const MetricOptions& options, MergeStrategy strategy,
                        bool lower_to_entries)
     : options_(options), strategy_(strategy) {
   entry_backed_ =
       lower_to_entries || options_.backend.kind != BackendKind::kQlove;
 
-  for (const BackendSummary& view : views) {
-    inflight_count_ += view.inflight;
-    burst_active_ = burst_active_ || view.burst_active;
+  for (const BackendSummary* view : views) {
+    inflight_count_ += view->inflight;
+    burst_active_ = burst_active_ || view->burst_active;
   }
 
   // The phi grid sorted ascending, shared by both modes (grid evaluation
@@ -228,7 +245,7 @@ WindowView::WindowView(const std::vector<BackendSummary>& views,
   }
 }
 
-void WindowView::BuildQlove(const std::vector<BackendSummary>& views) {
+void WindowView::BuildQlove(const std::vector<const BackendSummary*>& views) {
   const size_t num_phis = options_.phis.size();
   std::vector<double> estimates(num_phis, 0.0);
   std::vector<core::OutcomeSource> sources(num_phis,
@@ -255,8 +272,8 @@ void WindowView::BuildQlove(const std::vector<BackendSummary>& views) {
   const bool use_median = strategy_ == MergeStrategy::kWeightedMedian;
   if (use_median) median_entries.resize(num_phis);
 
-  for (const BackendSummary& view : views) {
-    for (const core::SubWindowSummary& summary : view.subwindows) {
+  for (const BackendSummary* view : views) {
+    for (const core::SubWindowSummary& summary : view->subwindows) {
       if (!mergeable(summary)) continue;
       merged_.push_back(&summary);
       window_count_ += summary.count;
@@ -314,7 +331,7 @@ void WindowView::BuildQlove(const std::vector<BackendSummary>& views) {
   }
 }
 
-void WindowView::BuildEntries(const std::vector<BackendSummary>& views,
+void WindowView::BuildEntries(const std::vector<const BackendSummary*>& views,
                               bool lower_qlove) {
   // Worst grid gap over the cut points {0, phis...}: the body resolution
   // of a lowered qlove summary (its tail above the top grid phi carries
@@ -329,15 +346,17 @@ void WindowView::BuildEntries(const std::vector<BackendSummary>& views,
 
   double weighted_error = 0.0;
   size_t total_entries = 0;
-  for (const BackendSummary& view : views) total_entries += view.entries.size();
+  for (const BackendSummary* view : views) {
+    total_entries += view->entries.size();
+  }
   pooled_.reserve(total_entries);
 
-  for (const BackendSummary& view : views) {
-    if (view.kind == BackendKind::kQlove) {
+  for (const BackendSummary* view : views) {
+    if (view->kind == BackendKind::kQlove) {
       if (!lower_qlove) continue;  // foreign view in a non-lowering pool
       const size_t before = pooled_.size();
       int64_t lowered_count = 0;
-      for (const core::SubWindowSummary& summary : view.subwindows) {
+      for (const core::SubWindowSummary& summary : view->subwindows) {
         lowered_count +=
             LowerQloveSummary(summary, grid_phis_, phi_order_, &pooled_);
       }
@@ -349,14 +368,14 @@ void WindowView::BuildEntries(const std::vector<BackendSummary>& views,
       pool_has_lowered_qlove_ = true;
       continue;
     }
-    if (view.entries.empty()) continue;
+    if (view->entries.empty()) continue;
     ++num_summaries_;
-    window_count_ += view.count;
-    weighted_error += view.rank_error * static_cast<double>(view.count);
-    if (view.semantics == sketch::RankSemantics::kInterpolated) {
+    window_count_ += view->count;
+    weighted_error += view->rank_error * static_cast<double>(view->count);
+    if (view->semantics == sketch::RankSemantics::kInterpolated) {
       semantics_ = sketch::RankSemantics::kInterpolated;
     }
-    pooled_.insert(pooled_.end(), view.entries.begin(), view.entries.end());
+    pooled_.insert(pooled_.end(), view->entries.begin(), view->entries.end());
   }
 
   // One sort amortized over every request; the rank walks are the shared
@@ -610,6 +629,20 @@ QueryOutcome WindowView::EvaluateMean() const {
   if (!outcome.status.ok()) return outcome;
   outcome.value /= static_cast<double>(window_count_);
   return outcome;
+}
+
+ResolvedWindow::ResolvedWindow(std::vector<BackendSummary> views,
+                               const MetricOptions& options)
+    : views_(std::move(views)), options_(options) {}
+
+const WindowView& ResolvedWindow::View(MergeStrategy strategy) const {
+  const auto slot = static_cast<size_t>(strategy);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_strategy_[slot] == nullptr) {
+    by_strategy_[slot] = std::make_unique<WindowView>(views_, options_,
+                                                      strategy);
+  }
+  return *by_strategy_[slot];
 }
 
 }  // namespace engine

@@ -35,6 +35,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -200,6 +202,23 @@ struct QueryResult {
   int64_t inflight_count = 0;  ///< Recorded but awaiting the next Tick.
   int num_shards = 0;          ///< Total shards pooled across all metrics.
   bool burst_active = false;   ///< Any qlove shard flagged a live burst.
+
+  /// \name Fleet accounting (AggregatorEngine queries only)
+  ///
+  /// A distributed query is served from the remote snapshots the
+  /// aggregator holds. `sources_fresh` counts the agents whose state
+  /// answered it; `sources_stale` counts agents that matched the target
+  /// but were excluded because their last snapshot trails the fleet epoch
+  /// beyond the staleness budget. When any matching source is stale the
+  /// answer covers only part of the fleet: quantile/rank outcomes are
+  /// stamped OutcomeSource::kPartialFleet and their rank_error_bound is
+  /// widened by the excluded sources' last-known population share (a
+  /// sub-population missing fraction s shifts any rank by at most s).
+  /// Both stay 0 on local TelemetryEngine queries.
+  /// @{
+  int64_t sources_fresh = 0;
+  int64_t sources_stale = 0;
+  /// @}
 };
 
 /// \name Quantile-grid helpers
@@ -243,12 +262,22 @@ double GridCdfAtValue(const std::vector<double>& phis,
 /// multi-metric pool is consistent per metric, not across metrics).
 class WindowView {
  public:
-  /// Pools \p views. With \p lower_to_entries false (single-metric and
+  /// Pools \p views (non-owning pointers: the summaries must outlive the
+  /// WindowView; the pointer vector itself is only read during
+  /// construction). With \p lower_to_entries false (single-metric and
   /// homogeneous-qlove rollups) kQlove views keep the paper's estimator
   /// chain; true forces every view down to weighted entries (mixed-kind
   /// or mixed-configuration targets). \p options supplies the grid phis,
   /// the qlove plan layout, and — for single-kind entry backends — the
-  /// epsilon stamped on summaries' rank_error.
+  /// epsilon stamped on summaries' rank_error. Pointer views are what let
+  /// multi-metric rollups (and the fleet aggregator) pool cached per-metric
+  /// summaries without copying a single backend state per query.
+  WindowView(const std::vector<const BackendSummary*>& views,
+             const MetricOptions& options,
+             MergeStrategy strategy = MergeStrategy::kWeightedMean,
+             bool lower_to_entries = false);
+
+  /// Convenience over an owned summary vector (single-metric callers).
   WindowView(const std::vector<BackendSummary>& views,
              const MetricOptions& options,
              MergeStrategy strategy = MergeStrategy::kWeightedMean,
@@ -272,8 +301,8 @@ class WindowView {
   bool entry_backed() const { return entry_backed_; }
 
  private:
-  void BuildQlove(const std::vector<BackendSummary>& views);
-  void BuildEntries(const std::vector<BackendSummary>& views,
+  void BuildQlove(const std::vector<const BackendSummary*>& views);
+  void BuildEntries(const std::vector<const BackendSummary*>& views,
                     bool lower_qlove);
   QueryOutcome QloveQuantile(double phi) const;
   QueryOutcome EntryQuantile(double phi) const;
@@ -305,6 +334,41 @@ class WindowView {
   /// sound (grid-coarse, annotated), but Sum/Mean would silently absorb
   /// the lowering's value placement, so they refuse instead.
   bool pool_has_lowered_qlove_ = false;
+};
+
+/// \brief One Tick epoch's resolved window state for a metric: the
+/// per-shard summaries copied out of the shards exactly once, plus
+/// lazily-built per-strategy WindowViews over them.
+///
+/// This is the read-path cache behind TelemetryEngine::Query. Backend
+/// window state only changes at a Tick (in-flight values surface at the
+/// next boundary by contract), so every query between two Ticks can share
+/// one resolved copy instead of re-snapshotting S shards per call — the
+/// per-shard copy cost was the query-throughput cliff at high shard
+/// counts. MetricState owns the cache and drops it in CloseSubWindows;
+/// callers hold the shared_ptr for the duration of an evaluation, so a
+/// concurrent Tick never invalidates state under a running query.
+///
+/// The referenced MetricOptions must outlive this object (it lives in the
+/// owning MetricState, which callers keep alive alongside the cache).
+class ResolvedWindow {
+ public:
+  ResolvedWindow(std::vector<BackendSummary> views,
+                 const MetricOptions& options);
+
+  const std::vector<BackendSummary>& views() const { return views_; }
+
+  /// The shared evaluator for \p strategy, built on first use (the
+  /// expensive Level-2 / entry-pooling merge thus runs once per Tick per
+  /// strategy, not once per query). Thread-safe; the returned reference is
+  /// valid for this object's lifetime and safe for concurrent Evaluate.
+  const WindowView& View(MergeStrategy strategy) const;
+
+ private:
+  std::vector<BackendSummary> views_;
+  const MetricOptions& options_;
+  mutable std::mutex mu_;  // guards lazy construction only
+  mutable std::unique_ptr<WindowView> by_strategy_[2];
 };
 
 }  // namespace engine

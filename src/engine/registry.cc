@@ -3,6 +3,8 @@
 #include <mutex>
 #include <utility>
 
+#include "engine/query.h"
+
 namespace qlove {
 namespace engine {
 
@@ -41,6 +43,10 @@ void MetricState::CloseSubWindows() {
     shard->CloseSubWindow();
   }
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+  // The boundary changed window state: queries in flight keep their
+  // shared_ptr to the old epoch's resolved views; the next query resolves
+  // afresh.
+  resolved_.reset();
 }
 
 std::vector<BackendSummary> MetricState::SnapshotShards() const {
@@ -51,6 +57,28 @@ std::vector<BackendSummary> MetricState::SnapshotShards() const {
     views.push_back(shard->Snapshot());
   }
   return views;
+}
+
+int64_t MetricState::LiveInflightCount() const {
+  int64_t inflight = 0;
+  for (const auto& shard : shards_) {
+    inflight += shard->InflightCount();
+  }
+  return inflight;
+}
+
+std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (resolved_ == nullptr) {
+    std::vector<BackendSummary> views;
+    views.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      views.push_back(shard->Snapshot());
+    }
+    resolved_ = std::make_shared<const ResolvedWindow>(std::move(views),
+                                                       options_);
+  }
+  return resolved_;
 }
 
 Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(

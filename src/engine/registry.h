@@ -23,6 +23,8 @@
 namespace qlove {
 namespace engine {
 
+class ResolvedWindow;  // engine/query.h: cached per-Tick evaluation state
+
 /// \brief Per-metric configuration shared by every shard of the metric.
 struct MetricOptions {
   /// Per-shard window spec: size/period in elements *per shard*. The
@@ -65,6 +67,23 @@ class MetricState {
   /// same tick epoch (ingest proceeds concurrently, boundaries do not).
   std::vector<BackendSummary> SnapshotShards() const;
 
+  /// The cached resolved window of the current Tick epoch: SnapshotShards
+  /// taken once, shared by every query until CloseSubWindows invalidates
+  /// it. Backend window state only changes at a Tick, so between-Tick
+  /// queries over the same resolved state are exact, not stale — this is
+  /// what keeps Query throughput flat as shards grow (previously every
+  /// Query re-copied S backend summaries). Callers keep the returned
+  /// shared_ptr alive for the duration of an evaluation; a concurrent
+  /// Tick builds a fresh cache without touching theirs.
+  std::shared_ptr<const ResolvedWindow> Resolved() const;
+
+  /// Live sum of every shard's in-flight (accepted, awaiting the next
+  /// Tick) count. Deliberately NOT part of the cached ResolvedWindow:
+  /// in-flight backlog grows between Ticks, and freezing it at cache
+  /// build time would blind staleness dashboards; the engine re-reads
+  /// this per query (S mutex acquisitions, no state copies).
+  int64_t LiveInflightCount() const;
+
   /// Sub-window boundaries this metric has seen. 0 means the metric was
   /// registered after the engine's last Tick and no window state exists
   /// yet — SnapshotAll skips such metrics instead of reporting phantom
@@ -80,6 +99,9 @@ class MetricState {
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<int64_t> tick_epochs_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
+  /// Current epoch's resolved window; guarded by epoch_mu_, reset by
+  /// CloseSubWindows, built lazily by Resolved().
+  mutable std::shared_ptr<const ResolvedWindow> resolved_;
 };
 
 /// \brief Thread-safe MetricKey -> MetricState map.

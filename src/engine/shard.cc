@@ -34,6 +34,11 @@ BackendSummary Shard::Snapshot() const {
   return backend_->Summary();
 }
 
+int64_t Shard::InflightCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backend_->InflightCount();
+}
+
 int64_t Shard::QueryRank(double value) const {
   std::lock_guard<std::mutex> lock(mu_);
   return backend_->QueryRank(value);

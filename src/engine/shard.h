@@ -49,6 +49,11 @@ class Shard {
   /// Exports the backend's mergeable summary. Thread-safe.
   BackendSummary Snapshot() const;
 
+  /// Live count of accepted values awaiting the next Tick — re-read per
+  /// query (unlike window state, which is cached between Ticks).
+  /// Thread-safe.
+  int64_t InflightCount() const;
+
   /// Window rank of \p value in this stripe (ShardBackend::QueryRank under
   /// the shard lock). Ranks are additive across stripes, so a metric- or
   /// fleet-level rank is the plain sum of this over every shard — the

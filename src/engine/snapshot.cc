@@ -17,13 +17,18 @@ MetricSnapshot MergeShardViews(const MetricKey& key,
                                const std::vector<BackendSummary>& views,
                                const MetricOptions& options,
                                const SnapshotOptions& snapshot_options) {
+  const WindowView view(views, options, snapshot_options.strategy);
+  return SnapshotFromView(key, view, options, static_cast<int>(views.size()));
+}
+
+MetricSnapshot SnapshotFromView(const MetricKey& key, const WindowView& view,
+                                const MetricOptions& options,
+                                int num_shards) {
   MetricSnapshot snapshot;
   snapshot.key = key;
   snapshot.backend = options.backend.kind;
   snapshot.phis = options.phis;
-  snapshot.num_shards = static_cast<int>(views.size());
-
-  const WindowView view(views, options, snapshot_options.strategy);
+  snapshot.num_shards = num_shards;
   snapshot.estimates.reserve(options.phis.size());
   snapshot.sources.reserve(options.phis.size());
   for (double phi : options.phis) {

@@ -65,6 +65,8 @@ struct MetricSnapshot {
   bool burst_active = false;  ///< Any shard flagged a live sub-window.
 };
 
+class WindowView;  // engine/query.h: the shared evaluator
+
 /// \brief Merges per-shard summaries into one window-level snapshot.
 ///
 /// \p views must come from shards configured with \p options (same phis and
@@ -73,6 +75,13 @@ MetricSnapshot MergeShardViews(const MetricKey& key,
                                const std::vector<BackendSummary>& views,
                                const MetricOptions& options,
                                const SnapshotOptions& snapshot_options = {});
+
+/// \brief Evaluates an already-built WindowView into the fixed-phi
+/// snapshot shape — the cached read path (SnapshotAll evaluates each
+/// metric's per-Tick ResolvedWindow through here, so repeated snapshots
+/// between Ticks reuse one merge instead of rebuilding it per call).
+MetricSnapshot SnapshotFromView(const MetricKey& key, const WindowView& view,
+                                const MetricOptions& options, int num_shards);
 
 }  // namespace engine
 }  // namespace qlove

@@ -1,0 +1,494 @@
+#include "engine/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qlove {
+namespace engine {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoding primitives: little-endian fixed width, appended to one buffer.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buf_.push_back(static_cast<uint8_t>(v >> shift));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buf_.push_back(static_cast<uint8_t>(v >> shift));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Decoding primitives: every read is bounds-checked against the buffer;
+// every count is checked against the bytes that could possibly back it
+// before any allocation happens.
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Status U8(uint8_t* out) {
+    QLOVE_RETURN_NOT_OK(Need(1));
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+  Status U16(uint16_t* out) {
+    QLOVE_RETURN_NOT_OK(Need(2));
+    *out = static_cast<uint16_t>(data_[pos_] |
+                                 (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+  Status U32(uint32_t* out) {
+    QLOVE_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+  Status U64(uint64_t* out) {
+    QLOVE_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+  Status I32(int32_t* out) {
+    uint32_t bits;
+    QLOVE_RETURN_NOT_OK(U32(&bits));
+    *out = static_cast<int32_t>(bits);
+    return Status::OK();
+  }
+  Status I64(int64_t* out) {
+    uint64_t bits;
+    QLOVE_RETURN_NOT_OK(U64(&bits));
+    *out = static_cast<int64_t>(bits);
+    return Status::OK();
+  }
+  /// A count that must be >= 0 after decoding (populations, weights).
+  Status NonNegI64(int64_t* out, const char* what) {
+    QLOVE_RETURN_NOT_OK(I64(out));
+    if (*out < 0) {
+      return Status::InvalidArgument(std::string("wire: negative ") + what);
+    }
+    return Status::OK();
+  }
+  Status F64(double* out) {
+    uint64_t bits;
+    QLOVE_RETURN_NOT_OK(U64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+  /// Strict boolean: only 0/1 decode, so a corrupt byte cannot survive a
+  /// decode-re-encode normalization unnoticed.
+  Status Bool(bool* out) {
+    uint8_t v;
+    QLOVE_RETURN_NOT_OK(U8(&v));
+    if (v > 1) return Status::InvalidArgument("wire: boolean byte not 0/1");
+    *out = v == 1;
+    return Status::OK();
+  }
+  Status Str(std::string* out) {
+    uint32_t n;
+    QLOVE_RETURN_NOT_OK(Length(&n, 1, "string"));
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+  /// Reads a u32 element count and verifies the remaining buffer could hold
+  /// \p min_element_bytes per element BEFORE the caller allocates: a
+  /// hostile count fails here, not in a multi-GB reserve.
+  Status Length(uint32_t* out, size_t min_element_bytes, const char* what) {
+    QLOVE_RETURN_NOT_OK(U32(out));
+    if (static_cast<size_t>(*out) * min_element_bytes > remaining()) {
+      return Status::InvalidArgument(
+          std::string("wire: truncated buffer (") + what + " count " +
+          std::to_string(*out) + " exceeds remaining bytes)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::InvalidArgument(
+          "wire: truncated buffer at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Per-struct encode/decode, always in the same field order (the format IS
+// this order; any change is a version bump).
+// ---------------------------------------------------------------------------
+
+void EncodeOptions(const MetricOptions& options, Writer* w) {
+  w->I64(options.shard_window.size);
+  w->I64(options.shard_window.period);
+  w->U32(static_cast<uint32_t>(options.phis.size()));
+  for (double phi : options.phis) w->F64(phi);
+  const BackendOptions& backend = options.backend;
+  w->U8(static_cast<uint8_t>(backend.kind));
+  w->F64(backend.epsilon);
+  const core::QloveOptions& q = backend.qlove;
+  w->I32(q.quantizer_digits);
+  w->Bool(q.enable_fewk);
+  w->F64(q.high_quantile_threshold);
+  w->F64(q.fewk.topk_fraction);
+  w->F64(q.fewk.samplek_fraction);
+  w->I64(q.fewk.ts);
+  w->F64(q.burst_significance);
+  w->F64(q.burst_min_superiority);
+  w->Bool(q.enable_error_bounds);
+  w->I64(q.density_reservoir_capacity);
+}
+
+Status DecodeKind(Reader* r, BackendKind* kind) {
+  uint8_t raw;
+  QLOVE_RETURN_NOT_OK(r->U8(&raw));
+  if (raw > static_cast<uint8_t>(BackendKind::kExact)) {
+    return Status::InvalidArgument("wire: unknown backend kind " +
+                                   std::to_string(raw));
+  }
+  *kind = static_cast<BackendKind>(raw);
+  return Status::OK();
+}
+
+Status DecodeOptions(Reader* r, MetricOptions* options) {
+  QLOVE_RETURN_NOT_OK(r->I64(&options->shard_window.size));
+  QLOVE_RETURN_NOT_OK(r->I64(&options->shard_window.period));
+  uint32_t num_phis;
+  QLOVE_RETURN_NOT_OK(r->Length(&num_phis, 8, "phi grid"));
+  options->phis.resize(num_phis);
+  for (double& phi : options->phis) QLOVE_RETURN_NOT_OK(r->F64(&phi));
+  BackendOptions& backend = options->backend;
+  QLOVE_RETURN_NOT_OK(DecodeKind(r, &backend.kind));
+  QLOVE_RETURN_NOT_OK(r->F64(&backend.epsilon));
+  core::QloveOptions& q = backend.qlove;
+  QLOVE_RETURN_NOT_OK(r->I32(&q.quantizer_digits));
+  QLOVE_RETURN_NOT_OK(r->Bool(&q.enable_fewk));
+  QLOVE_RETURN_NOT_OK(r->F64(&q.high_quantile_threshold));
+  QLOVE_RETURN_NOT_OK(r->F64(&q.fewk.topk_fraction));
+  QLOVE_RETURN_NOT_OK(r->F64(&q.fewk.samplek_fraction));
+  QLOVE_RETURN_NOT_OK(r->I64(&q.fewk.ts));
+  QLOVE_RETURN_NOT_OK(r->F64(&q.burst_significance));
+  QLOVE_RETURN_NOT_OK(r->F64(&q.burst_min_superiority));
+  QLOVE_RETURN_NOT_OK(r->Bool(&q.enable_error_bounds));
+  QLOVE_RETURN_NOT_OK(r->I64(&q.density_reservoir_capacity));
+  return Status::OK();
+}
+
+void EncodeSummary(const BackendSummary& summary, Writer* w) {
+  w->U8(static_cast<uint8_t>(summary.kind));
+  w->I64(summary.count);
+  w->I64(summary.inflight);
+  w->Bool(summary.burst_active);
+  w->F64(summary.rank_error);
+  w->U8(static_cast<uint8_t>(summary.semantics));
+  if (summary.kind == BackendKind::kQlove) {
+    w->U32(static_cast<uint32_t>(summary.subwindows.size()));
+    for (const core::SubWindowSummary& sub : summary.subwindows) {
+      w->I64(sub.count);
+      w->I64(sub.epoch);
+      w->Bool(sub.bursty);
+      w->U32(static_cast<uint32_t>(sub.quantiles.size()));
+      for (double quantile : sub.quantiles) w->F64(quantile);
+      w->U32(static_cast<uint32_t>(sub.tails.size()));
+      for (const core::TailCapture& tail : sub.tails) {
+        w->U32(static_cast<uint32_t>(tail.topk.size()));
+        for (const auto& [value, count] : tail.topk) {
+          w->F64(value);
+          w->I64(count);
+        }
+        w->U32(static_cast<uint32_t>(tail.samples.size()));
+        for (double sample : tail.samples) w->F64(sample);
+      }
+    }
+  } else {
+    w->U32(static_cast<uint32_t>(summary.entries.size()));
+    for (const auto& [value, weight] : summary.entries) {
+      w->F64(value);
+      w->I64(weight);
+    }
+  }
+}
+
+Status DecodeSummary(Reader* r, BackendSummary* summary) {
+  QLOVE_RETURN_NOT_OK(DecodeKind(r, &summary->kind));
+  QLOVE_RETURN_NOT_OK(r->NonNegI64(&summary->count, "summary count"));
+  QLOVE_RETURN_NOT_OK(r->NonNegI64(&summary->inflight, "inflight count"));
+  QLOVE_RETURN_NOT_OK(r->Bool(&summary->burst_active));
+  QLOVE_RETURN_NOT_OK(r->F64(&summary->rank_error));
+  uint8_t semantics;
+  QLOVE_RETURN_NOT_OK(r->U8(&semantics));
+  if (semantics > static_cast<uint8_t>(sketch::RankSemantics::kInterpolated)) {
+    return Status::InvalidArgument("wire: unknown rank semantics " +
+                                   std::to_string(semantics));
+  }
+  summary->semantics = static_cast<sketch::RankSemantics>(semantics);
+  if (summary->kind == BackendKind::kQlove) {
+    // Minimum sub-window wire size: count + epoch + bursty + two counts.
+    uint32_t num_sub;
+    QLOVE_RETURN_NOT_OK(r->Length(&num_sub, 8 + 8 + 1 + 4 + 4, "sub-window"));
+    summary->subwindows.resize(num_sub);
+    for (core::SubWindowSummary& sub : summary->subwindows) {
+      QLOVE_RETURN_NOT_OK(r->NonNegI64(&sub.count, "sub-window count"));
+      QLOVE_RETURN_NOT_OK(r->NonNegI64(&sub.epoch, "sub-window epoch"));
+      QLOVE_RETURN_NOT_OK(r->Bool(&sub.bursty));
+      uint32_t num_quantiles;
+      QLOVE_RETURN_NOT_OK(r->Length(&num_quantiles, 8, "quantile"));
+      sub.quantiles.resize(num_quantiles);
+      for (double& quantile : sub.quantiles) {
+        QLOVE_RETURN_NOT_OK(r->F64(&quantile));
+      }
+      uint32_t num_tails;
+      QLOVE_RETURN_NOT_OK(r->Length(&num_tails, 4 + 4, "tail capture"));
+      sub.tails.resize(num_tails);
+      for (core::TailCapture& tail : sub.tails) {
+        uint32_t num_topk;
+        QLOVE_RETURN_NOT_OK(r->Length(&num_topk, 16, "top-k entry"));
+        tail.topk.resize(num_topk);
+        for (auto& [value, count] : tail.topk) {
+          QLOVE_RETURN_NOT_OK(r->F64(&value));
+          QLOVE_RETURN_NOT_OK(r->NonNegI64(&count, "top-k multiplicity"));
+        }
+        uint32_t num_samples;
+        QLOVE_RETURN_NOT_OK(r->Length(&num_samples, 8, "tail sample"));
+        tail.samples.resize(num_samples);
+        for (double& sample : tail.samples) {
+          QLOVE_RETURN_NOT_OK(r->F64(&sample));
+        }
+      }
+    }
+  } else {
+    uint32_t num_entries;
+    QLOVE_RETURN_NOT_OK(r->Length(&num_entries, 16, "weighted entry"));
+    summary->entries.resize(num_entries);
+    for (auto& [value, weight] : summary->entries) {
+      QLOVE_RETURN_NOT_OK(r->F64(&value));
+      QLOVE_RETURN_NOT_OK(r->NonNegI64(&weight, "entry weight"));
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeKey(const MetricKey& key, Writer* w) {
+  w->Str(key.name());
+  w->U32(static_cast<uint32_t>(key.tags().size()));
+  for (const MetricTag& tag : key.tags()) {
+    w->Str(tag.first);
+    w->Str(tag.second);
+  }
+}
+
+Status DecodeKey(Reader* r, MetricKey* key) {
+  std::string name;
+  QLOVE_RETURN_NOT_OK(r->Str(&name));
+  uint32_t num_tags;
+  QLOVE_RETURN_NOT_OK(r->Length(&num_tags, 4 + 4, "tag"));
+  std::vector<MetricTag> tags(num_tags);
+  for (MetricTag& tag : tags) {
+    QLOVE_RETURN_NOT_OK(r->Str(&tag.first));
+    QLOVE_RETURN_NOT_OK(r->Str(&tag.second));
+  }
+  // MetricKey re-canonicalizes (sorts) its tags. Encoded keys come from a
+  // MetricKey, so their tags arrive sorted and survive a re-encode
+  // byte-identically; a corrupt buffer whose tags decode out of order is
+  // silently canonicalized, which is the safe direction.
+  *key = MetricKey(std::move(name), std::move(tags));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot) {
+  Writer w;
+  for (uint8_t byte : kWireMagic) w.U8(byte);
+  w.U16(kWireVersion);
+  w.Str(snapshot.source);
+  w.I64(snapshot.epoch);
+  w.U32(static_cast<uint32_t>(snapshot.metrics.size()));
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    EncodeKey(metric.key, &w);
+    EncodeOptions(metric.options, &w);
+    w.U32(static_cast<uint32_t>(metric.shards.size()));
+    for (const BackendSummary& shard : metric.shards) {
+      EncodeSummary(shard, &w);
+    }
+  }
+  return w.Take();
+}
+
+Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size) {
+  if (data == nullptr && size > 0) {
+    return Status::InvalidArgument("wire: null buffer");
+  }
+  Reader r(data, size);
+  for (uint8_t expected : kWireMagic) {
+    uint8_t byte;
+    QLOVE_RETURN_NOT_OK(r.U8(&byte));
+    if (byte != expected) {
+      return Status::InvalidArgument("wire: bad magic (not a QLWF snapshot)");
+    }
+  }
+  uint16_t version;
+  QLOVE_RETURN_NOT_OK(r.U16(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire: unsupported version " + std::to_string(version) +
+        " (this build speaks version " + std::to_string(kWireVersion) + ")");
+  }
+  WireSnapshot snapshot;
+  QLOVE_RETURN_NOT_OK(r.Str(&snapshot.source));
+  // Epochs are counters; a negative one is corruption, and letting it
+  // through would make the aggregator's fleet_epoch - epoch staleness
+  // arithmetic overflow on INT64_MIN.
+  QLOVE_RETURN_NOT_OK(r.NonNegI64(&snapshot.epoch, "snapshot epoch"));
+  uint32_t num_metrics;
+  // Minimum metric wire size: empty key (4+4) + options (the fixed scalar
+  // block alone is > 80 bytes) + shard count.
+  QLOVE_RETURN_NOT_OK(r.Length(&num_metrics, 4 + 4 + 80 + 4, "metric"));
+  snapshot.metrics.resize(num_metrics);
+  for (WireMetricSummary& metric : snapshot.metrics) {
+    QLOVE_RETURN_NOT_OK(DecodeKey(&r, &metric.key));
+    QLOVE_RETURN_NOT_OK(DecodeOptions(&r, &metric.options));
+    uint32_t num_shards;
+    // Minimum summary wire size: kind + counts + flags + payload count.
+    QLOVE_RETURN_NOT_OK(r.Length(&num_shards, 1 + 8 + 8 + 1 + 8 + 1 + 4,
+                                 "shard summary"));
+    metric.shards.resize(num_shards);
+    for (BackendSummary& shard : metric.shards) {
+      QLOVE_RETURN_NOT_OK(DecodeSummary(&r, &shard));
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "wire: " + std::to_string(r.remaining()) +
+        " trailing bytes after snapshot");
+  }
+  return snapshot;
+}
+
+Result<WireSnapshot> DecodeSnapshot(const std::vector<uint8_t>& buffer) {
+  return DecodeSnapshot(buffer.data(), buffer.size());
+}
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxWireBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxWireBytes");
+  }
+  uint8_t header[4];
+  const auto n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(n >> (8 * i));
+  }
+  auto write_all = [fd](const uint8_t* data, size_t size) -> Status {
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t rc = ::write(fd, data + written, size - written);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("frame write failed: ") +
+                                std::strerror(errno));
+      }
+      written += static_cast<size_t>(rc);
+    }
+    return Status::OK();
+  };
+  QLOVE_RETURN_NOT_OK(write_all(header, sizeof(header)));
+  return write_all(payload.data(), payload.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(int fd) {
+  auto read_all = [fd](uint8_t* data, size_t size,
+                       bool eof_ok) -> Result<size_t> {
+    size_t read = 0;
+    while (read < size) {
+      const ssize_t rc = ::read(fd, data + read, size - read);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("frame read failed: ") +
+                                std::strerror(errno));
+      }
+      if (rc == 0) {
+        if (eof_ok && read == 0) return size_t{0};
+        return Status::Internal("frame read: unexpected end of stream");
+      }
+      read += static_cast<size_t>(rc);
+    }
+    return size;
+  };
+  uint8_t header[4];
+  auto header_read = read_all(header, sizeof(header), /*eof_ok=*/true);
+  if (!header_read.ok()) return header_read.status();
+  if (header_read.ValueOrDie() == 0) {
+    return Status::OutOfRange("end of stream");  // clean peer shutdown
+  }
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (static_cast<size_t>(n) > kMaxWireBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(n) +
+                                   " exceeds kMaxWireBytes");
+  }
+  std::vector<uint8_t> payload(n);
+  if (n > 0) {
+    auto payload_read = read_all(payload.data(), payload.size(),
+                                 /*eof_ok=*/false);
+    if (!payload_read.ok()) return payload_read.status();
+  }
+  return payload;
+}
+
+}  // namespace engine
+}  // namespace qlove

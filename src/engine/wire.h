@@ -1,0 +1,111 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The process-boundary seam: a versioned, self-describing binary encoding
+// for the engine's mergeable window state, so per-host agents can ship
+// their summaries to a central aggregator (the paper's datacenter fleet
+// deployment — sketch locally, merge centrally; the same agent->collector
+// topology production monitoring systems use). One WireSnapshot carries an
+// agent's whole export: its identity, its Tick epoch, and for every metric
+// the full MetricOptions (window spec, phi grid, backend configuration)
+// plus each shard's BackendSummary — enough for a remote AggregatorEngine
+// to rebuild the exact merge the agent's own Query layer would run, few-k
+// plan layout included, with no out-of-band configuration channel.
+//
+// Format rules (version 1):
+//  - Little-endian, fixed-width scalars; doubles as raw IEEE-754 bits
+//    (encode(decode(bytes)) is byte-identical, the round-trip the golden
+//    fixtures pin down).
+//  - Every variable-length count is a u32 checked against the remaining
+//    buffer before any allocation: a truncated or hostile buffer yields an
+//    error Status, never UB or an unbounded reserve.
+//  - Decoding is strict: unknown backend kinds, out-of-range enums, or
+//    non-0/1 booleans are InvalidArgument, so a corrupt byte cannot decode
+//    to a normalized-but-different re-encoding.
+//  - Any layout change bumps kWireVersion; decoders reject other versions
+//    outright (agents and aggregators are deployed in lockstep; skew is a
+//    config error surfaced loudly, not silently misparsed).
+
+#ifndef QLOVE_ENGINE_WIRE_H_
+#define QLOVE_ENGINE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/backend.h"
+#include "engine/metric_key.h"
+#include "engine/registry.h"
+
+namespace qlove {
+namespace engine {
+
+/// First 4 bytes of every encoded snapshot: "QLWF".
+inline constexpr uint8_t kWireMagic[4] = {'Q', 'L', 'W', 'F'};
+
+/// Bumped on any layout change; decoders accept exactly this version.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Decoded frames larger than this are rejected before allocation (a
+/// hostile length prefix must not turn into a multi-GB reserve).
+inline constexpr size_t kMaxWireBytes = size_t{64} << 20;
+
+/// \brief One metric's window state as shipped on the wire: identity, the
+/// full serving configuration, and every shard's mergeable summary.
+struct WireMetricSummary {
+  MetricKey key;
+  /// The agent-side MetricOptions, verbatim: window spec, phi grid, and
+  /// backend configuration. Self-describing so the aggregator can rebuild
+  /// the agent's exact merge (few-k plan layout, epsilon budgets) without
+  /// an out-of-band registry.
+  MetricOptions options;
+  /// One mergeable summary per shard, in shard order.
+  std::vector<BackendSummary> shards;
+};
+
+/// \brief One agent's complete export at one Tick epoch.
+struct WireSnapshot {
+  /// Agent identity (host name, pod id, ...). The aggregator keys its
+  /// per-source state by this string; a re-ingest from the same source
+  /// replaces the previous snapshot wholesale.
+  std::string source;
+  /// The agent engine's Tick epoch when the export was taken; the
+  /// aggregator's staleness accounting compares these across sources.
+  int64_t epoch = 0;
+  /// Every exported metric, in canonical key order.
+  std::vector<WireMetricSummary> metrics;
+};
+
+/// \brief Encodes \p snapshot into the version-1 wire format.
+std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot);
+
+/// \brief Decodes a version-1 buffer. InvalidArgument on bad magic, wrong
+/// version, truncation, out-of-range enums, or hostile length prefixes —
+/// decoding never reads past \p size and never trusts a length it has not
+/// checked against the remaining bytes.
+Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size);
+Result<WireSnapshot> DecodeSnapshot(const std::vector<uint8_t>& buffer);
+
+/// \name Frame transport
+///
+/// Minimal length-prefixed framing over a byte-stream file descriptor
+/// (pipe, socketpair, TCP socket): u32 little-endian payload length, then
+/// the payload. This is the transport seam the agent/aggregator example
+/// rides; a production deployment would swap the fd for its RPC stack and
+/// keep the encode/decode unchanged.
+/// @{
+
+/// Writes one frame, handling short writes and EINTR. The frame must not
+/// exceed kMaxWireBytes.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Reads one frame. OutOfRange on clean end-of-stream at a frame boundary
+/// (the peer closed); InvalidArgument on a hostile length prefix;
+/// Internal on a mid-frame EOF or read error.
+Result<std::vector<uint8_t>> ReadFrame(int fd);
+
+/// @}
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_WIRE_H_

@@ -1,0 +1,632 @@
+// Randomized property harness for the distributed merge path: the
+// correctness contract the fleet deployment rests on is that merging is
+// (a) order-insensitive — commutative and associative over sources, (b)
+// transparent to serialization — shipping summaries through the wire
+// format then merging equals merging in process, bit for bit, and (c)
+// accuracy-preserving — the fleet-merged answer stays within the
+// Theorem-1 rank budget of a union-stream Exact oracle.
+//
+// Every trial is seeded (the failure message names the seed, so a red run
+// reproduces exactly) and failures shrink by halving: the harness re-runs
+// the failing predicate on successively halved data slices and reports the
+// smallest slice that still fails, which is what you want to debug, not
+// the original 10k-element stream.
+//
+// Iteration budget: kTrials per property, multiplied by 10 under
+// -DLONG_PROPERTY_TESTS=ON (the nightly CI configuration).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/aggregator.h"
+#include "engine/engine.h"
+#include "engine/wire.h"
+#include "rank_error.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace engine {
+namespace {
+
+using test_util::RankError;
+
+#ifdef QLOVE_LONG_PROPERTY_TESTS
+constexpr int kTrialMultiplier = 10;
+#else
+constexpr int kTrialMultiplier = 1;
+#endif
+constexpr int kTrials = 4 * kTrialMultiplier;
+
+constexpr int kShards = 2;
+constexpr int64_t kPerShardWindow = 1024;
+constexpr int64_t kPerShardPeriod = 256;
+constexpr int64_t kPerTick = kShards * kPerShardPeriod;  // 512
+constexpr int64_t kAgentWindow = kShards * kPerShardWindow;  // 2048
+
+const std::vector<BackendKind> kAllKinds = {
+    BackendKind::kQlove, BackendKind::kGk, BackendKind::kCmqs,
+    BackendKind::kExact};
+
+EngineOptions MakeOptions(BackendKind kind) {
+  EngineOptions options;
+  options.num_shards = kShards;
+  options.shard_window = WindowSpec(kPerShardWindow, kPerShardPeriod);
+  options.default_backend.kind = kind;
+  options.default_backend.epsilon = 0.0005;
+  return options;
+}
+
+/// Random-but-seeded stream: the distribution family is picked by
+/// \p family_seed and the sample path by \p stream_seed. Fleet trials pass
+/// one family per trial with per-agent stream seeds: hosts of one fleet
+/// serve similar traffic (the paper's setting, and what Theorem 1's
+/// similarly-distributed sub-windows assume); successive trials still
+/// explore different distributions.
+std::vector<double> MakeStream(uint64_t family_seed, uint64_t stream_seed,
+                               int64_t n) {
+  Rng rng(family_seed);
+  const int pick = static_cast<int>(rng.Next64() % 3);
+  std::unique_ptr<workload::Generator> gen;
+  switch (pick) {
+    case 0:
+      gen = std::make_unique<workload::NetMonGenerator>(stream_seed);
+      break;
+    case 1:
+      gen = std::make_unique<workload::ParetoGenerator>(stream_seed);
+      break;
+    default:
+      gen = std::make_unique<workload::SearchGenerator>(stream_seed);
+      break;
+  }
+  return workload::Materialize(gen.get(), n);
+}
+
+std::vector<double> MakeStream(uint64_t seed, int64_t n) {
+  return MakeStream(seed, seed, n);
+}
+
+/// Feeds one agent engine a full window of \p data (tick per period).
+void FeedAgent(TelemetryEngine* engine, const MetricKey& key,
+               const std::vector<double>& data) {
+  for (size_t offset = 0; offset < data.size();
+       offset += static_cast<size_t>(kPerTick)) {
+    const size_t n =
+        std::min(static_cast<size_t>(kPerTick), data.size() - offset);
+    ASSERT_TRUE(engine->RecordBatch(key, data.data() + offset, n).ok());
+    engine->Tick();
+  }
+}
+
+/// The probe requests every property evaluates: grid and off-grid
+/// quantiles plus a rank/CDF probe and the count.
+QuerySpec ProbeSpec(const MetricKey& key, double rank_probe) {
+  return QuerySpec::ForKey(key)
+      .With(QueryRequest::Quantile(0.5))
+      .With(QueryRequest::Quantile(0.9))
+      .With(QueryRequest::Quantile(0.97))  // off-grid
+      .With(QueryRequest::Quantile(0.99))
+      .With(QueryRequest::Quantile(0.999))
+      .With(QueryRequest::Rank(rank_probe))
+      .With(QueryRequest::Count());
+}
+
+std::vector<double> OutcomeValues(const QueryResult& result) {
+  std::vector<double> values;
+  values.reserve(result.outcomes.size());
+  for (const QueryOutcome& outcome : result.outcomes) {
+    values.push_back(outcome.value);
+  }
+  return values;
+}
+
+/// Runs \p predicate on progressively halved prefixes of \p data after a
+/// failure at full size, and reports the smallest failing size. The
+/// predicate must be deterministic in (data, seed).
+void ShrinkByHalving(
+    const std::vector<double>& data, uint64_t seed,
+    const std::function<std::string(const std::vector<double>&)>& predicate) {
+  const std::string full = predicate(data);
+  if (full.empty()) return;  // property held
+  std::vector<double> failing = data;
+  std::string failure = full;
+  while (failing.size() > static_cast<size_t>(kPerTick)) {
+    std::vector<double> half(failing.begin(),
+                             failing.begin() + failing.size() / 2);
+    const std::string result = predicate(half);
+    if (result.empty()) break;  // half passes: previous size is minimal
+    failing.swap(half);
+    failure = result;
+  }
+  ADD_FAILURE() << "property failed (seed=" << seed
+                << ", shrunk to n=" << failing.size() << "): " << failure;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize-then-merge == merge-in-process, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(MergePropertyTest, SerializeThenMergeEqualsInProcessMerge) {
+  for (BackendKind kind : kAllKinds) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const uint64_t seed = 1000 + static_cast<uint64_t>(trial);
+      const std::vector<double> data = MakeStream(seed, kAgentWindow);
+      auto predicate =
+          [kind](const std::vector<double>& slice) -> std::string {
+        TelemetryEngine engine(MakeOptions(kind));
+        const MetricKey key("prop");
+        FeedAgent(&engine, key, slice);
+        const double probe = slice[slice.size() / 2];
+
+        auto local = engine.Query(ProbeSpec(key, probe));
+        if (!local.ok()) return "local query failed: " +
+                                local.status().ToString();
+
+        // Ship the state through the full wire path.
+        AggregatorEngine aggregator;
+        const std::vector<uint8_t> encoded =
+            EncodeSnapshot(engine.ExportSnapshot("agent-0"));
+        const Status ingested = aggregator.IngestEncoded(encoded);
+        if (!ingested.ok()) return "ingest failed: " + ingested.ToString();
+        auto remote = aggregator.Query(ProbeSpec(key, probe));
+        if (!remote.ok()) return "remote query failed: " +
+                                 remote.status().ToString();
+
+        // Identical evaluation over identical summaries: exact equality,
+        // not a tolerance — serialization must be invisible.
+        const std::vector<double> local_values =
+            OutcomeValues(local.ValueOrDie());
+        const std::vector<double> remote_values =
+            OutcomeValues(remote.ValueOrDie());
+        for (size_t i = 0; i < local_values.size(); ++i) {
+          if (local_values[i] != remote_values[i]) {
+            return "request " + std::to_string(i) + ": local " +
+                   std::to_string(local_values[i]) + " != remote " +
+                   std::to_string(remote_values[i]);
+          }
+        }
+        if (local.ValueOrDie().window_count !=
+            remote.ValueOrDie().window_count) {
+          return "window_count diverged";
+        }
+        return "";
+      };
+      ShrinkByHalving(data, seed, predicate);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commutativity and associativity over sources
+// ---------------------------------------------------------------------------
+
+TEST(MergePropertyTest, MergeIsCommutativeAndAssociativeOverSources) {
+  constexpr int kAgents = 4;
+  for (BackendKind kind : kAllKinds) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const uint64_t seed = 2000 + static_cast<uint64_t>(trial);
+      // One stream, dealt to agents; the predicate re-deals the slice so
+      // shrinking stays meaningful.
+      const std::vector<double> data =
+          MakeStream(seed, kAgents * kAgentWindow);
+      auto predicate =
+          [kind, seed](const std::vector<double>& slice) -> std::string {
+        const MetricKey key("prop");
+        const int64_t per_agent =
+            std::max<int64_t>(kPerTick,
+                              static_cast<int64_t>(slice.size()) / kAgents);
+        std::vector<std::vector<uint8_t>> frames;
+        for (int agent = 0; agent < kAgents; ++agent) {
+          const size_t begin =
+              std::min(slice.size(),
+                       static_cast<size_t>(agent * per_agent));
+          const size_t end =
+              std::min(slice.size(),
+                       static_cast<size_t>((agent + 1) * per_agent));
+          if (begin >= end) continue;
+          TelemetryEngine engine(MakeOptions(kind));
+          std::vector<double> part(slice.begin() + begin,
+                                   slice.begin() + end);
+          FeedAgent(&engine, key, part);
+          frames.push_back(EncodeSnapshot(
+              engine.ExportSnapshot("agent-" + std::to_string(agent))));
+        }
+        const double probe = slice[slice.size() / 2];
+
+        // Ingest orders: identity, reversed, seed-shuffled. Merging must
+        // not care who reported first (commutativity), and re-grouping
+        // arrivals across aggregator instances must not change answers
+        // (associativity over the pooled multiset).
+        std::vector<size_t> order(frames.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::vector<std::vector<size_t>> orders = {order};
+        orders.push_back({order.rbegin(), order.rend()});
+        Rng rng(seed ^ 0xABCDEF);
+        std::vector<size_t> shuffled = order;
+        for (size_t i = shuffled.size(); i > 1; --i) {
+          std::swap(shuffled[i - 1], shuffled[rng.Next64() % i]);
+        }
+        orders.push_back(shuffled);
+
+        std::vector<double> reference;
+        for (const std::vector<size_t>& ingest_order : orders) {
+          AggregatorEngine aggregator;
+          for (size_t index : ingest_order) {
+            const Status status = aggregator.IngestEncoded(frames[index]);
+            if (!status.ok()) return "ingest failed: " + status.ToString();
+          }
+          auto result = aggregator.Query(ProbeSpec(key, probe));
+          if (!result.ok()) return "query failed: " +
+                                   result.status().ToString();
+          const std::vector<double> values =
+              OutcomeValues(result.ValueOrDie());
+          if (reference.empty()) {
+            reference = values;
+          } else if (values != reference) {
+            return "ingest order changed the merged answers";
+          }
+        }
+        return "";
+      };
+      ShrinkByHalving(data, seed, predicate);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-merged accuracy vs a union-stream Exact oracle
+// ---------------------------------------------------------------------------
+
+TEST(MergePropertyTest, FleetMergeStaysWithinTheoremOneRankBudget) {
+  constexpr int kAgents = 4;
+  // z_{0.025} for the Theorem-1 alpha = 0.05 form.
+  constexpr double kZ = 1.959963984540054;
+  for (BackendKind kind : kAllKinds) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const uint64_t seed = 3000 + static_cast<uint64_t>(trial);
+      const MetricKey key("prop");
+
+      // Agents ingest disjoint streams; the oracle is the sorted union of
+      // exactly the data still inside every agent's window.
+      std::vector<double> window_union;
+      AggregatorEngine aggregator;
+      for (int agent = 0; agent < kAgents; ++agent) {
+        const std::vector<double> data = MakeStream(
+            seed, seed * 10 + static_cast<uint64_t>(agent), kAgentWindow);
+        TelemetryEngine engine(MakeOptions(kind));
+        FeedAgent(&engine, key, data);
+        window_union.insert(window_union.end(), data.begin(), data.end());
+        ASSERT_TRUE(aggregator
+                        .IngestEncoded(EncodeSnapshot(engine.ExportSnapshot(
+                            "agent-" + std::to_string(agent))))
+                        .ok());
+      }
+      std::sort(window_union.begin(), window_union.end());
+      const auto n = static_cast<double>(window_union.size());
+
+      const std::vector<double> phis = {0.5, 0.9, 0.99, 0.999};
+      QuerySpec spec = QuerySpec::ForKey(key);
+      for (double phi : phis) spec.With(QueryRequest::Quantile(phi));
+      auto result = aggregator.Query(spec);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const QueryResult& r = result.ValueOrDie();
+      ASSERT_EQ(r.window_count, static_cast<int64_t>(window_union.size()));
+      EXPECT_EQ(r.sources_fresh, kAgents);
+      EXPECT_EQ(r.sources_stale, 0);
+
+      for (size_t i = 0; i < phis.size(); ++i) {
+        const double phi = phis[i];
+        const QueryOutcome& outcome = r.outcomes[i];
+        ASSERT_TRUE(outcome.status.ok());
+        const double err = RankError(window_union, outcome.value, phi);
+        // The rank budget: the outcome's own documented deterministic
+        // bound (epsilon + 1/N for the sketch kinds, the grid term for
+        // qlove) plus, on the qlove path, the Theorem-1 statistical term
+        // in rank space — |phi_hat - phi| <= 2 z sqrt(phi(1-phi)/(n m))
+        // (the value form times the density). The assertion takes 1.5x
+        // the CI half-width (Theorem 1 is a per-check 95% interval and
+        // this harness runs dozens of checks) plus a 4/m allowance for
+        // the finite-m mean-of-sub-window-quantiles bias the asymptotic
+        // statement drops (heavy-tailed trial families sit ~2-3 ranks/m
+        // high at p90 with m = 256; the conformance suite bounds the
+        // single-stream operator itself). This harness exists to catch
+        // *merge* faults, which manifest an order of magnitude above
+        // this budget (cf. pooling dissimilar distributions: 10-25x).
+        // Entry-backed kinds' bounds are deterministic, so they get no
+        // statistical slack at all.
+        double budget = outcome.rank_error_bound;
+        if (kind == BackendKind::kQlove) {
+          budget += 1.5 * 2.0 * kZ * std::sqrt(phi * (1.0 - phi) / n) +
+                    4.0 / static_cast<double>(kPerShardPeriod);
+        } else {
+          budget += 1.0 / n;
+        }
+        EXPECT_LE(err, budget)
+            << BackendKindName(kind) << " phi=" << phi << " seed=" << seed
+            << " estimate=" << outcome.value;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator fleet semantics: staleness, partial-fleet accounting, epochs
+// ---------------------------------------------------------------------------
+
+/// Builds one agent's encoded export: \p ticks Ticks of deterministic data
+/// under \p kind, reported as \p source.
+std::vector<uint8_t> AgentFrame(const std::string& source, BackendKind kind,
+                                uint64_t seed, int ticks) {
+  TelemetryEngine engine(MakeOptions(kind));
+  const MetricKey key("rtt_us", {{"host", source}});
+  workload::NetMonGenerator gen(seed);
+  for (int tick = 0; tick < ticks; ++tick) {
+    EXPECT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, kPerTick)).ok());
+    engine.Tick();
+  }
+  return EncodeSnapshot(engine.ExportSnapshot(source));
+}
+
+TEST(AggregatorFleetTest, StaleSourceIsExcludedAndAccountedAsPartialFleet) {
+  AggregatorEngine aggregator;  // staleness_epochs = 2
+  // h0 stops reporting at epoch 4; h1 and h2 advance to epoch 8.
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h0", BackendKind::kExact, 1, 4))
+          .ok());
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h1", BackendKind::kExact, 2, 8))
+          .ok());
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h2", BackendKind::kExact, 3, 8))
+          .ok());
+  EXPECT_EQ(aggregator.FleetEpoch(), 8);
+
+  const auto sources = aggregator.Sources();
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_TRUE(sources[0].stale);   // h0: trails by 4 > budget 2
+  EXPECT_FALSE(sources[1].stale);
+  EXPECT_FALSE(sources[2].stale);
+
+  auto result = aggregator.Query(QuerySpec::ForSelector(TagSelector{"rtt_us",
+                                                                    {}})
+                                     .With(QueryRequest::Quantile(0.9))
+                                     .With(QueryRequest::Count()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryResult& r = result.ValueOrDie();
+  EXPECT_EQ(r.sources_fresh, 2);
+  EXPECT_EQ(r.sources_stale, 1);
+  // Only the fresh sub-fleet serves; h0's window (4 ticks of data, its
+  // window holds all 4 x kPerTick elements) is excluded but accounted.
+  EXPECT_EQ(r.matched.size(), 2u);
+  const QueryOutcome& p90 = r.outcomes[0];
+  ASSERT_TRUE(p90.status.ok());
+  EXPECT_EQ(p90.source, core::OutcomeSource::kPartialFleet);
+  // The widening is the stale share: h0 last held 4 * kPerTick elements
+  // against the fresh pool's window_count.
+  const double stale_weight = 4.0 * static_cast<double>(kPerTick);
+  const double expected =
+      stale_weight / (stale_weight + static_cast<double>(r.window_count));
+  EXPECT_GT(p90.rank_error_bound, expected - 1e-12);
+  // Count outcomes are stamped but not rank-widened.
+  EXPECT_EQ(r.outcomes[1].source, core::OutcomeSource::kPartialFleet);
+  EXPECT_EQ(r.outcomes[1].value, static_cast<double>(r.window_count));
+
+  // A fully fresh fleet reports clean outcomes again.
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h0", BackendKind::kExact, 1, 8))
+          .ok());
+  auto fresh = aggregator.Query(
+      QuerySpec::ForSelector(TagSelector{"rtt_us", {}})
+          .With(QueryRequest::Quantile(0.9)));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.ValueOrDie().sources_stale, 0);
+  EXPECT_EQ(fresh.ValueOrDie().outcomes[0].source,
+            core::OutcomeSource::kSketchMerge);
+}
+
+TEST(AggregatorFleetTest, ReorderedExportCannotRollASourceBackwards) {
+  AggregatorEngine aggregator;
+  const std::vector<uint8_t> late = AgentFrame("h0", BackendKind::kGk, 5, 6);
+  const std::vector<uint8_t> early = AgentFrame("h0", BackendKind::kGk, 5, 4);
+  ASSERT_TRUE(aggregator.IngestEncoded(late).ok());
+  const Status rollback = aggregator.IngestEncoded(early);
+  EXPECT_EQ(rollback.code(), Status::Code::kFailedPrecondition);
+  // Same-epoch re-send is idempotent.
+  EXPECT_TRUE(aggregator.IngestEncoded(late).ok());
+  EXPECT_EQ(aggregator.source_count(), 1u);
+}
+
+TEST(AggregatorFleetTest, SameKeyAcrossSourcesPoolsIntoOneAnswer) {
+  // Two agents report the SAME MetricKey (a service-level metric): the
+  // fleet answer covers both populations under one matched key.
+  AggregatorEngine aggregator;
+  for (int agent = 0; agent < 2; ++agent) {
+    TelemetryEngine engine(MakeOptions(BackendKind::kExact));
+    const MetricKey key("qps", {{"service", "search"}});
+    workload::NetMonGenerator gen(40 + static_cast<uint64_t>(agent));
+    for (int tick = 0; tick < 4; ++tick) {
+      ASSERT_TRUE(
+          engine.RecordBatch(key, workload::Materialize(&gen, kPerTick))
+              .ok());
+      engine.Tick();
+    }
+    ASSERT_TRUE(aggregator
+                    .IngestEncoded(EncodeSnapshot(engine.ExportSnapshot(
+                        "host-" + std::to_string(agent))))
+                    .ok());
+  }
+  auto result = aggregator.Query(
+      QuerySpec::ForKey(MetricKey("qps", {{"service", "search"}}))
+          .With(QueryRequest::Count()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().matched.size(), 1u);
+  EXPECT_EQ(result.ValueOrDie().sources_fresh, 2);
+  EXPECT_EQ(result.ValueOrDie().window_count, 2 * 4 * kPerTick);
+}
+
+TEST(AggregatorFleetTest, UnknownTargetsAndGridMismatchesFailLoudly) {
+  AggregatorEngine aggregator;
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h0", BackendKind::kQlove, 9, 4))
+          .ok());
+  EXPECT_EQ(aggregator
+                .Query(QuerySpec::ForKey(MetricKey("nope"))
+                           .With(QueryRequest::Count()))
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+
+  // A second agent reporting the same key on a different phi grid cannot
+  // pool with the first (qlove lowering reads the pool's grid).
+  EngineOptions other = MakeOptions(BackendKind::kQlove);
+  other.phis = {0.25, 0.75, 0.99};
+  TelemetryEngine engine(other);
+  const MetricKey key("rtt_us", {{"host", "h0"}});
+  workload::NetMonGenerator gen(77);
+  for (int tick = 0; tick < 4; ++tick) {
+    ASSERT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, kPerTick)).ok());
+    engine.Tick();
+  }
+  ASSERT_TRUE(aggregator
+                  .IngestEncoded(EncodeSnapshot(engine.ExportSnapshot("h1")))
+                  .ok());
+  const Status mismatch =
+      aggregator
+          .Query(QuerySpec::ForKey(key).With(QueryRequest::Quantile(0.5)))
+          .status();
+  EXPECT_EQ(mismatch.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(AggregatorFleetTest, RestartedAndLateJoiningAgentsServeImmediately) {
+  // Freshness is reporting recency, not absolute Tick counts: an agent
+  // whose engine restarts (epoch counter back to 1) and a host that joins
+  // the fleet late must both serve as soon as their frames arrive.
+  AggregatorEngine aggregator;
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h0", BackendKind::kExact, 1, 20))
+          .ok());
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h1", BackendKind::kExact, 2, 20))
+          .ok());
+  EXPECT_EQ(aggregator.FleetEpoch(), 20);
+
+  // h0 restarts: epoch regresses 20 -> 4, far beyond the reorder budget.
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h0", BackendKind::kExact, 3, 4))
+          .ok());
+  // h2 joins late at epoch 4 against a fleet epoch of 20.
+  ASSERT_TRUE(
+      aggregator.IngestEncoded(AgentFrame("h2", BackendKind::kExact, 4, 4))
+          .ok());
+  for (const auto& source : aggregator.Sources()) {
+    EXPECT_FALSE(source.stale) << source.source;
+  }
+  auto result = aggregator.Query(
+      QuerySpec::ForSelector(TagSelector{"rtt_us", {}})
+          .With(QueryRequest::Count()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().sources_fresh, 3);
+  EXPECT_EQ(result.ValueOrDie().sources_stale, 0);
+  EXPECT_EQ(result.ValueOrDie().matched.size(), 3u);
+}
+
+TEST(AggregatorFleetTest, MixedGridPoolLowersThroughTheQloveGrid) {
+  // A GK metric on one grid plus a qlove metric on another must pool —
+  // lowering reads the qlove participants' own grid — no matter which
+  // source name sorts first (the refusal is reserved for two *qlove*
+  // grids disagreeing, where one of them would be mis-lowered).
+  for (const char* gk_source : {"a-first", "z-last"}) {
+    AggregatorEngine aggregator;
+
+    EngineOptions gk_options = MakeOptions(BackendKind::kGk);
+    gk_options.phis = {0.5, 0.9};  // coarser grid than the qlove agent's
+    gk_options.default_backend.epsilon = 0.005;
+    TelemetryEngine gk_engine(gk_options);
+    const MetricKey gk_key("rtt_us", {{"host", "gk"}});
+    workload::NetMonGenerator gk_gen(91);
+    for (int tick = 0; tick < 4; ++tick) {
+      ASSERT_TRUE(gk_engine
+                      .RecordBatch(gk_key,
+                                   workload::Materialize(&gk_gen, kPerTick))
+                      .ok());
+      gk_engine.Tick();
+    }
+    ASSERT_TRUE(aggregator
+                    .IngestEncoded(EncodeSnapshot(
+                        gk_engine.ExportSnapshot(gk_source)))
+                    .ok());
+    ASSERT_TRUE(
+        aggregator.IngestEncoded(AgentFrame("m", BackendKind::kQlove, 92, 4))
+            .ok());
+
+    auto result = aggregator.Query(
+        QuerySpec::ForSelector(TagSelector{"rtt_us", {}})
+            .With(QueryRequest::Quantile(0.5))
+            .With(QueryRequest::Count()));
+    ASSERT_TRUE(result.ok())
+        << gk_source << ": " << result.status().ToString();
+    EXPECT_TRUE(result.ValueOrDie().mixed_backends);
+    EXPECT_EQ(result.ValueOrDie().window_count, 2 * 4 * kPerTick);
+    EXPECT_TRUE(result.ValueOrDie().outcomes[0].status.ok());
+  }
+}
+
+TEST(AggregatorFleetTest, RepeatedMetricKeyInOneSnapshotIsRejected) {
+  // A frame repeating a key would double-count its population in every
+  // query that matches it; Ingest enforces the wire contract (metrics in
+  // strictly ascending canonical key order) instead.
+  TelemetryEngine engine(MakeOptions(BackendKind::kExact));
+  const MetricKey key("rtt_us");
+  ASSERT_TRUE(
+      engine.RecordBatch(key, std::vector<double>(kPerTick, 1.0)).ok());
+  engine.Tick();
+  WireSnapshot snapshot = engine.ExportSnapshot("h0");
+  ASSERT_EQ(snapshot.metrics.size(), 1u);
+  snapshot.metrics.push_back(snapshot.metrics[0]);  // duplicate key
+  AggregatorEngine aggregator;
+  EXPECT_EQ(aggregator.Ingest(std::move(snapshot)).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(AggregatorFleetTest, NegativeEpochFailsDecode) {
+  TelemetryEngine engine(MakeOptions(BackendKind::kExact));
+  const MetricKey key("rtt_us");
+  ASSERT_TRUE(
+      engine.RecordBatch(key, std::vector<double>(kPerTick, 1.0)).ok());
+  engine.Tick();
+  WireSnapshot snapshot = engine.ExportSnapshot("h0");
+  snapshot.epoch = -1;  // hostile: would overflow staleness arithmetic
+  const std::vector<uint8_t> encoded = EncodeSnapshot(snapshot);
+  EXPECT_FALSE(DecodeSnapshot(encoded).ok());
+}
+
+TEST(AggregatorFleetTest, CorruptSelfDescriptionIsRejectedAtIngest) {
+  TelemetryEngine engine(MakeOptions(BackendKind::kGk));
+  const MetricKey key("rtt_us");
+  workload::NetMonGenerator gen(5);
+  for (int tick = 0; tick < 4; ++tick) {
+    ASSERT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, kPerTick)).ok());
+    engine.Tick();
+  }
+  WireSnapshot snapshot = engine.ExportSnapshot("h0");
+  ASSERT_FALSE(snapshot.metrics.empty());
+  snapshot.metrics[0].options.shard_window.period = 0;  // cannot serve
+  AggregatorEngine aggregator;
+  EXPECT_EQ(aggregator.Ingest(std::move(snapshot)).code(),
+            Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace qlove

@@ -600,6 +600,112 @@ TEST(QueryApiTest, HomogeneousGkRollupKeepsEpsilonBound) {
             outcome.rank_error_bound + 0.01);
 }
 
+// ---------------------------------------------------------------------------
+// The between-Ticks query cache: reused until a Tick, invalidated by it
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheTest, ResolvedWindowIsCachedBetweenTicksAndDroppedByTick) {
+  // White-box at the MetricState seam: Resolved() must hand back the same
+  // cached object while no Tick intervenes (this is what flattens Query
+  // throughput across shard counts — no per-query shard copies) and a
+  // fresh one after CloseSubWindows.
+  MetricOptions options;
+  options.shard_window = WindowSpec(1024, 256);
+  options.phis = {0.5, 0.9, 0.99};
+  MetricState state;
+  ASSERT_TRUE(state.Initialize(MetricKey("cache"), 2, options).ok());
+  workload::NetMonGenerator gen(55);
+  const std::vector<double> batch = workload::Materialize(&gen, 512);
+  state.shard(0).AddBatch(batch.data(), batch.size());
+  state.CloseSubWindows();
+
+  const std::shared_ptr<const ResolvedWindow> first = state.Resolved();
+  EXPECT_EQ(first.get(), state.Resolved().get());  // cached, not rebuilt
+  EXPECT_EQ(first->View(MergeStrategy::kWeightedMean).window_count(), 512);
+
+  state.shard(0).AddBatch(batch.data(), batch.size());
+  state.CloseSubWindows();  // Tick: the cache must drop
+  const std::shared_ptr<const ResolvedWindow> second = state.Resolved();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(second->View(MergeStrategy::kWeightedMean).window_count(), 1024);
+  // The old epoch's state stays valid for holders (queries in flight
+  // across a concurrent Tick keep evaluating a consistent window).
+  EXPECT_EQ(first->View(MergeStrategy::kWeightedMean).window_count(), 512);
+}
+
+TEST(QueryCacheTest, TickInvalidatesCachedQueryAnswers) {
+  // Black-box regression for the shard-scaling cliff fix: a Query after a
+  // Tick must serve the new window, not a stale cached evaluation.
+  EngineOptions options;
+  options.num_shards = 8;  // the cliff was worst at high shard counts
+  options.shard_window = WindowSpec(1024, 128);
+  options.default_backend.kind = BackendKind::kExact;
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+
+  ASSERT_TRUE(engine.RecordBatch(key, std::vector<double>(1024, 10.0)).ok());
+  engine.Tick();
+  const QuerySpec spec = QuerySpec::ForKey(key)
+                             .With(QueryRequest::Count())
+                             .With(QueryRequest::Quantile(0.5));
+  auto before = engine.Query(spec);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.ValueOrDie().outcomes[0].value, 1024.0);
+  EXPECT_EQ(before.ValueOrDie().outcomes[1].value, 10.0);
+
+  // Repeated queries between Ticks serve the identical cached window.
+  auto repeat = engine.Query(spec);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat.ValueOrDie().outcomes[0].value, 1024.0);
+
+  // New data + Tick: the cached WindowView must not survive.
+  ASSERT_TRUE(engine.RecordBatch(key, std::vector<double>(1024, 90.0)).ok());
+  engine.Tick();
+  auto after = engine.Query(spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.ValueOrDie().outcomes[0].value, 2048.0);
+  EXPECT_EQ(after.ValueOrDie().outcomes[1].value, 10.0);  // p50 of {10,90}
+
+  // Snapshot rides the same cache and must agree.
+  auto snap = engine.Snapshot(key);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 2048);
+}
+
+TEST(QueryCacheTest, InflightCountStaysLiveBetweenTicks) {
+  // inflight is the one live counter the cache must NOT freeze: backlog
+  // accumulates between Ticks and dashboards poll it for staleness.
+  EngineOptions options;
+  options.num_shards = 4;
+  options.shard_window = WindowSpec(1024, 256);
+  options.default_backend.kind = BackendKind::kExact;
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+  ASSERT_TRUE(engine.RecordBatch(key, std::vector<double>(1024, 1.0)).ok());
+  engine.Tick();
+
+  const QuerySpec spec = QuerySpec::ForKey(key).With(QueryRequest::Count());
+  auto first = engine.Query(spec);  // builds the cache
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.ValueOrDie().inflight_count, 0);
+
+  ASSERT_TRUE(engine.RecordBatch(key, std::vector<double>(300, 2.0)).ok());
+  auto second = engine.Query(spec);
+  ASSERT_TRUE(second.ok());
+  // Window state is cached (Count unchanged) but inflight is re-read.
+  EXPECT_EQ(second.ValueOrDie().outcomes[0].value, 1024.0);
+  EXPECT_EQ(second.ValueOrDie().inflight_count, 300);
+  auto all = engine.SnapshotAll();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].inflight_count, 300);
+
+  engine.Tick();
+  auto third = engine.Query(spec);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.ValueOrDie().outcomes[0].value, 1324.0);
+  EXPECT_EQ(third.ValueOrDie().inflight_count, 0);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace qlove

@@ -1,0 +1,325 @@
+// The wire format (engine/wire.h): encode -> decode -> re-encode must be
+// byte-identical for every backend kind (the property the aggregator's
+// replay/dedup logic and the golden fixtures rely on); truncated or
+// corrupted buffers must decode to an error Status, never UB (this suite
+// runs under the ASan/UBSan CI job); and the checked-in golden fixtures
+// pin the version-1 layout so any format change shows up as an explicit
+// kWireVersion bump plus regenerated fixtures, not a silent skew.
+//
+// Golden fixtures live in tests/golden/ (path baked in via
+// QLOVE_GOLDEN_DIR); regenerate with
+//   QLOVE_REGEN_GOLDEN=1 ./qlove_tests --gtest_filter='*Golden*'
+// after bumping kWireVersion — never to paper over an unintended change.
+
+#include "engine/wire.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "workload/generators.h"
+
+namespace qlove {
+namespace engine {
+namespace {
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (uint8_t byte : bytes) {
+    hex.push_back(digits[byte >> 4]);
+    hex.push_back(digits[byte & 0xF]);
+  }
+  return hex;
+}
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) break;
+    bytes.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+BackendOptions MakeBackendOptions(BackendKind kind) {
+  BackendOptions backend;
+  backend.kind = kind;
+  backend.epsilon = 0.0005;  // gk/cmqs: fine enough for the default p99.9
+  return backend;
+}
+
+/// An engine-driven snapshot: real sketch state for \p kind, exported the
+/// way an agent would export it.
+WireSnapshot AgentSnapshot(BackendKind kind, uint64_t seed) {
+  EngineOptions options;
+  options.num_shards = 2;
+  options.shard_window = WindowSpec(512, 128);
+  options.default_backend = MakeBackendOptions(kind);
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us", {{"host", "h0"}, {"service", "netmon"}});
+  workload::NetMonGenerator gen(seed);
+  for (int tick = 0; tick < 6; ++tick) {
+    EXPECT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, 256)).ok());
+    engine.Tick();
+  }
+  return engine.ExportSnapshot("agent-" + std::string(BackendKindName(kind)));
+}
+
+/// A hand-built snapshot with literal values only: golden bytes must not
+/// depend on any sketch pipeline's floating-point history, just on the
+/// wire layout itself.
+WireSnapshot LiteralSnapshot(BackendKind kind) {
+  WireSnapshot snapshot;
+  snapshot.source = "golden-agent";
+  snapshot.epoch = 7;
+
+  WireMetricSummary metric;
+  metric.key = MetricKey("rtt_us", {{"dc", "eu-1"}, {"host", "h3"}});
+  metric.options.shard_window = WindowSpec(1024, 256);
+  metric.options.phis = {0.5, 0.9, 0.99};
+  metric.options.backend = MakeBackendOptions(kind);
+
+  BackendSummary shard;
+  shard.kind = kind;
+  if (kind == BackendKind::kQlove) {
+    core::SubWindowSummary sub;
+    sub.quantiles = {125.0, 480.5, 912.25};
+    core::TailCapture tail;
+    tail.topk = {{990.0, 2}, {912.25, 1}};
+    tail.samples = {990.0, 950.5};
+    sub.tails = {tail};
+    sub.bursty = false;
+    sub.count = 256;
+    sub.epoch = 5;
+    shard.subwindows.push_back(sub);
+    sub.epoch = 6;
+    sub.bursty = true;
+    shard.subwindows.push_back(sub);
+    shard.inflight = 3;
+    shard.burst_active = true;
+  } else {
+    shard.entries = {{100.0, 10}, {250.5, 20}, {999.75, 2}};
+    shard.count = 32;
+    shard.semantics = kind == BackendKind::kExact
+                          ? sketch::RankSemantics::kExact
+                          : sketch::RankSemantics::kInterpolated;
+    shard.rank_error = kind == BackendKind::kExact ? 0.0 : 0.005;
+    shard.inflight = 1;
+  }
+  metric.shards = {shard, shard};
+  snapshot.metrics.push_back(std::move(metric));
+  return snapshot;
+}
+
+std::string GoldenPath(BackendKind kind) {
+  return std::string(QLOVE_GOLDEN_DIR) + "/wire_v" +
+         std::to_string(kWireVersion) + "_" + BackendKindName(kind) + ".hex";
+}
+
+class WireRoundTripTest : public ::testing::TestWithParam<BackendKind> {};
+
+// ---------------------------------------------------------------------------
+// encode -> decode -> re-encode is byte-identical (engine-driven state)
+// ---------------------------------------------------------------------------
+
+TEST_P(WireRoundTripTest, ReencodeIsByteIdentical) {
+  const WireSnapshot original = AgentSnapshot(GetParam(), 42);
+  ASSERT_FALSE(original.metrics.empty());
+  const std::vector<uint8_t> encoded = EncodeSnapshot(original);
+
+  auto decoded = DecodeSnapshot(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const WireSnapshot& snapshot = decoded.ValueOrDie();
+  EXPECT_EQ(snapshot.source, original.source);
+  EXPECT_EQ(snapshot.epoch, original.epoch);
+  ASSERT_EQ(snapshot.metrics.size(), original.metrics.size());
+  EXPECT_EQ(snapshot.metrics[0].key, original.metrics[0].key);
+  EXPECT_EQ(snapshot.metrics[0].options.phis, original.metrics[0].options.phis);
+  EXPECT_EQ(snapshot.metrics[0].options.backend.kind, GetParam());
+  ASSERT_EQ(snapshot.metrics[0].shards.size(),
+            original.metrics[0].shards.size());
+  for (size_t shard = 0; shard < snapshot.metrics[0].shards.size(); ++shard) {
+    EXPECT_EQ(snapshot.metrics[0].shards[shard],
+              original.metrics[0].shards[shard])
+        << "shard " << shard << " summary diverged across the round trip";
+  }
+
+  const std::vector<uint8_t> reencoded = EncodeSnapshot(snapshot);
+  EXPECT_EQ(encoded, reencoded);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: the v1 layout is pinned byte for byte
+// ---------------------------------------------------------------------------
+
+TEST_P(WireRoundTripTest, GoldenBytesMatchCheckedInFixture) {
+  const WireSnapshot fixture = LiteralSnapshot(GetParam());
+  const std::vector<uint8_t> encoded = EncodeSnapshot(fixture);
+  const std::string path = GoldenPath(GetParam());
+
+  if (std::getenv("QLOVE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << ToHex(encoded) << "\n";
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
+                         << " (QLOVE_REGEN_GOLDEN=1 to create)";
+  std::string hex;
+  in >> hex;
+  const std::vector<uint8_t> golden = FromHex(hex);
+  EXPECT_EQ(ToHex(encoded), hex)
+      << "wire layout changed: if intentional, bump kWireVersion and "
+         "regenerate tests/golden/";
+
+  // The fixture must also decode and survive a re-encode untouched.
+  auto decoded = DecodeSnapshot(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeSnapshot(decoded.ValueOrDie()), golden);
+}
+
+// ---------------------------------------------------------------------------
+// Truncation and corruption: error Status, never UB
+// ---------------------------------------------------------------------------
+
+TEST_P(WireRoundTripTest, EveryTruncationReturnsErrorStatus) {
+  const std::vector<uint8_t> encoded =
+      EncodeSnapshot(AgentSnapshot(GetParam(), 7));
+  ASSERT_GT(encoded.size(), 16u);
+  for (size_t length = 0; length < encoded.size(); ++length) {
+    auto decoded = DecodeSnapshot(encoded.data(), length);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << length << " bytes decoded";
+  }
+}
+
+TEST_P(WireRoundTripTest, ByteFlipsNeverCrashAndUsuallyFailCleanly) {
+  // Flipping any single byte must yield either a clean error Status or a
+  // decodable (possibly semantically different) snapshot — never UB. Runs
+  // under the ASan/UBSan job, where an out-of-bounds read would abort.
+  std::vector<uint8_t> encoded = EncodeSnapshot(AgentSnapshot(GetParam(), 9));
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const uint8_t saved = encoded[i];
+    encoded[i] = static_cast<uint8_t>(~saved);
+    auto decoded = DecodeSnapshot(encoded);
+    if (decoded.ok()) {
+      // A surviving flip (e.g. inside a double payload) must still
+      // re-encode without reading out of bounds.
+      EncodeSnapshot(decoded.ValueOrDie());
+    }
+    encoded[i] = saved;
+  }
+}
+
+TEST(WireFormatTest, RejectsBadMagicVersionAndHostileLengths) {
+  const std::vector<uint8_t> encoded =
+      EncodeSnapshot(AgentSnapshot(BackendKind::kExact, 3));
+
+  std::vector<uint8_t> bad_magic = encoded;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeSnapshot(bad_magic).ok());
+
+  std::vector<uint8_t> bad_version = encoded;
+  bad_version[4] = static_cast<uint8_t>(kWireVersion + 1);
+  auto version_result = DecodeSnapshot(bad_version);
+  ASSERT_FALSE(version_result.ok());
+  EXPECT_NE(version_result.status().message().find("version"),
+            std::string::npos);
+
+  // Hostile length: patch the source-string length (offset 6) to u32 max.
+  // The decoder must fail on the bounds check, not attempt the allocation.
+  std::vector<uint8_t> hostile = encoded;
+  hostile[6] = hostile[7] = hostile[8] = hostile[9] = 0xFF;
+  EXPECT_FALSE(DecodeSnapshot(hostile).ok());
+
+  EXPECT_FALSE(DecodeSnapshot(nullptr, 8).ok());
+  EXPECT_FALSE(DecodeSnapshot(std::vector<uint8_t>{}).ok());
+
+  // Trailing garbage after a valid snapshot is corruption, not padding.
+  std::vector<uint8_t> trailing = encoded;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(trailing).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Frame transport over a pipe
+// ---------------------------------------------------------------------------
+
+TEST(WireFrameTest, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::vector<uint8_t> payload =
+      EncodeSnapshot(AgentSnapshot(BackendKind::kGk, 11));
+  ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+  ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+  ::close(fds[1]);
+
+  for (int i = 0; i < 2; ++i) {
+    auto frame = ReadFrame(fds[0]);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame.ValueOrDie(), payload);
+  }
+  // Clean peer shutdown at a frame boundary is OutOfRange, not an error.
+  auto eof = ReadFrame(fds[0]);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), Status::Code::kOutOfRange);
+  ::close(fds[0]);
+}
+
+TEST(WireFrameTest, HostileFrameLengthIsRejected) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};  // ~4GB frame
+  ASSERT_EQ(::write(fds[1], huge, sizeof(huge)), 4);
+  ::close(fds[1]);
+  auto frame = ReadFrame(fds[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kInvalidArgument);
+  ::close(fds[0]);
+}
+
+TEST(WireFrameTest, MidFrameEofIsAnError) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const uint8_t header[4] = {16, 0, 0, 0};  // promises 16 payload bytes
+  ASSERT_EQ(::write(fds[1], header, sizeof(header)), 4);
+  ASSERT_EQ(::write(fds[1], header, 2), 2);  // ships only 2
+  ::close(fds[1]);
+  auto frame = ReadFrame(fds[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kInternal);
+  ::close(fds[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, WireRoundTripTest,
+    ::testing::Values(BackendKind::kQlove, BackendKind::kGk,
+                      BackendKind::kCmqs, BackendKind::kExact),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace engine
+}  // namespace qlove
