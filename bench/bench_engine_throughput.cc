@@ -1,14 +1,20 @@
 // Multi-threaded ingest throughput of the sharded TelemetryEngine, swept
-// over sketch backends (qlove / gk / cmqs / exact) at 1/2/4/8 shards, for
-// both the buffered Record path (per-thread buffers, auto-flush) and the
-// direct RecordBatch path. Lock striping should scale ingest until either
+// over sketch backends (qlove / gk / cmqs / exact) x {1,2,4,8} shards x
+// writer-thread counts, for both the buffered Record path (per-thread
+// buffers, batch quantization, shard-ring publish) and the direct
+// RecordBatch path. Ring-buffered shards should scale ingest until either
 // the writer count or the core count runs out; the 1-shard row is the
 // serialized baseline every extra shard is measured against, and the
 // backend axis shows what each sketch family's ingest path costs.
 //
 // Besides the human-readable table, the sweep is emitted as machine-
 // readable JSON (BENCH_engine.json in the working directory) so the perf
-// trajectory can accumulate across commits.
+// trajectory can accumulate across commits. The JSON always carries the
+// full backend x shards x threads sweep: narrowing flags (--backend=K,
+// --threads=N) mark the artifact "partial": true and the bench exits
+// nonzero, so a truncated artifact can never be mistaken for a full
+// trajectory (the regression this guards against: a checked-in
+// BENCH_engine.json that silently held only one backend's rows).
 //
 // Reading the exact rows: the Exact backend's Add is a raw buffer append —
 // its tree maintenance happens at Tick, so the batch path (which only
@@ -17,9 +23,11 @@
 // the tree cost.
 //
 //   $ ./bench_engine_throughput [--events=N] [--seed=S] [--backend=K]
+//                               [--threads=N]
 //
-// --backend restricts the sweep to one kind (qlove / gk / cmqs / exact);
-// the default sweeps all four.
+// --backend restricts the sweep to one kind (qlove / gk / cmqs / exact)
+// and --threads to one writer count; the default sweeps all four backends
+// at 1 and 4 writers.
 
 #include <algorithm>
 #include <atomic>
@@ -43,12 +51,16 @@ namespace qlove {
 namespace bench {
 namespace {
 
-constexpr int kWriterThreads = 4;
 constexpr size_t kBatchSize = 512;
+
+/// The full sweep axes; narrowing any of them marks the run partial.
+const std::vector<int> kThreadSweep = {1, 4};
+const std::vector<int> kShardSweep = {1, 2, 4, 8};
 
 struct RunResult {
   engine::BackendKind backend = engine::BackendKind::kQlove;
   int num_shards = 0;
+  int threads = 0;
   double buffered_mops = 0.0;
   double batch_mops = 0.0;
   /// Read-path rate: ad-hoc Query calls (off-grid quantile + rank/CDF per
@@ -70,7 +82,7 @@ engine::BackendOptions MakeBackend(engine::BackendKind kind) {
   return backend;
 }
 
-RunResult RunOnce(engine::BackendKind kind, int num_shards,
+RunResult RunOnce(engine::BackendKind kind, int num_shards, int num_threads,
                   const std::vector<std::vector<double>>& data) {
   engine::EngineOptions options;
   options.num_shards = num_shards;
@@ -79,10 +91,11 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
   const engine::BackendOptions backend = MakeBackend(kind);
 
   const int64_t per_thread = static_cast<int64_t>(data[0].size());
-  const int64_t total = per_thread * kWriterThreads;
+  const int64_t total = per_thread * num_threads;
   RunResult result;
   result.backend = kind;
   result.num_shards = num_shards;
+  result.threads = num_threads;
 
   // A registration failure must poison the run loudly, not emit 0.00 rows
   // into the JSON the perf trajectory accumulates.
@@ -99,7 +112,7 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
     Stopwatch watch;
     watch.Start();
     std::vector<std::thread> writers;
-    for (int t = 0; t < kWriterThreads; ++t) {
+    for (int t = 0; t < num_threads; ++t) {
       writers.emplace_back([&, t] {
         const std::vector<double>& values = data[static_cast<size_t>(t)];
         for (double v : values) {
@@ -135,7 +148,7 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
     Stopwatch watch;
     watch.Start();
     std::vector<std::thread> writers;
-    for (int t = 0; t < kWriterThreads; ++t) {
+    for (int t = 0; t < num_threads; ++t) {
       writers.emplace_back([&, t] {
         const std::vector<double>& values = data[static_cast<size_t>(t)];
         for (size_t i = 0; i < values.size(); i += kBatchSize) {
@@ -176,19 +189,23 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
 
     // Wire + fleet-merge phase: the distributed tier's cost. One export is
     // encoded per simulated agent (same window state, distinct source
-    // names); each round decodes and ingests the 4-agent fleet and runs
-    // one fleet query — the aggregator's steady-state loop.
+    // names) — re-encoded into one reused buffer, the agent loop's
+    // steady-state allocation-free path; each round decodes and ingests
+    // the 4-agent fleet and runs one fleet query.
     constexpr int kAgents = 4;
     constexpr int kMergeRounds = 100;
     engine::WireSnapshot exported = engine.ExportSnapshot("agent-0");
+    std::vector<uint8_t> encode_buffer;
     if (!exported.metrics.empty()) {
+      engine::EncodeSnapshot(exported, &encode_buffer);
       result.wire_bytes_per_metric =
-          engine::EncodeSnapshot(exported).size() / exported.metrics.size();
+          encode_buffer.size() / exported.metrics.size();
     }
     std::vector<std::vector<uint8_t>> frames;
     for (int a = 0; a < kAgents; ++a) {
       exported.source = "agent-" + std::to_string(a);
-      frames.push_back(engine::EncodeSnapshot(exported));
+      engine::EncodeSnapshot(exported, &encode_buffer);
+      frames.push_back(encode_buffer);
     }
     engine::AggregatorEngine aggregator;
     Stopwatch merge_watch;
@@ -220,8 +237,8 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards,
   return result;
 }
 
-void WriteJson(const std::vector<RunResult>& results, int64_t total_events,
-               uint64_t seed) {
+void WriteJson(const std::vector<RunResult>& results, int64_t events,
+               uint64_t seed, bool partial) {
   const char* path = "BENCH_engine.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -230,84 +247,107 @@ void WriteJson(const std::vector<RunResult>& results, int64_t total_events,
   }
   std::fprintf(out,
                "{\n  \"bench\": \"engine_throughput\",\n"
-               "  \"writer_threads\": %d,\n  \"events\": %lld,\n"
+               "  \"events\": %lld,\n"
                "  \"seed\": %llu,\n  \"hardware_threads\": %u,\n"
+               "  \"partial\": %s,\n"
                "  \"results\": [\n",
-               kWriterThreads, static_cast<long long>(total_events),
+               static_cast<long long>(events),
                static_cast<unsigned long long>(seed),
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(),
+               partial ? "true" : "false");
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     std::fprintf(out,
-                 "    {\"backend\": \"%s\", \"shards\": %d, "
+                 "    {\"backend\": \"%s\", \"shards\": %d, \"threads\": %d, "
                  "\"record_mops\": %.3f, \"batch_mops\": %.3f, "
                  "\"query_kqps\": %.3f, \"wire_bytes_per_metric\": %zu, "
                  "\"merge_kqps\": %.3f}%s\n",
-                 engine::BackendKindName(r.backend), r.num_shards,
+                 engine::BackendKindName(r.backend), r.num_shards, r.threads,
                  r.buffered_mops, r.batch_mops, r.query_kqps,
                  r.wire_bytes_per_metric, r.merge_kqps,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("\nwrote %s\n", path);
+  std::printf("\nwrote %s%s\n", path,
+              partial ? " (PARTIAL sweep — exit nonzero)" : "");
 }
 
 int Main(int argc, char** argv) {
   bench_util::BenchArgs args = bench_util::BenchArgs::Parse(argc, argv);
 
-  // Sweep every backend unless --backend=K narrows it.
+  // Sweep every backend and thread count unless --backend=K / --threads=N
+  // narrow it; narrowed runs are marked partial in the JSON and exit
+  // nonzero so a truncated artifact cannot pass for a full trajectory.
   std::vector<engine::BackendKind> kinds = {
       engine::BackendKind::kQlove, engine::BackendKind::kGk,
       engine::BackendKind::kCmqs, engine::BackendKind::kExact};
+  std::vector<int> thread_counts = kThreadSweep;
+  bool partial = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string prefix = "--backend=";
-    if (arg.rfind(prefix, 0) != 0) continue;
-    auto kind = engine::ParseBackendKind(arg.substr(prefix.size()));
-    if (!kind.ok()) {
-      std::fprintf(stderr, "FATAL: %s\n", kind.status().ToString().c_str());
-      return 1;
+    const std::string backend_prefix = "--backend=";
+    const std::string threads_prefix = "--threads=";
+    if (arg.rfind(backend_prefix, 0) == 0) {
+      auto kind = engine::ParseBackendKind(arg.substr(backend_prefix.size()));
+      if (!kind.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n", kind.status().ToString().c_str());
+        return 1;
+      }
+      kinds = {kind.ValueOrDie()};
+      partial = true;
+    } else if (arg.rfind(threads_prefix, 0) == 0) {
+      const int threads = std::atoi(arg.c_str() + threads_prefix.size());
+      if (threads <= 0) {
+        std::fprintf(stderr, "FATAL: bad --threads value: %s\n", arg.c_str());
+        return 1;
+      }
+      thread_counts = {threads};
+      partial = partial || thread_counts != kThreadSweep;
     }
-    kinds = {kind.ValueOrDie()};
   }
 
+  const int max_threads =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
   const int64_t per_thread =
-      (args.events > 0 ? args.events : 1000000) / kWriterThreads;
+      (args.events > 0 ? args.events : 1000000) / max_threads;
   PrintHeader("Engine ingest throughput",
               "new subsystem (not in paper): sharded multi-backend engine",
-              per_thread * kWriterThreads, args.seed);
+              per_thread * max_threads, args.seed);
 
   std::vector<std::vector<double>> data;
-  for (int t = 0; t < kWriterThreads; ++t) {
+  for (int t = 0; t < max_threads; ++t) {
     workload::NetMonGenerator gen(args.seed + static_cast<uint64_t>(t));
     data.push_back(workload::Materialize(&gen, per_thread));
   }
 
-  std::printf("writer threads: %d, hardware threads: %u\n", kWriterThreads,
-              std::thread::hardware_concurrency());
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
 
   std::vector<RunResult> results;
   for (engine::BackendKind kind : kinds) {
-    std::printf("\nbackend: %s\n", engine::BackendKindName(kind));
-    std::printf("%-8s %18s %18s %10s %14s %14s %14s\n", "shards",
-                "Record (M op/s)", "Batch (M op/s)", "speedup",
-                "Query (K q/s)", "Wire (B/met)", "Merge (K s/s)");
-    double baseline = 0.0;
-    for (int shards : {1, 2, 4, 8}) {
-      const RunResult r = RunOnce(kind, shards, data);
-      if (shards == 1) baseline = r.batch_mops;
-      std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %14zu %14.1f\n", shards,
-                  r.buffered_mops, r.batch_mops,
-                  baseline > 0.0 ? r.batch_mops / baseline : 0.0,
-                  r.query_kqps, r.wire_bytes_per_metric, r.merge_kqps);
-      results.push_back(r);
+    for (int threads : thread_counts) {
+      std::printf("\nbackend: %s, writer threads: %d\n",
+                  engine::BackendKindName(kind), threads);
+      std::printf("%-8s %18s %18s %10s %14s %14s %14s\n", "shards",
+                  "Record (M op/s)", "Batch (M op/s)", "speedup",
+                  "Query (K q/s)", "Wire (B/met)", "Merge (K s/s)");
+      double baseline = 0.0;
+      for (int shards : kShardSweep) {
+        const RunResult r = RunOnce(kind, shards, threads, data);
+        if (shards == kShardSweep.front()) baseline = r.batch_mops;
+        std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %14zu %14.1f\n",
+                    shards, r.buffered_mops, r.batch_mops,
+                    baseline > 0.0 ? r.batch_mops / baseline : 0.0,
+                    r.query_kqps, r.wire_bytes_per_metric, r.merge_kqps);
+        results.push_back(r);
+      }
     }
   }
   std::printf("\nNote: speedup is bounded by hardware threads; on a "
               "single-core host the win is contention relief only.\n");
-  WriteJson(results, per_thread * kWriterThreads, args.seed);
-  return 0;
+  WriteJson(results, per_thread * max_threads, args.seed, partial);
+  // A narrowed sweep must not be mistaken downstream for a full artifact.
+  return partial ? 2 : 0;
 }
 
 }  // namespace

@@ -128,14 +128,40 @@ void QloveOperator::Reset() {
   peak_space_ = 0;
 }
 
-void QloveOperator::Add(double value) {
-  if (!Accepts(value)) return;  // corrupt telemetry never enters state
+void QloveOperator::Add(double value) { (void)TryAdd(value); }
+
+bool QloveOperator::TryAdd(double value) {
+  if (!Accepts(value)) return false;  // corrupt telemetry never enters state
   const double quantized = quantizer_.Quantize(value);
+  // Quantization can overflow the very top of the double range to +-Inf;
+  // corrupt output must not enter the sketch any more than corrupt input
+  // (and the pre-quantized batch path applies this same predicate, so the
+  // two ingest routes stay bit-identical).
+  if (!Accepts(quantized)) return false;
   inflight_.Add(quantized);
   ++inflight_count_;
   if (options_.enable_error_bounds) density_.Observe(quantized);
   const int64_t space = CurrentSpace();
   if (space > peak_space_) peak_space_ = space;
+  return true;
+}
+
+int64_t QloveOperator::AddQuantizedBatch(const double* values, size_t count) {
+  int64_t accepted = 0;
+  const bool observe = options_.enable_error_bounds;
+  for (size_t i = 0; i < count; ++i) {
+    const double quantized = values[i];
+    if (!Accepts(quantized)) continue;
+    inflight_.Add(quantized);
+    ++accepted;
+    if (observe) density_.Observe(quantized);
+  }
+  if (accepted > 0) {
+    inflight_count_ += accepted;
+    const int64_t space = CurrentSpace();
+    if (space > peak_space_) peak_space_ = space;
+  }
+  return accepted;
 }
 
 void QloveOperator::OnSubWindowBoundary() {

@@ -111,10 +111,32 @@ class QloveOperator final : public QuantileOperator {
                     const std::vector<double>& phis) override;
   void Add(double value) override;
 
+  /// Add with an acceptance verdict: false when the value was dropped —
+  /// corrupt on arrival (NaN/Inf), or quantized past the top of the double
+  /// range into +-Inf (values above ~1.7977e308 round up). Callers that
+  /// reconcile ingest counters (engine/ shards) use this so their counts
+  /// match what actually entered the sketch; the batch path applies the
+  /// identical predicate post-quantization, keeping the two bit-identical.
+  bool TryAdd(double value);
+
+  /// Batch ingest of values already quantized by this operator's quantizer
+  /// (the engine hot path: one Quantizer::QuantizeBatch per flushed buffer,
+  /// then shard rings deliver dense pre-quantized runs). State is
+  /// bit-identical to calling Add on each value — Quantize is idempotent —
+  /// but the per-event quantize and peak-space sampling are hoisted out of
+  /// the loop (space is non-decreasing while a sub-window accumulates, so
+  /// the batch-end sample equals the per-event maximum). Returns how many
+  /// values were accepted (non-finite values are dropped, as in Add).
+  int64_t AddQuantizedBatch(const double* values, size_t count);
+
   /// Whether Add(\p value) enters operator state (corrupt telemetry —
   /// NaN/Inf — is dropped). Single source of the acceptance predicate for
   /// callers that reconcile their own ingest counters (engine/ shards).
   static bool Accepts(double value) { return std::isfinite(value); }
+
+  /// The operator's configured quantizer — what a caller must apply before
+  /// AddQuantizedBatch.
+  const Quantizer& quantizer() const { return quantizer_; }
   void OnSubWindowBoundary() override;
   std::vector<double> ComputeQuantiles() override;
   int64_t ObservedSpaceVariables() const override { return peak_space_; }

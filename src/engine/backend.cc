@@ -172,23 +172,38 @@ class QloveBackend final : public ShardBackend {
                      size_t stride) override {
     int64_t accepted = 0;
     for (size_t i = offset; i < count; i += stride) {
-      if (!core::QloveOperator::Accepts(values[i])) continue;
-      op_.Add(values[i]);
-      ++accepted;
+      // TryAdd's verdict covers both drop reasons (corrupt input AND
+      // quantization overflowing to Inf), so this count cannot drift from
+      // the pre-quantized batch path's.
+      if (op_.TryAdd(values[i])) ++accepted;
     }
     return accepted;
   }
 
+  /// Ring-drain path: values arrived pre-quantized (PreQuantizer), so the
+  /// operator's batch entry skips the per-event quantize and per-event
+  /// peak-space sampling. Bit-identical state to AddStrided on the same
+  /// values (Quantize is idempotent).
+  int64_t AddDense(const double* values, size_t count) override {
+    return op_.AddQuantizedBatch(values, count);
+  }
+
+  const Quantizer* PreQuantizer() const override {
+    return op_.quantizer().disabled() ? nullptr : &op_.quantizer();
+  }
+
   void Tick() override { op_.OnSubWindowBoundary(); }
 
-  BackendSummary Summary() const override {
-    BackendSummary summary;
-    summary.kind = BackendKind::kQlove;
+  void SummaryInto(BackendSummary* out) const override {
+    out->ResetForKind(BackendKind::kQlove);
     const std::deque<core::SubWindowSummary>& live = op_.SubWindowSummaries();
-    summary.subwindows.assign(live.begin(), live.end());
-    summary.inflight = op_.InflightCount();
-    summary.burst_active = op_.BurstActiveInWindow();
-    return summary;
+    // resize + element-wise copy (not assign) so a recycled summary's
+    // nested quantile/tail buffers keep their capacity across Ticks.
+    out->subwindows.resize(live.size());
+    size_t i = 0;
+    for (const core::SubWindowSummary& sub : live) out->subwindows[i++] = sub;
+    out->inflight = op_.InflightCount();
+    out->burst_active = op_.BurstActiveInWindow();
   }
 
   int64_t InflightCount() const override { return op_.InflightCount(); }
@@ -198,14 +213,15 @@ class QloveBackend final : public ShardBackend {
     // exact quantile grid serves as its CDF (the same GridCdfAtValue the
     // engine-level rank evaluation uses, so the two surfaces agree).
     int64_t rank = 0;
-    std::vector<double> values(phi_order_.size());
+    rank_scratch_.resize(phi_order_.size());  // reused; owning Shard locks
     for (const core::SubWindowSummary& summary : op_.SubWindowSummaries()) {
       if (summary.quantiles.size() != phi_order_.size()) continue;
       for (size_t j = 0; j < phi_order_.size(); ++j) {
-        values[j] = summary.quantiles[phi_order_[j]];
+        rank_scratch_[j] = summary.quantiles[phi_order_[j]];
       }
-      rank += std::llround(GridCdfAtValue(sorted_phis_, values, value) *
-                           static_cast<double>(summary.count));
+      rank += std::llround(
+          GridCdfAtValue(sorted_phis_, rank_scratch_, value) *
+          static_cast<double>(summary.count));
     }
     return rank;
   }
@@ -220,6 +236,7 @@ class QloveBackend final : public ShardBackend {
   core::QloveOperator op_;
   std::vector<size_t> phi_order_;    // sorted position -> input phi index
   std::vector<double> sorted_phis_;  // ascending
+  mutable std::vector<double> rank_scratch_;  // QueryRank; shard-serialized
 };
 
 /// Sub-window GK: one GkSummary per in-flight sub-window, sealed at each
@@ -278,18 +295,17 @@ class GkBackend final : public ShardBackend {
     NoteSpace();
   }
 
-  BackendSummary Summary() const override {
-    BackendSummary summary;
-    summary.kind = BackendKind::kGk;
-    summary.semantics = sketch::RankSemantics::kInterpolated;
-    summary.rank_error = epsilon_;
+  void SummaryInto(BackendSummary* out) const override {
+    out->ResetForKind(BackendKind::kGk);
+    out->semantics = sketch::RankSemantics::kInterpolated;
+    out->rank_error = epsilon_;
+    out->entries.clear();
     for (const Epoch& sealed : completed_) {
-      summary.entries.insert(summary.entries.end(), sealed.entries.begin(),
-                             sealed.entries.end());
-      summary.count += sealed.count;
+      out->entries.insert(out->entries.end(), sealed.entries.begin(),
+                          sealed.entries.end());
+      out->count += sealed.count;
     }
-    summary.inflight = inflight_.count();
-    return summary;
+    out->inflight = inflight_.count();
   }
 
   int64_t InflightCount() const override { return inflight_.count(); }
@@ -384,16 +400,18 @@ class CmqsBackend final : public ShardBackend {
     op_.ExpireBefore(total_accepted_ - live);
   }
 
-  BackendSummary Summary() const override {
-    BackendSummary summary;
-    summary.kind = BackendKind::kCmqs;
-    summary.semantics = sketch::RankSemantics::kInterpolated;
-    summary.rank_error = epsilon_;
-    summary.entries = op_.ExportWindowEntries();
-    for (const auto& [value, weight] : summary.entries) {
-      summary.count += weight;
+  void SummaryInto(BackendSummary* out) const override {
+    out->ResetForKind(BackendKind::kCmqs);
+    out->semantics = sketch::RankSemantics::kInterpolated;
+    out->rank_error = epsilon_;
+    // ExportWindowEntries builds its vector per call; the move below swaps
+    // it into the recycled summary (one export-sized allocation per Tick,
+    // none per query — the export walks live buckets, so an in-place
+    // variant would drag bucket internals through this seam for little).
+    out->entries = op_.ExportWindowEntries();
+    for (const auto& [value, weight] : out->entries) {
+      out->count += weight;
     }
-    return summary;
   }
 
   /// 0 by contract: the in-flight GK summary already serves mid-bucket
@@ -474,18 +492,17 @@ class ExactBackend final : public ShardBackend {
     NoteSpace();
   }
 
-  BackendSummary Summary() const override {
-    BackendSummary summary;
-    summary.kind = BackendKind::kExact;
-    summary.semantics = sketch::RankSemantics::kExact;
-    summary.entries.reserve(static_cast<size_t>(tree_.UniqueCount()));
-    tree_.InOrder([&summary](double value, int64_t count) {
-      summary.entries.emplace_back(value, count);
+  void SummaryInto(BackendSummary* out) const override {
+    out->ResetForKind(BackendKind::kExact);
+    out->semantics = sketch::RankSemantics::kExact;
+    out->entries.clear();
+    out->entries.reserve(static_cast<size_t>(tree_.UniqueCount()));
+    tree_.InOrder([out](double value, int64_t count) {
+      out->entries.emplace_back(value, count);
       return true;
     });
-    summary.count = tree_.TotalCount();
-    summary.inflight = static_cast<int64_t>(inflight_.size());
-    return summary;
+    out->count = tree_.TotalCount();
+    out->inflight = static_cast<int64_t>(inflight_.size());
   }
 
   int64_t InflightCount() const override {

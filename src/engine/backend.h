@@ -114,6 +114,26 @@ struct BackendSummary {
   /// round-trip tests assert this alongside byte-identity so a mismatch
   /// names the diverging field instead of a byte offset.
   bool operator==(const BackendSummary&) const = default;
+
+  /// Resets the scalar fields for reuse as a \p new_kind summary and clears
+  /// the payload the kind does not use. The kind's own payload vector is
+  /// deliberately NOT cleared here: SummaryInto implementations overwrite
+  /// it with capacity-reusing assignments (resize + element-wise copy), so
+  /// a summary recycled across Ticks stops allocating once its shape
+  /// stabilizes (the allocation-free snapshot path).
+  void ResetForKind(BackendKind new_kind) {
+    kind = new_kind;
+    semantics = sketch::RankSemantics::kExact;
+    count = 0;
+    inflight = 0;
+    burst_active = false;
+    rank_error = 0.0;
+    if (new_kind == BackendKind::kQlove) {
+      entries.clear();
+    } else {
+      subwindows.clear();
+    }
+  }
 };
 
 /// \brief One shard's sketch: ingest, tick sub-windows, export a summary.
@@ -136,12 +156,40 @@ class ShardBackend {
   virtual int64_t AddStrided(const double* values, size_t count,
                              size_t offset, size_t stride) = 0;
 
+  /// Accumulates a dense run of values that the caller has already passed
+  /// through PreQuantizer() (a no-op for backends that return nullptr).
+  /// This is the ring-drain entry point: the shard ring stores stripes
+  /// densely, and the backend consumes whole runs with one virtual call.
+  /// Same acceptance/return contract as AddStrided.
+  virtual int64_t AddDense(const double* values, size_t count) {
+    return AddStrided(values, count, 0, 1);
+  }
+
+  /// The quantizer ingest must apply to values BEFORE they reach AddDense,
+  /// or nullptr when the backend takes raw values. Hoisting quantization
+  /// to the caller lets the engine quantize each flushed buffer once —
+  /// batched and outside any lock — instead of once per event inside the
+  /// backend (Quantize is idempotent, so a defensive re-quantize cannot
+  /// change state).
+  virtual const Quantizer* PreQuantizer() const { return nullptr; }
+
   /// Sub-window boundary (the engine's Tick): finalizes in-flight state and
   /// expires content older than the window.
   virtual void Tick() = 0;
 
-  /// Exports the backend's mergeable window state.
-  virtual BackendSummary Summary() const = 0;
+  /// Exports the backend's mergeable window state into \p out, reusing
+  /// out's buffers (ResetForKind + capacity-reusing payload assignment) so
+  /// repeated per-Tick exports into a recycled summary stop allocating
+  /// once the shape stabilizes.
+  virtual void SummaryInto(BackendSummary* out) const = 0;
+
+  /// Convenience wrapper over SummaryInto for callers without a reusable
+  /// summary.
+  BackendSummary Summary() const {
+    BackendSummary summary;
+    SummaryInto(&summary);
+    return summary;
+  }
 
   /// Values accepted but not yet visible to queries (they surface at the
   /// next Tick); matches Summary().inflight without paying for a summary

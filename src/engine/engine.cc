@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -36,6 +37,13 @@ thread_local std::unordered_map<uint64_t, EngineBuffers> tls_buffers;
 
 std::atomic<uint64_t> next_engine_id{1};
 
+/// Bumped by every ~TelemetryEngine: threads compare it against their own
+/// cached value to learn that some engine died since they last looked.
+std::atomic<uint64_t> dead_engine_generation{0};
+
+/// The generation this thread last swept its buffers against.
+thread_local uint64_t tls_swept_generation = 0;
+
 /// Live engine ids, so threads can prune TLS entries of destroyed engines.
 std::mutex live_engines_mu;
 std::unordered_set<uint64_t>& LiveEngines() {
@@ -44,18 +52,29 @@ std::unordered_set<uint64_t>& LiveEngines() {
 }
 
 /// Returns this thread's buffer map for \p engine_id, creating it on first
-/// touch. Creation is rare (once per thread per engine), so it also sweeps
-/// out entries whose engine has been destroyed.
+/// touch. Any engine destruction since this thread's last sweep triggers a
+/// reap of dead engines' shells — detected by one relaxed atomic compare
+/// on the hot path, so a long-lived writer thread that only ever touches
+/// one live engine still prunes shells promptly instead of accumulating
+/// them until it happens to meet a brand-new engine id (the old behavior:
+/// the sweep ran only on a map miss, and a thread in steady state never
+/// misses).
 EngineBuffers& EnsureEngineBuffers(uint64_t engine_id) {
+  const uint64_t generation =
+      dead_engine_generation.load(std::memory_order_acquire);
   auto it = tls_buffers.find(engine_id);
-  if (it != tls_buffers.end()) return it->second;
-  {
+  if (it != tls_buffers.end() && generation == tls_swept_generation) {
+    return it->second;
+  }
+  if (generation != tls_swept_generation) {
     std::lock_guard<std::mutex> lock(live_engines_mu);
     const std::unordered_set<uint64_t>& live = LiveEngines();
     for (auto stale = tls_buffers.begin(); stale != tls_buffers.end();) {
       stale = live.count(stale->first) ? std::next(stale)
                                        : tls_buffers.erase(stale);
     }
+    tls_swept_generation = generation;
+    if (it != tls_buffers.end()) return it->second;  // engine_id is live
   }
   return tls_buffers[engine_id];
 }
@@ -77,6 +96,14 @@ Status EngineOptions::Validate() const {
   }
   if (thread_buffer_capacity == 0) {
     return Status::InvalidArgument("thread_buffer_capacity must be > 0");
+  }
+  // Upper bound keeps the per-shard allocation sane (2^24 slots = 256 MiB
+  // of values+sequences per shard) and keeps the power-of-two rounding in
+  // ShardRing::Init trivially finite.
+  if (shard_ring_capacity == 0 ||
+      shard_ring_capacity > (size_t{1} << 24)) {
+    return Status::InvalidArgument(
+        "shard_ring_capacity must lie in [1, 2^24]");
   }
   // Backend/option combinations that cannot work fail here, at engine
   // construction, not at first Snapshot.
@@ -101,12 +128,16 @@ TelemetryEngine::~TelemetryEngine() {
     LiveEngines().erase(engine_id_);
   }
   tls_buffers.erase(engine_id_);
+  // Tell every other thread a shell may be reapable (they sweep on their
+  // next EnsureEngineBuffers, whatever engine it is for).
+  dead_engine_generation.fetch_add(1, std::memory_order_release);
 }
 
 Result<std::shared_ptr<MetricState>> TelemetryEngine::GetOrRegister(
     const MetricKey& key) {
   QLOVE_RETURN_NOT_OK(options_status_);
-  return registry_.GetOrCreate(key, options_.num_shards, metric_options_);
+  return registry_.GetOrCreate(key, options_.num_shards, metric_options_,
+                               options_.shard_ring_capacity);
 }
 
 Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
@@ -123,8 +154,8 @@ Status TelemetryEngine::RegisterMetric(const MetricKey& key,
   QLOVE_RETURN_NOT_OK(backend.Validate(options_.shard_window, options_.phis));
   MetricOptions metric_options = metric_options_;
   metric_options.backend = backend;
-  auto state =
-      registry_.GetOrCreate(key, options_.num_shards, metric_options);
+  auto state = registry_.GetOrCreate(key, options_.num_shards, metric_options,
+                                     options_.shard_ring_capacity);
   if (!state.ok()) return state.status();
   // GetOrCreate returns the racing winner's state: losing a registration
   // race must not silently serve this caller a different sketch — neither
@@ -181,18 +212,32 @@ Status TelemetryEngine::RecordBatch(const MetricKey& key,
 
 void TelemetryEngine::FlushToShards(MetricState* state, const double* values,
                                     size_t count) {
+  // Quantize the whole buffer once, in this writer thread, before any
+  // shard sees it: one table-driven batch pass (core/quantizer.h) instead
+  // of a per-event quantize inside every backend, and the work happens
+  // outside every lock. Backends whose ingest takes raw values
+  // (pre_quantizer() == nullptr) skip the pass and the copy.
+  const Quantizer* pre = state->pre_quantizer();
+  const double* publish = values;
+  if (pre != nullptr) {
+    thread_local std::vector<double> quantized;
+    quantized.resize(count);
+    pre->QuantizeBatch(values, quantized.data(), count);
+    publish = quantized.data();
+  }
   // Deal the batch round-robin starting at the metric's rotating cursor:
   // value i -> shard (cursor + i) % S. Every shard receives an interleaved
   // 1/S stripe (an i.i.d.-like sample of the batch), which is what makes
   // the per-shard Level-2 estimates merge cleanly; and concurrent flushes
-  // start at different cursors, spreading lock contention. Stripes are read
-  // straight from the caller's buffer — no intermediate copy.
+  // start at different cursors, spreading ring contention. Each stripe is
+  // one lock-free ring publish; writers only block when a ring outruns
+  // its drain.
   const size_t num_shards = state->num_shards();
   const uint64_t cursor = state->NextShardCursor();
   for (size_t offset = 0; offset < num_shards; ++offset) {
     const size_t shard_index = (cursor + offset) % num_shards;
     state->shard(shard_index)
-        .AddBatchStrided(values, count, offset, num_shards);
+        .PublishPreQuantizedStrided(publish, count, offset, num_shards);
   }
 }
 
@@ -331,13 +376,18 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
   // Single-metric targets also reuse the cached evaluator itself — the
   // Level-2 / entry-pooling merge runs once per Tick, not once per query.
   // Rollups pool pointers into the cached summaries and merge per query
-  // (the pool composition depends on the target), still copying nothing.
-  std::unique_ptr<WindowView> pooled_view;
+  // (the pool composition depends on the target), still copying nothing —
+  // and build their per-query WindowView out of a thread-local arena, so
+  // repeated rollups inherit the previous query's buffer capacities
+  // instead of allocating (released back after evaluation, below).
+  thread_local WindowArena arena;
+  std::optional<WindowView> pooled_view;
   const WindowView* view;
   if (resolved.size() == 1 && homogeneous) {
     view = &resolved.front()->View(spec.strategy);
   } else {
-    std::vector<const BackendSummary*> pointers;
+    std::vector<const BackendSummary*> pointers = std::move(arena.pointers);
+    pointers.clear();
     size_t total_views = 0;
     for (const auto& window : resolved) total_views += window->views().size();
     pointers.reserve(total_views);
@@ -346,9 +396,10 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
         pointers.push_back(&summary);
       }
     }
-    pooled_view = std::make_unique<WindowView>(
-        pointers, options, spec.strategy, /*lower_to_entries=*/!homogeneous);
-    view = pooled_view.get();
+    pooled_view.emplace(pointers, options, spec.strategy,
+                        /*lower_to_entries=*/!homogeneous, &arena);
+    arena.pointers = std::move(pointers);
+    view = &*pooled_view;
   }
 
   result.outcomes.reserve(spec.requests.size());
@@ -364,6 +415,8 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
   for (const auto& state : states) {
     result.inflight_count += state->LiveInflightCount();
   }
+  // Hand the rollup scratch back for the next query on this thread.
+  if (pooled_view.has_value()) pooled_view->ReleaseTo(&arena);
   return result;
 }
 

@@ -1,12 +1,16 @@
 // Copyright 2026 The QLOVE Reproduction Authors
 // The sharded multi-metric telemetry engine: the serving seam between raw
 // per-host record streams and windowed quantile queries. Each registered
-// metric (name + tags) owns N lock-striped shards, each running a private
-// ShardBackend (QLOVE by default; GK / CMQS / Exact selectable per metric)
-// over the core/ + sketch/ + stream/ layers; records reach shards through
-// per-thread buffers that flush as round-robin interleaves, so the ingest
-// hot path is one thread-local append and writers only contend on a shard
-// mutex once per buffer.
+// metric (name + tags) owns N shards, each running a private ShardBackend
+// (QLOVE by default; GK / CMQS / Exact selectable per metric) over the
+// core/ + sketch/ + stream/ layers. Records reach shards through
+// per-thread buffers; a full buffer is quantized once as a batch
+// (Quantizer::QuantizeBatch) and dealt as round-robin stripes into each
+// shard's bounded MPSC ring — one CAS per stripe, no locks — so the
+// ingest hot path is a thread-local append and steady-state writers never
+// contend with each other or with snapshotting. Shard backends drain
+// their rings under one lock acquisition per Tick/flush, plus
+// opportunistic try-lock drains when a ring passes its high-water mark.
 //
 // Lifecycle:
 //   TelemetryEngine engine(options);
@@ -74,8 +78,18 @@ struct EngineOptions {
   BackendOptions default_backend;
 
   /// Records buffered per (thread, metric) before an automatic flush.
-  /// Larger buffers amortize shard locking; smaller ones bound staleness.
+  /// Larger buffers amortize the per-flush work (one batch quantization +
+  /// one ring publish per shard); smaller ones bound staleness.
   size_t thread_buffer_capacity = 256;
+
+  /// Slots in each shard's ingest ring (rounded up to a power of two).
+  /// Writers publish into the ring lock-free and only block when it fills
+  /// faster than it drains, so size it to absorb the expected burst
+  /// between drains: at least num-writers x (thread_buffer_capacity /
+  /// num_shards) stripe elements, with headroom. Memory cost is
+  /// 8 bytes x capacity x num_shards per metric (plus a sequence word per
+  /// slot). See README "Performance" for tuning guidance.
+  size_t shard_ring_capacity = 4096;
 
   /// Rejects configurations that cannot serve: bad windows/phis, and
   /// backend/option combinations that could only fail later (at first

@@ -27,16 +27,16 @@ QueryOutcome EmptyWindowOutcome(core::OutcomeSource source) {
 
 /// Worst-case |true CDF - GridCdfAtValue| for one grid: the width of the
 /// grid bracket the value falls in — [0, phi_first] below the grid floor,
-/// [phi_last, 1] above the ceiling, the enclosing grid cell inside.
-double GridCdfBound(const std::vector<double>& phis,
-                    const std::vector<double>& values, double value) {
-  if (phis.empty()) return kInf;
-  if (value < values.front()) return phis.front();
-  if (value >= values.back()) return 1.0 - phis.back();
+/// [phi_last, 1] above the ceiling, the enclosing grid cell inside. Span
+/// form so EvaluateRank can walk precomputed flat per-summary grids.
+double GridCdfBoundSpan(const double* phis, const double* values, size_t n,
+                        double value) {
+  if (n == 0) return kInf;
+  if (value < values[0]) return phis[0];
+  if (value >= values[n - 1]) return 1.0 - phis[n - 1];
   const size_t hi =
-      static_cast<size_t>(std::upper_bound(values.begin(), values.end(),
-                                           value) -
-                          values.begin());
+      static_cast<size_t>(std::upper_bound(values, values + n, value) -
+                          values);
   return phis[hi] - phis[hi - 1];
 }
 
@@ -145,15 +145,22 @@ Status QuerySpec::Validate() const {
   return Status::OK();
 }
 
-std::vector<size_t> SortedPhiOrder(const std::vector<double>& phis,
-                                   std::vector<double>* sorted_phis) {
-  std::vector<size_t> order(phis.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(),
+void SortedPhiOrderInto(const std::vector<double>& phis,
+                        std::vector<size_t>* order,
+                        std::vector<double>* sorted_phis) {
+  order->resize(phis.size());
+  std::iota(order->begin(), order->end(), size_t{0});
+  std::sort(order->begin(), order->end(),
             [&](size_t a, size_t b) { return phis[a] < phis[b]; });
   sorted_phis->clear();
   sorted_phis->reserve(phis.size());
-  for (size_t j : order) sorted_phis->push_back(phis[j]);
+  for (size_t j : *order) sorted_phis->push_back(phis[j]);
+}
+
+std::vector<size_t> SortedPhiOrder(const std::vector<double>& phis,
+                                   std::vector<double>* sorted_phis) {
+  std::vector<size_t> order;
+  SortedPhiOrderInto(phis, &order, sorted_phis);
   return order;
 }
 
@@ -170,39 +177,48 @@ double GridValueAtPhi(const std::vector<double>& phis,
   return values[hi - 1] + t * (values[hi] - values[hi - 1]);
 }
 
-double GridCdfAtValue(const std::vector<double>& phis,
-                      const std::vector<double>& values, double value) {
-  if (phis.empty()) return 0.0;
+namespace {
+
+/// Span core of GridCdfAtValue; the public vector overload forwards here,
+/// and EvaluateRank walks precomputed flat per-summary grids through it
+/// without building vectors per call.
+double GridCdfAtValueSpan(const double* phis, const double* values, size_t n,
+                          double value) {
+  if (n == 0) return 0.0;
   // Outside the grid the CDF is only known to lie in the unobserved
   // bracket ([0, phi_first] below the floor, [phi_last, 1] above the
   // ceiling); extrapolate with the nearest cell's slope, clamped to the
   // bracket — near-grid values (the common case: a probe just under a
   // sub-window's p50) stay accurate, far ones saturate at the bracket
   // edge. GridCdfBound reports the full bracket as the worst case.
-  if (value < values.front()) {
-    if (phis.size() < 2 || values[1] <= values[0]) return phis.front() / 2.0;
+  if (value < values[0]) {
+    if (n < 2 || values[1] <= values[0]) return phis[0] / 2.0;
     const double slope = (phis[1] - phis[0]) / (values[1] - values[0]);
-    return std::clamp(phis.front() - (values.front() - value) * slope, 0.0,
-                      phis.front());
+    return std::clamp(phis[0] - (values[0] - value) * slope, 0.0, phis[0]);
   }
-  if (value >= values.back()) {
-    const size_t l = values.size() - 1;
-    if (phis.size() < 2 || values[l] <= values[l - 1]) {
-      return (phis.back() + 1.0) / 2.0;
+  if (value >= values[n - 1]) {
+    const size_t l = n - 1;
+    if (n < 2 || values[l] <= values[l - 1]) {
+      return (phis[l] + 1.0) / 2.0;
     }
     const double slope =
         (phis[l] - phis[l - 1]) / (values[l] - values[l - 1]);
-    return std::clamp(phis.back() + (value - values.back()) * slope,
-                      phis.back(), 1.0);
+    return std::clamp(phis[l] + (value - values[l]) * slope, phis[l], 1.0);
   }
   const size_t hi =
-      static_cast<size_t>(std::upper_bound(values.begin(), values.end(),
-                                           value) -
-                          values.begin());
+      static_cast<size_t>(std::upper_bound(values, values + n, value) -
+                          values);
   const double dv = values[hi] - values[hi - 1];
   if (dv <= 0.0) return phis[hi];
   const double t = (value - values[hi - 1]) / dv;
   return phis[hi - 1] + t * (phis[hi] - phis[hi - 1]);
+}
+
+}  // namespace
+
+double GridCdfAtValue(const std::vector<double>& phis,
+                      const std::vector<double>& values, double value) {
+  return GridCdfAtValueSpan(phis.data(), values.data(), phis.size(), value);
 }
 
 namespace {
@@ -224,8 +240,33 @@ WindowView::WindowView(const std::vector<BackendSummary>& views,
 
 WindowView::WindowView(const std::vector<const BackendSummary*>& views,
                        const MetricOptions& options, MergeStrategy strategy,
-                       bool lower_to_entries)
+                       bool lower_to_entries, WindowArena* arena)
     : options_(options), strategy_(strategy) {
+  if (arena != nullptr) {
+    // Adopt the previous construction's buffers: every member below is
+    // cleared before use, so only capacity carries over.
+    phi_order_ = std::move(arena->phi_order);
+    grid_phis_ = std::move(arena->grid_phis);
+    grid_values_ = std::move(arena->grid_values);
+    grid_sources_ = std::move(arena->grid_sources);
+    merged_ = std::move(arena->merged);
+    plans_ = std::move(arena->plans);
+    tails_by_plan_ = std::move(arena->tails_by_plan);
+    summary_values_ = std::move(arena->summary_values);
+    pooled_ = std::move(arena->pooled);
+    grid_values_.clear();
+    grid_sources_.clear();
+    merged_.clear();
+    plans_.clear();
+    summary_values_.clear();
+    pooled_.clear();
+    // Clear the inner pointer lists (keeping their capacity) so a view
+    // that never rebuilds them — the entry-backed path skips BuildQlove —
+    // cannot carry dangling pointers into the previous query's summaries.
+    for (std::vector<const core::TailCapture*>& tails : tails_by_plan_) {
+      tails.clear();
+    }
+  }
   entry_backed_ =
       lower_to_entries || options_.backend.kind != BackendKind::kQlove;
 
@@ -236,13 +277,25 @@ WindowView::WindowView(const std::vector<const BackendSummary*>& views,
 
   // The phi grid sorted ascending, shared by both modes (grid evaluation
   // on the qlove path, summary lowering on the entry path).
-  phi_order_ = SortedPhiOrder(options_.phis, &grid_phis_);
+  SortedPhiOrderInto(options_.phis, &phi_order_, &grid_phis_);
 
   if (entry_backed_) {
     BuildEntries(views, /*lower_qlove=*/lower_to_entries);
   } else {
     BuildQlove(views);
   }
+}
+
+void WindowView::ReleaseTo(WindowArena* arena) {
+  arena->phi_order = std::move(phi_order_);
+  arena->grid_phis = std::move(grid_phis_);
+  arena->grid_values = std::move(grid_values_);
+  arena->grid_sources = std::move(grid_sources_);
+  arena->merged = std::move(merged_);
+  arena->plans = std::move(plans_);
+  arena->tails_by_plan = std::move(tails_by_plan_);
+  arena->summary_values = std::move(summary_values_);
+  arena->pooled = std::move(pooled_);
 }
 
 void WindowView::BuildQlove(const std::vector<const BackendSummary*>& views) {
@@ -289,6 +342,26 @@ void WindowView::BuildQlove(const std::vector<const BackendSummary*>& views) {
     }
   }
 
+  // Precompute the per-summary evaluation state once per merge, so
+  // Evaluate never builds per-call vectors: every plan's tail pointer
+  // list across the merged summaries (pass 2 here, plus off-grid few-k
+  // re-targeting in QloveQuantile) and each summary's phi-ascending value
+  // grid (EvaluateRank's per-summary CDF).
+  tails_by_plan_.resize(plans_.size());
+  for (size_t p = 0; p < plans_.size(); ++p) {
+    tails_by_plan_[p].clear();
+    tails_by_plan_[p].reserve(merged_.size());
+    for (const core::SubWindowSummary* summary : merged_) {
+      tails_by_plan_[p].push_back(&summary->tails[p]);
+    }
+  }
+  summary_values_.reserve(merged_.size() * num_phis);
+  for (const core::SubWindowSummary* summary : merged_) {
+    for (size_t j = 0; j < num_phis; ++j) {
+      summary_values_.push_back(summary->quantiles[phi_order_[j]]);
+    }
+  }
+
   if (num_summaries_ > 0) {
     if (use_median) {
       for (size_t i = 0; i < num_phis; ++i) {
@@ -308,16 +381,12 @@ void WindowView::BuildQlove(const std::vector<const BackendSummary*>& views) {
       const int plan_index = high_index[i];
       if (plan_index < 0) continue;
       const core::FewKPlan& plan = plans_[static_cast<size_t>(plan_index)];
-      std::vector<const core::TailCapture*> tails;
-      tails.reserve(merged_.size());
-      for (const core::SubWindowSummary* summary : merged_) {
-        tails.push_back(&summary->tails[static_cast<size_t>(plan_index)]);
-      }
       const core::TailRanks ranks =
           core::ComputeTailRanks(options_.phis[i], window_count_);
-      core::SelectFewKOutcome(plan, tails, ranks.tail_size,
-                              ranks.exact_tail_rank, burst_active_,
-                              &estimates[i], &sources[i]);
+      core::SelectFewKOutcome(plan,
+                              tails_by_plan_[static_cast<size_t>(plan_index)],
+                              ranks.tail_size, ranks.exact_tail_rank,
+                              burst_active_, &estimates[i], &sources[i]);
     }
 
     core::RestoreQuantileMonotonicity(options_.phis, &estimates);
@@ -480,16 +549,12 @@ QueryOutcome WindowView::QloveQuantile(double phi) const {
     }
     if (best >= 0) {
       const core::FewKPlan& plan = plans_[static_cast<size_t>(best)];
-      std::vector<const core::TailCapture*> tails;
-      tails.reserve(merged_.size());
-      for (const core::SubWindowSummary* summary : merged_) {
-        tails.push_back(&summary->tails[static_cast<size_t>(best)]);
-      }
       const core::TailRanks ranks =
           core::ComputeTailRanks(phi, window_count_);
       double estimate = outcome.value;
       core::OutcomeSource source = outcome.source;
-      if (core::SelectFewKOutcome(plan, tails, ranks.tail_size,
+      if (core::SelectFewKOutcome(plan, tails_by_plan_[static_cast<size_t>(best)],
+                                  ranks.tail_size,
                                   ranks.exact_tail_rank, burst_active_,
                                   &estimate, &source)) {
         double lo = -kInf, hi = kInf;
@@ -563,14 +628,16 @@ QueryOutcome WindowView::EvaluateRank(double value) const {
   outcome.source = core::OutcomeSource::kLevel2;
   double mass = 0.0;
   double bound = 0.0;
-  std::vector<double> values(phi_order_.size());
-  for (const core::SubWindowSummary* summary : merged_) {
-    for (size_t j = 0; j < phi_order_.size(); ++j) {
-      values[j] = summary->quantiles[phi_order_[j]];
-    }
-    const double count = static_cast<double>(summary->count);
-    mass += GridCdfAtValue(grid_phis_, values, value) * count;
-    bound += GridCdfBound(grid_phis_, values, value) * count;
+  const size_t num_phis = phi_order_.size();
+  for (size_t i = 0; i < merged_.size(); ++i) {
+    // The precomputed flat grid (summary_values_) is this summary's
+    // phi-ascending quantiles: no per-call gather, no allocation.
+    const double* values = summary_values_.data() + i * num_phis;
+    const double count = static_cast<double>(merged_[i]->count);
+    mass += GridCdfAtValueSpan(grid_phis_.data(), values, num_phis, value) *
+            count;
+    bound += GridCdfBoundSpan(grid_phis_.data(), values, num_phis, value) *
+             count;
   }
   const double total = static_cast<double>(window_count_);
   outcome.value = std::clamp(mass / total, 0.0, 1.0);

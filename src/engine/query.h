@@ -239,6 +239,12 @@ struct QueryResult {
 std::vector<size_t> SortedPhiOrder(const std::vector<double>& phis,
                                    std::vector<double>* sorted_phis);
 
+/// In-place variant reusing \p order / \p sorted_phis capacity (the
+/// arena-backed rollup path).
+void SortedPhiOrderInto(const std::vector<double>& phis,
+                        std::vector<size_t>* order,
+                        std::vector<double>* sorted_phis);
+
 /// Linear interpolation of the value at \p phi, clamped to the grid ends.
 double GridValueAtPhi(const std::vector<double>& phis,
                       const std::vector<double>& values, double phi);
@@ -252,14 +258,40 @@ double GridCdfAtValue(const std::vector<double>& phis,
 
 /// @}
 
+/// \brief Reusable scratch buffers for WindowView construction.
+///
+/// Multi-metric rollups build a fresh WindowView per query (the pool
+/// composition depends on the target); adopting an arena lets each build
+/// inherit the previous query's vector capacities instead of allocating —
+/// construct with the arena, evaluate, then ReleaseTo(&arena) to hand the
+/// buffers back for the next query. One arena serves one WindowView at a
+/// time (TelemetryEngine::Query keeps a thread-local one).
+struct WindowArena {
+  std::vector<const BackendSummary*> pointers;  // the caller's pooled views
+  std::vector<size_t> phi_order;
+  std::vector<double> grid_phis;
+  std::vector<double> grid_values;
+  std::vector<core::OutcomeSource> grid_sources;
+  std::vector<const core::SubWindowSummary*> merged;
+  std::vector<core::FewKPlan> plans;
+  std::vector<std::vector<const core::TailCapture*>> tails_by_plan;
+  std::vector<double> summary_values;
+  std::vector<sketch::WeightedValue> pooled;
+};
+
 /// \brief One pooled, queryable window: the shared evaluator under both
 /// TelemetryEngine::Query and the Snapshot surface (via MergeShardViews).
 ///
 /// Holds pointers into \p views AND a reference to \p options — build,
 /// evaluate, discard while both outlive it (in particular, do not pass a
-/// temporary MetricOptions). Not thread-safe; callers hold consistent
-/// views (MetricState::SnapshotShards is epoch-consistent per metric; a
-/// multi-metric pool is consistent per metric, not across metrics).
+/// temporary MetricOptions). Construction runs every merge and precomputes
+/// the per-summary evaluation state (tail pointer lists per plan, each
+/// summary's phi-ascending value grid), so Evaluate performs no
+/// allocations — the cached-window query path stays allocation-free.
+/// Not thread-safe to build; Evaluate is const and safe concurrently.
+/// Callers hold consistent views (MetricState::SnapshotShards is
+/// epoch-consistent per metric; a multi-metric pool is consistent per
+/// metric, not across metrics).
 class WindowView {
  public:
   /// Pools \p views (non-owning pointers: the summaries must outlive the
@@ -275,13 +307,18 @@ class WindowView {
   WindowView(const std::vector<const BackendSummary*>& views,
              const MetricOptions& options,
              MergeStrategy strategy = MergeStrategy::kWeightedMean,
-             bool lower_to_entries = false);
+             bool lower_to_entries = false, WindowArena* arena = nullptr);
 
   /// Convenience over an owned summary vector (single-metric callers).
   WindowView(const std::vector<BackendSummary>& views,
              const MetricOptions& options,
              MergeStrategy strategy = MergeStrategy::kWeightedMean,
              bool lower_to_entries = false);
+
+  /// Moves this view's buffers into \p arena for the next construction to
+  /// adopt. The view is dead afterwards — release only when done
+  /// evaluating.
+  void ReleaseTo(WindowArena* arena);
 
   /// Evaluates one request against the pooled window.
   QueryOutcome Evaluate(const QueryRequest& request) const;
@@ -325,6 +362,14 @@ class WindowView {
   std::vector<core::OutcomeSource> grid_sources_;  // aligned
   std::vector<const core::SubWindowSummary*> merged_;  // into caller views
   std::vector<core::FewKPlan> plans_;
+  /// tails_by_plan_[p] = every merged summary's TailCapture for plan p,
+  /// in merged_ order — precomputed so quantile evaluations (including
+  /// off-grid few-k re-targeting) never build pointer lists per call.
+  std::vector<std::vector<const core::TailCapture*>> tails_by_plan_;
+  /// merged_[i]'s quantiles in phi-ascending order, flattened at stride
+  /// grid_phis_.size() — the per-summary CDF grids behind EvaluateRank,
+  /// precomputed so rank requests never allocate per call.
+  std::vector<double> summary_values_;
 
   // Entry-backed state: one pooled, sorted weighted multiset.
   std::vector<sketch::WeightedValue> pooled_;
@@ -357,6 +402,12 @@ class ResolvedWindow {
                  const MetricOptions& options);
 
   const std::vector<BackendSummary>& views() const { return views_; }
+
+  /// Transfers the per-shard summary buffers out for recycling; the owning
+  /// MetricState calls this at a Tick boundary when it is the sole owner
+  /// (the next epoch's resolve re-fills them in place). The window is dead
+  /// afterwards.
+  std::vector<BackendSummary> ReclaimViews() { return std::move(views_); }
 
   /// The shared evaluator for \p strategy, built on first use (the
   /// expensive Level-2 / entry-pooling merge thus runs once per Tick per

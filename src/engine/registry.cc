@@ -1,5 +1,6 @@
 #include "engine/registry.h"
 
+#include <atomic>
 #include <mutex>
 #include <utility>
 
@@ -9,7 +10,8 @@ namespace qlove {
 namespace engine {
 
 Status MetricState::Initialize(MetricKey key, int num_shards,
-                               const MetricOptions& options) {
+                               const MetricOptions& options,
+                               size_t ring_capacity) {
   if (num_shards <= 0) {
     return Status::InvalidArgument("num_shards must be > 0");
   }
@@ -21,9 +23,12 @@ Status MetricState::Initialize(MetricKey key, int num_shards,
     auto shard = std::make_unique<Shard>();
     QLOVE_RETURN_NOT_OK(shard->Initialize(options_.backend,
                                           options_.shard_window,
-                                          options_.phis));
+                                          options_.phis, ring_capacity));
     shards_.push_back(std::move(shard));
   }
+  // Every shard runs the same backend configuration, so shard 0's
+  // pre-quantizer speaks for the metric.
+  pre_quantizer_ = shards_.front()->pre_quantizer();
   return Status::OK();
 }
 
@@ -45,16 +50,28 @@ void MetricState::CloseSubWindows() {
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
   // The boundary changed window state: queries in flight keep their
   // shared_ptr to the old epoch's resolved views; the next query resolves
-  // afresh.
+  // afresh. When nothing else holds the cache, reclaim its per-shard
+  // summary buffers for the next epoch's resolve instead of freeing them —
+  // steady-state Ticks then rebuild the query cache allocation-free. The
+  // const_cast is sound: copies of resolved_ are only handed out under
+  // epoch_mu_, so use_count() == 1 here means no other reference exists
+  // or can appear.
+  if (resolved_ != nullptr && resolved_.use_count() == 1) {
+    // use_count() is a relaxed load; the fence pairs with the releasing
+    // refcount decrement of the last outside holder, ordering its final
+    // reads of the views before the mutation below.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    spare_views_ =
+        const_cast<ResolvedWindow*>(resolved_.get())->ReclaimViews();
+  }
   resolved_.reset();
 }
 
 std::vector<BackendSummary> MetricState::SnapshotShards() const {
   std::lock_guard<std::mutex> lock(epoch_mu_);
-  std::vector<BackendSummary> views;
-  views.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    views.push_back(shard->Snapshot());
+  std::vector<BackendSummary> views(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->SnapshotInto(&views[s]);
   }
   return views;
 }
@@ -70,10 +87,14 @@ int64_t MetricState::LiveInflightCount() const {
 std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
   std::lock_guard<std::mutex> lock(epoch_mu_);
   if (resolved_ == nullptr) {
-    std::vector<BackendSummary> views;
-    views.reserve(shards_.size());
-    for (const auto& shard : shards_) {
-      views.push_back(shard->Snapshot());
+    // Refill the previous epoch's reclaimed buffers in place (empty on the
+    // first resolve); Shard::SnapshotInto reuses each summary's payload
+    // capacity, so a steady-state rebuild performs no allocations.
+    std::vector<BackendSummary> views = std::move(spare_views_);
+    spare_views_.clear();
+    views.resize(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->SnapshotInto(&views[s]);
     }
     resolved_ = std::make_shared<const ResolvedWindow>(std::move(views),
                                                        options_);
@@ -82,7 +103,8 @@ std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
 }
 
 Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
-    const MetricKey& key, int num_shards, const MetricOptions& options) {
+    const MetricKey& key, int num_shards, const MetricOptions& options,
+    size_t ring_capacity) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = metrics_.find(key);
@@ -90,7 +112,8 @@ Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
   }
   // Build outside the exclusive section; shard initialization allocates.
   auto state = std::make_shared<MetricState>();
-  QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options));
+  QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options,
+                                        ring_capacity));
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = metrics_.emplace(key, std::move(state));
   if (inserted) by_name_[key.name()].push_back(it->second);

@@ -37,18 +37,25 @@ struct MetricOptions {
   BackendOptions backend;
 };
 
-/// \brief One metric's sharded state: S lock-striped ShardBackends.
+/// \brief One metric's sharded state: S ring-fed ShardBackends.
 class MetricState {
  public:
-  /// Builds and initializes \p num_shards shards.
+  /// Builds and initializes \p num_shards shards, each with a
+  /// \p ring_capacity-slot ingest ring (engine/shard.h).
   Status Initialize(MetricKey key, int num_shards,
-                    const MetricOptions& options);
+                    const MetricOptions& options,
+                    size_t ring_capacity = Shard::kDefaultRingCapacity);
 
   const MetricKey& key() const { return key_; }
   const MetricOptions& options() const { return options_; }
   size_t num_shards() const { return shards_.size(); }
   Shard& shard(size_t index) { return *shards_[index]; }
   const Shard& shard(size_t index) const { return *shards_[index]; }
+
+  /// The quantizer the engine applies to each flushed buffer before
+  /// dealing stripes to the shards (identical across shards); nullptr when
+  /// the metric's backend ingests raw values.
+  const Quantizer* pre_quantizer() const { return pre_quantizer_; }
 
   /// Advances the round-robin cursor; flushes start their shard rotation
   /// here so concurrent writers interleave across different shards.
@@ -96,22 +103,30 @@ class MetricState {
   MetricKey key_;
   MetricOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Shard holds a mutex
+  const Quantizer* pre_quantizer_ = nullptr;    // owned by shard 0's backend
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<int64_t> tick_epochs_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
   /// Current epoch's resolved window; guarded by epoch_mu_, reset by
   /// CloseSubWindows, built lazily by Resolved().
   mutable std::shared_ptr<const ResolvedWindow> resolved_;
+  /// Per-shard summary buffers reclaimed from the previous epoch's
+  /// resolved window (when this state was its sole owner at the Tick):
+  /// the next Resolved() re-fills them in place via Shard::SnapshotInto,
+  /// so steady-state Ticks rebuild the query cache without allocating.
+  mutable std::vector<BackendSummary> spare_views_;
 };
 
 /// \brief Thread-safe MetricKey -> MetricState map.
 class MetricRegistry {
  public:
   /// Returns the existing state for \p key, or creates-and-initializes one
-  /// with \p num_shards and \p options. Losing a registration race returns
-  /// the winner's state.
+  /// with \p num_shards, \p options, and per-shard ingest rings of
+  /// \p ring_capacity slots. Losing a registration race returns the
+  /// winner's state.
   Result<std::shared_ptr<MetricState>> GetOrCreate(
-      const MetricKey& key, int num_shards, const MetricOptions& options);
+      const MetricKey& key, int num_shards, const MetricOptions& options,
+      size_t ring_capacity = Shard::kDefaultRingCapacity);
 
   /// Returns the state for \p key, or nullptr when unregistered.
   std::shared_ptr<MetricState> Find(const MetricKey& key) const;

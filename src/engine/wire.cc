@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -12,24 +13,28 @@ namespace engine {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Encoding primitives: little-endian fixed width, appended to one buffer.
+// Encoding primitives: little-endian fixed width, pointer-bumped into a
+// caller-sized buffer (EncodedSnapshotSize computes the exact byte count
+// up front, so encoding never grows or reallocates mid-write).
 // ---------------------------------------------------------------------------
 
 class Writer {
  public:
-  void U8(uint8_t v) { buf_.push_back(v); }
+  explicit Writer(uint8_t* out) : p_(out) {}
+
+  void U8(uint8_t v) { *p_++ = v; }
   void U16(uint16_t v) {
-    buf_.push_back(static_cast<uint8_t>(v));
-    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    *p_++ = static_cast<uint8_t>(v);
+    *p_++ = static_cast<uint8_t>(v >> 8);
   }
   void U32(uint32_t v) {
     for (int shift = 0; shift < 32; shift += 8) {
-      buf_.push_back(static_cast<uint8_t>(v >> shift));
+      *p_++ = static_cast<uint8_t>(v >> shift);
     }
   }
   void U64(uint64_t v) {
     for (int shift = 0; shift < 64; shift += 8) {
-      buf_.push_back(static_cast<uint8_t>(v >> shift));
+      *p_++ = static_cast<uint8_t>(v >> shift);
     }
   }
   void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
@@ -42,14 +47,57 @@ class Writer {
   void Bool(bool v) { U8(v ? 1 : 0); }
   void Str(const std::string& s) {
     U32(static_cast<uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    std::memcpy(p_, s.data(), s.size());
+    p_ += s.size();
   }
 
-  std::vector<uint8_t> Take() { return std::move(buf_); }
+  const uint8_t* pos() const { return p_; }
 
  private:
-  std::vector<uint8_t> buf_;
+  uint8_t* p_;
 };
+
+// ---------------------------------------------------------------------------
+// Exact sizes, mirroring the encoder field for field. A divergence between
+// a *Size function and its Encode* twin trips the end-of-buffer assertion
+// in EncodeSnapshot (and the round-trip tests compare both overloads'
+// bytes).
+// ---------------------------------------------------------------------------
+
+size_t StrSize(const std::string& s) { return 4 + s.size(); }
+
+size_t KeySize(const MetricKey& key) {
+  size_t n = StrSize(key.name()) + 4;
+  for (const MetricTag& tag : key.tags()) {
+    n += StrSize(tag.first) + StrSize(tag.second);
+  }
+  return n;
+}
+
+size_t OptionsSize(const MetricOptions& options) {
+  // Fixed scalar block (window + backend + qlove knobs) + the phi grid:
+  // 2x i64 window, u32 phi count, u8 kind, f64 epsilon, i32 digits,
+  // 2x bool, 5x f64, 2x i64.
+  return 8 + 8 + 4 + 8 * options.phis.size() + 1 + 8 + 4 + 1 + 8 + 8 + 8 +
+         8 + 8 + 8 + 1 + 8;
+}
+
+size_t SummarySize(const BackendSummary& summary) {
+  // kind + count + inflight + burst + rank_error + semantics.
+  size_t n = 1 + 8 + 8 + 1 + 8 + 1;
+  if (summary.kind == BackendKind::kQlove) {
+    n += 4;
+    for (const core::SubWindowSummary& sub : summary.subwindows) {
+      n += 8 + 8 + 1 + 4 + 8 * sub.quantiles.size() + 4;
+      for (const core::TailCapture& tail : sub.tails) {
+        n += 4 + 16 * tail.topk.size() + 4 + 8 * tail.samples.size();
+      }
+    }
+  } else {
+    n += 4 + 16 * summary.entries.size();
+  }
+  return n;
+}
 
 // ---------------------------------------------------------------------------
 // Decoding primitives: every read is bounds-checked against the buffer;
@@ -350,8 +398,20 @@ Status DecodeKey(Reader* r, MetricKey* key) {
 
 }  // namespace
 
-std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot) {
-  Writer w;
+size_t EncodedSnapshotSize(const WireSnapshot& snapshot) {
+  size_t n = sizeof(kWireMagic) + 2 + StrSize(snapshot.source) + 8 + 4;
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    n += KeySize(metric.key) + OptionsSize(metric.options) + 4;
+    for (const BackendSummary& shard : metric.shards) {
+      n += SummarySize(shard);
+    }
+  }
+  return n;
+}
+
+void EncodeSnapshot(const WireSnapshot& snapshot, std::vector<uint8_t>* out) {
+  out->resize(EncodedSnapshotSize(snapshot));
+  Writer w(out->data());
   for (uint8_t byte : kWireMagic) w.U8(byte);
   w.U16(kWireVersion);
   w.Str(snapshot.source);
@@ -365,7 +425,16 @@ std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot) {
       EncodeSummary(shard, &w);
     }
   }
-  return w.Take();
+  // The size walk and the encoder disagreeing would mean heap corruption;
+  // catch it loudly in checked builds.
+  assert(w.pos() == out->data() + out->size());
+  (void)w;
+}
+
+std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  EncodeSnapshot(snapshot, &out);
+  return out;
 }
 
 Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size) {

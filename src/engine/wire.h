@@ -75,7 +75,19 @@ struct WireSnapshot {
   std::vector<WireMetricSummary> metrics;
 };
 
-/// \brief Encodes \p snapshot into the version-1 wire format.
+/// \brief Exact encoded size of \p snapshot in bytes under the version-1
+/// layout — computed by walking the same field order the encoder writes,
+/// so the encoder can size its output buffer once, up front.
+size_t EncodedSnapshotSize(const WireSnapshot& snapshot);
+
+/// \brief Encodes \p snapshot into \p out (replacing its contents): the
+/// buffer is resized once to the exact EncodedSnapshotSize and filled with
+/// pointer-bump writes — no incremental growth, no reallocation churn. An
+/// agent loop that re-exports every Tick into the same buffer allocates
+/// nothing once the buffer has reached its steady-state size.
+void EncodeSnapshot(const WireSnapshot& snapshot, std::vector<uint8_t>* out);
+
+/// \brief Convenience overload allocating a fresh buffer.
 std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot);
 
 /// \brief Decodes a version-1 buffer. InvalidArgument on bad magic, wrong

@@ -1,0 +1,158 @@
+// QuantizeBatch must be BIT-identical to scalar Quantize on every input —
+// the batch path is the engine's ingest hot path (one pass per flushed
+// buffer), and any divergence from the scalar oracle would silently change
+// what enters every QLOVE sketch. Bit-identity (not value equality) is the
+// bar because the wire layer round-trips raw IEEE-754 bits and the
+// ring-vs-mutex ingest equivalence suite compares encoded frames byte for
+// byte.
+
+#include "core/quantizer.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qlove {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Independent reference: the pre-batch scalar semantics, decade found by
+/// the comparison loop (the seed implementation). Any bug shared between
+/// the shipping scalar path and the batch path would have to reappear here
+/// to go unnoticed.
+double ReferenceQuantize(double value, int digits) {
+  if (digits <= 0 || value == 0.0 || !std::isfinite(value)) return value;
+  const double magnitude = std::fabs(value);
+  static constexpr double kPowers[] = {
+      1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4,
+      1e-3,  1e-2,  1e-1,  1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+      1e6,   1e7,   1e8,   1e9,  1e10, 1e11, 1e12, 1e13};
+  if (magnitude >= 1.0 && magnitude < 1e12 && digits <= 12) {
+    int decade = 0;
+    while (magnitude >= kPowers[decade + 1 + 12]) ++decade;
+    const double scale = kPowers[decade - digits + 1 + 12];
+    return std::round(value / scale) * scale;
+  }
+  const double exponent = std::floor(std::log10(magnitude));
+  const double scale = std::pow(10.0, exponent - digits + 1);
+  return std::round(value / scale) * scale;
+}
+
+/// Asserts scalar == reference and batch == scalar, bit for bit.
+void ExpectBitIdentical(const std::vector<double>& inputs, int digits) {
+  const Quantizer q(digits);
+  std::vector<double> batch(inputs.size());
+  q.QuantizeBatch(inputs.data(), batch.data(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const double scalar = q.Quantize(inputs[i]);
+    const double reference = ReferenceQuantize(inputs[i], digits);
+    EXPECT_EQ(Bits(scalar), Bits(reference))
+        << "scalar diverged from reference at v=" << inputs[i]
+        << " digits=" << digits;
+    EXPECT_EQ(Bits(batch[i]), Bits(scalar))
+        << "batch diverged from scalar at v=" << inputs[i]
+        << " digits=" << digits;
+  }
+  // In-place batches (the engine quantizes thread buffers in a reusable
+  // scratch) must produce the same bytes.
+  std::vector<double> in_place = inputs;
+  q.QuantizeBatch(in_place.data(), in_place.data(), in_place.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(Bits(in_place[i]), Bits(batch[i])) << "in-place diverged";
+  }
+}
+
+std::vector<double> BoundaryInputs() {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> inputs = {
+      0.0, -0.0, 1.0, -1.0,
+      // Decade boundaries and their neighbours across the whole fast range.
+      9.999999999999999e11, 1e12, 1.0000000000000002e12,  // fast-path edge
+      0.9999999999999999, 1.0000000000000002,
+      999.9499999999999, 999.95, 999.9500000000001,  // round carries decades
+      99.95, 9.995, 1005.0, 999.0, 1000.0,
+      // Subnormals and tiny magnitudes (slow path).
+      5e-324, -5e-324, 1e-310, 2.2250738585072014e-308, 1e-300, 1e-15,
+      // Huge magnitudes beyond the table (slow path).
+      1e13, 9.9e15, 1.7976931348623157e308, -1.7976931348623157e308,
+      // Non-finite corruption must pass through untouched.
+      inf, -inf, std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::signaling_NaN()};
+  // Every exact power of ten in and around the fast range, signed.
+  for (int e = -14; e <= 14; ++e) {
+    const double p = std::pow(10.0, e);
+    inputs.push_back(p);
+    inputs.push_back(-p);
+    inputs.push_back(std::nextafter(p, 0.0));
+    inputs.push_back(std::nextafter(p, 1e308));
+  }
+  return inputs;
+}
+
+TEST(QuantizerBatchTest, BitIdenticalOnBoundaries) {
+  for (int digits : {1, 2, 3, 6, 11, 12, 13, 15}) {
+    ExpectBitIdentical(BoundaryInputs(), digits);
+  }
+}
+
+TEST(QuantizerBatchTest, BitIdenticalAcrossDecadesRandomized) {
+  Rng rng(2026);
+  std::vector<double> inputs;
+  inputs.reserve(60000);
+  // Uniform in log-magnitude across [1e-320, 1e308], both signs: every
+  // decade the fast path serves plus deep slow-path territory.
+  for (int i = 0; i < 60000; ++i) {
+    const double exponent = rng.Uniform(-320.0, 308.0);
+    const double mantissa = rng.Uniform(1.0, 10.0);
+    const double sign = rng.Uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+    inputs.push_back(sign * mantissa * std::pow(10.0, exponent));
+  }
+  for (int digits : {1, 3, 12}) ExpectBitIdentical(inputs, digits);
+}
+
+TEST(QuantizerBatchTest, DisabledBatchIsBytewiseCopy) {
+  const Quantizer q(0);
+  const std::vector<double> inputs = BoundaryInputs();
+  std::vector<double> out(inputs.size(), 12345.0);
+  q.QuantizeBatch(inputs.data(), out.data(), inputs.size());
+  EXPECT_EQ(std::memcmp(out.data(), inputs.data(),
+                        inputs.size() * sizeof(double)),
+            0);
+}
+
+TEST(QuantizerBatchTest, IdempotentOnOwnOutput) {
+  // The engine batch-quantizes before publishing and QLOVE's operator may
+  // defensively re-quantize: the second pass must be a bitwise no-op.
+  const Quantizer q(3);
+  Rng rng(7);
+  std::vector<double> inputs;
+  for (int i = 0; i < 20000; ++i) {
+    inputs.push_back(rng.Uniform(1e-6, 1e14));
+  }
+  std::vector<double> once(inputs.size());
+  q.QuantizeBatch(inputs.data(), once.data(), inputs.size());
+  std::vector<double> twice(once);
+  q.QuantizeBatch(twice.data(), twice.data(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(Bits(twice[i]), Bits(once[i])) << "v=" << inputs[i];
+  }
+}
+
+TEST(QuantizerBatchTest, EmptyBatchIsSafe) {
+  const Quantizer q(3);
+  q.QuantizeBatch(nullptr, nullptr, 0);  // must not dereference
+}
+
+}  // namespace
+}  // namespace qlove

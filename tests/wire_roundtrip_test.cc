@@ -169,6 +169,33 @@ TEST_P(WireRoundTripTest, ReencodeIsByteIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Caller-buffer encoding: exact pre-sized, byte-identical, reusable
+// ---------------------------------------------------------------------------
+
+TEST_P(WireRoundTripTest, CallerBufferEncodeIsExactSizedAndReusable) {
+  const WireSnapshot snapshot = AgentSnapshot(GetParam(), 43);
+  const std::vector<uint8_t> reference = EncodeSnapshot(snapshot);
+  // The size walk must agree with the writer exactly: the encoder resizes
+  // once up front and never grows mid-write.
+  EXPECT_EQ(EncodedSnapshotSize(snapshot), reference.size());
+
+  std::vector<uint8_t> buffer;
+  EncodeSnapshot(snapshot, &buffer);
+  EXPECT_EQ(buffer, reference);
+
+  // Steady-state agent loop: re-encoding into the same buffer produces the
+  // same bytes without reallocating (same capacity, same storage).
+  const size_t capacity = buffer.capacity();
+  const uint8_t* storage = buffer.data();
+  for (int i = 0; i < 5; ++i) {
+    EncodeSnapshot(snapshot, &buffer);
+    EXPECT_EQ(buffer, reference);
+  }
+  EXPECT_EQ(buffer.capacity(), capacity);
+  EXPECT_EQ(buffer.data(), storage);
+}
+
+// ---------------------------------------------------------------------------
 // Golden fixtures: the v1 layout is pinned byte for byte
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: fail when engine ingest throughput regresses.
+
+Compares a freshly produced BENCH_engine.json against the checked-in
+baseline floors (bench/BENCH_baseline.json) and exits nonzero when any
+gated configuration's record_mops falls more than the tolerance below its
+floor, or when the bench artifact is a partial sweep (a truncated artifact
+must never pass for a healthy trajectory).
+
+Usage: check_bench_regression.py [BENCH_engine.json] [bench/BENCH_baseline.json]
+
+The baseline floors are deliberately conservative (see the baseline file's
+"provenance" note): CI runners vary in speed, so the gate is tuned to catch
+architectural regressions — e.g. ingest falling back to a serialized
+lock-per-batch path — not single-digit noise.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/BENCH_baseline.json"
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    if bench.get("partial", False):
+        print(f"FAIL: {bench_path} is a partial sweep; the gate needs the "
+              "full backend x shards x threads trajectory")
+        return 1
+
+    tolerance = baseline.get("tolerance", 0.20)
+    rows = {
+        (r["backend"], r["shards"], r["threads"]): r
+        for r in bench["results"]
+    }
+
+    failures = []
+    for gate in baseline["gates"]:
+        key = (gate["backend"], gate["shards"], gate["threads"])
+        row = rows.get(key)
+        if row is None:
+            failures.append(f"missing bench row for {key}")
+            continue
+        floor = gate["record_mops_floor"] * (1.0 - tolerance)
+        measured = row["record_mops"]
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(f"{gate['backend']:>6} @ {gate['shards']} shards, "
+              f"{gate['threads']} writers: record_mops={measured:.3f} "
+              f"(floor {gate['record_mops_floor']:.3f} - {tolerance:.0%} "
+              f"= {floor:.3f}) {verdict}")
+        if measured < floor:
+            failures.append(
+                f"{key}: record_mops {measured:.3f} < {floor:.3f}")
+
+    if failures:
+        print("\nFAIL: ingest throughput regressed beyond tolerance:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: all gated configurations at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
