@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "workload/generators.h"
@@ -33,10 +34,13 @@ inline void PrintHeader(const char* title, const char* paper_ref,
                         int64_t events, uint64_t seed) {
   std::printf("=== %s ===\n", title);
   std::printf("Reproduces: %s\n", paper_ref);
-  std::printf("events=%lld seed=%llu (paper scale: 10M events; pass "
-              "--events=10M --full for paper scale)\n\n",
+  // hardware_threads up front: every throughput/scaling number below is
+  // meaningless without the core count it ran on.
+  std::printf("events=%lld seed=%llu hardware_threads=%u (paper scale: 10M "
+              "events; pass --events=10M --full for paper scale)\n\n",
               static_cast<long long>(events),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency());
 }
 
 }  // namespace bench

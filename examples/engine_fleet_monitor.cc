@@ -56,7 +56,15 @@ int main() {
   options.num_shards = 4;
   options.shard_window = qlove::WindowSpec(4096, 512);
   options.phis = {0.5, 0.9, 0.99, 0.999};
+  // Dogfooded observability: queries at or above 5ms land in the engine's
+  // slow-query log and trip the hook below (the exit block prints both).
+  options.slow_query_threshold_us = 5000.0;
   qlove::engine::TelemetryEngine engine(options);
+  int slow_query_hook_calls = 0;
+  engine.SetSlowQueryHook(
+      [&slow_query_hook_calls](const qlove::engine::SlowQueryRecord&) {
+        ++slow_query_hook_calls;
+      });
 
   // 2. The fleet: three services with different host counts, latency
   //    profiles, and sketch backends, all reporting into service-tagged
@@ -188,6 +196,30 @@ int main() {
                 SourceTag(p99.source).c_str(), kSloUs,
                 (1.0 - slo.value) * 100.0,
                 static_cast<long long>(fleet.window_count));
+  }
+
+  // 4. Exit health block: the engine monitoring the fleet monitors itself
+  //    with the same sketches. Stats() reads the `__qlove/` namespace back
+  //    (counters, ring high-water/stalls, per-stage p50/p99, per-metric
+  //    memory); the Tick-latency p99 below goes through the ordinary
+  //    query surface to show internal health is just another metric.
+  std::printf("\n-- engine self-metrics (dogfooded `__qlove/` sketches) --\n");
+  const qlove::engine::EngineStats stats = engine.Stats();
+  std::printf("%s", qlove::engine::FormatEngineStats(stats).c_str());
+  if (stats.enabled) {
+    auto tick_p99 = engine.Query(
+        qlove::engine::QuerySpec::ForKey(
+            qlove::engine::StageMetricKey(qlove::engine::Stage::kTick))
+            .With(qlove::engine::QueryRequest::Quantile(0.99)));
+    if (tick_p99.ok() && tick_p99.ValueOrDie().outcomes[0].status.ok()) {
+      std::printf("  Query(%s, p99) = %.1fus\n",
+                  qlove::engine::StageMetricKey(qlove::engine::Stage::kTick)
+                      .ToString()
+                      .c_str(),
+                  tick_p99.ValueOrDie().outcomes[0].value);
+    }
+    std::printf("  slow-query hook fired %d time(s) (threshold %.0fus)\n",
+                slow_query_hook_calls, options.slow_query_threshold_us);
   }
   return 0;
 }

@@ -98,8 +98,14 @@ void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
       std::exit(1);
     }
     engine.Tick();
-    const std::vector<uint8_t> frame =
-        qlove::engine::EncodeSnapshot(engine.ExportSnapshot(source));
+    // Dogfooding: each frame carries the agent's own `__qlove/` stage
+    // sketches alongside its telemetry, so the aggregator can answer
+    // fleet-health quantiles (e.g. "p99 Tick latency across all hosts")
+    // through the same query surface as the telemetry itself.
+    qlove::engine::ExportOptions with_self;
+    with_self.include_self_metrics = true;
+    const std::vector<uint8_t> frame = qlove::engine::EncodeSnapshot(
+        engine.ExportSnapshot(source, with_self));
     const qlove::Status shipped = qlove::engine::WriteFrame(fd, frame);
     if (!shipped.ok()) {
       std::fprintf(stderr, "agent %d: %s\n", id, shipped.ToString().c_str());
@@ -224,8 +230,28 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
   for (int fd : read_fds) ::close(fd);
-  std::printf("frame size at t=%ds: %zu bytes (%d metrics)\n", seconds,
-              frame_bytes, 2);
+  std::printf("frame size at t=%ds: %zu bytes (2 metrics + `__qlove/` "
+              "self-metrics)\n", seconds, frame_bytes);
+
+  // Fleet health, two ways. First the aggregator's own self-portrait:
+  // ingest/reject/decode counters, per-source staleness, and the
+  // dogfooded decode/ingest latency sketches.
+  std::printf("\n-- aggregator self-metrics --\n%s",
+              qlove::engine::FormatFleetHealth(aggregator.FleetHealth())
+                  .c_str());
+  // Then the agents' health *as a fleet metric*: every frame shipped each
+  // host's `__qlove/stage_us{stage=tick}` sketch, so the p99 Tick latency
+  // across the whole fleet is one ordinary rollup query away.
+  auto fleet_tick = aggregator.Query(
+      QuerySpec::ForKey(
+          qlove::engine::StageMetricKey(qlove::engine::Stage::kTick))
+          .With(QueryRequest::Quantile(0.99)));
+  if (fleet_tick.ok() && fleet_tick.ValueOrDie().outcomes[0].status.ok()) {
+    std::printf("fleet-wide agent Tick p99 (pooled %lld hosts): %.1fus\n",
+                static_cast<long long>(
+                    fleet_tick.ValueOrDie().sources_fresh),
+                fleet_tick.ValueOrDie().outcomes[0].value);
+  }
 
   // 4. Self-verification against union-stream oracles over exactly the
   //    last kWindowSeconds of traffic (what every agent's window holds).

@@ -1,8 +1,12 @@
 #include "engine/aggregator.h"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <set>
 #include <utility>
+
+#include "common/timer.h"
 
 namespace qlove {
 namespace engine {
@@ -32,9 +36,64 @@ int64_t MetricPopulation(const WireMetricSummary& metric) {
 }  // namespace
 
 AggregatorEngine::AggregatorEngine(AggregatorOptions options)
-    : options_(options) {}
+    : options_(options) {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (options_.introspection) {
+    // The self-metrics engine holds only `__qlove/` sketches (one shard:
+    // stage samples are published single-threaded inside its Tick), so
+    // its cost is a couple of sketches, not a second fleet.
+    EngineOptions self_options;
+    self_options.num_shards = 1;
+    self_.reset(new TelemetryEngine(self_options));
+  }
+#endif
+}
+
+void AggregatorEngine::RecordSelfStage(Stage stage, double micros) const {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (self_ != nullptr && self_->introspection_ != nullptr) {
+    self_->introspection_->RecordStage(stage, micros);
+  }
+#else
+  (void)stage;
+  (void)micros;
+#endif
+}
 
 Status AggregatorEngine::Ingest(WireSnapshot snapshot) {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (self_ != nullptr) {
+    Stopwatch watch;
+    watch.Start();
+    const Status status = IngestImpl(std::move(snapshot));
+    RecordSelfStage(Stage::kAggregatorIngest, watch.ElapsedNanos() * 1e-3);
+    if (status.ok()) {
+      const int64_t accepted =
+          ingests_.fetch_add(1, std::memory_order_relaxed) + 1;
+      // Publish buffered decode/ingest samples into the sketches every few
+      // accepted frames, so FleetHealth's p50/p99 stay current without a
+      // separate driver thread.
+      if (accepted % 8 == 0) self_->Tick();
+    } else if (status.code() == Status::Code::kFailedPrecondition) {
+      rejected_reordered_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
+  }
+#endif
+  const Status status = IngestImpl(std::move(snapshot));
+  if (status.ok()) {
+    ingests_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == Status::Code::kFailedPrecondition) {
+    rejected_reordered_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status AggregatorEngine::IngestImpl(WireSnapshot snapshot) {
   // Wire data is untrusted until its self-described configuration passes
   // the same validation a local registration would: a summary whose
   // options cannot serve would poison every fleet query it pools into.
@@ -89,8 +148,26 @@ Status AggregatorEngine::Ingest(WireSnapshot snapshot) {
 }
 
 Status AggregatorEngine::IngestEncoded(const uint8_t* data, size_t size) {
+  wire_bytes_ingested_.fetch_add(static_cast<int64_t>(size),
+                                 std::memory_order_relaxed);
+#if QLOVE_INTROSPECTION_ENABLED
+  if (self_ != nullptr) {
+    Stopwatch watch;
+    watch.Start();
+    auto decoded = DecodeSnapshot(data, size);
+    RecordSelfStage(Stage::kWireDecode, watch.ElapsedNanos() * 1e-3);
+    if (!decoded.ok()) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      return decoded.status();
+    }
+    return Ingest(decoded.TakeValue());
+  }
+#endif
   auto decoded = DecodeSnapshot(data, size);
-  if (!decoded.ok()) return decoded.status();
+  if (!decoded.ok()) {
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    return decoded.status();
+  }
   return Ingest(decoded.TakeValue());
 }
 
@@ -100,6 +177,7 @@ Status AggregatorEngine::IngestEncoded(const std::vector<uint8_t>& buffer) {
 
 Result<QueryResult> AggregatorEngine::Query(const QuerySpec& spec) const {
   QLOVE_RETURN_NOT_OK(spec.Validate());
+  queries_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
 
   auto matches = [&spec](const MetricKey& key) {
@@ -263,10 +341,42 @@ std::vector<AggregatorEngine::SourceStatus> AggregatorEngine::Sources() const {
     status.source = name;
     status.epoch = state.snapshot.epoch;
     status.stale = IsStale(state, fleet_epoch_);
+    status.epochs_behind = fleet_epoch_ - state.fleet_epoch_at_ingest;
     status.metric_count = state.snapshot.metrics.size();
     out.push_back(std::move(status));
   }
   return out;
+}
+
+AggregatorEngine::FleetHealthSnapshot AggregatorEngine::FleetHealth() const {
+  FleetHealthSnapshot health;
+  health.sources = Sources();
+  health.fleet_epoch = FleetEpoch();
+  for (const SourceStatus& source : health.sources) {
+    (source.stale ? health.sources_stale : health.sources_fresh) += 1;
+  }
+  health.ingests = ingests_.load(std::memory_order_relaxed);
+  health.rejected_reordered =
+      rejected_reordered_.load(std::memory_order_relaxed);
+  health.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  health.decode_failures = decode_failures_.load(std::memory_order_relaxed);
+  health.wire_bytes_ingested =
+      wire_bytes_ingested_.load(std::memory_order_relaxed);
+  health.queries = queries_.load(std::memory_order_relaxed);
+#if QLOVE_INTROSPECTION_ENABLED
+  if (self_ != nullptr) {
+    // Cover every buffered sample before reading the sketches back.
+    self_->Tick();
+    const EngineStats stats = self_->Stats();
+    for (const StageStats& stage : stats.stages) {
+      if (stage.stage == Stage::kWireDecode ||
+          stage.stage == Stage::kAggregatorIngest) {
+        health.stages.push_back(stage);
+      }
+    }
+  }
+#endif
+  return health;
 }
 
 int64_t AggregatorEngine::FleetEpoch() const {
@@ -277,6 +387,121 @@ int64_t AggregatorEngine::FleetEpoch() const {
 size_t AggregatorEngine::source_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sources_.size();
+}
+
+namespace {
+
+void AppendHealthF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+void AppendHealthEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') *out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buf;
+      continue;
+    }
+    *out += c;
+  }
+}
+
+}  // namespace
+
+std::string FormatFleetHealth(
+    const AggregatorEngine::FleetHealthSnapshot& health) {
+  std::string out;
+  AppendHealthF(&out,
+                "fleet health: epoch=%lld sources=%lld fresh + %lld stale\n",
+                static_cast<long long>(health.fleet_epoch),
+                static_cast<long long>(health.sources_fresh),
+                static_cast<long long>(health.sources_stale));
+  AppendHealthF(&out,
+                "  ingests=%lld rejected: reordered=%lld invalid=%lld "
+                "decode_failures=%lld\n",
+                static_cast<long long>(health.ingests),
+                static_cast<long long>(health.rejected_reordered),
+                static_cast<long long>(health.rejected_invalid),
+                static_cast<long long>(health.decode_failures));
+  AppendHealthF(&out, "  wire_bytes_ingested=%lld queries=%lld\n",
+                static_cast<long long>(health.wire_bytes_ingested),
+                static_cast<long long>(health.queries));
+  for (const StageStats& stage : health.stages) {
+    const double mean =
+        stage.samples > 0
+            ? stage.total_us / static_cast<double>(stage.samples)
+            : 0.0;
+    AppendHealthF(&out,
+                  "  %-18s n=%-8lld mean=%-8.2f p50=%-8.2f "
+                  "p99=%-8.2f max=%.2f (us)\n",
+                  StageName(stage.stage),
+                  static_cast<long long>(stage.samples), mean, stage.p50_us,
+                  stage.p99_us, stage.max_us);
+  }
+  for (const AggregatorEngine::SourceStatus& source : health.sources) {
+    AppendHealthF(&out,
+                  "  source %-16s epoch=%-6lld behind=%-4lld metrics=%-4zu "
+                  "%s\n",
+                  source.source.c_str(),
+                  static_cast<long long>(source.epoch),
+                  static_cast<long long>(source.epochs_behind),
+                  source.metric_count, source.stale ? "STALE" : "fresh");
+  }
+  return out;
+}
+
+std::string FleetHealthToJson(
+    const AggregatorEngine::FleetHealthSnapshot& health) {
+  std::string out = "{";
+  AppendHealthF(&out,
+                "\"fleet_epoch\": %lld, \"sources_fresh\": %lld, "
+                "\"sources_stale\": %lld, \"ingests\": %lld, "
+                "\"rejected_reordered\": %lld, \"rejected_invalid\": %lld, "
+                "\"decode_failures\": %lld, \"wire_bytes_ingested\": %lld, "
+                "\"queries\": %lld, ",
+                static_cast<long long>(health.fleet_epoch),
+                static_cast<long long>(health.sources_fresh),
+                static_cast<long long>(health.sources_stale),
+                static_cast<long long>(health.ingests),
+                static_cast<long long>(health.rejected_reordered),
+                static_cast<long long>(health.rejected_invalid),
+                static_cast<long long>(health.decode_failures),
+                static_cast<long long>(health.wire_bytes_ingested),
+                static_cast<long long>(health.queries));
+  out += "\"stages\": [";
+  for (size_t i = 0; i < health.stages.size(); ++i) {
+    const StageStats& stage = health.stages[i];
+    AppendHealthF(&out,
+                  "%s{\"stage\": \"%s\", \"samples\": %lld, "
+                  "\"total_us\": %.3f, \"max_us\": %.3f, \"p50_us\": %.3f, "
+                  "\"p99_us\": %.3f}",
+                  i == 0 ? "" : ", ", StageName(stage.stage),
+                  static_cast<long long>(stage.samples), stage.total_us,
+                  stage.max_us, stage.p50_us, stage.p99_us);
+  }
+  out += "], \"sources\": [";
+  for (size_t i = 0; i < health.sources.size(); ++i) {
+    const AggregatorEngine::SourceStatus& source = health.sources[i];
+    AppendHealthF(&out, "%s{\"source\": \"", i == 0 ? "" : ", ");
+    AppendHealthEscaped(source.source, &out);
+    AppendHealthF(&out,
+                  "\", \"epoch\": %lld, \"stale\": %s, "
+                  "\"epochs_behind\": %lld, \"metric_count\": %zu}",
+                  static_cast<long long>(source.epoch),
+                  source.stale ? "true" : "false",
+                  static_cast<long long>(source.epochs_behind),
+                  source.metric_count);
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace engine

@@ -29,13 +29,17 @@
 #ifndef QLOVE_ENGINE_AGGREGATOR_H_
 #define QLOVE_ENGINE_AGGREGATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "engine/engine.h"
+#include "engine/introspection.h"
 #include "engine/query.h"
 #include "engine/wire.h"
 
@@ -62,6 +66,13 @@ struct AggregatorOptions {
   /// lockstep (see engine/wire.h versioning); a byzantine agent is out of
   /// scope at this layer.
   int64_t staleness_epochs = 2;
+
+  /// Runtime switch for the aggregator's own stage timing (wire decode,
+  /// ingest): recorded into a private single-shard TelemetryEngine's
+  /// `__qlove/` sketches — the aggregator dogfoods the same machinery it
+  /// aggregates. Plain counters (ingests, rejects, bytes) are kept either
+  /// way. Ignored when built with -DQLOVE_INTROSPECTION=OFF.
+  bool introspection = true;
 };
 
 /// \brief Pools remote agents' summaries and serves fleet-wide queries.
@@ -104,8 +115,36 @@ class AggregatorEngine {
     std::string source;
     int64_t epoch = 0;        ///< Epoch of the last ingested snapshot.
     bool stale = false;       ///< Trails the fleet epoch beyond the budget.
+    /// Fleet epochs elapsed since this source last reported (0 = reported
+    /// at the current fleet epoch; stale once beyond staleness_epochs).
+    int64_t epochs_behind = 0;
     size_t metric_count = 0;  ///< Metrics in the last snapshot.
   };
+
+  /// \brief AggregatorEngine::FleetHealth(): the aggregator-tier
+  /// self-portrait — ingest/reject counters, per-source staleness, and
+  /// (when introspection is on) decode/ingest latency aggregates from the
+  /// dogfooded sketches.
+  struct FleetHealthSnapshot {
+    int64_t fleet_epoch = 0;
+    int64_t sources_fresh = 0;
+    int64_t sources_stale = 0;
+    int64_t ingests = 0;             ///< Snapshots accepted.
+    int64_t rejected_reordered = 0;  ///< FailedPrecondition (stale frame).
+    int64_t rejected_invalid = 0;    ///< InvalidArgument (bad wire data).
+    int64_t decode_failures = 0;     ///< IngestEncoded decode errors.
+    int64_t wire_bytes_ingested = 0; ///< Encoded bytes seen by IngestEncoded.
+    int64_t queries = 0;             ///< Query() calls.
+    std::vector<SourceStatus> sources;  ///< Name-ordered, like Sources().
+    /// wire_decode / aggregator_ingest latency aggregates (empty with
+    /// introspection off or before any sample).
+    std::vector<StageStats> stages;
+  };
+
+  /// Snapshot of the aggregator's own health. Cold-path: with
+  /// introspection on it Ticks the private self-metrics engine so every
+  /// buffered latency sample is covered by the reported p50/p99.
+  FleetHealthSnapshot FleetHealth() const;
 
   /// Every known source, ordered by name (stable diagnostics output).
   std::vector<SourceStatus> Sources() const;
@@ -131,12 +170,42 @@ class AggregatorEngine {
            options_.staleness_epochs;
   }
 
+  /// The validate-and-swap itself; Ingest wraps it with timing and the
+  /// accept/reject accounting.
+  Status IngestImpl(WireSnapshot snapshot);
+  /// Records one latency sample into the self-metrics engine (no-op when
+  /// introspection is off).
+  void RecordSelfStage(Stage stage, double micros) const;
+
   AggregatorOptions options_;
   mutable std::mutex mu_;
   /// Latest state per source. std::map: Sources() iterates name-sorted.
   std::map<std::string, SourceState> sources_;
   int64_t fleet_epoch_ = 0;
+
+  /// Health counters: ingest-granularity relaxed atomics, live even with
+  /// introspection off (they are the aggregator's liveness dashboard).
+  std::atomic<int64_t> ingests_{0};
+  std::atomic<int64_t> rejected_reordered_{0};
+  std::atomic<int64_t> rejected_invalid_{0};
+  std::atomic<int64_t> decode_failures_{0};
+  std::atomic<int64_t> wire_bytes_ingested_{0};
+  mutable std::atomic<int64_t> queries_{0};  ///< Bumped inside const Query.
+
+  /// The dogfooded self-metrics engine (single shard, introspection on):
+  /// holds the `__qlove/stage_us{stage=wire_decode|aggregator_ingest}`
+  /// sketches. Ticked every few accepted ingests and by FleetHealth().
+  /// Null with introspection off.
+  std::unique_ptr<TelemetryEngine> self_;
 };
+
+/// Human-readable multi-line dump of \p health (exit blocks, dashboards).
+std::string FormatFleetHealth(
+    const AggregatorEngine::FleetHealthSnapshot& health);
+
+/// JSON object rendering of \p health (hand-rolled, strings escaped).
+std::string FleetHealthToJson(
+    const AggregatorEngine::FleetHealthSnapshot& health);
 
 }  // namespace engine
 }  // namespace qlove

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+
+#include "common/timer.h"
 
 namespace qlove {
 namespace engine {
@@ -105,6 +108,11 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "shard_ring_capacity must lie in [1, 2^24]");
   }
+  if (!(slow_query_threshold_us >= 0.0) ||
+      !std::isfinite(slow_query_threshold_us)) {
+    return Status::InvalidArgument(
+        "slow_query_threshold_us must be finite and >= 0");
+  }
   // Backend/option combinations that cannot work fail here, at engine
   // construction, not at first Snapshot.
   QLOVE_RETURN_NOT_OK(default_backend.Validate(shard_window, phis));
@@ -118,6 +126,19 @@ TelemetryEngine::TelemetryEngine(EngineOptions options)
   metric_options_.shard_window = options_.shard_window;
   metric_options_.phis = options_.phis;
   metric_options_.backend = options_.default_backend;
+#if QLOVE_INTROSPECTION_ENABLED
+  if (options_.introspection && options_status_.ok()) {
+    introspection_ =
+        std::make_unique<Introspection>(options_.slow_query_log_capacity);
+    // The self-metrics run a fixed default-qlove configuration regardless
+    // of the user's backend choices: stage latencies are an independent
+    // stream and the defaults validate by construction.
+    internal_metric_options_ = MetricOptions{};
+    internal_metric_options_.shard_window = WindowSpec(8192, 1024);
+    internal_metric_options_.phis = {0.5, 0.9, 0.99, 0.999};
+    internal_metric_options_.backend = BackendOptions{};
+  }
+#endif
   std::lock_guard<std::mutex> lock(live_engines_mu);
   LiveEngines().insert(engine_id_);
 }
@@ -136,8 +157,14 @@ TelemetryEngine::~TelemetryEngine() {
 Result<std::shared_ptr<MetricState>> TelemetryEngine::GetOrRegister(
     const MetricKey& key) {
   QLOVE_RETURN_NOT_OK(options_status_);
+  if (IsReservedMetricName(key.name())) {
+    return Status::InvalidArgument(
+        key.ToString() + ": the " + std::string(kReservedMetricPrefix) +
+        " namespace is reserved for engine self-metrics");
+  }
   return registry_.GetOrCreate(key, options_.num_shards, metric_options_,
-                               options_.shard_ring_capacity);
+                               options_.shard_ring_capacity,
+                               introspection_.get());
 }
 
 Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
@@ -151,11 +178,17 @@ Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
 Status TelemetryEngine::RegisterMetric(const MetricKey& key,
                                        const BackendOptions& backend) {
   QLOVE_RETURN_NOT_OK(options_status_);
+  if (IsReservedMetricName(key.name())) {
+    return Status::InvalidArgument(
+        key.ToString() + ": the " + std::string(kReservedMetricPrefix) +
+        " namespace is reserved for engine self-metrics");
+  }
   QLOVE_RETURN_NOT_OK(backend.Validate(options_.shard_window, options_.phis));
   MetricOptions metric_options = metric_options_;
   metric_options.backend = backend;
   auto state = registry_.GetOrCreate(key, options_.num_shards, metric_options,
-                                     options_.shard_ring_capacity);
+                                     options_.shard_ring_capacity,
+                                     introspection_.get());
   if (!state.ok()) return state.status();
   // GetOrCreate returns the racing winner's state: losing a registration
   // race must not silently serve this caller a different sketch — neither
@@ -219,12 +252,33 @@ void TelemetryEngine::FlushToShards(MetricState* state, const double* values,
   // (pre_quantizer() == nullptr) skip the pass and the copy.
   const Quantizer* pre = state->pre_quantizer();
   const double* publish = values;
+#if QLOVE_INTROSPECTION_ENABLED
+  // Flush-granularity self-metrics: internal `__qlove/` states carry a
+  // null sink (their publication must not count as user traffic or
+  // recurse), so the state itself decides whether this flush is observed.
+  Introspection* in = state->introspection();
+  if (in != nullptr) in->OnFlush(static_cast<int64_t>(count));
+  if (pre != nullptr) {
+    thread_local std::vector<double> quantized;
+    quantized.resize(count);
+    if (in != nullptr) {
+      Stopwatch watch;
+      watch.Start();
+      pre->QuantizeBatch(values, quantized.data(), count);
+      in->RecordStage(Stage::kQuantizeBatch, watch.ElapsedNanos() * 1e-3);
+    } else {
+      pre->QuantizeBatch(values, quantized.data(), count);
+    }
+    publish = quantized.data();
+  }
+#else
   if (pre != nullptr) {
     thread_local std::vector<double> quantized;
     quantized.resize(count);
     pre->QuantizeBatch(values, quantized.data(), count);
     publish = quantized.data();
   }
+#endif
   // Deal the batch round-robin starting at the metric's rotating cursor:
   // value i -> shard (cursor + i) % S. Every shard receives an interleaved
   // 1/S stripe (an i.i.d.-like sample of the batch), which is what makes
@@ -268,6 +322,30 @@ void TelemetryEngine::Flush() {
 }
 
 void TelemetryEngine::Tick() {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) {
+    Stopwatch watch;
+    watch.Start();
+    Flush();
+    // Publish buffered stage samples BEFORE closing sub-windows, so the
+    // samples recorded since the last Tick land in the sub-window this
+    // Tick closes (queryable immediately after).
+    PublishStageSamples();
+    for (const auto& state : registry_.List()) {
+      state->CloseSubWindows();
+    }
+    for (const auto& state : internal_registry_.List()) {
+      state->CloseSubWindows();
+    }
+    tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+    introspection_->OnTick();
+    // This Tick's own latency is buffered now and published by the NEXT
+    // Tick (a one-boundary lag; the alternative would re-open the window
+    // just closed).
+    introspection_->RecordStage(Stage::kTick, watch.ElapsedNanos() * 1e-3);
+    return;
+  }
+#endif
   Flush();
   for (const auto& state : registry_.List()) {
     state->CloseSubWindows();
@@ -275,11 +353,43 @@ void TelemetryEngine::Tick() {
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
 }
 
-WireSnapshot TelemetryEngine::ExportSnapshot(std::string source) const {
+void TelemetryEngine::PublishStageSamples() {
+#if QLOVE_INTROSPECTION_ENABLED
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  for (int s = 0; s < kStageCount; ++s) {
+    const Stage stage = static_cast<Stage>(s);
+    introspection_->DrainStageSamples(stage, &stage_scratch_);
+    if (stage_scratch_.empty()) continue;
+    if (stage_states_[s] == nullptr) {
+      // Lazily register the stage's sketch in the INTERNAL registry with a
+      // null sink: publishing self-metrics must never recurse into
+      // recording more self-metrics. One shard — samples arrive from one
+      // thread at a time, under publish_mu_. A registration failure only
+      // loses telemetry about telemetry; it must never fail the Tick.
+      auto state = internal_registry_.GetOrCreate(
+          StageMetricKey(stage), /*num_shards=*/1, internal_metric_options_,
+          /*ring_capacity=*/2 * Introspection::kStageSampleCapacity,
+          /*introspection=*/nullptr);
+      if (!state.ok()) continue;
+      stage_states_[s] = state.ValueOrDie();
+    }
+    FlushToShards(stage_states_[s].get(), stage_scratch_.data(),
+                  stage_scratch_.size());
+  }
+#endif
+}
+
+WireSnapshot TelemetryEngine::ExportSnapshot(
+    std::string source, const ExportOptions& export_options) const {
   WireSnapshot snapshot;
   snapshot.source = std::move(source);
   snapshot.epoch = TickEpochs();
   std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+  if (export_options.include_self_metrics) {
+    for (auto& state : internal_registry_.List()) {
+      states.push_back(std::move(state));
+    }
+  }
   // Canonical key order, like SnapshotAll: successive exports diff stably.
   std::sort(states.begin(), states.end(),
             [](const std::shared_ptr<MetricState>& a,
@@ -295,18 +405,104 @@ WireSnapshot TelemetryEngine::ExportSnapshot(std::string source) const {
     metric.shards = state->SnapshotShards();
     snapshot.metrics.push_back(std::move(metric));
   }
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) introspection_->OnExport();
+#endif
   return snapshot;
 }
 
+Status TelemetryEngine::ExportEncoded(
+    std::string source, std::vector<uint8_t>* out,
+    const ExportOptions& export_options) const {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output buffer");
+  }
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) {
+    Stopwatch watch;
+    watch.Start();
+    const WireSnapshot snapshot =
+        ExportSnapshot(std::move(source), export_options);
+    EncodeSnapshot(snapshot, out);
+    introspection_->RecordStage(Stage::kWireEncode,
+                                watch.ElapsedNanos() * 1e-3);
+    introspection_->OnWireBytes(static_cast<int64_t>(out->size()));
+    return Status::OK();
+  }
+#endif
+  EncodeSnapshot(ExportSnapshot(std::move(source), export_options), out);
+  return Status::OK();
+}
+
+std::shared_ptr<MetricState> TelemetryEngine::FindState(
+    const MetricKey& key) const {
+  return IsReservedMetricName(key.name()) ? internal_registry_.Find(key)
+                                          : registry_.Find(key);
+}
+
+namespace {
+
+/// True when \p spec targets the reserved self-metrics namespace (by key
+/// or by a selector naming a reserved metric): such queries bypass the
+/// query instrumentation so observing the engine never perturbs what is
+/// being observed.
+bool TargetsReservedNamespace(const QuerySpec& spec) {
+  switch (spec.target) {
+    case QuerySpec::TargetKind::kKey:
+      return IsReservedMetricName(spec.key.name());
+    case QuerySpec::TargetKind::kKeyList:
+      for (const MetricKey& key : spec.keys) {
+        if (IsReservedMetricName(key.name())) return true;
+      }
+      return false;
+    case QuerySpec::TargetKind::kSelector:
+      return IsReservedMetricName(spec.selector.name);
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr && !TargetsReservedNamespace(spec)) {
+    Stopwatch watch;
+    watch.Start();
+    auto result = QueryImpl(spec);
+    const double micros = watch.ElapsedNanos() * 1e-3;
+    introspection_->OnQuery();
+    introspection_->RecordStage(Stage::kQuery, micros);
+    if (options_.slow_query_threshold_us > 0.0 &&
+        micros >= options_.slow_query_threshold_us) {
+      SlowQueryRecord record;
+      record.spec = DescribeQuerySpec(spec);
+      record.micros = micros;
+      record.ok = result.ok();
+      record.matched =
+          result.ok()
+              ? static_cast<int64_t>(result.ValueOrDie().matched.size())
+              : 0;
+      introspection_->RecordSlowQuery(std::move(record));
+    }
+    return result;
+  }
+#endif
+  return QueryImpl(spec);
+}
+
+Result<QueryResult> TelemetryEngine::QueryImpl(const QuerySpec& spec) const {
   QLOVE_RETURN_NOT_OK(options_status_);
   QLOVE_RETURN_NOT_OK(spec.Validate());
 
-  // Resolve the target to metric states.
+  // Resolve the target to metric states. Reserved `__qlove/` names resolve
+  // in the internal registry (FindState routes); a wildcard selector scans
+  // user metrics only, so self-metrics never leak into fleet rollups
+  // unasked.
   std::vector<std::shared_ptr<MetricState>> states;
   switch (spec.target) {
     case QuerySpec::TargetKind::kKey: {
-      auto state = registry_.Find(spec.key);
+      auto state = FindState(spec.key);
       if (state == nullptr) {
         return Status::NotFound("metric not registered: " +
                                 spec.key.ToString());
@@ -316,7 +512,7 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
     }
     case QuerySpec::TargetKind::kKeyList: {
       for (const MetricKey& key : spec.keys) {
-        auto state = registry_.Find(key);
+        auto state = FindState(key);
         if (state == nullptr) {
           return Status::NotFound("metric not registered: " + key.ToString());
         }
@@ -325,7 +521,9 @@ Result<QueryResult> TelemetryEngine::Query(const QuerySpec& spec) const {
       break;
     }
     case QuerySpec::TargetKind::kSelector: {
-      states = registry_.MatchSelector(spec.selector);
+      states = IsReservedMetricName(spec.selector.name)
+                   ? internal_registry_.MatchSelector(spec.selector)
+                   : registry_.MatchSelector(spec.selector);
       if (states.empty()) {
         return Status::NotFound("selector matched no metrics: " +
                                 spec.selector.ToString());
@@ -483,8 +681,97 @@ std::vector<MetricSnapshot> TelemetryEngine::SnapshotAll(
 }
 
 int64_t TelemetryEngine::TotalRecorded(const MetricKey& key) const {
-  std::shared_ptr<MetricState> state = registry_.Find(key);
+  std::shared_ptr<MetricState> state = FindState(key);
   return state == nullptr ? 0 : state->TotalAdded();
+}
+
+namespace {
+
+/// One metric's footprint row (memory model documented on MetricFootprint).
+MetricFootprint FootprintOf(const MetricState& state, bool internal) {
+  MetricFootprint footprint;
+  footprint.key = state.key();
+  footprint.internal = internal;
+  footprint.num_shards = static_cast<int>(state.num_shards());
+  for (size_t s = 0; s < state.num_shards(); ++s) {
+    footprint.space_variables += state.shard(s).ObservedSpaceVariables();
+    footprint.ring_slots +=
+        static_cast<int64_t>(state.shard(s).RingCapacity());
+  }
+  footprint.memory_bytes =
+      footprint.space_variables * 8 + footprint.ring_slots * 16;
+  footprint.inflight = state.LiveInflightCount();
+  footprint.total_added = state.TotalAdded();
+  return footprint;
+}
+
+}  // namespace
+
+EngineStats TelemetryEngine::Stats() const {
+  EngineStats stats;
+  stats.tick_epochs = TickEpochs();
+  stats.metric_count = registry_.size();
+  stats.internal_metric_count = internal_registry_.size();
+
+  // Footprints report regardless of introspection: they read live shard
+  // state, not the counter hub.
+  std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+  std::sort(states.begin(), states.end(),
+            [](const std::shared_ptr<MetricState>& a,
+               const std::shared_ptr<MetricState>& b) {
+              return a->key() < b->key();
+            });
+  const size_t user_count = states.size();
+  std::vector<std::shared_ptr<MetricState>> internal =
+      internal_registry_.List();
+  std::sort(internal.begin(), internal.end(),
+            [](const std::shared_ptr<MetricState>& a,
+               const std::shared_ptr<MetricState>& b) {
+              return a->key() < b->key();
+            });
+  states.insert(states.end(), internal.begin(), internal.end());
+  stats.metrics.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    stats.metrics.push_back(FootprintOf(*states[i], i >= user_count));
+    stats.total_memory_bytes += stats.metrics.back().memory_bytes;
+  }
+
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) {
+    stats.enabled = true;
+    stats.counters = introspection_->Counters();
+    introspection_->StageAggregates(&stats.stages);
+    // p50/p99 come from the dogfooded sketches themselves (published
+    // samples only; 0 until a Tick has covered the stage).
+    for (StageStats& stage : stats.stages) {
+      const QuerySpec spec = QuerySpec::ForKey(StageMetricKey(stage.stage))
+                                 .With(QueryRequest::Quantile(0.5))
+                                 .With(QueryRequest::Quantile(0.99));
+      auto answer = QueryImpl(spec);
+      if (!answer.ok()) continue;
+      const QueryResult& result = answer.ValueOrDie();
+      if (result.outcomes[0].status.ok()) {
+        stage.p50_us = result.outcomes[0].value;
+      }
+      if (result.outcomes[1].status.ok()) {
+        stage.p99_us = result.outcomes[1].value;
+      }
+    }
+    stats.slow_queries = introspection_->SlowQueries();
+  }
+#endif
+  return stats;
+}
+
+void TelemetryEngine::SetSlowQueryHook(
+    std::function<void(const SlowQueryRecord&)> hook) {
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) {
+    introspection_->SetSlowQueryHook(std::move(hook));
+  }
+#else
+  (void)hook;
+#endif
 }
 
 }  // namespace engine

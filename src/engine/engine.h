@@ -31,14 +31,18 @@
 #ifndef QLOVE_ENGINE_ENGINE_H_
 #define QLOVE_ENGINE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/backend.h"
+#include "engine/introspection.h"
 #include "engine/metric_key.h"
 #include "engine/query.h"
 #include "engine/registry.h"
@@ -91,11 +95,35 @@ struct EngineOptions {
   /// slot). See README "Performance" for tuning guidance.
   size_t shard_ring_capacity = 4096;
 
+  /// Runtime switch for the self-metrics layer (engine/introspection.h):
+  /// false skips all counter/timer work and registers no `__qlove/`
+  /// metrics. Ignored (always off) when the library is built with
+  /// -DQLOVE_INTROSPECTION=OFF.
+  bool introspection = true;
+
+  /// Queries whose wall time meets this threshold (microseconds) are
+  /// captured in the slow-query log (spec + timing) and handed to the
+  /// SetSlowQueryHook callback. 0 disables capture (the default: the
+  /// threshold is workload-specific).
+  double slow_query_threshold_us = 0.0;
+
+  /// Slow-query records retained (bounded ring, oldest evicted).
+  size_t slow_query_log_capacity = 32;
+
   /// Rejects configurations that cannot serve: bad windows/phis, and
   /// backend/option combinations that could only fail later (at first
   /// Snapshot) — e.g. few-k plans that capture no tail material, or a
   /// GK-family epsilon too coarse to resolve a requested quantile.
   Status Validate() const;
+};
+
+/// \brief Knobs for ExportSnapshot / ExportEncoded.
+struct ExportOptions {
+  /// Include the engine's own `__qlove/` self-metrics in the export so
+  /// they roll up across the fleet like any other metric. Default OFF:
+  /// wire consumers that pin exact export bytes (golden fixtures) must
+  /// not absorb nondeterministic timing sketches unasked.
+  bool include_self_metrics = false;
 };
 
 /// \brief Sharded, thread-safe, multi-metric quantile engine.
@@ -159,6 +187,12 @@ class TelemetryEngine {
   /// lowered to entries. NotFound when the target resolves to no
   /// registered metric; per-request problems (empty window, unsupported
   /// aggregate) surface as per-outcome statuses, not query failure.
+  ///
+  /// Reserved `__qlove/` keys (and selectors naming them) serve the
+  /// engine's own self-metrics — e.g. ForKey(StageMetricKey(Stage::kTick))
+  /// answers the engine's Tick-latency p99. Such queries are not
+  /// themselves instrumented (no observation feedback); wildcard
+  /// selectors match user metrics only.
   Result<QueryResult> Query(const QuerySpec& spec) const;
 
   /// Merged window quantiles for \p key at the registered grid phis — a
@@ -182,8 +216,19 @@ class TelemetryEngine {
   /// (pre-first-Tick metrics have no window state, matching SnapshotAll),
   /// in canonical key order; each metric carries its full MetricOptions so
   /// the receiver can rebuild the exact merge. \p source names this agent
-  /// in the aggregator's per-source state.
-  WireSnapshot ExportSnapshot(std::string source) const;
+  /// in the aggregator's per-source state. With
+  /// export_options.include_self_metrics, the engine's `__qlove/`
+  /// self-metrics ride along (dogfooding: fleet health rolls up through
+  /// the same pipeline as the telemetry itself).
+  WireSnapshot ExportSnapshot(std::string source,
+                              const ExportOptions& export_options = {}) const;
+
+  /// ExportSnapshot + EncodeSnapshot in one timed call: the encoded bytes
+  /// land in \p out (buffer reused), the wire-encode latency lands in
+  /// `__qlove/stage_us{stage=wire_encode}`, and the byte count feeds the
+  /// wire_bytes_encoded counter.
+  Status ExportEncoded(std::string source, std::vector<uint8_t>* out,
+                       const ExportOptions& export_options = {}) const;
 
   /// Sub-window boundaries this engine has driven (Tick() calls). Stamped
   /// on exported snapshots; the aggregator's staleness accounting compares
@@ -195,13 +240,41 @@ class TelemetryEngine {
   /// Elements accepted (flushed to shards) for \p key; 0 when unregistered.
   int64_t TotalRecorded(const MetricKey& key) const;
 
+  /// The structured self-portrait: counters, per-stage latency aggregates
+  /// (p50/p99 read back from the dogfooded `__qlove/` sketches), the
+  /// slow-query log, and per-metric memory footprints. Cold-path (takes
+  /// shard locks for footprints); render with FormatEngineStats /
+  /// EngineStatsToJson. With introspection off, counters/stages are empty
+  /// but footprints still report.
+  EngineStats Stats() const;
+
+  /// Installs the slow-query callback (see
+  /// EngineOptions::slow_query_threshold_us); called synchronously from
+  /// the querying thread. No-op when introspection is off.
+  void SetSlowQueryHook(std::function<void(const SlowQueryRecord&)> hook);
+
+  /// User metrics only; the `__qlove/` self-metrics live in a registry of
+  /// their own and never inflate this (or SnapshotAll, or wildcard
+  /// selectors).
   size_t metric_count() const { return registry_.size(); }
   const EngineOptions& options() const { return options_; }
 
  private:
+  friend class AggregatorEngine;  // records its stages into its self engine
+
   Result<std::shared_ptr<MetricState>> GetOrRegister(const MetricKey& key);
   Status FlushBuffer(const MetricKey& key, ThreadBuffer* buffer);
   void FlushToShards(MetricState* state, const double* values, size_t count);
+  /// Key lookup across both registries (reserved names resolve in the
+  /// internal one).
+  std::shared_ptr<MetricState> FindState(const MetricKey& key) const;
+  /// The uninstrumented query path; Query() wraps it with timing and the
+  /// slow-query capture.
+  Result<QueryResult> QueryImpl(const QuerySpec& spec) const;
+  /// Drains the buffered stage-latency samples into the `__qlove/`
+  /// sketches (called at Tick, before CloseSubWindows so the samples land
+  /// in the closing sub-window).
+  void PublishStageSamples();
 
   EngineOptions options_;
   Status options_status_;         // Validate() result, computed once
@@ -209,6 +282,20 @@ class TelemetryEngine {
   MetricRegistry registry_;
   const uint64_t engine_id_;  // keys this engine's thread-local buffers
   std::atomic<int64_t> tick_epochs_{0};  // Tick() calls driven so far
+
+  /// Self-metrics state. The `__qlove/` metrics live in their own
+  /// registry, created with a null introspection sink (no recursion) and
+  /// a single shard each (samples arrive from one publishing thread at a
+  /// time, under publish_mu_). Null introspection_ means the layer is off
+  /// (options or compile flag) and every hook site skips.
+  std::unique_ptr<Introspection> introspection_;
+  MetricRegistry internal_registry_;
+  MetricOptions internal_metric_options_;
+  std::mutex publish_mu_;             // serializes PublishStageSamples
+  std::vector<double> stage_scratch_;  // guarded by publish_mu_
+  /// Cached per-stage internal MetricStates (lazily registered on first
+  /// publish); guarded by publish_mu_ for writes, read via FindState.
+  std::array<std::shared_ptr<MetricState>, kStageCount> stage_states_;
 };
 
 }  // namespace engine

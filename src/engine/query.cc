@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "core/error_bound.h"
@@ -143,6 +144,40 @@ Status QuerySpec::Validate() const {
     return Status::InvalidArgument("key-list target has no keys");
   }
   return Status::OK();
+}
+
+std::string DescribeQuerySpec(const QuerySpec& spec) {
+  std::string out;
+  switch (spec.target) {
+    case QuerySpec::TargetKind::kKey:
+      out = "key=" + spec.key.ToString();
+      break;
+    case QuerySpec::TargetKind::kKeyList:
+      out = "keys=[";
+      for (size_t i = 0; i < spec.keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += spec.keys[i].ToString();
+      }
+      out += ']';
+      break;
+    case QuerySpec::TargetKind::kSelector:
+      out = "selector=" + spec.selector.ToString();
+      break;
+  }
+  out += " [";
+  for (size_t i = 0; i < spec.requests.size(); ++i) {
+    const QueryRequest& request = spec.requests[i];
+    if (i > 0) out += ", ";
+    out += QueryRequestKindName(request.kind);
+    if (request.kind == QueryRequestKind::kQuantile ||
+        request.kind == QueryRequestKind::kRank) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "(%g)", request.argument);
+      out += buf;
+    }
+  }
+  out += ']';
+  return out;
 }
 
 void SortedPhiOrderInto(const std::vector<double>& phis,

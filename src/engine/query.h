@@ -137,6 +137,12 @@ struct QuerySpec {
   Status Validate() const;
 };
 
+/// One-line human-readable rendering of a spec — target plus request list,
+/// e.g. `key=rtt_us{dc=ams} [quantile(0.99), rank(500)]`. The slow-query
+/// log records this instead of the spec itself so retained entries do not
+/// pin MetricKey allocations.
+std::string DescribeQuerySpec(const QuerySpec& spec);
+
 /// \brief One evaluated request.
 struct QueryOutcome {
   /// OK, or why this request could not be served from this window:

@@ -11,19 +11,22 @@ namespace engine {
 
 Status MetricState::Initialize(MetricKey key, int num_shards,
                                const MetricOptions& options,
-                               size_t ring_capacity) {
+                               size_t ring_capacity,
+                               Introspection* introspection) {
   if (num_shards <= 0) {
     return Status::InvalidArgument("num_shards must be > 0");
   }
   key_ = std::move(key);
   options_ = options;
+  introspection_ = introspection;
   shards_.clear();
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     QLOVE_RETURN_NOT_OK(shard->Initialize(options_.backend,
                                           options_.shard_window,
-                                          options_.phis, ring_capacity));
+                                          options_.phis, ring_capacity,
+                                          introspection));
     shards_.push_back(std::move(shard));
   }
   // Every shard runs the same backend configuration, so shard 0's
@@ -104,7 +107,7 @@ std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
 
 Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
     const MetricKey& key, int num_shards, const MetricOptions& options,
-    size_t ring_capacity) {
+    size_t ring_capacity, Introspection* introspection) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = metrics_.find(key);
@@ -113,7 +116,7 @@ Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
   // Build outside the exclusive section; shard initialization allocates.
   auto state = std::make_shared<MetricState>();
   QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options,
-                                        ring_capacity));
+                                        ring_capacity, introspection));
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = metrics_.emplace(key, std::move(state));
   if (inserted) by_name_[key.name()].push_back(it->second);

@@ -41,10 +41,13 @@ struct MetricOptions {
 class MetricState {
  public:
   /// Builds and initializes \p num_shards shards, each with a
-  /// \p ring_capacity-slot ingest ring (engine/shard.h).
+  /// \p ring_capacity-slot ingest ring (engine/shard.h). \p introspection
+  /// (optional, engine-owned, must outlive the state) is handed to every
+  /// shard as its self-metrics sink.
   Status Initialize(MetricKey key, int num_shards,
                     const MetricOptions& options,
-                    size_t ring_capacity = Shard::kDefaultRingCapacity);
+                    size_t ring_capacity = Shard::kDefaultRingCapacity,
+                    Introspection* introspection = nullptr);
 
   const MetricKey& key() const { return key_; }
   const MetricOptions& options() const { return options_; }
@@ -99,11 +102,16 @@ class MetricState {
     return tick_epochs_.load(std::memory_order_relaxed);
   }
 
+  /// The self-metrics sink the shards report into; null when introspection
+  /// is off for the owning engine.
+  Introspection* introspection() const { return introspection_; }
+
  private:
   MetricKey key_;
   MetricOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Shard holds a mutex
   const Quantizer* pre_quantizer_ = nullptr;    // owned by shard 0's backend
+  Introspection* introspection_ = nullptr;      // engine-owned sink
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<int64_t> tick_epochs_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
@@ -123,10 +131,12 @@ class MetricRegistry {
   /// Returns the existing state for \p key, or creates-and-initializes one
   /// with \p num_shards, \p options, and per-shard ingest rings of
   /// \p ring_capacity slots. Losing a registration race returns the
-  /// winner's state.
+  /// winner's state. \p introspection is forwarded to MetricState /
+  /// Shard::Initialize.
   Result<std::shared_ptr<MetricState>> GetOrCreate(
       const MetricKey& key, int num_shards, const MetricOptions& options,
-      size_t ring_capacity = Shard::kDefaultRingCapacity);
+      size_t ring_capacity = Shard::kDefaultRingCapacity,
+      Introspection* introspection = nullptr);
 
   /// Returns the state for \p key, or nullptr when unregistered.
   std::shared_ptr<MetricState> Find(const MetricKey& key) const;

@@ -4,6 +4,9 @@
 #include <thread>
 #include <utility>
 
+#include "common/timer.h"
+#include "engine/introspection.h"
+
 namespace qlove {
 namespace engine {
 
@@ -63,7 +66,7 @@ size_t ShardRing::TryPublishStrided(const double* values, size_t count,
 
 Status Shard::Initialize(const BackendOptions& backend, const WindowSpec& spec,
                          const std::vector<double>& phis,
-                         size_t ring_capacity) {
+                         size_t ring_capacity, Introspection* introspection) {
   std::lock_guard<std::mutex> lock(mu_);
   auto built = CreateShardBackend(backend, spec, phis);
   if (!built.ok()) return built.status();
@@ -72,10 +75,36 @@ Status Shard::Initialize(const BackendOptions& backend, const WindowSpec& spec,
   ring_.Init(ring_capacity);
   total_added_.store(0, std::memory_order_relaxed);
   backend_inflight_.store(0, std::memory_order_relaxed);
+  introspection_ = introspection;
   return Status::OK();
 }
 
 int64_t Shard::DrainLocked() const {
+#if QLOVE_INTROSPECTION_ENABLED
+  // Drain telemetry at batch granularity: one timer read pair and one
+  // counter update per drain that moved data, never per value. Empty
+  // drains (idle Tick/Snapshot polls) stay out of the latency sketch.
+  if (introspection_ != nullptr) {
+    const int64_t pending_before = ring_.pending();
+    int64_t accepted = 0;
+    Stopwatch watch;
+    watch.Start();
+    const int64_t drained =
+        ring_.Drain([this, &accepted](const double* run, size_t n) {
+          const int64_t took = backend_->AddDense(run, n);
+          accepted += took;
+          total_added_.fetch_add(took, std::memory_order_relaxed);
+          backend_inflight_.store(backend_->InflightCount(),
+                                  std::memory_order_relaxed);
+        });
+    if (drained > 0) {
+      introspection_->OnDrain(drained, accepted, pending_before);
+      introspection_->RecordStage(Stage::kIngestDrain,
+                                  watch.ElapsedNanos() * 1e-3);
+    }
+    return drained;
+  }
+#endif
   return ring_.Drain([this](const double* run, size_t n) {
     // The backend reports what it accepts (it drops corrupt telemetry):
     // TotalAdded must reconcile with snapshot window/inflight counts.
@@ -102,6 +131,9 @@ void Shard::PublishPreQuantizedStrided(const double* values, size_t count,
     // path — it only fires when writers outrun the drain rate). A drain
     // that moves nothing means the slot at tail was claimed by a stalled
     // writer; yield until it publishes.
+#if QLOVE_INTROSPECTION_ENABLED
+    if (introspection_ != nullptr) introspection_->OnRingFullStall();
+#endif
     int64_t drained;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -113,6 +145,9 @@ void Shard::PublishPreQuantizedStrided(const double* values, size_t count,
   // water volunteers a drain, but never waits for the lock — if someone
   // else is already draining (or snapshotting), the ring keeps absorbing.
   if (ring_.AboveHighWater() && mu_.try_lock()) {
+#if QLOVE_INTROSPECTION_ENABLED
+    if (introspection_ != nullptr) introspection_->OnHighWaterDrain();
+#endif
     DrainLocked();
     mu_.unlock();
   }

@@ -34,6 +34,8 @@
 namespace qlove {
 namespace engine {
 
+class Introspection;
+
 /// \brief Bounded multi-producer single-consumer ring of doubles.
 ///
 /// Producers claim a contiguous slot range with one CAS on `head_` and
@@ -130,10 +132,12 @@ class Shard {
 
   /// Builds the configured backend, binds it to its per-shard window, and
   /// sizes the ingest ring (\p ring_capacity slots, rounded up to a power
-  /// of two).
+  /// of two). \p introspection, when non-null, receives drain/stall
+  /// telemetry (it must outlive the shard; the engine owns both).
   Status Initialize(const BackendOptions& backend, const WindowSpec& spec,
                     const std::vector<double>& phis,
-                    size_t ring_capacity = kDefaultRingCapacity);
+                    size_t ring_capacity = kDefaultRingCapacity,
+                    Introspection* introspection = nullptr);
 
   /// Accumulates a batch of raw values. Thread-safe. Applies the backend's
   /// PreQuantizer before publishing (callers that already batch-quantized
@@ -176,13 +180,20 @@ class Shard {
   /// Live count of accepted values awaiting the next Tick — in the ring or
   /// in the backend's in-flight sub-window. Lock-free (two relaxed atomic
   /// loads), so backlog dashboards can poll it without perturbing ingest.
-  /// Transients err high, never low: a concurrent drain refreshes the
-  /// backend count before releasing the ring count, and ring values the
-  /// backend will reject as corrupt are included until the drain drops
-  /// them.
+  ///
+  /// Contract: this is a momentary, unsynchronized composite of two
+  /// counters, so individual readings can tear. Drains refresh the backend
+  /// count before releasing the ring count, so transients usually err HIGH
+  /// (a drained value counted in both places); but the ring's pending count
+  /// itself is published after the per-slot sequence stores, so a drain
+  /// racing a publish can consume values *before* the publisher's
+  /// `pending += claim` lands, making the raw sum momentarily NEGATIVE.
+  /// Negative backlog is meaningless to a dashboard, so the reading is
+  /// clamped to 0 here; a poll one instant later sees a consistent value.
   int64_t InflightCount() const {
-    return ring_.pending() +
-           backend_inflight_.load(std::memory_order_relaxed);
+    const int64_t raw = ring_.pending() +
+                        backend_inflight_.load(std::memory_order_relaxed);
+    return raw < 0 ? 0 : raw;
   }
 
   /// The quantizer ingest must apply before PublishPreQuantizedStrided;
@@ -205,6 +216,10 @@ class Shard {
   /// Backend space right now, in variables (§5.1 metric). Thread-safe.
   int64_t ObservedSpaceVariables() const;
 
+  /// Actual ring slot count after power-of-two rounding (memory
+  /// accounting for Stats()).
+  size_t RingCapacity() const { return ring_.capacity(); }
+
   static constexpr size_t kDefaultRingCapacity = 4096;
 
  private:
@@ -220,6 +235,8 @@ class Shard {
   mutable ShardRing ring_;
   mutable std::atomic<int64_t> total_added_{0};
   mutable std::atomic<int64_t> backend_inflight_{0};
+  /// Engine-owned self-metrics sink; null when introspection is off.
+  Introspection* introspection_ = nullptr;
 };
 
 }  // namespace engine

@@ -187,10 +187,47 @@ TEST(QueryAllocTest2, WholeQueryCallSettlesToConstantAllocations) {
   EXPECT_LE(second, 50 * 16) << "cached-window Query allocates too much";
 }
 
+TEST(QueryAllocTest2, IntrospectionHotPathCountersAllocateNothing) {
+  // The self-metrics hooks ride the ingest hot path (OnFlush at every
+  // buffer flush, OnDrain/RecordStage at every ring drain): once the TLS
+  // buffer, the shard rings, and the preallocated stage-sample buffers
+  // reach steady state, a full record -> flush -> drain cycle must not
+  // touch the heap at all. (With QLOVE_INTROSPECTION=OFF the same holds
+  // trivially; this test pins the ENABLED build to the same bar.)
+  EngineOptions options;
+  options.num_shards = 4;
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us");
+  ASSERT_TRUE(engine.RegisterMetric(key).ok());
+
+  const size_t burst = 2 * options.thread_buffer_capacity;
+  auto record_burst = [&] {
+    for (size_t i = 0; i < burst; ++i) {
+      ASSERT_TRUE(engine.Record(key, static_cast<double>(i % 997)).ok());
+    }
+    engine.Flush();
+  };
+  // Warm: TLS buffer allocated, rings sized, stage buffers preallocated
+  // at construction, internal `__qlove/` metrics registered by the Ticks.
+  for (int round = 0; round < 6; ++round) {
+    record_burst();
+    engine.Tick();
+  }
+
+  const int64_t news = CountNews(record_burst);
+  EXPECT_EQ(news, 0) << "instrumented record/flush/drain path allocated";
+}
+
 TEST(QueryAllocTest2, TickRebuildRecyclesSummaryBuffers) {
   EngineOptions options;
   options.num_shards = 4;
   options.shard_window = WindowSpec(8192, 2048);
+  // This test compares exact allocation counts across Tick rounds. The
+  // self-metrics sketches ingest timing samples whose *values* vary run
+  // to run, so their internal node allocations are not round-stable —
+  // measure the user path alone (the instrumented hot path has its own
+  // zero-allocation test above).
+  options.introspection = false;
   TelemetryEngine engine(options);
   const MetricKey key("rtt_us");
   ASSERT_TRUE(engine.RegisterMetric(key).ok());

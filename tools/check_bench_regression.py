@@ -58,8 +58,30 @@ def main() -> int:
             failures.append(
                 f"{key}: record_mops {measured:.3f} < {floor:.3f}")
 
+    # The self-metrics layer's acceptance bar: its cost on the buffered
+    # Record path is measured by the bench (best-of-25 interleaved
+    # single-writer on/off runs) and must stay under the checked-in
+    # ceiling (noise-aware; see the note in the baseline file). A missing
+    # field fails too — an artifact from a bench that skipped the
+    # measurement must not pass for a healthy one.
+    ceiling = baseline.get("introspection_overhead_pct_max")
+    if ceiling is not None:
+        overhead = bench.get("introspection_overhead_pct")
+        if overhead is None:
+            failures.append(
+                f"{bench_path} carries no introspection_overhead_pct "
+                "(bench too old, or the measurement was skipped)")
+        else:
+            verdict = "ok" if overhead <= ceiling else "TOO EXPENSIVE"
+            print(f"introspection overhead: {overhead:.2f}% of record_mops "
+                  f"(ceiling {ceiling:.2f}%) {verdict}")
+            if overhead > ceiling:
+                failures.append(
+                    f"introspection overhead {overhead:.2f}% > "
+                    f"ceiling {ceiling:.2f}%")
+
     if failures:
-        print("\nFAIL: ingest throughput regressed beyond tolerance:")
+        print("\nFAIL: bench gates violated:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
