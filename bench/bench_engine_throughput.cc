@@ -67,8 +67,16 @@ struct RunResult {
   /// call) against the full ingested window, in thousands per second.
   double query_kqps = 0.0;
   /// Encoded wire size of this configuration's full window state, per
-  /// metric (engine/wire.h): what one agent ships per export.
+  /// metric (engine/wire.h): what one agent ships per export. Exports are
+  /// shard-coalesced, so this no longer scales with the shard count.
   size_t wire_bytes_per_metric = 0;
+  /// Same full window state through the v2 coder (varint/zigzag +
+  /// log-linear value encoding): the resync / first-contact frame size.
+  size_t wire_bytes_per_metric_v2 = 0;
+  /// Steady-state delta-sync frame size per metric: after the initial
+  /// full sync, each round ships only the sub-windows the receiver has
+  /// not seen (one Tick's worth here) plus refreshed scalars.
+  size_t wire_bytes_per_metric_delta = 0;
   /// Distributed-tier rate: decode + AggregatorEngine::Ingest of a
   /// 4-agent fleet's frames plus one fleet Query per round, in thousands
   /// of agent snapshots merged per second.
@@ -305,6 +313,9 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards, int num_threads,
       engine::EncodeSnapshot(exported, &encode_buffer);
       result.wire_bytes_per_metric =
           encode_buffer.size() / exported.metrics.size();
+      engine::EncodeSnapshotV2(exported, &encode_buffer);
+      result.wire_bytes_per_metric_v2 =
+          encode_buffer.size() / exported.metrics.size();
     }
     std::vector<std::vector<uint8_t>> frames;
     for (int a = 0; a < kAgents; ++a) {
@@ -338,6 +349,43 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards, int num_threads,
         merge_elapsed > 0.0
             ? kMergeRounds * kAgents / merge_elapsed / 1e3
             : 0.0;
+
+    // Steady-state delta-sync size: first export through the cursor is a
+    // full v2 frame, then each round records one batch, ticks, and ships
+    // only the unseen sub-windows. The last round is the steady state —
+    // the window has rolled past its depth, so every round retires as
+    // many sub-windows as it adds.
+    if (!exported.metrics.empty()) {
+      constexpr int kDeltaRounds = 8;
+      engine::ExportCursor cursor;
+      engine::AggregatorEngine delta_sink;
+      std::vector<uint8_t> delta_frame;
+      for (int round = 0; round < kDeltaRounds; ++round) {
+        const size_t base = (round * kBatchSize) % data[0].size();
+        const size_t n = std::min(kBatchSize, data[0].size() - base);
+        (void)engine.RecordBatch(key, data[0].data() + base, n);
+        engine.Tick();
+        const Status sent =
+            engine.ExportDeltaEncoded("agent-0", &cursor, &delta_frame);
+        if (!sent.ok()) {
+          std::fprintf(stderr, "FATAL: delta export(%s) failed: %s\n",
+                       engine::BackendKindName(kind),
+                       sent.ToString().c_str());
+          std::exit(1);
+        }
+        auto ack =
+            delta_sink.IngestFrame(delta_frame.data(), delta_frame.size());
+        if (!ack.ok()) {
+          std::fprintf(stderr, "FATAL: delta ingest(%s) failed: %s\n",
+                       engine::BackendKindName(kind),
+                       ack.status().ToString().c_str());
+          std::exit(1);
+        }
+        if (ack.ValueOrDie().resync_required) cursor.RequestResync();
+      }
+      result.wire_bytes_per_metric_delta =
+          delta_frame.size() / exported.metrics.size();
+    }
   }
   return result;
 }
@@ -367,10 +415,13 @@ void WriteJson(const std::vector<RunResult>& results, int64_t events,
                  "    {\"backend\": \"%s\", \"shards\": %d, \"threads\": %d, "
                  "\"record_mops\": %.3f, \"batch_mops\": %.3f, "
                  "\"query_kqps\": %.3f, \"wire_bytes_per_metric\": %zu, "
+                 "\"wire_bytes_per_metric_v2\": %zu, "
+                 "\"wire_bytes_per_metric_delta\": %zu, "
                  "\"merge_kqps\": %.3f}%s\n",
                  engine::BackendKindName(r.backend), r.num_shards, r.threads,
                  r.buffered_mops, r.batch_mops, r.query_kqps,
-                 r.wire_bytes_per_metric, r.merge_kqps,
+                 r.wire_bytes_per_metric, r.wire_bytes_per_metric_v2,
+                 r.wire_bytes_per_metric_delta, r.merge_kqps,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -432,17 +483,20 @@ int Main(int argc, char** argv) {
     for (int threads : thread_counts) {
       std::printf("\nbackend: %s, writer threads: %d\n",
                   engine::BackendKindName(kind), threads);
-      std::printf("%-8s %18s %18s %10s %14s %14s %14s\n", "shards",
+      std::printf("%-8s %18s %18s %10s %14s %12s %10s %12s %14s\n", "shards",
                   "Record (M op/s)", "Batch (M op/s)", "speedup",
-                  "Query (K q/s)", "Wire (B/met)", "Merge (K s/s)");
+                  "Query (K q/s)", "Wire (B/met)", "v2 (B)", "delta (B)",
+                  "Merge (K s/s)");
       double baseline = 0.0;
       for (int shards : kShardSweep) {
         const RunResult r = RunOnce(kind, shards, threads, data);
         if (shards == kShardSweep.front()) baseline = r.batch_mops;
-        std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %14zu %14.1f\n",
+        std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %12zu %10zu %12zu %14.1f\n",
                     shards, r.buffered_mops, r.batch_mops,
                     baseline > 0.0 ? r.batch_mops / baseline : 0.0,
-                    r.query_kqps, r.wire_bytes_per_metric, r.merge_kqps);
+                    r.query_kqps, r.wire_bytes_per_metric,
+                    r.wire_bytes_per_metric_v2, r.wire_bytes_per_metric_delta,
+                    r.merge_kqps);
         results.push_back(r);
       }
     }

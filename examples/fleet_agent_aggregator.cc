@@ -1,14 +1,28 @@
 // The distributed deployment, end to end in one process: K "agents" (one
 // thread + one TelemetryEngine each, standing in for per-host monitoring
-// daemons) sketch their local traffic, and every simulated second export
-// their mergeable window state as a wire-format frame over a socketpair —
-// the transport seam (engine/wire.h WriteFrame/ReadFrame) a production
-// deployment would replace with its RPC stack. One AggregatorEngine on the
-// main thread ingests the frames and serves fleet-wide queries:
+// daemons) sketch their local traffic, and every simulated second run the
+// delta-sync loop: ExportDeltaEncoded ships a full v2 frame on first
+// contact and thereafter only the sub-windows the aggregator has not
+// seen, over a socketpair — the transport seam (engine/wire.h
+// WriteFrame/ReadFrame) a production deployment would replace with its
+// RPC stack. The aggregator answers each frame with a one-byte ack
+// (0 = applied, 1 = resync: the delta's base state is not held, send a
+// full frame next). One AggregatorEngine on the main thread ingests the
+// frames and serves fleet-wide queries:
 //
-//   agent 0 (qlove)  --frames-->  \
-//   agent 1 (qlove)  --frames-->   aggregator -- Query(p99 rollup, CDF)
-//   ...              --frames-->  /
+//   agent 0 (qlove)  <--frames/acks-->  \
+//   agent 1 (qlove)  <--frames/acks-->   aggregator -- Query(p99, CDF)
+//   ...              <--frames/acks-->  /
+//
+// Two faults are injected to exercise the resync state machine, and the
+// run self-verifies that the protocol recovered from both:
+//  - at t=10, agent 0's frame is lost after the transport ack (a
+//    collection-pipeline drop the sender cannot see) — the next delta's
+//    base epoch no longer matches, the aggregator NAKs it, and the agent
+//    resyncs with a full frame;
+//  - at t=6, agent 0 restarts (fresh engine, fresh cursor, fresh
+//    sync_token): its next export is a full frame whose epoch restarts
+//    at 1, which the aggregator accepts as a replacement.
 //
 // Two metric shapes demonstrate both pooling modes:
 //  - rtt_us{host=hK}: one QLOVE metric per host, rolled up by tag
@@ -35,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +64,12 @@ namespace {
 constexpr int kWindowSeconds = 8;     // sub-windows per agent window
 constexpr int kSamplesPerSecond = 512;  // per agent per metric
 constexpr int kShards = 2;
+// Fault injection (both hit agent 0). The restart lands early enough
+// that the final window holds only post-restart traffic, so the oracle
+// comparison at the end stays exact; the drop lands after the restart so
+// the NAK/resync round-trip runs against the new incarnation.
+constexpr int kRestartSecond = 6;  // agent redeploys before ingesting t=6
+constexpr int kDropSecond = 10;    // agent 0's t=10 frame lost pre-ingest
 
 using qlove::engine::AggregatorEngine;
 using qlove::engine::BackendKind;
@@ -68,14 +89,14 @@ struct AgentTraffic {
   std::vector<std::vector<double>> rpc;  // [second] -> samples
 };
 
-/// The per-host agent: ingest one second of traffic, Tick, export, ship.
+/// The per-host agent: ingest one second of traffic, Tick, run the
+/// delta-sync export loop (ship, read the one-byte ack, resync on NAK).
 void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
   EngineOptions options;
   options.num_shards = kShards;
   options.shard_window =
       qlove::WindowSpec(kSamplesPerSecond / kShards * kWindowSeconds,
                         kSamplesPerSecond / kShards);
-  TelemetryEngine engine(options);
 
   const MetricKey rtt_key =
       MetricKey("rtt_us", {{"service", "netmon"}})
@@ -83,34 +104,58 @@ void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
   const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
   BackendOptions gk;
   gk.kind = BackendKind::kGk;
-  gk.epsilon = 0.001;
-  if (!engine.RegisterMetric(rtt_key).ok() ||
-      !engine.RegisterMetric(rpc_key, gk).ok()) {
-    std::fprintf(stderr, "agent %d: registration failed\n", id);
-    std::exit(1);
-  }
+  gk.epsilon = 0.001;  // the default phi grid reaches p99.9
+  auto make_engine = [&]() {
+    auto engine = std::make_unique<TelemetryEngine>(options);
+    if (!engine->RegisterMetric(rtt_key).ok() ||
+        !engine->RegisterMetric(rpc_key, gk).ok()) {
+      std::fprintf(stderr, "agent %d: registration failed\n", id);
+      std::exit(1);
+    }
+    return engine;
+  };
+  std::unique_ptr<TelemetryEngine> engine = make_engine();
+  qlove::engine::ExportCursor cursor;
 
   const std::string source = "host-" + std::to_string(id);
+  std::vector<uint8_t> frame;
   for (int second = 0; second < seconds; ++second) {
-    if (!engine.RecordBatch(rtt_key, traffic->rtt[second]).ok() ||
-        !engine.RecordBatch(rpc_key, traffic->rpc[second]).ok()) {
+    if (id == 0 && second == kRestartSecond) {
+      // The daemon redeploys: engine, cursor, and sync token are all
+      // process state, so everything starts over — including the Tick
+      // epoch counter, which is why frames carry the incarnation token.
+      engine = make_engine();
+      cursor = qlove::engine::ExportCursor();
+    }
+    if (!engine->RecordBatch(rtt_key, traffic->rtt[second]).ok() ||
+        !engine->RecordBatch(rpc_key, traffic->rpc[second]).ok()) {
       std::fprintf(stderr, "agent %d: ingest failed\n", id);
       std::exit(1);
     }
-    engine.Tick();
+    engine->Tick();
     // Dogfooding: each frame carries the agent's own `__qlove/` stage
     // sketches alongside its telemetry, so the aggregator can answer
     // fleet-health quantiles (e.g. "p99 Tick latency across all hosts")
     // through the same query surface as the telemetry itself.
     qlove::engine::ExportOptions with_self;
     with_self.include_self_metrics = true;
-    const std::vector<uint8_t> frame = qlove::engine::EncodeSnapshot(
-        engine.ExportSnapshot(source, with_self));
+    const qlove::Status exported =
+        engine->ExportDeltaEncoded(source, &cursor, &frame, with_self);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "agent %d: %s\n", id, exported.ToString().c_str());
+      std::exit(1);
+    }
     const qlove::Status shipped = qlove::engine::WriteFrame(fd, frame);
     if (!shipped.ok()) {
       std::fprintf(stderr, "agent %d: %s\n", id, shipped.ToString().c_str());
       std::exit(1);
     }
+    uint8_t ack = 0;
+    if (::read(fd, &ack, 1) != 1) {
+      std::fprintf(stderr, "agent %d: ack channel closed\n", id);
+      std::exit(1);
+    }
+    if (ack != 0) cursor.RequestResync();
   }
   ::close(fd);
 }
@@ -142,10 +187,17 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[i] + 10);
     }
   }
-  if (agents < 1 || seconds < kWindowSeconds) {
+  // The run must be long enough for the fault schedule: the restart
+  // needs a full window of post-restart seconds (or the final oracle
+  // comparison would cover traffic agent 0 lost with its old engine),
+  // and the drop needs the NAK + resync round-trip to complete.
+  const int min_seconds =
+      std::max(kRestartSecond + kWindowSeconds, kDropSecond + 2);
+  if (agents < 1 || seconds < min_seconds) {
     std::fprintf(stderr,
-                 "need --agents >= 1 and --seconds >= %d (the window)\n",
-                 kWindowSeconds);
+                 "need --agents >= 1 and --seconds >= %d (restart at t=%d "
+                 "+ %d-deep window; drop at t=%d + resync)\n",
+                 min_seconds, kRestartSecond, kWindowSeconds, kDropSecond);
     return 1;
   }
 
@@ -183,7 +235,14 @@ int main(int argc, char** argv) {
   AggregatorEngine aggregator;
   const TagSelector fleet{"rtt_us", {{"service", "netmon"}}};
   const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
-  size_t frame_bytes = 0;
+  // Steady-state size accounting, captured on the final second: each
+  // applied delta's bytes vs what re-shipping the full held state would
+  // cost at the same epoch (the apples-to-apples comparison — the GK
+  // metric rides as a full replacement inside every delta, so both sides
+  // carry it).
+  size_t last_delta_bytes = 0;
+  size_t full_equiv_bytes = 0;
+  long long naks_sent = 0;
   for (int second = 1; second <= seconds; ++second) {
     for (int a = 0; a < agents; ++a) {
       auto frame = qlove::engine::ReadFrame(read_fds[a]);
@@ -192,12 +251,48 @@ int main(int argc, char** argv) {
                      frame.status().ToString().c_str());
         return 1;
       }
-      frame_bytes = frame.ValueOrDie().size();
-      const qlove::Status ingested =
-          aggregator.IngestEncoded(frame.ValueOrDie());
-      if (!ingested.ok()) {
-        std::fprintf(stderr, "ingest from agent %d: %s\n", a,
-                     ingested.ToString().c_str());
+      const std::vector<uint8_t>& bytes = frame.ValueOrDie();
+      // Transport-level peek at the header (magic, u16 version, u8
+      // flags) purely for the size report; the aggregator itself
+      // classifies frames inside IngestFrame.
+      const bool is_delta =
+          bytes.size() > 6 && bytes[4] == 2 && (bytes[6] & 1) != 0;
+      uint8_t ack_byte = 0;
+      if (a == 0 && second == kDropSecond) {
+        // Injected fault: the frame is lost between the transport and
+        // the ingest queue, after the ack went out — the sender's cursor
+        // has already advanced past state the aggregator never applied.
+        // The next delta's base epoch will not match and gets NAKed.
+        std::printf("t=%2ds  [fault] dropping agent 0's frame pre-ingest\n",
+                    second);
+      } else {
+        auto ack = aggregator.IngestFrame(bytes);
+        if (!ack.ok()) {
+          std::fprintf(stderr, "ingest from agent %d: %s\n", a,
+                       ack.status().ToString().c_str());
+          return 1;
+        }
+        if (ack.ValueOrDie().resync_required) {
+          ack_byte = 1;
+          ++naks_sent;
+          std::printf("t=%2ds  [resync] NAKed agent %d's delta (held epoch "
+                      "%lld is not the delta's base) — full frame "
+                      "requested\n",
+                      second, a,
+                      static_cast<long long>(
+                          ack.ValueOrDie().acked_epoch));
+        } else if (is_delta && second == seconds) {
+          auto held =
+              aggregator.SourceSnapshot("host-" + std::to_string(a));
+          if (held.ok()) {
+            last_delta_bytes += bytes.size();
+            full_equiv_bytes +=
+                qlove::engine::EncodeSnapshotV2(held.ValueOrDie()).size();
+          }
+        }
+      }
+      if (::write(read_fds[a], &ack_byte, 1) != 1) {
+        std::perror("ack write");
         return 1;
       }
     }
@@ -230,8 +325,14 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
   for (int fd : read_fds) ::close(fd);
-  std::printf("frame size at t=%ds: %zu bytes (2 metrics + `__qlove/` "
-              "self-metrics)\n", seconds, frame_bytes);
+  std::printf("steady-state wire cost at t=%ds (all agents, 2 metrics + "
+              "`__qlove/` self-metrics): deltas %zu bytes vs %zu bytes to "
+              "re-ship the full held state (%.2fx)\n",
+              seconds, last_delta_bytes, full_equiv_bytes,
+              last_delta_bytes > 0
+                  ? static_cast<double>(full_equiv_bytes) /
+                        static_cast<double>(last_delta_bytes)
+                  : 0.0);
 
   // Fleet health, two ways. First the aggregator's own self-portrait:
   // ingest/reject/decode counters, per-source staleness, and the
@@ -309,6 +410,36 @@ int main(int argc, char** argv) {
                           1.0 / static_cast<double>(rpc_union.size());
     check("gk shared-key p99 (pooled)",
           RankErrorVsOracle(rpc_union, p99.value, 0.99), budget);
+  }
+
+  // Delta-protocol convergence: the injected drop must have produced at
+  // least one NAK/resync round-trip, and the steady state must run on
+  // deltas (most frames after first contact), at a fraction of the full
+  // frame size.
+  {
+    const auto health = aggregator.FleetHealth();
+    long long full_frames = 0;
+    long long delta_frames = 0;
+    for (const auto& status : health.sources) {
+      full_frames += status.full_frames;
+      delta_frames += status.delta_frames;
+    }
+    auto require = [&ok](const char* what, bool pass) {
+      std::printf("  %-44s [%s]\n", what, pass ? "OK" : "VIOLATION");
+      ok = ok && pass;
+    };
+    std::printf("\ndelta-sync protocol (dropped frame at t=%d, agent 0 "
+                "restart at t=%d):\n", kDropSecond, kRestartSecond);
+    std::printf("  frames applied: %lld full + %lld delta, NAKs sent: "
+                "%lld (aggregator resyncs_requested=%lld)\n",
+                full_frames, delta_frames, naks_sent,
+                static_cast<long long>(health.resyncs_requested));
+    require("injected drop surfaced as a NAK",
+            naks_sent >= 1 && health.resyncs_requested >= 1);
+    require("steady state runs on deltas, not full frames",
+            delta_frames > full_frames);
+    require("deltas undercut re-shipping the full state",
+            last_delta_bytes > 0 && last_delta_bytes < full_equiv_bytes);
   }
   if (!ok) {
     std::fprintf(stderr, "\nFAILED: fleet answers left the documented "

@@ -141,6 +141,13 @@ Status AggregatorEngine::IngestImpl(WireSnapshot snapshot) {
   }
   fleet_epoch_ = std::max(fleet_epoch_, snapshot.epoch);
   SourceState state;
+  if (it != sources_.end()) {
+    // Frame-type counters survive the state swap: they describe the
+    // stream, not the snapshot.
+    state.full_frames = it->second.full_frames;
+    state.delta_frames = it->second.delta_frames;
+  }
+  state.full_frames += 1;
   state.snapshot = std::move(snapshot);
   state.fleet_epoch_at_ingest = fleet_epoch_;
   sources_.insert_or_assign(source, std::move(state));
@@ -173,6 +180,213 @@ Status AggregatorEngine::IngestEncoded(const uint8_t* data, size_t size) {
 
 Status AggregatorEngine::IngestEncoded(const std::vector<uint8_t>& buffer) {
   return IngestEncoded(buffer.data(), buffer.size());
+}
+
+Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrame(
+    const uint8_t* data, size_t size) {
+  wire_bytes_ingested_.fetch_add(static_cast<int64_t>(size),
+                                 std::memory_order_relaxed);
+  auto decoded = [&]() -> Result<WireFrame> {
+#if QLOVE_INTROSPECTION_ENABLED
+    if (self_ != nullptr) {
+      Stopwatch watch;
+      watch.Start();
+      auto result = DecodeFrame(data, size);
+      RecordSelfStage(Stage::kWireDecode, watch.ElapsedNanos() * 1e-3);
+      return result;
+    }
+#endif
+    return DecodeFrame(data, size);
+  }();
+  if (!decoded.ok()) {
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    return decoded.status();
+  }
+  WireFrame frame = decoded.TakeValue();
+  if (!frame.is_delta) {
+    const int64_t epoch = frame.snapshot.epoch;
+    QLOVE_RETURN_NOT_OK(Ingest(std::move(frame.snapshot)));
+    IngestAck ack;
+    ack.applied = true;
+    ack.acked_epoch = epoch;
+    return ack;
+  }
+
+  // Delta path. Mirrors Ingest's accounting wrapper: timed as the ingest
+  // stage, accepted frames counted, rejections classified. NAKs are a
+  // protocol outcome (the agent resolves them by resyncing), so they are
+  // neither an accepted ingest nor an invalid rejection.
+  auto applied = [&]() -> Result<IngestAck> {
+#if QLOVE_INTROSPECTION_ENABLED
+    if (self_ != nullptr) {
+      Stopwatch watch;
+      watch.Start();
+      auto result = ApplyDelta(std::move(frame.delta));
+      RecordSelfStage(Stage::kAggregatorIngest,
+                      watch.ElapsedNanos() * 1e-3);
+      return result;
+    }
+#endif
+    return ApplyDelta(std::move(frame.delta));
+  }();
+  if (!applied.ok()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return applied.status();
+  }
+  const IngestAck ack = applied.ValueOrDie();
+  if (ack.resync_required) {
+    resyncs_requested_.fetch_add(1, std::memory_order_relaxed);
+    return ack;
+  }
+  wire_bytes_delta_ingested_.fetch_add(static_cast<int64_t>(size),
+                                       std::memory_order_relaxed);
+  const int64_t accepted =
+      ingests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  delta_ingests_.fetch_add(1, std::memory_order_relaxed);
+#if QLOVE_INTROSPECTION_ENABLED
+  if (self_ != nullptr && accepted % 8 == 0) self_->Tick();
+#else
+  (void)accepted;
+#endif
+  return ack;
+}
+
+Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrame(
+    const std::vector<uint8_t>& buffer) {
+  return IngestFrame(buffer.data(), buffer.size());
+}
+
+Result<AggregatorEngine::IngestAck> AggregatorEngine::ApplyDelta(
+    WireDelta delta) {
+  // Content validation first — malformed payloads get error Statuses (a
+  // resync would not fix them), exactly as IngestImpl treats full frames.
+  for (size_t i = 1; i < delta.metrics.size(); ++i) {
+    if (!(delta.metrics[i - 1].key < delta.metrics[i].key)) {
+      return Status::InvalidArgument(
+          "delta from '" + delta.source +
+          "': metrics are not in strictly ascending canonical key order (" +
+          delta.metrics[i].key.ToString() + " repeats or regresses)");
+    }
+  }
+  for (const WireMetricDelta& metric : delta.metrics) {
+    if (metric.mode != WireDeltaMode::kFull) continue;
+    QLOVE_RETURN_NOT_OK(metric.options.shard_window.Validate());
+    QLOVE_RETURN_NOT_OK(metric.options.backend.Validate(
+        metric.options.shard_window, metric.options.phis));
+    for (const BackendSummary& shard : metric.shards) {
+      if (shard.kind != metric.options.backend.kind) {
+        return Status::InvalidArgument(
+            "delta from '" + delta.source + "': metric " +
+            metric.key.ToString() +
+            " ships a summary kind disagreeing with its declared backend");
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestAck nak;
+  nak.resync_required = true;
+  auto it = sources_.find(delta.source);
+  if (it == sources_.end()) {
+    // Never seen this agent (or the aggregator restarted): there is no
+    // base state to patch. Ask for a full frame.
+    nak.acked_epoch = -1;
+    return nak;
+  }
+  SourceState& held = it->second;
+  nak.acked_epoch = held.snapshot.epoch;
+  if (held.snapshot.epoch != delta.base_epoch) {
+    // The delta was built against a state we do not hold (dropped frame,
+    // reordering, or an aggregator-side replacement).
+    return nak;
+  }
+  if (held.snapshot.sync_token != delta.sync_token) {
+    // Same epoch number, different engine incarnation: the agent
+    // restarted and its Tick epochs collided with the state we hold
+    // (or the held state came from a v1 frame, token 0). Patching across
+    // incarnations would silently mix two different windows.
+    return nak;
+  }
+
+  // Validate-then-swap: assemble the replacement metric list fully before
+  // touching held state, so a NAK mid-way leaves the source intact. The
+  // delta's metric list is authoritative — held metrics it omits were
+  // deregistered on the agent and are dropped here.
+  std::vector<WireMetricSummary> metrics;
+  metrics.reserve(delta.metrics.size());
+  for (WireMetricDelta& metric : delta.metrics) {
+    if (metric.mode == WireDeltaMode::kFull) {
+      WireMetricSummary out;
+      out.key = metric.key;
+      out.options = std::move(metric.options);
+      out.shards = std::move(metric.shards);
+      metrics.push_back(std::move(out));
+      continue;
+    }
+    // kQloveDelta patches the held summary: trim sub-windows the agent's
+    // window has evicted, append the ones it has emitted since base_epoch.
+    auto held_it = std::lower_bound(
+        held.snapshot.metrics.begin(), held.snapshot.metrics.end(), metric.key,
+        [](const WireMetricSummary& m, const MetricKey& key) {
+          return m.key < key;
+        });
+    if (held_it == held.snapshot.metrics.end() ||
+        !(held_it->key == metric.key)) {
+      return nak;  // patch target unknown — agent and aggregator disagree
+    }
+    if (held_it->shards.size() != 1 ||
+        held_it->shards[0].kind != BackendKind::kQlove ||
+        held_it->options.backend.kind != BackendKind::kQlove) {
+      // Held state is not the coalesced qlove shape deltas patch (e.g. it
+      // came from an older v1 exporter before a config change).
+      return nak;
+    }
+    WireMetricSummary merged = *held_it;
+    BackendSummary& summary = merged.shards[0];
+    auto& subs = summary.subwindows;
+    auto live = std::lower_bound(
+        subs.begin(), subs.end(), metric.first_live_epoch,
+        [](const core::SubWindowSummary& sub, int64_t epoch) {
+          return sub.epoch < epoch;
+        });
+    subs.erase(subs.begin(), live);
+    if (!metric.new_subwindows.empty()) {
+      const int64_t held_max = subs.empty() ? -1 : subs.back().epoch;
+      if (metric.new_subwindows.front().epoch <= held_max) {
+        // The "new" sub-windows overlap what we hold: the agent's view of
+        // our state has diverged. Applying would double-count.
+        return nak;
+      }
+      subs.insert(subs.end(),
+                  std::make_move_iterator(metric.new_subwindows.begin()),
+                  std::make_move_iterator(metric.new_subwindows.end()));
+    }
+    summary.count = metric.count;
+    summary.inflight = metric.inflight;
+    summary.burst_active = metric.burst_active;
+    summary.rank_error = metric.rank_error;
+    metrics.push_back(std::move(merged));
+  }
+
+  held.snapshot.epoch = delta.epoch;
+  held.snapshot.metrics = std::move(metrics);
+  held.delta_frames += 1;
+  fleet_epoch_ = std::max(fleet_epoch_, delta.epoch);
+  held.fleet_epoch_at_ingest = fleet_epoch_;
+  IngestAck ack;
+  ack.applied = true;
+  ack.acked_epoch = delta.epoch;
+  return ack;
+}
+
+Result<WireSnapshot> AggregatorEngine::SourceSnapshot(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    return Status::NotFound("no snapshot held for source: " + source);
+  }
+  return it->second.snapshot;
 }
 
 Result<QueryResult> AggregatorEngine::Query(const QuerySpec& spec) const {
@@ -343,6 +557,8 @@ std::vector<AggregatorEngine::SourceStatus> AggregatorEngine::Sources() const {
     status.stale = IsStale(state, fleet_epoch_);
     status.epochs_behind = fleet_epoch_ - state.fleet_epoch_at_ingest;
     status.metric_count = state.snapshot.metrics.size();
+    status.full_frames = state.full_frames;
+    status.delta_frames = state.delta_frames;
     out.push_back(std::move(status));
   }
   return out;
@@ -362,6 +578,11 @@ AggregatorEngine::FleetHealthSnapshot AggregatorEngine::FleetHealth() const {
   health.decode_failures = decode_failures_.load(std::memory_order_relaxed);
   health.wire_bytes_ingested =
       wire_bytes_ingested_.load(std::memory_order_relaxed);
+  health.delta_ingests = delta_ingests_.load(std::memory_order_relaxed);
+  health.resyncs_requested =
+      resyncs_requested_.load(std::memory_order_relaxed);
+  health.wire_bytes_delta_ingested =
+      wire_bytes_delta_ingested_.load(std::memory_order_relaxed);
   health.queries = queries_.load(std::memory_order_relaxed);
 #if QLOVE_INTROSPECTION_ENABLED
   if (self_ != nullptr) {
@@ -431,8 +652,13 @@ std::string FormatFleetHealth(
                 static_cast<long long>(health.rejected_reordered),
                 static_cast<long long>(health.rejected_invalid),
                 static_cast<long long>(health.decode_failures));
-  AppendHealthF(&out, "  wire_bytes_ingested=%lld queries=%lld\n",
+  AppendHealthF(&out,
+                "  wire_bytes_ingested=%lld (delta_ingests=%lld "
+                "delta_bytes=%lld resyncs=%lld) queries=%lld\n",
                 static_cast<long long>(health.wire_bytes_ingested),
+                static_cast<long long>(health.delta_ingests),
+                static_cast<long long>(health.wire_bytes_delta_ingested),
+                static_cast<long long>(health.resyncs_requested),
                 static_cast<long long>(health.queries));
   for (const StageStats& stage : health.stages) {
     const double mean =
@@ -449,11 +675,14 @@ std::string FormatFleetHealth(
   for (const AggregatorEngine::SourceStatus& source : health.sources) {
     AppendHealthF(&out,
                   "  source %-16s epoch=%-6lld behind=%-4lld metrics=%-4zu "
-                  "%s\n",
+                  "frames=%lld+%lldd %s\n",
                   source.source.c_str(),
                   static_cast<long long>(source.epoch),
                   static_cast<long long>(source.epochs_behind),
-                  source.metric_count, source.stale ? "STALE" : "fresh");
+                  source.metric_count,
+                  static_cast<long long>(source.full_frames),
+                  static_cast<long long>(source.delta_frames),
+                  source.stale ? "STALE" : "fresh");
   }
   return out;
 }
@@ -466,6 +695,8 @@ std::string FleetHealthToJson(
                 "\"sources_stale\": %lld, \"ingests\": %lld, "
                 "\"rejected_reordered\": %lld, \"rejected_invalid\": %lld, "
                 "\"decode_failures\": %lld, \"wire_bytes_ingested\": %lld, "
+                "\"delta_ingests\": %lld, \"resyncs_requested\": %lld, "
+                "\"wire_bytes_delta_ingested\": %lld, "
                 "\"queries\": %lld, ",
                 static_cast<long long>(health.fleet_epoch),
                 static_cast<long long>(health.sources_fresh),
@@ -475,6 +706,9 @@ std::string FleetHealthToJson(
                 static_cast<long long>(health.rejected_invalid),
                 static_cast<long long>(health.decode_failures),
                 static_cast<long long>(health.wire_bytes_ingested),
+                static_cast<long long>(health.delta_ingests),
+                static_cast<long long>(health.resyncs_requested),
+                static_cast<long long>(health.wire_bytes_delta_ingested),
                 static_cast<long long>(health.queries));
   out += "\"stages\": [";
   for (size_t i = 0; i < health.stages.size(); ++i) {
@@ -494,11 +728,14 @@ std::string FleetHealthToJson(
     AppendHealthEscaped(source.source, &out);
     AppendHealthF(&out,
                   "\", \"epoch\": %lld, \"stale\": %s, "
-                  "\"epochs_behind\": %lld, \"metric_count\": %zu}",
+                  "\"epochs_behind\": %lld, \"metric_count\": %zu, "
+                  "\"full_frames\": %lld, \"delta_frames\": %lld}",
                   static_cast<long long>(source.epoch),
                   source.stale ? "true" : "false",
                   static_cast<long long>(source.epochs_behind),
-                  source.metric_count);
+                  source.metric_count,
+                  static_cast<long long>(source.full_frames),
+                  static_cast<long long>(source.delta_frames));
   }
   out += "]}";
   return out;

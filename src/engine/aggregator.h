@@ -101,6 +101,39 @@ class AggregatorEngine {
   Status IngestEncoded(const uint8_t* data, size_t size);
   Status IngestEncoded(const std::vector<uint8_t>& buffer);
 
+  /// \brief The receiver's verdict on one frame, for the sender's
+  /// delta-sync loop (engine.h ExportCursor).
+  struct IngestAck {
+    /// The frame's state was applied (full frame accepted, or delta
+    /// applied cleanly).
+    bool applied = false;
+    /// The frame was a delta this aggregator cannot apply (unknown
+    /// source, base-epoch mismatch, incompatible held state): nothing
+    /// changed, and the sender must RequestResync() and send a full
+    /// frame. This is the NAK of the protocol, not an error — deltas
+    /// against lost state are an expected, recoverable condition.
+    bool resync_required = false;
+    /// The source's held epoch after this call (what the next delta
+    /// should declare as its base), or -1 when the source is unknown.
+    int64_t acked_epoch = -1;
+  };
+
+  /// Decodes and applies any frame (v1 full, v2 full, v2 delta) and
+  /// reports the sync verdict. Full frames take the Ingest path: accepted
+  /// frames ack applied, and frame errors (corrupt bytes, invalid
+  /// options, reordered epochs) stay error Statuses exactly as in
+  /// IngestEncoded. Delta frames apply atomically against the source's
+  /// held snapshot — on any disagreement the held state is untouched and
+  /// the ack says resync_required (an OK Result: NAKs are protocol flow,
+  /// not failures).
+  Result<IngestAck> IngestFrame(const uint8_t* data, size_t size);
+  Result<IngestAck> IngestFrame(const std::vector<uint8_t>& buffer);
+
+  /// The held (pooled) state for \p source — the delta protocol's ground
+  /// truth, exposed so tests can assert that a delta stream converged to
+  /// exactly the full-frame-replay state. NotFound for unknown sources.
+  Result<WireSnapshot> SourceSnapshot(const std::string& source) const;
+
   /// Evaluates \p spec against the pooled fleet state: the same target
   /// resolution and request surface as TelemetryEngine::Query, with keys
   /// matched across every fresh source (two agents reporting the same
@@ -118,7 +151,9 @@ class AggregatorEngine {
     /// Fleet epochs elapsed since this source last reported (0 = reported
     /// at the current fleet epoch; stale once beyond staleness_epochs).
     int64_t epochs_behind = 0;
-    size_t metric_count = 0;  ///< Metrics in the last snapshot.
+    size_t metric_count = 0;  ///< Metrics in the held snapshot.
+    int64_t full_frames = 0;  ///< Full snapshots applied for this source.
+    int64_t delta_frames = 0; ///< Delta frames applied for this source.
   };
 
   /// \brief AggregatorEngine::FleetHealth(): the aggregator-tier
@@ -135,6 +170,9 @@ class AggregatorEngine {
     int64_t decode_failures = 0;     ///< IngestEncoded decode errors.
     int64_t wire_bytes_ingested = 0; ///< Encoded bytes seen by IngestEncoded.
     int64_t queries = 0;             ///< Query() calls.
+    int64_t delta_ingests = 0;       ///< Delta frames applied.
+    int64_t resyncs_requested = 0;   ///< Delta NAKs (resync_required acks).
+    int64_t wire_bytes_delta_ingested = 0;  ///< Bytes of applied deltas.
     std::vector<SourceStatus> sources;  ///< Name-ordered, like Sources().
     /// wire_decode / aggregator_ingest latency aggregates (empty with
     /// introspection off or before any sample).
@@ -163,6 +201,8 @@ class AggregatorEngine {
   struct SourceState {
     WireSnapshot snapshot;
     int64_t fleet_epoch_at_ingest = 0;
+    int64_t full_frames = 0;   ///< Full snapshots applied.
+    int64_t delta_frames = 0;  ///< Delta frames applied.
   };
 
   bool IsStale(const SourceState& state, int64_t fleet_epoch) const {
@@ -173,6 +213,12 @@ class AggregatorEngine {
   /// The validate-and-swap itself; Ingest wraps it with timing and the
   /// accept/reject accounting.
   Status IngestImpl(WireSnapshot snapshot);
+  /// Applies one delta frame against the source's held snapshot —
+  /// validate-then-swap, so a NAK or error leaves the held state
+  /// untouched. OK acks carry the protocol verdict; error Statuses are
+  /// reserved for malformed frame CONTENT (negative counts, grid-size
+  /// mismatches) that no resync would fix differently.
+  Result<IngestAck> ApplyDelta(WireDelta delta);
   /// Records one latency sample into the self-metrics engine (no-op when
   /// introspection is off).
   void RecordSelfStage(Stage stage, double micros) const;
@@ -191,6 +237,9 @@ class AggregatorEngine {
   std::atomic<int64_t> decode_failures_{0};
   std::atomic<int64_t> wire_bytes_ingested_{0};
   mutable std::atomic<int64_t> queries_{0};  ///< Bumped inside const Query.
+  std::atomic<int64_t> delta_ingests_{0};
+  std::atomic<int64_t> resyncs_requested_{0};
+  std::atomic<int64_t> wire_bytes_delta_ingested_{0};
 
   /// The dogfooded self-metrics engine (single shard, introspection on):
   /// holds the `__qlove/stage_us{stage=wire_decode|aggregator_ingest}`

@@ -1,0 +1,49 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// Shard coalescing for exports: shard count is an agent-internal scaling
+// detail, so shipping one BackendSummary per shard makes frame size grow
+// linearly with a knob the aggregator never needed to know about (697 B
+// per qlove metric at 1 shard ballooned to 4225 B at 8 in the PR-5 bench).
+// CoalesceShardSummaries folds every shard's mergeable summary into one
+// per-metric summary at export time, using exactly the merge structure the
+// receiving side would apply anyway:
+//
+//  - kQlove: sub-windows are grouped by boundary epoch (shards tick
+//    together, so equal epochs cover the same wall-clock sub-window) and
+//    merged count-weighted — quantiles by the Level-2 weighted mean (the
+//    aggregator's own estimator, so pre-merging commutes with it up to
+//    floating-point reassociation), tail top-k lists by a descending merge
+//    that combines equal values' multiplicities, tail samples by a
+//    descending multiset union. No extra truncation is applied: the merged
+//    lists carry the union of the per-shard captures, so every downstream
+//    MergeTopK/MergeSampleK walk accumulates the same counts in the same
+//    order it would have over the unmerged lists.
+//  - entry kinds (kGk/kCmqs/kExact): entries are pooled, sorted, and equal
+//    values' weights combined — the weighted multiset is unchanged.
+//
+// What is NOT preserved bit-for-bit: the weighted-MEDIAN merge strategy
+// (a median over pre-averaged groups is not the median over the originals)
+// and the per-summary bookkeeping some error bounds derive from (merged
+// sub-windows are fewer and larger, which only tightens the finite-m
+// terms). Callers that need byte-level parity with the unmerged state —
+// the serialize-then-merge bit-identity property — export with
+// ExportOptions::coalesce_shards = false.
+
+#ifndef QLOVE_ENGINE_COALESCE_H_
+#define QLOVE_ENGINE_COALESCE_H_
+
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace qlove {
+namespace engine {
+
+/// \brief Merges every shard's summary into one. \p shards must be
+/// non-empty and share one kind (they come from one metric's shards, which
+/// always do). With a single shard the copy is returned unchanged.
+BackendSummary CoalesceShardSummaries(const std::vector<BackendSummary>& shards);
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_COALESCE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "engine/coalesce.h"
 
 namespace qlove {
 namespace engine {
@@ -39,6 +41,24 @@ using EngineBuffers =
 thread_local std::unordered_map<uint64_t, EngineBuffers> tls_buffers;
 
 std::atomic<uint64_t> next_engine_id{1};
+
+/// Engine-incarnation token for the delta-sync protocol (wire.h
+/// WireSnapshot::sync_token): distinct across engines in one process (the
+/// counter) and collision-unlikely across process restarts (the clock,
+/// mixed through splitmix64). Never zero — zero marks v1-established
+/// state on the aggregator, which must always NAK deltas.
+uint64_t GenerateSyncToken() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x =
+      counter.fetch_add(1, std::memory_order_relaxed) ^
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
 
 /// Bumped by every ~TelemetryEngine: threads compare it against their own
 /// cached value to learn that some engine died since they last looked.
@@ -122,7 +142,8 @@ Status EngineOptions::Validate() const {
 TelemetryEngine::TelemetryEngine(EngineOptions options)
     : options_(std::move(options)),
       options_status_(options_.Validate()),  // once, not per Record
-      engine_id_(next_engine_id.fetch_add(1, std::memory_order_relaxed)) {
+      engine_id_(next_engine_id.fetch_add(1, std::memory_order_relaxed)),
+      sync_token_(GenerateSyncToken()) {
   metric_options_.shard_window = options_.shard_window;
   metric_options_.phis = options_.phis;
   metric_options_.backend = options_.default_backend;
@@ -384,6 +405,7 @@ WireSnapshot TelemetryEngine::ExportSnapshot(
   WireSnapshot snapshot;
   snapshot.source = std::move(source);
   snapshot.epoch = TickEpochs();
+  snapshot.sync_token = sync_token_;
   std::vector<std::shared_ptr<MetricState>> states = registry_.List();
   if (export_options.include_self_metrics) {
     for (auto& state : internal_registry_.List()) {
@@ -403,6 +425,13 @@ WireSnapshot TelemetryEngine::ExportSnapshot(
     metric.key = state->key();
     metric.options = state->options();
     metric.shards = state->SnapshotShards();
+    if (export_options.coalesce_shards && metric.shards.size() > 1) {
+      // Shard count is an agent-internal detail: fold the per-shard
+      // summaries into one so frame size stops scaling with it.
+      BackendSummary coalesced = CoalesceShardSummaries(metric.shards);
+      metric.shards.clear();
+      metric.shards.push_back(std::move(coalesced));
+    }
     snapshot.metrics.push_back(std::move(metric));
   }
 #if QLOVE_INTROSPECTION_ENABLED
@@ -432,6 +461,99 @@ Status TelemetryEngine::ExportEncoded(
   }
 #endif
   EncodeSnapshot(ExportSnapshot(std::move(source), export_options), out);
+  return Status::OK();
+}
+
+Status TelemetryEngine::ExportDeltaEncoded(
+    std::string source, ExportCursor* cursor, std::vector<uint8_t>* out,
+    const ExportOptions& export_options) const {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  if (cursor == nullptr) {
+    return Status::InvalidArgument("null export cursor");
+  }
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output buffer");
+  }
+  ExportOptions coalesced = export_options;
+  coalesced.coalesce_shards = true;  // deltas address one summary per metric
+
+#if QLOVE_INTROSPECTION_ENABLED
+  Stopwatch watch;
+  if (introspection_ != nullptr) watch.Start();
+#endif
+  const WireSnapshot snapshot = ExportSnapshot(std::move(source), coalesced);
+  bool encoded_delta = false;
+  if (cursor->force_full_ || cursor->last_epoch_ < 0) {
+    EncodeSnapshotV2(snapshot, out);
+  } else {
+    WireDelta delta;
+    delta.source = snapshot.source;
+    delta.epoch = snapshot.epoch;
+    delta.base_epoch = cursor->last_epoch_;
+    delta.sync_token = snapshot.sync_token;
+    delta.metrics.reserve(snapshot.metrics.size());
+    for (const WireMetricSummary& metric : snapshot.metrics) {
+      WireMetricDelta md;
+      md.key = metric.key;
+      const auto sent = cursor->sent_.find(metric.key);
+      // Incremental shipping needs sub-window-addressable state on both
+      // ends: a coalesced qlove summary here, and a prior frame that
+      // shipped this metric the same way (sent marker >= 0). Everything
+      // else rides as a full replacement inside the delta.
+      if (sent != cursor->sent_.end() && sent->second >= 0 &&
+          metric.shards.size() == 1 &&
+          metric.shards[0].kind == BackendKind::kQlove) {
+        const BackendSummary& summary = metric.shards[0];
+        md.mode = WireDeltaMode::kQloveDelta;
+        // An empty window trims everything the receiver holds (held
+        // epochs never exceed the snapshot epoch).
+        md.first_live_epoch = summary.subwindows.empty()
+                                  ? snapshot.epoch + 1
+                                  : summary.subwindows.front().epoch;
+        md.count = summary.count;
+        md.inflight = summary.inflight;
+        md.burst_active = summary.burst_active;
+        md.rank_error = summary.rank_error;
+        for (const core::SubWindowSummary& sub : summary.subwindows) {
+          if (sub.epoch > sent->second) md.new_subwindows.push_back(sub);
+        }
+      } else {
+        md.mode = WireDeltaMode::kFull;
+        md.options = metric.options;
+        md.shards = metric.shards;
+      }
+      delta.metrics.push_back(std::move(md));
+    }
+    EncodeDelta(delta, out);
+    encoded_delta = true;
+  }
+  // Advance optimistically: when the receiver's held state disagrees it
+  // NAKs the frame and the caller calls RequestResync().
+  cursor->force_full_ = false;
+  cursor->last_epoch_ = snapshot.epoch;
+  cursor->sent_.clear();
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    int64_t newest = -1;  // -1: shipped whole, not delta-eligible
+    if (metric.shards.size() == 1 &&
+        metric.shards[0].kind == BackendKind::kQlove) {
+      const auto& subs = metric.shards[0].subwindows;
+      // With no live sub-windows the snapshot epoch is a safe high-water
+      // mark: future sub-windows are stamped past it.
+      newest = subs.empty() ? snapshot.epoch : subs.back().epoch;
+    }
+    cursor->sent_[metric.key] = newest;
+  }
+#if QLOVE_INTROSPECTION_ENABLED
+  if (introspection_ != nullptr) {
+    introspection_->RecordStage(Stage::kWireEncode,
+                                watch.ElapsedNanos() * 1e-3);
+    introspection_->OnWireBytes(static_cast<int64_t>(out->size()));
+    if (encoded_delta) {
+      introspection_->OnDeltaExport(static_cast<int64_t>(out->size()));
+    }
+  }
+#endif
+  (void)encoded_delta;
   return Status::OK();
 }
 

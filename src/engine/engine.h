@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -117,13 +118,54 @@ struct EngineOptions {
   Status Validate() const;
 };
 
-/// \brief Knobs for ExportSnapshot / ExportEncoded.
+/// \brief Knobs for ExportSnapshot / ExportEncoded / ExportDeltaEncoded.
 struct ExportOptions {
   /// Include the engine's own `__qlove/` self-metrics in the export so
   /// they roll up across the fleet like any other metric. Default OFF:
   /// wire consumers that pin exact export bytes (golden fixtures) must
   /// not absorb nondeterministic timing sketches unasked.
   bool include_self_metrics = false;
+
+  /// Fold each metric's per-shard summaries into one per-metric summary
+  /// (engine/coalesce.h) before export. Shard count is an agent-internal
+  /// scaling detail, and per-shard framing made wire bytes grow linearly
+  /// with it; coalescing returns an 8-shard export to ~1-shard size.
+  /// Default ON. Turn OFF for byte-level parity with the engine's own
+  /// uncoalesced merge state (the serialize-then-merge bit-identity
+  /// property): the coalesced merge is equivalent only up to
+  /// floating-point reassociation and sub-window regrouping.
+  bool coalesce_shards = true;
+};
+
+/// \brief Per-receiver delta-sync state for ExportDeltaEncoded: which
+/// epoch and which qlove sub-windows the receiving aggregator is believed
+/// to hold, so the next export ships only what it has not seen.
+///
+/// One cursor per (engine, receiver) stream, owned by the caller and used
+/// from one exporting thread at a time. The protocol is optimistic: the
+/// cursor advances as frames are produced, and when the receiver disagrees
+/// (it NAKed, it restarted, frames were dropped in transit) the caller
+/// invokes RequestResync() and the next export is a full v2 frame.
+class ExportCursor {
+ public:
+  /// Force the next export to be a full frame (initial state). Call on
+  /// aggregator NAK (IngestAck::resync_required), transport reconnect, or
+  /// any suspicion of frame loss.
+  void RequestResync() { force_full_ = true; }
+
+  /// Epoch of the last frame produced through this cursor (what the next
+  /// delta declares as its base), or -1 before the first export.
+  int64_t last_epoch() const { return last_epoch_; }
+
+ private:
+  friend class TelemetryEngine;
+
+  bool force_full_ = true;
+  int64_t last_epoch_ = -1;
+  /// Per metric: newest sub-window epoch already shipped (kQloveDelta
+  /// candidates), or -1 for metrics shipped whole (non-qlove, no
+  /// sub-window state to diff).
+  std::map<MetricKey, int64_t> sent_;
 };
 
 /// \brief Sharded, thread-safe, multi-metric quantile engine.
@@ -230,6 +272,21 @@ class TelemetryEngine {
   Status ExportEncoded(std::string source, std::vector<uint8_t>* out,
                        const ExportOptions& export_options = {}) const;
 
+  /// The delta-sync agent loop: encodes into \p out either a full v2
+  /// frame (first export through \p cursor, or after RequestResync) or a
+  /// v2 DELTA frame carrying, per qlove metric, only the sub-windows newer
+  /// than what \p cursor says the receiver holds (plus refreshed scalars);
+  /// non-qlove metrics and metrics with unshippable diffs ride as full
+  /// replacements inside the delta. Exports are always shard-coalesced on
+  /// this path (deltas address one summary per metric). The cursor
+  /// advances optimistically; pair with AggregatorEngine::IngestFrame and
+  /// call cursor->RequestResync() whenever the returned IngestAck demands
+  /// it or the transport hiccups. Timing/bytes land in the wire_encode
+  /// stage and the delta export counters.
+  Status ExportDeltaEncoded(std::string source, ExportCursor* cursor,
+                            std::vector<uint8_t>* out,
+                            const ExportOptions& export_options = {}) const;
+
   /// Sub-window boundaries this engine has driven (Tick() calls). Stamped
   /// on exported snapshots; the aggregator's staleness accounting compares
   /// these across agents ticking at a common cadence.
@@ -281,6 +338,11 @@ class TelemetryEngine {
   MetricOptions metric_options_;  // derived from options_
   MetricRegistry registry_;
   const uint64_t engine_id_;  // keys this engine's thread-local buffers
+  /// Engine-incarnation token stamped into every export (wire.h
+  /// WireSnapshot::sync_token): lets the delta-sync receiver tell a
+  /// restarted agent apart from a continued stream when Tick epochs
+  /// collide numerically.
+  const uint64_t sync_token_;
   std::atomic<int64_t> tick_epochs_{0};  // Tick() calls driven so far
 
   /// Self-metrics state. The `__qlove/` metrics live in their own

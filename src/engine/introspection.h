@@ -106,7 +106,13 @@ struct CountersSnapshot {
   int64_t queries = 0;           ///< Query() calls (user metrics only).
   int64_t slow_queries = 0;      ///< Queries over the slow threshold.
   int64_t exports = 0;           ///< ExportSnapshot calls.
-  int64_t wire_bytes_encoded = 0;      ///< Bytes produced by ExportEncoded.
+  int64_t wire_bytes_encoded = 0;      ///< Bytes produced by ExportEncoded /
+                                       ///< ExportDeltaEncoded (all frames).
+  int64_t delta_exports = 0;           ///< Delta frames produced by
+                                       ///< ExportDeltaEncoded (full-frame
+                                       ///< resyncs excluded).
+  int64_t wire_bytes_delta = 0;        ///< Bytes of those delta frames (a
+                                       ///< subset of wire_bytes_encoded).
   int64_t stage_samples_dropped = 0;   ///< Samples lost to a full stage
                                        ///< buffer (no Tick draining it).
 };
@@ -204,6 +210,10 @@ class Introspection {
   void OnWireBytes(int64_t bytes) {
     wire_bytes_encoded_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void OnDeltaExport(int64_t bytes) {
+    delta_exports_.fetch_add(1, std::memory_order_relaxed);
+    wire_bytes_delta_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   /// @}
 
   /// Records one \p stage latency sample (microseconds): updates the
@@ -259,6 +269,8 @@ class Introspection {
   std::atomic<int64_t> slow_queries_{0};
   std::atomic<int64_t> exports_{0};
   std::atomic<int64_t> wire_bytes_encoded_{0};
+  std::atomic<int64_t> delta_exports_{0};
+  std::atomic<int64_t> wire_bytes_delta_{0};
   std::atomic<int64_t> stage_samples_dropped_{0};
 
   mutable std::mutex slow_mu_;

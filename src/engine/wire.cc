@@ -4,6 +4,8 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
@@ -110,6 +112,7 @@ class Reader {
   Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
 
   Status U8(uint8_t* out) {
     QLOVE_RETURN_NOT_OK(Need(1));
@@ -437,7 +440,694 @@ std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+// The version-1 body: everything after magic + version.
+Status DecodeV1Body(Reader* r, WireSnapshot* snapshot) {
+  QLOVE_RETURN_NOT_OK(r->Str(&snapshot->source));
+  // Epochs are counters; a negative one is corruption, and letting it
+  // through would make the aggregator's fleet_epoch - epoch staleness
+  // arithmetic overflow on INT64_MIN.
+  QLOVE_RETURN_NOT_OK(r->NonNegI64(&snapshot->epoch, "snapshot epoch"));
+  uint32_t num_metrics;
+  // Minimum metric wire size: empty key (4+4) + options (the fixed scalar
+  // block alone is > 80 bytes) + shard count.
+  QLOVE_RETURN_NOT_OK(r->Length(&num_metrics, 4 + 4 + 80 + 4, "metric"));
+  snapshot->metrics.resize(num_metrics);
+  for (WireMetricSummary& metric : snapshot->metrics) {
+    QLOVE_RETURN_NOT_OK(DecodeKey(r, &metric.key));
+    QLOVE_RETURN_NOT_OK(DecodeOptions(r, &metric.options));
+    uint32_t num_shards;
+    // Minimum summary wire size: kind + counts + flags + payload count.
+    QLOVE_RETURN_NOT_OK(r->Length(&num_shards, 1 + 8 + 8 + 1 + 8 + 1 + 4,
+                                  "shard summary"));
+    metric.shards.resize(num_shards);
+    for (BackendSummary& shard : metric.shards) {
+      QLOVE_RETURN_NOT_OK(DecodeSummary(r, &shard));
+    }
+  }
+  if (r->remaining() != 0) {
+    return Status::InvalidArgument(
+        "wire: " + std::to_string(r->remaining()) +
+        " trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size) {
+  auto frame = DecodeFrame(data, size);
+  if (!frame.ok()) return frame.status();
+  if (frame.ValueOrDie().is_delta) {
+    return Status::InvalidArgument(
+        "wire: delta frame (deltas apply against held state; use "
+        "DecodeFrame / AggregatorEngine::IngestFrame)");
+  }
+  return std::move(frame.ValueOrDie().snapshot);
+}
+
+Result<WireSnapshot> DecodeSnapshot(const std::vector<uint8_t>& buffer) {
+  return DecodeSnapshot(buffer.data(), buffer.size());
+}
+
+// ---------------------------------------------------------------------------
+// Version 2: varint/zigzag integers, tagged log-linear doubles, delta
+// frames. The encoder appends into a caller-owned vector (clear() keeps
+// capacity, so a reused buffer stops allocating at steady state); the
+// decoder enforces minimal varints and strict tags so every decodable
+// value has exactly one byte form and encode(decode(x)) is byte-identical.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kV2ExpMin = -12;
+constexpr int kV2ExpMax = 13;
+
+// Exact double constants for 10^e, e in [kV2ExpMin, kV2ExpMax] — the same
+// span the quantizer's decade decomposition covers. Indexed by e - kV2ExpMin.
+constexpr double kV2Pow10[kV2ExpMax - kV2ExpMin + 1] = {
+    1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4,
+    1e-3,  1e-2,  1e-1,  1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+    1e6,   1e7,   1e8,   1e9,  1e10, 1e11, 1e12, 1e13};
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);  // arithmetic shift: sign smear
+}
+
+inline int64_t ZigzagDecode(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+inline uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+size_t VarUSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+class Writer2 {
+ public:
+  explicit Writer2(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+  void VarU(uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_->push_back(static_cast<uint8_t>(v));
+  }
+  void VarI(int64_t v) { VarU(ZigzagEncode(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Raw64(uint64_t bits) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      U8(static_cast<uint8_t>(bits >> shift));
+    }
+  }
+  void Str(const std::string& s) {
+    VarU(s.size());
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// True when v reconstructs bit-exactly as mantissa * 10^exponent with the
+// exponent in table range and the mantissa zigzag-encodable into a tagged
+// header (top 2 bits free). Scans exponents high-to-low so the first match
+// has the smallest mantissa — both deterministic and cheapest.
+bool LogLinearDecompose(double v, int64_t* mantissa, int* exponent) {
+  for (int e = kV2ExpMax; e >= kV2ExpMin; --e) {
+    const double scaled = v / kV2Pow10[e - kV2ExpMin];
+    if (!(scaled > -9.2e18 && scaled < 9.2e18)) continue;  // llround UB guard
+    const int64_t m = std::llround(scaled);
+    if (ZigzagEncode(m) >> 62 != 0) continue;
+    if (BitsOf(static_cast<double>(m) * kV2Pow10[e - kV2ExpMin]) ==
+        BitsOf(v)) {
+      *mantissa = m;
+      *exponent = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Tagged double: varint header whose low 2 bits select the form —
+// 0: zigzag integer, 1: zigzag mantissa + biased-exponent byte (value is
+// mantissa * 10^e bit-exactly), 2: raw IEEE-754 escape (9 bytes). The
+// cheapest valid tag wins, ties to the lower tag; everything is a pure
+// function of the double's bits, so re-encoding decoded values reproduces
+// the input bytes.
+void EncodeValue(double v, Writer2* w) {
+  int best_tag = 2;
+  size_t best_size = 9;
+  int64_t integer = 0;
+  int64_t mantissa = 0;
+  int exponent = 0;
+  if (std::isfinite(v) && v > -9.2e18 && v < 9.2e18) {
+    const int64_t i = static_cast<int64_t>(v);
+    if (BitsOf(static_cast<double>(i)) == BitsOf(v) &&
+        ZigzagEncode(i) >> 62 == 0) {
+      best_tag = 0;
+      best_size = VarUSize(ZigzagEncode(i) << 2);
+      integer = i;
+    }
+  }
+  if (std::isfinite(v) && LogLinearDecompose(v, &mantissa, &exponent)) {
+    const size_t size = VarUSize((ZigzagEncode(mantissa) << 2) | 1) + 1;
+    if (size < best_size) {
+      best_tag = 1;
+      best_size = size;
+    }
+  }
+  switch (best_tag) {
+    case 0:
+      w->VarU(ZigzagEncode(integer) << 2);
+      break;
+    case 1:
+      w->VarU((ZigzagEncode(mantissa) << 2) | 1);
+      w->U8(static_cast<uint8_t>(exponent - kV2ExpMin));
+      break;
+    default:
+      w->VarU(2);
+      w->Raw64(BitsOf(v));
+      break;
+  }
+}
+
+class Reader2 {
+ public:
+  Reader2(const uint8_t* data, size_t size, size_t pos)
+      : data_(data), size_(size), pos_(pos) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Status U8(uint8_t* out) {
+    if (remaining() < 1) return Truncated();
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+  Status Raw64(uint64_t* out) {
+    if (remaining() < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+  Status VarU(uint64_t* out) {
+    uint64_t v = 0;
+    const size_t start = pos_;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) return Truncated();
+      const uint8_t byte = data_[pos_++];
+      const uint64_t payload = byte & 0x7F;
+      if (shift == 63 && payload > 1) {
+        return Status::InvalidArgument("wire: varint overflows 64 bits");
+      }
+      v |= payload << shift;
+      if ((byte & 0x80) == 0) {
+        // Minimal-encoding rule: a multi-byte varint may not end in an
+        // all-zero byte, so every value has exactly one encoding.
+        if (payload == 0 && pos_ - start > 1) {
+          return Status::InvalidArgument("wire: non-minimal varint");
+        }
+        *out = v;
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("wire: varint longer than 10 bytes");
+  }
+  Status VarI(int64_t* out) {
+    uint64_t z;
+    QLOVE_RETURN_NOT_OK(VarU(&z));
+    *out = ZigzagDecode(z);
+    return Status::OK();
+  }
+  /// Unsigned varint that must fit a non-negative int64 (counts, epochs).
+  Status NonNegVar(int64_t* out, const char* what) {
+    uint64_t v;
+    QLOVE_RETURN_NOT_OK(VarU(&v));
+    if (v > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::InvalidArgument(std::string("wire: ") + what +
+                                     " overflows int64");
+    }
+    *out = static_cast<int64_t>(v);
+    return Status::OK();
+  }
+  /// Element count checked against the bytes that could possibly back it
+  /// BEFORE the caller allocates — the v2 twin of Reader::Length.
+  Status VarCount(uint64_t* out, size_t min_element_bytes, const char* what) {
+    QLOVE_RETURN_NOT_OK(VarU(out));
+    if (min_element_bytes > 0 && *out > remaining() / min_element_bytes) {
+      return Status::InvalidArgument(
+          std::string("wire: truncated buffer (") + what + " count " +
+          std::to_string(*out) + " exceeds remaining bytes)");
+    }
+    return Status::OK();
+  }
+  Status Bool(bool* out) {
+    uint8_t v;
+    QLOVE_RETURN_NOT_OK(U8(&v));
+    if (v > 1) return Status::InvalidArgument("wire: boolean byte not 0/1");
+    *out = v == 1;
+    return Status::OK();
+  }
+  Status Str(std::string* out) {
+    uint64_t n;
+    QLOVE_RETURN_NOT_OK(VarCount(&n, 1, "string"));
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+  Status Value(double* out) {
+    uint64_t header;
+    QLOVE_RETURN_NOT_OK(VarU(&header));
+    switch (header & 3) {
+      case 0:
+        *out = static_cast<double>(ZigzagDecode(header >> 2));
+        return Status::OK();
+      case 1: {
+        uint8_t biased;
+        QLOVE_RETURN_NOT_OK(U8(&biased));
+        if (biased > kV2ExpMax - kV2ExpMin) {
+          return Status::InvalidArgument("wire: value exponent out of range");
+        }
+        // The exact expression the encoder verified bit-equality against.
+        *out = static_cast<double>(ZigzagDecode(header >> 2)) *
+               kV2Pow10[biased];
+        return Status::OK();
+      }
+      case 2: {
+        if (header != 2) {
+          return Status::InvalidArgument("wire: raw value header has "
+                                         "payload bits");
+        }
+        uint64_t bits;
+        QLOVE_RETURN_NOT_OK(Raw64(&bits));
+        std::memcpy(out, &bits, sizeof(*out));
+        return Status::OK();
+      }
+      default:
+        return Status::InvalidArgument("wire: unknown value tag 3");
+    }
+  }
+
+ private:
+  Status Truncated() const {
+    return Status::InvalidArgument("wire: truncated buffer at offset " +
+                                   std::to_string(pos_));
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void EncodeKeyV2(const MetricKey& key, Writer2* w) {
+  w->Str(key.name());
+  w->VarU(key.tags().size());
+  for (const MetricTag& tag : key.tags()) {
+    w->Str(tag.first);
+    w->Str(tag.second);
+  }
+}
+
+Status DecodeKeyV2(Reader2* r, MetricKey* key) {
+  std::string name;
+  QLOVE_RETURN_NOT_OK(r->Str(&name));
+  uint64_t num_tags;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_tags, 2, "tag"));
+  std::vector<MetricTag> tags(num_tags);
+  for (MetricTag& tag : tags) {
+    QLOVE_RETURN_NOT_OK(r->Str(&tag.first));
+    QLOVE_RETURN_NOT_OK(r->Str(&tag.second));
+  }
+  *key = MetricKey(std::move(name), std::move(tags));
+  return Status::OK();
+}
+
+// Same field order as v1's EncodeOptions, re-typed for the compact coders.
+void EncodeOptionsV2(const MetricOptions& options, Writer2* w) {
+  w->VarI(options.shard_window.size);
+  w->VarI(options.shard_window.period);
+  w->VarU(options.phis.size());
+  for (double phi : options.phis) EncodeValue(phi, w);
+  const BackendOptions& backend = options.backend;
+  w->U8(static_cast<uint8_t>(backend.kind));
+  EncodeValue(backend.epsilon, w);
+  const core::QloveOptions& q = backend.qlove;
+  w->VarI(q.quantizer_digits);
+  w->Bool(q.enable_fewk);
+  EncodeValue(q.high_quantile_threshold, w);
+  EncodeValue(q.fewk.topk_fraction, w);
+  EncodeValue(q.fewk.samplek_fraction, w);
+  w->VarI(q.fewk.ts);
+  EncodeValue(q.burst_significance, w);
+  EncodeValue(q.burst_min_superiority, w);
+  w->Bool(q.enable_error_bounds);
+  w->VarI(q.density_reservoir_capacity);
+}
+
+Status DecodeKindV2(Reader2* r, BackendKind* kind) {
+  uint8_t raw;
+  QLOVE_RETURN_NOT_OK(r->U8(&raw));
+  if (raw > static_cast<uint8_t>(BackendKind::kExact)) {
+    return Status::InvalidArgument("wire: unknown backend kind " +
+                                   std::to_string(raw));
+  }
+  *kind = static_cast<BackendKind>(raw);
+  return Status::OK();
+}
+
+Status DecodeOptionsV2(Reader2* r, MetricOptions* options) {
+  QLOVE_RETURN_NOT_OK(r->VarI(&options->shard_window.size));
+  QLOVE_RETURN_NOT_OK(r->VarI(&options->shard_window.period));
+  uint64_t num_phis;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_phis, 1, "phi grid"));
+  options->phis.resize(num_phis);
+  for (double& phi : options->phis) QLOVE_RETURN_NOT_OK(r->Value(&phi));
+  BackendOptions& backend = options->backend;
+  QLOVE_RETURN_NOT_OK(DecodeKindV2(r, &backend.kind));
+  QLOVE_RETURN_NOT_OK(r->Value(&backend.epsilon));
+  core::QloveOptions& q = backend.qlove;
+  int64_t digits;
+  QLOVE_RETURN_NOT_OK(r->VarI(&digits));
+  if (digits < INT32_MIN || digits > INT32_MAX) {
+    return Status::InvalidArgument("wire: quantizer digits overflow int32");
+  }
+  q.quantizer_digits = static_cast<int32_t>(digits);
+  QLOVE_RETURN_NOT_OK(r->Bool(&q.enable_fewk));
+  QLOVE_RETURN_NOT_OK(r->Value(&q.high_quantile_threshold));
+  QLOVE_RETURN_NOT_OK(r->Value(&q.fewk.topk_fraction));
+  QLOVE_RETURN_NOT_OK(r->Value(&q.fewk.samplek_fraction));
+  QLOVE_RETURN_NOT_OK(r->VarI(&q.fewk.ts));
+  QLOVE_RETURN_NOT_OK(r->Value(&q.burst_significance));
+  QLOVE_RETURN_NOT_OK(r->Value(&q.burst_min_superiority));
+  QLOVE_RETURN_NOT_OK(r->Bool(&q.enable_error_bounds));
+  QLOVE_RETURN_NOT_OK(r->VarI(&q.density_reservoir_capacity));
+  return Status::OK();
+}
+
+// Sub-windows chain their epochs: the first is absolute, the rest are
+// non-negative deltas (epochs are non-decreasing by construction — the
+// operator stamps them from a monotone boundary counter).
+void EncodeSubWindowV2(const core::SubWindowSummary& sub, bool first,
+                       int64_t prev_epoch, Writer2* w) {
+  w->VarU(static_cast<uint64_t>(sub.count));
+  w->VarU(static_cast<uint64_t>(first ? sub.epoch : sub.epoch - prev_epoch));
+  w->Bool(sub.bursty);
+  w->VarU(sub.quantiles.size());
+  for (double quantile : sub.quantiles) EncodeValue(quantile, w);
+  w->VarU(sub.tails.size());
+  for (const core::TailCapture& tail : sub.tails) {
+    w->VarU(tail.topk.size());
+    for (const auto& [value, count] : tail.topk) {
+      EncodeValue(value, w);
+      w->VarU(static_cast<uint64_t>(count));
+    }
+    w->VarU(tail.samples.size());
+    for (double sample : tail.samples) EncodeValue(sample, w);
+  }
+}
+
+// Minimum encoded bytes per element under v2 (for VarCount pre-checks):
+// every varint/Value is at least 1 byte.
+constexpr size_t kV2MinSubWindowBytes = 5;   // count+epoch+bursty+2 counts
+constexpr size_t kV2MinSummaryBytes = 7;     // kind..semantics+payload count
+constexpr size_t kV2MinMetricBytes = 16;     // key(2)+options(13)+shards(1)
+
+Status DecodeSubWindowV2(Reader2* r, bool first, int64_t prev_epoch,
+                         core::SubWindowSummary* sub) {
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&sub->count, "sub-window count"));
+  if (first) {
+    QLOVE_RETURN_NOT_OK(r->NonNegVar(&sub->epoch, "sub-window epoch"));
+  } else {
+    uint64_t delta;
+    QLOVE_RETURN_NOT_OK(r->VarU(&delta));
+    if (delta > static_cast<uint64_t>(INT64_MAX - prev_epoch)) {
+      return Status::InvalidArgument("wire: sub-window epoch overflows");
+    }
+    sub->epoch = prev_epoch + static_cast<int64_t>(delta);
+  }
+  QLOVE_RETURN_NOT_OK(r->Bool(&sub->bursty));
+  uint64_t num_quantiles;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_quantiles, 1, "quantile"));
+  sub->quantiles.resize(num_quantiles);
+  for (double& quantile : sub->quantiles) {
+    QLOVE_RETURN_NOT_OK(r->Value(&quantile));
+  }
+  uint64_t num_tails;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_tails, 2, "tail capture"));
+  sub->tails.resize(num_tails);
+  for (core::TailCapture& tail : sub->tails) {
+    uint64_t num_topk;
+    QLOVE_RETURN_NOT_OK(r->VarCount(&num_topk, 2, "top-k entry"));
+    tail.topk.resize(num_topk);
+    for (auto& [value, count] : tail.topk) {
+      QLOVE_RETURN_NOT_OK(r->Value(&value));
+      QLOVE_RETURN_NOT_OK(r->NonNegVar(&count, "top-k multiplicity"));
+    }
+    uint64_t num_samples;
+    QLOVE_RETURN_NOT_OK(r->VarCount(&num_samples, 1, "tail sample"));
+    tail.samples.resize(num_samples);
+    for (double& sample : tail.samples) {
+      QLOVE_RETURN_NOT_OK(r->Value(&sample));
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeSummaryV2(const BackendSummary& summary, Writer2* w) {
+  w->U8(static_cast<uint8_t>(summary.kind));
+  w->VarU(static_cast<uint64_t>(summary.count));
+  w->VarU(static_cast<uint64_t>(summary.inflight));
+  w->Bool(summary.burst_active);
+  EncodeValue(summary.rank_error, w);
+  w->U8(static_cast<uint8_t>(summary.semantics));
+  if (summary.kind == BackendKind::kQlove) {
+    w->VarU(summary.subwindows.size());
+    int64_t prev_epoch = 0;
+    bool first = true;
+    for (const core::SubWindowSummary& sub : summary.subwindows) {
+      EncodeSubWindowV2(sub, first, prev_epoch, w);
+      prev_epoch = sub.epoch;
+      first = false;
+    }
+  } else {
+    w->VarU(summary.entries.size());
+    for (const auto& [value, weight] : summary.entries) {
+      EncodeValue(value, w);
+      w->VarU(static_cast<uint64_t>(weight));
+    }
+  }
+}
+
+Status DecodeSummaryV2(Reader2* r, BackendSummary* summary) {
+  QLOVE_RETURN_NOT_OK(DecodeKindV2(r, &summary->kind));
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&summary->count, "summary count"));
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&summary->inflight, "inflight count"));
+  QLOVE_RETURN_NOT_OK(r->Bool(&summary->burst_active));
+  QLOVE_RETURN_NOT_OK(r->Value(&summary->rank_error));
+  uint8_t semantics;
+  QLOVE_RETURN_NOT_OK(r->U8(&semantics));
+  if (semantics > static_cast<uint8_t>(sketch::RankSemantics::kInterpolated)) {
+    return Status::InvalidArgument("wire: unknown rank semantics " +
+                                   std::to_string(semantics));
+  }
+  summary->semantics = static_cast<sketch::RankSemantics>(semantics);
+  if (summary->kind == BackendKind::kQlove) {
+    uint64_t num_sub;
+    QLOVE_RETURN_NOT_OK(r->VarCount(&num_sub, kV2MinSubWindowBytes,
+                                    "sub-window"));
+    summary->subwindows.resize(num_sub);
+    int64_t prev_epoch = 0;
+    bool first = true;
+    for (core::SubWindowSummary& sub : summary->subwindows) {
+      QLOVE_RETURN_NOT_OK(DecodeSubWindowV2(r, first, prev_epoch, &sub));
+      prev_epoch = sub.epoch;
+      first = false;
+    }
+  } else {
+    uint64_t num_entries;
+    QLOVE_RETURN_NOT_OK(r->VarCount(&num_entries, 2, "weighted entry"));
+    summary->entries.resize(num_entries);
+    for (auto& [value, weight] : summary->entries) {
+      QLOVE_RETURN_NOT_OK(r->Value(&value));
+      QLOVE_RETURN_NOT_OK(r->NonNegVar(&weight, "entry weight"));
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeV2Header(uint8_t flags, Writer2* w) {
+  for (uint8_t byte : kWireMagic) w->U8(byte);
+  w->U16(kWireVersionV2);
+  w->U8(flags);
+}
+
+Status DecodeV2SnapshotBody(Reader2* r, WireSnapshot* snapshot) {
+  QLOVE_RETURN_NOT_OK(r->Str(&snapshot->source));
+  QLOVE_RETURN_NOT_OK(r->Raw64(&snapshot->sync_token));
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&snapshot->epoch, "snapshot epoch"));
+  uint64_t num_metrics;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_metrics, kV2MinMetricBytes, "metric"));
+  snapshot->metrics.resize(num_metrics);
+  for (WireMetricSummary& metric : snapshot->metrics) {
+    QLOVE_RETURN_NOT_OK(DecodeKeyV2(r, &metric.key));
+    QLOVE_RETURN_NOT_OK(DecodeOptionsV2(r, &metric.options));
+    uint64_t num_shards;
+    QLOVE_RETURN_NOT_OK(r->VarCount(&num_shards, kV2MinSummaryBytes,
+                                    "shard summary"));
+    metric.shards.resize(num_shards);
+    for (BackendSummary& shard : metric.shards) {
+      QLOVE_RETURN_NOT_OK(DecodeSummaryV2(r, &shard));
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeV2DeltaBody(Reader2* r, WireDelta* delta) {
+  QLOVE_RETURN_NOT_OK(r->Str(&delta->source));
+  QLOVE_RETURN_NOT_OK(r->Raw64(&delta->sync_token));
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&delta->epoch, "delta epoch"));
+  QLOVE_RETURN_NOT_OK(r->NonNegVar(&delta->base_epoch, "delta base epoch"));
+  if (delta->base_epoch > delta->epoch) {
+    return Status::InvalidArgument("wire: delta base epoch exceeds frame "
+                                   "epoch");
+  }
+  uint64_t num_metrics;
+  QLOVE_RETURN_NOT_OK(r->VarCount(&num_metrics, 3, "delta metric"));
+  delta->metrics.resize(num_metrics);
+  for (WireMetricDelta& metric : delta->metrics) {
+    QLOVE_RETURN_NOT_OK(DecodeKeyV2(r, &metric.key));
+    uint8_t mode;
+    QLOVE_RETURN_NOT_OK(r->U8(&mode));
+    if (mode > static_cast<uint8_t>(WireDeltaMode::kQloveDelta)) {
+      return Status::InvalidArgument("wire: unknown delta mode " +
+                                     std::to_string(mode));
+    }
+    metric.mode = static_cast<WireDeltaMode>(mode);
+    if (metric.mode == WireDeltaMode::kFull) {
+      QLOVE_RETURN_NOT_OK(DecodeOptionsV2(r, &metric.options));
+      uint64_t num_shards;
+      QLOVE_RETURN_NOT_OK(r->VarCount(&num_shards, kV2MinSummaryBytes,
+                                      "shard summary"));
+      metric.shards.resize(num_shards);
+      for (BackendSummary& shard : metric.shards) {
+        QLOVE_RETURN_NOT_OK(DecodeSummaryV2(r, &shard));
+      }
+    } else {
+      QLOVE_RETURN_NOT_OK(
+          r->NonNegVar(&metric.first_live_epoch, "first live epoch"));
+      QLOVE_RETURN_NOT_OK(r->NonNegVar(&metric.count, "summary count"));
+      QLOVE_RETURN_NOT_OK(r->NonNegVar(&metric.inflight, "inflight count"));
+      QLOVE_RETURN_NOT_OK(r->Bool(&metric.burst_active));
+      QLOVE_RETURN_NOT_OK(r->Value(&metric.rank_error));
+      uint64_t num_new;
+      QLOVE_RETURN_NOT_OK(r->VarCount(&num_new, kV2MinSubWindowBytes,
+                                      "delta sub-window"));
+      metric.new_subwindows.resize(num_new);
+      int64_t prev_epoch = 0;
+      bool first = true;
+      for (core::SubWindowSummary& sub : metric.new_subwindows) {
+        QLOVE_RETURN_NOT_OK(DecodeSubWindowV2(r, first, prev_epoch, &sub));
+        prev_epoch = sub.epoch;
+        first = false;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeSnapshotV2(const WireSnapshot& snapshot, std::vector<uint8_t>* out) {
+  out->clear();
+  Writer2 w(out);
+  EncodeV2Header(/*flags=*/0, &w);
+  w.Str(snapshot.source);
+  w.Raw64(snapshot.sync_token);
+  w.VarU(static_cast<uint64_t>(snapshot.epoch));
+  w.VarU(snapshot.metrics.size());
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    EncodeKeyV2(metric.key, &w);
+    EncodeOptionsV2(metric.options, &w);
+    w.VarU(metric.shards.size());
+    for (const BackendSummary& shard : metric.shards) {
+      EncodeSummaryV2(shard, &w);
+    }
+  }
+}
+
+std::vector<uint8_t> EncodeSnapshotV2(const WireSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  EncodeSnapshotV2(snapshot, &out);
+  return out;
+}
+
+void EncodeDelta(const WireDelta& delta, std::vector<uint8_t>* out) {
+  out->clear();
+  Writer2 w(out);
+  EncodeV2Header(kWireFlagDelta, &w);
+  w.Str(delta.source);
+  w.Raw64(delta.sync_token);
+  w.VarU(static_cast<uint64_t>(delta.epoch));
+  w.VarU(static_cast<uint64_t>(delta.base_epoch));
+  w.VarU(delta.metrics.size());
+  for (const WireMetricDelta& metric : delta.metrics) {
+    EncodeKeyV2(metric.key, &w);
+    w.U8(static_cast<uint8_t>(metric.mode));
+    if (metric.mode == WireDeltaMode::kFull) {
+      EncodeOptionsV2(metric.options, &w);
+      w.VarU(metric.shards.size());
+      for (const BackendSummary& shard : metric.shards) {
+        EncodeSummaryV2(shard, &w);
+      }
+    } else {
+      w.VarU(static_cast<uint64_t>(metric.first_live_epoch));
+      w.VarU(static_cast<uint64_t>(metric.count));
+      w.VarU(static_cast<uint64_t>(metric.inflight));
+      w.Bool(metric.burst_active);
+      EncodeValue(metric.rank_error, &w);
+      w.VarU(metric.new_subwindows.size());
+      int64_t prev_epoch = 0;
+      bool first = true;
+      for (const core::SubWindowSummary& sub : metric.new_subwindows) {
+        EncodeSubWindowV2(sub, first, prev_epoch, &w);
+        prev_epoch = sub.epoch;
+        first = false;
+      }
+    }
+  }
+}
+
+std::vector<uint8_t> EncodeDelta(const WireDelta& delta) {
+  std::vector<uint8_t> out;
+  EncodeDelta(delta, &out);
+  return out;
+}
+
+Result<WireFrame> DecodeFrame(const uint8_t* data, size_t size) {
   if (data == nullptr && size > 0) {
     return Status::InvalidArgument("wire: null buffer");
   }
@@ -451,44 +1141,40 @@ Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size) {
   }
   uint16_t version;
   QLOVE_RETURN_NOT_OK(r.U16(&version));
-  if (version != kWireVersion) {
+  WireFrame frame;
+  if (version == kWireVersion) {
+    QLOVE_RETURN_NOT_OK(DecodeV1Body(&r, &frame.snapshot));
+    return frame;
+  }
+  if (version != kWireVersionV2) {
     return Status::InvalidArgument(
         "wire: unsupported version " + std::to_string(version) +
-        " (this build speaks version " + std::to_string(kWireVersion) + ")");
+        " (this build speaks versions " + std::to_string(kWireVersion) +
+        " and " + std::to_string(kWireVersionV2) + ")");
   }
-  WireSnapshot snapshot;
-  QLOVE_RETURN_NOT_OK(r.Str(&snapshot.source));
-  // Epochs are counters; a negative one is corruption, and letting it
-  // through would make the aggregator's fleet_epoch - epoch staleness
-  // arithmetic overflow on INT64_MIN.
-  QLOVE_RETURN_NOT_OK(r.NonNegI64(&snapshot.epoch, "snapshot epoch"));
-  uint32_t num_metrics;
-  // Minimum metric wire size: empty key (4+4) + options (the fixed scalar
-  // block alone is > 80 bytes) + shard count.
-  QLOVE_RETURN_NOT_OK(r.Length(&num_metrics, 4 + 4 + 80 + 4, "metric"));
-  snapshot.metrics.resize(num_metrics);
-  for (WireMetricSummary& metric : snapshot.metrics) {
-    QLOVE_RETURN_NOT_OK(DecodeKey(&r, &metric.key));
-    QLOVE_RETURN_NOT_OK(DecodeOptions(&r, &metric.options));
-    uint32_t num_shards;
-    // Minimum summary wire size: kind + counts + flags + payload count.
-    QLOVE_RETURN_NOT_OK(r.Length(&num_shards, 1 + 8 + 8 + 1 + 8 + 1 + 4,
-                                 "shard summary"));
-    metric.shards.resize(num_shards);
-    for (BackendSummary& shard : metric.shards) {
-      QLOVE_RETURN_NOT_OK(DecodeSummary(&r, &shard));
-    }
+  Reader2 r2(data, size, r.pos());
+  uint8_t flags;
+  QLOVE_RETURN_NOT_OK(r2.U8(&flags));
+  if ((flags & ~kWireFlagDelta) != 0) {
+    return Status::InvalidArgument("wire: unknown flag bits " +
+                                   std::to_string(flags));
   }
-  if (r.remaining() != 0) {
+  if ((flags & kWireFlagDelta) != 0) {
+    frame.is_delta = true;
+    QLOVE_RETURN_NOT_OK(DecodeV2DeltaBody(&r2, &frame.delta));
+  } else {
+    QLOVE_RETURN_NOT_OK(DecodeV2SnapshotBody(&r2, &frame.snapshot));
+  }
+  if (r2.remaining() != 0) {
     return Status::InvalidArgument(
-        "wire: " + std::to_string(r.remaining()) +
+        "wire: " + std::to_string(r2.remaining()) +
         " trailing bytes after snapshot");
   }
-  return snapshot;
+  return frame;
 }
 
-Result<WireSnapshot> DecodeSnapshot(const std::vector<uint8_t>& buffer) {
-  return DecodeSnapshot(buffer.data(), buffer.size());
+Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& buffer) {
+  return DecodeFrame(buffer.data(), buffer.size());
 }
 
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {

@@ -20,9 +20,49 @@
 //  - Decoding is strict: unknown backend kinds, out-of-range enums, or
 //    non-0/1 booleans are InvalidArgument, so a corrupt byte cannot decode
 //    to a normalized-but-different re-encoding.
-//  - Any layout change bumps kWireVersion; decoders reject other versions
-//    outright (agents and aggregators are deployed in lockstep; skew is a
-//    config error surfaced loudly, not silently misparsed).
+//
+// Version 2 keeps the same magic and outer shape (magic, u16 version) but
+// compresses the body for the telemetry wire's actual payload mix:
+//  - One flags byte after the version; bit 0 marks a DELTA frame (below),
+//    all other bits must be zero.
+//  - Integers (counts, epochs, lengths, weights) are LEB128 varints —
+//    unsigned (VarU) or zigzag-signed (VarI) — with minimal encoding
+//    enforced on decode, so every value has exactly one byte form and
+//    encode(decode(x)) stays byte-identical.
+//  - Doubles use a tagged coder keyed by the low 2 bits of a varint
+//    header. Tag 0: the value is a small integer, stored zigzag. Tag 1:
+//    circllhist-style log-linear — the value is mantissa * 10^exponent
+//    bit-exactly (one varint mantissa + one biased-exponent byte), which
+//    covers everything the 3-significant-digit quantizer emits. Tag 2:
+//    raw IEEE-754 bits, the escape hatch (NaN, -0.0, unquantized means).
+//    The encoder picks the cheapest valid tag deterministically, so the
+//    byte form is still a pure function of the double's bits.
+//  - Sub-window epochs are encoded as a first absolute value plus
+//    non-negative deltas (they are non-decreasing by construction).
+//  - Qlove summaries are expected to arrive shard-COALESCED (one summary
+//    per metric; see engine/coalesce.h) — v2 encodes any shard count, but
+//    the byte win assumes the export folded shards first.
+//
+// DELTA frames (v2, flags bit 0) carry only what the receiver has not
+// seen: sub-window summaries are epoch-stamped and expire from the front,
+// so a delta against base_epoch B ships, per metric, the first live epoch
+// (the receiver trims older sub-windows) plus the sub-windows newer than
+// what B covered, and refreshed scalar state. The metric list is
+// authoritative: a held metric absent from the delta was unregistered.
+// Both v2 frame types carry an 8-byte engine-incarnation sync token
+// (after source): Tick epochs restart at 1 on agent restart, so base
+// epochs can collide numerically across incarnations — a delta applies
+// only when its token matches the one that established the held state.
+// Any mismatch on the receiver (unknown source, base epoch or sync token
+// disagreement, incompatible held state) is NOT an error — the receiver
+// NAKs and the agent falls back to a full frame (engine.h ExportCursor).
+//
+// Version negotiation: DecodeFrame accepts v1 and v2 (full or delta);
+// DecodeSnapshot accepts any full frame (v1 or v2) so a v2 aggregator
+// serves a mixed fleet with no flag day. Unknown versions are rejected
+// with an error Status outright (skew beyond one version is a config
+// error surfaced loudly, not silently misparsed). v1 encoding is
+// untouched: v1 frames stay byte-identical to their golden fixtures.
 
 #ifndef QLOVE_ENGINE_WIRE_H_
 #define QLOVE_ENGINE_WIRE_H_
@@ -42,8 +82,17 @@ namespace engine {
 /// First 4 bytes of every encoded snapshot: "QLWF".
 inline constexpr uint8_t kWireMagic[4] = {'Q', 'L', 'W', 'F'};
 
-/// Bumped on any layout change; decoders accept exactly this version.
+/// The original fixed-width layout. Still fully encodable and decodable;
+/// existing fixtures and deployments keep working unchanged.
 inline constexpr uint16_t kWireVersion = 1;
+
+/// The compact layout: varint/zigzag integers, tagged log-linear doubles,
+/// and the delta-frame flag. Decoders accept exactly versions 1 and 2.
+inline constexpr uint16_t kWireVersionV2 = 2;
+
+/// Flags byte (v2 only): bit 0 marks a delta frame; other bits reserved
+/// and must be zero.
+inline constexpr uint8_t kWireFlagDelta = 0x01;
 
 /// Decoded frames larger than this are rejected before allocation (a
 /// hostile length prefix must not turn into a multi-GB reserve).
@@ -71,6 +120,14 @@ struct WireSnapshot {
   /// The agent engine's Tick epoch when the export was taken; the
   /// aggregator's staleness accounting compares these across sources.
   int64_t epoch = 0;
+  /// Engine-incarnation token (random per TelemetryEngine construction,
+  /// never zero for engine exports). Deltas may only patch state
+  /// established by a full frame with the same token: Tick epochs restart
+  /// at 1 when an agent restarts, so an epoch match alone cannot prove
+  /// the receiver holds the state a delta was diffed against. Carried by
+  /// v2 frames only; v1 frames decode with 0 (so v1-established state
+  /// always NAKs deltas into a full resync, which is correct).
+  uint64_t sync_token = 0;
   /// Every exported metric, in canonical key order.
   std::vector<WireMetricSummary> metrics;
 };
@@ -90,12 +147,102 @@ void EncodeSnapshot(const WireSnapshot& snapshot, std::vector<uint8_t>* out);
 /// \brief Convenience overload allocating a fresh buffer.
 std::vector<uint8_t> EncodeSnapshot(const WireSnapshot& snapshot);
 
-/// \brief Decodes a version-1 buffer. InvalidArgument on bad magic, wrong
-/// version, truncation, out-of-range enums, or hostile length prefixes —
-/// decoding never reads past \p size and never trusts a length it has not
-/// checked against the remaining bytes.
+/// \brief Decodes a FULL frame of either version (v1 or v2).
+/// InvalidArgument on bad magic, unknown version, truncation, out-of-range
+/// enums, hostile length prefixes, or a v2 DELTA frame (deltas only make
+/// sense against held state; use DecodeFrame) — decoding never reads past
+/// \p size and never trusts a length it has not checked against the
+/// remaining bytes.
 Result<WireSnapshot> DecodeSnapshot(const uint8_t* data, size_t size);
 Result<WireSnapshot> DecodeSnapshot(const std::vector<uint8_t>& buffer);
+
+/// \name Version 2: compact full frames and delta frames
+/// @{
+
+/// How one metric rides in a delta frame.
+enum class WireDeltaMode : uint8_t {
+  /// Full replacement: options + every shard summary, exactly as in a
+  /// full frame. Used for non-qlove backends (their entry payloads are
+  /// window-scoped, not epoch-addressable) and for metrics the sender has
+  /// not shipped before.
+  kFull = 0,
+  /// Qlove incremental: the receiver trims held sub-windows older than
+  /// first_live_epoch, appends the new sub-windows, and refreshes the
+  /// scalar fields. Requires the held metric to be a single coalesced
+  /// qlove summary.
+  kQloveDelta = 1,
+};
+
+/// \brief One metric's contribution to a delta frame.
+struct WireMetricDelta {
+  MetricKey key;
+  WireDeltaMode mode = WireDeltaMode::kFull;
+
+  /// kFull payload (mirrors WireMetricSummary).
+  MetricOptions options;
+  std::vector<BackendSummary> shards;
+
+  /// kQloveDelta payload: held sub-windows with epoch < first_live_epoch
+  /// have expired from the sender's window and must be trimmed.
+  int64_t first_live_epoch = 0;
+  /// Refreshed scalar state of the (single, coalesced) summary.
+  int64_t count = 0;
+  int64_t inflight = 0;
+  bool burst_active = false;
+  double rank_error = 0.0;
+  /// Sub-windows the receiver has not seen, oldest first; every epoch must
+  /// exceed the receiver's newest held epoch for this metric (it NAKs
+  /// otherwise and the sender resyncs with a full frame).
+  std::vector<core::SubWindowSummary> new_subwindows;
+};
+
+/// \brief One agent's incremental export: everything that changed since
+/// the frame at base_epoch, which the sender believes the receiver holds.
+struct WireDelta {
+  std::string source;
+  /// The agent engine's Tick epoch when this delta was taken.
+  int64_t epoch = 0;
+  /// The epoch of the sender's previous frame (full or delta). The
+  /// receiver NAKs when its held epoch for this source disagrees.
+  int64_t base_epoch = 0;
+  /// Must equal the sync_token of the full frame that established the
+  /// receiver's held state (see WireSnapshot::sync_token); any mismatch
+  /// NAKs into a full resync.
+  uint64_t sync_token = 0;
+  /// The agent's complete metric list (authoritative: a held metric
+  /// absent here was unregistered), in canonical key order.
+  std::vector<WireMetricDelta> metrics;
+};
+
+/// \brief One decoded frame of any version: either a full snapshot or a
+/// v2 delta.
+struct WireFrame {
+  bool is_delta = false;
+  WireSnapshot snapshot;  ///< Populated when !is_delta.
+  WireDelta delta;        ///< Populated when is_delta.
+};
+
+/// \brief Encodes \p snapshot under the version-2 compact layout into
+/// \p out (replacing its contents). The buffer grows by appending but
+/// keeps its capacity across calls, so a per-Tick export loop reusing one
+/// buffer stops allocating once the steady-state size is reached.
+/// Sub-window epochs must be non-decreasing within each summary (true for
+/// every engine export; hand-built summaries must respect it too).
+void EncodeSnapshotV2(const WireSnapshot& snapshot, std::vector<uint8_t>* out);
+std::vector<uint8_t> EncodeSnapshotV2(const WireSnapshot& snapshot);
+
+/// \brief Encodes \p delta as a version-2 delta frame (flags bit 0 set).
+/// Same buffer-reuse and epoch-ordering contract as EncodeSnapshotV2.
+void EncodeDelta(const WireDelta& delta, std::vector<uint8_t>* out);
+std::vector<uint8_t> EncodeDelta(const WireDelta& delta);
+
+/// \brief Decodes any supported frame: v1 full, v2 full, or v2 delta.
+/// InvalidArgument on unknown versions and on every malformation
+/// DecodeSnapshot rejects.
+Result<WireFrame> DecodeFrame(const uint8_t* data, size_t size);
+Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& buffer);
+
+/// @}
 
 /// \name Frame transport
 ///

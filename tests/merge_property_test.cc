@@ -170,10 +170,15 @@ TEST(MergePropertyTest, SerializeThenMergeEqualsInProcessMerge) {
         if (!local.ok()) return "local query failed: " +
                                 local.status().ToString();
 
-        // Ship the state through the full wire path.
+        // Ship the state through the full wire path. Coalescing is off:
+        // this property demands bit-identical evaluation, and the
+        // coalesced merge is equivalent only up to FP reassociation
+        // (its own tolerance property lives below).
+        ExportOptions uncoalesced;
+        uncoalesced.coalesce_shards = false;
         AggregatorEngine aggregator;
         const std::vector<uint8_t> encoded =
-            EncodeSnapshot(engine.ExportSnapshot("agent-0"));
+            EncodeSnapshot(engine.ExportSnapshot("agent-0", uncoalesced));
         const Status ingested = aggregator.IngestEncoded(encoded);
         if (!ingested.ok()) return "ingest failed: " + ingested.ToString();
         auto remote = aggregator.Query(ProbeSpec(key, probe));
@@ -625,6 +630,179 @@ TEST(AggregatorFleetTest, CorruptSelfDescriptionIsRejectedAtIngest) {
   AggregatorEngine aggregator;
   EXPECT_EQ(aggregator.Ingest(std::move(snapshot)).code(),
             Status::Code::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-sync protocol: lossy delta streams converge to full-frame replay
+// ---------------------------------------------------------------------------
+
+/// Runs the delta-sync protocol over \p slice against two aggregators — a
+/// lossy one fed ExportDeltaEncoded frames through seeded faults (drops,
+/// agent restarts, NAK-driven resyncs) and a reference one fed a full v2
+/// frame every round — and demands the held states end bit-identical.
+/// Deterministic in (slice, seed), so it shrinks by halving.
+std::string RunDeltaSyncTrial(BackendKind kind, uint64_t seed,
+                              const std::vector<double>& slice) {
+  Rng faults(seed * 0x9E3779B97F4A7C15ull + 1);
+  const MetricKey key_a("prop_a");
+  const MetricKey key_b("prop_b", {{"host", "h1"}});
+  const std::string source = "agent-0";
+  auto engine = std::make_unique<TelemetryEngine>(MakeOptions(kind));
+  AggregatorEngine lossy;
+  AggregatorEngine reference;
+  ExportCursor cursor;
+  int64_t epoch_since_restart = 0;
+
+  size_t offset = 0;
+  while (offset < slice.size()) {
+    const size_t n =
+        std::min(static_cast<size_t>(kPerTick), slice.size() - offset);
+    const size_t half = n / 2;
+    if (!engine->RecordBatch(key_a, slice.data() + offset, half).ok() ||
+        !engine->RecordBatch(key_b, slice.data() + offset + half, n - half)
+             .ok()) {
+      return "record failed";
+    }
+    engine->Tick();
+    offset += n;
+    ++epoch_since_restart;
+
+    // The reference aggregator replays every round as a full frame: it is
+    // the ground truth the lossy delta stream must reconstruct. A
+    // FailedPrecondition is the reorder guard doing its declared job on a
+    // post-restart epoch still inside the staleness window — the frame is
+    // effectively dropped, and later epochs climb past the window.
+    auto ref = reference.IngestFrame(
+        EncodeSnapshotV2(engine->ExportSnapshot(source)));
+    if (!ref.ok() &&
+        ref.status().code() != Status::Code::kFailedPrecondition) {
+      return "reference ingest failed: " + ref.status().ToString();
+    }
+
+    std::vector<uint8_t> frame;
+    const Status exported = engine->ExportDeltaEncoded(source, &cursor, &frame);
+    if (!exported.ok()) return "export failed: " + exported.ToString();
+
+    const uint64_t fault = faults.Next64() % 4;
+    if (fault == 1) continue;  // frame dropped in transit, cursor advanced
+    if (fault == 3 && epoch_since_restart > 3) {
+      // Agent restart: engine state and cursor are gone; the frame never
+      // leaves the host.
+      engine = std::make_unique<TelemetryEngine>(MakeOptions(kind));
+      cursor = ExportCursor();
+      epoch_since_restart = 0;
+      continue;
+    }
+    auto ack = lossy.IngestFrame(frame);
+    if (!ack.ok()) {
+      if (ack.status().code() == Status::Code::kFailedPrecondition) {
+        // Reorder guard: a post-restart full resync whose epoch has not
+        // yet cleared the held window. The agent just keeps going.
+        continue;
+      }
+      return "lossy ingest failed: " + ack.status().ToString();
+    }
+    if (ack.ValueOrDie().resync_required) cursor.RequestResync();
+  }
+
+  // Settlement: with delivery restored, both aggregators must land on the
+  // agent's current state. The agent keeps ticking (as an idle agent
+  // does), so post-restart epochs clear the reorder window, and a NAK
+  // costs exactly one full-frame round-trip. Both must accept within the
+  // same attempt, since each idle tick changes the exported window.
+  bool converged = false;
+  for (int attempt = 0; attempt < 10 && !converged; ++attempt) {
+    if (attempt > 0) engine->Tick();
+    bool reference_applied = false;
+    auto ref = reference.IngestFrame(
+        EncodeSnapshotV2(engine->ExportSnapshot(source)));
+    if (ref.ok()) {
+      reference_applied = ref.ValueOrDie().applied;
+    } else if (ref.status().code() != Status::Code::kFailedPrecondition) {
+      return "settlement reference ingest failed: " + ref.status().ToString();
+    }
+
+    std::vector<uint8_t> frame;
+    const Status exported = engine->ExportDeltaEncoded(source, &cursor, &frame);
+    if (!exported.ok()) return "settlement export failed: " + exported.ToString();
+    auto ack = lossy.IngestFrame(frame);
+    bool lossy_applied = false;
+    if (ack.ok()) {
+      lossy_applied = ack.ValueOrDie().applied;
+      if (ack.ValueOrDie().resync_required) cursor.RequestResync();
+    } else if (ack.status().code() != Status::Code::kFailedPrecondition) {
+      return "settlement ingest failed: " + ack.status().ToString();
+    }
+    converged = reference_applied && lossy_applied;
+  }
+  if (!converged) return "settlement did not converge";
+
+  auto held_lossy = lossy.SourceSnapshot(source);
+  auto held_reference = reference.SourceSnapshot(source);
+  if (!held_lossy.ok()) return "lossy aggregator holds no state";
+  if (!held_reference.ok()) return "reference aggregator holds no state";
+  const std::vector<uint8_t> bytes_lossy =
+      EncodeSnapshotV2(held_lossy.ValueOrDie());
+  const std::vector<uint8_t> bytes_reference =
+      EncodeSnapshotV2(held_reference.ValueOrDie());
+  if (bytes_lossy != bytes_reference) {
+    return "delta-reconstructed state diverged from full-frame replay (" +
+           std::to_string(bytes_lossy.size()) + " vs " +
+           std::to_string(bytes_reference.size()) + " encoded bytes)";
+  }
+  return "";
+}
+
+TEST(DeltaSyncPropertyTest, LossyDeltaStreamConvergesToFullReplay) {
+  // qlove exercises the sub-window patch path; gk rides kFull metric mode
+  // inside delta frames. Both must converge bit-identically.
+  for (BackendKind kind : {BackendKind::kQlove, BackendKind::kGk}) {
+    for (int trial = 0; trial < 2 * kTrials; ++trial) {
+      const uint64_t seed = 9100 + 17 * static_cast<uint64_t>(trial) +
+                            (kind == BackendKind::kQlove ? 0 : 1000);
+      const std::vector<double> data = MakeStream(seed, 12 * kPerTick);
+      auto predicate =
+          [kind, seed](const std::vector<double>& slice) -> std::string {
+        return RunDeltaSyncTrial(kind, seed, slice);
+      };
+      ShrinkByHalving(data, seed, predicate);
+    }
+  }
+}
+
+TEST(DeltaSyncPropertyTest, SteadyStateDeltasStayWellUnderFullFrames) {
+  // The byte win the protocol exists for: once the receiver holds the
+  // window, each round ships only the new sub-windows. The bench pins the
+  // absolute numbers; this guards the shape against regression.
+  TelemetryEngine engine(MakeOptions(BackendKind::kQlove));
+  AggregatorEngine aggregator;
+  ExportCursor cursor;
+  const MetricKey key("rtt_us");
+  workload::NetMonGenerator gen(77);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, kPerTick)).ok());
+    engine.Tick();
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(engine.ExportDeltaEncoded("agent-0", &cursor, &frame).ok());
+    auto ack = aggregator.IngestFrame(frame);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    ASSERT_TRUE(ack.ValueOrDie().applied);
+    if (round >= 4) {
+      // Steady state: the window is at capacity, every round evicts and
+      // emits the same number of sub-windows — the delta ships the new
+      // ones where a full frame re-ships the whole live window.
+      const size_t full_bytes =
+          EncodeSnapshotV2(engine.ExportSnapshot("agent-0")).size();
+      EXPECT_LT(2 * frame.size(), full_bytes)
+          << "steady-state delta frame is not well under the full frame "
+          << "(round " << round << ")";
+    }
+  }
+  const AggregatorEngine::FleetHealthSnapshot health =
+      aggregator.FleetHealth();
+  EXPECT_EQ(health.resyncs_requested, 0);
+  EXPECT_EQ(health.delta_ingests, 9);
 }
 
 }  // namespace

@@ -19,12 +19,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "engine/aggregator.h"
 #include "engine/engine.h"
 #include "workload/generators.h"
 
@@ -92,6 +95,7 @@ WireSnapshot LiteralSnapshot(BackendKind kind) {
   WireSnapshot snapshot;
   snapshot.source = "golden-agent";
   snapshot.epoch = 7;
+  snapshot.sync_token = 0x0123456789ABCDEFull;
 
   WireMetricSummary metric;
   metric.key = MetricKey("rtt_us", {{"dc", "eu-1"}, {"host", "h3"}});
@@ -131,9 +135,33 @@ WireSnapshot LiteralSnapshot(BackendKind kind) {
   return snapshot;
 }
 
-std::string GoldenPath(BackendKind kind) {
-  return std::string(QLOVE_GOLDEN_DIR) + "/wire_v" +
-         std::to_string(kWireVersion) + "_" + BackendKindName(kind) + ".hex";
+std::string GoldenPath(uint16_t version, const std::string& name) {
+  return std::string(QLOVE_GOLDEN_DIR) + "/wire_v" + std::to_string(version) +
+         "_" + name + ".hex";
+}
+
+/// Shared golden-fixture body: regenerate under QLOVE_REGEN_GOLDEN=1,
+/// otherwise compare byte for byte and round-trip the checked-in bytes
+/// through \p reencode.
+void CheckGolden(const std::vector<uint8_t>& encoded, const std::string& path,
+                 const std::function<std::vector<uint8_t>(
+                     const std::vector<uint8_t>&)>& reencode) {
+  if (std::getenv("QLOVE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << ToHex(encoded) << "\n";
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
+                         << " (QLOVE_REGEN_GOLDEN=1 to create)";
+  std::string hex;
+  in >> hex;
+  const std::vector<uint8_t> golden = FromHex(hex);
+  EXPECT_EQ(ToHex(encoded), hex)
+      << "wire layout changed: if intentional, bump the wire version and "
+         "regenerate tests/golden/";
+  EXPECT_EQ(reencode(golden), golden);
 }
 
 class WireRoundTripTest : public ::testing::TestWithParam<BackendKind> {};
@@ -201,30 +229,13 @@ TEST_P(WireRoundTripTest, CallerBufferEncodeIsExactSizedAndReusable) {
 
 TEST_P(WireRoundTripTest, GoldenBytesMatchCheckedInFixture) {
   const WireSnapshot fixture = LiteralSnapshot(GetParam());
-  const std::vector<uint8_t> encoded = EncodeSnapshot(fixture);
-  const std::string path = GoldenPath(GetParam());
-
-  if (std::getenv("QLOVE_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(path);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << ToHex(encoded) << "\n";
-    GTEST_SKIP() << "regenerated " << path;
-  }
-
-  std::ifstream in(path);
-  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
-                         << " (QLOVE_REGEN_GOLDEN=1 to create)";
-  std::string hex;
-  in >> hex;
-  const std::vector<uint8_t> golden = FromHex(hex);
-  EXPECT_EQ(ToHex(encoded), hex)
-      << "wire layout changed: if intentional, bump kWireVersion and "
-         "regenerate tests/golden/";
-
-  // The fixture must also decode and survive a re-encode untouched.
-  auto decoded = DecodeSnapshot(golden);
-  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  EXPECT_EQ(EncodeSnapshot(decoded.ValueOrDie()), golden);
+  CheckGolden(EncodeSnapshot(fixture),
+              GoldenPath(kWireVersion, BackendKindName(GetParam())),
+              [](const std::vector<uint8_t>& golden) {
+                auto decoded = DecodeSnapshot(golden);
+                EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+                return EncodeSnapshot(decoded.ValueOrDie());
+              });
 }
 
 // ---------------------------------------------------------------------------
@@ -267,8 +278,10 @@ TEST(WireFormatTest, RejectsBadMagicVersionAndHostileLengths) {
   bad_magic[0] = 'X';
   EXPECT_FALSE(DecodeSnapshot(bad_magic).ok());
 
+  // Version 2 is live (see the V2/interop suites below), so an unknown
+  // version must be one this build does not speak at all.
   std::vector<uint8_t> bad_version = encoded;
-  bad_version[4] = static_cast<uint8_t>(kWireVersion + 1);
+  bad_version[4] = 99;
   auto version_result = DecodeSnapshot(bad_version);
   ASSERT_FALSE(version_result.ok());
   EXPECT_NE(version_result.status().message().find("version"),
@@ -337,6 +350,319 @@ TEST(WireFrameTest, MidFrameEofIsAnError) {
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), Status::Code::kInternal);
   ::close(fds[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Version 2: compact full frames
+// ---------------------------------------------------------------------------
+
+class WireV2RoundTripTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(WireV2RoundTripTest, ReencodeIsByteIdentical) {
+  const WireSnapshot original = AgentSnapshot(GetParam(), 42);
+  ASSERT_FALSE(original.metrics.empty());
+  const std::vector<uint8_t> encoded = EncodeSnapshotV2(original);
+
+  auto frame = DecodeFrame(encoded);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_FALSE(frame.ValueOrDie().is_delta);
+  const WireSnapshot& snapshot = frame.ValueOrDie().snapshot;
+  EXPECT_EQ(snapshot.source, original.source);
+  EXPECT_EQ(snapshot.epoch, original.epoch);
+  ASSERT_EQ(snapshot.metrics.size(), original.metrics.size());
+  for (size_t m = 0; m < snapshot.metrics.size(); ++m) {
+    EXPECT_EQ(snapshot.metrics[m].key, original.metrics[m].key);
+    EXPECT_EQ(snapshot.metrics[m].options.phis,
+              original.metrics[m].options.phis);
+    ASSERT_EQ(snapshot.metrics[m].shards.size(),
+              original.metrics[m].shards.size());
+    for (size_t shard = 0; shard < snapshot.metrics[m].shards.size();
+         ++shard) {
+      EXPECT_EQ(snapshot.metrics[m].shards[shard],
+                original.metrics[m].shards[shard])
+          << "shard " << shard << " summary diverged across the round trip";
+    }
+  }
+  EXPECT_EQ(EncodeSnapshotV2(snapshot), encoded);
+}
+
+TEST_P(WireV2RoundTripTest, CompactsRelativeToV1) {
+  // The point of v2: the same snapshot in strictly fewer bytes. Engine
+  // state exercises the tagged value coder on real sketch output.
+  const WireSnapshot snapshot = AgentSnapshot(GetParam(), 42);
+  EXPECT_LT(EncodeSnapshotV2(snapshot).size(),
+            EncodeSnapshot(snapshot).size());
+}
+
+TEST_P(WireV2RoundTripTest, GoldenBytesMatchCheckedInFixture) {
+  const WireSnapshot fixture = LiteralSnapshot(GetParam());
+  CheckGolden(EncodeSnapshotV2(fixture),
+              GoldenPath(kWireVersionV2, BackendKindName(GetParam())),
+              [](const std::vector<uint8_t>& golden) {
+                auto frame = DecodeFrame(golden);
+                EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+                EXPECT_FALSE(frame.ValueOrDie().is_delta);
+                return EncodeSnapshotV2(frame.ValueOrDie().snapshot);
+              });
+}
+
+TEST_P(WireV2RoundTripTest, EveryTruncationReturnsErrorStatus) {
+  const std::vector<uint8_t> encoded =
+      EncodeSnapshotV2(AgentSnapshot(GetParam(), 7));
+  ASSERT_GT(encoded.size(), 8u);
+  for (size_t length = 0; length < encoded.size(); ++length) {
+    auto frame = DecodeFrame(encoded.data(), length);
+    EXPECT_FALSE(frame.ok()) << "prefix of " << length << " bytes decoded";
+  }
+}
+
+TEST_P(WireV2RoundTripTest, ByteFlipsNeverCrashAndUsuallyFailCleanly) {
+  // Same contract as v1: every single-byte flip yields a clean error or a
+  // decodable frame that re-encodes without reading out of bounds. Runs
+  // under the ASan/UBSan job.
+  std::vector<uint8_t> encoded =
+      EncodeSnapshotV2(AgentSnapshot(GetParam(), 9));
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const uint8_t saved = encoded[i];
+    encoded[i] = static_cast<uint8_t>(~saved);
+    auto frame = DecodeFrame(encoded);
+    if (frame.ok()) {
+      WireFrame& value = frame.ValueOrDie();
+      if (value.is_delta) {
+        EncodeDelta(value.delta);
+      } else {
+        EncodeSnapshotV2(value.snapshot);
+      }
+    }
+    encoded[i] = saved;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, WireV2RoundTripTest,
+    ::testing::Values(BackendKind::kQlove, BackendKind::kGk,
+                      BackendKind::kCmqs, BackendKind::kExact),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendKindName(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Version 2: delta frames
+// ---------------------------------------------------------------------------
+
+/// A hand-built delta: one qlove patch and one full-mode metric, literal
+/// values only (same reasoning as LiteralSnapshot).
+WireDelta LiteralDelta() {
+  WireDelta delta;
+  delta.source = "golden-agent";
+  delta.epoch = 9;
+  delta.base_epoch = 7;
+  delta.sync_token = 0x0123456789ABCDEFull;
+
+  WireMetricDelta patch;
+  patch.key = MetricKey("rtt_us", {{"dc", "eu-1"}, {"host", "h3"}});
+  patch.mode = WireDeltaMode::kQloveDelta;
+  patch.first_live_epoch = 6;
+  patch.count = 512;
+  patch.inflight = 2;
+  patch.burst_active = true;
+  patch.rank_error = 0.0;
+  core::SubWindowSummary sub;
+  sub.quantiles = {120.0, 470.5, 900.25};
+  core::TailCapture tail;
+  tail.topk = {{995.0, 1}};
+  tail.samples = {995.0};
+  sub.tails = {tail};
+  sub.bursty = false;
+  sub.count = 256;
+  sub.epoch = 8;
+  patch.new_subwindows.push_back(sub);
+  sub.epoch = 9;
+  sub.bursty = true;
+  patch.new_subwindows.push_back(sub);
+  delta.metrics.push_back(std::move(patch));
+
+  WireMetricDelta full;
+  full.key = MetricKey("tx_bytes");
+  full.mode = WireDeltaMode::kFull;
+  const WireSnapshot donor = LiteralSnapshot(BackendKind::kGk);
+  full.options = donor.metrics[0].options;
+  full.shards = donor.metrics[0].shards;
+  delta.metrics.push_back(std::move(full));
+  return delta;
+}
+
+TEST(WireDeltaTest, ReencodeIsByteIdentical) {
+  const WireDelta original = LiteralDelta();
+  const std::vector<uint8_t> encoded = EncodeDelta(original);
+
+  auto frame = DecodeFrame(encoded);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame.ValueOrDie().is_delta);
+  const WireDelta& delta = frame.ValueOrDie().delta;
+  EXPECT_EQ(delta.source, original.source);
+  EXPECT_EQ(delta.epoch, original.epoch);
+  EXPECT_EQ(delta.base_epoch, original.base_epoch);
+  ASSERT_EQ(delta.metrics.size(), original.metrics.size());
+  EXPECT_EQ(delta.metrics[0].mode, WireDeltaMode::kQloveDelta);
+  EXPECT_EQ(delta.metrics[0].first_live_epoch, 6);
+  EXPECT_EQ(delta.metrics[0].count, 512);
+  ASSERT_EQ(delta.metrics[0].new_subwindows.size(), 2u);
+  EXPECT_EQ(delta.metrics[0].new_subwindows[0],
+            original.metrics[0].new_subwindows[0]);
+  EXPECT_EQ(delta.metrics[1].mode, WireDeltaMode::kFull);
+  ASSERT_EQ(delta.metrics[1].shards.size(), 2u);
+  EXPECT_EQ(delta.metrics[1].shards[0], original.metrics[1].shards[0]);
+
+  EXPECT_EQ(EncodeDelta(delta), encoded);
+}
+
+TEST(WireDeltaTest, GoldenBytesMatchCheckedInFixture) {
+  CheckGolden(EncodeDelta(LiteralDelta()),
+              GoldenPath(kWireVersionV2, "delta"),
+              [](const std::vector<uint8_t>& golden) {
+                auto frame = DecodeFrame(golden);
+                EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+                EXPECT_TRUE(frame.ValueOrDie().is_delta);
+                return EncodeDelta(frame.ValueOrDie().delta);
+              });
+}
+
+TEST(WireDeltaTest, EveryTruncationReturnsErrorStatus) {
+  const std::vector<uint8_t> encoded = EncodeDelta(LiteralDelta());
+  for (size_t length = 0; length < encoded.size(); ++length) {
+    EXPECT_FALSE(DecodeFrame(encoded.data(), length).ok())
+        << "prefix of " << length << " bytes decoded";
+  }
+}
+
+TEST(WireDeltaTest, ByteFlipsNeverCrashAndUsuallyFailCleanly) {
+  std::vector<uint8_t> encoded = EncodeDelta(LiteralDelta());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const uint8_t saved = encoded[i];
+    encoded[i] = static_cast<uint8_t>(~saved);
+    auto frame = DecodeFrame(encoded);
+    if (frame.ok()) {
+      WireFrame& value = frame.ValueOrDie();
+      if (value.is_delta) {
+        EncodeDelta(value.delta);
+      } else {
+        EncodeSnapshotV2(value.snapshot);
+      }
+    }
+    encoded[i] = saved;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version interop: v1 and v2 coexist, unknown versions are rejected
+// ---------------------------------------------------------------------------
+
+TEST(WireInteropTest, V1FramesDecodeThroughBothApis) {
+  const WireSnapshot original = AgentSnapshot(BackendKind::kQlove, 17);
+  const std::vector<uint8_t> v1 = EncodeSnapshot(original);
+
+  auto frame = DecodeFrame(v1);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame.ValueOrDie().is_delta);
+  // DecodeFrame on a v1 buffer must agree with the legacy decoder exactly
+  // (no flag-day: old senders keep working against new receivers).
+  EXPECT_EQ(EncodeSnapshot(frame.ValueOrDie().snapshot), v1);
+
+  auto legacy = DecodeSnapshot(v1);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(EncodeSnapshot(legacy.ValueOrDie()), v1);
+}
+
+TEST(WireInteropTest, V2FullFramesDecodeThroughDecodeSnapshot) {
+  const WireSnapshot original = AgentSnapshot(BackendKind::kGk, 18);
+  const std::vector<uint8_t> v2 = EncodeSnapshotV2(original);
+  auto decoded = DecodeSnapshot(v2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeSnapshotV2(decoded.ValueOrDie()), v2);
+}
+
+TEST(WireInteropTest, DeltaFramesAreRejectedByDecodeSnapshot) {
+  // A delta applies against held state DecodeSnapshot does not have; it
+  // must refuse loudly and point at the frame-aware path.
+  const std::vector<uint8_t> encoded = EncodeDelta(LiteralDelta());
+  auto decoded = DecodeSnapshot(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("delta"), std::string::npos);
+}
+
+TEST(WireInteropTest, UnknownVersionsAndFlagsAreRejected) {
+  const std::vector<uint8_t> encoded =
+      EncodeSnapshotV2(AgentSnapshot(BackendKind::kExact, 19));
+  for (uint8_t version : {0, 3, 99}) {
+    std::vector<uint8_t> bad = encoded;
+    bad[4] = version;
+    bad[5] = 0;
+    auto frame = DecodeFrame(bad);
+    ASSERT_FALSE(frame.ok()) << "version " << int(version) << " decoded";
+    EXPECT_NE(frame.status().message().find("version"), std::string::npos);
+  }
+  // Unknown flag bits are a forward-compat fence, not padding.
+  std::vector<uint8_t> bad_flags = encoded;
+  bad_flags[6] |= 0x80;
+  EXPECT_FALSE(DecodeFrame(bad_flags).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shard coalescing on export
+// ---------------------------------------------------------------------------
+
+TEST(WireCoalesceTest, CoalescedExportShedsTheShardMultiplier) {
+  // An 8-shard engine's coalesced export ships one summary per metric:
+  // the per-shard framing and quantile multiplier disappears. (The tail
+  // caches cannot shrink — an 8-shard window legitimately holds 8x the
+  // samples — so the bound is against the uncoalesced export, not the
+  // 1-shard engine.)
+  EngineOptions options;
+  options.num_shards = 8;
+  options.shard_window = WindowSpec(512, 128);
+  options.default_backend = MakeBackendOptions(BackendKind::kQlove);
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us", {{"host", "h0"}});
+  workload::NetMonGenerator gen(21);
+  for (int tick = 0; tick < 6; ++tick) {
+    ASSERT_TRUE(
+        engine.RecordBatch(key, workload::Materialize(&gen, 512)).ok());
+    engine.Tick();
+  }
+
+  ExportOptions uncoalesced_opts;
+  uncoalesced_opts.coalesce_shards = false;
+  const WireSnapshot raw = engine.ExportSnapshot("a", uncoalesced_opts);
+  const WireSnapshot coalesced = engine.ExportSnapshot("a");
+  const size_t bytes_raw = EncodeSnapshot(raw).size();
+  const size_t bytes_coalesced = EncodeSnapshot(coalesced).size();
+
+  ASSERT_EQ(coalesced.metrics.size(), 1u);
+  EXPECT_EQ(coalesced.metrics[0].shards.size(), 1u);
+  ASSERT_EQ(raw.metrics.size(), 1u);
+  EXPECT_EQ(raw.metrics[0].shards.size(), 8u);
+  // The framing/quantile multiplier is gone; the concatenated tail caches
+  // remain (they carry irreducible few-k state for 8 shards' samples), so
+  // the guaranteed floor here is a constant-fraction shed. The full v1
+  // fixed-width overhead disappears in v2 (see CompactsRelativeToV1) and
+  // the bench gate pins the end-to-end byte reduction.
+  EXPECT_LT(4 * bytes_coalesced, 3 * bytes_raw);
+
+  // Coalescing must preserve the window population and remain a valid,
+  // ingestible v1 snapshot (old aggregators keep working).
+  auto population = [](const WireMetricSummary& metric) {
+    int64_t total = 0;
+    for (const BackendSummary& shard : metric.shards) {
+      for (const core::SubWindowSummary& sub : shard.subwindows) {
+        total += sub.count;
+      }
+    }
+    return total;
+  };
+  EXPECT_EQ(population(coalesced.metrics[0]), population(raw.metrics[0]));
+  AggregatorEngine aggregator;
+  EXPECT_TRUE(aggregator.IngestEncoded(EncodeSnapshot(coalesced)).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -47,16 +47,47 @@ def main() -> int:
         if row is None:
             failures.append(f"missing bench row for {key}")
             continue
-        floor = gate["record_mops_floor"] * (1.0 - tolerance)
-        measured = row["record_mops"]
-        verdict = "ok" if measured >= floor else "REGRESSED"
-        print(f"{gate['backend']:>6} @ {gate['shards']} shards, "
-              f"{gate['threads']} writers: record_mops={measured:.3f} "
-              f"(floor {gate['record_mops_floor']:.3f} - {tolerance:.0%} "
-              f"= {floor:.3f}) {verdict}")
-        if measured < floor:
-            failures.append(
-                f"{key}: record_mops {measured:.3f} < {floor:.3f}")
+
+        # Throughput floors get the tolerance haircut: runner speed varies.
+        for metric in ("record_mops", "merge_kqps"):
+            raw_floor = gate.get(f"{metric}_floor")
+            if raw_floor is None:
+                continue
+            floor = raw_floor * (1.0 - tolerance)
+            measured = row.get(metric)
+            if measured is None:
+                failures.append(f"{key}: bench row carries no {metric}")
+                continue
+            verdict = "ok" if measured >= floor else "REGRESSED"
+            print(f"{gate['backend']:>6} @ {gate['shards']} shards, "
+                  f"{gate['threads']} writers: {metric}={measured:.3f} "
+                  f"(floor {raw_floor:.3f} - {tolerance:.0%} "
+                  f"= {floor:.3f}) {verdict}")
+            if measured < floor:
+                failures.append(
+                    f"{key}: {metric} {measured:.3f} < {floor:.3f}")
+
+        # Wire-size ceilings are strict (no tolerance): encoded bytes are a
+        # deterministic function of the seeded workload, not runner speed,
+        # so any excursion above the ceiling is a format/coalescing
+        # regression (e.g. exports going back to one summary per shard).
+        for metric in ("wire_bytes_per_metric", "wire_bytes_per_metric_delta"):
+            ceiling = gate.get(f"{metric}_max")
+            if ceiling is None:
+                continue
+            measured = row.get(metric)
+            if measured is None:
+                failures.append(f"{key}: bench row carries no {metric} "
+                                "(bench too old, or the wire phase was "
+                                "skipped)")
+                continue
+            verdict = "ok" if measured <= ceiling else "TOO BIG"
+            print(f"{gate['backend']:>6} @ {gate['shards']} shards, "
+                  f"{gate['threads']} writers: {metric}={measured} "
+                  f"(ceiling {ceiling}) {verdict}")
+            if measured > ceiling:
+                failures.append(
+                    f"{key}: {metric} {measured} > ceiling {ceiling}")
 
     # The self-metrics layer's acceptance bar: its cost on the buffered
     # Record path is measured by the bench (best-of-25 interleaved
