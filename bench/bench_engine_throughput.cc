@@ -45,6 +45,8 @@
 #include "engine/backend.h"
 #include "engine/engine.h"
 #include "engine/wire.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "workload/generators.h"
 
 namespace qlove {
@@ -81,6 +83,12 @@ struct RunResult {
   /// 4-agent fleet's frames plus one fleet Query per round, in thousands
   /// of agent snapshots merged per second.
   double merge_kqps = 0.0;
+  /// Transport-tier rate: the same full window state shipped through the
+  /// real stack — AgentClient produce + framed send over loopback TCP,
+  /// server epoll read + IngestFrame + ack, client ack parse — in
+  /// thousands of acked frames per second. Each round trip is one
+  /// agent-tick delivery, so this bounds the per-aggregator fan-in.
+  double net_frames_kqps = 0.0;
 };
 
 engine::BackendOptions MakeBackend(engine::BackendKind kind) {
@@ -386,6 +394,56 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards, int num_threads,
       result.wire_bytes_per_metric_delta =
           delta_frame.size() / exported.metrics.size();
     }
+
+    // Loopback transport phase: full frames through a real AggregatorServer
+    // on an ephemeral 127.0.0.1 port, delivered by the real AgentClient
+    // (HELLO auth, framed send, ingest, ack). The first delivery — connect
+    // plus authentication — runs outside the clock; the timed loop is the
+    // steady-state delivery round trip.
+    if (!exported.metrics.empty()) {
+      constexpr int kNetRounds = 200;
+      engine::AggregatorEngine net_sink;
+      net::ServerOptions server_options;
+      server_options.auth_token = "bench-token";
+      net::AggregatorServer server(&net_sink, server_options);
+      const Status serving = server.Start();
+      if (!serving.ok()) {
+        std::fprintf(stderr, "FATAL: transport bench server(%s): %s\n",
+                     engine::BackendKindName(kind),
+                     serving.ToString().c_str());
+        std::exit(1);
+      }
+      net::ClientOptions client_options;
+      client_options.port = server.port();
+      client_options.auth_token = "bench-token";
+      client_options.source = "bench-agent";
+      engine::WireSnapshot net_snapshot = exported;
+      net_snapshot.source = "bench-agent";
+      net::AgentClient client(
+          client_options,
+          [net_snapshot](const std::string&, bool,
+                         std::vector<uint8_t>* out) mutable {
+            net_snapshot.epoch += 1;  // each frame advances, so each applies
+            engine::EncodeSnapshotV2(net_snapshot, out);
+            return Status::OK();
+          });
+      auto require_delivered = [&](const Status& status) {
+        if (status.ok()) return;
+        std::fprintf(stderr, "FATAL: transport bench delivery(%s): %s\n",
+                     engine::BackendKindName(kind),
+                     status.ToString().c_str());
+        std::exit(1);
+      };
+      require_delivered(client.DeliverOnce());  // connect + HELLO, untimed
+      Stopwatch net_watch;
+      net_watch.Start();
+      for (int round = 0; round < kNetRounds; ++round) {
+        require_delivered(client.DeliverOnce());
+      }
+      const double net_elapsed = net_watch.ElapsedSeconds();
+      result.net_frames_kqps =
+          net_elapsed > 0.0 ? kNetRounds / net_elapsed / 1e3 : 0.0;
+    }
   }
   return result;
 }
@@ -417,12 +475,12 @@ void WriteJson(const std::vector<RunResult>& results, int64_t events,
                  "\"query_kqps\": %.3f, \"wire_bytes_per_metric\": %zu, "
                  "\"wire_bytes_per_metric_v2\": %zu, "
                  "\"wire_bytes_per_metric_delta\": %zu, "
-                 "\"merge_kqps\": %.3f}%s\n",
+                 "\"merge_kqps\": %.3f, \"net_frames_kqps\": %.3f}%s\n",
                  engine::BackendKindName(r.backend), r.num_shards, r.threads,
                  r.buffered_mops, r.batch_mops, r.query_kqps,
                  r.wire_bytes_per_metric, r.wire_bytes_per_metric_v2,
                  r.wire_bytes_per_metric_delta, r.merge_kqps,
-                 i + 1 < results.size() ? "," : "");
+                 r.net_frames_kqps, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -483,20 +541,21 @@ int Main(int argc, char** argv) {
     for (int threads : thread_counts) {
       std::printf("\nbackend: %s, writer threads: %d\n",
                   engine::BackendKindName(kind), threads);
-      std::printf("%-8s %18s %18s %10s %14s %12s %10s %12s %14s\n", "shards",
-                  "Record (M op/s)", "Batch (M op/s)", "speedup",
+      std::printf("%-8s %18s %18s %10s %14s %12s %10s %12s %14s %12s\n",
+                  "shards", "Record (M op/s)", "Batch (M op/s)", "speedup",
                   "Query (K q/s)", "Wire (B/met)", "v2 (B)", "delta (B)",
-                  "Merge (K s/s)");
+                  "Merge (K s/s)", "Net (K f/s)");
       double baseline = 0.0;
       for (int shards : kShardSweep) {
         const RunResult r = RunOnce(kind, shards, threads, data);
         if (shards == kShardSweep.front()) baseline = r.batch_mops;
-        std::printf("%-8d %18.2f %18.2f %9.2fx %14.1f %12zu %10zu %12zu %14.1f\n",
-                    shards, r.buffered_mops, r.batch_mops,
-                    baseline > 0.0 ? r.batch_mops / baseline : 0.0,
-                    r.query_kqps, r.wire_bytes_per_metric,
-                    r.wire_bytes_per_metric_v2, r.wire_bytes_per_metric_delta,
-                    r.merge_kqps);
+        std::printf(
+            "%-8d %18.2f %18.2f %9.2fx %14.1f %12zu %10zu %12zu %14.1f "
+            "%12.1f\n",
+            shards, r.buffered_mops, r.batch_mops,
+            baseline > 0.0 ? r.batch_mops / baseline : 0.0, r.query_kqps,
+            r.wire_bytes_per_metric, r.wire_bytes_per_metric_v2,
+            r.wire_bytes_per_metric_delta, r.merge_kqps, r.net_frames_kqps);
         results.push_back(r);
       }
     }

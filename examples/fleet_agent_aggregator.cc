@@ -1,36 +1,35 @@
-// The distributed deployment, end to end in one process: K "agents" (one
-// thread + one TelemetryEngine each, standing in for per-host monitoring
-// daemons) sketch their local traffic, and every simulated second run the
-// delta-sync loop: ExportDeltaEncoded ships a full v2 frame on first
-// contact and thereafter only the sub-windows the aggregator has not
-// seen, over a socketpair — the transport seam (engine/wire.h
-// WriteFrame/ReadFrame) a production deployment would replace with its
-// RPC stack. The aggregator answers each frame with a one-byte ack
-// (0 = applied, 1 = resync: the delta's base state is not held, send a
-// full frame next). One AggregatorEngine on the main thread ingests the
-// frames and serves fleet-wide queries:
+// The distributed deployment, end to end over real loopback TCP: K
+// "agents" (one thread + one TelemetryEngine each, standing in for
+// per-host monitoring daemons) sketch their local traffic and ship it
+// every simulated second through the real transport stack — an
+// AgentClient (net/client.h) speaking the authenticated HELLO/ACK
+// protocol to an AggregatorServer (net/server.h) that feeds one
+// AggregatorEngine:
 //
-//   agent 0 (qlove)  <--frames/acks-->  \
-//   agent 1 (qlove)  <--frames/acks-->   aggregator -- Query(p99, CDF)
-//   ...              <--frames/acks-->  /
+//   agent 0 (thread) --AgentClient--\
+//   agent 1 (thread) --AgentClient---> TCP --> AggregatorServer
+//   ...              --AgentClient--/            -> AggregatorEngine
+//                                                   -> Query(p99, CDF)
 //
-// Two faults are injected to exercise the resync state machine, and the
-// run self-verifies that the protocol recovered from both:
-//  - at t=10, agent 0's frame is lost after the transport ack (a
-//    collection-pipeline drop the sender cannot see) — the next delta's
-//    base epoch no longer matches, the aggregator NAKs it, and the agent
-//    resyncs with a full frame;
-//  - at t=6, agent 0 restarts (fresh engine, fresh cursor, fresh
-//    sync_token): its next export is a full frame whose epoch restarts
-//    at 1, which the aggregator accepts as a replacement.
+// The delta-sync loop runs exactly as in production: first contact ships
+// a full v2 frame, steady state ships only unseen sub-windows, and the
+// server's ACK carries the ingest verdict per frame. Two faults exercise
+// the recovery machinery, and the run self-verifies both:
+//  - at t=10, agent 0's frame is dropped after its cursor advanced (a
+//    frame lost in transit): the next delta's base epoch no longer
+//    matches, the aggregator NAKs, and the client resyncs with a full
+//    frame on the same connection;
+//  - at t=6, agent 0 restarts (fresh engine, fresh client, fresh TCP
+//    connection, fresh sync_token): the server replaces the dead session,
+//    and the full frame whose epoch restarts at 1 replaces the state.
 //
 // Two metric shapes demonstrate both pooling modes:
 //  - rtt_us{host=hK}: one QLOVE metric per host, rolled up by tag
 //    selector (the paper's estimator chain runs across process
 //    boundaries exactly as it runs across shards);
 //  - rpc_us{service=checkout}: the SAME MetricKey reported by every
-//    agent on a GK backend — the aggregator pools identical keys across
-//    sources into one answer with a deterministic epsilon rank bound.
+//    agent on a GK backend — pooled across sources into one answer with
+//    a deterministic epsilon rank bound.
 //
 // The run self-verifies (and exits nonzero on violation): the fleet p99
 // served by the aggregator is compared against a union-stream oracle
@@ -41,10 +40,8 @@
 //
 //   $ ./fleet_agent_aggregator [--agents=4] [--seconds=16]
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
+#include <barrier>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +54,8 @@
 #include "engine/aggregator.h"
 #include "engine/engine.h"
 #include "engine/wire.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "workload/generators.h"
 
 namespace {
@@ -69,7 +68,8 @@ constexpr int kShards = 2;
 // comparison at the end stays exact; the drop lands after the restart so
 // the NAK/resync round-trip runs against the new incarnation.
 constexpr int kRestartSecond = 6;  // agent redeploys before ingesting t=6
-constexpr int kDropSecond = 10;    // agent 0's t=10 frame lost pre-ingest
+constexpr int kDropSecond = 10;    // agent 0's t=10 frame lost in transit
+const char kFleetToken[] = "fleet-demo-token";
 
 using qlove::engine::AggregatorEngine;
 using qlove::engine::BackendKind;
@@ -89,9 +89,20 @@ struct AgentTraffic {
   std::vector<std::vector<double>> rpc;  // [second] -> samples
 };
 
-/// The per-host agent: ingest one second of traffic, Tick, run the
-/// delta-sync export loop (ship, read the one-byte ack, resync on NAK).
-void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
+/// Client-side protocol counters each agent leaves behind for the final
+/// report (written before the thread joins, read after).
+struct AgentReport {
+  qlove::net::AgentClient::Counters counters;
+  bool failed = false;
+};
+
+/// The per-host agent: ingest one second of traffic, Tick, deliver the
+/// frame through the real client (delta steady state, NAK-driven resync,
+/// reconnect-on-restart). The barrier paces every agent and the main
+/// thread through the same simulated second, so fleet epochs stay
+/// aligned the way a common tick cadence aligns them in production.
+void RunAgent(int id, int seconds, const AgentTraffic* traffic,
+              uint16_t port, std::barrier<>* clock, AgentReport* report) {
   EngineOptions options;
   options.num_shards = kShards;
   options.shard_window =
@@ -114,50 +125,60 @@ void RunAgent(int id, int seconds, const AgentTraffic* traffic, int fd) {
     }
     return engine;
   };
-  std::unique_ptr<TelemetryEngine> engine = make_engine();
-  qlove::engine::ExportCursor cursor;
-
   const std::string source = "host-" + std::to_string(id);
-  std::vector<uint8_t> frame;
+  qlove::net::ClientOptions client_options;
+  client_options.port = port;
+  client_options.auth_token = kFleetToken;
+  client_options.source = source;
+  // Dogfooding: each frame carries the agent's own `__qlove/` stage
+  // sketches alongside its telemetry, so the aggregator can answer
+  // fleet-health quantiles (e.g. "p99 Tick latency across all hosts")
+  // through the same query surface as the telemetry itself.
+  qlove::engine::ExportOptions with_self;
+  with_self.include_self_metrics = true;
+  auto make_client = [&](TelemetryEngine* engine) {
+    return std::make_unique<qlove::net::AgentClient>(
+        client_options, qlove::net::AgentClient::ForEngine(engine, with_self));
+  };
+
+  std::unique_ptr<TelemetryEngine> engine = make_engine();
+  std::unique_ptr<qlove::net::AgentClient> client = make_client(engine.get());
   for (int second = 0; second < seconds; ++second) {
+    clock->arrive_and_wait();  // round starts
     if (id == 0 && second == kRestartSecond) {
-      // The daemon redeploys: engine, cursor, and sync token are all
-      // process state, so everything starts over — including the Tick
-      // epoch counter, which is why frames carry the incarnation token.
+      // The daemon redeploys: engine, cursor, sync token, and TCP
+      // connection are all process state, so everything starts over —
+      // including the Tick epoch counter, which is why frames carry the
+      // incarnation token. The server replaces the dead session when the
+      // new connection authenticates as the same source.
+      client.reset();
       engine = make_engine();
-      cursor = qlove::engine::ExportCursor();
+      client = make_client(engine.get());
     }
     if (!engine->RecordBatch(rtt_key, traffic->rtt[second]).ok() ||
         !engine->RecordBatch(rpc_key, traffic->rpc[second]).ok()) {
       std::fprintf(stderr, "agent %d: ingest failed\n", id);
-      std::exit(1);
+      report->failed = true;
     }
     engine->Tick();
-    // Dogfooding: each frame carries the agent's own `__qlove/` stage
-    // sketches alongside its telemetry, so the aggregator can answer
-    // fleet-health quantiles (e.g. "p99 Tick latency across all hosts")
-    // through the same query surface as the telemetry itself.
-    qlove::engine::ExportOptions with_self;
-    with_self.include_self_metrics = true;
-    const qlove::Status exported =
-        engine->ExportDeltaEncoded(source, &cursor, &frame, with_self);
-    if (!exported.ok()) {
-      std::fprintf(stderr, "agent %d: %s\n", id, exported.ToString().c_str());
-      std::exit(1);
+    if (id == 0 && second + 1 == kDropSecond) {
+      // Injected fault: the produced frame advances the cursor but never
+      // reaches the wire — a frame lost in transit. The NEXT delta's
+      // base epoch will not match the server's held state and gets
+      // NAKed; the client then resyncs with a full frame.
+      client->set_testing_drop_next_frame();
+      std::printf("t=%2ds  [fault] dropping agent 0's frame in transit\n",
+                  second + 1);
     }
-    const qlove::Status shipped = qlove::engine::WriteFrame(fd, frame);
-    if (!shipped.ok()) {
-      std::fprintf(stderr, "agent %d: %s\n", id, shipped.ToString().c_str());
-      std::exit(1);
+    const qlove::Status delivered = client->DeliverOnce();
+    if (!delivered.ok()) {
+      std::fprintf(stderr, "agent %d: %s\n", id,
+                   delivered.ToString().c_str());
+      report->failed = true;
     }
-    uint8_t ack = 0;
-    if (::read(fd, &ack, 1) != 1) {
-      std::fprintf(stderr, "agent %d: ack channel closed\n", id);
-      std::exit(1);
-    }
-    if (ack != 0) cursor.RequestResync();
+    clock->arrive_and_wait();  // round ends: frame ingested (or dropped)
   }
-  ::close(fd);
+  report->counters = client->counters();
 }
 
 double RankErrorVsOracle(const std::vector<double>& sorted, double estimate,
@@ -216,86 +237,37 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 2. One socketpair per agent: the agent thread writes frames, the
-  //    aggregator (this thread) reads them.
-  std::vector<int> read_fds;
+  // 2. The aggregator tier behind a real TCP server on an ephemeral
+  //    loopback port, agents connecting through the authenticated client.
+  AggregatorEngine aggregator;
+  qlove::net::ServerOptions server_options;
+  server_options.auth_token = kFleetToken;
+  qlove::net::AggregatorServer server(&aggregator, server_options);
+  const qlove::Status serving = server.Start();
+  if (!serving.ok()) {
+    std::fprintf(stderr, "server: %s\n", serving.ToString().c_str());
+    return 1;
+  }
+  std::printf("aggregator serving on 127.0.0.1:%u (%d agents)\n",
+              server.port(), agents);
+
+  // The barrier paces agents AND this thread through each simulated
+  // second: queries at the end of round s see exactly the frames of
+  // round s, the way a lockstep tick cadence behaves in the fleet.
+  std::barrier<> clock(agents + 1);
+  std::vector<AgentReport> reports(static_cast<size_t>(agents));
   std::vector<std::thread> threads;
   for (int a = 0; a < agents; ++a) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-      std::perror("socketpair");
-      return 1;
-    }
-    read_fds.push_back(fds[0]);
-    threads.emplace_back(RunAgent, a, seconds, &traffic[a], fds[1]);
+    threads.emplace_back(RunAgent, a, seconds, &traffic[a], server.port(),
+                         &clock, &reports[a]);
   }
 
-  // 3. The aggregator tier: one frame per agent per second, fleet queries
-  //    every 4th second.
-  AggregatorEngine aggregator;
+  // 3. Fleet queries every 4th second, between rounds.
   const TagSelector fleet{"rtt_us", {{"service", "netmon"}}};
   const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
-  // Steady-state size accounting, captured on the final second: each
-  // applied delta's bytes vs what re-shipping the full held state would
-  // cost at the same epoch (the apples-to-apples comparison — the GK
-  // metric rides as a full replacement inside every delta, so both sides
-  // carry it).
-  size_t last_delta_bytes = 0;
-  size_t full_equiv_bytes = 0;
-  long long naks_sent = 0;
   for (int second = 1; second <= seconds; ++second) {
-    for (int a = 0; a < agents; ++a) {
-      auto frame = qlove::engine::ReadFrame(read_fds[a]);
-      if (!frame.ok()) {
-        std::fprintf(stderr, "read from agent %d: %s\n", a,
-                     frame.status().ToString().c_str());
-        return 1;
-      }
-      const std::vector<uint8_t>& bytes = frame.ValueOrDie();
-      // Transport-level peek at the header (magic, u16 version, u8
-      // flags) purely for the size report; the aggregator itself
-      // classifies frames inside IngestFrame.
-      const bool is_delta =
-          bytes.size() > 6 && bytes[4] == 2 && (bytes[6] & 1) != 0;
-      uint8_t ack_byte = 0;
-      if (a == 0 && second == kDropSecond) {
-        // Injected fault: the frame is lost between the transport and
-        // the ingest queue, after the ack went out — the sender's cursor
-        // has already advanced past state the aggregator never applied.
-        // The next delta's base epoch will not match and gets NAKed.
-        std::printf("t=%2ds  [fault] dropping agent 0's frame pre-ingest\n",
-                    second);
-      } else {
-        auto ack = aggregator.IngestFrame(bytes);
-        if (!ack.ok()) {
-          std::fprintf(stderr, "ingest from agent %d: %s\n", a,
-                       ack.status().ToString().c_str());
-          return 1;
-        }
-        if (ack.ValueOrDie().resync_required) {
-          ack_byte = 1;
-          ++naks_sent;
-          std::printf("t=%2ds  [resync] NAKed agent %d's delta (held epoch "
-                      "%lld is not the delta's base) — full frame "
-                      "requested\n",
-                      second, a,
-                      static_cast<long long>(
-                          ack.ValueOrDie().acked_epoch));
-        } else if (is_delta && second == seconds) {
-          auto held =
-              aggregator.SourceSnapshot("host-" + std::to_string(a));
-          if (held.ok()) {
-            last_delta_bytes += bytes.size();
-            full_equiv_bytes +=
-                qlove::engine::EncodeSnapshotV2(held.ValueOrDie()).size();
-          }
-        }
-      }
-      if (::write(read_fds[a], &ack_byte, 1) != 1) {
-        std::perror("ack write");
-        return 1;
-      }
-    }
+    clock.arrive_and_wait();  // round starts (agents ingest + deliver)
+    clock.arrive_and_wait();  // round ends (every frame acked)
     if (second % 4 != 0) continue;
 
     auto rolled = aggregator.Query(QuerySpec::ForSelector(fleet)
@@ -324,22 +296,43 @@ int main(int argc, char** argv) {
         rpc_result.outcomes[0].rank_error_bound);
   }
   for (std::thread& t : threads) t.join();
-  for (int fd : read_fds) ::close(fd);
-  std::printf("steady-state wire cost at t=%ds (all agents, 2 metrics + "
-              "`__qlove/` self-metrics): deltas %zu bytes vs %zu bytes to "
-              "re-ship the full held state (%.2fx)\n",
-              seconds, last_delta_bytes, full_equiv_bytes,
-              last_delta_bytes > 0
-                  ? static_cast<double>(full_equiv_bytes) /
-                        static_cast<double>(last_delta_bytes)
-                  : 0.0);
+  for (const AgentReport& report : reports) {
+    if (report.failed) {
+      std::fprintf(stderr, "an agent reported delivery failures\n");
+      return 1;
+    }
+  }
 
-  // Fleet health, two ways. First the aggregator's own self-portrait:
-  // ingest/reject/decode counters, per-source staleness, and the
-  // dogfooded decode/ingest latency sketches.
+  // Steady-state size accounting from the aggregator's own counters: the
+  // average applied delta vs re-encoding each source's full held state.
+  const auto health = aggregator.FleetHealth();
+  size_t full_state_bytes = 0;
+  for (int a = 0; a < agents; ++a) {
+    auto held = aggregator.SourceSnapshot("host-" + std::to_string(a));
+    if (held.ok()) {
+      full_state_bytes +=
+          qlove::engine::EncodeSnapshotV2(held.ValueOrDie()).size();
+    }
+  }
+  const double avg_delta_bytes =
+      health.delta_ingests > 0
+          ? static_cast<double>(health.wire_bytes_delta_ingested) /
+                static_cast<double>(health.delta_ingests)
+          : 0.0;
+  const double avg_full_bytes =
+      agents > 0 ? static_cast<double>(full_state_bytes) / agents : 0.0;
+  std::printf("steady-state wire cost (2 metrics + `__qlove/` "
+              "self-metrics): avg delta %.0f bytes vs %.0f bytes to re-ship "
+              "a full state (%.2fx)\n",
+              avg_delta_bytes, avg_full_bytes,
+              avg_delta_bytes > 0 ? avg_full_bytes / avg_delta_bytes : 0.0);
+
+  // Fleet health, two ways. First the aggregator's own self-portrait —
+  // now including the transport tier: per-connection lifecycle (agent
+  // 0's restart shows as accepts > agents), frame/byte flow, and
+  // per-source connected/last-seen liveness.
   std::printf("\n-- aggregator self-metrics --\n%s",
-              qlove::engine::FormatFleetHealth(aggregator.FleetHealth())
-                  .c_str());
+              qlove::engine::FormatFleetHealth(health).c_str());
   // Then the agents' health *as a fleet metric*: every frame shipped each
   // host's `__qlove/stage_us{stage=tick}` sketch, so the p99 Tick latency
   // across the whole fleet is one ordinary rollup query away.
@@ -412,35 +405,40 @@ int main(int argc, char** argv) {
           RankErrorVsOracle(rpc_union, p99.value, 0.99), budget);
   }
 
-  // Delta-protocol convergence: the injected drop must have produced at
-  // least one NAK/resync round-trip, and the steady state must run on
-  // deltas (most frames after first contact), at a fraction of the full
-  // frame size.
+  // Delta-protocol + transport convergence: the injected drop must have
+  // produced a NAK/resync round-trip, the restart must have produced a
+  // second accepted connection, and the steady state must run on deltas.
   {
-    const auto health = aggregator.FleetHealth();
     long long full_frames = 0;
     long long delta_frames = 0;
     for (const auto& status : health.sources) {
       full_frames += status.full_frames;
       delta_frames += status.delta_frames;
     }
+    const auto& agent0 = reports[0].counters;
     auto require = [&ok](const char* what, bool pass) {
       std::printf("  %-44s [%s]\n", what, pass ? "OK" : "VIOLATION");
       ok = ok && pass;
     };
     std::printf("\ndelta-sync protocol (dropped frame at t=%d, agent 0 "
                 "restart at t=%d):\n", kDropSecond, kRestartSecond);
-    std::printf("  frames applied: %lld full + %lld delta, NAKs sent: "
-                "%lld (aggregator resyncs_requested=%lld)\n",
-                full_frames, delta_frames, naks_sent,
-                static_cast<long long>(health.resyncs_requested));
+    std::printf("  frames applied: %lld full + %lld delta; agent 0 saw "
+                "%lld NAKs; aggregator resyncs_requested=%lld; transport "
+                "accepts=%lld\n",
+                full_frames, delta_frames,
+                static_cast<long long>(agent0.naks),
+                static_cast<long long>(health.resyncs_requested),
+                static_cast<long long>(health.transport.accepts));
     require("injected drop surfaced as a NAK",
-            naks_sent >= 1 && health.resyncs_requested >= 1);
+            agent0.naks >= 1 && health.resyncs_requested >= 1);
+    require("restart reconnected through the server",
+            health.transport.accepts >= agents + 1);
     require("steady state runs on deltas, not full frames",
             delta_frames > full_frames);
     require("deltas undercut re-shipping the full state",
-            last_delta_bytes > 0 && last_delta_bytes < full_equiv_bytes);
+            avg_delta_bytes > 0 && avg_delta_bytes < avg_full_bytes);
   }
+  server.Stop();
   if (!ok) {
     std::fprintf(stderr, "\nFAILED: fleet answers left the documented "
                          "bounds\n");

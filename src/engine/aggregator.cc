@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 #include <set>
 #include <utility>
 
@@ -33,10 +34,22 @@ int64_t MetricPopulation(const WireMetricSummary& metric) {
   return population;
 }
 
+int64_t WallUnixSeconds() {
+  return static_cast<int64_t>(std::time(nullptr));
+}
+
+/// The full serving-configuration equality ExportSnapshot pools under (the
+/// same check Query() uses to decide homogeneity): kind-relevant backend
+/// knobs, phi grid, and window geometry.
+bool SameServingConfiguration(const MetricOptions& a, const MetricOptions& b) {
+  return SameBackendConfiguration(a.backend, b.backend) && a.phis == b.phis &&
+         a.shard_window == b.shard_window;
+}
+
 }  // namespace
 
 AggregatorEngine::AggregatorEngine(AggregatorOptions options)
-    : options_(options) {
+    : options_(options), sync_token_(GenerateSyncToken()) {
 #if QLOVE_INTROSPECTION_ENABLED
   if (options_.introspection) {
     // The self-metrics engine holds only `__qlove/` sketches (one shard:
@@ -150,6 +163,7 @@ Status AggregatorEngine::IngestImpl(WireSnapshot snapshot) {
   state.full_frames += 1;
   state.snapshot = std::move(snapshot);
   state.fleet_epoch_at_ingest = fleet_epoch_;
+  state.last_ingest_unix_s = WallUnixSeconds();
   sources_.insert_or_assign(source, std::move(state));
   return Status::OK();
 }
@@ -373,10 +387,88 @@ Result<AggregatorEngine::IngestAck> AggregatorEngine::ApplyDelta(
   held.delta_frames += 1;
   fleet_epoch_ = std::max(fleet_epoch_, delta.epoch);
   held.fleet_epoch_at_ingest = fleet_epoch_;
+  held.last_ingest_unix_s = WallUnixSeconds();
   IngestAck ack;
   ack.applied = true;
   ack.acked_epoch = delta.epoch;
   return ack;
+}
+
+WireSnapshot AggregatorEngine::ExportSnapshot(
+    std::string source, const ExportOptions& export_options) const {
+  reexports_.fetch_add(1, std::memory_order_relaxed);
+  WireSnapshot out;
+  out.source = std::move(source);
+  out.sync_token = sync_token_;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out.epoch = fleet_epoch_;
+  // Merge by key across fresh sources. sources_ is name-ordered, so "the
+  // first source in name order" for each key falls out of iteration order;
+  // the map keeps the re-export in canonical key order for free.
+  std::map<MetricKey, WireMetricSummary> merged;
+  for (const auto& [name, state] : sources_) {
+    (void)name;
+    if (IsStale(state, fleet_epoch_)) continue;
+    for (const WireMetricSummary& metric : state.snapshot.metrics) {
+      if (!export_options.include_self_metrics &&
+          IsReservedMetricName(metric.key.name())) {
+        continue;
+      }
+      auto it = merged.find(metric.key);
+      if (it == merged.end()) {
+        merged.emplace(metric.key, metric);
+        continue;
+      }
+      if (!SameServingConfiguration(it->second.options, metric.options)) {
+        // Per-metric options are singular on the wire; pooling disagreeing
+        // configurations is what Query() itself refuses. Drop and count.
+        reexport_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      it->second.shards.insert(it->second.shards.end(),
+                               metric.shards.begin(), metric.shards.end());
+    }
+  }
+  out.metrics.reserve(merged.size());
+  for (auto& [key, metric] : merged) {
+    (void)key;
+    out.metrics.push_back(std::move(metric));
+  }
+  return out;
+}
+
+Status AggregatorEngine::ExportEncoded(
+    std::string source, std::vector<uint8_t>* out,
+    const ExportOptions& export_options) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("ExportEncoded: out buffer is null");
+  }
+  EncodeSnapshotV2(ExportSnapshot(std::move(source), export_options), out);
+  wire_bytes_reexported_.fetch_add(static_cast<int64_t>(out->size()),
+                                   std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AggregatorEngine::NoteSourceConnected(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectionState& state = connections_[source];
+  state.connected = true;
+  state.connects += 1;
+  state.last_event_unix_s = WallUnixSeconds();
+}
+
+void AggregatorEngine::NoteSourceDisconnected(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectionState& state = connections_[source];
+  state.connected = false;
+  state.last_event_unix_s = WallUnixSeconds();
+}
+
+void AggregatorEngine::SetTransportStatsProvider(
+    std::function<TransportCounters()> provider) {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  transport_provider_ = std::move(provider);
 }
 
 Result<WireSnapshot> AggregatorEngine::SourceSnapshot(
@@ -549,16 +641,42 @@ Result<QueryResult> AggregatorEngine::Query(const QuerySpec& spec) const {
 std::vector<AggregatorEngine::SourceStatus> AggregatorEngine::Sources() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SourceStatus> out;
-  out.reserve(sources_.size());
-  for (const auto& [name, state] : sources_) {
+  out.reserve(sources_.size() + connections_.size());
+  // Union of ingest state and transport sessions, merged by name: a
+  // connected-but-quiet source surfaces with epoch 0 / no metrics, and a
+  // dead agent keeps its last snapshot with connected=false. Both maps are
+  // name-ordered, so a two-pointer walk keeps the output sorted.
+  auto src = sources_.begin();
+  auto conn = connections_.begin();
+  while (src != sources_.end() || conn != connections_.end()) {
+    const bool take_src =
+        conn == connections_.end() ||
+        (src != sources_.end() && src->first <= conn->first);
+    const bool take_conn =
+        src == sources_.end() ||
+        (conn != connections_.end() && conn->first <= src->first);
     SourceStatus status;
-    status.source = name;
-    status.epoch = state.snapshot.epoch;
-    status.stale = IsStale(state, fleet_epoch_);
-    status.epochs_behind = fleet_epoch_ - state.fleet_epoch_at_ingest;
-    status.metric_count = state.snapshot.metrics.size();
-    status.full_frames = state.full_frames;
-    status.delta_frames = state.delta_frames;
+    if (take_src) {
+      const SourceState& state = src->second;
+      status.source = src->first;
+      status.epoch = state.snapshot.epoch;
+      status.stale = IsStale(state, fleet_epoch_);
+      status.epochs_behind = fleet_epoch_ - state.fleet_epoch_at_ingest;
+      status.metric_count = state.snapshot.metrics.size();
+      status.full_frames = state.full_frames;
+      status.delta_frames = state.delta_frames;
+      status.last_seen_unix_s = state.last_ingest_unix_s;
+      ++src;
+    }
+    if (take_conn) {
+      const ConnectionState& state = conn->second;
+      if (!take_src) status.source = conn->first;
+      status.connected = state.connected;
+      status.connects = state.connects;
+      status.last_seen_unix_s =
+          std::max(status.last_seen_unix_s, state.last_event_unix_s);
+      ++conn;
+    }
     out.push_back(std::move(status));
   }
   return out;
@@ -584,6 +702,21 @@ AggregatorEngine::FleetHealthSnapshot AggregatorEngine::FleetHealth() const {
   health.wire_bytes_delta_ingested =
       wire_bytes_delta_ingested_.load(std::memory_order_relaxed);
   health.queries = queries_.load(std::memory_order_relaxed);
+  health.reexports = reexports_.load(std::memory_order_relaxed);
+  health.wire_bytes_reexported =
+      wire_bytes_reexported_.load(std::memory_order_relaxed);
+  health.reexport_dropped = reexport_dropped_.load(std::memory_order_relaxed);
+  // Copy the provider out, then poll it lock-free: the transport may take
+  // its own locks, and holding ours across foreign code invites deadlock.
+  std::function<TransportCounters()> provider;
+  {
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    provider = transport_provider_;
+  }
+  if (provider) {
+    health.has_transport = true;
+    health.transport = provider();
+  }
 #if QLOVE_INTROSPECTION_ENABLED
   if (self_ != nullptr) {
     // Cover every buffered sample before reading the sketches back.
@@ -660,6 +793,31 @@ std::string FormatFleetHealth(
                 static_cast<long long>(health.wire_bytes_delta_ingested),
                 static_cast<long long>(health.resyncs_requested),
                 static_cast<long long>(health.queries));
+  if (health.reexports > 0) {
+    AppendHealthF(&out,
+                  "  reexports=%lld reexport_bytes=%lld reexport_dropped=%lld\n",
+                  static_cast<long long>(health.reexports),
+                  static_cast<long long>(health.wire_bytes_reexported),
+                  static_cast<long long>(health.reexport_dropped));
+  }
+  if (health.has_transport) {
+    const AggregatorEngine::TransportCounters& t = health.transport;
+    AppendHealthF(&out,
+                  "  transport: active=%lld accepts=%lld auth_failures=%lld "
+                  "disconnects=%lld stalls=%lld\n",
+                  static_cast<long long>(t.active_connections),
+                  static_cast<long long>(t.accepts),
+                  static_cast<long long>(t.auth_failures),
+                  static_cast<long long>(t.disconnects),
+                  static_cast<long long>(t.backpressure_stalls));
+    AppendHealthF(&out,
+                  "  transport: frames=%lld in / %lld out, bytes=%lld in / "
+                  "%lld out\n",
+                  static_cast<long long>(t.frames_in),
+                  static_cast<long long>(t.frames_out),
+                  static_cast<long long>(t.bytes_in),
+                  static_cast<long long>(t.bytes_out));
+  }
   for (const StageStats& stage : health.stages) {
     const double mean =
         stage.samples > 0
@@ -683,6 +841,13 @@ std::string FormatFleetHealth(
                   static_cast<long long>(source.full_frames),
                   static_cast<long long>(source.delta_frames),
                   source.stale ? "STALE" : "fresh");
+    if (source.connects > 0) {
+      AppendHealthF(&out,
+                    "    transport: %s connects=%lld last_seen_unix_s=%lld\n",
+                    source.connected ? "connected" : "DISCONNECTED",
+                    static_cast<long long>(source.connects),
+                    static_cast<long long>(source.last_seen_unix_s));
+    }
   }
   return out;
 }
@@ -710,6 +875,30 @@ std::string FleetHealthToJson(
                 static_cast<long long>(health.resyncs_requested),
                 static_cast<long long>(health.wire_bytes_delta_ingested),
                 static_cast<long long>(health.queries));
+  AppendHealthF(&out,
+                "\"reexports\": %lld, \"wire_bytes_reexported\": %lld, "
+                "\"reexport_dropped\": %lld, ",
+                static_cast<long long>(health.reexports),
+                static_cast<long long>(health.wire_bytes_reexported),
+                static_cast<long long>(health.reexport_dropped));
+  if (health.has_transport) {
+    const AggregatorEngine::TransportCounters& t = health.transport;
+    AppendHealthF(&out,
+                  "\"transport\": {\"active_connections\": %lld, "
+                  "\"accepts\": %lld, \"auth_failures\": %lld, "
+                  "\"disconnects\": %lld, \"frames_in\": %lld, "
+                  "\"frames_out\": %lld, \"bytes_in\": %lld, "
+                  "\"bytes_out\": %lld, \"backpressure_stalls\": %lld}, ",
+                  static_cast<long long>(t.active_connections),
+                  static_cast<long long>(t.accepts),
+                  static_cast<long long>(t.auth_failures),
+                  static_cast<long long>(t.disconnects),
+                  static_cast<long long>(t.frames_in),
+                  static_cast<long long>(t.frames_out),
+                  static_cast<long long>(t.bytes_in),
+                  static_cast<long long>(t.bytes_out),
+                  static_cast<long long>(t.backpressure_stalls));
+  }
   out += "\"stages\": [";
   for (size_t i = 0; i < health.stages.size(); ++i) {
     const StageStats& stage = health.stages[i];
@@ -729,13 +918,18 @@ std::string FleetHealthToJson(
     AppendHealthF(&out,
                   "\", \"epoch\": %lld, \"stale\": %s, "
                   "\"epochs_behind\": %lld, \"metric_count\": %zu, "
-                  "\"full_frames\": %lld, \"delta_frames\": %lld}",
+                  "\"full_frames\": %lld, \"delta_frames\": %lld, "
+                  "\"connected\": %s, \"connects\": %lld, "
+                  "\"last_seen_unix_s\": %lld}",
                   static_cast<long long>(source.epoch),
                   source.stale ? "true" : "false",
                   static_cast<long long>(source.epochs_behind),
                   source.metric_count,
                   static_cast<long long>(source.full_frames),
-                  static_cast<long long>(source.delta_frames));
+                  static_cast<long long>(source.delta_frames),
+                  source.connected ? "true" : "false",
+                  static_cast<long long>(source.connects),
+                  static_cast<long long>(source.last_seen_unix_s));
   }
   out += "]}";
   return out;

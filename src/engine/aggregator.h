@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -134,6 +135,86 @@ class AggregatorEngine {
   /// exactly the full-frame-replay state. NotFound for unknown sources.
   Result<WireSnapshot> SourceSnapshot(const std::string& source) const;
 
+  /// \name Re-export: the hierarchical aggregation tree
+  ///
+  /// An aggregator's pooled fleet state serialized back through the same
+  /// wire format its agents ship, so an aggregator is itself an agent to
+  /// its parent — host-tier aggregators feed rack-tier ones feed a
+  /// cluster tier, and every tier serves the same query surface over the
+  /// same summaries. Semantics: metrics from every FRESH source, merged by
+  /// key — the same key reported by several sources re-exports as one
+  /// WireMetricSummary whose summary list is the concatenation of the
+  /// sources' summaries (options taken from the first source in name
+  /// order). That is exactly the multiset Query() pools, so a parent
+  /// ingesting the re-export answers bit-identically to this aggregator.
+  /// A same-key source whose self-described options disagree with the
+  /// first reporter's is dropped from the re-export and counted
+  /// (FleetHealthSnapshot::reexport_dropped) — per-metric options are
+  /// singular on the wire, and silently pooling disagreeing
+  /// configurations is what Query() itself refuses.
+  ///
+  /// The snapshot is stamped with the fleet epoch and this aggregator's
+  /// own sync token. ExportOptions::include_self_metrics gates whether
+  /// `__qlove/` metrics held from the children ride along (fleet-health
+  /// rollup across tiers); ExportOptions::coalesce_shards is IGNORED —
+  /// cross-source sub-window epochs are only nominally aligned (an
+  /// agent restart resets them), so re-exports always ship the raw
+  /// per-source summaries rather than risk merging different wall-clock
+  /// windows into one.
+  /// @{
+
+  /// The pooled fleet state as one WireSnapshot named \p source.
+  WireSnapshot ExportSnapshot(std::string source,
+                              const ExportOptions& export_options = {}) const;
+
+  /// ExportSnapshot + EncodeSnapshotV2 into \p out (buffer reused), with
+  /// re-export bytes counted into FleetHealth.
+  Status ExportEncoded(std::string source, std::vector<uint8_t>* out,
+                       const ExportOptions& export_options = {}) const;
+
+  /// @}
+
+  /// \name Transport liveness (fed by net/server.h)
+  ///
+  /// Ingest recency tells a stale source from a fresh one, but cannot
+  /// tell a DEAD agent (transport gone) from a QUIET one (connected,
+  /// nothing to report yet): both stop ingesting. The serving transport
+  /// reports connection lifecycle here so FleetHealth() can make that
+  /// distinction — SourceStatus::connected plus the last-seen wall epoch.
+  /// @{
+
+  /// Marks \p source connected (an authenticated transport session is
+  /// open). Safe for sources that have not ingested yet.
+  void NoteSourceConnected(const std::string& source);
+
+  /// Marks \p source disconnected, stamping the wall epoch so a dead
+  /// agent's last sighting survives in FleetHealth().
+  void NoteSourceDisconnected(const std::string& source);
+
+  /// \brief Transport-layer counters as reported by the serving socket
+  /// layer (net/server.h): connection lifecycle, frame/byte flow, and
+  /// backpressure stalls.
+  struct TransportCounters {
+    int64_t accepts = 0;          ///< Connections accepted.
+    int64_t auth_failures = 0;    ///< Hellos rejected (bad/missing token).
+    int64_t disconnects = 0;      ///< Connections closed (any reason).
+    int64_t active_connections = 0;
+    int64_t frames_in = 0;        ///< Data frames received.
+    int64_t frames_out = 0;       ///< Ack/control frames sent.
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t backpressure_stalls = 0;  ///< Reads paused on a full outbound
+                                      ///< queue.
+  };
+
+  /// Installs (or clears, with nullptr) the provider FleetHealth() polls
+  /// for transport counters. The serving transport installs itself on
+  /// Start() and MUST clear on Stop() — the provider is called with no
+  /// aggregator locks held.
+  void SetTransportStatsProvider(std::function<TransportCounters()> provider);
+
+  /// @}
+
   /// Evaluates \p spec against the pooled fleet state: the same target
   /// resolution and request surface as TelemetryEngine::Query, with keys
   /// matched across every fresh source (two agents reporting the same
@@ -154,6 +235,16 @@ class AggregatorEngine {
     size_t metric_count = 0;  ///< Metrics in the held snapshot.
     int64_t full_frames = 0;  ///< Full snapshots applied for this source.
     int64_t delta_frames = 0; ///< Delta frames applied for this source.
+    /// Transport liveness (NoteSourceConnected/Disconnected). With no
+    /// transport attached (in-process ingest), connects stays 0 and
+    /// connected false — read connects before trusting connected.
+    bool connected = false;
+    int64_t connects = 0;     ///< Transport sessions opened for this source.
+    /// Wall epoch (unix seconds) of the last sign of life: successful
+    /// ingest or transport connect, whichever came later. 0 = never seen.
+    /// `connected == false` with an old last_seen_unix_s is a DEAD agent;
+    /// `connected == true` with no recent ingest is a QUIET one.
+    int64_t last_seen_unix_s = 0;
   };
 
   /// \brief AggregatorEngine::FleetHealth(): the aggregator-tier
@@ -173,6 +264,15 @@ class AggregatorEngine {
     int64_t delta_ingests = 0;       ///< Delta frames applied.
     int64_t resyncs_requested = 0;   ///< Delta NAKs (resync_required acks).
     int64_t wire_bytes_delta_ingested = 0;  ///< Bytes of applied deltas.
+    int64_t reexports = 0;           ///< ExportSnapshot/ExportEncoded calls.
+    int64_t wire_bytes_reexported = 0;  ///< Encoded re-export bytes.
+    int64_t reexport_dropped = 0;    ///< Same-key summaries dropped from
+                                     ///< re-exports over disagreeing
+                                     ///< self-described options.
+    /// Transport counters (net/server.h), polled from the installed
+    /// provider; all-zero with has_transport false when none is attached.
+    bool has_transport = false;
+    TransportCounters transport;
     std::vector<SourceStatus> sources;  ///< Name-ordered, like Sources().
     /// wire_decode / aggregator_ingest latency aggregates (empty with
     /// introspection off or before any sample).
@@ -203,6 +303,17 @@ class AggregatorEngine {
     int64_t fleet_epoch_at_ingest = 0;
     int64_t full_frames = 0;   ///< Full snapshots applied.
     int64_t delta_frames = 0;  ///< Delta frames applied.
+    int64_t last_ingest_unix_s = 0;  ///< Wall epoch of the last ingest.
+  };
+
+  /// One source's transport session state (NoteSourceConnected /
+  /// NoteSourceDisconnected). Kept separate from SourceState: a source
+  /// can connect before its first frame and can hold state after its
+  /// transport died — exactly the two situations the split must surface.
+  struct ConnectionState {
+    bool connected = false;
+    int64_t connects = 0;
+    int64_t last_event_unix_s = 0;  ///< Wall epoch of the last (dis)connect.
   };
 
   bool IsStale(const SourceState& state, int64_t fleet_epoch) const {
@@ -224,10 +335,21 @@ class AggregatorEngine {
   void RecordSelfStage(Stage stage, double micros) const;
 
   AggregatorOptions options_;
+  /// Incarnation token stamped on re-exports (wire.h GenerateSyncToken):
+  /// a parent aggregator's delta/restart logic treats this aggregator
+  /// exactly as it would an agent.
+  const uint64_t sync_token_;
   mutable std::mutex mu_;
   /// Latest state per source. std::map: Sources() iterates name-sorted.
   std::map<std::string, SourceState> sources_;
+  /// Transport sessions per source, merged into Sources() by name.
+  std::map<std::string, ConnectionState> connections_;
   int64_t fleet_epoch_ = 0;
+
+  /// Transport stats provider (net/server.h); own lock so FleetHealth can
+  /// poll it without holding mu_.
+  mutable std::mutex transport_mu_;
+  std::function<TransportCounters()> transport_provider_;
 
   /// Health counters: ingest-granularity relaxed atomics, live even with
   /// introspection off (they are the aggregator's liveness dashboard).
@@ -240,6 +362,9 @@ class AggregatorEngine {
   std::atomic<int64_t> delta_ingests_{0};
   std::atomic<int64_t> resyncs_requested_{0};
   std::atomic<int64_t> wire_bytes_delta_ingested_{0};
+  mutable std::atomic<int64_t> reexports_{0};
+  mutable std::atomic<int64_t> wire_bytes_reexported_{0};
+  mutable std::atomic<int64_t> reexport_dropped_{0};
 
   /// The dogfooded self-metrics engine (single shard, introspection on):
   /// holds the `__qlove/stage_us{stage=wire_decode|aggregator_ingest}`

@@ -42,24 +42,6 @@ thread_local std::unordered_map<uint64_t, EngineBuffers> tls_buffers;
 
 std::atomic<uint64_t> next_engine_id{1};
 
-/// Engine-incarnation token for the delta-sync protocol (wire.h
-/// WireSnapshot::sync_token): distinct across engines in one process (the
-/// counter) and collision-unlikely across process restarts (the clock,
-/// mixed through splitmix64). Never zero — zero marks v1-established
-/// state on the aggregator, which must always NAK deltas.
-uint64_t GenerateSyncToken() {
-  static std::atomic<uint64_t> counter{0};
-  uint64_t x =
-      counter.fetch_add(1, std::memory_order_relaxed) ^
-      static_cast<uint64_t>(
-          std::chrono::steady_clock::now().time_since_epoch().count());
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x != 0 ? x : 1;
-}
-
 /// Bumped by every ~TelemetryEngine: threads compare it against their own
 /// cached value to learn that some engine died since they last looked.
 std::atomic<uint64_t> dead_engine_generation{0};

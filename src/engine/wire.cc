@@ -2,8 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -1177,6 +1180,100 @@ Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& buffer) {
   return DecodeFrame(buffer.data(), buffer.size());
 }
 
+uint64_t GenerateSyncToken() {
+  // splitmix64 over a steady-clock draw plus a process-wide counter: two
+  // tokens generated back to back (agent restarting within one clock tick)
+  // still differ, and zero — the "no token" sentinel v1 frames decode
+  // with — is never produced.
+  static std::atomic<uint64_t> counter{0};
+  uint64_t x =
+      counter.fetch_add(1, std::memory_order_relaxed) ^
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
+
+Status FrameReader::Append(const uint8_t* data, size_t size) {
+  if (!poisoned_.ok()) return poisoned_;
+  while (size > 0) {
+    if (!in_payload_) {
+      const size_t take = std::min(size, sizeof(header_) - header_filled_);
+      std::memcpy(header_ + header_filled_, data, take);
+      header_filled_ += take;
+      data += take;
+      size -= take;
+      if (header_filled_ < sizeof(header_)) return Status::OK();
+      uint32_t declared = 0;
+      for (int i = 0; i < 4; ++i) {
+        declared |= static_cast<uint32_t>(header_[i]) << (8 * i);
+      }
+      if (static_cast<size_t>(declared) > max_frame_bytes_) {
+        // Reject before reserving a byte: this is the defense against a
+        // hostile 4 GB length prefix. The stream has no way to find the
+        // next frame boundary past a frame it refused, so the failure is
+        // sticky — callers close the connection.
+        poisoned_ = Status::InvalidArgument(
+            "frame length " + std::to_string(declared) +
+            " exceeds the configured max of " +
+            std::to_string(max_frame_bytes_));
+        return poisoned_;
+      }
+      in_payload_ = true;
+      payload_target_ = declared;
+      payload_.clear();
+      payload_.reserve(payload_target_);
+    }
+    const size_t take = std::min(size, payload_target_ - payload_.size());
+    payload_.insert(payload_.end(), data, data + take);
+    data += take;
+    size -= take;
+    if (payload_.size() == payload_target_) {
+      // Frame complete (possibly empty). Compact the popped prefix of the
+      // FIFO before growing it so a long-lived connection's queue doesn't
+      // creep.
+      if (complete_head_ > 0 && complete_head_ == complete_.size()) {
+        complete_.clear();
+        complete_head_ = 0;
+      }
+      complete_.push_back(std::move(payload_));
+      payload_ = std::vector<uint8_t>();
+      in_payload_ = false;
+      header_filled_ = 0;
+      payload_target_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+bool FrameReader::PopFrame(std::vector<uint8_t>* frame) {
+  if (complete_head_ >= complete_.size()) return false;
+  *frame = std::move(complete_[complete_head_]);
+  ++complete_head_;
+  if (complete_head_ == complete_.size()) {
+    complete_.clear();
+    complete_head_ = 0;
+  }
+  return true;
+}
+
+size_t FrameReader::NextReadSize() const {
+  if (complete_head_ < complete_.size()) return 0;
+  if (!in_payload_) return sizeof(header_) - header_filled_;
+  return payload_target_ - payload_.size();
+}
+
+size_t FrameReader::buffered_bytes() const {
+  size_t total = header_filled_ + payload_.size();
+  for (size_t i = complete_head_; i < complete_.size(); ++i) {
+    total += complete_[i].size();
+  }
+  return total;
+}
+
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
   if (payload.size() > kMaxWireBytes) {
     return Status::InvalidArgument("frame exceeds kMaxWireBytes");
@@ -1203,46 +1300,33 @@ Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
   return write_all(payload.data(), payload.size());
 }
 
-Result<std::vector<uint8_t>> ReadFrame(int fd) {
-  auto read_all = [fd](uint8_t* data, size_t size,
-                       bool eof_ok) -> Result<size_t> {
-    size_t read = 0;
-    while (read < size) {
-      const ssize_t rc = ::read(fd, data + read, size - read);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        return Status::Internal(std::string("frame read failed: ") +
-                                std::strerror(errno));
-      }
-      if (rc == 0) {
-        if (eof_ok && read == 0) return size_t{0};
-        return Status::Internal("frame read: unexpected end of stream");
-      }
-      read += static_cast<size_t>(rc);
+Result<std::vector<uint8_t>> ReadFrame(int fd, size_t max_frame_bytes) {
+  // The same state machine the nonblocking transports drive, fed with
+  // exact-sized blocking reads: NextReadSize never asks for a byte beyond
+  // the current frame, so consecutive ReadFrame calls on one fd stay
+  // frame-aligned with no cross-call state.
+  FrameReader reader(max_frame_bytes);
+  uint8_t chunk[4096];
+  bool read_any = false;
+  std::vector<uint8_t> frame;
+  while (true) {
+    if (reader.PopFrame(&frame)) return frame;
+    const size_t want = std::min(reader.NextReadSize(), sizeof(chunk));
+    const ssize_t rc = ::read(fd, chunk, want);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("frame read failed: ") +
+                              std::strerror(errno));
     }
-    return size;
-  };
-  uint8_t header[4];
-  auto header_read = read_all(header, sizeof(header), /*eof_ok=*/true);
-  if (!header_read.ok()) return header_read.status();
-  if (header_read.ValueOrDie() == 0) {
-    return Status::OutOfRange("end of stream");  // clean peer shutdown
+    if (rc == 0) {
+      if (!read_any) {
+        return Status::OutOfRange("end of stream");  // clean peer shutdown
+      }
+      return Status::Internal("frame read: unexpected end of stream");
+    }
+    read_any = true;
+    QLOVE_RETURN_NOT_OK(reader.Append(chunk, static_cast<size_t>(rc)));
   }
-  uint32_t n = 0;
-  for (int i = 0; i < 4; ++i) {
-    n |= static_cast<uint32_t>(header[i]) << (8 * i);
-  }
-  if (static_cast<size_t>(n) > kMaxWireBytes) {
-    return Status::InvalidArgument("frame length " + std::to_string(n) +
-                                   " exceeds kMaxWireBytes");
-  }
-  std::vector<uint8_t> payload(n);
-  if (n > 0) {
-    auto payload_read = read_all(payload.data(), payload.size(),
-                                 /*eof_ok=*/false);
-    if (!payload_read.ok()) return payload_read.status();
-  }
-  return payload;
 }
 
 }  // namespace engine

@@ -244,23 +244,84 @@ Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& buffer);
 
 /// @}
 
+/// \brief A fresh engine-incarnation token: random-looking, never zero.
+/// TelemetryEngine stamps one into every export (WireSnapshot::sync_token)
+/// and AggregatorEngine stamps one into its re-exports, so delta receivers
+/// can tell a restarted sender apart from a continued stream when Tick
+/// epochs collide numerically.
+uint64_t GenerateSyncToken();
+
 /// \name Frame transport
 ///
 /// Minimal length-prefixed framing over a byte-stream file descriptor
 /// (pipe, socketpair, TCP socket): u32 little-endian payload length, then
-/// the payload. This is the transport seam the agent/aggregator example
-/// rides; a production deployment would swap the fd for its RPC stack and
-/// keep the encode/decode unchanged.
+/// the payload. The blocking WriteFrame/ReadFrame pair below serves simple
+/// synchronous loops; nonblocking transports (src/net/) feed whatever
+/// bytes arrive into a FrameReader and drain complete frames as they
+/// close. Both paths share the same header parse and the same hostile-
+/// length cap, so a 4 GB length prefix is rejected before any allocation
+/// no matter which path carried it.
 /// @{
 
+/// \brief Incremental decoder for the length-prefixed framing: feed it
+/// byte chunks of any size (a nonblocking read's worth, or one byte at a
+/// time) and pop complete frames as they finish. The state machine is
+/// trivially resumable — a short read or EAGAIN mid-frame just means the
+/// next Append continues where the last one stopped — which is exactly
+/// what the old blocking ReadFrame could not do.
+///
+/// Not thread-safe; one FrameReader per connection.
+class FrameReader {
+ public:
+  /// Frames whose length prefix exceeds \p max_frame_bytes are rejected
+  /// by Append BEFORE any payload allocation.
+  explicit FrameReader(size_t max_frame_bytes = kMaxWireBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes \p size bytes from the stream. InvalidArgument as soon as a
+  /// complete header declares a length above the cap — the connection is
+  /// poisoned and every later Append fails the same way (a stream cannot
+  /// resynchronize past a frame it refused to buffer).
+  Status Append(const uint8_t* data, size_t size);
+
+  /// Moves the oldest complete frame into \p frame (replacing its
+  /// contents, capacity reused). False when no complete frame is buffered.
+  bool PopFrame(std::vector<uint8_t>* frame);
+
+  /// How many bytes the reader needs to complete what it is parsing: the
+  /// rest of the 4-byte header, or the rest of the current payload (0 when
+  /// a complete frame is waiting to be popped). Blocking callers use this
+  /// to read exactly one frame's bytes and not a byte more.
+  size_t NextReadSize() const;
+
+  /// Bytes buffered but not yet popped (header-in-progress + payloads).
+  size_t buffered_bytes() const;
+
+ private:
+  size_t max_frame_bytes_;
+  Status poisoned_ = Status::OK();  ///< Sticky first Append failure.
+  /// Header accumulation (little-endian u32 length prefix).
+  uint8_t header_[4] = {0, 0, 0, 0};
+  size_t header_filled_ = 0;
+  bool in_payload_ = false;
+  size_t payload_target_ = 0;       ///< Declared length of current frame.
+  std::vector<uint8_t> payload_;    ///< Current frame, partially filled.
+  std::vector<std::vector<uint8_t>> complete_;  ///< Popped FIFO, oldest first.
+  size_t complete_head_ = 0;        ///< Index of the oldest unpopped frame.
+};
+
 /// Writes one frame, handling short writes and EINTR. The frame must not
-/// exceed kMaxWireBytes.
+/// exceed kMaxWireBytes. The fd must be in blocking mode (EAGAIN is an
+/// error here); nonblocking senders buffer through src/net/ instead.
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
 
-/// Reads one frame. OutOfRange on clean end-of-stream at a frame boundary
-/// (the peer closed); InvalidArgument on a hostile length prefix;
+/// Reads one frame (blocking), driving a FrameReader with exact-sized
+/// reads so it never consumes bytes beyond the frame it returns. OutOfRange
+/// on clean end-of-stream at a frame boundary (the peer closed);
+/// InvalidArgument on a hostile length prefix (above \p max_frame_bytes);
 /// Internal on a mid-frame EOF or read error.
-Result<std::vector<uint8_t>> ReadFrame(int fd);
+Result<std::vector<uint8_t>> ReadFrame(int fd,
+                                       size_t max_frame_bytes = kMaxWireBytes);
 
 /// @}
 

@@ -1,0 +1,140 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qlove {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+  // The wakeup fd is serviced inline by Run(), not through callbacks_:
+  // registering it there would let Remove(wake_fd_) brick Stop().
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Remove(int fd) {
+  callbacks_.erase(fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return Errno("epoll_ctl(del)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Run() {
+  running_.store(true, std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Unrecoverable epoll failure; shut the loop down.
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        // Nonblocking; EAGAIN (already drained) is fine.
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Re-look-up per event: an earlier callback in this batch may have
+      // removed this fd (e.g. a connection closing its peer).
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      it->second(events[i].events);
+    }
+    // Drain posted closures after the batch so they observe settled
+    // connection state. Swap under the lock, run outside it.
+    std::vector<std::function<void()>> run_now;
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      run_now.swap(posted_);
+    }
+    for (auto& fn : run_now) fn();
+  }
+  // Final drain: closures posted as part of Stop() (connection teardown)
+  // must run even though the loop is exiting.
+  std::vector<std::function<void()>> run_now;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    run_now.swap(posted_);
+  }
+  for (auto& fn : run_now) fn();
+  running_.store(false, std::memory_order_release);
+}
+
+void EventLoop::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  Wakeup();
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace net
+}  // namespace qlove

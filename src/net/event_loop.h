@@ -1,0 +1,98 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// A single-threaded epoll reactor: the aggregator server's engine room.
+// One loop thread owns every registered fd; other threads reach in only
+// through Post() (run a closure on the loop thread) and Stop(), both of
+// which wake the loop through an eventfd. This keeps all connection state
+// single-threaded — no per-connection locks, no torn reads — while the
+// AggregatorEngine itself stays free to serve queries from any thread.
+//
+// Level-triggered epoll, deliberately: with bounded per-connection reads
+// (ServerOptions::read_chunk_bytes per wakeup) level-triggering re-arms
+// for free and cannot lose a partially-drained socket, which is the
+// classic edge-trigger bug class. Backpressure is then one switch: stop
+// subscribing EPOLLIN and the kernel's socket buffer pushes back to the
+// sender.
+
+#ifndef QLOVE_NET_EVENT_LOOP_H_
+#define QLOVE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace net {
+
+/// \brief Minimal single-threaded epoll loop.
+///
+/// Thread model: Run() is called from exactly one thread (the loop
+/// thread); Add/Modify/Remove are loop-thread-only; Post() and Stop() are
+/// safe from any thread.
+class EventLoop {
+ public:
+  /// Callback invoked on the loop thread with the epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP bits).
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd. Call once before
+  /// Run(); Internal on kernel refusal (fd exhaustion).
+  Status Init();
+
+  /// Registers \p fd for \p events. The callback may Remove any fd,
+  /// including \p fd itself, from inside a dispatch.
+  Status Add(int fd, uint32_t events, FdCallback callback);
+
+  /// Changes the event subscription of a registered fd (the backpressure
+  /// switch: drop EPOLLIN to pause a sender, restore it to resume).
+  Status Modify(int fd, uint32_t events);
+
+  /// Unregisters \p fd. The caller still owns (and closes) the fd.
+  Status Remove(int fd);
+
+  /// Dispatches events until Stop(). Runs posted closures after each
+  /// epoll batch, so a Post from any thread executes within one wakeup.
+  void Run();
+
+  /// Signals Run() to return after the current batch. Safe from any
+  /// thread, idempotent.
+  void Stop();
+
+  /// Queues \p fn to run on the loop thread and wakes the loop. Safe from
+  /// any thread. Closures queued after Stop() still run before Run()
+  /// returns (shutdown uses this to close connections on-thread).
+  void Post(std::function<void()> fn);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Wakeup();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Loop-thread-only: registered callbacks. Looked up per event so a
+  /// callback that Removes a later-dispatched fd makes that event a no-op
+  /// instead of a use-after-free.
+  std::map<int, FdCallback> callbacks_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace net
+}  // namespace qlove
+
+#endif  // QLOVE_NET_EVENT_LOOP_H_

@@ -1,0 +1,181 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "engine/wire.h"
+
+namespace qlove {
+namespace net {
+
+namespace {
+
+// Control frames use the same fixed-width little-endian scalars as wire
+// format v1: they are tiny and rare (one hello + one ack per data frame),
+// so varint packing would buy nothing and cost a second codebook.
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  // u16 length: tokens and source names are operator-chosen short strings;
+  // a 64 KB cap keeps a hostile hello from asking for a giant buffer.
+  const uint16_t n = static_cast<uint16_t>(s.size());
+  out->push_back(n & 0xff);
+  out->push_back((n >> 8) & 0xff);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status U8(uint8_t* v) {
+    if (pos_ + 1 > size_) return Truncated();
+    *v = data_[pos_++];
+    return Status::OK();
+  }
+
+  Status U64(uint64_t* v) {
+    if (pos_ + 8 > size_) return Truncated();
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status I64(int64_t* v) {
+    uint64_t raw = 0;
+    QLOVE_RETURN_NOT_OK(U64(&raw));
+    *v = static_cast<int64_t>(raw);
+    return Status::OK();
+  }
+
+  Status String(std::string* s) {
+    if (pos_ + 2 > size_) return Truncated();
+    const size_t n = static_cast<size_t>(data_[pos_]) |
+                     (static_cast<size_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    if (pos_ + n > size_) return Truncated();
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("control frame: truncated");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+constexpr uint8_t kAckApplied = 1u << 0;
+constexpr uint8_t kAckResync = 1u << 1;
+constexpr uint8_t kAckError = 1u << 2;
+
+}  // namespace
+
+FrameClass ClassifyFrame(const uint8_t* data, size_t size) {
+  if (size < 4) return FrameClass::kUnknown;
+  if (std::memcmp(data, engine::kWireMagic, 4) == 0) return FrameClass::kData;
+  if (std::memcmp(data, kControlMagic, 4) == 0) return FrameClass::kControl;
+  return FrameClass::kUnknown;
+}
+
+FrameClass ClassifyFrame(const std::vector<uint8_t>& frame) {
+  return ClassifyFrame(frame.data(), frame.size());
+}
+
+void EncodeControlFrame(const ControlFrame& frame, std::vector<uint8_t>* out) {
+  out->clear();
+  for (uint8_t byte : kControlMagic) PutU8(out, byte);
+  PutU8(out, static_cast<uint8_t>(frame.type));
+  switch (frame.type) {
+    case ControlType::kHello:
+      PutU8(out, frame.version);
+      PutString(out, frame.token);
+      PutString(out, frame.source);
+      break;
+    case ControlType::kHelloOk:
+      break;
+    case ControlType::kHelloReject:
+      PutString(out, frame.reason);
+      break;
+    case ControlType::kAck: {
+      PutU64(out, frame.seq);
+      uint8_t flags = 0;
+      if (frame.applied) flags |= kAckApplied;
+      if (frame.resync_required) flags |= kAckResync;
+      if (frame.error) flags |= kAckError;
+      PutU8(out, flags);
+      PutI64(out, frame.acked_epoch);
+      break;
+    }
+  }
+}
+
+Result<ControlFrame> DecodeControlFrame(const uint8_t* data, size_t size) {
+  if (ClassifyFrame(data, size) != FrameClass::kControl) {
+    return Status::InvalidArgument("control frame: bad magic (not QLNC)");
+  }
+  Reader r(data + 4, size - 4);
+  uint8_t type = 0;
+  QLOVE_RETURN_NOT_OK(r.U8(&type));
+  ControlFrame frame;
+  switch (static_cast<ControlType>(type)) {
+    case ControlType::kHello:
+      frame.type = ControlType::kHello;
+      QLOVE_RETURN_NOT_OK(r.U8(&frame.version));
+      QLOVE_RETURN_NOT_OK(r.String(&frame.token));
+      QLOVE_RETURN_NOT_OK(r.String(&frame.source));
+      break;
+    case ControlType::kHelloOk:
+      frame.type = ControlType::kHelloOk;
+      break;
+    case ControlType::kHelloReject:
+      frame.type = ControlType::kHelloReject;
+      QLOVE_RETURN_NOT_OK(r.String(&frame.reason));
+      break;
+    case ControlType::kAck: {
+      frame.type = ControlType::kAck;
+      QLOVE_RETURN_NOT_OK(r.U64(&frame.seq));
+      uint8_t flags = 0;
+      QLOVE_RETURN_NOT_OK(r.U8(&flags));
+      frame.applied = (flags & kAckApplied) != 0;
+      frame.resync_required = (flags & kAckResync) != 0;
+      frame.error = (flags & kAckError) != 0;
+      QLOVE_RETURN_NOT_OK(r.I64(&frame.acked_epoch));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("control frame: unknown type " +
+                                     std::to_string(type));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("control frame: trailing bytes");
+  }
+  return frame;
+}
+
+Result<ControlFrame> DecodeControlFrame(const std::vector<uint8_t>& frame) {
+  return DecodeControlFrame(frame.data(), frame.size());
+}
+
+}  // namespace net
+}  // namespace qlove

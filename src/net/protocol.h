@@ -1,0 +1,94 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The control half of the fleet transport. Two frame families share one
+// length-prefixed stream (engine/wire.h framing): DATA frames are encoded
+// wire snapshots/deltas and start with the "QLWF" magic; CONTROL frames
+// start with "QLNC" and carry the session protocol — the authentication
+// hello and its verdict, then one ack per data frame. The first four
+// payload bytes classify a frame, so the receive loop never guesses.
+//
+// Session flow (client side):
+//   connect -> HELLO{version, token, source} -> expect HELLO_OK
+//     (HELLO_REJECT or close: authentication failed, do not retry the
+//      same token harder than the reconnect backoff)
+//   then per tick: DATA frame -> expect ACK{seq, applied, resync, epoch}
+//     seq is the 1-based count of data frames on this connection, counted
+//     independently by both ends; a mismatch means the stream lost sync
+//     and the only safe move is reconnect + full resync.
+//
+// Versioning: like the wire format, agents and aggregators deploy in
+// lockstep; HELLO carries a version byte so a future incompatible bump
+// rejects cleanly at the hello instead of misparsing mid-stream.
+
+#ifndef QLOVE_NET_PROTOCOL_H_
+#define QLOVE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qlove {
+namespace net {
+
+/// First 4 bytes of every control-frame payload: "QLNC".
+inline constexpr uint8_t kControlMagic[4] = {'Q', 'L', 'N', 'C'};
+
+/// The one control-protocol version this build speaks.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frame classification by leading magic.
+enum class FrameClass {
+  kData,     ///< "QLWF": an encoded snapshot/delta for IngestFrame.
+  kControl,  ///< "QLNC": one of the ControlFrame types below.
+  kUnknown,  ///< Neither — a framing bug or a foreign client.
+};
+
+/// Classifies a framed payload by its first bytes.
+FrameClass ClassifyFrame(const uint8_t* data, size_t size);
+FrameClass ClassifyFrame(const std::vector<uint8_t>& frame);
+
+/// Control frame types (payload byte 5).
+enum class ControlType : uint8_t {
+  kHello = 1,        ///< Client -> server: authenticate + name the source.
+  kHelloOk = 2,      ///< Server -> client: session established.
+  kHelloReject = 3,  ///< Server -> client: refused (then the server closes).
+  kAck = 4,          ///< Server -> client: verdict on one data frame.
+};
+
+/// \brief One decoded control frame (fields valid per `type`).
+struct ControlFrame {
+  ControlType type = ControlType::kHello;
+
+  /// kHello: protocol version, shared secret, and the source name the
+  /// connection will ingest as (also the name FleetHealth reports).
+  uint8_t version = kProtocolVersion;
+  std::string token;
+  std::string source;
+
+  /// kHelloReject: human-readable refusal (never echoes the bad token).
+  std::string reason;
+
+  /// kAck: 1-based data-frame sequence number this ack answers, plus the
+  /// IngestFrame verdict it carries (engine/aggregator.h IngestAck).
+  uint64_t seq = 0;
+  bool applied = false;
+  bool resync_required = false;
+  /// The frame was rejected with an error Status (malformed content, not
+  /// a sync miss): nothing applied, resync will not help the same bytes.
+  bool error = false;
+  int64_t acked_epoch = -1;
+};
+
+/// Encodes \p frame into \p out (replacing contents, capacity reused).
+void EncodeControlFrame(const ControlFrame& frame, std::vector<uint8_t>* out);
+
+/// Decodes a control frame. InvalidArgument on bad magic, unknown type,
+/// or truncated/trailing bytes.
+Result<ControlFrame> DecodeControlFrame(const uint8_t* data, size_t size);
+Result<ControlFrame> DecodeControlFrame(const std::vector<uint8_t>& frame);
+
+}  // namespace net
+}  // namespace qlove
+
+#endif  // QLOVE_NET_PROTOCOL_H_

@@ -1,0 +1,396 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qlove {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+void AppendFramed(const std::vector<uint8_t>& payload,
+                  std::vector<uint8_t>* out) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  out->push_back(n & 0xff);
+  out->push_back((n >> 8) & 0xff);
+  out->push_back((n >> 16) & 0xff);
+  out->push_back((n >> 24) & 0xff);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+AggregatorServer::AggregatorServer(engine::AggregatorEngine* engine,
+                                   ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+AggregatorServer::~AggregatorServer() { Stop(); }
+
+Status AggregatorServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.auth_token.empty()) {
+    return Status::InvalidArgument(
+        "ServerOptions::auth_token is empty: there is no unauthenticated "
+        "mode, configure the fleet's shared token");
+  }
+  QLOVE_RETURN_NOT_OK(loop_.Init());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    const Status status = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  QLOVE_RETURN_NOT_OK(
+      loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t ev) { OnAccept(ev); }));
+  loop_thread_ = std::thread([this] { RunLoop(); });
+  engine_->SetTransportStatsProvider([this] { return Counters(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void AggregatorServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  // FleetHealth must stop polling us before the loop dies.
+  engine_->SetTransportStatsProvider(nullptr);
+  loop_.Post([this] {
+    // Teardown runs on the loop thread so it cannot race a dispatch.
+    while (!connections_.empty()) {
+      CloseConnection(connections_.begin()->first);
+    }
+    if (listen_fd_ >= 0) {
+      (void)loop_.Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+engine::AggregatorEngine::TransportCounters AggregatorServer::Counters()
+    const {
+  engine::AggregatorEngine::TransportCounters counters;
+  counters.accepts = accepts_.load(std::memory_order_relaxed);
+  counters.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  counters.disconnects = disconnects_.load(std::memory_order_relaxed);
+  counters.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  counters.frames_in = frames_in_.load(std::memory_order_relaxed);
+  counters.frames_out = frames_out_.load(std::memory_order_relaxed);
+  counters.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  counters.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  counters.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void AggregatorServer::RunLoop() { loop_.Run(); }
+
+void AggregatorServer::OnAccept(uint32_t events) {
+  if ((events & EPOLLIN) == 0) return;
+  // Drain the accept queue: level-triggered epoll would re-wake us, but
+  // accepting everything available amortizes the wakeup.
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // EAGAIN: queue drained. Anything else (EMFILE, aborted handshake):
+      // drop this round; the listener stays armed.
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->reader = engine::FrameReader(options_.max_frame_bytes);
+    if (!loop_.Add(fd, EPOLLIN, [this, fd](uint32_t ev) {
+          OnConnection(fd, ev);
+        }).ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    accepts_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AggregatorServer::OnConnection(int fd, uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseConnection(fd);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!FlushOutbound(conn)) return;
+    // Backpressure disengages here, in the drain path: the peer finally
+    // read its acks. Frames that were already buffered in the reader when
+    // reads paused must be processed NOW — the peer may have nothing more
+    // to send, so no EPOLLIN will ever deliver them.
+    if (conn->read_paused && conn->outbound_head == conn->outbound.size()) {
+      conn->read_paused = false;
+      UpdateInterest(conn);
+      if (!ProcessBufferedFrames(conn)) return;
+    }
+  }
+  if ((events & EPOLLIN) == 0) return;
+  if (conn->closing_after_flush || conn->read_paused) return;
+
+  if (frame_scratch_.size() < options_.read_chunk_bytes) {
+    frame_scratch_.resize(options_.read_chunk_bytes);
+  }
+  const ssize_t n =
+      ::read(fd, frame_scratch_.data(), options_.read_chunk_bytes);
+  if (n == 0) {
+    CloseConnection(fd);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    CloseConnection(fd);
+    return;
+  }
+  bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  if (!conn->reader.Append(frame_scratch_.data(), static_cast<size_t>(n))
+           .ok()) {
+    // Hostile length prefix (or a poisoned stream): the connection cannot
+    // resynchronize, so it ends here.
+    CloseConnection(fd);
+    return;
+  }
+  if (!ProcessBufferedFrames(conn)) return;
+}
+
+bool AggregatorServer::ProcessBufferedFrames(Connection* conn) {
+  std::vector<uint8_t> frame;
+  while (conn->reader.PopFrame(&frame)) {
+    if (!HandleFrame(conn, frame)) return false;  // connection closed
+    if (conn->closing_after_flush) return true;   // reject queued; stop
+    // Backpressure: a peer that sends but does not drain its acks fills
+    // the outbound queue; stop consuming its frames until it drains.
+    if (conn->outbound.size() - conn->outbound_head >
+        options_.max_outbound_bytes) {
+      if (!conn->read_paused) {
+        conn->read_paused = true;
+        backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+        UpdateInterest(conn);
+      }
+      break;  // frames already buffered in the reader wait their turn
+    }
+  }
+  return true;
+}
+
+bool AggregatorServer::HandleFrame(Connection* conn,
+                                   const std::vector<uint8_t>& frame) {
+  if (!conn->authenticated) return HandleHello(conn, frame);
+
+  switch (ClassifyFrame(frame)) {
+    case FrameClass::kData: {
+      frames_in_.fetch_add(1, std::memory_order_relaxed);
+      conn->frames_received += 1;
+      ControlFrame ack;
+      ack.type = ControlType::kAck;
+      ack.seq = conn->frames_received;
+      auto verdict = engine_->IngestFrame(frame);
+      if (verdict.ok()) {
+        ack.applied = verdict.ValueOrDie().applied;
+        ack.resync_required = verdict.ValueOrDie().resync_required;
+        ack.acked_epoch = verdict.ValueOrDie().acked_epoch;
+      } else {
+        // Malformed content is not a sync miss: tell the sender nothing
+        // was applied and let its next delta NAK naturally if state
+        // actually diverged. The engine already counted the rejection.
+        ack.error = true;
+        ack.acked_epoch = -1;
+      }
+      QueueControl(conn, ack);
+      return FlushOutbound(conn);
+    }
+    case FrameClass::kControl:
+      // No post-hello control frames exist in v1 of the protocol.
+      CloseConnection(conn->fd);
+      return false;
+    case FrameClass::kUnknown:
+      CloseConnection(conn->fd);
+      return false;
+  }
+  return true;
+}
+
+bool AggregatorServer::HandleHello(Connection* conn,
+                                   const std::vector<uint8_t>& frame) {
+  auto reject = [&](const std::string& reason) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    ControlFrame out;
+    out.type = ControlType::kHelloReject;
+    out.reason = reason;
+    QueueControl(conn, out);
+    conn->closing_after_flush = true;
+    if (!FlushOutbound(conn)) return false;
+    UpdateInterest(conn);
+    return true;
+  };
+
+  if (ClassifyFrame(frame) != FrameClass::kControl) {
+    // Data before (or instead of) a hello is a missing-auth attempt.
+    return reject("expected HELLO before any data frame");
+  }
+  auto decoded = DecodeControlFrame(frame);
+  if (!decoded.ok() || decoded.ValueOrDie().type != ControlType::kHello) {
+    return reject("malformed hello");
+  }
+  const ControlFrame& hello = decoded.ValueOrDie();
+  if (hello.version != kProtocolVersion) {
+    return reject("unsupported protocol version " +
+                  std::to_string(hello.version));
+  }
+  if (hello.token != options_.auth_token) {
+    return reject("bad auth token");
+  }
+  if (hello.source.empty()) {
+    return reject("empty source name");
+  }
+
+  conn->authenticated = true;
+  conn->source = hello.source;
+  // A reconnecting agent replaces its dead session: the new connection
+  // takes the source name first, so closing the old one does not mark
+  // the source disconnected underneath us.
+  auto prev = source_to_fd_.find(hello.source);
+  const int prev_fd = prev == source_to_fd_.end() ? -1 : prev->second;
+  source_to_fd_[hello.source] = conn->fd;
+  if (prev_fd >= 0 && prev_fd != conn->fd) CloseConnection(prev_fd);
+  engine_->NoteSourceConnected(hello.source);
+
+  ControlFrame ok;
+  ok.type = ControlType::kHelloOk;
+  QueueControl(conn, ok);
+  return FlushOutbound(conn);
+}
+
+void AggregatorServer::QueueControl(Connection* conn,
+                                    const ControlFrame& frame) {
+  EncodeControlFrame(frame, &control_scratch_);
+  AppendFramed(control_scratch_, &conn->outbound);
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool AggregatorServer::FlushOutbound(Connection* conn) {
+  while (conn->outbound_head < conn->outbound.size()) {
+    const ssize_t n = ::write(conn->fd, conn->outbound.data() +
+                                            conn->outbound_head,
+                              conn->outbound.size() - conn->outbound_head);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn->fd);
+      return false;
+    }
+    conn->outbound_head += static_cast<size_t>(n);
+    bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+  if (conn->outbound_head == conn->outbound.size()) {
+    conn->outbound.clear();
+    conn->outbound_head = 0;
+    if (conn->closing_after_flush) {
+      CloseConnection(conn->fd);
+      return false;
+    }
+    if (conn->want_write) {
+      conn->want_write = false;
+      UpdateInterest(conn);
+    }
+  } else if (!conn->want_write) {
+    conn->want_write = true;
+    UpdateInterest(conn);
+  }
+  return true;
+}
+
+void AggregatorServer::UpdateInterest(Connection* conn) {
+  uint32_t events = 0;
+  if (!conn->closing_after_flush && !conn->read_paused) events |= EPOLLIN;
+  if (conn->want_write || conn->closing_after_flush) events |= EPOLLOUT;
+  (void)loop_.Modify(conn->fd, events);
+}
+
+void AggregatorServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->authenticated) {
+    // Only the connection currently owning the source reports liveness: a
+    // replaced session closing must not mask its successor.
+    auto owner = source_to_fd_.find(conn->source);
+    if (owner != source_to_fd_.end() && owner->second == fd) {
+      source_to_fd_.erase(owner);
+      engine_->NoteSourceDisconnected(conn->source);
+    }
+  }
+  (void)loop_.Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+  disconnects_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace net
+}  // namespace qlove

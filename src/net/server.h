@@ -1,0 +1,186 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The aggregator's network face: accepts agent connections over TCP,
+// authenticates each with the fleet's shared token (net/protocol.h
+// HELLO), feeds authenticated data frames into AggregatorEngine::
+// IngestFrame, and answers every data frame with an ACK carrying the
+// ingest verdict — the aggregator half of the delta-sync protocol that
+// examples/fleet_agent_aggregator.cc ran over a socketpair, now over a
+// real listening socket with many concurrent agents.
+//
+// All socket work happens on one EventLoop thread (net/event_loop.h);
+// the engine's own locking makes IngestFrame safe from there while
+// queries run elsewhere. Flow control is per connection and explicit:
+// when a peer stops draining its ACKs the connection's outbound queue
+// fills to ServerOptions::max_outbound_bytes, the server stops READING
+// that connection (counted as a backpressure stall), and TCP pushes back
+// to the sender; reading resumes when the queue drains. One slow or
+// stalled agent therefore cannot grow server memory unboundedly or starve
+// its siblings.
+//
+// Liveness and introspection: connection lifecycle is reported into the
+// engine (NoteSourceConnected/Disconnected) so FleetHealth() tells a DEAD
+// agent from a QUIET one, and Start() installs the server as the engine's
+// transport-stats provider so accept/auth/frame/stall counters ride the
+// same FleetHealth surface.
+
+#ifndef QLOVE_NET_SERVER_H_
+#define QLOVE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/aggregator.h"
+#include "engine/wire.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+
+namespace qlove {
+namespace net {
+
+/// \brief AggregatorServer configuration.
+struct ServerOptions {
+  /// Address to bind. Loopback by default: exposing an aggregator beyond
+  /// the host is a deployment decision, not a default.
+  std::string bind_address = "127.0.0.1";
+
+  /// Port to bind; 0 asks the kernel for an ephemeral port (read it back
+  /// from port() after Start() — tests and same-host tiers use this).
+  uint16_t port = 0;
+
+  /// Shared secret every agent must present in its HELLO. Empty means the
+  /// server refuses every connection — there is no unauthenticated mode;
+  /// a fleet without a token configured should fail loudly, not open.
+  std::string auth_token;
+
+  /// Accepted-frame length cap, enforced by the incremental FrameReader
+  /// BEFORE any payload allocation (engine/wire.h). A hostile 4 GB length
+  /// prefix costs the peer its connection, not the server its memory.
+  size_t max_frame_bytes = engine::kMaxWireBytes;
+
+  /// Outbound-queue bound per connection; reaching it pauses reads from
+  /// that connection until the queue drains (a backpressure stall).
+  size_t max_outbound_bytes = 1 << 20;
+
+  /// Bytes read per connection per loop wakeup (level-triggered epoll
+  /// re-arms, so bounding the chunk bounds per-connection latency cost
+  /// without risking lost data).
+  size_t read_chunk_bytes = 64 * 1024;
+
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  /// shrink it so a peer that stops draining its ACKs hits the outbound
+  /// bound (and the backpressure pause) without megabytes of traffic.
+  int send_buffer_bytes = 0;
+
+  /// Listen backlog.
+  int listen_backlog = 64;
+};
+
+/// \brief TCP ingest front-end for an AggregatorEngine.
+///
+/// Start() binds, spawns the loop thread, and installs the transport
+/// stats provider; Stop() (also run by the destructor) tears everything
+/// down and clears the provider. The engine must outlive the server.
+class AggregatorServer {
+ public:
+  AggregatorServer(engine::AggregatorEngine* engine, ServerOptions options);
+  ~AggregatorServer();
+
+  AggregatorServer(const AggregatorServer&) = delete;
+  AggregatorServer& operator=(const AggregatorServer&) = delete;
+
+  /// Binds and starts serving. InvalidArgument on an empty auth token,
+  /// Internal on socket/bind/listen failure.
+  Status Start();
+
+  /// Stops accepting, closes every connection (counted as disconnects,
+  /// sources noted disconnected), joins the loop thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Transport counters so far (also polled by the engine's FleetHealth
+  /// through the installed provider). Safe from any thread.
+  engine::AggregatorEngine::TransportCounters Counters() const;
+
+ private:
+  /// Per-connection state; loop-thread-only.
+  struct Connection {
+    int fd = -1;
+    bool authenticated = false;
+    std::string source;
+    engine::FrameReader reader;
+    uint64_t frames_received = 0;  ///< Data frames; doubles as the ack seq.
+    /// Framed bytes not yet accepted by the kernel. Consumed from
+    /// outbound_head; compacted when fully drained.
+    std::vector<uint8_t> outbound;
+    size_t outbound_head = 0;
+    bool want_write = false;   ///< EPOLLOUT currently subscribed.
+    bool read_paused = false;  ///< EPOLLIN dropped (backpressure engaged).
+    /// Terminal frame (HELLO_REJECT) queued: flush, then close. Reads are
+    /// ignored meanwhile.
+    bool closing_after_flush = false;
+  };
+
+  void RunLoop();
+  void OnAccept(uint32_t events);
+  void OnConnection(int fd, uint32_t events);
+  /// Pops and dispatches every complete frame buffered in the reader,
+  /// engaging backpressure when the outbound queue fills. Called from the
+  /// read path and again on backpressure release: by then the peer may
+  /// have nothing more to send, so frames parked in the reader must be
+  /// drained without waiting for another EPOLLIN. False when the
+  /// connection died.
+  bool ProcessBufferedFrames(Connection* conn);
+  /// Dispatches one complete frame; false means the connection died.
+  bool HandleFrame(Connection* conn, const std::vector<uint8_t>& frame);
+  bool HandleHello(Connection* conn, const std::vector<uint8_t>& frame);
+  void QueueControl(Connection* conn, const ControlFrame& frame);
+  /// Writes what the kernel will take; manages EPOLLOUT subscription.
+  /// Backpressure release lives in OnConnection's write-ready branch, not
+  /// here: resuming must re-drain the reader, and only the event path has
+  /// the context to do that safely. False when the connection died.
+  bool FlushOutbound(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(int fd);
+
+  engine::AggregatorEngine* engine_;
+  ServerOptions options_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  /// Loop-thread-only connection table, plus the source -> fd index used
+  /// to replace a source's dead session when it reconnects.
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<std::string, int> source_to_fd_;
+
+  /// Counters: relaxed atomics, readable from any thread.
+  std::atomic<int64_t> accepts_{0};
+  std::atomic<int64_t> auth_failures_{0};
+  std::atomic<int64_t> disconnects_{0};
+  std::atomic<int64_t> active_connections_{0};
+  std::atomic<int64_t> frames_in_{0};
+  std::atomic<int64_t> frames_out_{0};
+  std::atomic<int64_t> bytes_in_{0};
+  std::atomic<int64_t> bytes_out_{0};
+  std::atomic<int64_t> backpressure_stalls_{0};
+
+  /// Scratch buffers reused across frames (loop-thread-only).
+  std::vector<uint8_t> frame_scratch_;
+  std::vector<uint8_t> control_scratch_;
+};
+
+}  // namespace net
+}  // namespace qlove
+
+#endif  // QLOVE_NET_SERVER_H_

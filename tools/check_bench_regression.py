@@ -49,7 +49,7 @@ def main() -> int:
             continue
 
         # Throughput floors get the tolerance haircut: runner speed varies.
-        for metric in ("record_mops", "merge_kqps"):
+        for metric in ("record_mops", "merge_kqps", "net_frames_kqps"):
             raw_floor = gate.get(f"{metric}_floor")
             if raw_floor is None:
                 continue

@@ -1,0 +1,194 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The per-host agent daemon: one TelemetryEngine fed by a synthetic
+// workload (stand-in for the host's real instrumentation points), ticked
+// on a fixed cadence, each tick shipped to an aggregator over TCP through
+// the delta-sync client (net/client.h) — reconnect with backoff, full
+// resync after NAK or reconnect, the whole protocol.
+//
+//   $ qlove_agentd --connect=127.0.0.1:7401 --token=SECRET \
+//                  --source=host-0 [--seconds=0] [--tick-ms=1000] \
+//                  [--samples-per-tick=512] [--seed=1]
+//
+// --seconds=0 runs until SIGINT/SIGTERM. The daemon exits nonzero when
+// authentication is rejected (fix the token, do not retry forever) but
+// keeps retrying through aggregator restarts and partitions: telemetry
+// agents outlive their collectors.
+//
+// Metrics shipped (mirroring examples/fleet_agent_aggregator.cc so a demo
+// fleet of agentds answers the same queries):
+//   rtt_us{service=netmon,host=<source>}  qlove backend, per-host key
+//   rpc_us{service=checkout}              GK backend, same key fleet-wide
+// plus the engine's `__qlove/` self-metrics, so fleet health rolls up
+// through the same pipeline as the telemetry.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/client.h"
+#include "workload/generators.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseHostPort(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  const long p = std::strtol(arg.c_str() + colon + 1, nullptr, 10);
+  if (p < 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect = "127.0.0.1:7401";
+  std::string token;
+  std::string source;
+  int seconds = 0;
+  int tick_ms = 1000;
+  int samples_per_tick = 512;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--connect=")) {
+      connect = v;
+    } else if (const char* v = value("--token=")) {
+      token = v;
+    } else if (const char* v = value("--source=")) {
+      source = v;
+    } else if (const char* v = value("--seconds=")) {
+      seconds = std::atoi(v);
+    } else if (const char* v = value("--tick-ms=")) {
+      tick_ms = std::atoi(v);
+    } else if (const char* v = value("--samples-per-tick=")) {
+      samples_per_tick = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (token.empty()) {
+    if (const char* env = std::getenv("QLOVE_FLEET_TOKEN")) token = env;
+  }
+  if (token.empty()) {
+    std::fprintf(stderr,
+                 "no auth token: pass --token=... or set QLOVE_FLEET_TOKEN\n");
+    return 2;
+  }
+  if (source.empty()) {
+    source = "host-" + std::to_string(static_cast<long>(::getpid()));
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(connect, &host, &port)) {
+    std::fprintf(stderr, "unparseable --connect=%s (want HOST:PORT)\n",
+                 connect.c_str());
+    return 2;
+  }
+  if (tick_ms < 1 || samples_per_tick < 1) {
+    std::fprintf(stderr, "--tick-ms and --samples-per-tick must be >= 1\n");
+    return 2;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  using qlove::engine::BackendKind;
+  using qlove::engine::BackendOptions;
+  using qlove::engine::MetricKey;
+  using qlove::engine::TelemetryEngine;
+
+  TelemetryEngine engine;
+  const MetricKey rtt_key =
+      MetricKey("rtt_us", {{"service", "netmon"}}).WithTag("host", source);
+  const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
+  BackendOptions gk;
+  gk.kind = BackendKind::kGk;
+  gk.epsilon = 0.001;
+  if (!engine.RegisterMetric(rtt_key).ok() ||
+      !engine.RegisterMetric(rpc_key, gk).ok()) {
+    std::fprintf(stderr, "metric registration failed\n");
+    return 1;
+  }
+
+  qlove::net::ClientOptions client_options;
+  client_options.host = host;
+  client_options.port = port;
+  client_options.auth_token = token;
+  client_options.source = source;
+  qlove::engine::ExportOptions with_self;
+  with_self.include_self_metrics = true;
+  qlove::net::AgentClient client(
+      client_options,
+      qlove::net::AgentClient::ForEngine(&engine, with_self));
+
+  qlove::workload::NetMonGenerator rtt_gen(seed);
+  qlove::workload::SearchGenerator rpc_gen(seed + 1000);
+
+  std::printf("qlove_agentd: source=%s -> %s:%u, tick every %d ms%s\n",
+              source.c_str(), host.c_str(), port, tick_ms,
+              seconds > 0 ? "" : " (until signal)");
+  long long ticks = 0;
+  long long delivery_failures = 0;
+  while (!g_stop && (seconds == 0 || ticks < seconds)) {
+    const std::vector<double> rtt =
+        qlove::workload::Materialize(&rtt_gen, samples_per_tick);
+    const std::vector<double> rpc =
+        qlove::workload::Materialize(&rpc_gen, samples_per_tick);
+    if (!engine.RecordBatch(rtt_key, rtt).ok() ||
+        !engine.RecordBatch(rpc_key, rpc).ok()) {
+      std::fprintf(stderr, "record failed\n");
+      return 1;
+    }
+    engine.Tick();
+    const qlove::Status delivered = client.DeliverOnce();
+    if (!delivered.ok()) {
+      if (delivered.code() == qlove::Status::Code::kFailedPrecondition) {
+        // Authentication rejection: no amount of retrying fixes a wrong
+        // token, and hammering the server only pollutes its counters.
+        std::fprintf(stderr, "fatal: %s\n", delivered.ToString().c_str());
+        return 1;
+      }
+      ++delivery_failures;
+      std::fprintf(stderr, "delivery failed (will retry next tick): %s\n",
+                   delivered.ToString().c_str());
+    }
+    ++ticks;
+    if (g_stop || (seconds > 0 && ticks >= seconds)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+  }
+
+  const auto counters = client.counters();
+  std::printf(
+      "qlove_agentd: exiting after %lld ticks — connects=%lld "
+      "(reconnects=%lld) frames=%lld acks=%lld naks=%lld resyncs=%lld "
+      "failures=%lld\n",
+      ticks, static_cast<long long>(counters.connects),
+      static_cast<long long>(counters.reconnects),
+      static_cast<long long>(counters.frames_sent),
+      static_cast<long long>(counters.acks),
+      static_cast<long long>(counters.naks),
+      static_cast<long long>(counters.resyncs), delivery_failures);
+  return 0;
+}

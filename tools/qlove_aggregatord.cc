@@ -1,0 +1,196 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The aggregator daemon: an AggregatorEngine behind the TCP ingest server
+// (net/server.h), serving a tier of the fleet's aggregation tree. Run one
+// per host-tier, point agents (qlove_agentd, or any AgentClient embedder)
+// at it, and optionally point IT at a parent aggregator to build the
+// tree: with --parent set, the daemon re-exports its pooled fleet state
+// up the chain through the same AgentClient protocol its own agents use —
+// an aggregator is just an agent to its parent.
+//
+//   # leaf tier
+//   $ qlove_aggregatord --listen=127.0.0.1:7401 --token=SECRET
+//   # cluster tier fed by two host tiers
+//   $ qlove_aggregatord --listen=127.0.0.1:7500 --token=SECRET2
+//   $ qlove_aggregatord --listen=127.0.0.1:7401 --token=SECRET \
+//       --parent=127.0.0.1:7500 --parent-token=SECRET2 --source=rack-a \
+//       [--export-every=1] [--forward-self-metrics]
+//
+// --seconds=0 serves until SIGINT/SIGTERM; --health-every=N prints
+// FleetHealth (per-source liveness, transport counters, decode/ingest
+// latency sketches) every N seconds, and a final `--json-health` dump
+// emits the same snapshot as JSON for scripts.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "engine/aggregator.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseHostPort(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  const long p = std::strtol(arg.c_str() + colon + 1, nullptr, 10);
+  if (p < 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen = "127.0.0.1:7401";
+  std::string token;
+  std::string parent;
+  std::string parent_token;
+  std::string source = "aggregator";
+  int seconds = 0;
+  int health_every = 0;
+  int export_every = 1;
+  int staleness_epochs = 2;
+  bool forward_self_metrics = false;
+  bool json_health = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--listen=")) {
+      listen = v;
+    } else if (const char* v = value("--token=")) {
+      token = v;
+    } else if (const char* v = value("--parent=")) {
+      parent = v;
+    } else if (const char* v = value("--parent-token=")) {
+      parent_token = v;
+    } else if (const char* v = value("--source=")) {
+      source = v;
+    } else if (const char* v = value("--seconds=")) {
+      seconds = std::atoi(v);
+    } else if (const char* v = value("--health-every=")) {
+      health_every = std::atoi(v);
+    } else if (const char* v = value("--export-every=")) {
+      export_every = std::atoi(v);
+    } else if (const char* v = value("--staleness-epochs=")) {
+      staleness_epochs = std::atoi(v);
+    } else if (arg == "--forward-self-metrics") {
+      forward_self_metrics = true;
+    } else if (arg == "--json-health") {
+      json_health = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (token.empty()) {
+    if (const char* env = std::getenv("QLOVE_FLEET_TOKEN")) token = env;
+  }
+  if (token.empty()) {
+    std::fprintf(stderr,
+                 "no auth token: pass --token=... or set QLOVE_FLEET_TOKEN\n");
+    return 2;
+  }
+  std::string bind_host;
+  uint16_t bind_port = 0;
+  if (!ParseHostPort(listen, &bind_host, &bind_port)) {
+    std::fprintf(stderr, "unparseable --listen=%s (want ADDR:PORT)\n",
+                 listen.c_str());
+    return 2;
+  }
+  if (export_every < 1) export_every = 1;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  qlove::engine::AggregatorOptions aggregator_options;
+  aggregator_options.staleness_epochs = staleness_epochs;
+  qlove::engine::AggregatorEngine aggregator(aggregator_options);
+
+  qlove::net::ServerOptions server_options;
+  server_options.bind_address = bind_host;
+  server_options.port = bind_port;
+  server_options.auth_token = token;
+  qlove::net::AggregatorServer server(&aggregator, server_options);
+  const qlove::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("qlove_aggregatord: serving on %s:%u%s\n", bind_host.c_str(),
+              server.port(), seconds > 0 ? "" : " (until signal)");
+
+  // The tree tier: re-export the pooled state to a parent aggregator on
+  // the export cadence, through the very client protocol our agents use.
+  std::unique_ptr<qlove::net::AgentClient> uplink;
+  if (!parent.empty()) {
+    std::string parent_host;
+    uint16_t parent_port = 0;
+    if (!ParseHostPort(parent, &parent_host, &parent_port)) {
+      std::fprintf(stderr, "unparseable --parent=%s (want HOST:PORT)\n",
+                   parent.c_str());
+      return 2;
+    }
+    if (parent_token.empty()) parent_token = token;
+    qlove::net::ClientOptions client_options;
+    client_options.host = parent_host;
+    client_options.port = parent_port;
+    client_options.auth_token = parent_token;
+    client_options.source = source;
+    qlove::engine::ExportOptions reexport_options;
+    reexport_options.include_self_metrics = forward_self_metrics;
+    uplink = std::make_unique<qlove::net::AgentClient>(
+        client_options, qlove::net::AgentClient::ForAggregator(
+                            &aggregator, reexport_options));
+    std::printf("qlove_aggregatord: re-exporting as '%s' to %s every %d s\n",
+                source.c_str(), parent.c_str(), export_every);
+  }
+
+  long long elapsed = 0;
+  while (!g_stop && (seconds == 0 || elapsed < seconds)) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++elapsed;
+    if (uplink != nullptr && elapsed % export_every == 0 &&
+        aggregator.source_count() > 0) {
+      const qlove::Status delivered = uplink->DeliverOnce();
+      if (!delivered.ok()) {
+        std::fprintf(stderr, "uplink delivery failed: %s\n",
+                     delivered.ToString().c_str());
+        if (delivered.code() == qlove::Status::Code::kFailedPrecondition) {
+          return 1;  // parent rejected our token: configuration error
+        }
+      }
+    }
+    if (health_every > 0 && elapsed % health_every == 0) {
+      std::printf("%s", qlove::engine::FormatFleetHealth(
+                            aggregator.FleetHealth())
+                            .c_str());
+    }
+  }
+
+  // Snapshot health before Stop(): stopping clears the transport stats
+  // provider, and the exit report should include the transport counters.
+  const auto final_health = aggregator.FleetHealth();
+  server.Stop();
+  if (uplink != nullptr) uplink->Close();
+  if (json_health) {
+    std::printf("%s\n", qlove::engine::FleetHealthToJson(final_health).c_str());
+  } else {
+    std::printf("%s",
+                qlove::engine::FormatFleetHealth(final_health).c_str());
+  }
+  return 0;
+}
