@@ -448,8 +448,118 @@ RunResult RunOnce(engine::BackendKind kind, int num_shards, int num_threads,
   return result;
 }
 
-void WriteJson(const std::vector<RunResult>& results, int64_t events,
-               uint64_t seed, bool partial, double introspection_pct) {
+/// One cardinality-sweep row: lifecycle throughput at \p keys live
+/// metrics under a budgeted, eviction-enabled engine (the configuration a
+/// high-cardinality fleet agent actually runs).
+struct CardinalityResult {
+  int64_t keys = 0;
+  double register_kqps = 0.0;  ///< Cold GetOrCreate rate, K keys/s.
+  double record_mops = 0.0;    ///< RecordBatch across the key space, M op/s.
+  double query_kqps = 0.0;     ///< Keyed Query sampling the space, K q/s.
+  size_t live_metrics = 0;     ///< Registered survivors after the run.
+  int64_t evictions = 0;
+  int64_t degrades = 0;
+  size_t registry_bytes = 0;
+  size_t interned_strings = 0;
+};
+
+/// Register -> record -> query over \p num_keys distinct metric keys with
+/// the high-cardinality policy on: 256 MiB budget, 4-window idle horizon,
+/// degrade past 200k same-name registrations. Periodic Ticks during every
+/// phase keep the accounting and eviction machinery in the measured path
+/// (that is the point: the sweep prices the lifecycle, not a registry
+/// microbenchmark with maintenance switched off).
+CardinalityResult RunCardinality(int64_t num_keys, uint64_t seed) {
+  engine::EngineOptions options;
+  options.num_shards = 1;
+  options.shard_ring_capacity = 16;
+  options.memory_budget_bytes = 256ull << 20;
+  options.idle_eviction_windows = 4;
+  options.degrade_cardinality_threshold = 200000;
+  engine::TelemetryEngine engine(options);
+
+  static const char* kDcs[] = {"us-2", "eu-1", "ap-3", "sa-4"};
+  std::vector<engine::MetricKey> keys;
+  keys.reserve(static_cast<size_t>(num_keys));
+  for (int64_t i = 0; i < num_keys; ++i) {
+    keys.push_back(engine::MetricKey(
+        "fleet_rtt_us",
+        {{"host", "h" + std::to_string(i)}, {"dc", kDcs[i & 3]}}));
+  }
+
+  const int64_t tick_stride = std::max<int64_t>(num_keys / 8, 1);
+  CardinalityResult result;
+  result.keys = num_keys;
+
+  Stopwatch watch;
+  watch.Start();
+  for (int64_t i = 0; i < num_keys; ++i) {
+    const Status status = engine.RegisterMetric(keys[i]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: cardinality register failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    if ((i + 1) % tick_stride == 0) engine.Tick();
+  }
+  double elapsed = watch.ElapsedSeconds();
+  result.register_kqps =
+      elapsed > 0.0 ? static_cast<double>(num_keys) / elapsed / 1e3 : 0.0;
+
+  // Record: every key gets kPerKey events per round; evicted keys
+  // re-register through the Record path, which is exactly what a
+  // returning fleet key costs in production.
+  constexpr int kRounds = 2;
+  constexpr int kPerKey = 4;
+  workload::NetMonGenerator gen(seed);
+  const std::vector<double> batch = workload::Materialize(&gen, kPerKey);
+  watch.Start();
+  for (int round = 0; round < kRounds; ++round) {
+    for (int64_t i = 0; i < num_keys; ++i) {
+      const Status status =
+          engine.RecordBatch(keys[i], batch.data(), batch.size());
+      if (!status.ok()) {
+        std::fprintf(stderr, "FATAL: cardinality record failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+      if ((i + 1) % tick_stride == 0) engine.Tick();
+    }
+    engine.Tick();
+  }
+  elapsed = watch.ElapsedSeconds();
+  const int64_t events = static_cast<int64_t>(kRounds) * kPerKey * num_keys;
+  result.record_mops =
+      elapsed > 0.0 ? static_cast<double>(events) / elapsed / 1e6 : 0.0;
+
+  // Query: sample the key space; NotFound for an evicted key is a valid
+  // (and priced) answer in a churning space.
+  constexpr int64_t kQueries = 10000;
+  const int64_t stride = std::max<int64_t>(num_keys / kQueries, 1);
+  watch.Start();
+  int64_t asked = 0;
+  for (int64_t i = 0; i < num_keys && asked < kQueries; i += stride, ++asked) {
+    auto answer = engine.Query(engine::QuerySpec::ForKey(keys[i]).With(
+        engine::QueryRequest::Quantile(0.99)));
+    (void)answer.ok();
+  }
+  elapsed = watch.ElapsedSeconds();
+  result.query_kqps =
+      elapsed > 0.0 ? static_cast<double>(asked) / elapsed / 1e3 : 0.0;
+
+  const engine::EngineStats stats = engine.Stats();
+  result.live_metrics = engine.metric_count();
+  result.evictions = stats.evictions;
+  result.degrades = stats.degrades;
+  result.registry_bytes = stats.registry_bytes;
+  result.interned_strings = stats.interned_strings;
+  return result;
+}
+
+void WriteJson(const std::vector<RunResult>& results,
+               const std::vector<CardinalityResult>& cardinality,
+               int64_t events, uint64_t seed, bool partial,
+               double introspection_pct) {
   const char* path = "BENCH_engine.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -481,6 +591,21 @@ void WriteJson(const std::vector<RunResult>& results, int64_t events,
                  r.wire_bytes_per_metric, r.wire_bytes_per_metric_v2,
                  r.wire_bytes_per_metric_delta, r.merge_kqps,
                  r.net_frames_kqps, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"cardinality\": [\n");
+  for (size_t i = 0; i < cardinality.size(); ++i) {
+    const CardinalityResult& c = cardinality[i];
+    std::fprintf(out,
+                 "    {\"keys\": %lld, \"register_kqps\": %.3f, "
+                 "\"record_mops\": %.3f, \"query_kqps\": %.3f, "
+                 "\"live_metrics\": %zu, \"evictions\": %lld, "
+                 "\"degrades\": %lld, \"registry_bytes\": %zu, "
+                 "\"interned_strings\": %zu}%s\n",
+                 static_cast<long long>(c.keys), c.register_kqps,
+                 c.record_mops, c.query_kqps, c.live_metrics,
+                 static_cast<long long>(c.evictions),
+                 static_cast<long long>(c.degrades), c.registry_bytes,
+                 c.interned_strings, i + 1 < cardinality.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -563,6 +688,28 @@ int Main(int argc, char** argv) {
   std::printf("\nNote: speedup is bounded by hardware threads; on a "
               "single-core host the win is contention relief only.\n");
 
+  // Cardinality sweep: lifecycle throughput at 1k / 100k / 1M live keys
+  // with the budget + idle-eviction + degrade policy enabled (floors at
+  // 100k are gated by tools/check_bench_regression.py).
+  std::printf("\ncardinality sweep (budget=256MiB, idle_horizon=4, "
+              "degrade@200k):\n");
+  std::printf("%-10s %16s %16s %14s %12s %10s %10s %14s %12s\n", "keys",
+              "Register (K/s)", "Record (M op/s)", "Query (K q/s)", "live",
+              "evicted", "degraded", "registry (B)", "interned");
+  std::vector<CardinalityResult> cardinality;
+  for (const int64_t num_keys : {int64_t{1000}, int64_t{100000},
+                                 int64_t{1000000}}) {
+    const CardinalityResult c = RunCardinality(num_keys, args.seed);
+    std::printf("%-10lld %16.1f %16.2f %14.1f %12zu %10lld %10lld %14zu "
+                "%12zu\n",
+                static_cast<long long>(c.keys), c.register_kqps,
+                c.record_mops, c.query_kqps, c.live_metrics,
+                static_cast<long long>(c.evictions),
+                static_cast<long long>(c.degrades), c.registry_bytes,
+                c.interned_strings);
+    cardinality.push_back(c);
+  }
+
   // The self-metrics acceptance gate: the instrumented buffered Record
   // path must stay within 2% of the uninstrumented one
   // (tools/check_bench_regression.py enforces the ceiling in CI).
@@ -571,8 +718,8 @@ int Main(int argc, char** argv) {
   const double introspection_pct = MeasureIntrospectionOverheadPct(data);
   std::printf("introspection_overhead_pct: %.2f\n", introspection_pct);
 
-  WriteJson(results, per_thread * max_threads, args.seed, partial,
-            introspection_pct);
+  WriteJson(results, cardinality, per_thread * max_threads, args.seed,
+            partial, introspection_pct);
   // A narrowed sweep must not be mistaken downstream for a full artifact.
   return partial ? 2 : 0;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "engine/interner.h"
 
 namespace qlove {
 namespace engine {
@@ -153,6 +154,27 @@ Status AggregatorEngine::IngestImpl(WireSnapshot snapshot) {
     }
   }
   fleet_epoch_ = std::max(fleet_epoch_, snapshot.epoch);
+  if (it != sources_.end()) {
+    // A full frame replaces the source's held state wholesale, so any
+    // held key absent from the new frame is retired fleet-wide (the
+    // agent evicted or degraded it away). Both metric lists are in
+    // canonical key order, so one merge scan counts them.
+    const auto& held = it->second.snapshot.metrics;
+    const auto& fresh = snapshot.metrics;
+    int64_t retired = 0;
+    size_t j = 0;
+    for (const WireMetricSummary& old_metric : held) {
+      while (j < fresh.size() && fresh[j].key < old_metric.key) ++j;
+      if (j >= fresh.size() || old_metric.key < fresh[j].key) {
+        ++retired;
+      } else {
+        ++j;
+      }
+    }
+    if (retired > 0) {
+      metrics_retired_.fetch_add(retired, std::memory_order_relaxed);
+    }
+  }
   SourceState state;
   if (it != sources_.end()) {
     // Frame-type counters survive the state swap: they describe the
@@ -706,6 +728,8 @@ AggregatorEngine::FleetHealthSnapshot AggregatorEngine::FleetHealth() const {
   health.wire_bytes_reexported =
       wire_bytes_reexported_.load(std::memory_order_relaxed);
   health.reexport_dropped = reexport_dropped_.load(std::memory_order_relaxed);
+  health.metrics_retired = metrics_retired_.load(std::memory_order_relaxed);
+  health.interned_strings = StringInterner::Global().size();
   // Copy the provider out, then poll it lock-free: the transport may take
   // its own locks, and holding ours across foreign code invites deadlock.
   std::function<TransportCounters()> provider;
@@ -793,6 +817,9 @@ std::string FormatFleetHealth(
                 static_cast<long long>(health.wire_bytes_delta_ingested),
                 static_cast<long long>(health.resyncs_requested),
                 static_cast<long long>(health.queries));
+  AppendHealthF(&out, "  metrics_retired=%lld interned_strings=%zu\n",
+                static_cast<long long>(health.metrics_retired),
+                health.interned_strings);
   if (health.reexports > 0) {
     AppendHealthF(&out,
                   "  reexports=%lld reexport_bytes=%lld reexport_dropped=%lld\n",
@@ -881,6 +908,10 @@ std::string FleetHealthToJson(
                 static_cast<long long>(health.reexports),
                 static_cast<long long>(health.wire_bytes_reexported),
                 static_cast<long long>(health.reexport_dropped));
+  AppendHealthF(&out,
+                "\"metrics_retired\": %lld, \"interned_strings\": %zu, ",
+                static_cast<long long>(health.metrics_retired),
+                health.interned_strings);
   if (health.has_transport) {
     const AggregatorEngine::TransportCounters& t = health.transport;
     AppendHealthF(&out,

@@ -269,6 +269,11 @@ class AggregatorEngine {
     int64_t reexport_dropped = 0;    ///< Same-key summaries dropped from
                                      ///< re-exports over disagreeing
                                      ///< self-described options.
+    int64_t metrics_retired = 0;     ///< Held keys a later full frame no
+                                     ///< longer carried (source evicted or
+                                     ///< degraded the metric away).
+    size_t interned_strings = 0;     ///< Process-wide interner population
+                                     ///< (tag names/values + metric names).
     /// Transport counters (net/server.h), polled from the installed
     /// provider; all-zero with has_transport false when none is attached.
     bool has_transport = false;
@@ -365,6 +370,7 @@ class AggregatorEngine {
   mutable std::atomic<int64_t> reexports_{0};
   mutable std::atomic<int64_t> wire_bytes_reexported_{0};
   mutable std::atomic<int64_t> reexport_dropped_{0};
+  std::atomic<int64_t> metrics_retired_{0};
 
   /// The dogfooded self-metrics engine (single shard, introspection on):
   /// holds the `__qlove/stage_us{stage=wire_decode|aggregator_ingest}`

@@ -84,6 +84,37 @@ EngineBuffers& EnsureEngineBuffers(uint64_t engine_id) {
   return tls_buffers[engine_id];
 }
 
+/// One step down the degrade chain exact -> qlove -> gk: the replacement
+/// backend a metric falls to under cardinality or memory pressure, or
+/// nullopt when there is nothing cheaper (gk / cmqs) or the cheaper
+/// configuration cannot serve this window/phi grid. The GK epsilon is
+/// derived from the grid — half the tightest phi gap — so the degraded
+/// sketch still resolves every registered quantile.
+std::optional<BackendOptions> DegradeOnce(const BackendOptions& options,
+                                          const WindowSpec& shard_window,
+                                          const std::vector<double>& phis) {
+  BackendOptions degraded = options;
+  switch (options.kind) {
+    case BackendKind::kExact:
+      degraded = BackendOptions{};  // default QLOVE knobs
+      degraded.kind = BackendKind::kQlove;
+      break;
+    case BackendKind::kQlove: {
+      degraded.kind = BackendKind::kGk;
+      double min_gap = 1.0;
+      for (double phi : phis) {
+        if (phi < 1.0) min_gap = std::min(min_gap, 1.0 - phi);
+      }
+      degraded.epsilon = 0.5 * min_gap;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!degraded.Validate(shard_window, phis).ok()) return std::nullopt;
+  return degraded;
+}
+
 }  // namespace
 
 Status EngineOptions::Validate() const {
@@ -114,6 +145,9 @@ Status EngineOptions::Validate() const {
       !std::isfinite(slow_query_threshold_us)) {
     return Status::InvalidArgument(
         "slow_query_threshold_us must be finite and >= 0");
+  }
+  if (idle_eviction_windows < 0) {
+    return Status::InvalidArgument("idle_eviction_windows must be >= 0");
   }
   // Backend/option combinations that cannot work fail here, at engine
   // construction, not at first Snapshot.
@@ -157,17 +191,50 @@ TelemetryEngine::~TelemetryEngine() {
   dead_engine_generation.fetch_add(1, std::memory_order_release);
 }
 
+BackendOptions TelemetryEngine::EffectiveBackend(
+    const MetricKey& key, const BackendOptions& requested) const {
+  BackendOptions effective = requested;
+  if (options_.degrade_cardinality_threshold > 0 &&
+      registry_.CountForName(key.name_id()) >=
+          options_.degrade_cardinality_threshold) {
+    if (auto degraded = DegradeOnce(effective, options_.shard_window,
+                                    options_.phis)) {
+      effective = *degraded;
+    }
+  }
+  if (options_.memory_budget_bytes > 0 &&
+      memory_estimate_.load(std::memory_order_relaxed) >
+          options_.memory_budget_bytes) {
+    if (auto degraded = DegradeOnce(effective, options_.shard_window,
+                                    options_.phis)) {
+      effective = *degraded;
+    }
+  }
+  return effective;
+}
+
 Result<std::shared_ptr<MetricState>> TelemetryEngine::GetOrRegister(
     const MetricKey& key) {
   QLOVE_RETURN_NOT_OK(options_status_);
+  // The Record-path steady state: one lock-free probe, no policy work.
+  if (auto state = registry_.Find(key)) return state;
   if (IsReservedMetricName(key.name())) {
     return Status::InvalidArgument(
         key.ToString() + ": the " + std::string(kReservedMetricPrefix) +
         " namespace is reserved for engine self-metrics");
   }
-  return registry_.GetOrCreate(key, options_.num_shards, metric_options_,
-                               options_.shard_ring_capacity,
-                               introspection_.get());
+  MetricOptions metric_options = metric_options_;
+  metric_options.backend =
+      EffectiveBackend(key, metric_options_.backend);
+  auto state = registry_.GetOrCreate(key, options_.num_shards, metric_options,
+                                     options_.shard_ring_capacity,
+                                     introspection_.get());
+  if (state.ok() &&
+      state.ValueOrDie()->options().backend.kind !=
+          metric_options_.backend.kind) {
+    degrades_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return state;
 }
 
 Status TelemetryEngine::RegisterMetric(const MetricKey& key) {
@@ -187,8 +254,9 @@ Status TelemetryEngine::RegisterMetric(const MetricKey& key,
         " namespace is reserved for engine self-metrics");
   }
   QLOVE_RETURN_NOT_OK(backend.Validate(options_.shard_window, options_.phis));
+  const BackendOptions effective = EffectiveBackend(key, backend);
   MetricOptions metric_options = metric_options_;
-  metric_options.backend = backend;
+  metric_options.backend = effective;
   auto state = registry_.GetOrCreate(key, options_.num_shards, metric_options,
                                      options_.shard_ring_capacity,
                                      introspection_.get());
@@ -196,13 +264,32 @@ Status TelemetryEngine::RegisterMetric(const MetricKey& key,
   // GetOrCreate returns the racing winner's state: losing a registration
   // race must not silently serve this caller a different sketch — neither
   // another kind nor the same kind under different knobs (e.g. a coarser
-  // epsilon than the rank budget just requested).
+  // epsilon than the rank budget just requested). With a degrade policy
+  // active, though, the registered configuration may legitimately sit one
+  // or two steps down the chain from what was asked (this registration
+  // degraded, or an earlier one did and this caller raced it) — that is
+  // policy, not a conflict.
   const BackendOptions& registered = state.ValueOrDie()->options().backend;
-  if (!SameBackendConfiguration(registered, backend)) {
+  bool acceptable = SameBackendConfiguration(registered, backend);
+  if (!acceptable && (options_.memory_budget_bytes > 0 ||
+                      options_.degrade_cardinality_threshold > 0)) {
+    std::optional<BackendOptions> step =
+        DegradeOnce(backend, options_.shard_window, options_.phis);
+    for (int depth = 0; !acceptable && depth < 2 && step.has_value();
+         ++depth) {
+      acceptable = SameBackendConfiguration(registered, *step);
+      step = DegradeOnce(*step, options_.shard_window, options_.phis);
+    }
+  }
+  if (!acceptable) {
     return Status::FailedPrecondition(
         key.ToString() + " already registered with a different " +
         std::string(BackendKindName(registered.kind)) +
         " backend configuration");
+  }
+  if (SameBackendConfiguration(registered, effective) &&
+      effective.kind != backend.kind) {
+    degrades_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -334,12 +421,14 @@ void TelemetryEngine::Tick() {
     // samples recorded since the last Tick land in the sub-window this
     // Tick closes (queryable immediately after).
     PublishStageSamples();
-    for (const auto& state : registry_.List()) {
+    std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+    for (const auto& state : states) {
       state->CloseSubWindows();
     }
     for (const auto& state : internal_registry_.List()) {
       state->CloseSubWindows();
     }
+    MaintainAfterTick(states);
     tick_epochs_.fetch_add(1, std::memory_order_relaxed);
     introspection_->OnTick();
     // This Tick's own latency is buffered now and published by the NEXT
@@ -350,10 +439,108 @@ void TelemetryEngine::Tick() {
   }
 #endif
   Flush();
-  for (const auto& state : registry_.List()) {
+  std::vector<std::shared_ptr<MetricState>> states = registry_.List();
+  for (const auto& state : states) {
     state->CloseSubWindows();
   }
+  MaintainAfterTick(states);
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TelemetryEngine::EvictState(const std::shared_ptr<MetricState>& state) {
+  // Final summarize: TotalAdded drains every ring under the shard locks,
+  // so everything flushed before the eviction decision is accounted before
+  // the shards are dropped.
+  const int64_t final_total = state->TotalAdded();
+  if (!registry_.Evict(state->key(), state)) return false;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  evicted_events_.fetch_add(final_total, std::memory_order_relaxed);
+  return true;
+}
+
+void TelemetryEngine::MaintainAfterTick(
+    const std::vector<std::shared_ptr<MetricState>>& states) {
+  const bool idle_policy = options_.idle_eviction_windows > 0;
+  const bool budget_policy = options_.memory_budget_bytes > 0;
+  size_t total_bytes = 0;
+  for (const auto& state : states) total_bytes += state->ApproxMemoryBytes();
+  if (!idle_policy && !budget_policy) {
+    memory_estimate_.store(total_bytes, std::memory_order_relaxed);
+    return;
+  }
+
+  // Pass 1: metrics idle past the configured horizon retire outright.
+  if (idle_policy) {
+    for (const auto& state : states) {
+      if (state->IdleWindows() >= options_.idle_eviction_windows &&
+          EvictState(state)) {
+        total_bytes -= std::min(total_bytes, state->ApproxMemoryBytes());
+      }
+    }
+  }
+
+  if (budget_policy && total_bytes > options_.memory_budget_bytes) {
+    // Pass 2: over budget — spend the remaining idle metrics first,
+    // longest-idle then largest, stopping as soon as the budget clears.
+    std::vector<const std::shared_ptr<MetricState>*> candidates;
+    for (const auto& state : states) {
+      if (state->IdleWindows() > 0 && registry_.Find(state->key()) == state) {
+        candidates.push_back(&state);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const std::shared_ptr<MetricState>* a,
+                 const std::shared_ptr<MetricState>* b) {
+                if ((*a)->IdleWindows() != (*b)->IdleWindows()) {
+                  return (*a)->IdleWindows() > (*b)->IdleWindows();
+                }
+                return (*a)->ApproxMemoryBytes() > (*b)->ApproxMemoryBytes();
+              });
+    for (const auto* state : candidates) {
+      if (total_bytes <= options_.memory_budget_bytes) break;
+      if (EvictState(*state)) {
+        total_bytes -= std::min(total_bytes, (*state)->ApproxMemoryBytes());
+      }
+    }
+    // Pass 3: still over — degrade the largest still-active degradable
+    // metrics in place (exact -> qlove -> gk). The old state retires like
+    // an eviction; its events roll into evicted_events.
+    if (total_bytes > options_.memory_budget_bytes) {
+      std::vector<const std::shared_ptr<MetricState>*> active;
+      for (const auto& state : states) {
+        const BackendKind kind = state->options().backend.kind;
+        if ((kind == BackendKind::kExact || kind == BackendKind::kQlove) &&
+            registry_.Find(state->key()) == state) {
+          active.push_back(&state);
+        }
+      }
+      std::sort(active.begin(), active.end(),
+                [](const std::shared_ptr<MetricState>* a,
+                   const std::shared_ptr<MetricState>* b) {
+                  return (*a)->ApproxMemoryBytes() > (*b)->ApproxMemoryBytes();
+                });
+      for (const auto* entry : active) {
+        if (total_bytes <= options_.memory_budget_bytes) break;
+        const std::shared_ptr<MetricState>& state = *entry;
+        auto degraded = DegradeOnce(state->options().backend,
+                                    options_.shard_window, options_.phis);
+        if (!degraded.has_value()) continue;
+        MetricOptions metric_options = state->options();
+        metric_options.backend = *degraded;
+        const size_t old_bytes = state->ApproxMemoryBytes();
+        const int64_t old_total = state->TotalAdded();
+        auto replaced = registry_.Replace(
+            state->key(), options_.num_shards, metric_options,
+            options_.shard_ring_capacity, introspection_.get());
+        if (!replaced.ok()) continue;
+        degrades_.fetch_add(1, std::memory_order_relaxed);
+        evicted_events_.fetch_add(old_total, std::memory_order_relaxed);
+        total_bytes -= std::min(total_bytes, old_bytes);
+        total_bytes += replaced.ValueOrDie()->ApproxMemoryBytes();
+      }
+    }
+  }
+  memory_estimate_.store(total_bytes, std::memory_order_relaxed);
 }
 
 void TelemetryEngine::PublishStageSamples() {
@@ -464,8 +651,33 @@ Status TelemetryEngine::ExportDeltaEncoded(
   if (introspection_ != nullptr) watch.Start();
 #endif
   const WireSnapshot snapshot = ExportSnapshot(std::move(source), coalesced);
+  // A tracked metric absent from this snapshot vanished (evicted or
+  // otherwise retired). A delta frame can only describe metrics it
+  // carries, so the receiver would keep serving the stale key forever;
+  // fall back to a full frame, which replaces the source's held state
+  // wholesale and retires the key on the receiver too. Both sides are in
+  // canonical key order, so one merge scan decides.
+  bool tracked_metric_vanished = false;
+  {
+    auto tracked = cursor->sent_.cbegin();
+    auto present = snapshot.metrics.cbegin();
+    while (tracked != cursor->sent_.cend()) {
+      while (present != snapshot.metrics.cend() &&
+             present->key < tracked->first) {
+        ++present;
+      }
+      if (present == snapshot.metrics.cend() ||
+          tracked->first < present->key) {
+        tracked_metric_vanished = true;
+        break;
+      }
+      ++tracked;
+      ++present;
+    }
+  }
   bool encoded_delta = false;
-  if (cursor->force_full_ || cursor->last_epoch_ < 0) {
+  if (cursor->force_full_ || cursor->last_epoch_ < 0 ||
+      tracked_metric_vanished) {
     EncodeSnapshotV2(snapshot, out);
   } else {
     WireDelta delta;
@@ -510,10 +722,14 @@ Status TelemetryEngine::ExportDeltaEncoded(
     encoded_delta = true;
   }
   // Advance optimistically: when the receiver's held state disagrees it
-  // NAKs the frame and the caller calls RequestResync().
+  // NAKs the frame and the caller calls RequestResync(). The tracking map
+  // is merged in place against the (canonically ordered) export — update
+  // present entries, insert new ones, and PRUNE entries for metrics no
+  // longer exported, so a long-lived cursor's footprint follows the live
+  // metric count instead of growing one node per key ever retired.
   cursor->force_full_ = false;
   cursor->last_epoch_ = snapshot.epoch;
-  cursor->sent_.clear();
+  auto tracked = cursor->sent_.begin();
   for (const WireMetricSummary& metric : snapshot.metrics) {
     int64_t newest = -1;  // -1: shipped whole, not delta-eligible
     if (metric.shards.size() == 1 &&
@@ -523,8 +739,18 @@ Status TelemetryEngine::ExportDeltaEncoded(
       // mark: future sub-windows are stamped past it.
       newest = subs.empty() ? snapshot.epoch : subs.back().epoch;
     }
-    cursor->sent_[metric.key] = newest;
+    while (tracked != cursor->sent_.end() && tracked->first < metric.key) {
+      tracked = cursor->sent_.erase(tracked);  // vanished: prune
+    }
+    if (tracked != cursor->sent_.end() && tracked->first == metric.key) {
+      tracked->second = newest;
+      ++tracked;
+    } else {
+      tracked = std::next(
+          cursor->sent_.emplace_hint(tracked, metric.key, newest));
+    }
   }
+  cursor->sent_.erase(tracked, cursor->sent_.end());
 #if QLOVE_INTROSPECTION_ENABLED
   if (introspection_ != nullptr) {
     introspection_->RecordStage(Stage::kWireEncode,
@@ -816,6 +1042,15 @@ EngineStats TelemetryEngine::Stats() const {
   stats.tick_epochs = TickEpochs();
   stats.metric_count = registry_.size();
   stats.internal_metric_count = internal_registry_.size();
+  // Cardinality gauges live on engine atomics / the interner so they are
+  // meaningful even with introspection compiled out or disabled.
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.degrades = degrades_.load(std::memory_order_relaxed);
+  stats.evicted_events = evicted_events_.load(std::memory_order_relaxed);
+  stats.interned_strings = StringInterner::Global().size();
+  stats.interner_bytes = StringInterner::Global().bytes();
+  stats.registry_bytes =
+      registry_.ApproxBytes() + internal_registry_.ApproxBytes();
 
   // Footprints report regardless of introspection: they read live shard
   // state, not the counter hub.

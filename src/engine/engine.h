@@ -111,6 +111,28 @@ struct EngineOptions {
   /// Slow-query records retained (bounded ring, oldest evicted).
   size_t slow_query_log_capacity = 32;
 
+  /// Soft cap on the summed per-metric memory estimate (backend space
+  /// variables + ring slots across shards; see MetricFootprint). Checked at
+  /// every Tick: over budget, the engine first evicts idle metrics
+  /// (longest-idle, largest first), then degrades the largest still-active
+  /// metrics down the exact -> qlove -> gk chain. New registrations while
+  /// over budget start one step down the chain. 0 disables (the default).
+  size_t memory_budget_bytes = 0;
+
+  /// Metrics that see no Record for this many consecutive Tick windows are
+  /// evicted at the next boundary: final event totals roll into
+  /// Stats().evicted_events, shards are dropped, and the registry
+  /// tombstones the key (a later Record transparently re-registers it
+  /// fresh). 0 disables idle eviction (the default).
+  int64_t idle_eviction_windows = 0;
+
+  /// When a metric family (same name, any tags) reaches this many live
+  /// keys, further registrations in the family degrade one step down the
+  /// exact -> qlove -> gk chain — tag explosion on an exact-backend family
+  /// stops buying exactness it can no longer afford. 0 disables (the
+  /// default).
+  size_t degrade_cardinality_threshold = 0;
+
   /// Rejects configurations that cannot serve: bad windows/phis, and
   /// backend/option combinations that could only fail later (at first
   /// Snapshot) — e.g. few-k plans that capture no tail material, or a
@@ -157,6 +179,12 @@ class ExportCursor {
   /// delta declares as its base), or -1 before the first export.
   int64_t last_epoch() const { return last_epoch_; }
 
+  /// Metrics the cursor currently tracks. Bounded by the engine's live
+  /// metric count: entries for evicted/unregistered metrics are pruned on
+  /// every export (a vanished tracked metric also forces that export to a
+  /// full frame, so the receiver retires it too).
+  size_t tracked_metrics() const { return sent_.size(); }
+
  private:
   friend class TelemetryEngine;
 
@@ -164,7 +192,8 @@ class ExportCursor {
   int64_t last_epoch_ = -1;
   /// Per metric: newest sub-window epoch already shipped (kQloveDelta
   /// candidates), or -1 for metrics shipped whole (non-qlove, no
-  /// sub-window state to diff).
+  /// sub-window state to diff). Keys are kept in lockstep with the
+  /// engine's exports — see tracked_metrics().
   std::map<MetricKey, int64_t> sent_;
 };
 
@@ -320,6 +349,17 @@ class TelemetryEngine {
   friend class AggregatorEngine;  // records its stages into its self engine
 
   Result<std::shared_ptr<MetricState>> GetOrRegister(const MetricKey& key);
+  /// The backend a new registration actually gets: \p requested, stepped
+  /// down the exact -> qlove -> gk chain when the key's family crossed
+  /// degrade_cardinality_threshold or the engine is over memory budget.
+  BackendOptions EffectiveBackend(const MetricKey& key,
+                                  const BackendOptions& requested) const;
+  /// Tick-time policy pass over the user registry: idle eviction, budget
+  /// eviction, pressure degrades; refreshes memory_estimate_.
+  void MaintainAfterTick(
+      const std::vector<std::shared_ptr<MetricState>>& states);
+  /// Retires one metric: final event accounting, registry tombstone.
+  bool EvictState(const std::shared_ptr<MetricState>& state);
   Status FlushBuffer(const MetricKey& key, ThreadBuffer* buffer);
   void FlushToShards(MetricState* state, const double* values, size_t count);
   /// Key lookup across both registries (reserved names resolve in the
@@ -344,6 +384,16 @@ class TelemetryEngine {
   /// collide numerically.
   const uint64_t sync_token_;
   std::atomic<int64_t> tick_epochs_{0};  // Tick() calls driven so far
+
+  /// High-cardinality lifecycle gauges (always on — they are cheap relaxed
+  /// counters and the budget policy needs them even with introspection
+  /// compiled out). Surfaced through Stats().
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> degrades_{0};
+  std::atomic<int64_t> evicted_events_{0};
+  /// Summed ApproxMemoryBytes over live user metrics as of the last Tick's
+  /// maintenance pass; what EffectiveBackend compares against the budget.
+  std::atomic<size_t> memory_estimate_{0};
 
   /// Self-metrics state. The `__qlove/` metrics live in their own
   /// registry, created with a null introspection sink (no recursion) and

@@ -1,0 +1,84 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+
+#include "engine/interner.h"
+
+#include <cstring>
+
+namespace qlove {
+namespace engine {
+
+namespace {
+// Arena chunks grow geometrically from 64 KiB; a single oversized string
+// gets its own exact-fit chunk.
+constexpr size_t kMinChunkBytes = 64 * 1024;
+}  // namespace
+
+StringInterner::StringInterner()
+    : blocks_(new std::atomic<Entry*>[kMaxBlocks]) {
+  for (size_t i = 0; i < kMaxBlocks; ++i) {
+    blocks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  // Id 0 is always the empty string so a default MetricKey never has to
+  // consult the interner (static-init ordering stays trivial for callers
+  // that only ever build empty keys).
+  Intern(std::string_view());
+}
+
+StringInterner& StringInterner::Global() {
+  static StringInterner* interner = new StringInterner();  // leaked
+  return *interner;
+}
+
+const char* StringInterner::CopyToArena(std::string_view s) {
+  if (arena_used_ + s.size() > arena_capacity_ || arena_.empty()) {
+    size_t chunk = kMinChunkBytes;
+    if (!arena_.empty()) chunk = arena_capacity_ * 2;
+    if (chunk < s.size()) chunk = s.size();
+    arena_.push_back(std::make_unique<char[]>(chunk));
+    arena_used_ = 0;
+    arena_capacity_ = chunk;
+    bytes_.fetch_add(chunk, std::memory_order_relaxed);
+  }
+  char* dst = arena_.back().get() + arena_used_;
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  arena_used_ += s.size();
+  return dst;
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+
+  const uint32_t id = count_.load(std::memory_order_relaxed);
+  const size_t block = static_cast<size_t>(id) >> kBlockBits;
+  // kMaxBlocks * kBlockSize = 2^26 distinct strings; a tag space that
+  // exhausts it has lost the plot long before this fires.
+  if (block >= kMaxBlocks) std::abort();
+
+  const char* data = CopyToArena(s);
+
+  Entry* entries = blocks_[block].load(std::memory_order_relaxed);
+  if (entries == nullptr) {
+    entries = new Entry[kBlockSize]();
+    bytes_.fetch_add(kBlockSize * sizeof(Entry), std::memory_order_relaxed);
+    // Release so a reader that observes the block pointer also observes
+    // the zero-initialized entries (and, transitively, any entry written
+    // before the publishing store below).
+    blocks_[block].store(entries, std::memory_order_release);
+  }
+  Entry& entry = entries[id & kBlockMask];
+  entry.data = data;
+  entry.length = static_cast<uint32_t>(s.size());
+
+  index_.emplace(std::string_view(data, s.size()), id);
+  bytes_.fetch_add(sizeof(void*) * 4, std::memory_order_relaxed);  // index node
+  // The id escapes only via the return value; callers publish it to other
+  // threads through their own release/acquire edges (registry slot stores),
+  // which order the entry writes above before any cross-thread View(id).
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+}  // namespace engine
+}  // namespace qlove

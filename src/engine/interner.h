@@ -1,0 +1,105 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+// The tag-string interner behind MetricKey. High-cardinality telemetry
+// multiplies *keys*, not distinct strings: a million per-host keys share a
+// handful of tag names and one hostname string each, and every key used to
+// carry (and hash, and compare) private std::string copies of all of them.
+// Interning maps each distinct string to a stable integer id once, so keys
+// become flat id tuples — equality is integer compares, the canonical hash
+// covers a few words, and the registry's Record-path probe never touches
+// character data. The string form survives only at the API edge
+// (construction, ToString, wire encode/decode).
+//
+// Concurrency model: Intern() serializes writers on one mutex (it runs at
+// key *construction*, never on a per-record path); View() is lock-free and
+// wait-free — ids index an append-only two-level entry table whose blocks
+// are published with release stores, and entries are written before their
+// id ever escapes Intern(), so any thread that legitimately holds an id
+// also inherits the happens-before edge that makes its entry visible.
+// Interned storage is never freed (the arena only appends); the process
+// pays O(distinct strings), not O(live keys), which is the right trade for
+// telemetry tag spaces. size()/bytes() feed the engine's
+// Stats().interned_strings / interner_bytes gauges.
+
+#ifndef QLOVE_ENGINE_INTERNER_H_
+#define QLOVE_ENGINE_INTERNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qlove {
+namespace engine {
+
+/// \brief Append-only string-to-id interner with lock-free id-to-string
+/// reads. One process-wide instance (Global()) backs every MetricKey.
+class StringInterner {
+ public:
+  StringInterner();
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// The process-wide interner every MetricKey resolves through.
+  /// Deliberately leaked (never destroyed): keys may outlive any scope,
+  /// including static destruction.
+  static StringInterner& Global();
+
+  /// Returns the stable id of \p s, interning it on first sight. Ids are
+  /// dense, start at 0, and id 0 is always the empty string. Thread-safe
+  /// (one mutex; runs at key construction, not per record).
+  uint32_t Intern(std::string_view s);
+
+  /// The string behind \p id. Lock-free; the view is valid for the process
+  /// lifetime (interned storage is never freed). \p id must come from
+  /// Intern() — out-of-range ids return an empty view rather than crash.
+  std::string_view View(uint32_t id) const {
+    const size_t block = static_cast<size_t>(id) >> kBlockBits;
+    if (block >= kMaxBlocks) return {};
+    const Entry* entries = blocks_[block].load(std::memory_order_acquire);
+    if (entries == nullptr) return {};
+    const Entry& entry = entries[id & kBlockMask];
+    return std::string_view(entry.data, entry.length);
+  }
+
+  /// Distinct strings interned so far (gauge for Stats()).
+  size_t size() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Approximate bytes held: arena characters plus index/table overhead.
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kBlockBits = 13;                   // 8192 ids/block
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kBlockMask = kBlockSize - 1;
+  static constexpr size_t kMaxBlocks = 1 << 13;              // ~67M strings
+
+  struct Entry {
+    const char* data;
+    uint32_t length;
+  };
+
+  const char* CopyToArena(std::string_view s);  // caller holds mu_
+
+  /// Two-level entry table: block pointers published with release stores,
+  /// entries written before their id escapes. Readers never lock.
+  std::unique_ptr<std::atomic<Entry*>[]> blocks_;
+
+  std::atomic<uint32_t> count_{0};
+  std::atomic<size_t> bytes_{0};
+
+  mutable std::mutex mu_;
+  /// string -> id; keys view into the arena, so the map holds no copies.
+  std::unordered_map<std::string_view, uint32_t> index_;
+  std::vector<std::unique_ptr<char[]>> arena_;
+  size_t arena_used_ = 0;
+  size_t arena_capacity_ = 0;
+};
+
+}  // namespace engine
+}  // namespace qlove
+
+#endif  // QLOVE_ENGINE_INTERNER_H_

@@ -223,6 +223,15 @@ std::string FormatEngineStats(const EngineStats& stats) {
           static_cast<long long>(stats.tick_epochs), stats.metric_count,
           stats.internal_metric_count,
           HumanBytes(stats.total_memory_bytes).c_str());
+  AppendF(&out,
+          "  cardinality: evictions=%lld degrades=%lld evicted_events=%lld "
+          "interned=%zu (%s)  registry=%s\n",
+          static_cast<long long>(stats.evictions),
+          static_cast<long long>(stats.degrades),
+          static_cast<long long>(stats.evicted_events),
+          stats.interned_strings,
+          HumanBytes(static_cast<int64_t>(stats.interner_bytes)).c_str(),
+          HumanBytes(static_cast<int64_t>(stats.registry_bytes)).c_str());
   const CountersSnapshot& c = stats.counters;
   AppendF(&out,
           "  events: recorded=%lld drained=%lld rejected=%lld "
@@ -293,6 +302,15 @@ std::string EngineStatsToJson(const EngineStats& stats) {
           stats.metric_count, stats.internal_metric_count);
   AppendF(&out, "\"total_memory_bytes\": %lld, ",
           static_cast<long long>(stats.total_memory_bytes));
+  AppendF(&out,
+          "\"evictions\": %lld, \"degrades\": %lld, "
+          "\"evicted_events\": %lld, \"interned_strings\": %zu, "
+          "\"interner_bytes\": %zu, \"registry_bytes\": %zu, ",
+          static_cast<long long>(stats.evictions),
+          static_cast<long long>(stats.degrades),
+          static_cast<long long>(stats.evicted_events),
+          stats.interned_strings, stats.interner_bytes,
+          stats.registry_bytes);
   const CountersSnapshot& c = stats.counters;
   AppendF(&out,
           "\"counters\": {\"events_recorded\": %lld, \"flush_batches\": %lld, "

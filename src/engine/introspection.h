@@ -163,6 +163,15 @@ struct EngineStats {
   std::vector<SlowQueryRecord> slow_queries;  ///< Oldest first (bounded).
   std::vector<MetricFootprint> metrics;  ///< Canonical key order.
   int64_t total_memory_bytes = 0;        ///< Sum over metrics.
+  // High-cardinality lifecycle gauges. Always populated (they read
+  // engine-level atomics and the interner, not the counter hub), so they
+  // stay meaningful with introspection compiled out or disabled.
+  int64_t evictions = 0;       ///< Metrics evicted (idle or budget).
+  int64_t degrades = 0;        ///< Backend degradations (exact→qlove→gk).
+  int64_t evicted_events = 0;  ///< Events owned by evicted/replaced metrics.
+  size_t interned_strings = 0; ///< Distinct strings in the global interner.
+  size_t interner_bytes = 0;   ///< Interner arena + table footprint.
+  size_t registry_bytes = 0;   ///< Registry node/table footprint (both tiers).
 };
 
 /// Human-readable multi-line dump of \p stats (dashboard / exit blocks).

@@ -1,13 +1,42 @@
 #include "engine/registry.h"
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
 #include "engine/query.h"
 
+// The Tick-time summary-buffer recycle below synchronizes with the last
+// outside reader through the releasing refcount decrement of its
+// shared_ptr copy plus an acquire fence — valid fence-atomic
+// synchronization, but ThreadSanitizer does not model
+// std::atomic_thread_fence and reports the hand-off as a race. Under TSan
+// the recycle is disabled (the cache is dropped and rebuilt with a fresh
+// allocation); query results are unaffected.
+#if defined(__SANITIZE_THREAD__)
+#define QLOVE_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QLOVE_TSAN_BUILD 1
+#endif
+#endif
+
 namespace qlove {
 namespace engine {
+
+namespace {
+
+constexpr size_t kInitialTableCapacity = 64;
+constexpr size_t kSlotNotFound = static_cast<size_t>(-1);
+
+// Metadata accounting heuristic: the node itself, its key's tag id heap,
+// and graveyard/name-index bookkeeping slack.
+size_t NodeBytes(const MetricKey& key) {
+  return sizeof(void*) * 10 + key.tag_count() * 8 + 48;
+}
+
+}  // namespace
 
 Status MetricState::Initialize(MetricKey key, int num_shards,
                                const MetricOptions& options,
@@ -32,6 +61,14 @@ Status MetricState::Initialize(MetricKey key, int num_shards,
   // Every shard runs the same backend configuration, so shard 0's
   // pre-quantizer speaks for the metric.
   pre_quantizer_ = shards_.front()->pre_quantizer();
+  // Seed the memory estimate so never-ticked metrics still count against
+  // the engine budget (CloseSubWindows refreshes it each boundary).
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += static_cast<size_t>(shard->ObservedSpaceVariables()) * 8 +
+             shard->RingCapacity() * 16;
+  }
+  memory_bytes_.store(bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -43,12 +80,33 @@ int64_t MetricState::TotalAdded() const {
   return total;
 }
 
+int64_t MetricState::TotalAddedApprox() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->TotalAddedApprox();
+  }
+  return total;
+}
+
 void MetricState::CloseSubWindows() {
   // Serialized against SnapshotShards so a concurrent query never observes
   // a torn epoch (some shards ticked, some not).
   std::lock_guard<std::mutex> lock(epoch_mu_);
+  size_t bytes = 0;
   for (auto& shard : shards_) {
-    shard->CloseSubWindow();
+    bytes += static_cast<size_t>(shard->CloseSubWindow()) * 8 +
+             shard->RingCapacity() * 16;
+  }
+  memory_bytes_.store(bytes, std::memory_order_relaxed);
+  // Idleness: the boundary just drained every ring, so the approx total is
+  // momentarily exact; unchanged since the last boundary means no Record
+  // touched this metric in between.
+  const int64_t total = TotalAddedApprox();
+  if (total == last_activity_.load(std::memory_order_relaxed)) {
+    idle_windows_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    last_activity_.store(total, std::memory_order_relaxed);
+    idle_windows_.store(0, std::memory_order_relaxed);
   }
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
   // The boundary changed window state: queries in flight keep their
@@ -59,6 +117,7 @@ void MetricState::CloseSubWindows() {
   // const_cast is sound: copies of resolved_ are only handed out under
   // epoch_mu_, so use_count() == 1 here means no other reference exists
   // or can appear.
+#if !defined(QLOVE_TSAN_BUILD)
   if (resolved_ != nullptr && resolved_.use_count() == 1) {
     // use_count() is a relaxed load; the fence pairs with the releasing
     // refcount decrement of the last outside holder, ordering its final
@@ -67,6 +126,7 @@ void MetricState::CloseSubWindows() {
     spare_views_ =
         const_cast<ResolvedWindow*>(resolved_.get())->ReclaimViews();
   }
+#endif
   resolved_.reset();
 }
 
@@ -105,52 +165,235 @@ std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
   return resolved_;
 }
 
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+MetricRegistry::MetricRegistry() {
+  auto table = MakeTable(kInitialTableCapacity);
+  approx_bytes_.fetch_add(
+      sizeof(Table) + table->capacity * sizeof(std::atomic<Node*>),
+      std::memory_order_relaxed);
+  table_.store(table.get(), std::memory_order_release);
+  tables_.push_back(std::move(table));
+}
+
+std::unique_ptr<MetricRegistry::Table> MetricRegistry::MakeTable(
+    size_t capacity) {
+  auto table = std::make_unique<Table>();
+  table->capacity = capacity;
+  table->mask = capacity - 1;
+  table->slots.reset(new std::atomic<Node*>[capacity]);
+  for (size_t i = 0; i < capacity; ++i) {
+    table->slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+  return table;
+}
+
+std::shared_ptr<MetricState> MetricRegistry::Find(const MetricKey& key) const {
+  // The Record hot path: no mutex, no allocation. The acquire loads pair
+  // with the writers' release stores, so a visible node's key/state fields
+  // (and, transitively, its interned strings) are fully constructed.
+  const Table* table = table_.load(std::memory_order_acquire);
+  const size_t hash = key.hash();
+  size_t index = hash & table->mask;
+  for (;;) {
+    const Node* node = table->slots[index].load(std::memory_order_acquire);
+    if (node == nullptr) return nullptr;  // probe chains end at empty slots
+    if (node->hash == hash && node->key == key) {
+      return node->state.lock();  // null for tombstones (evicted keys)
+    }
+    index = (index + 1) & table->mask;
+  }
+}
+
+size_t MetricRegistry::FindSlotLocked(const MetricKey& key) const {
+  const Table* table = table_.load(std::memory_order_relaxed);
+  const size_t hash = key.hash();
+  size_t index = hash & table->mask;
+  for (;;) {
+    const Node* node = table->slots[index].load(std::memory_order_relaxed);
+    if (node == nullptr) return kSlotNotFound;
+    if (node->hash == hash && node->key == key) return index;
+    index = (index + 1) & table->mask;
+  }
+}
+
+void MetricRegistry::InsertLocked(std::unique_ptr<Node> node) {
+  Table* table = table_.load(std::memory_order_relaxed);
+  if ((table->used + 1) * 10 >= table->capacity * 7) {
+    // Rebuild at 2x the live count (tombstones are dropped, so a registry
+    // that churned through mass evictions re-compacts here). The old table
+    // stays alive for readers mid-probe; new slots are filled with relaxed
+    // stores, then the table pointer itself is release-published.
+    const size_t live = live_count_.load(std::memory_order_relaxed);
+    size_t capacity = kInitialTableCapacity;
+    while (capacity < (live + 1) * 2) capacity <<= 1;
+    auto grown = MakeTable(capacity);
+    for (size_t i = 0; i < table->capacity; ++i) {
+      Node* existing = table->slots[i].load(std::memory_order_relaxed);
+      if (existing == nullptr || existing->state.expired()) continue;
+      size_t index = existing->hash & grown->mask;
+      while (grown->slots[index].load(std::memory_order_relaxed) != nullptr) {
+        index = (index + 1) & grown->mask;
+      }
+      grown->slots[index].store(existing, std::memory_order_relaxed);
+      ++grown->used;
+    }
+    approx_bytes_.fetch_add(
+        sizeof(Table) + grown->capacity * sizeof(std::atomic<Node*>),
+        std::memory_order_relaxed);
+    table = grown.get();
+    table_.store(table, std::memory_order_release);
+    tables_.push_back(std::move(grown));
+  }
+  size_t index = node->hash & table->mask;
+  size_t first_dead = kSlotNotFound;
+  for (;;) {
+    Node* existing = table->slots[index].load(std::memory_order_relaxed);
+    if (existing == nullptr) break;
+    if (existing->hash == node->hash && existing->key == node->key) {
+      // Same key: re-registration over a tombstone, or a degrade
+      // replacement — the new node takes the slot in place.
+      table->slots[index].store(node.get(), std::memory_order_release);
+      nodes_.push_back(std::move(node));
+      return;
+    }
+    if (first_dead == kSlotNotFound && existing->state.expired()) {
+      first_dead = index;  // reusable tombstone of a different key
+    }
+    index = (index + 1) & table->mask;
+  }
+  if (first_dead != kSlotNotFound) {
+    index = first_dead;  // slot already counted in used
+  } else {
+    ++table->used;
+  }
+  table->slots[index].store(node.get(), std::memory_order_release);
+  nodes_.push_back(std::move(node));
+}
+
 Result<std::shared_ptr<MetricState>> MetricRegistry::GetOrCreate(
     const MetricKey& key, int num_shards, const MetricOptions& options,
     size_t ring_capacity, Introspection* introspection) {
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = metrics_.find(key);
-    if (it != metrics_.end()) return it->second;
-  }
+  if (auto existing = Find(key)) return existing;
   // Build outside the exclusive section; shard initialization allocates.
   auto state = std::make_shared<MetricState>();
   QLOVE_RETURN_NOT_OK(state->Initialize(key, num_shards, options,
                                         ring_capacity, introspection));
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = metrics_.emplace(key, std::move(state));
-  if (inserted) by_name_[key.name()].push_back(it->second);
-  return it->second;  // race loser adopts the winner's state
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_t slot = FindSlotLocked(key); slot != kSlotNotFound) {
+    Table* table = table_.load(std::memory_order_relaxed);
+    Node* node = table->slots[slot].load(std::memory_order_relaxed);
+    if (auto winner = node->state.lock()) {
+      return winner;  // race loser adopts the winner's state
+    }
+  }
+  auto node = std::make_unique<Node>();
+  node->hash = key.hash();
+  node->key = key;
+  node->state = state;
+  approx_bytes_.fetch_add(NodeBytes(key), std::memory_order_relaxed);
+  InsertLocked(std::move(node));
+  by_name_[key.name_id()].push_back(state);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  return state;
 }
 
-std::shared_ptr<MetricState> MetricRegistry::Find(const MetricKey& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = metrics_.find(key);
-  return it == metrics_.end() ? nullptr : it->second;
+bool MetricRegistry::Evict(const MetricKey& key,
+                           const std::shared_ptr<MetricState>& expected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t slot = FindSlotLocked(key);
+  if (slot == kSlotNotFound) return false;
+  Table* table = table_.load(std::memory_order_relaxed);
+  Node* node = table->slots[slot].load(std::memory_order_relaxed);
+  auto state = node->state.lock();
+  if (state == nullptr) return false;  // already a tombstone
+  if (expected != nullptr && state != expected) return false;
+  auto tombstone = std::make_unique<Node>();
+  tombstone->hash = node->hash;
+  tombstone->key = node->key;
+  table->slots[slot].store(tombstone.get(), std::memory_order_release);
+  approx_bytes_.fetch_add(NodeBytes(key), std::memory_order_relaxed);
+  nodes_.push_back(std::move(tombstone));
+  auto it = by_name_.find(key.name_id());
+  if (it != by_name_.end()) {
+    auto& states = it->second;
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == state) {
+        states[i] = std::move(states.back());
+        states.pop_back();
+        break;
+      }
+    }
+    if (states.empty()) by_name_.erase(it);
+  }
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Result<std::shared_ptr<MetricState>> MetricRegistry::Replace(
+    const MetricKey& key, int num_shards, const MetricOptions& options,
+    size_t ring_capacity, Introspection* introspection) {
+  auto fresh = std::make_shared<MetricState>();
+  QLOVE_RETURN_NOT_OK(fresh->Initialize(key, num_shards, options,
+                                        ring_capacity, introspection));
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t slot = FindSlotLocked(key);
+  if (slot == kSlotNotFound) {
+    return Status::NotFound("Replace: metric not registered");
+  }
+  Table* table = table_.load(std::memory_order_relaxed);
+  Node* node = table->slots[slot].load(std::memory_order_relaxed);
+  auto old_state = node->state.lock();
+  if (old_state == nullptr) {
+    return Status::NotFound("Replace: metric already evicted");
+  }
+  auto replacement = std::make_unique<Node>();
+  replacement->hash = node->hash;
+  replacement->key = node->key;
+  replacement->state = fresh;
+  table->slots[slot].store(replacement.get(), std::memory_order_release);
+  approx_bytes_.fetch_add(NodeBytes(key), std::memory_order_relaxed);
+  nodes_.push_back(std::move(replacement));
+  auto it = by_name_.find(key.name_id());
+  if (it != by_name_.end()) {
+    for (auto& state : it->second) {
+      if (state == old_state) {
+        state = fresh;
+        break;
+      }
+    }
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);  // old state retired
+  return fresh;
 }
 
 std::vector<std::shared_ptr<MetricState>> MetricRegistry::List() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<MetricState>> out;
-  out.reserve(metrics_.size());
-  for (const auto& [key, state] : metrics_) {
-    out.push_back(state);
+  out.reserve(live_count_.load(std::memory_order_relaxed));
+  for (const auto& [name_id, states] : by_name_) {
+    out.insert(out.end(), states.begin(), states.end());
   }
   return out;
 }
 
 std::vector<std::shared_ptr<MetricState>> MetricRegistry::MatchSelector(
     const TagSelector& selector) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<MetricState>> out;
   if (selector.name.empty()) {
     // Wildcard name: the tag predicate must scan the whole registry.
-    for (const auto& [key, state] : metrics_) {
-      if (selector.Matches(key)) out.push_back(state);
+    for (const auto& [name_id, states] : by_name_) {
+      for (const auto& state : states) {
+        if (selector.Matches(state->key())) out.push_back(state);
+      }
     }
     return out;
   }
-  auto it = by_name_.find(selector.name);
+  auto it = by_name_.find(StringInterner::Global().Intern(selector.name));
   if (it == by_name_.end()) return out;
   for (const auto& state : it->second) {
     if (selector.Matches(state->key())) out.push_back(state);
@@ -158,9 +401,10 @@ std::vector<std::shared_ptr<MetricState>> MetricRegistry::MatchSelector(
   return out;
 }
 
-size_t MetricRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return metrics_.size();
+size_t MetricRegistry::CountForName(uint32_t name_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name_id);
+  return it == by_name_.end() ? 0 : it->second.size();
 }
 
 }  // namespace engine

@@ -1,7 +1,12 @@
 // Copyright 2026 The QLOVE Reproduction Authors
 // The metric registry: maps MetricKeys to their sharded per-metric state.
-// Lookups take a shared lock (the ingest hot path only ever reads the map);
-// first-Record registration takes the exclusive lock once per metric.
+// Built for high cardinality: the Record-path lookup (Find) is lock-free
+// and allocation-free — an open-addressing table of atomically published
+// immutable nodes, probed by the key's cached hash with integer-only
+// comparisons. Writers (registration, eviction, degrade replacement)
+// serialize on one mutex and publish with release stores; retired tables
+// and tombstoned nodes are kept for the registry's lifetime (append-only
+// metadata, surfaced via ApproxBytes) so readers never chase freed memory.
 
 #ifndef QLOVE_ENGINE_REGISTRY_H_
 #define QLOVE_ENGINE_REGISTRY_H_
@@ -10,7 +15,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -69,8 +73,15 @@ class MetricState {
   /// Elements accepted across all shards since initialization.
   int64_t TotalAdded() const;
 
+  /// Cheap (relaxed, lock-free) activity reading: accepted elements plus
+  /// ring backlog across all shards. May tear across shards — good enough
+  /// for the Tick-time idleness comparison, never for accounting.
+  int64_t TotalAddedApprox() const;
+
   /// Finalizes the in-flight sub-window on every shard. Serialized against
-  /// SnapshotShards (epoch lock), so queries never see half a Tick.
+  /// SnapshotShards (epoch lock), so queries never see half a Tick. Also
+  /// refreshes ApproxMemoryBytes from each shard's observed space and
+  /// advances/resets the IdleWindows counter from TotalAddedApprox.
   void CloseSubWindows();
 
   /// Collects every shard's mergeable summary; all summaries come from the
@@ -102,6 +113,21 @@ class MetricState {
     return tick_epochs_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated resident bytes of this metric: observed backend space
+  /// variables (8B each) plus ring slots (16B each) across shards. Seeded
+  /// at Initialize, refreshed at every CloseSubWindows — the currency the
+  /// engine's memory budget spends.
+  size_t ApproxMemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Consecutive CloseSubWindows boundaries with no new accepted/pending
+  /// elements. The engine's idle-eviction policy compares this against
+  /// EngineOptions::idle_eviction_windows.
+  int64_t IdleWindows() const {
+    return idle_windows_.load(std::memory_order_relaxed);
+  }
+
   /// The self-metrics sink the shards report into; null when introspection
   /// is off for the owning engine.
   Introspection* introspection() const { return introspection_; }
@@ -114,6 +140,9 @@ class MetricState {
   Introspection* introspection_ = nullptr;      // engine-owned sink
   std::atomic<uint64_t> next_shard_{0};
   std::atomic<int64_t> tick_epochs_{0};
+  std::atomic<size_t> memory_bytes_{0};
+  std::atomic<int64_t> last_activity_{0};  // TotalAddedApprox at last Tick
+  std::atomic<int64_t> idle_windows_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
   /// Current epoch's resolved window; guarded by epoch_mu_, reset by
   /// CloseSubWindows, built lazily by Resolved().
@@ -125,9 +154,20 @@ class MetricState {
   mutable std::vector<BackendSummary> spare_views_;
 };
 
-/// \brief Thread-safe MetricKey -> MetricState map.
+/// \brief Thread-safe MetricKey -> MetricState map with lock-free reads.
+///
+/// Find() probes an atomically published open-addressing table: one
+/// acquire load of the table pointer, integer hash/key compares along the
+/// probe chain, one weak_ptr::lock() — no mutex, no allocation. Writers
+/// serialize on mu_; nodes are immutable once published (eviction and
+/// degrade replacement publish a *new* node into the slot), and retired
+/// tables/nodes live as long as the registry so a reader mid-probe never
+/// touches freed memory. Strong ownership of every live state sits in the
+/// name index (by_name_), which doubles as the MatchSelector index.
 class MetricRegistry {
  public:
+  MetricRegistry();
+
   /// Returns the existing state for \p key, or creates-and-initializes one
   /// with \p num_shards, \p options, and per-shard ingest rings of
   /// \p ring_capacity slots. Losing a registration race returns the
@@ -138,28 +178,105 @@ class MetricRegistry {
       size_t ring_capacity = Shard::kDefaultRingCapacity,
       Introspection* introspection = nullptr);
 
-  /// Returns the state for \p key, or nullptr when unregistered.
+  /// Returns the state for \p key, or nullptr when unregistered (or
+  /// evicted). Lock-free and allocation-free — the Record hot path.
   std::shared_ptr<MetricState> Find(const MetricKey& key) const;
 
   /// All registered metrics, in unspecified order.
   std::vector<std::shared_ptr<MetricState>> List() const;
 
   /// Every registered metric \p selector matches, in unspecified order.
-  /// Named selectors resolve through a name -> states secondary index
+  /// Named selectors resolve through the name -> states index
   /// (O(keys sharing the name), not O(registry)); a wildcard name scans.
   std::vector<std::shared_ptr<MetricState>> MatchSelector(
       const TagSelector& selector) const;
 
-  size_t size() const;
+  /// Live (non-evicted) metric count.
+  size_t size() const { return live_count_.load(std::memory_order_relaxed); }
+
+  /// Retires \p key: publishes a tombstone so Find/List/MatchSelector stop
+  /// seeing it and drops the registry's strong reference (in-flight
+  /// queries holding the shared_ptr keep the state alive until they
+  /// finish). Returns false when the key is not live, or — when
+  /// \p expected is non-null — when the live state is no longer
+  /// \p expected (the key was concurrently re-registered or replaced, and
+  /// the newcomer must not be collateral damage of a stale eviction
+  /// decision). Re-registering the key later creates a fresh state in the
+  /// same table slot.
+  bool Evict(const MetricKey& key,
+             const std::shared_ptr<MetricState>& expected = nullptr);
+
+  /// Atomically swaps \p key's state for a fresh one built with
+  /// \p options — the degrade path (e.g. exact -> qlove under memory
+  /// pressure). The old state retires exactly like an eviction; readers
+  /// see either the old state or the new one, never neither. Fails with
+  /// NotFound when the key is not live.
+  Result<std::shared_ptr<MetricState>> Replace(
+      const MetricKey& key, int num_shards, const MetricOptions& options,
+      size_t ring_capacity = Shard::kDefaultRingCapacity,
+      Introspection* introspection = nullptr);
+
+  /// Live metrics registered under the interned name id — the cardinality
+  /// a family's auto-degrade threshold is checked against.
+  size_t CountForName(uint32_t name_id) const;
+
+  /// Tombstones published so far (evictions + degrade replacements).
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate bytes of registry metadata: live + retired tables, every
+  /// node ever published, and the name index. Append-only by design
+  /// (reader safety), so this only grows; it is the registry_bytes gauge.
+  size_t ApproxBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<MetricKey, std::shared_ptr<MetricState>, MetricKeyHash>
-      metrics_;
-  /// Secondary index for selector queries: metric name -> every state
-  /// registered under that name. Maintained by GetOrCreate's insert path.
-  std::unordered_map<std::string, std::vector<std::shared_ptr<MetricState>>>
+  /// Immutable once published. A default-constructed (never-assigned)
+  /// weak_ptr marks a tombstone.
+  struct Node {
+    size_t hash = 0;
+    MetricKey key;
+    std::weak_ptr<MetricState> state;
+  };
+
+  struct Table {
+    size_t capacity = 0;
+    size_t mask = 0;
+    size_t used = 0;  // occupied slots incl. tombstones; writer-only
+    std::unique_ptr<std::atomic<Node*>[]> slots;
+  };
+
+  static std::unique_ptr<Table> MakeTable(size_t capacity);
+
+  /// Publishes \p node into \p table (writer lock held), growing into a
+  /// fresh table first when the probe load would exceed ~70%.
+  void InsertLocked(std::unique_ptr<Node> node);
+
+  /// Probes the current table for \p key's slot (writer lock held).
+  /// Returns the slot index or SIZE_MAX when absent.
+  size_t FindSlotLocked(const MetricKey& key) const;
+
+  /// Serializes all writers; also guards by_name_, graveyards, counters
+  /// below it. Never taken by Find().
+  mutable std::mutex mu_;
+
+  std::atomic<Table*> table_{nullptr};
+
+  /// Strong ownership + selector index: interned name id -> live states.
+  std::unordered_map<uint32_t, std::vector<std::shared_ptr<MetricState>>>
       by_name_;
+
+  /// Append-only graveyards: every node and table ever published stays
+  /// alive so lock-free readers can never touch freed memory. ~100 bytes
+  /// per metric lifecycle event, reported via ApproxBytes.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Table>> tables_;
+
+  std::atomic<size_t> live_count_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<size_t> approx_bytes_{0};
 };
 
 }  // namespace engine

@@ -173,12 +173,13 @@ void Shard::AddBatchStrided(const double* values, size_t count, size_t offset,
   PublishPreQuantizedStrided(quantized.data(), quantized.size(), 0, 1);
 }
 
-void Shard::CloseSubWindow() {
+int64_t Shard::CloseSubWindow() {
   std::lock_guard<std::mutex> lock(mu_);
   DrainLocked();
   backend_->Tick();
   backend_inflight_.store(backend_->InflightCount(),
                           std::memory_order_relaxed);
+  return backend_->ObservedSpaceVariables();
 }
 
 void Shard::SnapshotInto(BackendSummary* out) const {

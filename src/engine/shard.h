@@ -162,8 +162,10 @@ class Shard {
                                   size_t offset, size_t stride);
 
   /// Finalizes the in-flight sub-window (the engine's Tick): drains the
-  /// ring, then ticks the backend. Thread-safe.
-  void CloseSubWindow();
+  /// ring, then ticks the backend. Returns the backend's observed space in
+  /// variables (already under the lock, so Tick-time memory accounting
+  /// costs no extra acquisition). Thread-safe.
+  int64_t CloseSubWindow();
 
   /// Exports the backend's mergeable summary into \p out, reusing its
   /// buffers (the allocation-free snapshot path); drains the ring first so
@@ -212,6 +214,13 @@ class Shard {
   /// contract); a cold diagnostic, so the lock acquisition is fine —
   /// backlog polling belongs on the lock-free InflightCount instead.
   int64_t TotalAdded() const;
+
+  /// Lock-free approximation of TotalAdded: drained total plus ring
+  /// backlog, two relaxed loads. Same tearing caveats as InflightCount —
+  /// the Tick-time idleness comparison, not accounting.
+  int64_t TotalAddedApprox() const {
+    return total_added_.load(std::memory_order_relaxed) + ring_.pending();
+  }
 
   /// Backend space right now, in variables (§5.1 metric). Thread-safe.
   int64_t ObservedSpaceVariables() const;

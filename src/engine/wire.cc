@@ -50,7 +50,7 @@ class Writer {
     U64(bits);
   }
   void Bool(bool v) { U8(v ? 1 : 0); }
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     U32(static_cast<uint32_t>(s.size()));
     std::memcpy(p_, s.data(), s.size());
     p_ += s.size();
@@ -69,12 +69,13 @@ class Writer {
 // bytes).
 // ---------------------------------------------------------------------------
 
-size_t StrSize(const std::string& s) { return 4 + s.size(); }
+size_t StrSize(std::string_view s) { return 4 + s.size(); }
 
 size_t KeySize(const MetricKey& key) {
   size_t n = StrSize(key.name()) + 4;
-  for (const MetricTag& tag : key.tags()) {
-    n += StrSize(tag.first) + StrSize(tag.second);
+  for (size_t i = 0; i < key.tag_count(); ++i) {
+    MetricKey::TagView tag = key.tag(i);
+    n += StrSize(tag.name) + StrSize(tag.value);
   }
   return n;
 }
@@ -377,10 +378,11 @@ Status DecodeSummary(Reader* r, BackendSummary* summary) {
 
 void EncodeKey(const MetricKey& key, Writer* w) {
   w->Str(key.name());
-  w->U32(static_cast<uint32_t>(key.tags().size()));
-  for (const MetricTag& tag : key.tags()) {
-    w->Str(tag.first);
-    w->Str(tag.second);
+  w->U32(static_cast<uint32_t>(key.tag_count()));
+  for (size_t i = 0; i < key.tag_count(); ++i) {
+    MetricKey::TagView tag = key.tag(i);
+    w->Str(tag.name);
+    w->Str(tag.value);
   }
 }
 
@@ -394,11 +396,16 @@ Status DecodeKey(Reader* r, MetricKey* key) {
     QLOVE_RETURN_NOT_OK(r->Str(&tag.first));
     QLOVE_RETURN_NOT_OK(r->Str(&tag.second));
   }
-  // MetricKey re-canonicalizes (sorts) its tags. Encoded keys come from a
-  // MetricKey, so their tags arrive sorted and survive a re-encode
-  // byte-identically; a corrupt buffer whose tags decode out of order is
-  // silently canonicalized, which is the safe direction.
+  // MetricKey re-canonicalizes its tags. Encoded keys come from a
+  // MetricKey, so their tags arrive sorted and unique and survive a
+  // re-encode byte-identically; a corrupt buffer whose tags decode out of
+  // order is silently canonicalized, which is the safe direction. A buffer
+  // carrying a duplicate tag name, though, would be silently *collapsed*
+  // (last wins) — reject it so the re-encode invariant holds.
   *key = MetricKey(std::move(name), std::move(tags));
+  if (key->tag_count() != num_tags) {
+    return Status::InvalidArgument("duplicate tag name in encoded key");
+  }
   return Status::OK();
 }
 
@@ -561,7 +568,7 @@ class Writer2 {
       U8(static_cast<uint8_t>(bits >> shift));
     }
   }
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     VarU(s.size());
     out_->insert(out_->end(), s.begin(), s.end());
   }
@@ -768,10 +775,11 @@ class Reader2 {
 
 void EncodeKeyV2(const MetricKey& key, Writer2* w) {
   w->Str(key.name());
-  w->VarU(key.tags().size());
-  for (const MetricTag& tag : key.tags()) {
-    w->Str(tag.first);
-    w->Str(tag.second);
+  w->VarU(key.tag_count());
+  for (size_t i = 0; i < key.tag_count(); ++i) {
+    MetricKey::TagView tag = key.tag(i);
+    w->Str(tag.name);
+    w->Str(tag.value);
   }
 }
 
@@ -786,6 +794,11 @@ Status DecodeKeyV2(Reader2* r, MetricKey* key) {
     QLOVE_RETURN_NOT_OK(r->Str(&tag.second));
   }
   *key = MetricKey(std::move(name), std::move(tags));
+  // See DecodeKey: duplicate tag names would collapse (last wins) and break
+  // the re-encode invariant; reject them.
+  if (key->tag_count() != num_tags) {
+    return Status::InvalidArgument("duplicate tag name in encoded key");
+  }
   return Status::OK();
 }
 

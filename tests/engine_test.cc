@@ -596,6 +596,168 @@ TEST(EngineTest, MixedBackendsServeConcurrently) {
   }
 }
 
+// Regression: duplicate tag names must collapse at canonicalization
+// (last-wins), never produce a key whose ToString round-trip disagrees
+// with its identity. Pre-fix, MetricKey("m", {{"host","a"},{"host","b"}})
+// kept both pairs and hashed/compared as a two-tag key.
+TEST(MetricKeyTest, DuplicateTagNamesDedupeLastWins) {
+  const MetricKey duplicated("rtt_us", {{"host", "a"}, {"host", "b"}});
+  EXPECT_EQ(duplicated.tag_count(), 1u);
+  EXPECT_EQ(duplicated.ToString(), "rtt_us{host=b}");
+  EXPECT_EQ(duplicated, MetricKey("rtt_us", {{"host", "b"}}));
+  EXPECT_EQ(MetricKeyHash()(duplicated),
+            MetricKeyHash()(MetricKey("rtt_us", {{"host", "b"}})));
+
+  // Interleaved with other tags, only the duplicated name collapses.
+  const MetricKey mixed(
+      "rtt_us", {{"dc", "eu-1"}, {"host", "a"}, {"host", "c"}});
+  EXPECT_EQ(mixed.ToString(), "rtt_us{dc=eu-1,host=c}");
+
+  // WithTag on an existing name replaces instead of accumulating.
+  const MetricKey base("rtt_us", {{"host", "a"}, {"dc", "eu-1"}});
+  const MetricKey replaced = base.WithTag("host", "b");
+  EXPECT_EQ(replaced.tag_count(), 2u);
+  EXPECT_EQ(replaced.ToString(), "rtt_us{dc=eu-1,host=b}");
+  EXPECT_EQ(base.ToString(), "rtt_us{dc=eu-1,host=a}");  // source untouched
+}
+
+// Regression: the canonical hash is computed once at construction and
+// cached; every construction path (ctor, WithTag chain, copies) must
+// agree, and MetricKeyHash must read the cache rather than re-walk the
+// strings.
+TEST(MetricKeyTest, HashIsCachedAndStableAcrossConstructionPaths) {
+  const MetricKey constructed("rtt_us",
+                              {{"dc", "eu-1"}, {"service", "search"}});
+  const MetricKey built =
+      MetricKey("rtt_us").WithTag("service", "search").WithTag("dc", "eu-1");
+  EXPECT_EQ(constructed.hash(), built.hash());
+  EXPECT_EQ(MetricKeyHash()(constructed), constructed.hash());
+
+  const MetricKey copy = constructed;  // copies carry the cached hash
+  EXPECT_EQ(copy.hash(), constructed.hash());
+
+  // Distinct keys must (for these fixtures) hash apart — guards against a
+  // cache that degenerates to a constant.
+  EXPECT_NE(constructed.hash(), MetricKey("rtt_us").hash());
+  EXPECT_NE(MetricKey().hash(), constructed.hash());
+  EXPECT_EQ(MetricKey().hash(), MetricKey("").hash());  // default == empty
+}
+
+// Idle metrics are evicted after the configured horizon: a final
+// summarize covers buffered events, the registry drops the key, and the
+// lifecycle is visible in Stats(). A later Record auto-re-registers the
+// key as a fresh metric.
+TEST(EngineTest, IdleMetricsAreEvictedAfterHorizonAndCanReRegister) {
+  EngineOptions options;
+  options.num_shards = 1;
+  options.idle_eviction_windows = 2;
+  TelemetryEngine engine(options);
+  const MetricKey hot("rtt_us", {{"state", "hot"}});
+  const MetricKey cold("rtt_us", {{"state", "cold"}});
+  ASSERT_TRUE(engine.RecordBatch(hot, {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(engine.RecordBatch(cold, {4.0, 5.0}).ok());
+  engine.Tick();
+  EXPECT_EQ(engine.metric_count(), 2u);
+
+  // Keep `hot` active; let `cold` cross the idle horizon.
+  for (int tick = 0; tick < 4; ++tick) {
+    ASSERT_TRUE(engine.Record(hot, 1.0 + tick).ok());
+    engine.Flush();
+    engine.Tick();
+  }
+  EXPECT_EQ(engine.metric_count(), 1u);
+  EXPECT_EQ(engine.Snapshot(cold).status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(engine.TotalRecorded(cold), 0);
+  EXPECT_EQ(engine.TotalRecorded(hot), 3 + 4);
+
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.evicted_events, 2);  // the two `cold` events
+  EXPECT_GT(stats.interned_strings, 0u);
+  EXPECT_GT(stats.registry_bytes, 0u);
+
+  // Re-registration after eviction: same key, fresh identity.
+  ASSERT_TRUE(engine.RecordBatch(cold, {7.0}).ok());
+  engine.Tick();
+  EXPECT_EQ(engine.metric_count(), 2u);
+  EXPECT_EQ(engine.TotalRecorded(cold), 1);
+  auto snap = engine.Snapshot(cold);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.ValueOrDie().window_count, 1);
+}
+
+// Over-budget engines spend idle metrics before touching active ones, and
+// degrade what cannot be evicted. With an impossible budget the whole
+// policy chain runs: first tick degrades the (all-active) qlove metrics to
+// gk in place; once one goes idle it is evicted while the active one keeps
+// serving.
+TEST(EngineTest, MemoryBudgetEvictsIdleMetricsFirst) {
+  EngineOptions options;
+  options.num_shards = 1;
+  options.memory_budget_bytes = 1;  // any metric at all is over budget
+  TelemetryEngine engine(options);
+  const MetricKey hot("rtt_us", {{"state", "hot"}});
+  const MetricKey cold("rtt_us", {{"state", "cold"}});
+  ASSERT_TRUE(engine.RecordBatch(hot, {1.0}).ok());
+  ASSERT_TRUE(engine.RecordBatch(cold, {2.0}).ok());
+  engine.Tick();  // nothing idle yet: pressure degrades instead of evicting
+  EXPECT_EQ(engine.metric_count(), 2u);
+  EXPECT_GE(engine.Stats().degrades, 2);
+
+  ASSERT_TRUE(engine.Record(hot, 3.0).ok());
+  engine.Flush();
+  engine.Tick();  // cold is now idle and the engine is over budget
+  EXPECT_EQ(engine.metric_count(), 1u);
+  EXPECT_EQ(engine.Snapshot(cold).status().code(), Status::Code::kNotFound);
+  // The degraded replacement started an empty gk metric; only the
+  // post-degrade record survives in `hot` (the rest rolled into
+  // evicted_events).
+  EXPECT_EQ(engine.TotalRecorded(hot), 1);
+  const EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_GE(stats.evicted_events, 2);  // 1 from degrade-replace + 1 evicted
+}
+
+// Past the per-name cardinality threshold, new registrations degrade one
+// step down the exact -> qlove -> gk chain, and an explicit RegisterMetric
+// claim for the requested backend still succeeds (the degraded
+// configuration is an accepted answer to the request).
+TEST(EngineTest, CardinalityThresholdDegradesNewRegistrations) {
+  EngineOptions options;
+  options.num_shards = 1;
+  options.degrade_cardinality_threshold = 4;
+  TelemetryEngine engine(options);
+
+  std::vector<MetricKey> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back(MetricKey("wide", {{"id", std::to_string(i)}}));
+    ASSERT_TRUE(engine.RegisterMetric(keys.back()).ok()) << i;
+    ASSERT_TRUE(engine.RecordBatch(keys.back(), {1.0, 2.0, 3.0}).ok());
+  }
+  engine.Tick();
+  EXPECT_EQ(engine.metric_count(), 8u);
+
+  int degraded = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto snap = engine.Snapshot(keys[i]);
+    ASSERT_TRUE(snap.ok()) << i;
+    if (snap.ValueOrDie().backend == BackendKind::kGk) ++degraded;
+    // Below the threshold nothing degrades.
+    if (i < 4) EXPECT_EQ(snap.ValueOrDie().backend, BackendKind::kQlove);
+  }
+  EXPECT_EQ(degraded, 4);  // registrations 4..7 crossed the threshold
+  EXPECT_GE(engine.Stats().degrades, 4);
+
+  // Re-claiming an already-degraded key with the default backend is not a
+  // conflict; claiming an unrelated kind still is.
+  ASSERT_TRUE(engine.RegisterMetric(keys[7]).ok());
+  BackendOptions cmqs;
+  cmqs.kind = BackendKind::kCmqs;
+  cmqs.epsilon = 0.0005;  // fine enough for the default p99.9
+  EXPECT_EQ(engine.RegisterMetric(keys[7], cmqs).code(),
+            Status::Code::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace qlove

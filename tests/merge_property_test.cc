@@ -805,6 +805,77 @@ TEST(DeltaSyncPropertyTest, SteadyStateDeltasStayWellUnderFullFrames) {
   EXPECT_EQ(health.delta_ingests, 9);
 }
 
+// Regression: the cursor's tracking map must follow the live metric set.
+// Pre-fix, an evicted metric left two defects — the cursor kept its entry
+// forever (one map node per key ever exported, unbounded under churn) and
+// the next frame went out as a delta that could never tell the receiver
+// to retire the key. The fix prunes the map against each export and
+// forces a full frame whenever a tracked key vanishes, so the receiver's
+// held state (a wholesale replacement) retires it too.
+TEST(DeltaSyncPropertyTest, EvictedMetricForcesFullFrameAndPrunesCursor) {
+  EngineOptions options = MakeOptions(BackendKind::kQlove);
+  options.idle_eviction_windows = 2;
+  TelemetryEngine engine(options);
+  AggregatorEngine aggregator;
+  ExportCursor cursor;
+  const std::string source = "agent-0";
+  const MetricKey keep("rtt_us", {{"state", "keep"}});
+  const MetricKey churn("rtt_us", {{"state", "churn"}});
+  workload::NetMonGenerator gen(91);
+
+  auto ship = [&]() -> bool {
+    std::vector<uint8_t> frame;
+    EXPECT_TRUE(engine.ExportDeltaEncoded(source, &cursor, &frame).ok());
+    auto ack = aggregator.IngestFrame(frame);
+    EXPECT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_TRUE(ack.ValueOrDie().applied);
+    return !ack.ValueOrDie().resync_required;
+  };
+
+  // Round 1: both metrics active; the opening full frame tracks both.
+  ASSERT_TRUE(
+      engine.RecordBatch(keep, workload::Materialize(&gen, kPerTick)).ok());
+  ASSERT_TRUE(
+      engine.RecordBatch(churn, workload::Materialize(&gen, kPerTick)).ok());
+  engine.Tick();
+  ASSERT_TRUE(ship());
+  EXPECT_EQ(cursor.tracked_metrics(), 2u);
+  {
+    auto held = aggregator.SourceSnapshot(source);
+    ASSERT_TRUE(held.ok());
+    EXPECT_EQ(held.ValueOrDie().metrics.size(), 2u);
+  }
+
+  // Rounds 2..4: only `keep` stays active; `churn` crosses the idle
+  // horizon and is evicted by the engine.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(
+        engine.RecordBatch(keep, workload::Materialize(&gen, kPerTick)).ok());
+    engine.Tick();
+    ASSERT_TRUE(ship());
+  }
+  EXPECT_EQ(engine.metric_count(), 1u);
+
+  // The cursor pruned the evicted key and the receiver retired it.
+  EXPECT_EQ(cursor.tracked_metrics(), 1u);
+  auto held = aggregator.SourceSnapshot(source);
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held.ValueOrDie().metrics.size(), 1u);
+  EXPECT_EQ(held.ValueOrDie().metrics[0].key, keep);
+  const AggregatorEngine::FleetHealthSnapshot health =
+      aggregator.FleetHealth();
+  EXPECT_EQ(health.metrics_retired, 1);
+  EXPECT_GT(health.interned_strings, 0u);
+
+  // Steady state after the churn settles: deltas flow again.
+  ASSERT_TRUE(
+      engine.RecordBatch(keep, workload::Materialize(&gen, kPerTick)).ok());
+  engine.Tick();
+  ASSERT_TRUE(ship());
+  EXPECT_EQ(cursor.tracked_metrics(), 1u);
+  EXPECT_GT(aggregator.FleetHealth().delta_ingests, 0);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace qlove

@@ -218,6 +218,31 @@ TEST(QueryAllocTest2, IntrospectionHotPathCountersAllocateNothing) {
   EXPECT_EQ(news, 0) << "instrumented record/flush/drain path allocated";
 }
 
+TEST(QueryAllocTest2, RegistryLookupIsAllocationFree) {
+  // The Record-path registry lookup (MetricRegistry::Find behind
+  // TotalRecorded) is lock-free AND allocation-free: it probes an atomic
+  // open-addressing table and locks a weak_ptr whose control block
+  // already exists. With a pre-built key — ids interned at construction —
+  // a lookup burst must not touch the heap at all. (The lock-free claim
+  // is exercised by the TSan CardinalityConcurrencyTest; this pins the
+  // allocation half.)
+  EngineOptions options;
+  options.num_shards = 1;
+  TelemetryEngine engine(options);
+  const MetricKey key("rtt_us", {{"dc", "eu-1"}, {"service", "search"}});
+  const MetricKey missing("rtt_us", {{"dc", "eu-1"}, {"service", "nope"}});
+  ASSERT_TRUE(engine.RegisterMetric(key).ok());
+  for (int i = 0; i < 4; ++i) (void)engine.TotalRecorded(key);  // warm
+
+  const int64_t news = CountNews([&] {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(engine.TotalRecorded(key), 0);
+      ASSERT_EQ(engine.TotalRecorded(missing), 0);  // miss path too
+    }
+  });
+  EXPECT_EQ(news, 0) << "registry lookup allocated";
+}
+
 TEST(QueryAllocTest2, TickRebuildRecyclesSummaryBuffers) {
   EngineOptions options;
   options.num_shards = 4;

@@ -276,10 +276,17 @@ TEST(TagSelectorTest, MatchingEdgeCases) {
   EXPECT_FALSE((TagSelector{"rtt_us", {{"host", "c"}}}).Matches(plain));
   EXPECT_FALSE((TagSelector{"rtt_us", {{"dc", "eu"}}}).Matches(plain));
 
-  // Duplicate tag names in the selector require both pairs in the key.
+  // Keys canonicalize duplicate tag names away (last wins), so `multi` is
+  // really rtt_us{host=b} and a selector listing the same tag name twice
+  // with different values can never match any key.
+  EXPECT_TRUE((TagSelector{"rtt_us", {{"host", "b"}}}).Matches(multi));
+  EXPECT_FALSE((TagSelector{"rtt_us", {{"host", "a"}}}).Matches(multi));
   const TagSelector both{"rtt_us", {{"host", "a"}, {"host", "b"}}};
-  EXPECT_TRUE(both.Matches(multi));
+  EXPECT_FALSE(both.Matches(multi));
   EXPECT_FALSE(both.Matches(plain));
+  // ... while repeating the identical pair is harmless.
+  const TagSelector repeated{"rtt_us", {{"host", "a"}, {"host", "a"}}};
+  EXPECT_TRUE(repeated.Matches(plain));
 
   EXPECT_EQ(TagSelector{}.ToString(), "*");
   EXPECT_EQ(both.ToString(), "rtt_us{host=a,host=b}");

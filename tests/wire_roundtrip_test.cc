@@ -302,6 +302,45 @@ TEST(WireFormatTest, RejectsBadMagicVersionAndHostileLengths) {
   EXPECT_FALSE(DecodeSnapshot(trailing).ok());
 }
 
+// Regression: an encoded key carrying the same tag name twice must be
+// rejected at decode. MetricKey canonicalization dedupes tag names
+// (last-wins), so such a key would silently collapse to fewer tags than
+// the frame declared — and its re-encode would no longer be
+// byte-identical, breaking the replay/dedup invariant this whole suite
+// pins. (No API path produces such a frame; this is a hostile/corrupt
+// input check, exercised by byte-patching one tag name into another.)
+TEST(WireFormatTest, RejectsDuplicateTagNameInEncodedKey) {
+  EngineOptions options;
+  options.num_shards = 1;
+  TelemetryEngine engine(options);
+  // Tag names "qq"/"qz" are the only places the bytes 'q','z' can appear:
+  // patching "qz" -> "qq" forges a duplicate without resizing the frame.
+  const MetricKey key("dup_metric", {{"qq", "aa"}, {"qz", "bb"}});
+  ASSERT_TRUE(engine.RecordBatch(key, {1.0, 2.0, 3.0}).ok());
+  engine.Tick();
+  const WireSnapshot snapshot = engine.ExportSnapshot("agent-dup");
+
+  for (const bool v2 : {false, true}) {
+    SCOPED_TRACE(v2 ? "v2" : "v1");
+    std::vector<uint8_t> encoded =
+        v2 ? EncodeSnapshotV2(snapshot) : EncodeSnapshot(snapshot);
+    size_t patched = 0;
+    for (size_t i = 0; i + 1 < encoded.size(); ++i) {
+      if (encoded[i] == 'q' && encoded[i + 1] == 'z') {
+        encoded[i + 1] = 'q';
+        ++patched;
+      }
+    }
+    ASSERT_EQ(patched, 1u);
+    auto decoded = DecodeSnapshot(encoded);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_NE(decoded.status().message().find("duplicate tag"),
+              std::string::npos)
+        << decoded.status().message();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Frame transport over a pipe
 // ---------------------------------------------------------------------------

@@ -89,6 +89,53 @@ def main() -> int:
                 failures.append(
                     f"{key}: {metric} {measured} > ceiling {ceiling}")
 
+    # Cardinality sweep gates: lifecycle throughput floors at the gated
+    # key count (tolerance haircut applies, like the ingest floors), plus
+    # two structural requirements — the artifact must carry the 1M-key row
+    # (the high-cardinality acceptance point), and that row must show the
+    # eviction machinery actually running (a 1M-key register/record cycle
+    # under the bench's 256 MiB budget cannot complete without retiring
+    # idle metrics; zero evictions means the policy was off).
+    card_gates = baseline.get("cardinality_gates", [])
+    if card_gates:
+        card_rows = {r["keys"]: r for r in bench.get("cardinality", [])}
+        if not card_rows:
+            failures.append(
+                f"{bench_path} carries no cardinality sweep (bench too old)")
+        for gate in card_gates:
+            keys = gate["keys"]
+            row = card_rows.get(keys)
+            if row is None:
+                failures.append(f"missing cardinality row for {keys} keys")
+                continue
+            for metric in ("register_kqps", "record_mops", "query_kqps"):
+                raw_floor = gate.get(f"{metric}_floor")
+                if raw_floor is None:
+                    continue
+                floor = raw_floor * (1.0 - tolerance)
+                measured = row.get(metric)
+                if measured is None:
+                    failures.append(
+                        f"cardinality {keys}: row carries no {metric}")
+                    continue
+                verdict = "ok" if measured >= floor else "REGRESSED"
+                print(f"cardinality @ {keys} keys: {metric}={measured:.3f} "
+                      f"(floor {raw_floor:.3f} - {tolerance:.0%} "
+                      f"= {floor:.3f}) {verdict}")
+                if measured < floor:
+                    failures.append(
+                        f"cardinality {keys}: {metric} {measured:.3f} "
+                        f"< {floor:.3f}")
+        if card_rows:
+            million = card_rows.get(1000000)
+            if million is None:
+                failures.append(
+                    "cardinality sweep is missing the 1M-key row")
+            elif million.get("evictions", 0) <= 0:
+                failures.append(
+                    "1M-key cardinality row shows zero evictions: the "
+                    "budget/idle policy was not exercised")
+
     # The self-metrics layer's acceptance bar: its cost on the buffered
     # Record path is measured by the bench (best-of-25 interleaved
     # single-writer on/off runs) and must stay under the checked-in
