@@ -192,6 +192,12 @@ class QloveOperator final : public QuantileOperator {
   /// Elements accumulated into the in-flight (not yet finalized) sub-window.
   int64_t InflightCount() const { return inflight_count_; }
 
+  /// Rebases the boundary-epoch counter (engine WAL recovery: a fresh
+  /// operator continues a crashed incarnation's epoch sequence so restored
+  /// sub-window summaries and new ones age out consistently). Call only
+  /// before any Add/OnSubWindowBoundary on this incarnation.
+  void SetBoundaryEpoch(int64_t epoch) { boundary_epoch_ = epoch; }
+
   /// The few-k plan layout this operator builds at Initialize: one plan per
   /// high phi (phi in [high_quantile_threshold, 1)), in phi input order.
   /// Returns the phi index -> plan index map (-1 for non-high phis) and

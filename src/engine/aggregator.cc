@@ -220,6 +220,19 @@ Status AggregatorEngine::IngestEncoded(const std::vector<uint8_t>& buffer) {
 
 Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrame(
     const uint8_t* data, size_t size) {
+  // Checkpoint BEFORE applying: when rotation is due, the new segment
+  // opens with the held state this frame's delta (if it is one) was built
+  // against, so replay applies the whole segment without a NAK.
+  MaybeCheckpointWal();
+  auto result = IngestFrameImpl(data, size);
+  if (result.ok() && result.ValueOrDie().applied) {
+    AppendWalFrame(data, size);
+  }
+  return result;
+}
+
+Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrameImpl(
+    const uint8_t* data, size_t size) {
   wire_bytes_ingested_.fetch_add(static_cast<int64_t>(size),
                                  std::memory_order_relaxed);
   auto decoded = [&]() -> Result<WireFrame> {
@@ -290,6 +303,128 @@ Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrame(
 Result<AggregatorEngine::IngestAck> AggregatorEngine::IngestFrame(
     const std::vector<uint8_t>& buffer) {
   return IngestFrame(buffer.data(), buffer.size());
+}
+
+Status AggregatorEngine::EnableWal(const std::string& dir,
+                                   const WalOptions& wal_options) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("WAL already enabled (dir " +
+                                      wal_->dir() + ")");
+  }
+  auto writer = WalWriter::Open(dir, wal_options);
+  if (!writer.ok()) return writer.status();
+  wal_ = writer.TakeValue();
+  wal_records_since_checkpoint_ = 0;
+  wal_degraded_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status AggregatorEngine::FlushWal() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("WAL not enabled");
+  }
+  return wal_->Sync();
+}
+
+bool AggregatorEngine::wal_enabled() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr;
+}
+
+Result<AggregatorEngine::WalRecoveryInfo> AggregatorEngine::RecoverFromWal(
+    const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ != nullptr) {
+      return Status::FailedPrecondition(
+          "RecoverFromWal must run before EnableWal");
+    }
+  }
+  if (source_count() != 0) {
+    return Status::FailedPrecondition(
+        "RecoverFromWal requires a fresh aggregator (no held sources)");
+  }
+  // Replay through the normal frame machinery (checkpoints are full
+  // frames, records are whatever arrived). The WAL is off during replay,
+  // so nothing re-logs; frames that cannot apply (delta against state a
+  // truncated tail lost, foreign tokens from a reused directory) NAK and
+  // are counted rejected without poisoning the rest.
+  auto replay =
+      ReplayWal(dir, [this](const uint8_t* data, size_t size) -> Status {
+        auto ack = IngestFrameImpl(data, size);
+        if (!ack.ok()) return ack.status();
+        if (!ack.ValueOrDie().applied) {
+          return Status::InvalidArgument(
+              "frame not applicable to replayed state");
+        }
+        return Status::OK();
+      });
+  if (!replay.ok()) return replay.status();
+  WalRecoveryInfo info;
+  info.replay = replay.ValueOrDie();
+  info.sources = static_cast<int64_t>(source_count());
+  info.fleet_epoch = FleetEpoch();
+  wal_recovered_sources_.store(info.sources, std::memory_order_relaxed);
+  wal_recovered_epoch_.store(info.fleet_epoch, std::memory_order_relaxed);
+  return info;
+}
+
+void AggregatorEngine::MaybeCheckpointWal() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) return;
+  const bool due =
+      wal_->ShouldCheckpoint() ||
+      wal_degraded_.load(std::memory_order_relaxed) ||
+      wal_records_since_checkpoint_ >= wal_->options().checkpoint_every_n_ticks;
+  if (!due) return;
+  // Copy the held snapshots out under mu_, encode and write without it
+  // (wal_mu_ before mu_, always — see the header's lock-order note).
+  std::vector<WireSnapshot> held;
+  {
+    std::lock_guard<std::mutex> sources_lock(mu_);
+    held.reserve(sources_.size());
+    for (const auto& [name, state] : sources_) {
+      (void)name;
+      held.push_back(state.snapshot);
+    }
+  }
+  Status status = wal_->BeginSegment();
+  for (const WireSnapshot& snapshot : held) {
+    if (!status.ok()) break;
+    EncodeSnapshotV2(snapshot, &wal_scratch_);
+    status = wal_->Append(wal_scratch_.data(), wal_scratch_.size(),
+                          /*is_checkpoint=*/true);
+  }
+  if (status.ok() && wal_->options().fsync != WalFsyncPolicy::kOs) {
+    // The checkpoint set is the durability floor of everything after it;
+    // sync it under both sync-happy policies.
+    status = wal_->Sync();
+  }
+  if (!status.ok()) {
+    wal_degraded_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  wal_degraded_.store(false, std::memory_order_relaxed);
+  wal_records_since_checkpoint_ = 0;
+}
+
+void AggregatorEngine::AppendWalFrame(const uint8_t* data, size_t size) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) return;
+  // With no open segment (a failed rotation while degraded) this is a
+  // FailedPrecondition: stay degraded and let the next rotation heal.
+  Status status = wal_->Append(data, size, /*is_checkpoint=*/false);
+  if (status.ok() && wal_->options().fsync == WalFsyncPolicy::kEveryTick) {
+    // The aggregator has no Tick; the per-frame append IS its cadence.
+    status = wal_->Sync();
+  }
+  if (!status.ok()) {
+    wal_degraded_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  ++wal_records_since_checkpoint_;
 }
 
 Result<AggregatorEngine::IngestAck> AggregatorEngine::ApplyDelta(
@@ -730,6 +865,24 @@ AggregatorEngine::FleetHealthSnapshot AggregatorEngine::FleetHealth() const {
   health.reexport_dropped = reexport_dropped_.load(std::memory_order_relaxed);
   health.metrics_retired = metrics_retired_.load(std::memory_order_relaxed);
   health.interned_strings = StringInterner::Global().size();
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ != nullptr) {
+      const WalStats& wal = wal_->stats();
+      health.wal_enabled = true;
+      health.wal_records = wal.records;
+      health.wal_checkpoints = wal.checkpoints;
+      health.wal_append_failures = wal.append_failures;
+      health.wal_bytes = wal.bytes;
+      health.wal_segments = wal.live_segments;
+      health.wal_fsyncs = wal.fsyncs;
+    }
+  }
+  health.wal_degraded = wal_degraded_.load(std::memory_order_relaxed);
+  health.wal_recovered_epoch =
+      wal_recovered_epoch_.load(std::memory_order_relaxed);
+  health.wal_recovered_sources =
+      wal_recovered_sources_.load(std::memory_order_relaxed);
   // Copy the provider out, then poll it lock-free: the transport may take
   // its own locks, and holding ours across foreign code invites deadlock.
   std::function<TransportCounters()> provider;
@@ -827,6 +980,23 @@ std::string FormatFleetHealth(
                   static_cast<long long>(health.wire_bytes_reexported),
                   static_cast<long long>(health.reexport_dropped));
   }
+  if (health.wal_enabled || health.wal_recovered_epoch > 0 ||
+      health.wal_recovered_sources > 0) {
+    AppendHealthF(&out,
+                  "  wal: %s%s records=%lld checkpoints=%lld failures=%lld "
+                  "bytes=%lld segments=%lld fsyncs=%lld recovered_epoch=%lld "
+                  "recovered_sources=%lld\n",
+                  health.wal_enabled ? "on" : "off",
+                  health.wal_degraded ? " DEGRADED(non-durable)" : "",
+                  static_cast<long long>(health.wal_records),
+                  static_cast<long long>(health.wal_checkpoints),
+                  static_cast<long long>(health.wal_append_failures),
+                  static_cast<long long>(health.wal_bytes),
+                  static_cast<long long>(health.wal_segments),
+                  static_cast<long long>(health.wal_fsyncs),
+                  static_cast<long long>(health.wal_recovered_epoch),
+                  static_cast<long long>(health.wal_recovered_sources));
+  }
   if (health.has_transport) {
     const AggregatorEngine::TransportCounters& t = health.transport;
     AppendHealthF(&out,
@@ -912,6 +1082,22 @@ std::string FleetHealthToJson(
                 "\"metrics_retired\": %lld, \"interned_strings\": %zu, ",
                 static_cast<long long>(health.metrics_retired),
                 health.interned_strings);
+  AppendHealthF(&out,
+                "\"wal\": {\"enabled\": %s, \"degraded\": %s, "
+                "\"records\": %lld, \"checkpoints\": %lld, "
+                "\"append_failures\": %lld, \"bytes\": %lld, "
+                "\"segments\": %lld, \"fsyncs\": %lld, "
+                "\"recovered_epoch\": %lld, \"recovered_sources\": %lld}, ",
+                health.wal_enabled ? "true" : "false",
+                health.wal_degraded ? "true" : "false",
+                static_cast<long long>(health.wal_records),
+                static_cast<long long>(health.wal_checkpoints),
+                static_cast<long long>(health.wal_append_failures),
+                static_cast<long long>(health.wal_bytes),
+                static_cast<long long>(health.wal_segments),
+                static_cast<long long>(health.wal_fsyncs),
+                static_cast<long long>(health.wal_recovered_epoch),
+                static_cast<long long>(health.wal_recovered_sources));
   if (health.has_transport) {
     const AggregatorEngine::TransportCounters& t = health.transport;
     AppendHealthF(&out,

@@ -42,6 +42,7 @@
 #include "engine/engine.h"
 #include "engine/introspection.h"
 #include "engine/query.h"
+#include "engine/wal.h"
 #include "engine/wire.h"
 
 namespace qlove {
@@ -174,6 +175,55 @@ class AggregatorEngine {
 
   /// @}
 
+  /// \name Crash durability (engine/wal.h)
+  ///
+  /// With a WAL enabled, every frame IngestFrame APPLIES is appended
+  /// verbatim (records are the raw wire bytes), and segment rotation
+  /// writes one full-snapshot checkpoint per held source BEFORE the
+  /// triggering frame is applied — so a replayed segment opens with
+  /// exactly the held state that frame's delta was built against and
+  /// applies without a NAK. A restarted aggregator calls RecoverFromWal
+  /// on a fresh engine to rebuild its per-source held state; agents whose
+  /// sync tokens survive then resume delta streams directly, and any that
+  /// do not self-heal through the normal resync NAK.
+  ///
+  /// Disk faults degrade, never crash: a failed append flips the sticky
+  /// non-durable mode (surfaced in FleetHealth()) and the next successful
+  /// checkpoint rotation heals it.
+  /// @{
+
+  /// What RecoverFromWal reconstructed.
+  struct WalRecoveryInfo {
+    int64_t fleet_epoch = 0;  ///< Fleet epoch after replay.
+    int64_t sources = 0;      ///< Sources with restored held state.
+    WalReplayStats replay;
+  };
+
+  /// Starts write-ahead logging into \p dir (created when missing).
+  /// FailedPrecondition when already enabled. Call AFTER RecoverFromWal
+  /// when resuming.
+  Status EnableWal(const std::string& dir, const WalOptions& wal_options = {});
+
+  /// Replays \p dir through the normal IngestFrame machinery and rebuilds
+  /// the per-source held state. Requires a fresh aggregator (no held
+  /// sources, WAL not yet enabled). Missing/empty directories recover
+  /// nothing and return OK.
+  Result<WalRecoveryInfo> RecoverFromWal(const std::string& dir);
+
+  /// fdatasyncs the open WAL segment (the SIGTERM drain path).
+  /// FailedPrecondition when no WAL is enabled.
+  Status FlushWal();
+
+  bool wal_enabled() const;
+
+  /// True while in non-durable degraded mode (append failed, not yet
+  /// healed by a checkpoint rotation).
+  bool wal_degraded() const {
+    return wal_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// @}
+
   /// \name Transport liveness (fed by net/server.h)
   ///
   /// Ingest recency tells a stale source from a fresh one, but cannot
@@ -274,6 +324,17 @@ class AggregatorEngine {
                                      ///< degraded the metric away).
     size_t interned_strings = 0;     ///< Process-wide interner population
                                      ///< (tag names/values + metric names).
+    /// Durability surface (aggregator-side WAL; engine/wal.h).
+    bool wal_enabled = false;
+    bool wal_degraded = false;        ///< Sticky non-durable mode.
+    int64_t wal_records = 0;          ///< Records appended.
+    int64_t wal_checkpoints = 0;      ///< Per-source checkpoints appended.
+    int64_t wal_append_failures = 0;  ///< Appends lost to I/O errors.
+    int64_t wal_bytes = 0;            ///< Bytes appended (framing incl.).
+    int64_t wal_segments = 0;         ///< Segment files currently retained.
+    int64_t wal_fsyncs = 0;           ///< fdatasync calls issued.
+    int64_t wal_recovered_epoch = 0;  ///< Fleet epoch RecoverFromWal rebuilt.
+    int64_t wal_recovered_sources = 0;  ///< Sources RecoverFromWal rebuilt.
     /// Transport counters (net/server.h), polled from the installed
     /// provider; all-zero with has_transport false when none is attached.
     bool has_transport = false;
@@ -329,6 +390,17 @@ class AggregatorEngine {
   /// The validate-and-swap itself; Ingest wraps it with timing and the
   /// accept/reject accounting.
   Status IngestImpl(WireSnapshot snapshot);
+  /// The decode-and-dispatch behind IngestFrame; the public wrapper adds
+  /// the WAL hooks (checkpoint-before-apply, append-after-apply). Replay
+  /// calls this directly — the WAL is not yet enabled during recovery, so
+  /// replayed frames are never re-logged.
+  Result<IngestAck> IngestFrameImpl(const uint8_t* data, size_t size);
+  /// Rotates and writes the per-source checkpoint set when due (segment
+  /// size, record cadence, or healing degraded mode). Called BEFORE an
+  /// incoming frame is applied; see the durability section above.
+  void MaybeCheckpointWal();
+  /// Appends one applied frame's raw bytes as a non-checkpoint record.
+  void AppendWalFrame(const uint8_t* data, size_t size);
   /// Applies one delta frame against the source's held snapshot —
   /// validate-then-swap, so a NAK or error leaves the held state
   /// untouched. OK acks carry the protocol verdict; error Statuses are
@@ -371,6 +443,17 @@ class AggregatorEngine {
   mutable std::atomic<int64_t> wire_bytes_reexported_{0};
   mutable std::atomic<int64_t> reexport_dropped_{0};
   std::atomic<int64_t> metrics_retired_{0};
+
+  /// Durability state (see the WAL section above); wal_mu_ serializes the
+  /// writer and is always taken BEFORE mu_ (MaybeCheckpointWal snapshots
+  /// held state under both), never the other way around.
+  mutable std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_;          // null = WAL off
+  std::vector<uint8_t> wal_scratch_;        // guarded by wal_mu_
+  int64_t wal_records_since_checkpoint_ = 0;  // guarded by wal_mu_
+  std::atomic<bool> wal_degraded_{false};
+  std::atomic<int64_t> wal_recovered_epoch_{0};
+  std::atomic<int64_t> wal_recovered_sources_{0};
 
   /// The dogfooded self-metrics engine (single shard, introspection on):
   /// holds the `__qlove/stage_us{stage=wire_decode|aggregator_ingest}`

@@ -194,6 +194,8 @@ class QloveBackend final : public ShardBackend {
 
   void Tick() override { op_.OnSubWindowBoundary(); }
 
+  void SetEpochBase(int64_t epoch) override { op_.SetBoundaryEpoch(epoch); }
+
   void SummaryInto(BackendSummary* out) const override {
     out->ResetForKind(BackendKind::kQlove);
     const std::deque<core::SubWindowSummary>& live = op_.SubWindowSummaries();
@@ -294,6 +296,8 @@ class GkBackend final : public ShardBackend {
         });
     NoteSpace();
   }
+
+  void SetEpochBase(int64_t epoch) override { epoch_ = epoch; }
 
   void SummaryInto(BackendSummary* out) const override {
     out->ResetForKind(BackendKind::kGk);
@@ -400,6 +404,8 @@ class CmqsBackend final : public ShardBackend {
     op_.ExpireBefore(total_accepted_ - live);
   }
 
+  void SetEpochBase(int64_t epoch) override { epoch_ = epoch; }
+
   void SummaryInto(BackendSummary* out) const override {
     out->ResetForKind(BackendKind::kCmqs);
     out->semantics = sketch::RankSemantics::kInterpolated;
@@ -491,6 +497,8 @@ class ExactBackend final : public ShardBackend {
         });
     NoteSpace();
   }
+
+  void SetEpochBase(int64_t epoch) override { epoch_ = epoch; }
 
   void SummaryInto(BackendSummary* out) const override {
     out->ResetForKind(BackendKind::kExact);

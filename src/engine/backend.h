@@ -177,6 +177,15 @@ class ShardBackend {
   /// expires content older than the window.
   virtual void Tick() = 0;
 
+  /// Rebases the backend's sub-window epoch counter to \p epoch, as if
+  /// that many boundaries had already passed. WAL recovery calls this on a
+  /// FRESH backend (before any Add/Tick) so new sub-windows continue the
+  /// crashed incarnation's epoch sequence instead of restarting at 1 —
+  /// restored summaries (epochs <= base) and live ones (epochs > base)
+  /// then age out of the shared window consistently and never collide in
+  /// epoch-grouped merges. Backends without epoch-stamped state ignore it.
+  virtual void SetEpochBase(int64_t epoch) { (void)epoch; }
+
   /// Exports the backend's mergeable window state into \p out, reusing
   /// out's buffers (ResetForKind + capacity-reusing payload assignment) so
   /// repeated per-Tick exports into a recycled summary stop allocating

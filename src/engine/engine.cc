@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "engine/aggregator.h"
 #include "engine/coalesce.h"
 
 namespace qlove {
@@ -430,6 +431,7 @@ void TelemetryEngine::Tick() {
     }
     MaintainAfterTick(states);
     tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+    AppendWalRecord();
     introspection_->OnTick();
     // This Tick's own latency is buffered now and published by the NEXT
     // Tick (a one-boundary lag; the alternative would re-open the window
@@ -445,6 +447,158 @@ void TelemetryEngine::Tick() {
   }
   MaintainAfterTick(states);
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+  AppendWalRecord();
+}
+
+Status TelemetryEngine::EnableWal(const std::string& dir,
+                                  const WalOptions& wal_options) {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("WAL already enabled (dir " +
+                                      wal_->dir() + ")");
+  }
+  auto writer = WalWriter::Open(dir, wal_options);
+  if (!writer.ok()) return writer.status();
+  wal_ = writer.TakeValue();
+  // Fresh cursor: the first record is a full-frame checkpoint no matter
+  // what this engine exported elsewhere before.
+  wal_cursor_ = ExportCursor();
+  wal_ticks_since_checkpoint_ = 0;
+  wal_degraded_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TelemetryEngine::FlushWal() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("WAL not enabled");
+  }
+  return wal_->Sync();
+}
+
+bool TelemetryEngine::wal_enabled() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr;
+}
+
+void TelemetryEngine::set_wal_testing_fail_appends(int n) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ != nullptr) wal_->set_testing_fail_appends(n);
+}
+
+void TelemetryEngine::AppendWalRecord() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) return;
+  // A checkpoint is due when the writer asks for one (no open segment, or
+  // the open segment reached its size target), on the periodic cadence
+  // that bounds replay length, or to HEAL degraded mode: a full frame
+  // needs nothing the failed appends lost.
+  const bool checkpoint =
+      wal_->ShouldCheckpoint() ||
+      wal_degraded_.load(std::memory_order_relaxed) ||
+      wal_ticks_since_checkpoint_ >= wal_->options().checkpoint_every_n_ticks;
+  if (checkpoint) wal_cursor_.RequestResync();  // full frame
+  ExportOptions export_options;
+  export_options.include_self_metrics = false;
+  Status status =
+      ExportDeltaEncoded("wal", &wal_cursor_, &wal_scratch_, export_options);
+  if (status.ok() && checkpoint) status = wal_->BeginSegment();
+  if (status.ok()) {
+    status = wal_->Append(wal_scratch_.data(), wal_scratch_.size(),
+                          checkpoint);
+  }
+  if (status.ok() && wal_->options().fsync == WalFsyncPolicy::kEveryTick) {
+    status = wal_->Sync();
+  }
+  if (!status.ok()) {
+    // Non-durable degraded mode: keep serving, remember that the on-disk
+    // tail no longer matches the cursor's optimism (the next record that
+    // makes it to disk must be a full frame), and retry a checkpoint at
+    // the next Tick.
+    wal_degraded_.store(true, std::memory_order_relaxed);
+    wal_cursor_.RequestResync();
+    return;
+  }
+  if (checkpoint) {
+    wal_degraded_.store(false, std::memory_order_relaxed);
+    wal_ticks_since_checkpoint_ = 0;
+  } else {
+    ++wal_ticks_since_checkpoint_;
+  }
+}
+
+Result<TelemetryEngine::WalRecoveryInfo> TelemetryEngine::RecoverFromWal(
+    const std::string& dir) {
+  QLOVE_RETURN_NOT_OK(options_status_);
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ != nullptr) {
+      return Status::FailedPrecondition(
+          "RecoverFromWal must run before EnableWal");
+    }
+  }
+  if (TickEpochs() != 0 || registry_.size() != 0) {
+    return Status::FailedPrecondition(
+        "RecoverFromWal requires a fresh engine (no Ticks, no metrics)");
+  }
+  // Replay through a private aggregator: WAL records ARE delta-sync wire
+  // frames, so the aggregator's held-state machinery reconstructs the last
+  // durable window exactly as a downstream aggregator would have seen it —
+  // checkpoints replace wholesale, deltas apply incrementally, and frames
+  // that do not fit the held state (foreign token after a dirty directory
+  // reuse, reordered epochs) NAK and are counted rejected.
+  AggregatorOptions replay_options;
+  replay_options.introspection = false;
+  AggregatorEngine replayer(replay_options);
+  auto replay =
+      ReplayWal(dir, [&replayer](const uint8_t* data, size_t size) -> Status {
+        auto ack = replayer.IngestFrame(data, size);
+        if (!ack.ok()) return ack.status();
+        if (!ack.ValueOrDie().applied) {
+          return Status::InvalidArgument(
+              "frame not applicable to replayed state");
+        }
+        return Status::OK();
+      });
+  if (!replay.ok()) return replay.status();
+  WalRecoveryInfo info;
+  info.replay = replay.ValueOrDie();
+
+  auto held = replayer.SourceSnapshot("wal");
+  if (!held.ok()) {
+    if (held.status().code() == Status::Code::kNotFound) {
+      return info;  // empty/missing WAL: a fresh start, epoch 0
+    }
+    return held.status();
+  }
+  const WireSnapshot& snapshot = held.ValueOrDie();
+  for (const WireMetricSummary& metric : snapshot.metrics) {
+    if (IsReservedMetricName(metric.key.name())) continue;
+    if (metric.shards.empty()) continue;
+    // The wire carries each metric's full MetricOptions, so the restored
+    // registration serves the exact configuration the crashed incarnation
+    // ran (backend kind, epsilon, window, phis) — not this engine's
+    // defaults.
+    auto state = registry_.GetOrCreate(metric.key, options_.num_shards,
+                                       metric.options,
+                                       options_.shard_ring_capacity,
+                                       introspection_.get());
+    if (!state.ok()) return state.status();
+    BackendSummary restored =
+        metric.shards.size() == 1 ? metric.shards[0]
+                                  : CoalesceShardSummaries(metric.shards);
+    state.ValueOrDie()->RestoreSummary(std::move(restored), snapshot.epoch);
+    ++info.metrics;
+  }
+  // Resume the crashed incarnation's Tick sequence: the next Tick is
+  // epoch + 1, and downstream aggregators see a monotone epoch stream
+  // (under a new sync token, which they treat as a restart).
+  tick_epochs_.store(snapshot.epoch, std::memory_order_relaxed);
+  info.epoch = snapshot.epoch;
+  wal_recovered_epoch_.store(snapshot.epoch, std::memory_order_relaxed);
+  wal_recovered_metrics_.store(info.metrics, std::memory_order_relaxed);
+  return info;
 }
 
 bool TelemetryEngine::EvictState(const std::shared_ptr<MetricState>& state) {
@@ -1051,6 +1205,27 @@ EngineStats TelemetryEngine::Stats() const {
   stats.interner_bytes = StringInterner::Global().bytes();
   stats.registry_bytes =
       registry_.ApproxBytes() + internal_registry_.ApproxBytes();
+
+  // Durability surface: live with or without introspection (crash safety
+  // is not observability garnish).
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ != nullptr) {
+      const WalStats& wal = wal_->stats();
+      stats.wal_enabled = true;
+      stats.wal_records = wal.records;
+      stats.wal_checkpoints = wal.checkpoints;
+      stats.wal_append_failures = wal.append_failures;
+      stats.wal_bytes = wal.bytes;
+      stats.wal_segments = wal.live_segments;
+      stats.wal_fsyncs = wal.fsyncs;
+    }
+  }
+  stats.wal_degraded = wal_degraded_.load(std::memory_order_relaxed);
+  stats.wal_recovered_epoch =
+      wal_recovered_epoch_.load(std::memory_order_relaxed);
+  stats.wal_recovered_metrics =
+      wal_recovered_metrics_.load(std::memory_order_relaxed);
 
   // Footprints report regardless of introspection: they read live shard
   // state, not the counter hub.

@@ -48,6 +48,7 @@
 #include "engine/query.h"
 #include "engine/registry.h"
 #include "engine/snapshot.h"
+#include "engine/wal.h"
 #include "engine/wire.h"
 #include "stream/window.h"
 
@@ -316,6 +317,64 @@ class TelemetryEngine {
                             std::vector<uint8_t>* out,
                             const ExportOptions& export_options = {}) const;
 
+  /// \name Crash durability (engine/wal.h)
+  ///
+  /// With a WAL enabled, every Tick appends one record — the same
+  /// delta-sync frame ExportDeltaEncoded would ship to an aggregator —
+  /// and periodically a full-snapshot checkpoint (segment rotation,
+  /// cadence, or degraded-mode healing). A restarted process calls
+  /// RecoverFromWal on a FRESH engine to resume with the last durable
+  /// window; because recovery rebuilds real registry state, the next
+  /// export to an aggregator re-ships it (the receiver treats the new
+  /// incarnation's sync token as a restart and accepts the full frame).
+  ///
+  /// Disk faults (ENOSPC/EIO) never crash the engine: a failed append
+  /// flips a sticky non-durable DEGRADED mode — serving continues, the
+  /// failure is counted and surfaced in Stats() — and the next
+  /// successful checkpoint heals it (full frame, so nothing the failed
+  /// appends lost is needed).
+  /// @{
+
+  /// What RecoverFromWal reconstructed.
+  struct WalRecoveryInfo {
+    int64_t epoch = 0;    ///< Tick epoch of the last durable record.
+    int64_t metrics = 0;  ///< Metrics restored into the registry.
+    WalReplayStats replay;
+  };
+
+  /// Starts write-ahead logging into \p dir (created when missing).
+  /// Segments continue the directory's existing numbering; the first
+  /// Tick's record is a checkpoint. FailedPrecondition when already
+  /// enabled. Call AFTER RecoverFromWal when resuming.
+  Status EnableWal(const std::string& dir, const WalOptions& wal_options = {});
+
+  /// Replays \p dir's retained segments and restores the last durable
+  /// window into this engine: each recovered metric re-registers with its
+  /// logged configuration and serves its restored summary until live
+  /// sub-windows age it out. Requires a fresh engine (no Ticks, no
+  /// metrics, WAL not yet enabled). Corrupt/truncated/foreign records are
+  /// skipped per the replay taxonomy (see WalReplayStats); a missing or
+  /// empty directory recovers nothing and returns OK with epoch 0.
+  Result<WalRecoveryInfo> RecoverFromWal(const std::string& dir);
+
+  /// fdatasyncs the open WAL segment (the SIGTERM drain path).
+  /// FailedPrecondition when no WAL is enabled.
+  Status FlushWal();
+
+  bool wal_enabled() const;
+
+  /// True while the engine is in non-durable degraded mode (an append
+  /// failed and no checkpoint has healed it yet).
+  bool wal_degraded() const {
+    return wal_degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Fault seam: the next \p n WAL appends fail as if the disk did
+  /// (WalWriter::set_testing_fail_appends). No-op when WAL is off.
+  void set_wal_testing_fail_appends(int n);
+
+  /// @}
+
   /// Sub-window boundaries this engine has driven (Tick() calls). Stamped
   /// on exported snapshots; the aggregator's staleness accounting compares
   /// these across agents ticking at a common cadence.
@@ -372,6 +431,10 @@ class TelemetryEngine {
   /// sketches (called at Tick, before CloseSubWindows so the samples land
   /// in the closing sub-window).
   void PublishStageSamples();
+  /// The per-Tick WAL append (no-op when WAL is off): decides checkpoint
+  /// vs delta, rotates segments at checkpoints, and drives degraded-mode
+  /// transitions. Called at the end of Tick, after the epoch advanced.
+  void AppendWalRecord();
 
   EngineOptions options_;
   Status options_status_;         // Validate() result, computed once
@@ -394,6 +457,20 @@ class TelemetryEngine {
   /// Summed ApproxMemoryBytes over live user metrics as of the last Tick's
   /// maintenance pass; what EffectiveBackend compares against the budget.
   std::atomic<size_t> memory_estimate_{0};
+
+  /// Durability state: the writer, the delta-sync cursor tracking what is
+  /// on disk, and the encode scratch, all serialized by wal_mu_ (Tick
+  /// appends, Stats reads counters, daemons flush from signal-exit paths).
+  mutable std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_;         // null = WAL off
+  ExportCursor wal_cursor_;                // guarded by wal_mu_
+  std::vector<uint8_t> wal_scratch_;       // guarded by wal_mu_
+  int64_t wal_ticks_since_checkpoint_ = 0; // guarded by wal_mu_
+  /// Sticky non-durable mode after an append failure; atomics so the
+  /// health surfaces read them without the WAL lock.
+  std::atomic<bool> wal_degraded_{false};
+  std::atomic<int64_t> wal_recovered_epoch_{0};
+  std::atomic<int64_t> wal_recovered_metrics_{0};
 
   /// Self-metrics state. The `__qlove/` metrics live in their own
   /// registry, created with a null introspection sink (no recursion) and

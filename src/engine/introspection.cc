@@ -232,6 +232,23 @@ std::string FormatEngineStats(const EngineStats& stats) {
           stats.interned_strings,
           HumanBytes(static_cast<int64_t>(stats.interner_bytes)).c_str(),
           HumanBytes(static_cast<int64_t>(stats.registry_bytes)).c_str());
+  if (stats.wal_enabled || stats.wal_recovered_epoch > 0 ||
+      stats.wal_recovered_metrics > 0) {
+    AppendF(&out,
+            "  wal: %s%s records=%lld checkpoints=%lld failures=%lld "
+            "bytes=%s segments=%lld fsyncs=%lld recovered_epoch=%lld "
+            "recovered_metrics=%lld\n",
+            stats.wal_enabled ? "enabled" : "disabled",
+            stats.wal_degraded ? " DEGRADED(non-durable)" : "",
+            static_cast<long long>(stats.wal_records),
+            static_cast<long long>(stats.wal_checkpoints),
+            static_cast<long long>(stats.wal_append_failures),
+            HumanBytes(stats.wal_bytes).c_str(),
+            static_cast<long long>(stats.wal_segments),
+            static_cast<long long>(stats.wal_fsyncs),
+            static_cast<long long>(stats.wal_recovered_epoch),
+            static_cast<long long>(stats.wal_recovered_metrics));
+  }
   const CountersSnapshot& c = stats.counters;
   AppendF(&out,
           "  events: recorded=%lld drained=%lld rejected=%lld "
@@ -311,6 +328,21 @@ std::string EngineStatsToJson(const EngineStats& stats) {
           static_cast<long long>(stats.evicted_events),
           stats.interned_strings, stats.interner_bytes,
           stats.registry_bytes);
+  AppendF(&out,
+          "\"wal\": {\"enabled\": %s, \"degraded\": %s, \"records\": %lld, "
+          "\"checkpoints\": %lld, \"append_failures\": %lld, "
+          "\"bytes\": %lld, \"segments\": %lld, \"fsyncs\": %lld, "
+          "\"recovered_epoch\": %lld, \"recovered_metrics\": %lld}, ",
+          stats.wal_enabled ? "true" : "false",
+          stats.wal_degraded ? "true" : "false",
+          static_cast<long long>(stats.wal_records),
+          static_cast<long long>(stats.wal_checkpoints),
+          static_cast<long long>(stats.wal_append_failures),
+          static_cast<long long>(stats.wal_bytes),
+          static_cast<long long>(stats.wal_segments),
+          static_cast<long long>(stats.wal_fsyncs),
+          static_cast<long long>(stats.wal_recovered_epoch),
+          static_cast<long long>(stats.wal_recovered_metrics));
   const CountersSnapshot& c = stats.counters;
   AppendF(&out,
           "\"counters\": {\"events_recorded\": %lld, \"flush_batches\": %lld, "

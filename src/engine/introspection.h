@@ -172,6 +172,20 @@ struct EngineStats {
   size_t interned_strings = 0; ///< Distinct strings in the global interner.
   size_t interner_bytes = 0;   ///< Interner arena + table footprint.
   size_t registry_bytes = 0;   ///< Registry node/table footprint (both tiers).
+  // Durability surface (engine/wal.h). Populated with or without
+  // introspection — crash safety must stay observable when the counter
+  // hub is compiled out.
+  bool wal_enabled = false;
+  bool wal_degraded = false;        ///< Sticky non-durable mode (disk fault).
+  int64_t wal_records = 0;          ///< Records appended (checkpoints incl.).
+  int64_t wal_checkpoints = 0;      ///< Full-snapshot checkpoints appended.
+  int64_t wal_append_failures = 0;  ///< Appends lost to I/O errors.
+  int64_t wal_bytes = 0;            ///< Framing + payload bytes appended.
+  int64_t wal_segments = 0;         ///< Segment files currently retained.
+  int64_t wal_fsyncs = 0;           ///< fdatasync calls issued.
+  int64_t wal_recovered_epoch = 0;  ///< Epoch RecoverFromWal restored
+                                    ///< (0 = no or empty recovery).
+  int64_t wal_recovered_metrics = 0;  ///< Metrics RecoverFromWal restored.
 };
 
 /// Human-readable multi-line dump of \p stats (dashboard / exit blocks).

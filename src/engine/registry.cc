@@ -1,5 +1,6 @@
 #include "engine/registry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -109,6 +110,31 @@ void MetricState::CloseSubWindows() {
     idle_windows_.store(0, std::memory_order_relaxed);
   }
   tick_epochs_.fetch_add(1, std::memory_order_relaxed);
+  // Age the restore overlay exactly as the crashed window would have aged:
+  // qlove sub-windows expire once their epoch falls out of the n-epoch
+  // window (mirroring QloveOperator::EvictExpiredSummaries, with the live
+  // epoch continuing from the recovered base), entry-kind payloads are
+  // window-scoped and drop wholesale after n boundaries.
+  if (overlay_active_) {
+    ++overlay_closes_;
+    const int64_t n = options_.shard_window.NumSubWindows();
+    if (overlay_.kind == BackendKind::kQlove) {
+      const int64_t now = overlay_base_epoch_ + overlay_closes_;
+      auto& subs = overlay_.subwindows;
+      size_t drop = 0;
+      while (drop < subs.size() && subs[drop].epoch <= now - n) ++drop;
+      if (drop > 0) {
+        if (overlay_.count != 0) {
+          for (size_t i = 0; i < drop; ++i) overlay_.count -= subs[i].count;
+        }
+        subs.erase(subs.begin(), subs.begin() + static_cast<ptrdiff_t>(drop));
+      }
+      if (subs.empty()) overlay_active_ = false;
+    } else if (overlay_closes_ >= n) {
+      overlay_active_ = false;
+    }
+    if (!overlay_active_) overlay_ = BackendSummary();
+  }
   // The boundary changed window state: queries in flight keep their
   // shared_ptr to the old epoch's resolved views; the next query resolves
   // afresh. When nothing else holds the cache, reclaim its per-shard
@@ -130,11 +156,30 @@ void MetricState::CloseSubWindows() {
   resolved_.reset();
 }
 
+namespace {
+
+// A shard view with no window content at all. Only consulted while a
+// restore overlay is live: dropping such views keeps a freshly recovered
+// metric's export a single summary — bit-identical to the pre-crash
+// export for every backend kind — instead of a merge of the overlay with
+// empty shards (entry-kind merges combine equal values, changing bytes).
+bool ViewIsEmpty(const BackendSummary& view) {
+  return view.count == 0 && view.inflight == 0 && !view.burst_active &&
+         view.subwindows.empty() && view.entries.empty();
+}
+
+}  // namespace
+
 std::vector<BackendSummary> MetricState::SnapshotShards() const {
   std::lock_guard<std::mutex> lock(epoch_mu_);
   std::vector<BackendSummary> views(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->SnapshotInto(&views[s]);
+  }
+  if (overlay_active_) {
+    views.erase(std::remove_if(views.begin(), views.end(), ViewIsEmpty),
+                views.end());
+    views.push_back(overlay_);
   }
   return views;
 }
@@ -159,10 +204,32 @@ std::shared_ptr<const ResolvedWindow> MetricState::Resolved() const {
     for (size_t s = 0; s < shards_.size(); ++s) {
       shards_[s]->SnapshotInto(&views[s]);
     }
+    if (overlay_active_) {
+      views.erase(std::remove_if(views.begin(), views.end(), ViewIsEmpty),
+                  views.end());
+      views.push_back(overlay_);
+    }
     resolved_ = std::make_shared<const ResolvedWindow>(std::move(views),
                                                        options_);
   }
   return resolved_;
+}
+
+void MetricState::RestoreSummary(BackendSummary summary, int64_t base_epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (auto& shard : shards_) shard->SetEpochBase(base_epoch);
+  summary.inflight = 0;  // pre-crash in-flight values were never durable
+  overlay_ = std::move(summary);
+  overlay_base_epoch_ = base_epoch;
+  overlay_closes_ = 0;
+  overlay_active_ = overlay_.kind == BackendKind::kQlove
+                        ? !overlay_.subwindows.empty()
+                        : !overlay_.entries.empty();
+  if (!overlay_active_) overlay_ = BackendSummary();
+  // The metric has (logically) seen base_epoch boundaries already; a zero
+  // epoch count would make exports skip it as never-ticked.
+  tick_epochs_.store(base_epoch, std::memory_order_relaxed);
+  resolved_.reset();
 }
 
 // ---------------------------------------------------------------------------

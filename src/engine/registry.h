@@ -132,6 +132,35 @@ class MetricState {
   /// is off for the owning engine.
   Introspection* introspection() const { return introspection_; }
 
+  /// \name WAL recovery (engine/wal.h)
+  ///
+  /// A restarted engine cannot rehydrate backend internals from a wire
+  /// summary (Level-2 state is incrementally maintained), so recovery
+  /// installs the replayed window as a restore OVERLAY: one extra
+  /// coalesced summary served alongside the live shards' views — exports
+  /// and queries merge it exactly like another shard. The overlay decays
+  /// on the same schedule the crashed window would have: each
+  /// CloseSubWindows ages it one epoch (qlove sub-windows expire
+  /// individually; entry-kind payloads drop wholesale after NumSubWindows
+  /// boundaries), and once empty the metric is indistinguishable from one
+  /// that never crashed. Shard backends are rebased to \p base_epoch so
+  /// live sub-window epochs continue the recovered sequence.
+  /// @{
+
+  /// Installs \p summary (the coalesced recovered window) with the crashed
+  /// incarnation's Tick epoch \p base_epoch. Call on a freshly initialized
+  /// state only (before any Record/Tick). The summary's inflight count is
+  /// zeroed: pre-crash in-flight values were never durable.
+  void RestoreSummary(BackendSummary summary, int64_t base_epoch);
+
+  /// True while a restore overlay is still serving (tests/diagnostics).
+  bool HasRestoreOverlay() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return overlay_active_;
+  }
+
+  /// @}
+
  private:
   MetricKey key_;
   MetricOptions options_;
@@ -144,6 +173,11 @@ class MetricState {
   std::atomic<int64_t> last_activity_{0};  // TotalAddedApprox at last Tick
   std::atomic<int64_t> idle_windows_{0};
   mutable std::mutex epoch_mu_;  // Tick vs Snapshot consistency
+  /// WAL restore overlay (see RestoreSummary); all guarded by epoch_mu_.
+  bool overlay_active_ = false;
+  BackendSummary overlay_;
+  int64_t overlay_base_epoch_ = 0;  ///< Crashed incarnation's Tick epoch.
+  int64_t overlay_closes_ = 0;      ///< Boundaries since the restore.
   /// Current epoch's resolved window; guarded by epoch_mu_, reset by
   /// CloseSubWindows, built lazily by Resolved().
   mutable std::shared_ptr<const ResolvedWindow> resolved_;

@@ -167,6 +167,13 @@ class Shard {
   /// costs no extra acquisition). Thread-safe.
   int64_t CloseSubWindow();
 
+  /// Rebases the backend's sub-window epoch counter (WAL recovery on a
+  /// fresh shard; see ShardBackend::SetEpochBase). Thread-safe.
+  void SetEpochBase(int64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    backend_->SetEpochBase(epoch);
+  }
+
   /// Exports the backend's mergeable summary into \p out, reusing its
   /// buffers (the allocation-free snapshot path); drains the ring first so
   /// everything published before the call is covered. Thread-safe.

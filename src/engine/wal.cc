@@ -1,0 +1,375 @@
+// Copyright 2026 The QLOVE Reproduction Authors
+
+#include "engine/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "engine/wire.h"
+
+namespace qlove {
+namespace engine {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+std::string SegmentName(int64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08lld.qwal",
+                static_cast<long long>(seq));
+  return name;
+}
+
+std::string SegmentPath(const std::string& dir, int64_t seq) {
+  return dir + "/" + SegmentName(seq);
+}
+
+/// Parses `wal-%08d.qwal`; -1 when the name is not a segment.
+int64_t ParseSegmentName(const char* name) {
+  size_t len = std::strlen(name);
+  if (len != 17 || std::strncmp(name, "wal-", 4) != 0 ||
+      std::strcmp(name + 12, ".qwal") != 0) {
+    return -1;
+  }
+  int64_t seq = 0;
+  for (size_t i = 4; i < 12; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    seq = seq * 10 + (name[i] - '0');
+  }
+  return seq;
+}
+
+/// All segment sequence numbers in \p dir, ascending. Missing dir = empty.
+Result<std::vector<int64_t>> ScanSegments(const std::string& dir) {
+  std::vector<int64_t> seqs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return seqs;
+    return Errno("opendir " + dir);
+  }
+  while (dirent* entry = ::readdir(d)) {
+    const int64_t seq = ParseSegmentName(entry->d_name);
+    if (seq >= 0) seqs.push_back(seq);
+  }
+  ::closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t rc = ::write(fd, data + written, size - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    written += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+void PutU32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v & 0xff);
+  out[1] = static_cast<uint8_t>((v >> 8) & 0xff);
+  out[2] = static_cast<uint8_t>((v >> 16) & 0xff);
+  out[3] = static_cast<uint8_t>((v >> 24) & 0xff);
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+const char* WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kEveryRecord: return "every_record";
+    case WalFsyncPolicy::kEveryTick: return "every_tick";
+    case WalFsyncPolicy::kOs: return "os";
+  }
+  return "unknown";
+}
+
+Result<WalFsyncPolicy> ParseWalFsyncPolicy(const std::string& name) {
+  for (WalFsyncPolicy policy :
+       {WalFsyncPolicy::kEveryRecord, WalFsyncPolicy::kEveryTick,
+        WalFsyncPolicy::kOs}) {
+    if (name == WalFsyncPolicyName(policy)) return policy;
+  }
+  return Status::InvalidArgument("unknown wal fsync policy: " + name +
+                                 " (want every_record|every_tick|os)");
+}
+
+Status WalOptions::Validate() const {
+  if (segment_target_bytes < 4096) {
+    return Status::InvalidArgument("wal segment_target_bytes must be >= 4096");
+  }
+  if (max_segments < 1) {
+    return Status::InvalidArgument("wal max_segments must be >= 1");
+  }
+  if (checkpoint_every_n_ticks < 1) {
+    return Status::InvalidArgument(
+        "wal checkpoint_every_n_ticks must be >= 1");
+  }
+  return Status::OK();
+}
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  // Castagnoli polynomial (reflected), byte-wise software table.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+WalWriter::WalWriter(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() { (void)Close(); }
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   WalOptions options) {
+  QLOVE_RETURN_NOT_OK(options.Validate());
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  auto seqs = ScanSegments(dir);
+  if (!seqs.ok()) return seqs.status();
+  std::unique_ptr<WalWriter> writer(new WalWriter(dir, options));
+  for (int64_t seq : seqs.ValueOrDie()) writer->live_seqs_.push_back(seq);
+  writer->next_seq_ =
+      writer->live_seqs_.empty() ? 0 : writer->live_seqs_.back() + 1;
+  writer->stats_.live_segments =
+      static_cast<int64_t>(writer->live_seqs_.size());
+  return writer;
+}
+
+bool WalWriter::ShouldCheckpoint() const {
+  return fd_ < 0 || segment_bytes_ >= options_.segment_target_bytes;
+}
+
+Status WalWriter::SyncDir() {
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Errno("open " + dir_);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return Errno("fsync " + dir_);
+  stats_.fsyncs += 1;
+  return Status::OK();
+}
+
+Status WalWriter::PruneRetention() {
+  bool removed = false;
+  while (static_cast<int64_t>(live_seqs_.size()) > options_.max_segments) {
+    const int64_t seq = live_seqs_.front();
+    const std::string path = SegmentPath(dir_, seq);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink " + path);
+    }
+    live_seqs_.pop_front();
+    stats_.segments_pruned += 1;
+    removed = true;
+  }
+  stats_.live_segments = static_cast<int64_t>(live_seqs_.size());
+  if (removed) QLOVE_RETURN_NOT_OK(SyncDir());
+  return Status::OK();
+}
+
+Status WalWriter::BeginSegment() {
+  QLOVE_RETURN_NOT_OK(Close());
+  const int64_t seq = next_seq_;
+  const std::string path = SegmentPath(dir_, seq);
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  const Status magic =
+      WriteAll(fd, kWalSegmentMagic, sizeof(kWalSegmentMagic));
+  if (!magic.ok()) {
+    ::close(fd);
+    return magic;
+  }
+  fd_ = fd;
+  next_seq_ = seq + 1;
+  segment_bytes_ = sizeof(kWalSegmentMagic);
+  live_seqs_.push_back(seq);
+  stats_.segments_created += 1;
+  stats_.open_segment_seq = seq;
+  stats_.live_segments = static_cast<int64_t>(live_seqs_.size());
+  // The new name must survive a crash before any record does, or replay
+  // would resume into a hole; retention (below) syncs again if it deletes.
+  QLOVE_RETURN_NOT_OK(SyncDir());
+  return PruneRetention();
+}
+
+Status WalWriter::Append(const uint8_t* data, size_t size,
+                         bool is_checkpoint) {
+  if (size == 0 || size > kMaxWireBytes) {
+    return Status::InvalidArgument("wal record size out of range");
+  }
+  if (testing_fail_appends_ > 0) {
+    --testing_fail_appends_;
+    stats_.append_failures += 1;
+    return Status::Internal("injected wal append failure (testing seam)");
+  }
+  if (fd_ < 0) {
+    if (!is_checkpoint) {
+      return Status::FailedPrecondition(
+          "wal segment must start with a checkpoint record");
+    }
+    QLOVE_RETURN_NOT_OK(BeginSegment());
+  }
+  frame_scratch_.resize(kWalRecordHeaderBytes + size);
+  PutU32(frame_scratch_.data(), static_cast<uint32_t>(size));
+  PutU32(frame_scratch_.data() + 4, Crc32c(data, size));
+  std::memcpy(frame_scratch_.data() + kWalRecordHeaderBytes, data, size);
+  const Status written =
+      WriteAll(fd_, frame_scratch_.data(), frame_scratch_.size());
+  if (!written.ok()) {
+    stats_.append_failures += 1;
+    return written;
+  }
+  segment_bytes_ += frame_scratch_.size();
+  stats_.records += 1;
+  if (is_checkpoint) stats_.checkpoints += 1;
+  stats_.bytes += static_cast<int64_t>(frame_scratch_.size());
+  if (options_.fsync == WalFsyncPolicy::kEveryRecord) {
+    const Status synced = Sync();
+    if (!synced.ok()) {
+      stats_.append_failures += 1;
+      return synced;
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::OK();
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync");
+  stats_.fsyncs += 1;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  // A completed segment is always made durable before the writer moves
+  // on, whatever the fsync policy: replay assumes only the NEWEST segment
+  // can be torn.
+  const Status synced = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  segment_bytes_ = 0;
+  stats_.open_segment_seq = -1;
+  return synced;
+}
+
+Result<std::vector<std::string>> ListWalSegments(const std::string& dir) {
+  auto seqs = ScanSegments(dir);
+  if (!seqs.ok()) return seqs.status();
+  std::vector<std::string> paths;
+  paths.reserve(seqs.ValueOrDie().size());
+  for (int64_t seq : seqs.ValueOrDie()) paths.push_back(SegmentPath(dir, seq));
+  return paths;
+}
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& dir,
+    const std::function<Status(const uint8_t* data, size_t size)>& sink) {
+  WalReplayStats stats;
+  auto paths = ListWalSegments(dir);
+  if (!paths.ok()) return paths.status();
+  std::vector<uint8_t> contents;
+  for (const std::string& path : paths.ValueOrDie()) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open " + path);
+    contents.clear();
+    uint8_t chunk[1 << 16];
+    bool read_error = false;
+    while (true) {
+      const ssize_t rc = ::read(fd, chunk, sizeof(chunk));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        read_error = true;
+        break;
+      }
+      if (rc == 0) break;
+      contents.insert(contents.end(), chunk, chunk + rc);
+    }
+    ::close(fd);
+    if (read_error) return Errno("read " + path);
+
+    stats.segments_scanned += 1;
+    stats.bytes_scanned += static_cast<int64_t>(contents.size());
+    if (contents.size() < sizeof(kWalSegmentMagic) ||
+        std::memcmp(contents.data(), kWalSegmentMagic,
+                    sizeof(kWalSegmentMagic)) != 0) {
+      // A missing/garbled magic means nothing in the file is framed; a
+      // short file is a crash during segment creation. Either way there
+      // is no record to salvage here.
+      if (contents.size() < sizeof(kWalSegmentMagic)) {
+        stats.truncated_tails += 1;
+      } else {
+        stats.records_corrupt += 1;
+      }
+      continue;
+    }
+    size_t pos = sizeof(kWalSegmentMagic);
+    while (pos < contents.size()) {
+      if (contents.size() - pos < kWalRecordHeaderBytes) {
+        stats.truncated_tails += 1;  // crash mid-header
+        break;
+      }
+      const uint32_t len = GetU32(contents.data() + pos);
+      const uint32_t crc = GetU32(contents.data() + pos + 4);
+      if (len == 0 || len > kMaxWireBytes) {
+        stats.records_corrupt += 1;  // hostile/garbled length: unframed gap
+        break;
+      }
+      if (contents.size() - pos - kWalRecordHeaderBytes < len) {
+        stats.truncated_tails += 1;  // crash mid-payload
+        break;
+      }
+      const uint8_t* payload = contents.data() + pos + kWalRecordHeaderBytes;
+      if (Crc32c(payload, len) != crc) {
+        stats.records_corrupt += 1;  // bit rot: nothing after it is framed
+        break;
+      }
+      if (sink(payload, len).ok()) {
+        stats.records_applied += 1;
+      } else {
+        stats.records_rejected += 1;
+      }
+      pos += kWalRecordHeaderBytes + len;
+    }
+  }
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace qlove

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -67,7 +68,9 @@ AgentClient::FrameProducer AgentClient::ForAggregator(
 AgentClient::AgentClient(ClientOptions options, FrameProducer producer)
     : options_(std::move(options)),
       producer_(std::move(producer)),
-      backoff_ms_(options_.backoff_initial_ms) {}
+      backoff_ms_(options_.backoff_initial_ms),
+      backoff_rng_(std::random_device{}() ^
+                   (reinterpret_cast<uintptr_t>(this) << 1)) {}
 
 AgentClient::~AgentClient() { Close(); }
 
@@ -86,6 +89,7 @@ AgentClient::Counters AgentClient::counters() const {
   counters.naks = naks_.load(std::memory_order_relaxed);
   counters.ack_errors = ack_errors_.load(std::memory_order_relaxed);
   counters.resyncs = resyncs_.load(std::memory_order_relaxed);
+  counters.retries = retries_.load(std::memory_order_relaxed);
   counters.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   return counters;
 }
@@ -286,8 +290,20 @@ void AgentClient::Disconnect() {
 }
 
 void AgentClient::SleepBackoff() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
   std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms_));
-  backoff_ms_ = std::min(backoff_ms_ * 2, options_.backoff_max_ms);
+  // Decorrelated jitter: sleep = min(max, U(initial, prev*3)). A fleet of
+  // agents knocked over by one aggregator restart reconnects spread out
+  // instead of in synchronized exponential waves — plain doubling keeps
+  // every client on the same schedule and re-stampedes the listener at
+  // each power of two.
+  const int low = options_.backoff_initial_ms;
+  const int high = std::max(low, backoff_ms_ > options_.backoff_max_ms / 3
+                                     ? options_.backoff_max_ms
+                                     : backoff_ms_ * 3);
+  backoff_ms_ = std::min(
+      options_.backoff_max_ms,
+      std::uniform_int_distribution<int>(low, high)(backoff_rng_));
 }
 
 }  // namespace net

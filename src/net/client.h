@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -54,8 +55,13 @@ struct ClientOptions {
   /// this per delivery attempt).
   int io_timeout_ms = 5000;
 
-  /// Reconnect backoff: starts at initial, doubles per consecutive
-  /// failure, capped at max; resets on a successful session.
+  /// Reconnect backoff: starts at initial and grows per consecutive
+  /// failure with DECORRELATED JITTER — each retry sleeps the previous
+  /// budget, then draws the next budget uniformly from
+  /// [initial, previous * 3], capped at max — so a fleet of agents cut
+  /// off by one aggregator restart reconnects spread out rather than in
+  /// synchronized exponential waves. Resets to initial on a successful
+  /// delivery.
   int backoff_initial_ms = 50;
   int backoff_max_ms = 2000;
 
@@ -129,6 +135,8 @@ class AgentClient {
     int64_t naks = 0;           ///< Acks demanding resync.
     int64_t ack_errors = 0;     ///< Acks flagging a content error.
     int64_t resyncs = 0;        ///< Full frames forced (reconnect or NAK).
+    int64_t retries = 0;        ///< Backoff sleeps taken (delivery attempts
+                                ///< beyond each DeliverOnce's first).
     int64_t bytes_sent = 0;
   };
   Counters counters() const;
@@ -153,6 +161,7 @@ class AgentClient {
   bool need_full_ = true;
   bool testing_drop_next_frame_ = false;
   int backoff_ms_ = 0;
+  std::mt19937_64 backoff_rng_;  ///< Per-client decorrelated-jitter draws.
 
   std::vector<uint8_t> frame_buf_;
   std::vector<uint8_t> control_buf_;
@@ -166,6 +175,7 @@ class AgentClient {
   std::atomic<int64_t> naks_{0};
   std::atomic<int64_t> ack_errors_{0};
   std::atomic<int64_t> resyncs_{0};
+  std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> bytes_sent_{0};
 };
 

@@ -285,6 +285,36 @@ TEST(NetAuthTest, WrongTokenIsTerminalAndCounted) {
   EXPECT_EQ(aggregator.Sources().size(), 0u);
 }
 
+TEST(NetAuthTest, UnreachableAggregatorCountsBackoffRetries) {
+  // Dial a port nobody serves: every connect attempt fails fast, and each
+  // attempt beyond the first must have slept a jittered backoff first —
+  // the retries counter is the fleet's visibility into reconnect storms.
+  AggregatorEngine aggregator;
+  ServerOptions server_options;
+  server_options.auth_token = "token";
+  AggregatorServer server(&aggregator, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t dead_port = server.port();
+  server.Stop();
+
+  TelemetryEngine engine;
+  ASSERT_TRUE(engine.RegisterMetric(MetricKey("m")).ok());
+  ClientOptions client_options;
+  client_options.port = dead_port;
+  client_options.auth_token = "token";
+  client_options.source = "orphan";
+  client_options.backoff_initial_ms = 1;
+  client_options.backoff_max_ms = 4;
+  client_options.max_delivery_attempts = 3;
+  AgentClient client(client_options, AgentClient::ForEngine(&engine));
+
+  EXPECT_FALSE(client.DeliverOnce().ok());
+  const auto counters = client.counters();
+  EXPECT_GE(counters.connect_failures, 2);
+  EXPECT_GE(counters.retries, 1);
+  EXPECT_EQ(counters.frames_sent, 0);
+}
+
 TEST(NetAuthTest, DataBeforeHelloIsRejected) {
   AggregatorEngine aggregator;
   ServerOptions server_options;

@@ -158,6 +158,26 @@ def main() -> int:
                     f"introspection overhead {overhead:.2f}% > "
                     f"ceiling {ceiling:.2f}%")
 
+    # The crash-log acceptance bar, same shape as the introspection gate:
+    # the Record+Tick pipeline with an every_tick-fsync WAL must stay
+    # within the checked-in ceiling of the WAL-off pipeline (noise-aware;
+    # see the note in the baseline file). A missing field fails too.
+    ceiling = baseline.get("wal_overhead_pct_max")
+    if ceiling is not None:
+        overhead = bench.get("wal_overhead_pct")
+        if overhead is None:
+            failures.append(
+                f"{bench_path} carries no wal_overhead_pct "
+                "(bench too old, or the measurement was skipped)")
+        else:
+            verdict = "ok" if overhead <= ceiling else "TOO EXPENSIVE"
+            print(f"wal overhead: {overhead:.2f}% of record+tick throughput "
+                  f"(ceiling {ceiling:.2f}%) {verdict}")
+            if overhead > ceiling:
+                failures.append(
+                    f"wal overhead {overhead:.2f}% > "
+                    f"ceiling {ceiling:.2f}%")
+
     if failures:
         print("\nFAIL: bench gates violated:")
         for failure in failures:

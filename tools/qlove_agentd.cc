@@ -7,12 +7,23 @@
 //
 //   $ qlove_agentd --connect=127.0.0.1:7401 --token=SECRET \
 //                  --source=host-0 [--seconds=0] [--tick-ms=1000] \
-//                  [--samples-per-tick=512] [--seed=1]
+//                  [--samples-per-tick=512] [--seed=1] \
+//                  [--wal-dir=DIR] [--wal-fsync=every_tick]
 //
-// --seconds=0 runs until SIGINT/SIGTERM. The daemon exits nonzero when
-// authentication is rejected (fix the token, do not retry forever) but
-// keeps retrying through aggregator restarts and partitions: telemetry
+// --seconds=0 runs until SIGINT/SIGTERM; either signal triggers a
+// graceful drain — flush buffered records, cut one final durable Tick,
+// fsync the WAL, ship one last export — and a clean zero exit. The
+// daemon exits nonzero only on unclean paths: rejected authentication
+// (fix the token, do not retry forever), unusable WAL directory, record
+// failures. Transport failures are weather, not errors: the daemon keeps
+// retrying through aggregator restarts and partitions, because telemetry
 // agents outlive their collectors.
+//
+// With --wal-dir the engine appends every tick's delta frame (plus
+// periodic checkpoints) to a crash log BEFORE exporting, and a restarted
+// daemon replays it first: a SIGKILL'd agent resumes with its last
+// durable window instead of a cold window. --wal-fsync picks the loss
+// budget: every_record / every_tick (default) / os.
 //
 // Metrics shipped (mirroring examples/fleet_agent_aggregator.cc so a demo
 // fleet of agentds answers the same queries):
@@ -57,9 +68,15 @@ bool ParseHostPort(const std::string& arg, std::string* host,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Line-buffer even when stdout is a file/pipe: supervisors and the
+  // kill/restart harness read progress lines from a daemon they may
+  // SIGKILL, which would lose a block-buffered tail.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::string connect = "127.0.0.1:7401";
   std::string token;
   std::string source;
+  std::string wal_dir;
+  std::string wal_fsync = "every_tick";
   int seconds = 0;
   int tick_ms = 1000;
   int samples_per_tick = 512;
@@ -84,6 +101,10 @@ int main(int argc, char** argv) {
       samples_per_tick = std::atoi(v);
     } else if (const char* v = value("--seed=")) {
       seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--wal-dir=")) {
+      wal_dir = v;
+    } else if (const char* v = value("--wal-fsync=")) {
+      wal_fsync = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -120,6 +141,45 @@ int main(int argc, char** argv) {
   using qlove::engine::TelemetryEngine;
 
   TelemetryEngine engine;
+
+  // Crash recovery first, on the still-fresh engine: replay whatever the
+  // previous incarnation made durable, THEN enable logging for this one.
+  if (!wal_dir.empty()) {
+    const auto recovered = engine.RecoverFromWal(wal_dir);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "wal recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    const auto& info = recovered.ValueOrDie();
+    if (info.epoch > 0) {
+      std::printf(
+          "qlove_agentd: recovered epoch %lld (%lld metrics) from %s — "
+          "%lld records applied, %lld rejected, %lld corrupt, %lld torn\n",
+          static_cast<long long>(info.epoch),
+          static_cast<long long>(info.metrics), wal_dir.c_str(),
+          static_cast<long long>(info.replay.records_applied),
+          static_cast<long long>(info.replay.records_rejected),
+          static_cast<long long>(info.replay.records_corrupt),
+          static_cast<long long>(info.replay.truncated_tails));
+    }
+    qlove::engine::WalOptions wal_options;
+    const auto policy = qlove::engine::ParseWalFsyncPolicy(wal_fsync);
+    if (!policy.ok()) {
+      std::fprintf(stderr,
+                   "bad --wal-fsync=%s (every_record | every_tick | os)\n",
+                   wal_fsync.c_str());
+      return 2;
+    }
+    wal_options.fsync = policy.ValueOrDie();
+    const qlove::Status enabled = engine.EnableWal(wal_dir, wal_options);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "cannot open wal: %s\n",
+                   enabled.ToString().c_str());
+      return 1;
+    }
+  }
+
   const MetricKey rtt_key =
       MetricKey("rtt_us", {{"service", "netmon"}}).WithTag("host", source);
   const MetricKey rpc_key("rpc_us", {{"service", "checkout"}});
@@ -179,16 +239,43 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
   }
 
+  // Graceful drain (SIGTERM/SIGINT or the tick budget): whatever was
+  // recorded since the last Tick becomes one final durable sub-window and
+  // one final export. Transport failure here is still weather — the WAL
+  // (when enabled) already holds the final window, so a restarted daemon
+  // re-ships it — but a WAL that cannot flush is data loss: exit unclean.
+  engine.Flush();
+  engine.Tick();
+  if (engine.wal_enabled()) {
+    const qlove::Status flushed = engine.FlushWal();
+    if (!flushed.ok() || engine.wal_degraded()) {
+      std::fprintf(stderr, "unclean shutdown: wal flush failed (%s)\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
+  }
+  if (client.connected() || client.counters().acks > 0) {
+    const qlove::Status final_delivery = client.DeliverOnce();
+    if (!final_delivery.ok()) {
+      std::fprintf(stderr, "final export not delivered: %s\n",
+                   final_delivery.ToString().c_str());
+    }
+  }
+
   const auto counters = client.counters();
+  const auto stats = engine.Stats();
   std::printf(
-      "qlove_agentd: exiting after %lld ticks — connects=%lld "
+      "qlove_agentd: clean exit after %lld ticks — connects=%lld "
       "(reconnects=%lld) frames=%lld acks=%lld naks=%lld resyncs=%lld "
-      "failures=%lld\n",
+      "retries=%lld failures=%lld wal_records=%lld wal_checkpoints=%lld\n",
       ticks, static_cast<long long>(counters.connects),
       static_cast<long long>(counters.reconnects),
       static_cast<long long>(counters.frames_sent),
       static_cast<long long>(counters.acks),
       static_cast<long long>(counters.naks),
-      static_cast<long long>(counters.resyncs), delivery_failures);
+      static_cast<long long>(counters.resyncs),
+      static_cast<long long>(counters.retries), delivery_failures,
+      static_cast<long long>(stats.wal_records),
+      static_cast<long long>(stats.wal_checkpoints));
   return 0;
 }

@@ -15,10 +15,19 @@
 //       --parent=127.0.0.1:7500 --parent-token=SECRET2 --source=rack-a \
 //       [--export-every=1] [--forward-self-metrics]
 //
-// --seconds=0 serves until SIGINT/SIGTERM; --health-every=N prints
-// FleetHealth (per-source liveness, transport counters, decode/ingest
-// latency sketches) every N seconds, and a final `--json-health` dump
-// emits the same snapshot as JSON for scripts.
+// --seconds=0 serves until SIGINT/SIGTERM; either signal stops the
+// listener, flushes the WAL (when enabled), and exits zero after the
+// final health report — nonzero exits are reserved for unclean paths
+// (bad flags, unusable port or WAL directory, rejected parent token).
+// --health-every=N prints FleetHealth (per-source liveness, transport
+// counters, decode/ingest latency sketches) every N seconds, and a final
+// `--json-health` dump emits the same snapshot as JSON for scripts.
+//
+// With --wal-dir every applied ingest frame is logged (with periodic
+// full-fleet checkpoints) and a restarted daemon replays the log before
+// listening: held per-source state survives a SIGKILL, so agents resume
+// with delta frames instead of full resyncs. --wal-fsync as in
+// qlove_agentd (default every_tick = one fdatasync per applied frame).
 
 #include <csignal>
 #include <cstdio>
@@ -53,11 +62,17 @@ bool ParseHostPort(const std::string& arg, std::string* host,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Line-buffer even when stdout is a file/pipe: supervisors and the
+  // kill/restart harness read progress lines from a daemon they may
+  // SIGKILL, which would lose a block-buffered tail.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::string listen = "127.0.0.1:7401";
   std::string token;
   std::string parent;
   std::string parent_token;
   std::string source = "aggregator";
+  std::string wal_dir;
+  std::string wal_fsync = "every_tick";
   int seconds = 0;
   int health_every = 0;
   int export_every = 1;
@@ -88,6 +103,10 @@ int main(int argc, char** argv) {
       export_every = std::atoi(v);
     } else if (const char* v = value("--staleness-epochs=")) {
       staleness_epochs = std::atoi(v);
+    } else if (const char* v = value("--wal-dir=")) {
+      wal_dir = v;
+    } else if (const char* v = value("--wal-fsync=")) {
+      wal_fsync = v;
     } else if (arg == "--forward-self-metrics") {
       forward_self_metrics = true;
     } else if (arg == "--json-health") {
@@ -119,6 +138,46 @@ int main(int argc, char** argv) {
   qlove::engine::AggregatorOptions aggregator_options;
   aggregator_options.staleness_epochs = staleness_epochs;
   qlove::engine::AggregatorEngine aggregator(aggregator_options);
+
+  // Replay the previous incarnation's log before the listener opens, then
+  // start logging for this one: agents reconnecting after our crash find
+  // their held state intact and keep shipping deltas.
+  if (!wal_dir.empty()) {
+    const auto recovered = aggregator.RecoverFromWal(wal_dir);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "wal recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    const auto& info = recovered.ValueOrDie();
+    if (info.sources > 0) {
+      std::printf(
+          "qlove_aggregatord: recovered %lld sources at fleet epoch %lld "
+          "from %s — %lld records applied, %lld rejected, %lld corrupt, "
+          "%lld torn\n",
+          static_cast<long long>(info.sources),
+          static_cast<long long>(info.fleet_epoch), wal_dir.c_str(),
+          static_cast<long long>(info.replay.records_applied),
+          static_cast<long long>(info.replay.records_rejected),
+          static_cast<long long>(info.replay.records_corrupt),
+          static_cast<long long>(info.replay.truncated_tails));
+    }
+    qlove::engine::WalOptions wal_options;
+    const auto policy = qlove::engine::ParseWalFsyncPolicy(wal_fsync);
+    if (!policy.ok()) {
+      std::fprintf(stderr,
+                   "bad --wal-fsync=%s (every_record | every_tick | os)\n",
+                   wal_fsync.c_str());
+      return 2;
+    }
+    wal_options.fsync = policy.ValueOrDie();
+    const qlove::Status enabled = aggregator.EnableWal(wal_dir, wal_options);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "cannot open wal: %s\n",
+                   enabled.ToString().c_str());
+      return 1;
+    }
+  }
 
   qlove::net::ServerOptions server_options;
   server_options.bind_address = bind_host;
@@ -186,6 +245,16 @@ int main(int argc, char** argv) {
   const auto final_health = aggregator.FleetHealth();
   server.Stop();
   if (uplink != nullptr) uplink->Close();
+  if (aggregator.wal_enabled()) {
+    // The listener is down, so nothing appends concurrently; make every
+    // accepted frame durable before reporting a clean exit.
+    const qlove::Status flushed = aggregator.FlushWal();
+    if (!flushed.ok() || aggregator.wal_degraded()) {
+      std::fprintf(stderr, "unclean shutdown: wal flush failed (%s)\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
+  }
   if (json_health) {
     std::printf("%s\n", qlove::engine::FleetHealthToJson(final_health).c_str());
   } else {

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Kill/restart harness for the WAL-backed daemons, run under ctest (and the
+# CI chaos job). Exercises the full crash-safety story end to end on real
+# processes: an aggregatord and an agentd run with --wal-dir, the agent is
+# SIGKILLed mid-stream and must log a recovery on restart; the aggregator
+# is SIGKILLed and must recover its held sources; and both daemons must
+# exit 0 with a graceful drain on SIGTERM. Usage:
+#   wal_daemon_smoke.sh <qlove_agentd> <qlove_aggregatord>
+set -u
+
+AGENTD="$1"
+AGGD="$2"
+
+WORK="$(mktemp -d /tmp/qlove_wal_smoke_XXXXXX)"
+AGENT_WAL="$WORK/agent-wal"
+AGG_WAL="$WORK/agg-wal"
+PORT=$((20000 + RANDOM % 20000))
+TOKEN=smoke-$$
+
+AGG_PID=""
+AGENT_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "$AGENT_PID" ] && kill -9 "$AGENT_PID" 2>/dev/null
+  [ -n "$AGG_PID" ] && kill -9 "$AGG_PID" 2>/dev/null
+  echo "--- aggregator log ---" >&2; cat "$WORK/agg.log" >&2 2>/dev/null
+  echo "--- agent logs ---" >&2; cat "$WORK"/agent*.log >&2 2>/dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+wait_for() { # wait_for <pattern> <file> <seconds>
+  for _ in $(seq 1 $((10 * $3))); do
+    grep -q "$1" "$2" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# --- aggregator up, with its own WAL --------------------------------------
+"$AGGD" --listen=127.0.0.1:$PORT --token="$TOKEN" --wal-dir="$AGG_WAL" \
+  >"$WORK/agg.log" 2>&1 &
+AGG_PID=$!
+wait_for "serving on" "$WORK/agg.log" 5 || fail "aggregator did not start"
+
+# --- agent generation 1: stream ticks, then SIGKILL mid-window ------------
+"$AGENTD" --connect=127.0.0.1:$PORT --token="$TOKEN" --source=smoke-host \
+  --tick-ms=100 --wal-dir="$AGENT_WAL" >"$WORK/agent1.log" 2>&1 &
+AGENT_PID=$!
+sleep 1.5
+kill -9 "$AGENT_PID" 2>/dev/null || fail "agent gen-1 died early"
+wait "$AGENT_PID" 2>/dev/null
+AGENT_PID=""
+ls "$AGENT_WAL"/wal-*.qwal >/dev/null 2>&1 || fail "agent wrote no wal segments"
+
+# --- agent generation 2: must replay the log, then drain on SIGTERM -------
+"$AGENTD" --connect=127.0.0.1:$PORT --token="$TOKEN" --source=smoke-host \
+  --tick-ms=100 --wal-dir="$AGENT_WAL" >"$WORK/agent2.log" 2>&1 &
+AGENT_PID=$!
+wait_for "recovered epoch" "$WORK/agent2.log" 5 \
+  || fail "agent gen-2 logged no wal recovery"
+sleep 1
+kill -TERM "$AGENT_PID"
+wait "$AGENT_PID"
+AGENT_RC=$?
+AGENT_PID=""
+[ "$AGENT_RC" -eq 0 ] || fail "agent SIGTERM exit was $AGENT_RC, want 0"
+grep -q "clean exit" "$WORK/agent2.log" || fail "agent drain line missing"
+
+# --- aggregator crash: SIGKILL, restart, recover held sources -------------
+kill -9 "$AGG_PID" 2>/dev/null || fail "aggregator died early"
+wait "$AGG_PID" 2>/dev/null
+AGG_PID=""
+"$AGGD" --listen=127.0.0.1:$PORT --token="$TOKEN" --wal-dir="$AGG_WAL" \
+  --json-health >"$WORK/agg2.log" 2>&1 &
+AGG_PID=$!
+wait_for "recovered .* sources" "$WORK/agg2.log" 5 \
+  || fail "restarted aggregator logged no wal recovery"
+wait_for "serving on" "$WORK/agg2.log" 5 || fail "restarted aggregator not up"
+
+# --- aggregator graceful drain on SIGTERM ---------------------------------
+kill -TERM "$AGG_PID"
+wait "$AGG_PID"
+AGG_RC=$?
+AGG_PID=""
+[ "$AGG_RC" -eq 0 ] || fail "aggregator SIGTERM exit was $AGG_RC, want 0"
+grep -q '"wal": {"enabled": true' "$WORK/agg2.log" \
+  || fail "aggregator json health missing wal block"
+grep -q '"recovered_sources": 1' "$WORK/agg2.log" \
+  || fail "aggregator json health missing recovered source"
+
+rm -rf "$WORK"
+echo "OK"
